@@ -1,0 +1,628 @@
+//! **ARMCI-DS** — ARMCI implemented over *two-sided* MPI messaging with
+//! dedicated data-server processes.
+//!
+//! The paper's related-work section (§IX) describes this design — it had
+//! shipped with ARMCI for years as the portable fallback: "a data server
+//! process on each node … services requests to read from and write to
+//! this data. However, this approach does not utilize MPI's one-sided
+//! functionality and has several overheads, including consumption of a
+//! core, bottlenecking on the data server, and two-sided messaging
+//! overheads such as tag matching."
+//!
+//! This crate reproduces that design faithfully so the paper's comparison
+//! can be made executable:
+//!
+//! * every *compute* process is paired with a *server* process that owns
+//!   its global memory and loops on wildcard receives;
+//! * all one-sided semantics are emulated with request/reply messages —
+//!   even `ARMCI_Access` (direct local access) becomes a round trip,
+//!   because the data lives in the server's address space;
+//! * mutexes and RMW are serviced in the server's event loop (this is the
+//!   CHT of native ports, promoted to a whole process);
+//! * the **core consumption** overhead is structural: a job that would
+//!   run on `2n` cores computes on only `n`.
+//!
+//! Use [`run_with_servers`] to launch: it spawns `2n` simulated processes,
+//! runs the application closure on the `n` compute ranks, and runs server
+//! loops on the other `n`.
+
+mod protocol;
+mod server;
+
+use armci::{
+    AccKind, AccessMode, Armci, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IovDesc, RmwOp,
+};
+use mpisim::{Comm, Proc, RecvSrc, Runtime, RuntimeConfig};
+use protocol::{Reply, Request, TAG_REPLY, TAG_REQUEST};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+
+/// Launches an SPMD program on `ncompute` compute processes, each paired
+/// with a data-server process (so `2·ncompute` simulated processes in
+/// total). The closure receives the compute-rank [`Proc`] and a ready
+/// [`ArmciDs`] handle.
+///
+/// ```
+/// use armci::{Armci, ArmciExt};
+/// use armci_ds::run_with_servers;
+/// use mpisim::RuntimeConfig;
+///
+/// let cfg = RuntimeConfig { charge_time: false, ..Default::default() };
+/// run_with_servers(2, cfg, |_p, rt| {
+///     let bases = rt.malloc(64).unwrap();
+///     rt.barrier();
+///     if rt.rank() == 0 {
+///         rt.put_f64s(&[3.5], bases[1]).unwrap();
+///         assert_eq!(rt.get_f64s(bases[1], 1).unwrap(), vec![3.5]);
+///     }
+///     rt.barrier();
+///     rt.free(bases[rt.rank()]).unwrap();
+/// });
+/// ```
+pub fn run_with_servers<F, R>(ncompute: usize, cfg: RuntimeConfig, f: F) -> Vec<R>
+where
+    F: Fn(&Proc, &ArmciDs) -> R + Send + Sync,
+    R: Send + Default,
+{
+    let results = Runtime::run_with(2 * ncompute, cfg, move |p| {
+        let world = p.world();
+        if p.rank() < ncompute {
+            let rt = ArmciDs::new(p, ncompute);
+            let r = f(p, &rt);
+            rt.shutdown();
+            Some(r)
+        } else {
+            server::serve(p, &world, ncompute);
+            None
+        }
+    });
+    results
+        .into_iter()
+        .take(ncompute)
+        .map(|r| r.expect("compute rank result"))
+        .collect()
+}
+
+/// Per-rank translation index: base address → (allocation id, size).
+type AddrIndex = HashMap<usize, BTreeMap<usize, (u64, usize)>>;
+
+/// Per-compute-process handle for the data-server ARMCI.
+pub struct ArmciDs {
+    world: Comm,
+    ncompute: usize,
+    /// Cached compute-ranks group (created once, collectively, at
+    /// construction — all compute ranks build their handle together).
+    compute_group: ArmciGroup,
+    /// `(compute rank, base) → (allocation id, size)`.
+    table: RefCell<AddrIndex>,
+    /// Live allocation groups by id (needed for collective free).
+    groups: RefCell<HashMap<u64, ArmciGroup>>,
+    next_addr: Cell<usize>,
+    next_mutex_handle: Cell<usize>,
+    mutex_counts: RefCell<HashMap<usize, usize>>,
+}
+
+impl ArmciDs {
+    /// Builds the handle (compute ranks only; `run_with_servers` does
+    /// this for you).
+    pub fn new(proc: &Proc, ncompute: usize) -> ArmciDs {
+        assert!(proc.rank() < ncompute, "ArmciDs is for compute ranks");
+        assert_eq!(
+            proc.size(),
+            2 * ncompute,
+            "need one server per compute rank"
+        );
+        let world = proc.world();
+        let members: Vec<usize> = (0..ncompute).collect();
+        let compute_group = ArmciGroup::from_comm(world.create_noncollective(&members));
+        ArmciDs {
+            world,
+            ncompute,
+            compute_group,
+            table: RefCell::new(HashMap::new()),
+            groups: RefCell::new(HashMap::new()),
+            next_addr: Cell::new(0x1000),
+            next_mutex_handle: Cell::new(1),
+            mutex_counts: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The server world-rank for compute rank `r`.
+    fn server_of(&self, r: usize) -> usize {
+        self.ncompute + r
+    }
+
+    /// The compute-only communicator view: ARMCI-DS addresses compute
+    /// ranks; collective machinery runs on p2p + explicit leader logic.
+    fn send_req(&self, target: usize, req: &Request) {
+        self.world
+            .send(self.server_of(target), TAG_REQUEST, &req.encode());
+    }
+
+    fn roundtrip(&self, target: usize, req: &Request) -> Reply {
+        self.send_req(target, req);
+        let (bytes, _) = self
+            .world
+            .recv(RecvSrc::Rank(self.server_of(target)), TAG_REPLY);
+        Reply::decode(&bytes)
+    }
+
+    fn locate(&self, addr: GlobalAddr, len: usize) -> ArmciResult<(u64, usize)> {
+        if addr.is_null() || addr.rank >= self.ncompute {
+            return Err(ArmciError::BadAddress {
+                rank: addr.rank,
+                addr: addr.addr,
+            });
+        }
+        let table = self.table.borrow();
+        let m = table.get(&addr.rank).ok_or(ArmciError::BadAddress {
+            rank: addr.rank,
+            addr: addr.addr,
+        })?;
+        let (&base, &(id, size)) =
+            m.range(..=addr.addr)
+                .next_back()
+                .ok_or(ArmciError::BadAddress {
+                    rank: addr.rank,
+                    addr: addr.addr,
+                })?;
+        if addr.addr + len.max(1) > base + size {
+            return Err(ArmciError::OutOfBounds {
+                rank: addr.rank,
+                addr: addr.addr,
+                len,
+                limit: base + size,
+            });
+        }
+        Ok((id, addr.addr - base))
+    }
+
+    /// Tells this rank's server to exit (called by `run_with_servers`).
+    pub fn shutdown(&self) {
+        // quiesce compute ranks, then every one stops its own server
+        self.compute_group.barrier();
+        self.send_req(self.world.rank(), &Request::Shutdown);
+    }
+}
+
+impl Armci for ArmciDs {
+    fn rank(&self) -> usize {
+        self.world.rank()
+    }
+
+    fn nprocs(&self) -> usize {
+        self.ncompute
+    }
+
+    fn world_group(&self) -> ArmciGroup {
+        self.compute_group.clone()
+    }
+
+    fn malloc_group(&self, bytes: usize, group: &ArmciGroup) -> ArmciResult<Vec<GlobalAddr>> {
+        let comm = group.comm();
+        // agree on an allocation id
+        let id_bytes = if comm.rank() == 0 {
+            Some(comm.alloc_uid().to_le_bytes().to_vec())
+        } else {
+            None
+        };
+        let id = u64::from_le_bytes(comm.bcast_bytes(0, id_bytes).as_slice().try_into().unwrap());
+        let base = if bytes > 0 {
+            let b = self.next_addr.get();
+            self.next_addr.set(b + bytes.div_ceil(64) * 64 + 64);
+            b
+        } else {
+            0
+        };
+        // my server hosts my slice
+        if bytes > 0 {
+            let r = self.roundtrip(self.world.rank(), &Request::Malloc { id, size: bytes });
+            debug_assert!(matches!(r, Reply::Ok));
+        }
+        // exchange bases
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&(base as u64).to_le_bytes());
+        payload.extend_from_slice(&(bytes as u64).to_le_bytes());
+        let all = comm.allgather_bytes(payload);
+        let mut out = Vec::with_capacity(all.len());
+        {
+            let mut table = self.table.borrow_mut();
+            for (gr, b) in all.iter().enumerate() {
+                let gbase = u64::from_le_bytes(b[..8].try_into().unwrap()) as usize;
+                let gsize = u64::from_le_bytes(b[8..16].try_into().unwrap()) as usize;
+                let abs = group.absolute_id(gr)?;
+                if gbase != 0 {
+                    table.entry(abs).or_default().insert(gbase, (id, gsize));
+                    out.push(GlobalAddr::new(abs, gbase));
+                } else {
+                    out.push(GlobalAddr::NULL);
+                }
+            }
+        }
+        self.groups.borrow_mut().insert(id, group.clone());
+        Ok(out)
+    }
+
+    fn free_group(&self, addr: GlobalAddr, group: &ArmciGroup) -> ArmciResult<()> {
+        // leader election as in §V-B
+        let comm = group.comm();
+        let my_vote = if addr.is_null() {
+            -1
+        } else {
+            comm.rank() as i64
+        };
+        let (winner, leader) = comm.maxloc_i64(my_vote);
+        if winner < 0 {
+            return Err(ArmciError::BadDescriptor(
+                "free with all-NULL addresses".into(),
+            ));
+        }
+        let payload = if comm.rank() == leader {
+            Some((addr.addr as u64).to_le_bytes().to_vec())
+        } else {
+            None
+        };
+        let leader_addr = u64::from_le_bytes(
+            comm.bcast_bytes(leader, payload)
+                .as_slice()
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let leader_abs = group.absolute_id(leader)?;
+        let (id, _) = self.locate(GlobalAddr::new(leader_abs, leader_addr), 1)?;
+        // drop table entries for every member, free my slice at my server
+        {
+            let mut table = self.table.borrow_mut();
+            for m in table.values_mut() {
+                m.retain(|_, &mut (aid, _)| aid != id);
+            }
+        }
+        let r = self.roundtrip(self.world.rank(), &Request::Free { id });
+        debug_assert!(matches!(r, Reply::Ok));
+        self.groups.borrow_mut().remove(&id);
+        comm.barrier();
+        Ok(())
+    }
+
+    fn set_access_mode(
+        &self,
+        _addr: GlobalAddr,
+        group: &ArmciGroup,
+        _mode: AccessMode,
+    ) -> ArmciResult<()> {
+        // the data server serialises everything anyway: hints are no-ops
+        group.barrier();
+        Ok(())
+    }
+
+    fn get(&self, src: GlobalAddr, dst: &mut [u8]) -> ArmciResult<()> {
+        if dst.is_empty() {
+            return Ok(());
+        }
+        let (id, off) = self.locate(src, dst.len())?;
+        match self.roundtrip(
+            src.rank,
+            &Request::Get {
+                id,
+                off,
+                len: dst.len(),
+            },
+        ) {
+            Reply::Data(d) => {
+                dst.copy_from_slice(&d);
+                Ok(())
+            }
+            Reply::Err(e) => Err(ArmciError::BadDescriptor(e)),
+            _ => Err(ArmciError::BadDescriptor("unexpected reply".into())),
+        }
+    }
+
+    fn put(&self, src: &[u8], dst: GlobalAddr) -> ArmciResult<()> {
+        if src.is_empty() {
+            return Ok(());
+        }
+        let (id, off) = self.locate(dst, src.len())?;
+        // puts are fire-and-forget (remote completion at fence)
+        self.send_req(
+            dst.rank,
+            &Request::Put {
+                id,
+                off,
+                data: src.to_vec(),
+            },
+        );
+        Ok(())
+    }
+
+    fn acc(&self, kind: AccKind, src: &[u8], dst: GlobalAddr) -> ArmciResult<()> {
+        if src.is_empty() {
+            return Ok(());
+        }
+        kind.check_len(src.len())?;
+        let (id, off) = self.locate(dst, src.len())?;
+        let scaled = kind.prescale(src)?;
+        self.send_req(
+            dst.rank,
+            &Request::Acc {
+                id,
+                off,
+                elem: protocol::elem_code(&kind),
+                data: scaled,
+            },
+        );
+        Ok(())
+    }
+
+    fn copy(&self, src: GlobalAddr, dst: GlobalAddr, bytes: usize) -> ArmciResult<()> {
+        let mut tmp = vec![0u8; bytes];
+        self.get(src, &mut tmp)?;
+        self.put(&tmp, dst)
+    }
+
+    fn get_strided(
+        &self,
+        src: GlobalAddr,
+        src_strides: &[usize],
+        dst: &mut [u8],
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<()> {
+        armci::stride::validate(src_strides, count)?;
+        armci::stride::validate(dst_strides, count)?;
+        let extent = armci::stride::extent(src_strides, count);
+        let (id, off) = self.locate(src, extent)?;
+        let req = Request::GetStrided {
+            id,
+            off,
+            strides: src_strides.to_vec(),
+            count: count.to_vec(),
+        };
+        match self.roundtrip(src.rank, &req) {
+            Reply::Data(packed) => {
+                // unpack the dense payload into the local strided layout
+                let seg = count[0];
+                for (i, (_, ld)) in
+                    armci::StridedIter::new(src_strides, dst_strides, count)?.enumerate()
+                {
+                    dst[ld..ld + seg].copy_from_slice(&packed[i * seg..(i + 1) * seg]);
+                }
+                Ok(())
+            }
+            Reply::Err(e) => Err(ArmciError::BadDescriptor(e)),
+            _ => Err(ArmciError::BadDescriptor("unexpected reply".into())),
+        }
+    }
+
+    fn put_strided(
+        &self,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<()> {
+        armci::stride::validate(src_strides, count)?;
+        armci::stride::validate(dst_strides, count)?;
+        let extent = armci::stride::extent(dst_strides, count);
+        let (id, off) = self.locate(dst, extent)?;
+        // pack at the origin (two-sided design ships dense payloads)
+        let seg = count[0];
+        let total = armci::stride::total_bytes(count);
+        let mut packed = Vec::with_capacity(total);
+        for (ls, _) in armci::StridedIter::new(src_strides, dst_strides, count)? {
+            packed.extend_from_slice(&src[ls..ls + seg]);
+        }
+        self.send_req(
+            dst.rank,
+            &Request::PutStrided {
+                id,
+                off,
+                strides: dst_strides.to_vec(),
+                count: count.to_vec(),
+                data: packed,
+            },
+        );
+        Ok(())
+    }
+
+    fn acc_strided(
+        &self,
+        kind: AccKind,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<()> {
+        armci::stride::validate(src_strides, count)?;
+        armci::stride::validate(dst_strides, count)?;
+        kind.check_len(count[0])?;
+        let extent = armci::stride::extent(dst_strides, count);
+        let (id, off) = self.locate(dst, extent)?;
+        let seg = count[0];
+        let total = armci::stride::total_bytes(count);
+        let mut packed = Vec::with_capacity(total);
+        for (ls, _) in armci::StridedIter::new(src_strides, dst_strides, count)? {
+            packed.extend_from_slice(&src[ls..ls + seg]);
+        }
+        let packed = kind.prescale(&packed)?;
+        self.send_req(
+            dst.rank,
+            &Request::AccStrided {
+                id,
+                off,
+                strides: dst_strides.to_vec(),
+                count: count.to_vec(),
+                elem: protocol::elem_code(&kind),
+                data: packed,
+            },
+        );
+        Ok(())
+    }
+
+    fn get_iov(&self, desc: &IovDesc, local: &mut [u8]) -> ArmciResult<()> {
+        desc.validate()?;
+        for (&lo, &ra) in desc.local_offsets.iter().zip(&desc.remote_addrs) {
+            self.get(
+                GlobalAddr::new(desc.rank, ra),
+                &mut local[lo..lo + desc.bytes],
+            )?;
+        }
+        Ok(())
+    }
+
+    fn put_iov(&self, desc: &IovDesc, local: &[u8]) -> ArmciResult<()> {
+        desc.validate()?;
+        for (&lo, &ra) in desc.local_offsets.iter().zip(&desc.remote_addrs) {
+            self.put(&local[lo..lo + desc.bytes], GlobalAddr::new(desc.rank, ra))?;
+        }
+        Ok(())
+    }
+
+    fn acc_iov(&self, kind: AccKind, desc: &IovDesc, local: &[u8]) -> ArmciResult<()> {
+        desc.validate()?;
+        kind.check_len(desc.bytes)?;
+        for (&lo, &ra) in desc.local_offsets.iter().zip(&desc.remote_addrs) {
+            self.acc(
+                kind,
+                &local[lo..lo + desc.bytes],
+                GlobalAddr::new(desc.rank, ra),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn fence(&self, proc: usize) -> ArmciResult<()> {
+        // two-sided channels are FIFO per pair: a fence is a ping that
+        // flushes everything ahead of it in the server's queue.
+        match self.roundtrip(proc, &Request::Fence) {
+            Reply::Ok => Ok(()),
+            _ => Err(ArmciError::BadDescriptor("fence failed".into())),
+        }
+    }
+
+    fn fence_all(&self) -> ArmciResult<()> {
+        for r in 0..self.ncompute {
+            self.fence(r)?;
+        }
+        Ok(())
+    }
+
+    fn barrier(&self) {
+        self.fence_all().expect("fence_all");
+        let g = self.world_group();
+        g.barrier();
+    }
+
+    fn rmw(&self, op: RmwOp, target: GlobalAddr) -> ArmciResult<i64> {
+        let (id, off) = self.locate(target, 8)?;
+        let (code, operand) = match op {
+            RmwOp::FetchAdd(x) => (0u8, x),
+            RmwOp::Swap(x) => (1u8, x),
+        };
+        match self.roundtrip(
+            target.rank,
+            &Request::Rmw {
+                id,
+                off,
+                code,
+                operand,
+            },
+        ) {
+            Reply::Value(v) => Ok(v),
+            Reply::Err(e) => Err(ArmciError::BadDescriptor(e)),
+            _ => Err(ArmciError::BadDescriptor("unexpected reply".into())),
+        }
+    }
+
+    fn create_mutexes(&self, count: usize) -> ArmciResult<usize> {
+        let g = self.world_group();
+        g.barrier();
+        let handle = self.next_mutex_handle.get();
+        self.next_mutex_handle.set(handle + 1);
+        self.mutex_counts.borrow_mut().insert(handle, count);
+        let r = self.roundtrip(self.world.rank(), &Request::MutexCreate { handle, count });
+        debug_assert!(matches!(r, Reply::Ok));
+        g.barrier();
+        Ok(handle)
+    }
+
+    fn lock_mutex(&self, handle: usize, mutex: usize, proc: usize) -> ArmciResult<()> {
+        let counts = self.mutex_counts.borrow();
+        let &count = counts
+            .get(&handle)
+            .ok_or_else(|| ArmciError::MutexMisuse(format!("unknown handle {handle}")))?;
+        if mutex >= count || proc >= self.ncompute {
+            return Err(ArmciError::MutexMisuse(format!(
+                "mutex {mutex}@{proc} out of range"
+            )));
+        }
+        match self.roundtrip(proc, &Request::MutexLock { handle, mutex }) {
+            Reply::Ok => Ok(()),
+            Reply::Err(e) => Err(ArmciError::MutexMisuse(e)),
+            _ => Err(ArmciError::MutexMisuse("unexpected reply".into())),
+        }
+    }
+
+    fn unlock_mutex(&self, handle: usize, mutex: usize, proc: usize) -> ArmciResult<()> {
+        let counts = self.mutex_counts.borrow();
+        let &count = counts
+            .get(&handle)
+            .ok_or_else(|| ArmciError::MutexMisuse(format!("unknown handle {handle}")))?;
+        if mutex >= count || proc >= self.ncompute {
+            return Err(ArmciError::MutexMisuse(format!(
+                "mutex {mutex}@{proc} out of range"
+            )));
+        }
+        match self.roundtrip(proc, &Request::MutexUnlock { handle, mutex }) {
+            Reply::Ok => Ok(()),
+            Reply::Err(e) => Err(ArmciError::MutexMisuse(e)),
+            _ => Err(ArmciError::MutexMisuse("unexpected reply".into())),
+        }
+    }
+
+    fn destroy_mutexes(&self, handle: usize) -> ArmciResult<()> {
+        self.mutex_counts
+            .borrow_mut()
+            .remove(&handle)
+            .ok_or_else(|| ArmciError::MutexMisuse(format!("unknown handle {handle}")))?;
+        let r = self.roundtrip(self.world.rank(), &Request::MutexDestroy { handle });
+        debug_assert!(matches!(r, Reply::Ok));
+        let g = self.world_group();
+        g.barrier();
+        Ok(())
+    }
+
+    fn access_mut(
+        &self,
+        addr: GlobalAddr,
+        len: usize,
+        f: &mut dyn FnMut(&mut [u8]),
+    ) -> ArmciResult<()> {
+        if addr.rank != self.world.rank() {
+            return Err(ArmciError::BadDescriptor(
+                "direct access to a remote process".into(),
+            ));
+        }
+        // "Direct" local access is impossible: the data lives in the
+        // server process. Emulated as get → mutate → put + fence — one of
+        // the §IX overheads of the data-server design.
+        let mut buf = vec![0u8; len];
+        self.get(addr, &mut buf)?;
+        f(&mut buf);
+        self.put(&buf, addr)?;
+        self.fence(addr.rank)
+    }
+
+    fn access(&self, addr: GlobalAddr, len: usize, f: &mut dyn FnMut(&[u8])) -> ArmciResult<()> {
+        if addr.rank != self.world.rank() {
+            return Err(ArmciError::BadDescriptor(
+                "direct access to a remote process".into(),
+            ));
+        }
+        let mut buf = vec![0u8; len];
+        self.get(addr, &mut buf)?;
+        f(&buf);
+        Ok(())
+    }
+}

@@ -1,0 +1,484 @@
+//! Wire protocol between compute processes and their data servers.
+//!
+//! Hand-rolled little-endian encoding (the design predates serialization
+//! frameworks, and the simulator moves `Vec<u8>` anyway).
+
+use armci::AccKind;
+
+/// Tag for compute→server requests.
+pub const TAG_REQUEST: i32 = 0x5e11;
+/// Tag for server→compute replies.
+pub const TAG_REPLY: i32 = 0x5e12;
+
+/// A request to a data server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Malloc {
+        id: u64,
+        size: usize,
+    },
+    Free {
+        id: u64,
+    },
+    Get {
+        id: u64,
+        off: usize,
+        len: usize,
+    },
+    Put {
+        id: u64,
+        off: usize,
+        data: Vec<u8>,
+    },
+    Acc {
+        id: u64,
+        off: usize,
+        elem: u8,
+        data: Vec<u8>,
+    },
+    GetStrided {
+        id: u64,
+        off: usize,
+        strides: Vec<usize>,
+        count: Vec<usize>,
+    },
+    PutStrided {
+        id: u64,
+        off: usize,
+        strides: Vec<usize>,
+        count: Vec<usize>,
+        data: Vec<u8>,
+    },
+    AccStrided {
+        id: u64,
+        off: usize,
+        strides: Vec<usize>,
+        count: Vec<usize>,
+        elem: u8,
+        data: Vec<u8>,
+    },
+    Rmw {
+        id: u64,
+        off: usize,
+        code: u8,
+        operand: i64,
+    },
+    Fence,
+    MutexCreate {
+        handle: usize,
+        count: usize,
+    },
+    MutexLock {
+        handle: usize,
+        mutex: usize,
+    },
+    MutexUnlock {
+        handle: usize,
+        mutex: usize,
+    },
+    MutexDestroy {
+        handle: usize,
+    },
+    Shutdown,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    Ok,
+    Data(Vec<u8>),
+    Value(i64),
+    Err(String),
+}
+
+/// Element-type code for accumulates (scale already applied at origin).
+pub fn elem_code(kind: &AccKind) -> u8 {
+    match kind {
+        AccKind::Int(_) => 0,
+        AccKind::Long(_) => 1,
+        AccKind::Float(_) => 2,
+        AccKind::Double(_) => 3,
+    }
+}
+
+/// Unit-scale kind for a code (server-side combine).
+pub fn code_kind(code: u8) -> AccKind {
+    match code {
+        0 => AccKind::Int(1),
+        1 => AccKind::Long(1),
+        2 => AccKind::Float(1.0),
+        _ => AccKind::Double(1.0),
+    }
+}
+
+// --- encoding helpers --------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_usizes(out: &mut Vec<u8>, xs: &[usize]) {
+    put_u64(out, xs.len() as u64);
+    for &x in xs {
+        put_u64(out, x as u64);
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn u64(&mut self) -> u64 {
+        let (head, rest) = self.0.split_at(8);
+        self.0 = rest;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+
+    fn usize(&mut self) -> usize {
+        self.u64() as usize
+    }
+
+    fn usizes(&mut self) -> Vec<usize> {
+        let n = self.usize();
+        (0..n).map(|_| self.usize()).collect()
+    }
+
+    fn bytes(&mut self) -> Vec<u8> {
+        let n = self.usize();
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        head.to_vec()
+    }
+
+    fn u8(&mut self) -> u8 {
+        let (head, rest) = self.0.split_first().unwrap();
+        self.0 = rest;
+        *head
+    }
+}
+
+impl Request {
+    /// Serialises the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut o = Vec::new();
+        match self {
+            Request::Malloc { id, size } => {
+                o.push(0);
+                put_u64(&mut o, *id);
+                put_u64(&mut o, *size as u64);
+            }
+            Request::Free { id } => {
+                o.push(1);
+                put_u64(&mut o, *id);
+            }
+            Request::Get { id, off, len } => {
+                o.push(2);
+                put_u64(&mut o, *id);
+                put_u64(&mut o, *off as u64);
+                put_u64(&mut o, *len as u64);
+            }
+            Request::Put { id, off, data } => {
+                o.push(3);
+                put_u64(&mut o, *id);
+                put_u64(&mut o, *off as u64);
+                put_bytes(&mut o, data);
+            }
+            Request::Acc {
+                id,
+                off,
+                elem,
+                data,
+            } => {
+                o.push(4);
+                put_u64(&mut o, *id);
+                put_u64(&mut o, *off as u64);
+                o.push(*elem);
+                put_bytes(&mut o, data);
+            }
+            Request::GetStrided {
+                id,
+                off,
+                strides,
+                count,
+            } => {
+                o.push(5);
+                put_u64(&mut o, *id);
+                put_u64(&mut o, *off as u64);
+                put_usizes(&mut o, strides);
+                put_usizes(&mut o, count);
+            }
+            Request::PutStrided {
+                id,
+                off,
+                strides,
+                count,
+                data,
+            } => {
+                o.push(6);
+                put_u64(&mut o, *id);
+                put_u64(&mut o, *off as u64);
+                put_usizes(&mut o, strides);
+                put_usizes(&mut o, count);
+                put_bytes(&mut o, data);
+            }
+            Request::AccStrided {
+                id,
+                off,
+                strides,
+                count,
+                elem,
+                data,
+            } => {
+                o.push(7);
+                put_u64(&mut o, *id);
+                put_u64(&mut o, *off as u64);
+                put_usizes(&mut o, strides);
+                put_usizes(&mut o, count);
+                o.push(*elem);
+                put_bytes(&mut o, data);
+            }
+            Request::Rmw {
+                id,
+                off,
+                code,
+                operand,
+            } => {
+                o.push(8);
+                put_u64(&mut o, *id);
+                put_u64(&mut o, *off as u64);
+                o.push(*code);
+                put_u64(&mut o, *operand as u64);
+            }
+            Request::Fence => o.push(9),
+            Request::MutexCreate { handle, count } => {
+                o.push(10);
+                put_u64(&mut o, *handle as u64);
+                put_u64(&mut o, *count as u64);
+            }
+            Request::MutexLock { handle, mutex } => {
+                o.push(11);
+                put_u64(&mut o, *handle as u64);
+                put_u64(&mut o, *mutex as u64);
+            }
+            Request::MutexUnlock { handle, mutex } => {
+                o.push(12);
+                put_u64(&mut o, *handle as u64);
+                put_u64(&mut o, *mutex as u64);
+            }
+            Request::MutexDestroy { handle } => {
+                o.push(13);
+                put_u64(&mut o, *handle as u64);
+            }
+            Request::Shutdown => o.push(14),
+        }
+        o
+    }
+
+    /// Deserialises a request.
+    pub fn decode(b: &[u8]) -> Request {
+        let mut r = Reader(b);
+        match r.u8() {
+            0 => Request::Malloc {
+                id: r.u64(),
+                size: r.usize(),
+            },
+            1 => Request::Free { id: r.u64() },
+            2 => Request::Get {
+                id: r.u64(),
+                off: r.usize(),
+                len: r.usize(),
+            },
+            3 => Request::Put {
+                id: r.u64(),
+                off: r.usize(),
+                data: r.bytes(),
+            },
+            4 => Request::Acc {
+                id: r.u64(),
+                off: r.usize(),
+                elem: r.u8(),
+                data: r.bytes(),
+            },
+            5 => Request::GetStrided {
+                id: r.u64(),
+                off: r.usize(),
+                strides: r.usizes(),
+                count: r.usizes(),
+            },
+            6 => Request::PutStrided {
+                id: r.u64(),
+                off: r.usize(),
+                strides: r.usizes(),
+                count: r.usizes(),
+                data: r.bytes(),
+            },
+            7 => Request::AccStrided {
+                id: r.u64(),
+                off: r.usize(),
+                strides: r.usizes(),
+                count: r.usizes(),
+                elem: r.u8(),
+                data: r.bytes(),
+            },
+            8 => Request::Rmw {
+                id: r.u64(),
+                off: r.usize(),
+                code: r.u8(),
+                operand: r.u64() as i64,
+            },
+            9 => Request::Fence,
+            10 => Request::MutexCreate {
+                handle: r.usize(),
+                count: r.usize(),
+            },
+            11 => Request::MutexLock {
+                handle: r.usize(),
+                mutex: r.usize(),
+            },
+            12 => Request::MutexUnlock {
+                handle: r.usize(),
+                mutex: r.usize(),
+            },
+            13 => Request::MutexDestroy { handle: r.usize() },
+            _ => Request::Shutdown,
+        }
+    }
+}
+
+impl Reply {
+    /// Serialises the reply.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut o = Vec::new();
+        match self {
+            Reply::Ok => o.push(0),
+            Reply::Data(d) => {
+                o.push(1);
+                put_bytes(&mut o, d);
+            }
+            Reply::Value(v) => {
+                o.push(2);
+                put_u64(&mut o, *v as u64);
+            }
+            Reply::Err(e) => {
+                o.push(3);
+                put_bytes(&mut o, e.as_bytes());
+            }
+        }
+        o
+    }
+
+    /// Deserialises a reply.
+    pub fn decode(b: &[u8]) -> Reply {
+        let mut r = Reader(b);
+        match r.u8() {
+            0 => Reply::Ok,
+            1 => Reply::Data(r.bytes()),
+            2 => Reply::Value(r.u64() as i64),
+            _ => Reply::Err(String::from_utf8_lossy(&r.bytes()).into_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let cases = vec![
+            Request::Malloc { id: 7, size: 1024 },
+            Request::Free { id: 7 },
+            Request::Get {
+                id: 1,
+                off: 64,
+                len: 128,
+            },
+            Request::Put {
+                id: 1,
+                off: 0,
+                data: vec![1, 2, 3],
+            },
+            Request::Acc {
+                id: 2,
+                off: 8,
+                elem: 3,
+                data: vec![0; 16],
+            },
+            Request::GetStrided {
+                id: 3,
+                off: 4,
+                strides: vec![32, 256],
+                count: vec![16, 4, 2],
+            },
+            Request::PutStrided {
+                id: 3,
+                off: 4,
+                strides: vec![32],
+                count: vec![16, 4],
+                data: vec![9; 64],
+            },
+            Request::AccStrided {
+                id: 3,
+                off: 0,
+                strides: vec![64],
+                count: vec![8, 2],
+                elem: 1,
+                data: vec![5; 16],
+            },
+            Request::Rmw {
+                id: 4,
+                off: 0,
+                code: 0,
+                operand: -17,
+            },
+            Request::Fence,
+            Request::MutexCreate {
+                handle: 1,
+                count: 4,
+            },
+            Request::MutexLock {
+                handle: 1,
+                mutex: 2,
+            },
+            Request::MutexUnlock {
+                handle: 1,
+                mutex: 2,
+            },
+            Request::MutexDestroy { handle: 1 },
+            Request::Shutdown,
+        ];
+        for c in cases {
+            assert_eq!(Request::decode(&c.encode()), c, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        for r in [
+            Reply::Ok,
+            Reply::Data(vec![1, 2, 3]),
+            Reply::Value(-42),
+            Reply::Err("boom".into()),
+        ] {
+            assert_eq!(Reply::decode(&r.encode()), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn elem_codes_roundtrip_to_unit_scale() {
+        assert_eq!(
+            code_kind(elem_code(&AccKind::Double(3.0))),
+            AccKind::Double(1.0)
+        );
+        assert_eq!(code_kind(elem_code(&AccKind::Int(5))), AccKind::Int(1));
+        assert_eq!(code_kind(elem_code(&AccKind::Long(2))), AccKind::Long(1));
+        assert_eq!(
+            code_kind(elem_code(&AccKind::Float(0.5))),
+            AccKind::Float(1.0)
+        );
+    }
+}

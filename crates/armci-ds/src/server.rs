@@ -1,0 +1,207 @@
+//! The data-server event loop.
+//!
+//! One server process per compute process: it owns that process's global
+//! allocations and sits in a wildcard receive, servicing requests in
+//! arrival order. Per-pair FIFO channels give the design its (location)
+//! consistency; the single service loop is exactly the bottleneck the
+//! paper's §IX calls out.
+
+use crate::protocol::{code_kind, Reply, Request, TAG_REPLY, TAG_REQUEST};
+use armci::stride::StridedIter;
+use mpisim::{Comm, Proc, RecvSrc};
+use std::collections::{HashMap, VecDeque};
+
+struct MutexState {
+    /// `held_by` per mutex: the compute rank holding it, if any.
+    held: Vec<Option<usize>>,
+    /// FIFO wait queues per mutex.
+    queues: Vec<VecDeque<usize>>,
+}
+
+/// Runs the server loop for compute rank `world_rank - ncompute` until a
+/// `Shutdown` request arrives.
+pub fn serve(p: &Proc, world: &Comm, ncompute: usize) {
+    let _ = ncompute;
+    let mut allocs: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut mutexes: HashMap<usize, MutexState> = HashMap::new();
+    // Model the server's per-request processing cost (tag matching,
+    // dispatch) — a two-sided overhead of the design.
+    let service_overhead = p.params().op_overhead;
+
+    loop {
+        let (bytes, status) = world.recv(RecvSrc::Any, TAG_REQUEST);
+        let origin = status.source;
+        p.compute(service_overhead);
+        let reply = match Request::decode(&bytes) {
+            Request::Shutdown => break,
+            Request::Malloc { id, size } => {
+                allocs.insert(id, vec![0u8; size]);
+                Some(Reply::Ok)
+            }
+            Request::Free { id } => {
+                allocs.remove(&id);
+                Some(Reply::Ok)
+            }
+            Request::Get { id, off, len } => Some(match allocs.get(&id) {
+                Some(mem) if off + len <= mem.len() => Reply::Data(mem[off..off + len].to_vec()),
+                _ => Reply::Err(format!("bad get: alloc {id} off {off} len {len}")),
+            }),
+            Request::Put { id, off, data } => {
+                if let Some(mem) = allocs.get_mut(&id) {
+                    if off + data.len() <= mem.len() {
+                        mem[off..off + data.len()].copy_from_slice(&data);
+                    }
+                }
+                None // fire-and-forget
+            }
+            Request::Acc {
+                id,
+                off,
+                elem,
+                data,
+            } => {
+                if let Some(mem) = allocs.get_mut(&id) {
+                    if off + data.len() <= mem.len() {
+                        code_kind(elem)
+                            .apply(&mut mem[off..off + data.len()], &data)
+                            .expect("server-side combine");
+                    }
+                }
+                None
+            }
+            Request::GetStrided {
+                id,
+                off,
+                strides,
+                count,
+            } => Some(match allocs.get(&id) {
+                Some(mem) => {
+                    let seg = count[0];
+                    let mut packed = Vec::with_capacity(count.iter().product::<usize>());
+                    match StridedIter::new(&strides, &strides, &count) {
+                        Ok(it) => {
+                            for (disp, _) in it {
+                                packed.extend_from_slice(&mem[off + disp..off + disp + seg]);
+                            }
+                            Reply::Data(packed)
+                        }
+                        Err(e) => Reply::Err(e.to_string()),
+                    }
+                }
+                None => Reply::Err(format!("bad strided get: alloc {id}")),
+            }),
+            Request::PutStrided {
+                id,
+                off,
+                strides,
+                count,
+                data,
+            } => {
+                if let Some(mem) = allocs.get_mut(&id) {
+                    let seg = count[0];
+                    if let Ok(it) = StridedIter::new(&strides, &strides, &count) {
+                        for (i, (disp, _)) in it.enumerate() {
+                            mem[off + disp..off + disp + seg]
+                                .copy_from_slice(&data[i * seg..(i + 1) * seg]);
+                        }
+                    }
+                }
+                None
+            }
+            Request::AccStrided {
+                id,
+                off,
+                strides,
+                count,
+                elem,
+                data,
+            } => {
+                if let Some(mem) = allocs.get_mut(&id) {
+                    let seg = count[0];
+                    let kind = code_kind(elem);
+                    if let Ok(it) = StridedIter::new(&strides, &strides, &count) {
+                        for (i, (disp, _)) in it.enumerate() {
+                            kind.apply(
+                                &mut mem[off + disp..off + disp + seg],
+                                &data[i * seg..(i + 1) * seg],
+                            )
+                            .expect("server-side combine");
+                        }
+                    }
+                }
+                None
+            }
+            Request::Rmw {
+                id,
+                off,
+                code,
+                operand,
+            } => Some(match allocs.get_mut(&id) {
+                Some(mem) if off + 8 <= mem.len() => {
+                    let old = i64::from_le_bytes(mem[off..off + 8].try_into().unwrap());
+                    let new = if code == 0 {
+                        old.wrapping_add(operand)
+                    } else {
+                        operand
+                    };
+                    mem[off..off + 8].copy_from_slice(&new.to_le_bytes());
+                    Reply::Value(old)
+                }
+                _ => Reply::Err(format!("bad rmw: alloc {id} off {off}")),
+            }),
+            Request::Fence => Some(Reply::Ok),
+            Request::MutexCreate { handle, count } => {
+                mutexes.insert(
+                    handle,
+                    MutexState {
+                        held: vec![None; count],
+                        queues: (0..count).map(|_| VecDeque::new()).collect(),
+                    },
+                );
+                Some(Reply::Ok)
+            }
+            Request::MutexDestroy { handle } => {
+                mutexes.remove(&handle);
+                Some(Reply::Ok)
+            }
+            Request::MutexLock { handle, mutex } => {
+                match mutexes.get_mut(&handle) {
+                    Some(st) => {
+                        if st.held[mutex].is_none() {
+                            st.held[mutex] = Some(origin);
+                            Some(Reply::Ok)
+                        } else {
+                            // defer the grant: enqueue, reply later
+                            st.queues[mutex].push_back(origin);
+                            None
+                        }
+                    }
+                    None => Some(Reply::Err(format!("unknown mutex handle {handle}"))),
+                }
+            }
+            Request::MutexUnlock { handle, mutex } => {
+                match mutexes.get_mut(&handle) {
+                    Some(st) => {
+                        if st.held[mutex] != Some(origin) {
+                            Some(Reply::Err(format!(
+                                "unlock of mutex {mutex} not held by rank {origin}"
+                            )))
+                        } else if let Some(next) = st.queues[mutex].pop_front() {
+                            // hand the mutex over and wake the waiter
+                            st.held[mutex] = Some(next);
+                            world.send(next, TAG_REPLY, &Reply::Ok.encode());
+                            Some(Reply::Ok)
+                        } else {
+                            st.held[mutex] = None;
+                            Some(Reply::Ok)
+                        }
+                    }
+                    None => Some(Reply::Err(format!("unknown mutex handle {handle}"))),
+                }
+            }
+        };
+        if let Some(r) = reply {
+            world.send(origin, TAG_REPLY, &r.encode());
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Tests of the data-server ARMCI, including the three-way backend
+//! comparison the paper's §IX implies.
+
+use armci::{Armci, ArmciExt, RmwOp};
+use armci_ds::{run_with_servers, ArmciDs};
+use ga::{GaType, GlobalArray};
+use mpisim::{Proc, Runtime, RuntimeConfig};
+use nwchem_proxy::{run_ccsd, CcsdConfig};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn put_get_roundtrip() {
+    run_with_servers(3, quiet(), |p: &Proc, rt: &ArmciDs| {
+        let bases = rt.malloc(64).unwrap();
+        rt.barrier();
+        if rt.rank() == 0 {
+            rt.put_f64s(&[1.5, 2.5], bases[2]).unwrap();
+            // location consistency through the FIFO channel
+            assert_eq!(rt.get_f64s(bases[2], 2).unwrap(), vec![1.5, 2.5]);
+        }
+        rt.barrier();
+        if rt.rank() == 2 {
+            assert_eq!(rt.get_f64s(bases[2], 2).unwrap(), vec![1.5, 2.5]);
+        }
+        rt.barrier();
+        rt.free(bases[rt.rank()]).unwrap();
+        let _ = p;
+    });
+}
+
+#[test]
+fn accumulate_and_rmw() {
+    let n = 4;
+    run_with_servers(n, quiet(), move |_p, rt| {
+        let bases = rt.malloc(32).unwrap();
+        rt.barrier();
+        rt.acc_f64s(2.0, &[1.0, 2.0], bases[0]).unwrap();
+        rt.fence(0).unwrap();
+        rt.barrier();
+        if rt.rank() == 0 {
+            let v = rt.get_f64s(bases[0], 2).unwrap();
+            assert_eq!(v, vec![2.0 * n as f64, 4.0 * n as f64]);
+        }
+        rt.barrier();
+        // nxtval on the server
+        let t = rt.rmw(RmwOp::FetchAdd(1), bases[1].offset(16)).unwrap();
+        assert!(t < n as i64);
+        rt.barrier();
+        rt.free(bases[rt.rank()]).unwrap();
+    });
+}
+
+#[test]
+fn rmw_tickets_unique() {
+    let n = 4;
+    let iters = 25;
+    let all = run_with_servers(n, quiet(), move |_p, rt| {
+        let bases = rt.malloc(8).unwrap();
+        rt.barrier();
+        let mut got = Vec::new();
+        for _ in 0..iters {
+            got.push(rt.fetch_add(bases[0], 1).unwrap());
+        }
+        rt.barrier();
+        rt.free(bases[rt.rank()]).unwrap();
+        got
+    });
+    let mut tickets: Vec<i64> = all.into_iter().flatten().collect();
+    tickets.sort_unstable();
+    assert_eq!(tickets, (0..(n * iters) as i64).collect::<Vec<_>>());
+}
+
+#[test]
+fn strided_roundtrip() {
+    run_with_servers(2, quiet(), |_p, rt| {
+        let bases = rt.malloc(8 * 24).unwrap();
+        rt.barrier();
+        if rt.rank() == 0 {
+            let local: Vec<u8> = (0..128u8).collect();
+            rt.put_strided(&local, &[16], bases[1], &[24], &[16, 8])
+                .unwrap();
+            let mut back = vec![0u8; 128];
+            rt.get_strided(bases[1], &[24], &mut back, &[16], &[16, 8])
+                .unwrap();
+            assert_eq!(back, local);
+        }
+        rt.barrier();
+        rt.free(bases[rt.rank()]).unwrap();
+    });
+}
+
+#[test]
+fn server_mutexes_protect_counter() {
+    let n = 4;
+    let iters = 15;
+    run_with_servers(n, quiet(), move |_p, rt| {
+        let bases = rt.malloc(8).unwrap();
+        let h = rt.create_mutexes(1).unwrap();
+        rt.barrier();
+        for _ in 0..iters {
+            rt.lock_mutex(h, 0, 0).unwrap();
+            let v = rt.get_f64s(bases[0], 1).unwrap()[0];
+            rt.put_f64s(&[v + 1.0], bases[0]).unwrap();
+            rt.fence(0).unwrap();
+            rt.unlock_mutex(h, 0, 0).unwrap();
+        }
+        rt.barrier();
+        assert_eq!(rt.get_f64s(bases[0], 1).unwrap()[0], (n * iters) as f64);
+        rt.barrier();
+        rt.destroy_mutexes(h).unwrap();
+        rt.free(bases[rt.rank()]).unwrap();
+    });
+}
+
+#[test]
+fn dla_is_emulated_via_roundtrips() {
+    run_with_servers(2, quiet(), |_p, rt| {
+        let bases = rt.malloc(16).unwrap();
+        rt.barrier();
+        let me = rt.rank();
+        rt.access_mut(bases[me], 16, &mut |b| b.fill(me as u8 + 1))
+            .unwrap();
+        rt.access(bases[me], 4, &mut |b| assert_eq!(b[0], me as u8 + 1))
+            .unwrap();
+        rt.barrier();
+        let peer = 1 - me;
+        let mut buf = [0u8; 4];
+        rt.get(bases[peer], &mut buf).unwrap();
+        assert_eq!(buf[0], peer as u8 + 1);
+        rt.barrier();
+        rt.free(bases[rt.rank()]).unwrap();
+    });
+}
+
+#[test]
+fn full_ga_stack_runs_on_data_servers() {
+    run_with_servers(3, quiet(), |_p, rt| {
+        let a = GlobalArray::create(rt, "ds", GaType::F64, &[9, 9]).unwrap();
+        a.fill(1.0).unwrap();
+        a.acc_patch(0.5, &[2, 2], &[7, 7], &[2.0; 25]).unwrap();
+        a.sync();
+        let v = a.get_patch(&[4, 4], &[5, 5]).unwrap()[0];
+        assert_eq!(v, 1.0 + 3.0 * 0.5 * 2.0);
+        assert_eq!(a.dot(&a).unwrap(), {
+            let inner = (1.0f64 + 3.0).powi(2) * 25.0;
+            inner + (81.0 - 25.0)
+        });
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn ccsd_proxy_energy_matches_rma_backends() {
+    let cfg = CcsdConfig::tiny();
+    let e_ds = run_with_servers(3, quiet(), move |p, rt| run_ccsd(p, rt, &cfg).energy)[0];
+    let e_rma = Runtime::run_with(3, quiet(), move |p| {
+        let rt = armci_mpi::ArmciMpi::new(p);
+        run_ccsd(p, &rt, &cfg).energy
+    })[0];
+    assert_eq!(e_ds, e_rma);
+}
+
+#[test]
+fn data_server_slower_than_rma_for_gets() {
+    // §IX: the data-server design pays two-sided overheads on every
+    // access; one-sided RMA beats it for bandwidth-bound gets.
+    let size = 1 << 20;
+    let t_ds = run_with_servers(2, RuntimeConfig::default(), move |p, rt| {
+        let bases = rt.malloc(size).unwrap();
+        rt.barrier();
+        let mut t = 0.0;
+        if rt.rank() == 0 {
+            let mut buf = vec![0u8; size];
+            let t0 = p.clock().now();
+            for _ in 0..4 {
+                rt.get(bases[1], &mut buf).unwrap();
+            }
+            t = p.clock().now() - t0;
+        }
+        rt.barrier();
+        rt.free(bases[rt.rank()]).unwrap();
+        t
+    })[0];
+    let t_rma = Runtime::run(2, move |p| {
+        let rt = armci_mpi::ArmciMpi::new(p);
+        let bases = rt.malloc(size).unwrap();
+        rt.barrier();
+        let mut t = 0.0;
+        if rt.rank() == 0 {
+            let mut buf = vec![0u8; size];
+            let t0 = p.clock().now();
+            for _ in 0..4 {
+                rt.get(bases[1], &mut buf).unwrap();
+            }
+            t = p.clock().now() - t0;
+        }
+        rt.barrier();
+        rt.free(bases[rt.rank()]).unwrap();
+        t
+    })[0];
+    assert!(
+        t_ds > t_rma,
+        "data server ({t_ds}s) should be slower than RMA ({t_rma}s)"
+    );
+}

@@ -1,0 +1,208 @@
+//! Backend parity: the same ARMCI program must produce identical results
+//! on ARMCI-MPI and ARMCI-Native — the property that lets GA/NWChem be
+//! relinked against either runtime (Figure 1).
+
+use armci::{Armci, ArmciExt, IovDesc, RmwOp};
+use armci_mpi::ArmciMpi;
+use armci_native::ArmciNative;
+use mpisim::{Proc, Runtime, RuntimeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+/// A deterministic mixed workload driven through the trait object;
+/// returns a digest of everything rank 0 observed.
+fn scenario(p: &Proc, rt: &dyn Armci, seed: u64) -> Vec<f64> {
+    let n = rt.nprocs();
+    let me = rt.rank();
+    let words = 64usize;
+    let bases = rt.malloc(words * 8).unwrap();
+    rt.barrier();
+
+    let mut rng = StdRng::seed_from_u64(seed + me as u64);
+    // Phase 1: every rank puts a pattern into its right neighbour.
+    let pattern: Vec<f64> = (0..words).map(|i| (me * 1000 + i) as f64).collect();
+    rt.put_f64s(&pattern, bases[(me + 1) % n]).unwrap();
+    rt.barrier();
+
+    // Phase 2: random accumulates into rank 0 (deterministic per rank).
+    for _ in 0..10 {
+        let off = rng.gen_range(0..words - 8);
+        rt.acc_f64s(2.0, &[1.0; 8], bases[0].offset(off * 8))
+            .unwrap();
+    }
+    rt.barrier();
+
+    // Phase 3: strided put of a 4x4 f64 block into rank 0's tail half,
+    // only from rank n-1 (deterministic).
+    if me == n - 1 {
+        let block: Vec<u8> = armci::acc::f64s_to_bytes(&[7.5; 16]);
+        rt.put_strided(&block, &[32], bases[0].offset(words * 4), &[64], &[32, 4])
+            .unwrap();
+    }
+    rt.barrier();
+
+    // Phase 4: fetch-add token ring.
+    let counter = bases[0].offset((words - 1) * 8);
+    let _ = rt.rmw(RmwOp::FetchAdd(1), counter).unwrap();
+    rt.barrier();
+
+    // Phase 5: IOV gather of four slots from rank 0 into rank 1.
+    if me == 1 {
+        let desc = IovDesc {
+            rank: bases[0].rank,
+            bytes: 8,
+            local_offsets: vec![0, 8, 16, 24],
+            remote_addrs: vec![
+                bases[0].addr,
+                bases[0].addr + 16,
+                bases[0].addr + 32,
+                bases[0].addr + 64,
+            ],
+        };
+        let mut four = vec![0u8; 32];
+        rt.get_iov(&desc, &mut four).unwrap();
+        rt.put(&four, bases[2]).unwrap();
+    }
+    rt.barrier();
+
+    // Digest: rank 0 reads everything relevant.
+    let digest = if me == 0 {
+        let mut d = rt.get_f64s(bases[0], words).unwrap();
+        d.extend(rt.get_f64s(bases[1], words).unwrap());
+        d.extend(rt.get_f64s(bases[2], 4).unwrap());
+        d
+    } else {
+        Vec::new()
+    };
+    rt.barrier();
+    rt.free(bases[me]).unwrap();
+    let _ = p;
+    digest
+}
+
+#[test]
+fn mixed_workload_identical_across_backends() {
+    let n = 4;
+    let on_mpi = Runtime::run_with(n, quiet(), |p| {
+        let rt = ArmciMpi::new(p);
+        scenario(p, &rt, 42)
+    });
+    let on_native = Runtime::run_with(n, quiet(), |p| {
+        let rt = ArmciNative::new(p);
+        scenario(p, &rt, 42)
+    });
+    assert!(!on_mpi[0].is_empty());
+    assert_eq!(on_mpi[0], on_native[0]);
+}
+
+#[test]
+fn native_rmw_unique_under_contention() {
+    let n = 6;
+    let iters = 40;
+    let results = Runtime::run_with(n, quiet(), move |p| {
+        let rt = ArmciNative::new(p);
+        let bases = rt.malloc(8).unwrap();
+        rt.barrier();
+        let mut got = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            got.push(rt.fetch_add(bases[0], 1).unwrap());
+        }
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+        got
+    });
+    let mut all: Vec<i64> = results.into_iter().flatten().collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..(n * iters) as i64).collect::<Vec<_>>());
+}
+
+#[test]
+fn native_mutex_protects_counter() {
+    let n = 5;
+    let iters = 20;
+    Runtime::run_with(n, quiet(), move |p| {
+        let rt = ArmciNative::new(p);
+        let bases = rt.malloc(8).unwrap();
+        let h = rt.create_mutexes(1).unwrap();
+        rt.barrier();
+        for _ in 0..iters {
+            rt.lock_mutex(h, 0, 2).unwrap();
+            let v = rt.get_f64s(bases[0], 1).unwrap()[0];
+            rt.put_f64s(&[v + 1.0], bases[0]).unwrap();
+            rt.unlock_mutex(h, 0, 2).unwrap();
+        }
+        rt.barrier();
+        assert_eq!(rt.get_f64s(bases[0], 1).unwrap()[0], (n * iters) as f64);
+        rt.barrier();
+        rt.destroy_mutexes(h).unwrap();
+        rt.free(bases[p.rank()]).unwrap();
+    });
+}
+
+#[test]
+fn native_strided_roundtrip() {
+    Runtime::run_with(2, quiet(), |p| {
+        let rt = ArmciNative::new(p);
+        let bases = rt.malloc(8 * 24).unwrap();
+        rt.barrier();
+        if p.rank() == 0 {
+            let mut local = vec![0u8; 8 * 16];
+            for (i, x) in local.iter_mut().enumerate() {
+                *x = (i % 251) as u8;
+            }
+            rt.put_strided(&local, &[16], bases[1], &[24], &[16, 8])
+                .unwrap();
+            let mut back = vec![0u8; 8 * 16];
+            rt.get_strided(bases[1], &[24], &mut back, &[16], &[16, 8])
+                .unwrap();
+            assert_eq!(back, local);
+        }
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+    });
+}
+
+#[test]
+fn native_faster_than_mpi_on_infiniband_contig() {
+    // Figure 3b: the aggressively tuned IB native beats ARMCI-MPI.
+    let time_one = |native: bool| -> f64 {
+        Runtime::run(2, move |p| {
+            let mut t = 0.0;
+            let size = 1 << 20;
+            macro_rules! drive {
+                ($rt:expr) => {{
+                    let rt = $rt;
+                    let bases = rt.malloc(size).unwrap();
+                    rt.barrier();
+                    if p.rank() == 0 {
+                        let buf = vec![1u8; size];
+                        let t0 = p.clock().now();
+                        rt.put(&buf, bases[1]).unwrap();
+                        t = p.clock().now() - t0;
+                    }
+                    rt.barrier();
+                    rt.free(bases[p.rank()]).unwrap();
+                }};
+            }
+            if native {
+                drive!(ArmciNative::new(p));
+            } else {
+                drive!(ArmciMpi::new(p));
+            }
+            t
+        })[0]
+    };
+    let t_native = time_one(true);
+    let t_mpi = time_one(false);
+    assert!(
+        t_native < t_mpi,
+        "native {t_native} should beat MPI {t_mpi} on InfiniBand"
+    );
+}

@@ -1,0 +1,222 @@
+//! Scaled accumulate kinds and their element-wise combine.
+//!
+//! ARMCI accumulates compute `dst[i] += scale * src[i]` for a typed view of
+//! the byte buffers (the C API's `ARMCI_ACC_INT/LNG/FLT/DBL` with a scale
+//! argument). Both backends share this combine; `armci-mpi` additionally
+//! uses [`AccKind::prescale`] to reduce a scaled accumulate to MPI's
+//! unscaled `MPI_SUM` accumulate, as the paper's implementation does.
+
+use crate::error::{ArmciError, ArmciResult};
+
+/// Accumulate element kind with embedded scale factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccKind {
+    /// 32-bit signed integers (`ARMCI_ACC_INT`).
+    Int(i32),
+    /// 64-bit signed integers (`ARMCI_ACC_LNG`).
+    Long(i64),
+    /// 32-bit floats (`ARMCI_ACC_FLT`).
+    Float(f32),
+    /// 64-bit doubles (`ARMCI_ACC_DBL`).
+    Double(f64),
+}
+
+impl AccKind {
+    /// Element width in bytes.
+    pub fn elem_size(&self) -> usize {
+        match self {
+            AccKind::Int(_) | AccKind::Float(_) => 4,
+            AccKind::Long(_) | AccKind::Double(_) => 8,
+        }
+    }
+
+    /// Is the scale the multiplicative identity?
+    pub fn is_unit_scale(&self) -> bool {
+        match self {
+            AccKind::Int(s) => *s == 1,
+            AccKind::Long(s) => *s == 1,
+            AccKind::Float(s) => *s == 1.0,
+            AccKind::Double(s) => *s == 1.0,
+        }
+    }
+
+    /// Validates that a buffer length is element-aligned.
+    pub fn check_len(&self, len: usize) -> ArmciResult<()> {
+        if !len.is_multiple_of(self.elem_size()) {
+            return Err(ArmciError::BadDescriptor(format!(
+                "accumulate length {len} not a multiple of element size {}",
+                self.elem_size()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Returns `scale * src` as a fresh byte vector (used by ARMCI-MPI to
+    /// stage scaled operands before an unscaled MPI accumulate).
+    pub fn prescale(&self, src: &[u8]) -> ArmciResult<Vec<u8>> {
+        self.check_len(src.len())?;
+        let mut out = src.to_vec();
+        if self.is_unit_scale() {
+            return Ok(out);
+        }
+        macro_rules! scale {
+            ($ty:ty, $w:expr, $s:expr) => {
+                for chunk in out.chunks_exact_mut($w) {
+                    let v = <$ty>::from_le_bytes(chunk[..$w].try_into().unwrap());
+                    let r = v * $s;
+                    chunk.copy_from_slice(&r.to_le_bytes());
+                }
+            };
+        }
+        match *self {
+            AccKind::Int(s) => scale!(i32, 4, s),
+            AccKind::Long(s) => scale!(i64, 8, s),
+            AccKind::Float(s) => scale!(f32, 4, s),
+            AccKind::Double(s) => scale!(f64, 8, s),
+        }
+        Ok(out)
+    }
+
+    /// In-place combine: `dst[i] += scale * src[i]`.
+    pub fn apply(&self, dst: &mut [u8], src: &[u8]) -> ArmciResult<()> {
+        if dst.len() != src.len() {
+            return Err(ArmciError::BadDescriptor(format!(
+                "accumulate length mismatch: dst {} vs src {}",
+                dst.len(),
+                src.len()
+            )));
+        }
+        self.check_len(dst.len())?;
+        macro_rules! combine {
+            ($ty:ty, $w:expr, $s:expr) => {
+                for (d, s_) in dst.chunks_exact_mut($w).zip(src.chunks_exact($w)) {
+                    let a = <$ty>::from_le_bytes(d[..$w].try_into().unwrap());
+                    let b = <$ty>::from_le_bytes(s_[..$w].try_into().unwrap());
+                    let r = a + b * $s;
+                    d.copy_from_slice(&r.to_le_bytes());
+                }
+            };
+        }
+        match *self {
+            AccKind::Int(s) => combine!(i32, 4, s),
+            AccKind::Long(s) => combine!(i64, 8, s),
+            AccKind::Float(s) => combine!(f32, 4, s),
+            AccKind::Double(s) => combine!(f64, 8, s),
+        }
+        Ok(())
+    }
+
+    /// The matching `mpisim` element type (scale handled by prescaling).
+    pub fn mpi_elem(&self) -> mpisim::ElemType {
+        match self {
+            AccKind::Int(_) => mpisim::ElemType::I32,
+            AccKind::Long(_) => mpisim::ElemType::I64,
+            AccKind::Float(_) => mpisim::ElemType::F32,
+            AccKind::Double(_) => mpisim::ElemType::F64,
+        }
+    }
+}
+
+/// Encodes a slice of f64 as little-endian bytes (test & example helper).
+pub fn f64s_to_bytes(xs: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(xs.len() * 8);
+    for &x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes little-endian bytes as f64s (test & example helper).
+pub fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_sizes() {
+        assert_eq!(AccKind::Int(1).elem_size(), 4);
+        assert_eq!(AccKind::Long(1).elem_size(), 8);
+        assert_eq!(AccKind::Float(1.0).elem_size(), 4);
+        assert_eq!(AccKind::Double(1.0).elem_size(), 8);
+    }
+
+    #[test]
+    fn prescale_doubles() {
+        let src = f64s_to_bytes(&[1.0, -2.0, 0.5]);
+        let out = AccKind::Double(2.0).prescale(&src).unwrap();
+        assert_eq!(bytes_to_f64s(&out), vec![2.0, -4.0, 1.0]);
+    }
+
+    #[test]
+    fn prescale_unit_is_identity() {
+        let src = f64s_to_bytes(&[3.25]);
+        assert_eq!(AccKind::Double(1.0).prescale(&src).unwrap(), src);
+    }
+
+    #[test]
+    fn apply_scaled_sum_f64() {
+        let mut dst = f64s_to_bytes(&[10.0, 20.0]);
+        let src = f64s_to_bytes(&[1.0, 2.0]);
+        AccKind::Double(3.0).apply(&mut dst, &src).unwrap();
+        assert_eq!(bytes_to_f64s(&dst), vec![13.0, 26.0]);
+    }
+
+    #[test]
+    fn apply_int_kinds() {
+        let mut dst = 5i32.to_le_bytes().to_vec();
+        AccKind::Int(2)
+            .apply(&mut dst, &7i32.to_le_bytes())
+            .unwrap();
+        assert_eq!(i32::from_le_bytes(dst[..4].try_into().unwrap()), 19);
+
+        let mut dst = 5i64.to_le_bytes().to_vec();
+        AccKind::Long(-1)
+            .apply(&mut dst, &7i64.to_le_bytes())
+            .unwrap();
+        assert_eq!(i64::from_le_bytes(dst[..8].try_into().unwrap()), -2);
+    }
+
+    #[test]
+    fn apply_float_kind() {
+        let mut dst = 1.5f32.to_le_bytes().to_vec();
+        AccKind::Float(2.0)
+            .apply(&mut dst, &0.25f32.to_le_bytes())
+            .unwrap();
+        assert_eq!(f32::from_le_bytes(dst[..4].try_into().unwrap()), 2.0);
+    }
+
+    #[test]
+    fn misaligned_length_rejected() {
+        assert!(AccKind::Double(1.0).check_len(12).is_err());
+        assert!(AccKind::Int(1).check_len(12).is_ok());
+        let mut dst = vec![0u8; 6];
+        let src = vec![0u8; 6];
+        assert!(AccKind::Double(1.0).apply(&mut dst, &src).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut dst = vec![0u8; 8];
+        let src = vec![0u8; 16];
+        assert!(AccKind::Double(1.0).apply(&mut dst, &src).is_err());
+    }
+
+    #[test]
+    fn prescale_then_unit_apply_equals_scaled_apply() {
+        let a0 = f64s_to_bytes(&[1.0, 2.0, 3.0]);
+        let src = f64s_to_bytes(&[0.5, 1.5, -2.5]);
+        // path 1: scaled apply
+        let mut d1 = a0.clone();
+        AccKind::Double(4.0).apply(&mut d1, &src).unwrap();
+        // path 2: prescale + unit apply (the ARMCI-MPI route)
+        let staged = AccKind::Double(4.0).prescale(&src).unwrap();
+        let mut d2 = a0;
+        AccKind::Double(1.0).apply(&mut d2, &staged).unwrap();
+        assert_eq!(d1, d2);
+    }
+}

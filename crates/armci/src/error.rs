@@ -1,0 +1,99 @@
+//! ARMCI error type.
+
+use std::fmt;
+
+/// Errors surfaced by ARMCI implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArmciError {
+    /// A global address does not fall inside any live allocation on its
+    /// process.
+    BadAddress { rank: usize, addr: usize },
+    /// Access extends past the end of the allocation.
+    OutOfBounds {
+        rank: usize,
+        addr: usize,
+        len: usize,
+        limit: usize,
+    },
+    /// The calling process is not a member of the group for a collective.
+    NotInGroup,
+    /// A descriptor is malformed (mismatched lengths, zero segment size…).
+    BadDescriptor(String),
+    /// Mutex API misuse (unlock without lock, unknown handle…).
+    MutexMisuse(String),
+    /// The underlying MPI runtime reported an error.
+    Mpi(mpisim::MpiError),
+    /// Operation not supported by this implementation/configuration.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for ArmciError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArmciError::BadAddress { rank, addr } => {
+                write!(
+                    f,
+                    "address {addr:#x} on process {rank} is not globally accessible"
+                )
+            }
+            ArmciError::OutOfBounds {
+                rank,
+                addr,
+                len,
+                limit,
+            } => write!(
+                f,
+                "access [{addr:#x}..{:#x}) exceeds allocation end {limit:#x} on process {rank}",
+                addr + len
+            ),
+            ArmciError::NotInGroup => write!(f, "caller is not a member of the group"),
+            ArmciError::BadDescriptor(msg) => write!(f, "bad descriptor: {msg}"),
+            ArmciError::MutexMisuse(msg) => write!(f, "mutex misuse: {msg}"),
+            ArmciError::Mpi(e) => write!(f, "MPI error: {e}"),
+            ArmciError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArmciError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArmciError::Mpi(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mpisim::MpiError> for ArmciError {
+    fn from(e: mpisim::MpiError) -> Self {
+        ArmciError::Mpi(e)
+    }
+}
+
+/// Convenience alias.
+pub type ArmciResult<T> = Result<T, ArmciError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_fields() {
+        let e = ArmciError::OutOfBounds {
+            rank: 2,
+            addr: 0x10,
+            len: 0x20,
+            limit: 0x18,
+        };
+        let s = e.to_string();
+        assert!(s.contains("process 2"));
+        assert!(s.contains("0x30"));
+    }
+
+    #[test]
+    fn mpi_error_wraps_with_source() {
+        use std::error::Error;
+        let e: ArmciError = mpisim::MpiError::WinFreed.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,70 @@
+//! ARMCI processor groups (§IV).
+//!
+//! ARMCI groups are thin wrappers over communicators. Communication
+//! operations always address **absolute** process ids (world ranks), so a
+//! group's main job is the `ARMCI_Absolute_id` translation between group
+//! ranks and absolute ids.
+
+use crate::error::{ArmciError, ArmciResult};
+use mpisim::Comm;
+
+/// A processor group backed by a communicator.
+#[derive(Clone, Debug)]
+pub struct ArmciGroup {
+    comm: Comm,
+}
+
+impl ArmciGroup {
+    /// Wraps a communicator.
+    pub fn from_comm(comm: Comm) -> ArmciGroup {
+        ArmciGroup { comm }
+    }
+
+    /// The backing communicator.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// This process's rank within the group.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Number of group members.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// `ARMCI_Absolute_id`: translates a group rank to the absolute
+    /// process id used by communication operations.
+    pub fn absolute_id(&self, group_rank: usize) -> ArmciResult<usize> {
+        if group_rank >= self.size() {
+            return Err(ArmciError::BadDescriptor(format!(
+                "group rank {group_rank} out of range (size {})",
+                self.size()
+            )));
+        }
+        Ok(self.comm.world_rank_of(group_rank))
+    }
+
+    /// Reverse translation: absolute id to group rank, if a member.
+    pub fn group_rank_of(&self, absolute: usize) -> Option<usize> {
+        self.comm.comm_rank_of_world(absolute)
+    }
+
+    /// Group barrier.
+    pub fn barrier(&self) {
+        self.comm.barrier();
+    }
+
+    /// Collective subgroup creation by split (colour/key semantics).
+    pub fn split(&self, color: i64, key: i64) -> Option<ArmciGroup> {
+        self.comm.split(color, key).map(ArmciGroup::from_comm)
+    }
+
+    /// Noncollective subgroup creation: only the listed members (group
+    /// ranks, strictly sorted) call this.
+    pub fn create_noncollective(&self, members: &[usize]) -> ArmciGroup {
+        ArmciGroup::from_comm(self.comm.create_noncollective(members))
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion bench: end-to-end regeneration cost of each paper artifact.
+//! One benchmark per table/figure, so `cargo bench` exercises every
+//! experiment's full pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::PlatformId;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_render", |b| {
+        b.iter(|| black_box(bench::table2::render()).len())
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_generate");
+    g.sample_size(10);
+    g.bench_function("infiniband", |b| {
+        b.iter(|| bench::fig3::generate(black_box(PlatformId::InfiniBandCluster)).len())
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_generate");
+    g.sample_size(10);
+    g.bench_function("cray_xe6", |b| {
+        b.iter(|| bench::fig4::generate(black_box(PlatformId::CrayXE6)).len())
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_generate", |b| {
+        b.iter(|| bench::fig5::generate().len())
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_generate");
+    g.sample_size(10);
+    g.bench_function("cray_xe6", |b| {
+        b.iter(|| bench::fig6r::generate(black_box(PlatformId::CrayXE6)).len())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6
+);
+criterion_main!(benches);

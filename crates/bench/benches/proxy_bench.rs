@@ -1,0 +1,79 @@
+//! Criterion bench: the executable NWChem proxy end to end on both ARMCI
+//! backends — the Figure 6 workload at laptop scale, wall-clock.
+
+use armci_mpi::ArmciMpi;
+use armci_native::ArmciNative;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpisim::{Runtime, RuntimeConfig};
+use nwchem_proxy::{run_ccsd, run_triples, CcsdConfig};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        semantic_checks: false,
+        ..Default::default()
+    }
+}
+
+fn bench_ccsd(c: &mut Criterion) {
+    let cfg = CcsdConfig {
+        no: 4,
+        nv: 8,
+        tile_o: 2,
+        tile_v: 4,
+        iterations: 1,
+    };
+    let mut g = c.benchmark_group("ccsd_proxy");
+    g.sample_size(10);
+    for backend in ["armci-mpi", "armci-native"] {
+        g.bench_with_input(BenchmarkId::from_parameter(backend), &backend, |b, &be| {
+            b.iter(|| {
+                Runtime::run_with(4, quiet(), move |p| {
+                    if be == "armci-mpi" {
+                        run_ccsd(p, &ArmciMpi::new(p), &cfg).energy
+                    } else {
+                        run_ccsd(p, &ArmciNative::new(p), &cfg).energy
+                    }
+                })[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_triples(c: &mut Criterion) {
+    let cfg = CcsdConfig {
+        no: 4,
+        nv: 8,
+        tile_o: 2,
+        tile_v: 4,
+        iterations: 1,
+    };
+    let mut g = c.benchmark_group("triples_proxy");
+    g.sample_size(10);
+    g.bench_function("armci-mpi", |b| {
+        b.iter(|| {
+            Runtime::run_with(4, quiet(), move |p| {
+                run_triples(p, &ArmciMpi::new(p), &cfg).energy
+            })[0]
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6_des(c: &mut Criterion) {
+    // the discrete-event simulator at full scale (12288 procs, 13456 tasks)
+    use nwchem_proxy::{Backend, ProxyPhase};
+    let mut g = c.benchmark_group("scalesim_des");
+    g.sample_size(10);
+    g.bench_function("xt5_12288_cores", |b| {
+        let platform = simnet::Platform::get(simnet::PlatformId::CrayXT5);
+        b.iter(|| {
+            scalesim::fig6::point(&platform, Backend::ArmciMpi, ProxyPhase::Ccsd, 12288).minutes
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ccsd, bench_triples, bench_fig6_des);
+criterion_main!(benches);

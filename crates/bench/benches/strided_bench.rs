@@ -1,0 +1,66 @@
+//! Criterion bench: wall-clock cost of the ARMCI-MPI strided methods on
+//! the simulator (implementation overhead, not modelled network time).
+
+use armci::{Armci, StridedMethod};
+use armci_mpi::{ArmciMpi, Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpisim::{Runtime, RuntimeConfig};
+use std::hint::black_box;
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        semantic_checks: false,
+        ..Default::default()
+    }
+}
+
+fn bench_strided_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("armci_mpi_strided_wallclock");
+    g.sample_size(20);
+    for method in [
+        StridedMethod::IovConservative,
+        StridedMethod::IovBatched { batch: 0 },
+        StridedMethod::IovDatatype,
+        StridedMethod::Direct,
+        StridedMethod::Auto,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{method:?}")),
+            &method,
+            |b, &method| {
+                b.iter(|| {
+                    let cfg = Config {
+                        strided: method,
+                        iov: method,
+                        ..Default::default()
+                    };
+                    Runtime::run_with(2, quiet(), move |p| {
+                        let rt = ArmciMpi::with_config(p, cfg.clone());
+                        let bases = rt.malloc(256 * 64).unwrap();
+                        rt.barrier();
+                        if p.rank() == 0 {
+                            let local = vec![1u8; 256 * 16];
+                            for _ in 0..8 {
+                                rt.put_strided(
+                                    black_box(&local),
+                                    &[16],
+                                    bases[1],
+                                    &[64],
+                                    &[16, 256],
+                                )
+                                .unwrap();
+                            }
+                        }
+                        rt.barrier();
+                        rt.free(bases[p.rank()]).unwrap();
+                    });
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strided_methods);
+criterion_main!(benches);

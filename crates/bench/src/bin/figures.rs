@@ -1,0 +1,95 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [table2|fig3|fig4|fig5|fig6|all] [--json DIR]
+//! ```
+//!
+//! Text goes to stdout; with `--json DIR`, machine-readable data is also
+//! written to `DIR/<artifact>.json`.
+
+use bench::{fig3, fig4, fig5, fig6r, table2};
+use simnet::PlatformId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut what = "all".to_string();
+    let mut json_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                json_dir = Some(it.next().expect("--json needs a directory").clone());
+            }
+            other => what = other.to_string(),
+        }
+    }
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+    }
+    let dump = |name: &str, data: &str| {
+        if let Some(dir) = &json_dir {
+            std::fs::write(format!("{dir}/{name}.json"), data).expect("write json");
+        }
+    };
+
+    let all = what == "all";
+    if all || what == "table2" {
+        println!("{}", table2::render());
+    }
+    if all || what == "fig3" {
+        let mut everything = Vec::new();
+        for id in PlatformId::ALL {
+            eprintln!("[figures] fig3: {}", id.name());
+            let series = fig3::generate(id);
+            print!("{}", fig3::render(&series));
+            everything.extend(series);
+        }
+        dump("fig3", &serde_json::to_string_pretty(&everything).unwrap());
+    }
+    if all || what == "fig4" {
+        let mut everything = Vec::new();
+        for id in PlatformId::ALL {
+            eprintln!("[figures] fig4: {}", id.name());
+            let series = fig4::generate(id);
+            print!("{}", fig4::render(&series));
+            everything.extend(series);
+        }
+        dump("fig4", &serde_json::to_string_pretty(&everything).unwrap());
+    }
+    if all || what == "fig5" {
+        eprintln!("[figures] fig5");
+        let series = fig5::generate();
+        print!("{}", fig5::render(&series));
+        dump("fig5", &serde_json::to_string_pretty(&series).unwrap());
+    }
+    if all || what == "ds" {
+        eprintln!("[figures] ds comparison");
+        let rows = bench::ds_compare::generate(PlatformId::InfiniBandCluster);
+        let nx = bench::ds_compare::nxtval_latency(PlatformId::InfiniBandCluster, 4);
+        print!("{}", bench::ds_compare::render(&rows, nx));
+        dump("ds_compare", &serde_json::to_string_pretty(&rows).unwrap());
+    }
+    if all || what == "fig6-ablation" {
+        let mut everything = Vec::new();
+        for id in [PlatformId::InfiniBandCluster, PlatformId::CrayXE6] {
+            eprintln!("[figures] fig6-ablation: {}", id.name());
+            let series = fig6r::generate_ablation(id);
+            print!("{}", fig6r::render(&series));
+            everything.extend(series);
+        }
+        dump(
+            "fig6_ablation",
+            &serde_json::to_string_pretty(&everything).unwrap(),
+        );
+    }
+    if all || what == "fig6" {
+        let mut everything = Vec::new();
+        for id in PlatformId::ALL {
+            eprintln!("[figures] fig6: {}", id.name());
+            let series = fig6r::generate(id);
+            print!("{}", fig6r::render(&series));
+            everything.extend(series);
+        }
+        dump("fig6", &serde_json::to_string_pretty(&everything).unwrap());
+    }
+}

@@ -1,0 +1,189 @@
+//! Figure 3: bandwidth of contiguous ARMCI get/put/accumulate over a
+//! range of transfer sizes, ARMCI-MPI vs ARMCI-Native, on all four
+//! platforms.
+
+use armci::{AccKind, Armci};
+use armci_mpi::ArmciMpi;
+use armci_native::ArmciNative;
+use mpisim::{Runtime, RuntimeConfig};
+use serde::Serialize;
+use simnet::PlatformId;
+
+/// Backend label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Impl {
+    Native,
+    Mpi,
+}
+
+/// One bandwidth curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    pub platform: PlatformId,
+    pub backend: Impl,
+    pub op: &'static str,
+    /// `(transfer bytes, bandwidth bytes/sec)`
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Transfer sizes: powers of two, 1 B … 32 MiB (the paper sweeps
+/// 2⁰…2²⁵).
+pub fn sizes() -> Vec<usize> {
+    (0..=25).map(|k| 1usize << k).collect()
+}
+
+/// Measures all six curves for one platform. The benchmark topology is
+/// the paper's: one origin (rank 0), one target (rank 1), virtual time.
+pub fn generate(platform: PlatformId) -> Vec<Series> {
+    let mut out = Vec::new();
+    for backend in [Impl::Native, Impl::Mpi] {
+        let cfg = RuntimeConfig::on_platform(platform);
+        let curves = Runtime::run_with(2, cfg, move |p| {
+            macro_rules! drive {
+                ($rt:expr) => {{
+                    let rt = $rt;
+                    measure(p, &rt)
+                }};
+            }
+            match backend {
+                Impl::Native => drive!(ArmciNative::new(p)),
+                Impl::Mpi => drive!(ArmciMpi::new(p)),
+            }
+        })
+        .swap_remove(0);
+        for (op, points) in curves {
+            out.push(Series {
+                platform,
+                backend,
+                op,
+                points,
+            });
+        }
+    }
+    out
+}
+
+type Curves = Vec<(&'static str, Vec<(usize, f64)>)>;
+
+fn measure<A: Armci>(p: &mpisim::Proc, rt: &A) -> Curves {
+    let max = *sizes().last().unwrap();
+    let bases = rt.malloc(max).expect("malloc");
+    rt.barrier();
+    let mut curves: Curves = vec![
+        ("get", Vec::new()),
+        ("put", Vec::new()),
+        ("acc", Vec::new()),
+    ];
+    if p.rank() == 0 {
+        let mut buf = vec![0u8; max];
+        for &size in &sizes() {
+            // Accumulate needs element alignment; skip sub-element sizes
+            // for acc like the paper's double-precision accumulate.
+            for (op, points) in curves.iter_mut() {
+                let reps = 3;
+                let t0 = p.clock().now();
+                for _ in 0..reps {
+                    match *op {
+                        "get" => rt.get(bases[1], &mut buf[..size]).unwrap(),
+                        "put" => rt.put(&buf[..size], bases[1]).unwrap(),
+                        "acc" => {
+                            if size >= 8 {
+                                rt.acc(AccKind::Double(1.0), &buf[..size & !7], bases[1])
+                                    .unwrap();
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                let dt = (p.clock().now() - t0) / reps as f64;
+                if *op != "acc" || size >= 8 {
+                    points.push((size, size as f64 / dt));
+                }
+            }
+        }
+    }
+    rt.barrier();
+    rt.free(bases[p.rank()]).unwrap();
+    curves
+}
+
+/// Renders the figure as aligned text (one block per backend/op).
+pub fn render(all: &[Series]) -> String {
+    let mut s = String::new();
+    for series in all {
+        s.push_str(&format!(
+            "# Figure 3 — {} — {:?} {}\n# bytes, GB/s\n",
+            series.platform.name(),
+            series.backend,
+            series.op
+        ));
+        for &(bytes, bw) in &series.points {
+            s.push_str(&format!(
+                "{:>10}  {:>8}\n",
+                crate::fmt_bytes(bytes),
+                crate::fmt_gbps(bw)
+            ));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve<'a>(all: &'a [Series], backend: Impl, op: &str) -> &'a Series {
+        all.iter()
+            .find(|s| s.backend == backend && s.op == op)
+            .expect("curve present")
+    }
+
+    fn peak(s: &Series) -> f64 {
+        s.points.iter().map(|&(_, bw)| bw).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn infiniband_shapes_match_paper() {
+        let all = generate(PlatformId::InfiniBandCluster);
+        assert_eq!(all.len(), 6);
+        // native ≥ MPI for get/put; acc gap > 1.5 GB/s
+        let nat_get = peak(curve(&all, Impl::Native, "get"));
+        let mpi_get = peak(curve(&all, Impl::Mpi, "get"));
+        assert!(nat_get > mpi_get);
+        let gap = peak(curve(&all, Impl::Native, "acc")) - peak(curve(&all, Impl::Mpi, "acc"));
+        assert!(gap > 1.5e9, "acc gap {gap}");
+        // bandwidth grows with size
+        let g = curve(&all, Impl::Mpi, "get");
+        assert!(g.points.first().unwrap().1 < g.points.last().unwrap().1);
+    }
+
+    #[test]
+    fn blue_gene_mpi_close_behind_native() {
+        let all = generate(PlatformId::BlueGeneP);
+        let r = peak(curve(&all, Impl::Mpi, "get")) / peak(curve(&all, Impl::Native, "get"));
+        assert!(r > 0.8 && r < 1.0, "BG/P get ratio {r}");
+        // acc clearly behind
+        let racc = peak(curve(&all, Impl::Mpi, "acc")) / peak(curve(&all, Impl::Native, "acc"));
+        assert!(racc < 0.75, "BG/P acc ratio {racc}");
+    }
+
+    #[test]
+    fn cray_xe_mpi_beats_native() {
+        let all = generate(PlatformId::CrayXE6);
+        let r = peak(curve(&all, Impl::Mpi, "put")) / peak(curve(&all, Impl::Native, "put"));
+        assert!(r > 1.7, "XE put ratio {r}");
+    }
+
+    #[test]
+    fn cray_xt_mpi_half_bandwidth_beyond_32k() {
+        let all = generate(PlatformId::CrayXT5);
+        let m = curve(&all, Impl::Mpi, "get");
+        let n = curve(&all, Impl::Native, "get");
+        let at = |s: &Series, sz: usize| s.points.iter().find(|&&(b, _)| b == sz).unwrap().1;
+        let small_ratio = at(m, 16 << 10) / at(n, 16 << 10);
+        let big_ratio = at(m, 8 << 20) / at(n, 8 << 20);
+        assert!(small_ratio > 0.7, "small {small_ratio}");
+        assert!(big_ratio < 0.6, "big {big_ratio}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Figure 4: strided bandwidth for the four ARMCI-MPI methods and native
+//! ARMCI, with contiguous segments of 16 B and 1 KiB and 1…1024 segments.
+
+use armci::{AccKind, Armci, StridedMethod};
+use armci_mpi::{ArmciMpi, Config};
+use armci_native::ArmciNative;
+use mpisim::{Runtime, RuntimeConfig};
+use serde::Serialize;
+use simnet::PlatformId;
+
+/// The five plotted methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Method {
+    Native,
+    Direct,
+    IovDirect,
+    IovBatched,
+    IovConservative,
+}
+
+impl Method {
+    /// All methods in the figure's legend order.
+    pub const ALL: [Method; 5] = [
+        Method::Native,
+        Method::Direct,
+        Method::IovDirect,
+        Method::IovBatched,
+        Method::IovConservative,
+    ];
+
+    fn armci_mpi_config(self) -> Option<Config> {
+        let strided = match self {
+            Method::Native => return None,
+            Method::Direct => StridedMethod::Direct,
+            Method::IovDirect => StridedMethod::IovDatatype,
+            Method::IovBatched => StridedMethod::IovBatched { batch: 0 },
+            Method::IovConservative => StridedMethod::IovConservative,
+        };
+        Some(Config {
+            strided,
+            iov: strided,
+            ..Default::default()
+        })
+    }
+
+    /// Legend label as in the figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Native => "Native",
+            Method::Direct => "Direct",
+            Method::IovDirect => "IOV-Direct",
+            Method::IovBatched => "IOV-Batched",
+            Method::IovConservative => "IOV-Consrv",
+        }
+    }
+}
+
+/// One curve: bandwidth vs segment count.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    pub platform: PlatformId,
+    pub method: Method,
+    pub op: &'static str,
+    pub seg_size: usize,
+    /// `(number of segments, bandwidth bytes/sec)`
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Segment counts: 2⁰ … 2¹⁰.
+pub fn seg_counts() -> Vec<usize> {
+    (0..=10).map(|k| 1usize << k).collect()
+}
+
+/// The two plotted segment sizes.
+pub const SEG_SIZES: [usize; 2] = [16, 1024];
+
+/// Measures all curves for one platform.
+pub fn generate(platform: PlatformId) -> Vec<Series> {
+    let mut out = Vec::new();
+    for method in Method::ALL {
+        let cfg = RuntimeConfig::on_platform(platform);
+        let curves = Runtime::run_with(2, cfg, move |p| match method.armci_mpi_config() {
+            None => measure(p, &ArmciNative::new(p)),
+            Some(c) => measure(p, &ArmciMpi::with_config(p, c)),
+        })
+        .swap_remove(0);
+        for (op, seg_size, points) in curves {
+            out.push(Series {
+                platform,
+                method,
+                op,
+                seg_size,
+                points,
+            });
+        }
+    }
+    out
+}
+
+type Curves = Vec<(&'static str, usize, Vec<(usize, f64)>)>;
+
+fn measure<A: Armci>(p: &mpisim::Proc, rt: &A) -> Curves {
+    let max_segs = *seg_counts().last().unwrap();
+    let max_seg_size = SEG_SIZES[1];
+    // Remote layout: segments of `seg` bytes strided at `2·seg` (50% dense)
+    let bases = rt.malloc(max_segs * max_seg_size * 2).expect("malloc");
+    rt.barrier();
+    let mut curves: Curves = Vec::new();
+    for &seg in &SEG_SIZES {
+        for op in ["get", "acc", "put"] {
+            let mut points = Vec::new();
+            if p.rank() == 0 {
+                let mut local = vec![1u8; max_segs * seg];
+                for &n in &seg_counts() {
+                    let count = [seg, n];
+                    let lstr = [seg]; // dense local
+                    let rstr = [2 * seg]; // strided remote
+                    let reps = 2;
+                    let t0 = p.clock().now();
+                    for _ in 0..reps {
+                        match op {
+                            "get" => rt
+                                .get_strided(bases[1], &rstr, &mut local[..n * seg], &lstr, &count)
+                                .unwrap(),
+                            "put" => rt
+                                .put_strided(&local[..n * seg], &lstr, bases[1], &rstr, &count)
+                                .unwrap(),
+                            "acc" => rt
+                                .acc_strided(
+                                    AccKind::Double(1.0),
+                                    &local[..n * seg],
+                                    &lstr,
+                                    bases[1],
+                                    &rstr,
+                                    &count,
+                                )
+                                .unwrap(),
+                            _ => unreachable!(),
+                        }
+                    }
+                    let dt = (p.clock().now() - t0) / reps as f64;
+                    points.push((n, (n * seg) as f64 / dt));
+                }
+            }
+            curves.push((op, seg, points));
+        }
+    }
+    rt.barrier();
+    rt.free(bases[p.rank()]).unwrap();
+    curves
+}
+
+/// Renders the figure as aligned text.
+pub fn render(all: &[Series]) -> String {
+    let mut s = String::new();
+    for series in all {
+        s.push_str(&format!(
+            "# Figure 4 — {} — {} {} SIZE={}B\n# segments, GB/s\n",
+            series.platform.name(),
+            series.method.label(),
+            series.op,
+            series.seg_size
+        ));
+        for &(n, bw) in &series.points {
+            s.push_str(&format!("{n:>6}  {:>8}\n", crate::fmt_gbps(bw)));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw(all: &[Series], m: Method, op: &str, seg: usize, n: usize) -> f64 {
+        all.iter()
+            .find(|s| s.method == m && s.op == op && s.seg_size == seg)
+            .and_then(|s| s.points.iter().find(|&&(k, _)| k == n))
+            .map(|&(_, b)| b)
+            .expect("point present")
+    }
+
+    #[test]
+    fn infiniband_batched_collapses_for_many_segments() {
+        // The MVAPICH2 batched-op issue (paper: "performance of the
+        // batched transfer method suffers severely").
+        let all = generate(PlatformId::InfiniBandCluster);
+        let few = bw(&all, Method::IovBatched, "put", 1024, 4);
+        let many = bw(&all, Method::IovBatched, "put", 1024, 1024);
+        // bandwidth per segment collapses: many-segment bw falls below
+        // the 4-segment bw despite 256× the payload
+        assert!(many < few * 2.0, "few {few} many {many}");
+        // and direct datatypes overtake batched at high segment counts
+        let direct_many = bw(&all, Method::IovDirect, "put", 16, 1024);
+        let batched_many = bw(&all, Method::IovBatched, "put", 16, 1024);
+        assert!(direct_many > batched_many);
+    }
+
+    #[test]
+    fn bgp_direct_wins_small_segments_batched_wins_large() {
+        let all = generate(PlatformId::BlueGeneP);
+        // 16 B segments: datatype packing wins
+        let d16 = bw(&all, Method::Direct, "put", 16, 1024);
+        let b16 = bw(&all, Method::IovBatched, "put", 16, 1024);
+        assert!(d16 > b16, "16B: direct {d16} batched {b16}");
+        // 1 KiB segments: slow cores make packing lose; batched is nearer
+        // native
+        let d1k = bw(&all, Method::Direct, "put", 1024, 1024);
+        let b1k = bw(&all, Method::IovBatched, "put", 1024, 1024);
+        let n1k = bw(&all, Method::Native, "put", 1024, 1024);
+        assert!(b1k > d1k, "1KiB: batched {b1k} direct {d1k}");
+        assert!(b1k > 0.5 * n1k, "batched {b1k} vs native {n1k}");
+    }
+
+    #[test]
+    fn conservative_is_slowest_mpi_method_at_scale() {
+        let all = generate(PlatformId::CrayXT5);
+        for op in ["get", "put", "acc"] {
+            let cons = bw(&all, Method::IovConservative, op, 16, 1024);
+            for m in [Method::Direct, Method::IovDirect, Method::IovBatched] {
+                let other = bw(&all, m, op, 16, 1024);
+                assert!(other > cons, "{op}: {m:?} {other} vs conservative {cons}");
+            }
+        }
+    }
+
+    #[test]
+    fn cray_xe_mpi_beats_native_strided() {
+        let all = generate(PlatformId::CrayXE6);
+        let d = bw(&all, Method::Direct, "get", 1024, 1024);
+        let n = bw(&all, Method::Native, "get", 1024, 1024);
+        assert!(d > n, "XE strided: direct {d} vs native {n}");
+    }
+
+    #[test]
+    fn single_segment_methods_agree_roughly() {
+        // With one segment, all MPI methods issue one op in one epoch, so
+        // their bandwidths should be within a small factor.
+        let all = generate(PlatformId::InfiniBandCluster);
+        let vals: Vec<f64> = [
+            Method::Direct,
+            Method::IovDirect,
+            Method::IovBatched,
+            Method::IovConservative,
+        ]
+        .iter()
+        .map(|&m| bw(&all, m, "put", 1024, 1))
+        .collect();
+        let mx = vals.iter().fold(0.0f64, |a, &b| a.max(b));
+        let mn = vals.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(mx / mn < 2.0, "spread too large: {vals:?}");
+    }
+}

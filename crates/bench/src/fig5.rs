@@ -1,0 +1,175 @@
+//! Figure 5: interoperability — contiguous get bandwidth for ARMCI and
+//! MPI movers against ARMCI-allocated and MPI-touched local buffers on
+//! the InfiniBand cluster (the buffer-registration study of §VII-B).
+
+use serde::Serialize;
+use simnet::{registration::Mover, BufferKind, Platform, PlatformId, RegistrationTracker};
+
+/// The four plotted combinations, in the paper's legend order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Combo {
+    /// `ARMCI-IB, ARMCI Alloc` — native mover, prepinned buffer.
+    ArmciOnArmciAlloc,
+    /// `MPI, MPI Touch` — MPI mover, buffer registered by MPI.
+    MpiOnMpiTouch,
+    /// `ARMCI-IB, MPI Touch` — native mover forced onto its non-pinned
+    /// path.
+    ArmciOnMpiTouch,
+    /// `MPI, ARMCI Alloc` — MPI mover registering on demand.
+    MpiOnArmciAlloc,
+}
+
+impl Combo {
+    pub const ALL: [Combo; 4] = [
+        Combo::ArmciOnArmciAlloc,
+        Combo::MpiOnMpiTouch,
+        Combo::ArmciOnMpiTouch,
+        Combo::MpiOnArmciAlloc,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Combo::ArmciOnArmciAlloc => "ARMCI-IB, ARMCI Alloc",
+            Combo::MpiOnMpiTouch => "MPI, MPI Touch",
+            Combo::ArmciOnMpiTouch => "ARMCI-IB, MPI Touch",
+            Combo::MpiOnArmciAlloc => "MPI, ARMCI Alloc",
+        }
+    }
+
+    fn mover(self) -> Mover {
+        match self {
+            Combo::ArmciOnArmciAlloc | Combo::ArmciOnMpiTouch => Mover::NativeArmci,
+            _ => Mover::Mpi,
+        }
+    }
+
+    fn buffer(self) -> BufferKind {
+        match self {
+            Combo::ArmciOnArmciAlloc | Combo::MpiOnArmciAlloc => BufferKind::ArmciAlloc,
+            _ => BufferKind::MpiTouch,
+        }
+    }
+}
+
+/// One curve of the figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    pub combo: Combo,
+    /// `(transfer bytes, bandwidth bytes/sec)`
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Transfer sizes 2² … 2²² bytes, as plotted.
+pub fn sizes() -> Vec<usize> {
+    (2..=22).map(|k| 1usize << k).collect()
+}
+
+/// Generates the four curves using the registration model. Each size step
+/// uses a fresh buffer id, exposing the on-demand registration cost the
+/// paper highlights for the 8 KiB–256 KiB regime.
+pub fn generate() -> Vec<Series> {
+    let platform = Platform::get(PlatformId::InfiniBandCluster);
+    Combo::ALL
+        .iter()
+        .map(|&combo| {
+            let mut tracker = RegistrationTracker::new();
+            let mover = combo.mover();
+            let link = match mover {
+                Mover::NativeArmci => &platform.native.get,
+                Mover::Mpi => &platform.mpi.get,
+            };
+            let points = sizes()
+                .iter()
+                .enumerate()
+                .map(|(i, &size)| {
+                    let buf_id = i + 1;
+                    tracker.allocate(buf_id, combo.buffer());
+                    let t = tracker.get_cost(mover, &platform.reg, link, buf_id, size);
+                    (size, size as f64 / t)
+                })
+                .collect();
+            Series { combo, points }
+        })
+        .collect()
+}
+
+/// Renders the figure as aligned text.
+pub fn render(all: &[Series]) -> String {
+    let mut s = String::from("# Figure 5 — InfiniBand registration interoperability\n");
+    for series in all {
+        s.push_str(&format!("# {}\n# bytes, GB/s\n", series.combo.label()));
+        for &(bytes, bw) in &series.points {
+            s.push_str(&format!(
+                "{:>10}  {:>8}\n",
+                crate::fmt_bytes(bytes),
+                crate::fmt_gbps(bw)
+            ));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw(all: &[Series], c: Combo, size: usize) -> f64 {
+        all.iter()
+            .find(|s| s.combo == c)
+            .and_then(|s| s.points.iter().find(|&&(b, _)| b == size))
+            .map(|&(_, v)| v)
+            .expect("point")
+    }
+
+    #[test]
+    fn native_with_own_buffer_is_best_everywhere() {
+        let all = generate();
+        for &size in &sizes() {
+            let best = bw(&all, Combo::ArmciOnArmciAlloc, size);
+            for c in [
+                Combo::MpiOnMpiTouch,
+                Combo::ArmciOnMpiTouch,
+                Combo::MpiOnArmciAlloc,
+            ] {
+                assert!(
+                    best >= bw(&all, c, size) * 0.999,
+                    "{c:?} beats native-own at {size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn native_on_foreign_buffer_has_large_gap() {
+        let all = generate();
+        let size = 4 << 20;
+        let own = bw(&all, Combo::ArmciOnArmciAlloc, size);
+        let foreign = bw(&all, Combo::ArmciOnMpiTouch, size);
+        assert!(own > 2.0 * foreign, "own {own} vs foreign {foreign}");
+    }
+
+    #[test]
+    fn mpi_on_demand_registration_dips_above_threshold() {
+        // Bounce path below 8 KiB, expensive pin right above it, recovery
+        // at large sizes.
+        let all = generate();
+        let below = bw(&all, Combo::MpiOnArmciAlloc, 4 << 10);
+        let above = bw(&all, Combo::MpiOnArmciAlloc, 16 << 10);
+        let large = bw(&all, Combo::MpiOnArmciAlloc, 4 << 20);
+        assert!(above < below, "no dip: below {below} above {above}");
+        assert!(large > above, "no recovery: large {large}");
+        // and at large sizes it converges toward the registered MPI curve
+        let touched = bw(&all, Combo::MpiOnMpiTouch, 4 << 20);
+        assert!(large > 0.5 * touched);
+    }
+
+    #[test]
+    fn four_series_full_range() {
+        let all = generate();
+        assert_eq!(all.len(), 4);
+        for s in &all {
+            assert_eq!(s.points.len(), sizes().len());
+        }
+    }
+}

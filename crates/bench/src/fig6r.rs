@@ -1,0 +1,154 @@
+//! Figure 6: NWChem CCSD and (T) execution time for ARMCI-Native and
+//! ARMCI-MPI, regenerated through the `scalesim` discrete-event model.
+
+use nwchem_proxy::{Backend, ProxyPhase};
+use scalesim::fig6::{self, Fig6Point};
+use serde::Serialize;
+use simnet::PlatformId;
+
+/// One plotted curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    pub platform: PlatformId,
+    pub backend: &'static str,
+    pub phase: &'static str,
+    /// `(cores, minutes)`
+    pub points: Vec<(usize, f64)>,
+}
+
+fn backend_label(b: Backend) -> &'static str {
+    match b {
+        Backend::ArmciMpi => "ARMCI-MPI",
+        Backend::Native => "ARMCI-Native",
+    }
+}
+
+fn phase_label(ph: ProxyPhase) -> &'static str {
+    match ph {
+        ProxyPhase::Ccsd => "CCSD",
+        ProxyPhase::Triples => "(T)",
+    }
+}
+
+/// Generates all curves for one platform.
+pub fn generate(platform: PlatformId) -> Vec<Series> {
+    let mut out = Vec::new();
+    for phase in fig6::phases(platform) {
+        for backend in [Backend::ArmciMpi, Backend::Native] {
+            let pts: Vec<(usize, f64)> = fig6::series(platform, backend, phase)
+                .into_iter()
+                .map(|Fig6Point { cores, minutes }| (cores, minutes))
+                .collect();
+            out.push(Series {
+                platform,
+                backend: backend_label(backend),
+                phase: phase_label(phase),
+                points: pts,
+            });
+        }
+    }
+    out
+}
+
+/// §VIII ablation: ARMCI-MPI with access-mode hints and MPI-3 RMW,
+/// versus the paper configuration, on one platform.
+pub fn generate_ablation(platform: PlatformId) -> Vec<Series> {
+    use scalesim::fig6::Fig6Opts;
+    let mut out = Vec::new();
+    for phase in fig6::phases(platform) {
+        out.push(Series {
+            platform,
+            backend: "ARMCI-MPI (paper)",
+            phase: phase_label(phase),
+            points: fig6::series(platform, Backend::ArmciMpi, phase)
+                .into_iter()
+                .map(|q| (q.cores, q.minutes))
+                .collect(),
+        });
+        out.push(Series {
+            platform,
+            backend: "ARMCI-MPI (+access modes)",
+            phase: phase_label(phase),
+            points: fig6::series_with(
+                platform,
+                phase,
+                Fig6Opts {
+                    access_modes: true,
+                    mpi3_rmw: false,
+                },
+            )
+            .into_iter()
+            .map(|q| (q.cores, q.minutes))
+            .collect(),
+        });
+        out.push(Series {
+            platform,
+            backend: "ARMCI-MPI (+modes, MPI-3 RMW)",
+            phase: phase_label(phase),
+            points: fig6::series_with(
+                platform,
+                phase,
+                Fig6Opts {
+                    access_modes: true,
+                    mpi3_rmw: true,
+                },
+            )
+            .into_iter()
+            .map(|q| (q.cores, q.minutes))
+            .collect(),
+        });
+        out.push(Series {
+            platform,
+            backend: "ARMCI-Native",
+            phase: phase_label(phase),
+            points: fig6::series(platform, Backend::Native, phase)
+                .into_iter()
+                .map(|q| (q.cores, q.minutes))
+                .collect(),
+        });
+    }
+    out
+}
+
+/// Renders the figure as aligned text.
+pub fn render(all: &[Series]) -> String {
+    let mut s = String::new();
+    for series in all {
+        s.push_str(&format!(
+            "# Figure 6 — {} — {} {}\n# cores, minutes\n",
+            series.platform.name(),
+            series.backend,
+            series.phase
+        ));
+        for &(cores, min) in &series.points {
+            s.push_str(&format!("{cores:>7}  {min:>8.2}\n"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_curve_counts_match_paper_panels() {
+        // CCSD-only panels have 2 curves, CCSD+(T) panels have 4.
+        assert_eq!(generate(PlatformId::BlueGeneP).len(), 2);
+        assert_eq!(generate(PlatformId::InfiniBandCluster).len(), 4);
+        assert_eq!(generate(PlatformId::CrayXT5).len(), 2);
+        assert_eq!(generate(PlatformId::CrayXE6).len(), 4);
+    }
+
+    #[test]
+    fn times_are_plausible_minutes() {
+        for id in PlatformId::ALL {
+            for s in generate(id) {
+                for &(_, m) in &s.points {
+                    assert!(m > 0.05 && m < 2000.0, "{id:?} {m} min");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (§VII) from the simulated runtimes.
+//!
+//! | artifact | module | paper content |
+//! |----------|--------|---------------|
+//! | Table II | [`table2`] | experimental platforms |
+//! | Figure 3 | [`fig3`]   | contiguous get/put/acc bandwidth vs size |
+//! | Figure 4 | [`fig4`]   | strided bandwidth by method, 16 B & 1 KiB segments |
+//! | Figure 5 | [`fig5`]   | ARMCI/MPI buffer-registration interoperability |
+//! | Figure 6 | [`fig6r`]  | NWChem CCSD and (T) scaling |
+//!
+//! A supplemental §IX comparison (`ds_compare`) pits ARMCI-MPI against
+//! the legacy two-sided data-server ARMCI.
+//!
+//! The `figures` binary prints each as aligned text and (optionally) JSON.
+//! Bandwidth numbers are **virtual-time** measurements: the operations
+//! really execute on the simulated runtime and the platform cost model
+//! prices them, so shapes are deterministic and platform-faithful.
+
+pub mod ds_compare;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6r;
+pub mod table2;
+
+/// Formats a byte count like the paper's axes (powers of two).
+pub fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{}MiB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KiB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Formats a bandwidth in GB/s with three significant digits.
+pub fn fmt_gbps(bps: f64) -> String {
+    format!("{:.3}", bps / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(16), "16B");
+        assert_eq!(fmt_bytes(2048), "2KiB");
+        assert_eq!(fmt_bytes(1 << 22), "4MiB");
+    }
+
+    #[test]
+    fn gbps_formatting() {
+        assert_eq!(fmt_gbps(3.21e9), "3.210");
+    }
+}

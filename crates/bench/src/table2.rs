@@ -1,0 +1,40 @@
+//! Table II: experimental platforms and system characteristics.
+
+use simnet::Platform;
+
+/// Renders Table II as aligned text.
+pub fn render() -> String {
+    let mut s = String::from("# Table II — Experimental platforms and system characteristics\n");
+    s.push_str(&format!(
+        "{:<24} {:>7} {:>15} {:>12} {:<16} {:<14}\n",
+        "System", "Nodes", "Cores per Node", "Mem per Node", "Interconnect", "MPI Version"
+    ));
+    for p in Platform::all() {
+        s.push_str(&format!(
+            "{:<24} {:>7} {:>9} x {:<3} {:>9} GB {:<16} {:<14}\n",
+            format!("{} ({})", p.name, p.system),
+            p.nodes,
+            p.sockets_per_node,
+            p.cores_per_socket,
+            p.memory_per_node_gib,
+            p.interconnect,
+            p.mpi_version
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_contains_all_rows() {
+        let t = super::render();
+        for name in ["Intrepid", "Fusion", "Jaguar PF", "Hopper II"] {
+            assert!(t.contains(name), "missing {name}:\n{t}");
+        }
+        assert!(t.contains("40960"));
+        assert!(t.contains("InfiniBand QDR"));
+        assert!(t.contains("Seastar 2+"));
+        assert!(t.contains("Gemini"));
+    }
+}

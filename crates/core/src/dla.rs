@@ -1,0 +1,77 @@
+//! Direct local access (§V-E): the `ARMCI_Access_begin/end` extension.
+//!
+//! Direct load/store access to memory exposed in an MPI window conflicts
+//! with every remote access to the same window region, so ARMCI-MPI only
+//! grants it inside an epoch on the caller's own rank: **exclusive** for
+//! mutation, shared for read-only access. The Rust shape is a closure
+//! (`begin`/`end` become scope entry/exit), which makes it impossible to
+//! leak the pointer past the epoch.
+
+use crate::ArmciMpi;
+use armci::{ArmciError, ArmciResult, GlobalAddr};
+use mpisim::LockMode;
+
+impl ArmciMpi {
+    /// Mutable direct access to `len` bytes of this process's own slice
+    /// starting at `addr`. Implies an exclusive epoch on self.
+    pub(crate) fn access_mut_impl(
+        &self,
+        addr: GlobalAddr,
+        len: usize,
+        f: &mut dyn FnMut(&mut [u8]),
+    ) -> ArmciResult<()> {
+        if addr.rank != self.world.rank() {
+            return Err(ArmciError::BadDescriptor(format!(
+                "direct access to remote process {} from {}",
+                addr.rank,
+                self.world.rank()
+            )));
+        }
+        let tr = self.translate(addr, len)?;
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        if self.cfg.epochless {
+            // MPI-3 unified memory model: local access under the
+            // window-wide lock_all epoch, ordered by the win_sync
+            // discipline (the simulator's per-rank I/O lock).
+            let res = gmr
+                .win
+                .with_local_mut(|buf| f(&mut buf[tr.disp..tr.disp + len]));
+            return res.map_err(ArmciError::from);
+        }
+        gmr.win.lock(LockMode::Exclusive, tr.group_rank)?;
+        let res = gmr
+            .win
+            .with_local_mut(|buf| f(&mut buf[tr.disp..tr.disp + len]));
+        gmr.win.unlock(tr.group_rank)?;
+        res.map_err(ArmciError::from)
+    }
+
+    /// Read-only direct access (shared epoch on self).
+    pub(crate) fn access_impl(
+        &self,
+        addr: GlobalAddr,
+        len: usize,
+        f: &mut dyn FnMut(&[u8]),
+    ) -> ArmciResult<()> {
+        if addr.rank != self.world.rank() {
+            return Err(ArmciError::BadDescriptor(format!(
+                "direct access to remote process {} from {}",
+                addr.rank,
+                self.world.rank()
+            )));
+        }
+        let tr = self.translate(addr, len)?;
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        if self.cfg.epochless {
+            // the lock_all epoch already grants shared access
+            let res = gmr.win.with_local(|buf| f(&buf[tr.disp..tr.disp + len]));
+            return res.map_err(ArmciError::from);
+        }
+        gmr.win.lock(LockMode::Shared, tr.group_rank)?;
+        let res = gmr.win.with_local(|buf| f(&buf[tr.disp..tr.disp + len]));
+        gmr.win.unlock(tr.group_rank)?;
+        res.map_err(ArmciError::from)
+    }
+}

@@ -1,0 +1,206 @@
+//! ARMCI mutexes via the MPI RMA queueing-mutex algorithm of Latham,
+//! Ross & Thakur (§V-D).
+//!
+//! A set of `count` mutexes is hosted on *every* process of the group. The
+//! state of mutex `m` on host `p` is a byte vector `B` of length `nproc`
+//! in `p`'s window slice; `B[i] = 1` means process `i` holds or has
+//! requested the mutex.
+//!
+//! **Lock** (from process `i`): within one exclusive epoch on the host,
+//! set `B[i] = 1` and fetch all other entries (two non-overlapping gets,
+//! so the epoch contains no conflicting accesses). If every other entry is
+//! zero the lock is held; otherwise process `i` has enqueued itself and
+//! blocks in a **wildcard-source receive** — waiting locally, generating
+//! no network traffic, exactly the property the paper highlights.
+//!
+//! **Unlock**: within one exclusive epoch set `B[i] = 0` and fetch the
+//! rest; scan for a waiting requester starting at `i+1` (wrapping), which
+//! provides fairness, and forward the mutex with a zero-byte notification
+//! message.
+//!
+//! Each set duplicates its communicator so notification messages can never
+//! be confused between sets (or with application traffic).
+
+use armci::{ArmciError, ArmciResult};
+use mpisim::{Comm, LockMode, RecvSrc, WinHandle};
+use std::cell::RefCell;
+use std::collections::HashSet;
+
+/// One collection of `count` mutexes hosted on every member of a group.
+pub(crate) struct MutexSet {
+    comm: Comm,
+    win: WinHandle,
+    count: usize,
+    /// Mutexes this process currently holds: `(mutex, host group rank)`.
+    held: RefCell<HashSet<(usize, usize)>>,
+}
+
+impl MutexSet {
+    /// Collectively creates the set over `comm`'s group.
+    pub fn create(comm: &Comm, count: usize) -> MutexSet {
+        // Dedicated communicator: notification tags = mutex index.
+        let dup = comm.dup();
+        let nproc = dup.size();
+        let win = WinHandle::create(&dup, count * nproc);
+        MutexSet {
+            comm: dup,
+            win,
+            count,
+            held: RefCell::new(HashSet::new()),
+        }
+    }
+
+    /// Number of mutexes per host.
+    #[allow(dead_code)]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    fn check_args(&self, mutex: usize, host: usize) -> ArmciResult<()> {
+        if mutex >= self.count {
+            return Err(ArmciError::MutexMisuse(format!(
+                "mutex {mutex} out of range (count {})",
+                self.count
+            )));
+        }
+        if host >= self.comm.size() {
+            return Err(ArmciError::MutexMisuse(format!(
+                "host {host} out of range (group size {})",
+                self.comm.size()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Acquires `mutex` on `host` (group rank). Blocks until granted.
+    pub fn lock(&self, mutex: usize, host: usize) -> ArmciResult<()> {
+        self.check_args(mutex, host)?;
+        if self.held.borrow().contains(&(mutex, host)) {
+            return Err(ArmciError::MutexMisuse(format!(
+                "mutex {mutex}@{host} already held by this process"
+            )));
+        }
+        let nproc = self.comm.size();
+        let me = self.comm.rank();
+        let base = mutex * nproc;
+
+        // One exclusive epoch: B[me] = 1, fetch all other entries.
+        self.win.lock(LockMode::Exclusive, host)?;
+        self.win.put_bytes(&[1], host, base + me)?;
+        let mut before = vec![0u8; me];
+        let mut after = vec![0u8; nproc - me - 1];
+        if !before.is_empty() {
+            self.win.get_bytes(&mut before, host, base)?;
+        }
+        if !after.is_empty() {
+            self.win.get_bytes(&mut after, host, base + me + 1)?;
+        }
+        self.win.unlock(host)?;
+
+        let contended = before.iter().chain(after.iter()).any(|&b| b != 0);
+        if contended {
+            // Enqueued: wait locally for the zero-byte handoff.
+            let (_, _st) = self.comm.recv(RecvSrc::Any, mutex as i32);
+        }
+        self.held.borrow_mut().insert((mutex, host));
+        Ok(())
+    }
+
+    /// Releases `mutex` on `host`, forwarding it fairly if contended.
+    pub fn unlock(&self, mutex: usize, host: usize) -> ArmciResult<()> {
+        self.check_args(mutex, host)?;
+        if !self.held.borrow_mut().remove(&(mutex, host)) {
+            return Err(ArmciError::MutexMisuse(format!(
+                "unlock of mutex {mutex}@{host} that is not held"
+            )));
+        }
+        let nproc = self.comm.size();
+        let me = self.comm.rank();
+        let base = mutex * nproc;
+
+        // One exclusive epoch: B[me] = 0, fetch all other entries.
+        self.win.lock(LockMode::Exclusive, host)?;
+        self.win.put_bytes(&[0], host, base + me)?;
+        let mut before = vec![0u8; me];
+        let mut after = vec![0u8; nproc - me - 1];
+        if !before.is_empty() {
+            self.win.get_bytes(&mut before, host, base)?;
+        }
+        if !after.is_empty() {
+            self.win.get_bytes(&mut after, host, base + me + 1)?;
+        }
+        self.win.unlock(host)?;
+
+        // Reassemble B without our own slot and scan from me+1, wrapping —
+        // the fairness order of the paper.
+        let waiter = (1..nproc).map(|d| (me + d) % nproc).find(|&r| {
+            let v = if r < me { before[r] } else { after[r - me - 1] };
+            v != 0
+        });
+        if let Some(next) = waiter {
+            // Zero-byte handoff notification.
+            self.comm.send(next, mutex as i32, &[]);
+        }
+        Ok(())
+    }
+
+    /// Collectively destroys the set. All held mutexes must have been
+    /// released.
+    pub fn destroy(self) -> ArmciResult<()> {
+        if !self.held.borrow().is_empty() {
+            return Err(ArmciError::MutexMisuse(
+                "destroying mutex set while holding mutexes".into(),
+            ));
+        }
+        self.win.free()?;
+        Ok(())
+    }
+}
+
+impl ArmciMpi {
+    pub(crate) fn create_mutexes_impl(&self, count: usize) -> ArmciResult<usize> {
+        let set = MutexSet::create(&self.world, count);
+        let handle = self.next_mutex_handle.get();
+        self.next_mutex_handle.set(handle + 1);
+        self.user_mutexes.borrow_mut().insert(handle, set);
+        Ok(handle)
+    }
+
+    pub(crate) fn lock_mutex_impl(
+        &self,
+        handle: usize,
+        mutex: usize,
+        proc: usize,
+    ) -> ArmciResult<()> {
+        let sets = self.user_mutexes.borrow();
+        let set = sets
+            .get(&handle)
+            .ok_or_else(|| ArmciError::MutexMisuse(format!("unknown mutex handle {handle}")))?;
+        self.stat(|s| s.mutex_locks += 1);
+        set.lock(mutex, proc)
+    }
+
+    pub(crate) fn unlock_mutex_impl(
+        &self,
+        handle: usize,
+        mutex: usize,
+        proc: usize,
+    ) -> ArmciResult<()> {
+        let sets = self.user_mutexes.borrow();
+        let set = sets
+            .get(&handle)
+            .ok_or_else(|| ArmciError::MutexMisuse(format!("unknown mutex handle {handle}")))?;
+        set.unlock(mutex, proc)
+    }
+
+    pub(crate) fn destroy_mutexes_impl(&self, handle: usize) -> ArmciResult<()> {
+        let set = self
+            .user_mutexes
+            .borrow_mut()
+            .remove(&handle)
+            .ok_or_else(|| ArmciError::MutexMisuse(format!("unknown mutex handle {handle}")))?;
+        set.destroy()
+    }
+}
+
+use crate::ArmciMpi;

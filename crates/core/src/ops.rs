@@ -1,0 +1,134 @@
+//! Contiguous one-sided operations (§V-C, §V-E1, §V-F).
+//!
+//! Every operation is issued inside its own passive-target epoch. The
+//! epoch's lock mode is **exclusive** by default — an ARMCI process has no
+//! knowledge of operations issued by its peers, so exclusivity is the only
+//! way to guarantee MPI-2's no-conflict rule (§V-C). When the target GMR
+//! carries an access-mode hint (§VIII-A), compatible operations downgrade
+//! to **shared** locks: concurrent readers during read-only phases,
+//! concurrent accumulators during accumulate-only phases.
+
+use crate::ArmciMpi;
+use armci::{AccKind, AccessMode, ArmciError, ArmciResult, GlobalAddr};
+use mpisim::{AccOp, Datatype, LockMode};
+
+/// Operation class for lock-mode selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpClass {
+    Get,
+    Put,
+    Acc,
+}
+
+impl ArmciMpi {
+    /// Lock mode implied by the GMR's access-mode hint for `class`
+    /// (§VIII-A). Operations that contradict the hint fall back to
+    /// exclusive — the hint promises application behaviour, it does not
+    /// license corruption.
+    pub(crate) fn lock_mode_for(&self, mode: AccessMode, class: OpClass) -> LockMode {
+        match (mode, class) {
+            (AccessMode::ReadOnly, OpClass::Get) => LockMode::Shared,
+            (AccessMode::AccumulateOnly, OpClass::Acc) => LockMode::Shared,
+            _ => LockMode::Exclusive,
+        }
+    }
+
+    pub(crate) fn get_impl(&self, src: GlobalAddr, dst: &mut [u8]) -> ArmciResult<()> {
+        if dst.is_empty() {
+            return Ok(());
+        }
+        let tr = self.translate(src, dst.len())?;
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        let mode = self.lock_mode_for(gmr.mode.get(), OpClass::Get);
+        self.epoch_begin(gmr, tr.group_rank, mode)?;
+        let res = gmr.win.get_bytes(dst, tr.group_rank, tr.disp);
+        self.epoch_end(gmr, tr.group_rank)?;
+        self.stat(|s| {
+            s.gets += 1;
+            s.bytes_got += dst.len() as u64;
+        });
+        res.map_err(ArmciError::from)
+    }
+
+    pub(crate) fn put_impl(&self, src: &[u8], dst: GlobalAddr) -> ArmciResult<()> {
+        if src.is_empty() {
+            return Ok(());
+        }
+        let tr = self.translate(dst, src.len())?;
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        let mode = self.lock_mode_for(gmr.mode.get(), OpClass::Put);
+        self.epoch_begin(gmr, tr.group_rank, mode)?;
+        let res = gmr.win.put_bytes(src, tr.group_rank, tr.disp);
+        self.epoch_end(gmr, tr.group_rank)?;
+        self.stat(|s| {
+            s.puts += 1;
+            s.bytes_put += src.len() as u64;
+        });
+        res.map_err(ArmciError::from)
+    }
+
+    pub(crate) fn acc_impl(&self, kind: AccKind, src: &[u8], dst: GlobalAddr) -> ArmciResult<()> {
+        if src.is_empty() {
+            return Ok(());
+        }
+        kind.check_len(src.len())?;
+        let tr = self.translate(dst, src.len())?;
+        // Pre-scale into a staged buffer so the wire operation is MPI's
+        // unscaled SUM accumulate.
+        let staged = kind.prescale(src)?;
+        if !kind.is_unit_scale() {
+            self.charge(self.copy_cost(src.len()));
+        }
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        let mode = self.lock_mode_for(gmr.mode.get(), OpClass::Acc);
+        self.epoch_begin(gmr, tr.group_rank, mode)?;
+        let dt = Datatype::contiguous(staged.len());
+        let res = gmr.win.accumulate(
+            &staged,
+            &dt.clone(),
+            tr.group_rank,
+            tr.disp,
+            &dt,
+            kind.mpi_elem(),
+            AccOp::Sum,
+        );
+        self.epoch_end(gmr, tr.group_rank)?;
+        self.stat(|s| {
+            s.accs += 1;
+            s.bytes_acc += staged.len() as u64;
+        });
+        res.map_err(ArmciError::from)
+    }
+
+    /// Global↔global contiguous copy (§V-E1). The source is staged into a
+    /// temporary local buffer under its own epoch — released *before* the
+    /// destination is locked — which is the only deadlock-free ordering
+    /// the paper identifies.
+    pub(crate) fn copy_impl(
+        &self,
+        src: GlobalAddr,
+        dst: GlobalAddr,
+        bytes: usize,
+    ) -> ArmciResult<()> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        let mut tmp = vec![0u8; bytes];
+        if src.rank == self.rank_of_self() {
+            // Local global buffer: exclusive-epoch direct access, copy
+            // out, release (no window is locked while we then lock dst's).
+            self.access_impl(src, bytes, &mut |b| tmp.copy_from_slice(b))?;
+        } else {
+            self.get_impl(src, &mut tmp)?;
+        }
+        self.charge(self.copy_cost(bytes));
+        self.put_impl(&tmp, dst)
+    }
+
+    pub(crate) fn rank_of_self(&self) -> usize {
+        self.world.rank()
+    }
+}

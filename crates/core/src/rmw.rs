@@ -1,0 +1,89 @@
+//! Read-modify-write operations (§V-D).
+//!
+//! MPI-2 offers no atomic read-modify-write, and a get + put of the same
+//! location within one epoch is erroneous (conflicting accesses). The only
+//! standard-conforming construction is therefore **mutex + two epochs**:
+//! acquire the GMR's mutex for the target, read in one exclusive epoch,
+//! write the updated value in a second, release the mutex. The paper calls
+//! this out as a high-latency path and motivates MPI-3's `fetch_and_op`
+//! (§VIII-B); [`crate::Config::use_mpi3_rmw`] switches to that extension
+//! for the ablation study.
+
+use crate::ArmciMpi;
+use armci::{ArmciResult, GlobalAddr, RmwOp};
+use mpisim::mpi3::FetchOp;
+use mpisim::LockMode;
+
+impl ArmciMpi {
+    pub(crate) fn rmw_impl(&self, op: RmwOp, target: GlobalAddr) -> ArmciResult<i64> {
+        self.stat(|s| s.rmws += 1);
+        if self.cfg.use_mpi3_rmw || self.cfg.epochless {
+            self.rmw_mpi3(op, target)
+        } else {
+            self.rmw_mutex(op, target)
+        }
+    }
+
+    /// The MPI-2 protocol: per-GMR mutex, read epoch, write epoch.
+    fn rmw_mutex(&self, op: RmwOp, target: GlobalAddr) -> ArmciResult<i64> {
+        let tr = self.translate(target, 8)?;
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        // One mutex per group member, hosted on the member: serialises
+        // RMWs per target process without a global bottleneck.
+        self.stat(|s| s.mutex_locks += 1);
+        gmr.rmw_mutexes.lock(0, tr.group_rank)?;
+        self.stat(|s| {
+            s.epochs += 2;
+            s.gets += 1;
+            s.puts += 1;
+            s.bytes_got += 8;
+            s.bytes_put += 8;
+        });
+        let result = (|| {
+            // Read epoch.
+            let mut buf = [0u8; 8];
+            gmr.win.lock(LockMode::Exclusive, tr.group_rank)?;
+            gmr.win.get_bytes(&mut buf, tr.group_rank, tr.disp)?;
+            gmr.win.unlock(tr.group_rank)?;
+            let old = i64::from_le_bytes(buf);
+            let new = match op {
+                RmwOp::FetchAdd(x) => old.wrapping_add(x),
+                RmwOp::Swap(x) => x,
+            };
+            // Write epoch.
+            gmr.win.lock(LockMode::Exclusive, tr.group_rank)?;
+            gmr.win
+                .put_bytes(&new.to_le_bytes(), tr.group_rank, tr.disp)?;
+            gmr.win.unlock(tr.group_rank)?;
+            Ok(old)
+        })();
+        // Release the mutex even on error.
+        gmr.rmw_mutexes.unlock(0, tr.group_rank)?;
+        result
+    }
+
+    /// The MPI-3 extension path: one atomic `fetch_and_op`.
+    fn rmw_mpi3(&self, op: RmwOp, target: GlobalAddr) -> ArmciResult<i64> {
+        let tr = self.translate(target, 8)?;
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        // Under epochless mode the window-wide lock_all epoch already
+        // covers the atomic; otherwise open a shared epoch around it.
+        if !self.cfg.epochless {
+            gmr.win.lock(LockMode::Shared, tr.group_rank)?;
+        }
+        let res = match op {
+            RmwOp::FetchAdd(x) => gmr
+                .win
+                .fetch_and_op_i64(x, tr.group_rank, tr.disp, FetchOp::Sum),
+            RmwOp::Swap(x) => gmr
+                .win
+                .fetch_and_op_i64(x, tr.group_rank, tr.disp, FetchOp::Replace),
+        };
+        if !self.cfg.epochless {
+            gmr.win.unlock(tr.group_rank)?;
+        }
+        Ok(res?)
+    }
+}

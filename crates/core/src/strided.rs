@@ -1,0 +1,232 @@
+//! Strided operations (§VI-C).
+//!
+//! Two implementation strategies, selected by [`crate::Config::strided`]:
+//!
+//! * **IOV translation** — Algorithm 1 (as the [`armci::StridedIter`]
+//!   iterator) expands the strided descriptor into a generalized I/O
+//!   vector, which is then transferred with any of the §VI-A methods;
+//! * **direct** — the strided notation is translated *backwards* into MPI
+//!   subarray datatypes for both the origin and the target, and a single
+//!   RMA operation hands the whole transfer to the MPI layer. When the
+//!   strides do not describe a dense array (non-divisible strides) the
+//!   implementation silently falls back to the IOV-datatype path.
+
+use crate::ops::OpClass;
+use crate::ArmciMpi;
+use armci::stride::{extent, total_bytes, validate, StridedIter};
+use armci::{
+    strided_to_subarray, AccKind, ArmciError, ArmciResult, GlobalAddr, IovDesc, StridedMethod,
+};
+use mpisim::{AccOp, Datatype};
+
+impl ArmciMpi {
+    /// Builds the IOV descriptor for a strided transfer where the remote
+    /// side is `remote` with `remote_strides` and the local side uses
+    /// `local_strides`.
+    fn strided_to_iov(
+        remote: GlobalAddr,
+        remote_strides: &[usize],
+        local_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<IovDesc> {
+        let mut local_offsets = Vec::new();
+        let mut remote_addrs = Vec::new();
+        for (rdisp, ldisp) in StridedIter::new(remote_strides, local_strides, count)? {
+            remote_addrs.push(remote.addr + rdisp);
+            local_offsets.push(ldisp);
+        }
+        Ok(IovDesc {
+            rank: remote.rank,
+            bytes: count[0],
+            local_offsets,
+            remote_addrs,
+        })
+    }
+
+    pub(crate) fn put_strided_impl(
+        &self,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<()> {
+        validate(src_strides, count)?;
+        validate(dst_strides, count)?;
+        if self.cfg.strided == StridedMethod::Direct {
+            if self.put_strided_direct(src, src_strides, dst, dst_strides, count)? {
+                return Ok(());
+            }
+            // fall back to the datatype IOV path
+            let desc = Self::strided_to_iov(dst, dst_strides, src_strides, count)?;
+            return self.put_iov_impl(&desc, src, StridedMethod::IovDatatype);
+        }
+        let desc = Self::strided_to_iov(dst, dst_strides, src_strides, count)?;
+        self.put_iov_impl(&desc, src, self.cfg.strided)
+    }
+
+    pub(crate) fn get_strided_impl(
+        &self,
+        src: GlobalAddr,
+        src_strides: &[usize],
+        dst: &mut [u8],
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<()> {
+        validate(src_strides, count)?;
+        validate(dst_strides, count)?;
+        if self.cfg.strided == StridedMethod::Direct {
+            if self.get_strided_direct(src, src_strides, dst, dst_strides, count)? {
+                return Ok(());
+            }
+            let desc = Self::strided_to_iov(src, src_strides, dst_strides, count)?;
+            return self.get_iov_impl(&desc, dst, StridedMethod::IovDatatype);
+        }
+        let desc = Self::strided_to_iov(src, src_strides, dst_strides, count)?;
+        self.get_iov_impl(&desc, dst, self.cfg.strided)
+    }
+
+    pub(crate) fn acc_strided_impl(
+        &self,
+        kind: AccKind,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<()> {
+        validate(src_strides, count)?;
+        validate(dst_strides, count)?;
+        kind.check_len(count[0])?;
+        if self.cfg.strided == StridedMethod::Direct {
+            if self.acc_strided_direct(kind, src, src_strides, dst, dst_strides, count)? {
+                return Ok(());
+            }
+            let desc = Self::strided_to_iov(dst, dst_strides, src_strides, count)?;
+            return self.acc_iov_impl(kind, &desc, src, StridedMethod::IovDatatype);
+        }
+        let desc = Self::strided_to_iov(dst, dst_strides, src_strides, count)?;
+        self.acc_iov_impl(kind, &desc, src, self.cfg.strided)
+    }
+
+    /// Direct subarray-datatype put. Returns `Ok(false)` when the shape
+    /// cannot be expressed as subarrays (caller falls back).
+    fn put_strided_direct(
+        &self,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<bool> {
+        let (Some(odt), Some(tdt)) = (
+            strided_to_subarray(src_strides, count),
+            strided_to_subarray(dst_strides, count),
+        ) else {
+            return Ok(false);
+        };
+        if odt.extent() > src.len() {
+            return Err(ArmciError::BadDescriptor(format!(
+                "strided origin extent {} exceeds buffer {}",
+                odt.extent(),
+                src.len()
+            )));
+        }
+        let tr = self.translate(dst, extent(dst_strides, count))?;
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        let mode = self.lock_mode_for(gmr.mode.get(), OpClass::Put);
+        self.epoch_begin(gmr, tr.group_rank, mode)?;
+        let res = gmr.win.put(src, &odt, tr.group_rank, tr.disp, &tdt);
+        self.epoch_end(gmr, tr.group_rank)?;
+        res?;
+        self.stat(|s| {
+            s.puts += 1;
+            s.bytes_put += total_bytes(count) as u64;
+        });
+        Ok(true)
+    }
+
+    /// Direct subarray-datatype get.
+    fn get_strided_direct(
+        &self,
+        src: GlobalAddr,
+        src_strides: &[usize],
+        dst: &mut [u8],
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<bool> {
+        let (Some(odt), Some(tdt)) = (
+            strided_to_subarray(dst_strides, count),
+            strided_to_subarray(src_strides, count),
+        ) else {
+            return Ok(false);
+        };
+        if odt.extent() > dst.len() {
+            return Err(ArmciError::BadDescriptor(format!(
+                "strided origin extent {} exceeds buffer {}",
+                odt.extent(),
+                dst.len()
+            )));
+        }
+        let tr = self.translate(src, extent(src_strides, count))?;
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        let mode = self.lock_mode_for(gmr.mode.get(), OpClass::Get);
+        self.epoch_begin(gmr, tr.group_rank, mode)?;
+        let res = gmr.win.get(dst, &odt, tr.group_rank, tr.disp, &tdt);
+        self.epoch_end(gmr, tr.group_rank)?;
+        res?;
+        self.stat(|s| {
+            s.gets += 1;
+            s.bytes_got += total_bytes(count) as u64;
+        });
+        Ok(true)
+    }
+
+    /// Direct strided accumulate: the origin segments are gathered and
+    /// pre-scaled into a contiguous staging buffer (the pack an MPI
+    /// implementation would do anyway), then accumulated through the
+    /// target subarray type in one operation.
+    fn acc_strided_direct(
+        &self,
+        kind: AccKind,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<bool> {
+        let Some(tdt) = strided_to_subarray(dst_strides, count) else {
+            return Ok(false);
+        };
+        let total = total_bytes(count);
+        let mut gathered = Vec::with_capacity(total);
+        for (sdisp, _) in StridedIter::new(src_strides, dst_strides, count)? {
+            gathered.extend_from_slice(&src[sdisp..sdisp + count[0]]);
+        }
+        let staged = kind.prescale(&gathered)?;
+        self.charge(self.copy_cost(total));
+        let tr = self.translate(dst, extent(dst_strides, count))?;
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        let mode = self.lock_mode_for(gmr.mode.get(), OpClass::Acc);
+        self.epoch_begin(gmr, tr.group_rank, mode)?;
+        let res = gmr.win.accumulate(
+            &staged,
+            &Datatype::contiguous(staged.len()),
+            tr.group_rank,
+            tr.disp,
+            &tdt,
+            kind.mpi_elem(),
+            AccOp::Sum,
+        );
+        self.epoch_end(gmr, tr.group_rank)?;
+        res?;
+        self.stat(|s| {
+            s.accs += 1;
+            s.bytes_acc += total as u64;
+        });
+        Ok(true)
+    }
+}

@@ -1,0 +1,173 @@
+//! Tests of the MPI-3 epochless backend (§VIII-B): the same workloads as
+//! the MPI-2 configuration, with identical results and lower overheads.
+
+use armci::{Armci, ArmciExt};
+use armci_mpi::{ArmciMpi, Config};
+use ga::{GaType, GlobalArray};
+use mpisim::{Proc, Runtime, RuntimeConfig};
+use nwchem_proxy::{run_ccsd, CcsdConfig};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+fn epochless() -> Config {
+    Config {
+        epochless: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn contiguous_roundtrip() {
+    Runtime::run_with(3, quiet(), |p: &Proc| {
+        let rt = ArmciMpi::with_config(p, epochless());
+        let bases = rt.malloc(128).unwrap();
+        rt.barrier();
+        if p.rank() == 0 {
+            rt.put_f64s(&[1.5; 4], bases[1]).unwrap();
+            rt.acc_f64s(2.0, &[1.0; 4], bases[1]).unwrap();
+        }
+        rt.barrier();
+        assert_eq!(rt.get_f64s(bases[1], 4).unwrap(), vec![3.5; 4]);
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+    });
+}
+
+#[test]
+fn strided_and_iov_roundtrip() {
+    Runtime::run_with(2, quiet(), |p: &Proc| {
+        let rt = ArmciMpi::with_config(p, epochless());
+        let bases = rt.malloc(8 * 24).unwrap();
+        rt.barrier();
+        if p.rank() == 0 {
+            let local: Vec<u8> = (0..128u8).collect();
+            rt.put_strided(&local, &[16], bases[1], &[24], &[16, 8])
+                .unwrap();
+            let mut back = vec![0u8; 128];
+            rt.get_strided(bases[1], &[24], &mut back, &[16], &[16, 8])
+                .unwrap();
+            assert_eq!(back, local);
+            // IOV path
+            let desc = armci::IovDesc {
+                rank: 1,
+                bytes: 8,
+                local_offsets: vec![0, 8],
+                remote_addrs: vec![bases[1].addr, bases[1].addr + 48],
+            };
+            let mut two = vec![0u8; 16];
+            rt.get_iov(&desc, &mut two).unwrap();
+            assert_eq!(&two[..8], &local[..8]);
+            assert_eq!(&two[8..], &local[32..40]); // remote 48 = row 2 start
+        }
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+    });
+}
+
+#[test]
+fn rmw_is_native_fetch_and_op() {
+    let n = 6;
+    let iters = 40;
+    let results = Runtime::run_with(n, quiet(), move |p: &Proc| {
+        let rt = ArmciMpi::with_config(p, epochless());
+        let bases = rt.malloc(8).unwrap();
+        rt.barrier();
+        let mut got = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            got.push(rt.fetch_add(bases[0], 1).unwrap());
+        }
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+        got
+    });
+    let mut all: Vec<i64> = results.into_iter().flatten().collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..(n * iters) as i64).collect::<Vec<_>>());
+}
+
+#[test]
+fn dla_under_lock_all() {
+    Runtime::run_with(2, quiet(), |p: &Proc| {
+        let rt = ArmciMpi::with_config(p, epochless());
+        let bases = rt.malloc(32).unwrap();
+        rt.barrier();
+        rt.access_mut(bases[p.rank()], 32, &mut |b| b.fill(p.rank() as u8 + 1))
+            .unwrap();
+        rt.access(bases[p.rank()], 4, &mut |b| {
+            assert_eq!(b[0], p.rank() as u8 + 1)
+        })
+        .unwrap();
+        rt.barrier();
+        let peer = 1 - p.rank();
+        let mut buf = [0u8; 4];
+        rt.get(bases[peer], &mut buf).unwrap();
+        assert_eq!(buf[0], peer as u8 + 1);
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+    });
+}
+
+#[test]
+fn full_ga_stack_on_epochless_backend() {
+    Runtime::run_with(4, quiet(), |p: &Proc| {
+        let rt = ArmciMpi::with_config(p, epochless());
+        let a = GlobalArray::create(&rt, "e", GaType::F64, &[10, 10]).unwrap();
+        a.fill(1.0).unwrap();
+        a.acc_patch(1.0, &[2, 2], &[8, 8], &vec![1.0; 36]).unwrap();
+        a.sync();
+        let centre = a.get_patch(&[4, 4], &[5, 5]).unwrap()[0];
+        assert_eq!(centre, 1.0 + 4.0);
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn ccsd_energy_matches_mpi2_configuration() {
+    let cfg = CcsdConfig::tiny();
+    let e2 = Runtime::run_with(3, quiet(), move |p| {
+        let rt = ArmciMpi::new(p);
+        run_ccsd(p, &rt, &cfg).energy
+    })[0];
+    let e3 = Runtime::run_with(3, quiet(), move |p| {
+        let rt = ArmciMpi::with_config(p, epochless());
+        run_ccsd(p, &rt, &cfg).energy
+    })[0];
+    assert_eq!(e2, e3);
+}
+
+#[test]
+fn epochless_is_faster_in_virtual_time() {
+    // The ablation the paper argues for: removing per-op epoch overhead
+    // and the mutex-based RMW pays off.
+    let time = |cfg: Config| -> f64 {
+        Runtime::run(2, move |p| {
+            let rt = ArmciMpi::with_config(p, cfg.clone());
+            let bases = rt.malloc(1 << 16).unwrap();
+            rt.barrier();
+            let mut t = 0.0;
+            if p.rank() == 0 {
+                let t0 = p.clock().now();
+                for i in 0..50 {
+                    rt.put_f64s(&[i as f64; 64], bases[1]).unwrap();
+                    rt.fetch_add(bases[1].offset(4096), 1).unwrap();
+                }
+                t = p.clock().now() - t0;
+            }
+            rt.barrier();
+            rt.free(bases[p.rank()]).unwrap();
+            t
+        })[0]
+    };
+    let t_mpi2 = time(Config::default());
+    let t_mpi3 = time(epochless());
+    assert!(
+        t_mpi3 < 0.7 * t_mpi2,
+        "epochless {t_mpi3} should beat per-op epochs {t_mpi2}"
+    );
+}

@@ -1,0 +1,497 @@
+//! Conflict tree: O(N·log N) overlap detection for IOV descriptors.
+//!
+//! Section VI-B of the paper: the *batched* and *datatype* IOV methods
+//! require that no two segments of a generalized I/O vector overlap. A
+//! naive pairwise scan is O(N²), and NWChem routinely produces IOVs with
+//! tens to hundreds of thousands of segments. The paper's solution is a
+//! self-balancing (AVL) binary tree of non-overlapping address ranges with
+//! **merged check-and-insert**: each range is checked for conflicts during
+//! its own insertion descent; if a conflict is found the insertion is
+//! abandoned and the caller falls back to the *conservative* transfer
+//! method.
+//!
+//! Unlike an interval tree, this structure never stores overlapping
+//! ranges — that is precisely the property being verified — which keeps
+//! both the invariant and the search trivial: for any node, the entire left
+//! subtree lies strictly below `lo` and the right subtree strictly above
+//! `hi`.
+//!
+//! Ranges here are half-open byte intervals `[lo, hi)`.
+
+/// A conflict was found: the probed range overlaps an existing one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict {
+    /// The existing range that overlaps.
+    pub existing: (usize, usize),
+    /// The range being inserted.
+    pub new: (usize, usize),
+}
+
+impl std::fmt::Display for Conflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "range [{}, {}) overlaps existing [{}, {})",
+            self.new.0, self.new.1, self.existing.0, self.existing.1
+        )
+    }
+}
+
+impl std::error::Error for Conflict {}
+
+struct Node {
+    lo: usize,
+    hi: usize,
+    height: u32,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+impl Node {
+    fn new(lo: usize, hi: usize) -> Box<Node> {
+        Box::new(Node {
+            lo,
+            hi,
+            height: 1,
+            left: None,
+            right: None,
+        })
+    }
+}
+
+fn height(n: &Option<Box<Node>>) -> u32 {
+    n.as_ref().map_or(0, |n| n.height)
+}
+
+fn update(n: &mut Box<Node>) {
+    n.height = 1 + height(&n.left).max(height(&n.right));
+}
+
+fn balance_factor(n: &Node) -> i64 {
+    height(&n.left) as i64 - height(&n.right) as i64
+}
+
+fn rotate_right(mut n: Box<Node>) -> Box<Node> {
+    let mut l = n.left.take().expect("rotate_right without left child");
+    n.left = l.right.take();
+    update(&mut n);
+    l.right = Some(n);
+    update(&mut l);
+    l
+}
+
+fn rotate_left(mut n: Box<Node>) -> Box<Node> {
+    let mut r = n.right.take().expect("rotate_left without right child");
+    n.right = r.left.take();
+    update(&mut n);
+    r.left = Some(n);
+    update(&mut r);
+    r
+}
+
+fn rebalance(mut n: Box<Node>) -> Box<Node> {
+    update(&mut n);
+    let bf = balance_factor(&n);
+    if bf > 1 {
+        if balance_factor(n.left.as_ref().unwrap()) < 0 {
+            n.left = Some(rotate_left(n.left.take().unwrap()));
+        }
+        rotate_right(n)
+    } else if bf < -1 {
+        if balance_factor(n.right.as_ref().unwrap()) > 0 {
+            n.right = Some(rotate_right(n.right.take().unwrap()));
+        }
+        rotate_left(n)
+    } else {
+        n
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn insert(
+    node: Option<Box<Node>>,
+    lo: usize,
+    hi: usize,
+) -> Result<Box<Node>, (Conflict, Option<Box<Node>>)> {
+    match node {
+        None => Ok(Node::new(lo, hi)),
+        Some(mut n) => {
+            // Half-open intervals intersect iff lo < n.hi && n.lo < hi.
+            if lo < n.hi && n.lo < hi {
+                let c = Conflict {
+                    existing: (n.lo, n.hi),
+                    new: (lo, hi),
+                };
+                return Err((c, Some(n)));
+            }
+            if hi <= n.lo {
+                match insert(n.left.take(), lo, hi) {
+                    Ok(l) => n.left = Some(l),
+                    Err((c, l)) => {
+                        n.left = l;
+                        return Err((c, Some(n)));
+                    }
+                }
+            } else {
+                debug_assert!(lo >= n.hi);
+                match insert(n.right.take(), lo, hi) {
+                    Ok(r) => n.right = Some(r),
+                    Err((c, r)) => {
+                        n.right = r;
+                        return Err((c, Some(n)));
+                    }
+                }
+            }
+            Ok(rebalance(n))
+        }
+    }
+}
+
+/// AVL tree of pairwise-disjoint half-open ranges with merged
+/// check-and-insert.
+///
+/// ```
+/// use ctree::ConflictTree;
+///
+/// let mut t = ConflictTree::new();
+/// t.try_insert(0, 16).unwrap();
+/// t.try_insert(32, 48).unwrap();
+/// // overlap detected during the insertion descent; tree unchanged
+/// let conflict = t.try_insert(8, 40).unwrap_err();
+/// assert_eq!(conflict.new, (8, 40));
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Default)]
+pub struct ConflictTree {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+impl ConflictTree {
+    /// Empty tree.
+    pub fn new() -> ConflictTree {
+        ConflictTree::default()
+    }
+
+    /// Number of stored ranges.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// No ranges stored?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (0 for empty); exposed for balance tests and benches.
+    pub fn height(&self) -> u32 {
+        height(&self.root)
+    }
+
+    /// Checks `[lo, hi)` against all stored ranges and inserts it when
+    /// disjoint. On conflict the tree is unchanged and the overlapping
+    /// range is reported. Zero-length ranges are accepted and ignored.
+    pub fn try_insert(&mut self, lo: usize, hi: usize) -> Result<(), Conflict> {
+        assert!(lo <= hi, "inverted range [{lo}, {hi})");
+        if lo == hi {
+            return Ok(());
+        }
+        match insert(self.root.take(), lo, hi) {
+            Ok(root) => {
+                self.root = Some(root);
+                self.len += 1;
+                Ok(())
+            }
+            Err((c, root)) => {
+                self.root = root;
+                Err(c)
+            }
+        }
+    }
+
+    /// Pure overlap query (no insertion).
+    pub fn overlaps(&self, lo: usize, hi: usize) -> Option<(usize, usize)> {
+        if lo >= hi {
+            return None;
+        }
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            if lo < n.hi && n.lo < hi {
+                return Some((n.lo, n.hi));
+            }
+            cur = if hi <= n.lo { &n.left } else { &n.right };
+        }
+        None
+    }
+
+    /// In-order range dump (ascending, for tests).
+    pub fn ranges(&self) -> Vec<(usize, usize)> {
+        fn walk(n: &Option<Box<Node>>, out: &mut Vec<(usize, usize)>) {
+            if let Some(n) = n {
+                walk(&n.left, out);
+                out.push((n.lo, n.hi));
+                walk(&n.right, out);
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Verifies the AVL + ordering invariants (test support).
+    pub fn check_invariants(&self) -> bool {
+        fn check(n: &Option<Box<Node>>, min: usize, max: usize) -> Option<u32> {
+            match n {
+                None => Some(0),
+                Some(n) => {
+                    if n.lo < min || n.hi > max || n.lo >= n.hi {
+                        return None;
+                    }
+                    let hl = check(&n.left, min, n.lo)?;
+                    let hr = check(&n.right, n.hi, max)?;
+                    if (hl as i64 - hr as i64).abs() > 1 || n.height != 1 + hl.max(hr) {
+                        return None;
+                    }
+                    Some(n.height)
+                }
+            }
+        }
+        check(&self.root, 0, usize::MAX).is_some()
+    }
+}
+
+/// Checks an IOV segment list `(offset, len)` for pairwise disjointness
+/// using the conflict tree: `Ok(())` if disjoint, the first conflict
+/// otherwise. O(N·log N).
+///
+/// ```
+/// let strided: Vec<(usize, usize)> = (0..1024).map(|i| (i * 64, 16)).collect();
+/// assert!(ctree::scan_segments(&strided).is_ok());
+/// assert!(ctree::scan_segments(&[(0, 8), (4, 8)]).is_err());
+/// ```
+pub fn scan_segments(segs: &[(usize, usize)]) -> Result<(), Conflict> {
+    let mut tree = ConflictTree::new();
+    for &(off, len) in segs {
+        tree.try_insert(off, off + len)?;
+    }
+    Ok(())
+}
+
+/// Reference O(N²) pairwise scan (tests, ablation benchmarks).
+pub fn scan_segments_naive(segs: &[(usize, usize)]) -> Result<(), Conflict> {
+    for (i, &(o1, l1)) in segs.iter().enumerate() {
+        if l1 == 0 {
+            continue;
+        }
+        for &(o2, l2) in &segs[..i] {
+            if l2 == 0 {
+                continue;
+            }
+            if o2 < o1 + l1 && o1 < o2 + l2 {
+                return Err(Conflict {
+                    existing: (o2, o2 + l2),
+                    new: (o1, o1 + l1),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t = ConflictTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.overlaps(0, 10), None);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn disjoint_inserts_succeed() {
+        let mut t = ConflictTree::new();
+        for i in 0..100 {
+            t.try_insert(i * 10, i * 10 + 5).unwrap();
+        }
+        assert_eq!(t.len(), 100);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn adjacent_ranges_do_not_conflict() {
+        let mut t = ConflictTree::new();
+        t.try_insert(0, 10).unwrap();
+        t.try_insert(10, 20).unwrap();
+        t.try_insert(20, 30).unwrap();
+        assert_eq!(t.ranges(), vec![(0, 10), (10, 20), (20, 30)]);
+    }
+
+    #[test]
+    fn overlap_detected_and_tree_unchanged() {
+        let mut t = ConflictTree::new();
+        t.try_insert(0, 10).unwrap();
+        t.try_insert(20, 30).unwrap();
+        let c = t.try_insert(5, 25).unwrap_err();
+        assert!(c.existing == (0, 10) || c.existing == (20, 30));
+        assert_eq!(c.new, (5, 25));
+        assert_eq!(t.len(), 2);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn containment_both_directions_is_conflict() {
+        let mut t = ConflictTree::new();
+        t.try_insert(10, 20).unwrap();
+        assert!(t.try_insert(12, 15).is_err()); // new inside existing
+        assert!(t.try_insert(5, 25).is_err()); // new contains existing
+        assert!(t.try_insert(10, 20).is_err()); // exact duplicate
+    }
+
+    #[test]
+    fn zero_length_ranges_ignored() {
+        let mut t = ConflictTree::new();
+        t.try_insert(5, 5).unwrap();
+        assert!(t.is_empty());
+        t.try_insert(0, 10).unwrap();
+        t.try_insert(5, 5).unwrap(); // zero length never conflicts
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted range")]
+    fn inverted_range_panics() {
+        let _ = ConflictTree::new().try_insert(10, 5);
+    }
+
+    #[test]
+    fn ascending_insert_stays_balanced() {
+        let mut t = ConflictTree::new();
+        let n = 1usize << 12;
+        for i in 0..n {
+            t.try_insert(i * 2, i * 2 + 1).unwrap();
+        }
+        assert!(t.check_invariants());
+        // AVL height bound: 1.44·log2(n+2)
+        let bound = (1.45 * ((n + 2) as f64).log2()).ceil() as u32;
+        assert!(t.height() <= bound, "height {} > bound {bound}", t.height());
+    }
+
+    #[test]
+    fn descending_insert_stays_balanced() {
+        let mut t = ConflictTree::new();
+        for i in (0..1000usize).rev() {
+            t.try_insert(i * 2, i * 2 + 1).unwrap();
+        }
+        assert!(t.check_invariants());
+        assert!(t.height() <= 15);
+    }
+
+    #[test]
+    fn ranges_are_sorted_in_order() {
+        let mut t = ConflictTree::new();
+        for &x in &[50usize, 10, 90, 30, 70] {
+            t.try_insert(x, x + 5).unwrap();
+        }
+        assert_eq!(
+            t.ranges(),
+            vec![(10, 15), (30, 35), (50, 55), (70, 75), (90, 95)]
+        );
+    }
+
+    #[test]
+    fn overlaps_query_pure() {
+        let mut t = ConflictTree::new();
+        t.try_insert(100, 200).unwrap();
+        assert_eq!(t.overlaps(150, 160), Some((100, 200)));
+        assert_eq!(t.overlaps(0, 100), None);
+        assert_eq!(t.overlaps(200, 300), None);
+        assert_eq!(t.overlaps(199, 201), Some((100, 200)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn scan_matches_naive_on_examples() {
+        let disjoint = vec![(0usize, 8), (16, 8), (8, 8), (100, 1)];
+        assert!(scan_segments(&disjoint).is_ok());
+        assert!(scan_segments_naive(&disjoint).is_ok());
+        let overlapping = vec![(0usize, 8), (16, 8), (4, 8)];
+        assert!(scan_segments(&overlapping).is_err());
+        assert!(scan_segments_naive(&overlapping).is_err());
+    }
+
+    #[test]
+    fn typical_strided_iov_is_clean() {
+        // 1024 segments of 16 bytes with stride 64 — the Figure 4 shape.
+        let segs: Vec<(usize, usize)> = (0..1024).map(|i| (i * 64, 16)).collect();
+        assert!(scan_segments(&segs).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The tree agrees with the naive O(N²) oracle on arbitrary
+        /// segment lists.
+        #[test]
+        fn matches_naive_oracle(
+            segs in proptest::collection::vec((0usize..500, 0usize..32), 0..200)
+        ) {
+            let tree = scan_segments(&segs);
+            let naive = scan_segments_naive(&segs);
+            prop_assert_eq!(tree.is_ok(), naive.is_ok());
+        }
+
+        /// Invariants hold after any sequence of insert attempts, and the
+        /// stored set equals the greedily-accepted prefix set.
+        #[test]
+        fn invariants_maintained(
+            segs in proptest::collection::vec((0usize..10_000, 1usize..64), 0..300)
+        ) {
+            let mut t = ConflictTree::new();
+            let mut stored: Vec<(usize, usize)> = Vec::new();
+            for &(off, len) in &segs {
+                if t.try_insert(off, off + len).is_ok() {
+                    stored.push((off, off + len));
+                }
+                prop_assert!(t.check_invariants());
+            }
+            stored.sort_unstable();
+            prop_assert_eq!(t.ranges(), stored);
+        }
+
+        /// A reported conflict really overlaps something stored, and a
+        /// successful insert really is disjoint from all stored ranges.
+        #[test]
+        fn conflict_reports_are_truthful(
+            segs in proptest::collection::vec((0usize..300, 1usize..40), 1..150)
+        ) {
+            let mut t = ConflictTree::new();
+            let mut stored: Vec<(usize, usize)> = Vec::new();
+            for &(off, len) in &segs {
+                let (lo, hi) = (off, off + len);
+                match t.try_insert(lo, hi) {
+                    Ok(()) => {
+                        for &(slo, shi) in &stored {
+                            prop_assert!(hi <= slo || shi <= lo,
+                                "accepted [{},{}) overlapping [{},{})", lo, hi, slo, shi);
+                        }
+                        stored.push((lo, hi));
+                    }
+                    Err(c) => {
+                        prop_assert!(c.new == (lo, hi));
+                        prop_assert!(stored.contains(&c.existing));
+                        let (elo, ehi) = c.existing;
+                        prop_assert!(lo < ehi && elo < hi);
+                    }
+                }
+            }
+        }
+    }
+}

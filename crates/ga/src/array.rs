@@ -1,0 +1,427 @@
+//! The distributed array object and its one-sided patch operations.
+
+use crate::dist::Distribution;
+use crate::GaResult;
+use armci::{AccKind, Armci, ArmciError, ArmciGroup, GlobalAddr, RmwOp};
+
+/// Element type of a global array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaType {
+    /// 64-bit floats (the workhorse of NWChem).
+    F64,
+    /// 64-bit signed integers (shared counters, index structures).
+    I64,
+}
+
+impl GaType {
+    /// Element width in bytes.
+    pub fn elem(self) -> usize {
+        8
+    }
+}
+
+/// A distributed, shared, multidimensional array (one `GA_Create`).
+///
+/// The array lives in ARMCI global memory allocated over `group`; block
+/// `cell` of the distribution lives on group rank `cell`. All patch
+/// bounds are half-open `[lo, hi)` and element order is row-major.
+///
+/// ```
+/// use armci::Armci;
+/// use armci_mpi::ArmciMpi;
+/// use ga::{GaType, GlobalArray};
+/// use mpisim::Runtime;
+///
+/// Runtime::run(4, |p| {
+///     let rt = ArmciMpi::new(p);
+///     let a = GlobalArray::create(&rt, "demo", GaType::F64, &[8, 8]).unwrap();
+///     a.zero().unwrap();
+///     if rt.rank() == 0 {
+///         a.put_patch(&[2, 2], &[4, 4], &[1.0; 4]).unwrap();
+///     }
+///     a.sync();
+///     assert_eq!(a.get_patch(&[3, 3], &[4, 4]).unwrap(), vec![1.0]);
+///     a.sync();
+///     a.destroy().unwrap();
+/// });
+/// ```
+pub struct GlobalArray<'a, A: Armci + ?Sized> {
+    rt: &'a A,
+    name: String,
+    ty: GaType,
+    dist: Distribution,
+    group: ArmciGroup,
+    bases: Vec<GlobalAddr>,
+}
+
+enum Verb<'d> {
+    Put(&'d [u8]),
+    Get(&'d mut [u8]),
+    Acc(f64, &'d [u8]),
+    AccI64(i64, &'d [u8]),
+}
+
+impl<'a, A: Armci + ?Sized> GlobalArray<'a, A> {
+    /// Collectively creates an array with GA's regular block distribution
+    /// over the world group.
+    pub fn create(rt: &'a A, name: &str, ty: GaType, dims: &[usize]) -> GaResult<Self> {
+        let group = rt.world_group();
+        Self::create_on(rt, name, ty, dims, group)
+    }
+
+    /// Collectively creates an array over an explicit group.
+    pub fn create_on(
+        rt: &'a A,
+        name: &str,
+        ty: GaType,
+        dims: &[usize],
+        group: ArmciGroup,
+    ) -> GaResult<Self> {
+        let dist = Distribution::regular(dims, group.size());
+        Self::create_with_dist(rt, name, ty, dist, group)
+    }
+
+    /// Collectively creates an array with an explicit (possibly
+    /// irregular) distribution. `dist.ncells()` must equal the group
+    /// size.
+    pub fn create_with_dist(
+        rt: &'a A,
+        name: &str,
+        ty: GaType,
+        dist: Distribution,
+        group: ArmciGroup,
+    ) -> GaResult<Self> {
+        if dist.ncells() != group.size() {
+            return Err(ArmciError::BadDescriptor(format!(
+                "distribution has {} cells for a group of {}",
+                dist.ncells(),
+                group.size()
+            )));
+        }
+        let my_len = dist.cell_len(group.rank());
+        let bases = rt.malloc_group(my_len * ty.elem(), &group)?;
+        Ok(GlobalArray {
+            rt,
+            name: name.to_string(),
+            ty,
+            dist,
+            group,
+            bases,
+        })
+    }
+
+    /// Collectively destroys the array (`GA_Destroy`).
+    pub fn destroy(self) -> GaResult<()> {
+        let me = self.group.rank();
+        self.rt.free_group(self.bases[me], &self.group)
+    }
+
+    /// Array name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Element type.
+    pub fn ty(&self) -> GaType {
+        self.ty
+    }
+
+    /// Array dimensions (elements).
+    pub fn dims(&self) -> &[usize] {
+        &self.dist.dims
+    }
+
+    /// The distribution.
+    pub fn distribution(&self) -> &Distribution {
+        &self.dist
+    }
+
+    /// The group the array lives on.
+    pub fn group(&self) -> &ArmciGroup {
+        &self.group
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&self) -> &'a A {
+        self.rt
+    }
+
+    /// This process's block `[lo, hi)` (`NGA_Distribution`).
+    pub fn my_block(&self) -> (Vec<usize>, Vec<usize>) {
+        self.dist.cell_block(self.group.rank())
+    }
+
+    /// Base global address of cell `c`'s slice (crate-internal).
+    pub(crate) fn base_of(&self, cell: usize) -> GlobalAddr {
+        self.bases[cell]
+    }
+
+    /// Owner (group rank) of a global index (`NGA_Locate`).
+    pub fn locate(&self, idx: &[usize]) -> usize {
+        self.dist.locate(idx)
+    }
+
+    /// Synchronises the group: all outstanding operations complete
+    /// everywhere (`GA_Sync`).
+    pub fn sync(&self) {
+        self.rt.fence_all().expect("fence_all");
+        self.group.barrier();
+    }
+
+    // -----------------------------------------------------------------
+    // Index math
+    // -----------------------------------------------------------------
+
+    fn patch_len(lo: &[usize], hi: &[usize]) -> usize {
+        lo.iter().zip(hi).map(|(&l, &h)| h - l).product()
+    }
+
+    /// Byte offset of `idx` (relative to `origin`) in a row-major array
+    /// of extents `dims`.
+    fn offset_in(&self, idx: &[usize], origin: &[usize], dims: &[usize]) -> usize {
+        let mut off = 0usize;
+        for d in 0..dims.len() {
+            off = off * dims[d] + (idx[d] - origin[d]);
+        }
+        off * self.ty.elem()
+    }
+
+    /// Builds ARMCI strided arguments for moving the intersection
+    /// `[ilo, ihi)` between a remote block (`blo..bhi`) and the local
+    /// dense patch buffer (`lo..hi`). Returns
+    /// `(remote_addr, remote_strides, local_offset, local_strides, count)`.
+    #[allow(clippy::type_complexity)]
+    fn strided_args(
+        &self,
+        cell: usize,
+        ilo: &[usize],
+        ihi: &[usize],
+        lo: &[usize],
+        hi: &[usize],
+    ) -> (GlobalAddr, Vec<usize>, usize, Vec<usize>, Vec<usize>) {
+        let n = self.dist.ndim();
+        let elem = self.ty.elem();
+        let (blo, bhi) = self.dist.cell_block(cell);
+        let bdims: Vec<usize> = blo.iter().zip(&bhi).map(|(&l, &h)| h - l).collect();
+        let pdims: Vec<usize> = lo.iter().zip(hi).map(|(&l, &h)| h - l).collect();
+        // count[0] = contiguous bytes along the last dimension
+        let mut count = Vec::with_capacity(n);
+        count.push((ihi[n - 1] - ilo[n - 1]) * elem);
+        for d in (0..n - 1).rev() {
+            count.push(ihi[d] - ilo[d]);
+        }
+        // byte stride of dimension d in an array of extents `dims`
+        let stride_of =
+            |dims: &[usize], d: usize| -> usize { dims[d + 1..].iter().product::<usize>() * elem };
+        // stride level j corresponds to dimension n-2-j... : count[j]
+        // (j>=1) covers dim n-1-j, whose stride is stride_of(dims, n-1-j)
+        let mut rstrides = Vec::with_capacity(n - 1);
+        let mut lstrides = Vec::with_capacity(n - 1);
+        for j in 1..n {
+            rstrides.push(stride_of(&bdims, n - 1 - j));
+            lstrides.push(stride_of(&pdims, n - 1 - j));
+        }
+        let raddr = self.bases[cell].offset(self.offset_in(ilo, &blo, &bdims));
+        let loff = self.offset_in(ilo, lo, &pdims);
+        (raddr, rstrides, loff, lstrides, count)
+    }
+
+    fn check_patch(&self, lo: &[usize], hi: &[usize], buf_len_bytes: usize) -> GaResult<()> {
+        let n = self.dist.ndim();
+        if lo.len() != n || hi.len() != n {
+            return Err(ArmciError::BadDescriptor(format!(
+                "patch rank {} vs array rank {n}",
+                lo.len()
+            )));
+        }
+        for d in 0..n {
+            if lo[d] >= hi[d] || hi[d] > self.dist.dims[d] {
+                return Err(ArmciError::BadDescriptor(format!(
+                    "bad patch bounds in dim {d}: [{}, {}) of {}",
+                    lo[d], hi[d], self.dist.dims[d]
+                )));
+            }
+        }
+        let need = Self::patch_len(lo, hi) * self.ty.elem();
+        if buf_len_bytes != need {
+            return Err(ArmciError::BadDescriptor(format!(
+                "patch needs {need} bytes, buffer has {buf_len_bytes}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The Figure 2 fan-out: decompose the patch over owners and issue
+    /// one strided ARMCI operation per owner.
+    fn xfer(&self, lo: &[usize], hi: &[usize], mut verb: Verb<'_>) -> GaResult<()> {
+        for (cell, ilo, ihi) in self.dist.locate_region(lo, hi) {
+            let (raddr, rstrides, loff, lstrides, count) =
+                self.strided_args(cell, &ilo, &ihi, lo, hi);
+            let sub_bytes: usize = count.iter().product();
+            match &mut verb {
+                Verb::Put(data) => {
+                    self.rt
+                        .put_strided(&data[loff..], &lstrides, raddr, &rstrides, &count)?;
+                    let _ = sub_bytes;
+                }
+                Verb::Get(out) => {
+                    self.rt
+                        .get_strided(raddr, &rstrides, &mut out[loff..], &lstrides, &count)?;
+                }
+                Verb::Acc(scale, data) => {
+                    self.rt.acc_strided(
+                        AccKind::Double(*scale),
+                        &data[loff..],
+                        &lstrides,
+                        raddr,
+                        &rstrides,
+                        &count,
+                    )?;
+                }
+                Verb::AccI64(scale, data) => {
+                    self.rt.acc_strided(
+                        AccKind::Long(*scale),
+                        &data[loff..],
+                        &lstrides,
+                        raddr,
+                        &rstrides,
+                        &count,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Typed patch operations
+    // -----------------------------------------------------------------
+
+    fn want(&self, ty: GaType) -> GaResult<()> {
+        if self.ty != ty {
+            return Err(ArmciError::BadDescriptor(format!(
+                "array {} is {:?}, operation wants {ty:?}",
+                self.name, self.ty
+            )));
+        }
+        Ok(())
+    }
+
+    /// `NGA_Put`: writes the dense row-major `data` into the patch.
+    pub fn put_patch(&self, lo: &[usize], hi: &[usize], data: &[f64]) -> GaResult<()> {
+        self.want(GaType::F64)?;
+        self.check_patch(lo, hi, data.len() * 8)?;
+        let bytes = armci::acc::f64s_to_bytes(data);
+        self.xfer(lo, hi, Verb::Put(&bytes))
+    }
+
+    /// `NGA_Get`: reads the patch into a dense row-major vector.
+    pub fn get_patch(&self, lo: &[usize], hi: &[usize]) -> GaResult<Vec<f64>> {
+        self.want(GaType::F64)?;
+        let len = Self::patch_len(lo, hi);
+        self.check_patch(lo, hi, len * 8)?;
+        let mut bytes = vec![0u8; len * 8];
+        self.xfer(lo, hi, Verb::Get(&mut bytes))?;
+        Ok(armci::acc::bytes_to_f64s(&bytes))
+    }
+
+    /// `NGA_Acc`: `patch += scale * data`, atomic per element with
+    /// respect to other accumulates.
+    pub fn acc_patch(&self, scale: f64, lo: &[usize], hi: &[usize], data: &[f64]) -> GaResult<()> {
+        self.want(GaType::F64)?;
+        self.check_patch(lo, hi, data.len() * 8)?;
+        let bytes = armci::acc::f64s_to_bytes(data);
+        self.xfer(lo, hi, Verb::Acc(scale, &bytes))
+    }
+
+    /// Integer put.
+    pub fn put_patch_i64(&self, lo: &[usize], hi: &[usize], data: &[i64]) -> GaResult<()> {
+        self.want(GaType::I64)?;
+        self.check_patch(lo, hi, data.len() * 8)?;
+        let mut bytes = Vec::with_capacity(data.len() * 8);
+        for &x in data {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        self.xfer(lo, hi, Verb::Put(&bytes))
+    }
+
+    /// Integer get.
+    pub fn get_patch_i64(&self, lo: &[usize], hi: &[usize]) -> GaResult<Vec<i64>> {
+        self.want(GaType::I64)?;
+        let len = Self::patch_len(lo, hi);
+        self.check_patch(lo, hi, len * 8)?;
+        let mut bytes = vec![0u8; len * 8];
+        self.xfer(lo, hi, Verb::Get(&mut bytes))?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Integer accumulate.
+    pub fn acc_patch_i64(
+        &self,
+        scale: i64,
+        lo: &[usize],
+        hi: &[usize],
+        data: &[i64],
+    ) -> GaResult<()> {
+        self.want(GaType::I64)?;
+        self.check_patch(lo, hi, data.len() * 8)?;
+        let mut bytes = Vec::with_capacity(data.len() * 8);
+        for &x in data {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        self.xfer(lo, hi, Verb::AccI64(scale, &bytes))
+    }
+
+    /// `NGA_Read_inc`: atomically adds `inc` to the I64 element at `idx`
+    /// and returns the previous value — GA's NXTVAL primitive.
+    pub fn read_inc(&self, idx: &[usize], inc: i64) -> GaResult<i64> {
+        self.want(GaType::I64)?;
+        let cell = self.dist.locate(idx);
+        let (blo, bhi) = self.dist.cell_block(cell);
+        let bdims: Vec<usize> = blo.iter().zip(&bhi).map(|(&l, &h)| h - l).collect();
+        let addr = self.bases[cell].offset(self.offset_in(idx, &blo, &bdims));
+        self.rt.rmw(RmwOp::FetchAdd(inc), addr)
+    }
+
+    // -----------------------------------------------------------------
+    // Direct local access (GA_Access/GA_Release, via the DLA extension)
+    // -----------------------------------------------------------------
+
+    /// Mutable access to this process's own block as f64 (row-major over
+    /// the block extents). No-op (skips the closure) for empty blocks.
+    pub fn access_local_mut(&self, f: &mut dyn FnMut(&mut [f64])) -> GaResult<()> {
+        self.want(GaType::F64)?;
+        let me = self.group.rank();
+        let len = self.dist.cell_len(me);
+        if len == 0 {
+            return Ok(());
+        }
+        self.rt.access_mut(self.bases[me], len * 8, &mut |bytes| {
+            let mut vals = armci::acc::bytes_to_f64s(bytes);
+            f(&mut vals);
+            bytes.copy_from_slice(&armci::acc::f64s_to_bytes(&vals));
+        })
+    }
+
+    /// Read-only access to this process's own block.
+    pub fn access_local(&self, f: &mut dyn FnMut(&[f64])) -> GaResult<()> {
+        self.want(GaType::F64)?;
+        let me = self.group.rank();
+        let len = self.dist.cell_len(me);
+        if len == 0 {
+            return Ok(());
+        }
+        self.rt.access(self.bases[me], len * 8, &mut |bytes| {
+            f(&armci::acc::bytes_to_f64s(bytes));
+        })
+    }
+
+    /// Applies an access-mode hint to the array's memory (§VIII-A).
+    pub fn set_access_mode(&self, mode: armci::AccessMode) -> GaResult<()> {
+        let me = self.group.rank();
+        self.rt.set_access_mode(self.bases[me], &self.group, mode)
+    }
+}

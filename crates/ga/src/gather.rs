@@ -1,0 +1,153 @@
+//! Element-wise gather/scatter (`NGA_Gather`, `NGA_Scatter`,
+//! `NGA_Scatter_acc`).
+//!
+//! Unlike patch operations, these access an arbitrary *list* of elements.
+//! The GA layer groups the subscripts by owner and issues one generalized
+//! I/O vector operation per owner — exactly the traffic the ARMCI IOV
+//! methods (§VI-A) and the auto method's conflict scan (§VI-B) exist for:
+//! NWChem's sparse index lists are where the "tens to hundreds of
+//! thousands of segments" come from.
+
+use crate::array::{GaType, GlobalArray};
+use crate::GaResult;
+use armci::{AccKind, Armci, ArmciError, IovDesc};
+use std::collections::HashMap;
+
+impl<A: Armci + ?Sized> GlobalArray<'_, A> {
+    #[allow(clippy::needless_range_loop)] // indexes parallel arrays
+    fn check_subscripts(&self, subs: &[Vec<usize>]) -> GaResult<()> {
+        let n = self.dims().len();
+        for (i, s) in subs.iter().enumerate() {
+            if s.len() != n {
+                return Err(ArmciError::BadDescriptor(format!(
+                    "subscript {i} has rank {} (array rank {n})",
+                    s.len()
+                )));
+            }
+            for d in 0..n {
+                if s[d] >= self.dims()[d] {
+                    return Err(ArmciError::BadDescriptor(format!(
+                        "subscript {i} out of bounds in dim {d}: {} >= {}",
+                        s[d],
+                        self.dims()[d]
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Groups subscripts by owning cell: returns per-owner
+    /// `(remote element addresses, original positions)`.
+    #[allow(clippy::type_complexity)]
+    fn group_by_owner(&self, subs: &[Vec<usize>]) -> HashMap<usize, (Vec<usize>, Vec<usize>)> {
+        let mut by_owner: HashMap<usize, (Vec<usize>, Vec<usize>)> = HashMap::new();
+        for (pos, s) in subs.iter().enumerate() {
+            let cell = self.distribution().locate(s);
+            let addr = self.element_addr(cell, s);
+            let entry = by_owner.entry(cell).or_default();
+            entry.0.push(addr);
+            entry.1.push(pos);
+        }
+        by_owner
+    }
+
+    /// Byte address of a global element within its owner's slice.
+    fn element_addr(&self, cell: usize, idx: &[usize]) -> usize {
+        let (blo, bhi) = self.distribution().cell_block(cell);
+        let bdims: Vec<usize> = blo.iter().zip(&bhi).map(|(&l, &h)| h - l).collect();
+        let mut off = 0usize;
+        for d in 0..bdims.len() {
+            off = off * bdims[d] + (idx[d] - blo[d]);
+        }
+        self.base_of(cell).addr + off * self.ty().elem()
+    }
+
+    /// `NGA_Gather`: reads the listed elements (f64 arrays).
+    pub fn gather(&self, subs: &[Vec<usize>]) -> GaResult<Vec<f64>> {
+        if self.ty() != GaType::F64 {
+            return Err(ArmciError::BadDescriptor(
+                "gather needs an F64 array".into(),
+            ));
+        }
+        self.check_subscripts(subs)?;
+        let mut out = vec![0.0f64; subs.len()];
+        let mut buf = vec![0u8; subs.len() * 8];
+        for (cell, (addrs, positions)) in self.group_by_owner(subs) {
+            let desc = IovDesc {
+                rank: self.base_of(cell).rank,
+                bytes: 8,
+                local_offsets: (0..addrs.len()).map(|i| i * 8).collect(),
+                remote_addrs: addrs,
+            };
+            let n = desc.len();
+            self.runtime().get_iov(&desc, &mut buf[..n * 8])?;
+            for (i, &pos) in positions.iter().enumerate() {
+                out[pos] = f64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+            }
+        }
+        Ok(out)
+    }
+
+    /// `NGA_Scatter`: writes `values[i]` to element `subs[i]`. Duplicate
+    /// subscripts are rejected (as in GA, their outcome would be
+    /// undefined).
+    pub fn scatter(&self, subs: &[Vec<usize>], values: &[f64]) -> GaResult<()> {
+        self.scatter_inner(subs, values, None)
+    }
+
+    /// `NGA_Scatter_acc`: `element += scale · value`, atomically per
+    /// element. Duplicate subscripts are allowed (accumulation commutes).
+    pub fn scatter_acc(&self, subs: &[Vec<usize>], values: &[f64], scale: f64) -> GaResult<()> {
+        self.scatter_inner(subs, values, Some(scale))
+    }
+
+    fn scatter_inner(
+        &self,
+        subs: &[Vec<usize>],
+        values: &[f64],
+        scale: Option<f64>,
+    ) -> GaResult<()> {
+        if self.ty() != GaType::F64 {
+            return Err(ArmciError::BadDescriptor(
+                "scatter needs an F64 array".into(),
+            ));
+        }
+        self.check_subscripts(subs)?;
+        if subs.len() != values.len() {
+            return Err(ArmciError::BadDescriptor(format!(
+                "{} subscripts but {} values",
+                subs.len(),
+                values.len()
+            )));
+        }
+        if scale.is_none() {
+            // duplicates make plain scatter nondeterministic
+            let mut seen = std::collections::HashSet::new();
+            for s in subs {
+                if !seen.insert(s.clone()) {
+                    return Err(ArmciError::BadDescriptor(format!(
+                        "duplicate subscript {s:?} in scatter"
+                    )));
+                }
+            }
+        }
+        for (cell, (addrs, positions)) in self.group_by_owner(subs) {
+            let mut local = Vec::with_capacity(addrs.len() * 8);
+            for &pos in &positions {
+                local.extend_from_slice(&values[pos].to_le_bytes());
+            }
+            let desc = IovDesc {
+                rank: self.base_of(cell).rank,
+                bytes: 8,
+                local_offsets: (0..addrs.len()).map(|i| i * 8).collect(),
+                remote_addrs: addrs,
+            };
+            match scale {
+                None => self.runtime().put_iov(&desc, &local)?,
+                Some(sc) => self.runtime().acc_iov(AccKind::Double(sc), &desc, &local)?,
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,213 @@
+//! Ghost-cell support (`GA_Create_ghosts` / `GA_Update_ghosts`).
+//!
+//! Stencil codes want each process's block surrounded by a halo of
+//! neighbouring elements. GA materialises the halo in the local
+//! allocation and refreshes it collectively; here the same functionality
+//! is a *fetch*: [`GlobalArray::fetch_ghosted`] returns the caller's block
+//! plus a `width`-deep margin, assembled from one-sided gets against the
+//! owning processes (wrapping around for periodic boundaries —
+//! `GA_PERIODIC` — or zero-filled outside the array for non-periodic
+//! ones).
+
+use crate::array::{GaType, GlobalArray};
+use crate::GaResult;
+use armci::{Armci, ArmciError};
+
+/// A local block with ghost margins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GhostBlock {
+    /// Global bounds of the interior (this process's block).
+    pub lo: Vec<usize>,
+    pub hi: Vec<usize>,
+    /// Ghost width per dimension.
+    pub width: Vec<usize>,
+    /// Extents of `data` (interior + margins).
+    pub dims: Vec<usize>,
+    /// Row-major storage, ghosts included.
+    pub data: Vec<f64>,
+}
+
+impl GhostBlock {
+    /// Value at *global* index `idx`; `idx` may lie inside the ghost
+    /// margin (including wrapped/periodic positions already fetched).
+    /// Panics if outside the fetched region.
+    pub fn at(&self, idx: &[usize]) -> f64 {
+        let mut off = 0usize;
+        for d in 0..self.dims.len() {
+            // local coordinate of the global index, allowing the margin:
+            // interior starts at width[d]
+            let local = idx[d] + self.width[d] - self.lo[d];
+            assert!(local < self.dims[d], "index {idx:?} outside ghost block");
+            off = off * self.dims[d] + local;
+        }
+        self.data[off]
+    }
+
+    /// Value at a *signed offset* from a global interior index — the
+    /// stencil-friendly accessor (`block.rel(&[i, j], &[-1, 0])`).
+    pub fn rel(&self, idx: &[usize], delta: &[isize]) -> f64 {
+        let mut off = 0usize;
+        for d in 0..self.dims.len() {
+            let local = (idx[d] + self.width[d] - self.lo[d]) as isize + delta[d];
+            assert!(
+                local >= 0 && (local as usize) < self.dims[d],
+                "offset {delta:?} from {idx:?} outside ghost block"
+            );
+            off = off * self.dims[d] + local as usize;
+        }
+        self.data[off]
+    }
+
+    /// Mutable view of the interior, row-major over the interior extents.
+    #[allow(clippy::needless_range_loop)] // odometer over parallel arrays
+    pub fn interior(&self) -> Vec<f64> {
+        let n = self.dims.len();
+        let idims: Vec<usize> = self.lo.iter().zip(&self.hi).map(|(&l, &h)| h - l).collect();
+        let mut out = Vec::with_capacity(idims.iter().product());
+        let total: usize = idims.iter().product();
+        let mut idx = vec![0usize; n];
+        for _ in 0..total {
+            let mut off = 0usize;
+            for d in 0..n {
+                off = off * self.dims[d] + idx[d] + self.width[d];
+            }
+            out.push(self.data[off]);
+            for d in (0..n).rev() {
+                idx[d] += 1;
+                if idx[d] < idims[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        out
+    }
+}
+
+impl<A: Armci + ?Sized> GlobalArray<'_, A> {
+    /// Fetches this process's block plus a ghost margin of `width`
+    /// elements per dimension (`GA_Update_ghosts` as a pull). With
+    /// `periodic`, margins wrap around the array (GA's periodic ghosts);
+    /// otherwise out-of-array ghost cells are zero.
+    #[allow(clippy::needless_range_loop)] // odometers over parallel arrays
+    pub fn fetch_ghosted(&self, width: &[usize], periodic: bool) -> GaResult<GhostBlock> {
+        if self.ty() != GaType::F64 {
+            return Err(ArmciError::BadDescriptor("ghosts need an F64 array".into()));
+        }
+        let n = self.dims().len();
+        if width.len() != n {
+            return Err(ArmciError::BadDescriptor(format!(
+                "ghost width rank {} vs array rank {n}",
+                width.len()
+            )));
+        }
+        for d in 0..n {
+            if width[d] >= self.dims()[d] {
+                return Err(ArmciError::BadDescriptor(format!(
+                    "ghost width {} ≥ dim {} in dim {d}",
+                    width[d],
+                    self.dims()[d]
+                )));
+            }
+        }
+        let (lo, hi) = self.my_block();
+        let dims: Vec<usize> = (0..n).map(|d| (hi[d] - lo[d]) + 2 * width[d]).collect();
+        let mut block = GhostBlock {
+            lo: lo.clone(),
+            hi: hi.clone(),
+            width: width.to_vec(),
+            dims: dims.clone(),
+            data: vec![0.0; dims.iter().product::<usize>().max(1)],
+        };
+        if lo.iter().zip(&hi).any(|(&l, &h)| l >= h) {
+            return Ok(block); // empty block: nothing to fetch
+        }
+        // Per dimension: pieces of the halo range, as (global range,
+        // local start) — splitting at the array boundary (periodic wrap)
+        // or clamping (non-periodic).
+        let mut pieces: Vec<Vec<(usize, usize, usize)>> = Vec::with_capacity(n);
+        for d in 0..n {
+            let nd = self.dims()[d];
+            let start = lo[d] as isize - width[d] as isize;
+            let len = (hi[d] - lo[d]) + 2 * width[d];
+            let mut dim_pieces = Vec::new();
+            let mut local = 0usize;
+            let mut g = start;
+            while local < len {
+                if periodic {
+                    let gm = g.rem_euclid(nd as isize) as usize;
+                    // run until the array boundary or the halo end
+                    let run = (nd - gm).min(len - local);
+                    dim_pieces.push((gm, gm + run, local));
+                    local += run;
+                    g += run as isize;
+                } else {
+                    if g < 0 {
+                        let skip = (-g) as usize;
+                        local += skip;
+                        g = 0;
+                        continue;
+                    }
+                    let gm = g as usize;
+                    if gm >= nd {
+                        break; // rest stays zero
+                    }
+                    let run = (nd - gm).min(len - local);
+                    dim_pieces.push((gm, gm + run, local));
+                    local += run;
+                    g += run as isize;
+                }
+            }
+            pieces.push(dim_pieces);
+        }
+        // Cartesian product of per-dim pieces: one patch get per piece.
+        let mut choice = vec![0usize; n];
+        'outer: loop {
+            let glo: Vec<usize> = (0..n).map(|d| pieces[d][choice[d]].0).collect();
+            let ghi: Vec<usize> = (0..n).map(|d| pieces[d][choice[d]].1).collect();
+            let lstart: Vec<usize> = (0..n).map(|d| pieces[d][choice[d]].2).collect();
+            let patch = self.get_patch(&glo, &ghi)?;
+            // scatter the dense patch into `data`
+            let pdims: Vec<usize> = glo.iter().zip(&ghi).map(|(&a, &b)| b - a).collect();
+            let total: usize = pdims.iter().product();
+            let mut idx = vec![0usize; n];
+            for flat in 0..total {
+                let mut off = 0usize;
+                for d in 0..n {
+                    off = off * dims[d] + lstart[d] + idx[d];
+                }
+                block.data[off] = patch[flat];
+                for d in (0..n).rev() {
+                    idx[d] += 1;
+                    if idx[d] < pdims[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
+            }
+            // next combination
+            let mut d = n;
+            loop {
+                if d == 0 {
+                    break 'outer;
+                }
+                d -= 1;
+                choice[d] += 1;
+                if choice[d] < pieces[d].len() {
+                    break;
+                }
+                choice[d] = 0;
+            }
+        }
+        Ok(block)
+    }
+
+    /// Writes a ghost block's interior back into the array
+    /// (`NGA_Release_update` of the interior).
+    pub fn put_interior(&self, block: &GhostBlock) -> GaResult<()> {
+        if block.lo.iter().zip(&block.hi).any(|(&l, &h)| l >= h) {
+            return Ok(());
+        }
+        self.put_patch(&block.lo, &block.hi, &block.interior())
+    }
+}

@@ -1,0 +1,27 @@
+//! **Global Arrays** — the PGAS library on top of ARMCI (paper §II-B).
+//!
+//! GA presents large, multidimensional shared arrays distributed across
+//! the memories of many processes. Programs interact with an array through
+//! one-sided `get` / `put` / `acc` operations on **index patches**; the GA
+//! layer decomposes each patch into per-owner strided ARMCI operations
+//! (Figure 2 of the paper) and issues them through whichever [`armci::Armci`]
+//! runtime it was built on — ARMCI-MPI or ARMCI-Native — exactly the
+//! relink choice NWChem has (Figure 1).
+//!
+//! Conventions: this crate is idiomatic Rust, so patch bounds are
+//! **half-open** `lo..hi` (GA's C API uses inclusive upper bounds); element
+//! storage is row-major (C order), matching GA.
+
+pub mod array;
+pub mod dist;
+pub mod gather;
+pub mod ghosts;
+pub mod gop;
+pub mod linalg;
+pub mod math;
+
+pub use array::{GaType, GlobalArray};
+pub use dist::{proc_grid, Distribution};
+
+/// Errors are ARMCI errors (GA adds no new failure modes of its own).
+pub type GaResult<T> = armci::ArmciResult<T>;

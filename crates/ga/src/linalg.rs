@@ -1,0 +1,152 @@
+//! Higher-level parallel mathematics (`GA_Dgemm`, `GA_Transpose`,
+//! `GA_Duplicate`) — the "high-level parallel mathematics routines" the
+//! paper's §II-B attributes to GA.
+//!
+//! All routines are collective and owner-computes: each process produces
+//! its own block of the output, fetching the operands it needs through
+//! one-sided gets. This is the communication pattern of GA's own
+//! `ga_matmul_patch`.
+
+use crate::array::{GaType, GlobalArray};
+use crate::GaResult;
+use armci::{Armci, ArmciError};
+
+impl<'a, A: Armci + ?Sized> GlobalArray<'a, A> {
+    /// `GA_Duplicate` + `GA_Copy`: a new array with the same shape,
+    /// type, group, and contents.
+    pub fn duplicate(&self, name: &str) -> GaResult<GlobalArray<'a, A>> {
+        let dup = GlobalArray::create_with_dist(
+            self.runtime(),
+            name,
+            self.ty(),
+            self.distribution().clone(),
+            self.group().clone(),
+        )?;
+        dup.copy_from_same_type(self)?;
+        Ok(dup)
+    }
+
+    fn copy_from_same_type(&self, src: &GlobalArray<'_, A>) -> GaResult<()> {
+        if self.dims() != src.dims() || self.ty() != src.ty() {
+            return Err(ArmciError::BadDescriptor("duplicate shape mismatch".into()));
+        }
+        self.sync();
+        let (lo, hi) = self.my_block();
+        if lo.iter().zip(&hi).all(|(&l, &h)| l < h) {
+            match self.ty() {
+                GaType::F64 => {
+                    let d = src.get_patch(&lo, &hi)?;
+                    self.put_patch(&lo, &hi, &d)?;
+                }
+                GaType::I64 => {
+                    let d = src.get_patch_i64(&lo, &hi)?;
+                    self.put_patch_i64(&lo, &hi, &d)?;
+                }
+            }
+        }
+        self.sync();
+        Ok(())
+    }
+
+    /// `GA_Transpose`: `self = srcᵀ` for 2-D f64 arrays. Each process
+    /// fetches the mirror of its own block and transposes locally.
+    pub fn transpose_from(&self, src: &GlobalArray<'_, A>) -> GaResult<()> {
+        if self.dims().len() != 2 || src.dims().len() != 2 {
+            return Err(ArmciError::BadDescriptor(
+                "transpose needs 2-D arrays".into(),
+            ));
+        }
+        if self.dims()[0] != src.dims()[1] || self.dims()[1] != src.dims()[0] {
+            return Err(ArmciError::BadDescriptor(format!(
+                "transpose shape mismatch: {:?} vs {:?}",
+                self.dims(),
+                src.dims()
+            )));
+        }
+        if self.ty() != GaType::F64 || src.ty() != GaType::F64 {
+            return Err(ArmciError::BadDescriptor(
+                "transpose needs F64 arrays".into(),
+            ));
+        }
+        self.sync();
+        let (lo, hi) = self.my_block();
+        if lo.iter().zip(&hi).all(|(&l, &h)| l < h) {
+            let mirror = src.get_patch(&[lo[1], lo[0]], &[hi[1], hi[0]])?;
+            let (rows, cols) = (hi[1] - lo[1], hi[0] - lo[0]);
+            let mut out = vec![0.0; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    out[c * rows + r] = mirror[r * cols + c];
+                }
+            }
+            self.put_patch(&lo, &hi, &out)?;
+        }
+        self.sync();
+        Ok(())
+    }
+
+    /// `GA_Dgemm` (non-transposed): `self = alpha · a × b + beta · self`
+    /// for 2-D f64 arrays with `a: m×k`, `b: k×n`, `self: m×n`.
+    ///
+    /// Owner-computes with panel fetches: each process fetches the `a`
+    /// row-panel and `b` column-panel matching its block of the output —
+    /// the same get/DGEMM pattern the NWChem proxy uses.
+    pub fn dgemm(
+        &self,
+        alpha: f64,
+        a: &GlobalArray<'_, A>,
+        b: &GlobalArray<'_, A>,
+        beta: f64,
+    ) -> GaResult<()> {
+        let (sd, ad, bd) = (self.dims(), a.dims(), b.dims());
+        if sd.len() != 2 || ad.len() != 2 || bd.len() != 2 {
+            return Err(ArmciError::BadDescriptor("dgemm needs 2-D arrays".into()));
+        }
+        let (m, n) = (sd[0], sd[1]);
+        let k = ad[1];
+        if ad[0] != m || bd[0] != k || bd[1] != n {
+            return Err(ArmciError::BadDescriptor(format!(
+                "dgemm shape mismatch: C {m}x{n}, A {}x{}, B {}x{}",
+                ad[0], ad[1], bd[0], bd[1]
+            )));
+        }
+        if self.ty() != GaType::F64 || a.ty() != GaType::F64 || b.ty() != GaType::F64 {
+            return Err(ArmciError::BadDescriptor("dgemm needs F64 arrays".into()));
+        }
+        self.sync();
+        let (lo, hi) = self.my_block();
+        if lo.iter().zip(&hi).all(|(&l, &h)| l < h) {
+            let (bm, bn) = (hi[0] - lo[0], hi[1] - lo[1]);
+            // fetch the operand panels
+            let pa = a.get_patch(&[lo[0], 0], &[hi[0], k])?; // bm × k
+            let pb = b.get_patch(&[0, lo[1]], &[k, hi[1]])?; // k × bn
+            let old = self.get_patch(&lo, &hi)?;
+            let mut out = vec![0.0; bm * bn];
+            for i in 0..bm {
+                for j in 0..bn {
+                    let mut acc = 0.0;
+                    for kk in 0..k {
+                        acc += pa[i * k + kk] * pb[kk * bn + j];
+                    }
+                    out[i * bn + j] = alpha * acc + beta * old[i * bn + j];
+                }
+            }
+            self.put_patch(&lo, &hi, &out)?;
+        }
+        self.sync();
+        Ok(())
+    }
+
+    /// Elementwise map over the whole array: `x ← f(x)` (collective,
+    /// owner-computes via direct local access).
+    pub fn map_inplace(&self, f: &mut dyn FnMut(f64) -> f64) -> GaResult<()> {
+        self.sync();
+        self.access_local_mut(&mut |b| {
+            for x in b.iter_mut() {
+                *x = f(*x);
+            }
+        })?;
+        self.sync();
+        Ok(())
+    }
+}

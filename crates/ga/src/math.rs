@@ -1,0 +1,120 @@
+//! Collective array mathematics (`GA_Zero`, `GA_Fill`, `GA_Scale`,
+//! `GA_Copy`, `GA_Dot`, `GA_Add`).
+//!
+//! Each routine is collective over the array's group and exploits
+//! locality: every process handles its own block via direct local access,
+//! fetching any remote operands through ordinary patch gets.
+
+use crate::array::{GaType, GlobalArray};
+use crate::GaResult;
+use armci::{Armci, ArmciError};
+use mpisim::coll::ReduceOp;
+
+impl<A: Armci + ?Sized> GlobalArray<'_, A> {
+    /// `GA_Zero`.
+    pub fn zero(&self) -> GaResult<()> {
+        self.fill(0.0)
+    }
+
+    /// `GA_Fill`: sets every element to `value`.
+    pub fn fill(&self, value: f64) -> GaResult<()> {
+        self.sync();
+        self.access_local_mut(&mut |b| b.fill(value))?;
+        self.sync();
+        Ok(())
+    }
+
+    /// `GA_Scale`: multiplies every element by `alpha`.
+    pub fn scale(&self, alpha: f64) -> GaResult<()> {
+        self.sync();
+        self.access_local_mut(&mut |b| b.iter_mut().for_each(|x| *x *= alpha))?;
+        self.sync();
+        Ok(())
+    }
+
+    /// `GA_Copy`: copies `src` into `self` (same shape; distributions may
+    /// differ).
+    pub fn copy_from(&self, src: &GlobalArray<'_, A>) -> GaResult<()> {
+        self.same_shape(src)?;
+        self.sync();
+        let (lo, hi) = self.my_block();
+        if lo.iter().zip(&hi).all(|(&l, &h)| l < h) {
+            let data = src.get_patch(&lo, &hi)?;
+            self.put_patch(&lo, &hi, &data)?;
+        }
+        self.sync();
+        Ok(())
+    }
+
+    /// `GA_Dot`: the global inner product `Σ self[i] * other[i]`.
+    pub fn dot(&self, other: &GlobalArray<'_, A>) -> GaResult<f64> {
+        self.same_shape(other)?;
+        self.sync();
+        let (lo, hi) = self.my_block();
+        let mut partial = 0.0;
+        if lo.iter().zip(&hi).all(|(&l, &h)| l < h) {
+            let theirs = other.get_patch(&lo, &hi)?;
+            let mut idx = 0usize;
+            self.access_local(&mut |mine| {
+                partial = mine.iter().zip(&theirs).map(|(a, b)| a * b).sum();
+                idx += 1;
+            })?;
+        }
+        let total = self.group().comm().allreduce_f64(ReduceOp::Sum, &[partial])[0];
+        Ok(total)
+    }
+
+    /// `GA_Add`: `self = alpha * a + beta * b` (all same shape).
+    pub fn add_from(
+        &self,
+        alpha: f64,
+        a: &GlobalArray<'_, A>,
+        beta: f64,
+        b: &GlobalArray<'_, A>,
+    ) -> GaResult<()> {
+        self.same_shape(a)?;
+        self.same_shape(b)?;
+        self.sync();
+        let (lo, hi) = self.my_block();
+        if lo.iter().zip(&hi).all(|(&l, &h)| l < h) {
+            let va = a.get_patch(&lo, &hi)?;
+            let vb = b.get_patch(&lo, &hi)?;
+            let out: Vec<f64> = va
+                .iter()
+                .zip(&vb)
+                .map(|(x, y)| alpha * x + beta * y)
+                .collect();
+            self.put_patch(&lo, &hi, &out)?;
+        }
+        self.sync();
+        Ok(())
+    }
+
+    /// Global maximum of |element| (`GA_Norm_infinity` flavour).
+    pub fn norm_inf(&self) -> GaResult<f64> {
+        self.sync();
+        let mut partial = 0.0f64;
+        self.access_local(&mut |b| {
+            partial = b.iter().fold(0.0, |m, x| m.max(x.abs()));
+        })?;
+        Ok(self.group().comm().allreduce_f64(ReduceOp::Max, &[partial])[0])
+    }
+
+    fn same_shape(&self, other: &GlobalArray<'_, A>) -> GaResult<()> {
+        if self.dims() != other.dims() || self.ty() != other.ty() {
+            return Err(ArmciError::BadDescriptor(format!(
+                "shape mismatch: {:?} {:?} vs {:?} {:?}",
+                self.dims(),
+                self.ty(),
+                other.dims(),
+                other.ty()
+            )));
+        }
+        if self.ty() != GaType::F64 {
+            return Err(ArmciError::BadDescriptor(
+                "math routines operate on F64 arrays".into(),
+            ));
+        }
+        Ok(())
+    }
+}

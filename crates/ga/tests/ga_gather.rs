@@ -1,0 +1,146 @@
+//! Gather/scatter tests on both backends.
+
+use armci::Armci;
+use armci_mpi::ArmciMpi;
+use armci_native::ArmciNative;
+use ga::{GaType, GlobalArray};
+use mpisim::{Proc, Runtime, RuntimeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+fn on_both(n: usize, f: impl Fn(&Proc, &dyn Armci) + Send + Sync) {
+    Runtime::run_with(n, quiet(), |p| f(p, &ArmciMpi::new(p)));
+    Runtime::run_with(n, quiet(), |p| f(p, &ArmciNative::new(p)));
+}
+
+#[test]
+fn gather_reads_scattered_elements() {
+    on_both(4, |p, rt| {
+        let a = GlobalArray::create(rt, "g", GaType::F64, &[9, 9]).unwrap();
+        // initialise a[i][j] = 100 i + j via owner blocks
+        let (lo, hi) = a.my_block();
+        if lo.iter().zip(&hi).all(|(&l, &h)| l < h) {
+            let mut d = Vec::new();
+            for i in lo[0]..hi[0] {
+                for j in lo[1]..hi[1] {
+                    d.push((100 * i + j) as f64);
+                }
+            }
+            a.put_patch(&lo, &hi, &d).unwrap();
+        }
+        a.sync();
+        if p.rank() == 0 {
+            let subs = vec![
+                vec![0, 0],
+                vec![8, 8],
+                vec![3, 7],
+                vec![7, 3],
+                vec![4, 4],
+                vec![0, 8],
+            ];
+            let vals = a.gather(&subs).unwrap();
+            let expect: Vec<f64> = subs.iter().map(|s| (100 * s[0] + s[1]) as f64).collect();
+            assert_eq!(vals, expect);
+        }
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn scatter_then_gather_roundtrip() {
+    on_both(5, |p, rt| {
+        let a = GlobalArray::create(rt, "s", GaType::F64, &[20]).unwrap();
+        a.zero().unwrap();
+        if p.rank() == 1 {
+            let subs: Vec<Vec<usize>> = [19usize, 0, 7, 13, 3].iter().map(|&i| vec![i]).collect();
+            let vals = [1.0, 2.0, 3.0, 4.0, 5.0];
+            a.scatter(&subs, &vals).unwrap();
+            assert_eq!(a.gather(&subs).unwrap(), vals.to_vec());
+        }
+        a.sync();
+        // untouched elements remain zero
+        let full = a.get_patch(&[0], &[20]).unwrap();
+        assert_eq!(full.iter().filter(|&&x| x == 0.0).count(), 15);
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn scatter_acc_accumulates_with_duplicates() {
+    let n = 4;
+    on_both(n, move |_, rt| {
+        let a = GlobalArray::create(rt, "sa", GaType::F64, &[10]).unwrap();
+        a.zero().unwrap();
+        // everyone hits the same elements, with a duplicate subscript
+        let subs: Vec<Vec<usize>> = vec![vec![2], vec![5], vec![2]];
+        let vals = [1.0, 10.0, 2.0];
+        a.scatter_acc(&subs, &vals, 2.0).unwrap();
+        a.sync();
+        let full = a.get_patch(&[0], &[10]).unwrap();
+        let nf = rt.nprocs() as f64;
+        assert_eq!(full[2], nf * 2.0 * 3.0); // (1 + 2) · 2 per rank
+        assert_eq!(full[5], nf * 20.0);
+        assert_eq!(full[0], 0.0);
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn scatter_rejects_duplicates_and_bad_subscripts() {
+    on_both(2, |p, rt| {
+        let a = GlobalArray::create(rt, "bad", GaType::F64, &[4, 4]).unwrap();
+        if p.rank() == 0 {
+            // duplicate
+            let dup = vec![vec![1, 1], vec![1, 1]];
+            assert!(a.scatter(&dup, &[1.0, 2.0]).is_err());
+            // out of bounds
+            assert!(a.gather(&[vec![4, 0]]).is_err());
+            // wrong rank
+            assert!(a.gather(&[vec![1]]).is_err());
+            // length mismatch
+            assert!(a.scatter(&[vec![0, 0]], &[1.0, 2.0]).is_err());
+        }
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn random_gather_matches_patch_read() {
+    on_both(6, |p, rt| {
+        let dims = [11usize, 7];
+        let a = GlobalArray::create(rt, "r", GaType::F64, &dims).unwrap();
+        let (lo, hi) = a.my_block();
+        if lo.iter().zip(&hi).all(|(&l, &h)| l < h) {
+            let mut d = Vec::new();
+            for i in lo[0]..hi[0] {
+                for j in lo[1]..hi[1] {
+                    d.push((i * 31 + j * 7) as f64 / 4.0);
+                }
+            }
+            a.put_patch(&lo, &hi, &d).unwrap();
+        }
+        a.sync();
+        let mut rng = StdRng::seed_from_u64(99 + p.rank() as u64);
+        let subs: Vec<Vec<usize>> = (0..40)
+            .map(|_| vec![rng.gen_range(0..dims[0]), rng.gen_range(0..dims[1])])
+            .collect();
+        let gathered = a.gather(&subs).unwrap();
+        let full = a.get_patch(&[0, 0], &dims).unwrap();
+        for (s, v) in subs.iter().zip(&gathered) {
+            assert_eq!(*v, full[s[0] * dims[1] + s[1]], "at {s:?}");
+        }
+        a.sync();
+        a.destroy().unwrap();
+    });
+}

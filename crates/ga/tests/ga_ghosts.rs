@@ -1,0 +1,186 @@
+//! Ghost-cell tests on both backends.
+
+use armci::Armci;
+use armci_mpi::ArmciMpi;
+use armci_native::ArmciNative;
+use ga::{GaType, GlobalArray};
+use mpisim::{Proc, Runtime, RuntimeConfig};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+fn on_both(n: usize, f: impl Fn(&Proc, &dyn Armci) + Send + Sync) {
+    Runtime::run_with(n, quiet(), |p| f(p, &ArmciMpi::new(p)));
+    Runtime::run_with(n, quiet(), |p| f(p, &ArmciNative::new(p)));
+}
+
+fn init(a: &GlobalArray<'_, dyn Armci + '_>, dims: &[usize]) {
+    let (lo, hi) = a.my_block();
+    if lo.iter().zip(&hi).all(|(&l, &h)| l < h) {
+        let mut d = Vec::new();
+        let mut idx = lo.clone();
+        let total: usize = lo.iter().zip(&hi).map(|(&l, &h)| h - l).product();
+        for _ in 0..total {
+            let mut v = 0usize;
+            for (x, n) in idx.iter().zip(dims) {
+                v = v * n + x;
+            }
+            d.push(v as f64);
+            for k in (0..idx.len()).rev() {
+                idx[k] += 1;
+                if idx[k] < hi[k] {
+                    break;
+                }
+                idx[k] = lo[k];
+            }
+        }
+        a.put_patch(&lo, &hi, &d).unwrap();
+    }
+    a.sync();
+}
+
+#[test]
+fn ghost_margin_matches_direct_reads_2d() {
+    on_both(4, |_, rt| {
+        let dims = [10usize, 8];
+        let a = GlobalArray::create(rt, "gh", GaType::F64, &dims).unwrap();
+        init(&a, &dims);
+        let g = a.fetch_ghosted(&[1, 1], false).unwrap();
+        let (lo, hi) = a.my_block();
+        // every in-array position within the halo equals the element value
+        for i in lo[0].saturating_sub(1)..(hi[0] + 1).min(dims[0]) {
+            for j in lo[1].saturating_sub(1)..(hi[1] + 1).min(dims[1]) {
+                assert_eq!(g.at(&[i, j]), (i * dims[1] + j) as f64, "({i},{j})");
+            }
+        }
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn periodic_ghosts_wrap_around() {
+    on_both(3, |_, rt| {
+        let dims = [9usize];
+        let a = GlobalArray::create(rt, "per", GaType::F64, &dims).unwrap();
+        init(&a, &dims);
+        let g = a.fetch_ghosted(&[2], true).unwrap();
+        let (lo, hi) = a.my_block();
+        // the left margin holds wrapped values
+        for k in 1..=2usize {
+            let gidx = (lo[0] + dims[0] - k) % dims[0];
+            assert_eq!(
+                g.rel(&[lo[0]], &[-(k as isize)]),
+                gidx as f64,
+                "left margin {k}"
+            );
+            let gidx = (hi[0] - 1 + k) % dims[0];
+            assert_eq!(
+                g.rel(&[hi[0] - 1], &[k as isize]),
+                gidx as f64,
+                "right margin {k}"
+            );
+        }
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn nonperiodic_outside_cells_are_zero() {
+    on_both(2, |_, rt| {
+        let dims = [6usize];
+        let a = GlobalArray::create(rt, "np", GaType::F64, &dims).unwrap();
+        a.fill(5.0).unwrap();
+        let g = a.fetch_ghosted(&[2], false).unwrap();
+        let (lo, hi) = a.my_block();
+        if lo[0] == 0 {
+            assert_eq!(g.rel(&[0], &[-1]), 0.0);
+            assert_eq!(g.rel(&[0], &[-2]), 0.0);
+        }
+        if hi[0] == dims[0] {
+            assert_eq!(g.rel(&[dims[0] - 1], &[1]), 0.0);
+        }
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn interior_roundtrip_via_put_interior() {
+    on_both(4, |_, rt| {
+        let dims = [7usize, 7];
+        let a = GlobalArray::create(rt, "ir", GaType::F64, &dims).unwrap();
+        init(&a, &dims);
+        let mut g = a.fetch_ghosted(&[1, 1], false).unwrap();
+        // double the interior locally and write back
+        let interior = g.interior();
+        let (lo, hi) = a.my_block();
+        let idims = [hi[0] - lo[0], hi[1] - lo[1]];
+        for (k, v) in interior.iter().enumerate() {
+            let (i, j) = (k / idims[1], k % idims[1]);
+            let off = (i + 1) * g.dims[1] + (j + 1);
+            g.data[off] = v * 2.0;
+        }
+        a.put_interior(&g).unwrap();
+        a.sync();
+        let full = a.get_patch(&[0, 0], &dims).unwrap();
+        for i in 0..dims[0] {
+            for j in 0..dims[1] {
+                assert_eq!(full[i * dims[1] + j], 2.0 * (i * dims[1] + j) as f64);
+            }
+        }
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn ghost_stencil_matches_manual_halo() {
+    // A 5-point Laplacian computed via ghost blocks equals one computed
+    // from the full array.
+    on_both(6, |_, rt| {
+        let dims = [12usize, 12];
+        let a = GlobalArray::create(rt, "st", GaType::F64, &dims).unwrap();
+        init(&a, &dims);
+        let full = a.get_patch(&[0, 0], &dims).unwrap();
+        let g = a.fetch_ghosted(&[1, 1], true).unwrap();
+        let (lo, hi) = a.my_block();
+        for i in lo[0]..hi[0] {
+            for j in lo[1]..hi[1] {
+                let lap = g.rel(&[i, j], &[-1, 0])
+                    + g.rel(&[i, j], &[1, 0])
+                    + g.rel(&[i, j], &[0, -1])
+                    + g.rel(&[i, j], &[0, 1])
+                    - 4.0 * g.at(&[i, j]);
+                let wrap = |x: isize, n: usize| -> usize { x.rem_euclid(n as isize) as usize };
+                let ref_lap = full[wrap(i as isize - 1, dims[0]) * dims[1] + j]
+                    + full[wrap(i as isize + 1, dims[0]) * dims[1] + j]
+                    + full[i * dims[1] + wrap(j as isize - 1, dims[1])]
+                    + full[i * dims[1] + wrap(j as isize + 1, dims[1])]
+                    - 4.0 * full[i * dims[1] + j];
+                assert_eq!(lap, ref_lap, "({i},{j})");
+            }
+        }
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn bad_ghost_requests_rejected() {
+    on_both(2, |_, rt| {
+        let a = GlobalArray::create(rt, "bad", GaType::F64, &[4, 4]).unwrap();
+        assert!(a.fetch_ghosted(&[1], false).is_err()); // wrong rank
+        assert!(a.fetch_ghosted(&[4, 1], false).is_err()); // width ≥ dim
+        let c = GlobalArray::create(rt, "i64", GaType::I64, &[4]).unwrap();
+        assert!(c.fetch_ghosted(&[1], false).is_err()); // wrong type
+        a.sync();
+        a.destroy().unwrap();
+        c.destroy().unwrap();
+    });
+}

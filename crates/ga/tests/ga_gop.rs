@@ -1,0 +1,82 @@
+//! Global-operation (GA_Dgop / GA_Igop / GA_Brdcst) tests.
+
+use armci::Armci;
+use armci_mpi::ArmciMpi;
+use armci_native::ArmciNative;
+use ga::gop::{brdcst, dgop, igop, GopOp};
+use mpisim::{Proc, Runtime, RuntimeConfig};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+fn on_both(n: usize, f: impl Fn(&Proc, &dyn Armci) + Send + Sync) {
+    Runtime::run_with(n, quiet(), |p| f(p, &ArmciMpi::new(p)));
+    Runtime::run_with(n, quiet(), |p| f(p, &ArmciNative::new(p)));
+}
+
+#[test]
+fn dgop_sum_min_max_absmax() {
+    on_both(4, |p, rt| {
+        let g = rt.world_group();
+        let r = p.rank() as f64;
+        let mut v = [r, -r, 1.0];
+        dgop(&g, &mut v, GopOp::Sum);
+        assert_eq!(v, [6.0, -6.0, 4.0]);
+
+        let mut v = [r];
+        dgop(&g, &mut v, GopOp::Min);
+        assert_eq!(v, [0.0]);
+        let mut v = [r];
+        dgop(&g, &mut v, GopOp::Max);
+        assert_eq!(v, [3.0]);
+        let mut v = [-r];
+        dgop(&g, &mut v, GopOp::AbsMax);
+        assert_eq!(v, [3.0]);
+    });
+}
+
+#[test]
+fn igop_on_subgroup() {
+    on_both(6, |p, rt| {
+        let g = rt.world_group();
+        let sub = g.split((p.rank() % 2) as i64, p.rank() as i64).unwrap();
+        let mut v = [p.rank() as i64, 1];
+        igop(&sub, &mut v, GopOp::Sum);
+        let expect = if p.rank() % 2 == 0 { 6 } else { 9 };
+        assert_eq!(v, [expect, 3]);
+    });
+}
+
+#[test]
+fn brdcst_from_each_root() {
+    on_both(3, |p, rt| {
+        let g = rt.world_group();
+        for root in 0..3 {
+            let mut buf = if p.rank() == root {
+                vec![root as u8; 5]
+            } else {
+                Vec::new()
+            };
+            brdcst(&g, &mut buf, root);
+            assert_eq!(buf, vec![root as u8; 5]);
+        }
+    });
+}
+
+#[test]
+fn nwchem_style_convergence_check() {
+    // the idiom: local residual norm → absmax over the group → compare
+    on_both(5, |p, rt| {
+        let g = rt.world_group();
+        let local_residual = (p.rank() as f64 - 2.0) / 10.0;
+        let mut nrm = [local_residual];
+        dgop(&g, &mut nrm, GopOp::AbsMax);
+        assert_eq!(nrm[0], 0.2);
+        let converged = nrm[0] < 1e-6;
+        assert!(!converged);
+    });
+}

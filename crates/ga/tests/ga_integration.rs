@@ -1,0 +1,310 @@
+//! Global Arrays integration tests on both ARMCI backends.
+
+use armci::Armci;
+use armci_mpi::ArmciMpi;
+use armci_native::ArmciNative;
+use ga::{Distribution, GaType, GlobalArray};
+use mpisim::{Proc, Runtime, RuntimeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+/// Runs `f` on both backends.
+fn on_both(n: usize, f: impl Fn(&Proc, &dyn Armci) + Send + Sync) {
+    Runtime::run_with(n, quiet(), |p| {
+        let rt = ArmciMpi::new(p);
+        f(p, &rt);
+    });
+    Runtime::run_with(n, quiet(), |p| {
+        let rt = ArmciNative::new(p);
+        f(p, &rt);
+    });
+}
+
+#[test]
+fn create_query_destroy() {
+    on_both(4, |_, rt| {
+        let a = GlobalArray::create(rt, "a", GaType::F64, &[40, 30]).unwrap();
+        assert_eq!(a.dims(), &[40, 30]);
+        assert_eq!(a.name(), "a");
+        // blocks partition the array
+        let total: usize = (0..4).map(|c| a.distribution().cell_len(c)).sum();
+        assert_eq!(total, 1200);
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn put_get_patch_spanning_owners() {
+    on_both(4, |p, rt| {
+        let a = GlobalArray::create(rt, "a", GaType::F64, &[16, 16]).unwrap();
+        a.zero().unwrap();
+        if p.rank() == 0 {
+            // patch crossing all four blocks
+            let lo = [3, 3];
+            let hi = [13, 13];
+            let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+            a.put_patch(&lo, &hi, &data).unwrap();
+        }
+        a.sync();
+        // every rank reads the same patch and the full array
+        let patch = a.get_patch(&[3, 3], &[13, 13]).unwrap();
+        for (i, v) in patch.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+        let full = a.get_patch(&[0, 0], &[16, 16]).unwrap();
+        // untouched border stays zero
+        assert_eq!(full[0], 0.0);
+        assert_eq!(full[2 * 16 + 2], 0.0);
+        // interior matches
+        assert_eq!(full[3 * 16 + 3], 0.0 /* patch[0] */);
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn patch_roundtrip_matches_reference_mirror() {
+    // Write random patches, mirror them in a local reference array, and
+    // verify full-array equality at the end.
+    on_both(6, |p, rt| {
+        let dims = [23usize, 17];
+        let a = GlobalArray::create(rt, "m", GaType::F64, &dims).unwrap();
+        a.zero().unwrap();
+        let mut reference = vec![0.0f64; dims[0] * dims[1]];
+        let mut rng = StdRng::seed_from_u64(7);
+        // all ranks compute the same patch schedule; rank k applies patch
+        // i when i % nprocs == k, so the mirror stays exact
+        for i in 0..30 {
+            let l0 = rng.gen_range(0..dims[0] - 1);
+            let h0 = rng.gen_range(l0 + 1..=dims[0]);
+            let l1 = rng.gen_range(0..dims[1] - 1);
+            let h1 = rng.gen_range(l1 + 1..=dims[1]);
+            let val = i as f64 + 1.0;
+            let len = (h0 - l0) * (h1 - l1);
+            let data = vec![val; len];
+            if i % rt.nprocs() == rt.rank() {
+                a.put_patch(&[l0, l1], &[h0, h1], &data).unwrap();
+            }
+            for r in l0..h0 {
+                for c in l1..h1 {
+                    reference[r * dims[1] + c] = val;
+                }
+            }
+            a.sync();
+        }
+        let full = a.get_patch(&[0, 0], &dims).unwrap();
+        assert_eq!(full, reference);
+        a.sync();
+        a.destroy().unwrap();
+        let _ = p;
+    });
+}
+
+#[test]
+fn accumulate_patch_is_atomic_across_ranks() {
+    on_both(5, |_, rt| {
+        let a = GlobalArray::create(rt, "acc", GaType::F64, &[12, 12]).unwrap();
+        a.zero().unwrap();
+        // everyone accumulates 1.0 into the same overlapping patch
+        let data = vec![1.0; 8 * 8];
+        for _ in 0..4 {
+            a.acc_patch(2.0, &[2, 2], &[10, 10], &data).unwrap();
+        }
+        a.sync();
+        let patch = a.get_patch(&[2, 2], &[10, 10]).unwrap();
+        let expect = 2.0 * 4.0 * rt.nprocs() as f64;
+        assert!(patch.iter().all(|&v| v == expect), "got {:?}", &patch[..4]);
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn i64_arrays_and_read_inc() {
+    on_both(4, |_, rt| {
+        let c = GlobalArray::create(rt, "counter", GaType::I64, &[8]).unwrap();
+        c.put_patch_i64(&[0], &[8], &[0; 8]).unwrap();
+        c.sync();
+        // NXTVAL: everyone pulls 25 tickets from element 3
+        let mut mine = Vec::new();
+        for _ in 0..25 {
+            mine.push(c.read_inc(&[3], 1).unwrap());
+        }
+        c.sync();
+        let total = c.get_patch_i64(&[3], &[4]).unwrap()[0];
+        assert_eq!(total, 4 * 25);
+        // tickets are within range and locally increasing
+        assert!(mine.windows(2).all(|w| w[0] < w[1]));
+        assert!(mine.iter().all(|&t| t < 100));
+        c.sync();
+        c.destroy().unwrap();
+    });
+}
+
+#[test]
+fn i64_accumulate() {
+    on_both(3, |p, rt| {
+        let c = GlobalArray::create(rt, "iacc", GaType::I64, &[6]).unwrap();
+        c.put_patch_i64(&[0], &[6], &[10; 6]).unwrap();
+        c.sync();
+        if p.rank() == 0 {
+            c.acc_patch_i64(3, &[1], &[4], &[2, 2, 2]).unwrap();
+        }
+        c.sync();
+        let v = c.get_patch_i64(&[0], &[6]).unwrap();
+        assert_eq!(v, vec![10, 16, 16, 16, 10, 10]);
+        c.sync();
+        c.destroy().unwrap();
+    });
+}
+
+#[test]
+fn math_fill_scale_dot_add() {
+    on_both(4, |_, rt| {
+        let a = GlobalArray::create(rt, "a", GaType::F64, &[10, 10]).unwrap();
+        let b = GlobalArray::create(rt, "b", GaType::F64, &[10, 10]).unwrap();
+        let c = GlobalArray::create(rt, "c", GaType::F64, &[10, 10]).unwrap();
+        a.fill(2.0).unwrap();
+        b.fill(3.0).unwrap();
+        assert_eq!(a.dot(&b).unwrap(), 600.0);
+        a.scale(2.0).unwrap();
+        assert_eq!(a.dot(&b).unwrap(), 1200.0);
+        c.add_from(1.0, &a, -1.0, &b).unwrap(); // c = 4 - 3 = 1
+        assert_eq!(c.dot(&c).unwrap(), 100.0);
+        assert_eq!(c.norm_inf().unwrap(), 1.0);
+        c.copy_from(&b).unwrap();
+        assert_eq!(c.dot(&c).unwrap(), 900.0);
+        a.sync();
+        a.destroy().unwrap();
+        b.destroy().unwrap();
+        c.destroy().unwrap();
+    });
+}
+
+#[test]
+fn access_local_mut_and_locality() {
+    on_both(4, |_, rt| {
+        let a = GlobalArray::create(rt, "loc", GaType::F64, &[8, 8]).unwrap();
+        a.zero().unwrap();
+        // each rank stamps its own block with its rank+1
+        let me = a.group().rank() as f64 + 1.0;
+        a.access_local_mut(&mut |b| b.fill(me)).unwrap();
+        a.sync();
+        // verify via remote reads that each block has its owner's stamp
+        let full = a.get_patch(&[0, 0], &[8, 8]).unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                let owner = a.locate(&[i, j]);
+                assert_eq!(full[i * 8 + j], owner as f64 + 1.0, "({i},{j})");
+            }
+        }
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn irregular_distribution_arrays() {
+    on_both(3, |_, rt| {
+        let dist = Distribution::irregular(&[12], vec![vec![0, 2, 3, 12]]);
+        let g = rt.world_group();
+        let a = GlobalArray::create_with_dist(rt, "irr", GaType::F64, dist, g).unwrap();
+        a.zero().unwrap();
+        let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        if rt.rank() == 0 {
+            a.put_patch(&[0], &[12], &data).unwrap();
+        }
+        a.sync();
+        assert_eq!(a.get_patch(&[0], &[12]).unwrap(), data);
+        // ownership respects the irregular boundaries
+        assert_eq!(a.locate(&[0]), 0);
+        assert_eq!(a.locate(&[2]), 1);
+        assert_eq!(a.locate(&[5]), 2);
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn three_dimensional_array() {
+    on_both(4, |p, rt| {
+        let a = GlobalArray::create(rt, "t3", GaType::F64, &[6, 5, 4]).unwrap();
+        a.zero().unwrap();
+        if p.rank() == 1 {
+            let lo = [1, 1, 1];
+            let hi = [5, 4, 3];
+            let len = 4 * 3 * 2;
+            let data: Vec<f64> = (0..len).map(|i| (i * i) as f64).collect();
+            a.put_patch(&lo, &hi, &data).unwrap();
+        }
+        a.sync();
+        let got = a.get_patch(&[1, 1, 1], &[5, 4, 3]).unwrap();
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, (i * i) as f64);
+        }
+        // single-element patch
+        let one = a.get_patch(&[1, 1, 1], &[2, 2, 2]).unwrap();
+        assert_eq!(one, vec![0.0]);
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn group_scoped_arrays() {
+    on_both(6, |p, rt| {
+        let world = rt.world_group();
+        let sub = world.split((p.rank() % 2) as i64, p.rank() as i64).unwrap();
+        let a = GlobalArray::create_on(rt, "sub", GaType::F64, &[9, 9], sub.clone()).unwrap();
+        a.fill(p.rank() as f64 % 2.0).unwrap();
+        let v = a.get_patch(&[4, 4], &[5, 5]).unwrap();
+        assert_eq!(v[0], (p.rank() % 2) as f64);
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn bad_patches_rejected() {
+    on_both(2, |_, rt| {
+        let a = GlobalArray::create(rt, "bad", GaType::F64, &[4, 4]).unwrap();
+        // inverted bounds
+        assert!(a.get_patch(&[2, 2], &[2, 3]).is_err());
+        // beyond dims
+        assert!(a.get_patch(&[0, 0], &[5, 4]).is_err());
+        // wrong rank
+        assert!(a.get_patch(&[0], &[4]).is_err());
+        // wrong buffer size
+        assert!(a.put_patch(&[0, 0], &[2, 2], &[0.0; 3]).is_err());
+        // type mismatch
+        assert!(a.get_patch_i64(&[0, 0], &[1, 1]).is_err());
+        assert!(a.read_inc(&[0, 0], 1).is_err());
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn more_ranks_than_rows() {
+    on_both(6, |p, rt| {
+        // 4-row array over 6 processes: some blocks are empty
+        let a = GlobalArray::create(rt, "thin", GaType::F64, &[4]).unwrap();
+        a.zero().unwrap();
+        if p.rank() == 0 {
+            a.put_patch(&[0], &[4], &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        }
+        a.sync();
+        assert_eq!(a.get_patch(&[0], &[4]).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.dot(&a).unwrap(), 30.0);
+        a.sync();
+        a.destroy().unwrap();
+    });
+}

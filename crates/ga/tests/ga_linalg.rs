@@ -1,0 +1,177 @@
+//! Tests for the high-level GA mathematics routines on both backends.
+
+use armci::Armci;
+use armci_mpi::ArmciMpi;
+use armci_native::ArmciNative;
+use ga::{GaType, GlobalArray};
+use mpisim::{Proc, Runtime, RuntimeConfig};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+fn on_both(n: usize, f: impl Fn(&Proc, &dyn Armci) + Send + Sync) {
+    Runtime::run_with(n, quiet(), |p| f(p, &ArmciMpi::new(p)));
+    Runtime::run_with(n, quiet(), |p| f(p, &ArmciNative::new(p)));
+}
+
+/// Fills a 2-D array with `f(i, j)` collectively.
+fn fill2d(a: &GlobalArray<'_, dyn Armci + '_>, f: impl Fn(usize, usize) -> f64) {
+    let (lo, hi) = a.my_block();
+    if lo.iter().zip(&hi).all(|(&l, &h)| l < h) {
+        let mut d = Vec::new();
+        for i in lo[0]..hi[0] {
+            for j in lo[1]..hi[1] {
+                d.push(f(i, j));
+            }
+        }
+        a.put_patch(&lo, &hi, &d).unwrap();
+    }
+    a.sync();
+}
+
+#[test]
+fn dgemm_matches_reference() {
+    on_both(4, |_, rt| {
+        let (m, k, n) = (7usize, 5, 6);
+        let a = GlobalArray::create(rt, "A", GaType::F64, &[m, k]).unwrap();
+        let b = GlobalArray::create(rt, "B", GaType::F64, &[k, n]).unwrap();
+        let c = GlobalArray::create(rt, "C", GaType::F64, &[m, n]).unwrap();
+        fill2d(&a, |i, j| (i + 2 * j) as f64);
+        fill2d(&b, |i, j| (3 * i) as f64 - j as f64);
+        c.fill(1.0).unwrap();
+        c.dgemm(2.0, &a, &b, 0.5).unwrap();
+        // reference
+        let got = c.get_patch(&[0, 0], &[m, n]).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += ((i + 2 * kk) as f64) * ((3 * kk) as f64 - j as f64);
+                }
+                let expect = 2.0 * acc + 0.5;
+                assert_eq!(got[i * n + j], expect, "({i},{j})");
+            }
+        }
+        c.sync();
+        a.destroy().unwrap();
+        b.destroy().unwrap();
+        c.destroy().unwrap();
+    });
+}
+
+#[test]
+fn dgemm_shape_and_type_checks() {
+    on_both(2, |_, rt| {
+        let a = GlobalArray::create(rt, "A", GaType::F64, &[4, 3]).unwrap();
+        let b = GlobalArray::create(rt, "B", GaType::F64, &[4, 4]).unwrap(); // bad k
+        let c = GlobalArray::create(rt, "C", GaType::F64, &[4, 4]).unwrap();
+        assert!(c.dgemm(1.0, &a, &b, 0.0).is_err());
+        c.sync();
+        a.destroy().unwrap();
+        b.destroy().unwrap();
+        c.destroy().unwrap();
+    });
+}
+
+#[test]
+fn transpose_roundtrip() {
+    on_both(6, |_, rt| {
+        let a = GlobalArray::create(rt, "A", GaType::F64, &[9, 5]).unwrap();
+        let at = GlobalArray::create(rt, "At", GaType::F64, &[5, 9]).unwrap();
+        let back = GlobalArray::create(rt, "Back", GaType::F64, &[9, 5]).unwrap();
+        fill2d(&a, |i, j| (10 * i + j) as f64);
+        at.transpose_from(&a).unwrap();
+        let t = at.get_patch(&[0, 0], &[5, 9]).unwrap();
+        for i in 0..5 {
+            for j in 0..9 {
+                assert_eq!(t[i * 9 + j], (10 * j + i) as f64);
+            }
+        }
+        back.transpose_from(&at).unwrap();
+        assert_eq!(
+            back.get_patch(&[0, 0], &[9, 5]).unwrap(),
+            a.get_patch(&[0, 0], &[9, 5]).unwrap()
+        );
+        a.sync();
+        a.destroy().unwrap();
+        at.destroy().unwrap();
+        back.destroy().unwrap();
+    });
+}
+
+#[test]
+fn duplicate_copies_both_types() {
+    on_both(3, |_, rt| {
+        let a = GlobalArray::create(rt, "A", GaType::F64, &[8, 4]).unwrap();
+        fill2d(&a, |i, j| (i * j) as f64 + 0.25);
+        let d = a.duplicate("A'").unwrap();
+        assert_eq!(
+            d.get_patch(&[0, 0], &[8, 4]).unwrap(),
+            a.get_patch(&[0, 0], &[8, 4]).unwrap()
+        );
+        // mutating the duplicate leaves the original alone
+        d.fill(0.0).unwrap();
+        assert_eq!(a.get_patch(&[1, 1], &[2, 2]).unwrap(), vec![1.25]);
+
+        let c = GlobalArray::create(rt, "Cnt", GaType::I64, &[6]).unwrap();
+        c.put_patch_i64(&[0], &[6], &[5, 4, 3, 2, 1, 0]).unwrap();
+        c.sync();
+        let c2 = c.duplicate("Cnt'").unwrap();
+        assert_eq!(
+            c2.get_patch_i64(&[0], &[6]).unwrap(),
+            vec![5, 4, 3, 2, 1, 0]
+        );
+
+        a.sync();
+        a.destroy().unwrap();
+        d.destroy().unwrap();
+        c.destroy().unwrap();
+        c2.destroy().unwrap();
+    });
+}
+
+#[test]
+fn map_inplace_applies_everywhere() {
+    on_both(4, |_, rt| {
+        let a = GlobalArray::create(rt, "A", GaType::F64, &[7, 7]).unwrap();
+        a.fill(2.0).unwrap();
+        a.map_inplace(&mut |x| x * x + 1.0).unwrap();
+        let v = a.get_patch(&[0, 0], &[7, 7]).unwrap();
+        assert!(v.iter().all(|&x| x == 5.0));
+        a.sync();
+        a.destroy().unwrap();
+    });
+}
+
+#[test]
+fn dgemm_backends_agree() {
+    let run = |mpi: bool| -> Vec<f64> {
+        Runtime::run_with(4, quiet(), move |p| {
+            let rt: Box<dyn Armci> = if mpi {
+                Box::new(ArmciMpi::new(p))
+            } else {
+                Box::new(ArmciNative::new(p))
+            };
+            let rt = rt.as_ref();
+            let a = GlobalArray::create(rt, "A", GaType::F64, &[6, 6]).unwrap();
+            let b = GlobalArray::create(rt, "B", GaType::F64, &[6, 6]).unwrap();
+            let c = GlobalArray::create(rt, "C", GaType::F64, &[6, 6]).unwrap();
+            fill2d(&a, |i, j| ((i * 7 + j * 3) % 5) as f64 / 4.0);
+            fill2d(&b, |i, j| ((i + j) % 3) as f64 / 2.0);
+            c.zero().unwrap();
+            c.dgemm(1.0, &a, &b, 0.0).unwrap();
+            let out = c.get_patch(&[0, 0], &[6, 6]).unwrap();
+            c.sync();
+            a.destroy().unwrap();
+            b.destroy().unwrap();
+            c.destroy().unwrap();
+            out
+        })
+        .swap_remove(0)
+    };
+    assert_eq!(run(true), run(false));
+}

@@ -1,0 +1,157 @@
+//! Property tests: GA patch semantics against a sequential reference
+//! array, with random shapes, distributions, and operation schedules.
+
+use armci::Armci;
+use armci_mpi::ArmciMpi;
+use armci_native::ArmciNative;
+use ga::{GaType, GlobalArray};
+use mpisim::{Runtime, RuntimeConfig};
+use proptest::prelude::*;
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PatchOp {
+    kind: u8, // 0 = put, 1 = acc
+    lo: Vec<usize>,
+    hi: Vec<usize>,
+    value: i32,
+    scale: i32,
+}
+
+/// Strategy: 1–3-D array dims plus a schedule of patch operations.
+fn arb_case() -> impl Strategy<Value = (Vec<usize>, Vec<PatchOp>)> {
+    (1usize..4)
+        .prop_flat_map(|rank| proptest::collection::vec(2usize..7, rank))
+        .prop_flat_map(|dims| {
+            let ops = {
+                let dims = dims.clone();
+                proptest::collection::vec(
+                    (
+                        0u8..2,
+                        proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), dims.len()),
+                        -4i32..5,
+                        1i32..4,
+                    )
+                        .prop_map(move |(kind, fracs, value, scale)| {
+                            let mut lo = Vec::new();
+                            let mut hi = Vec::new();
+                            for (d, &(a, b)) in fracs.iter().enumerate() {
+                                let n = dims[d];
+                                let x = (a * n as f64) as usize;
+                                let mut y = (b * n as f64) as usize + 1;
+                                let x = x.min(n - 1);
+                                if y <= x {
+                                    y = x + 1;
+                                }
+                                lo.push(x);
+                                hi.push(y.min(n));
+                            }
+                            PatchOp {
+                                kind,
+                                lo,
+                                hi,
+                                value,
+                                scale,
+                            }
+                        }),
+                    1..12,
+                )
+            };
+            (Just(dims), ops)
+        })
+}
+
+/// Applies the schedule through GA (ranks take turns issuing ops, with a
+/// sync after each — a deterministic schedule) and to a local reference;
+/// returns (ga image, reference image).
+fn run_case(mpi: bool, nprocs: usize, dims: Vec<usize>, ops: Vec<PatchOp>) -> (Vec<f64>, Vec<f64>) {
+    let total: usize = dims.iter().product();
+    let mut reference = vec![0.0f64; total];
+    // reference application
+    for op in &ops {
+        // iterate the patch in row-major order
+        let mut idx = op.lo.clone();
+        loop {
+            let mut off = 0;
+            for d in 0..dims.len() {
+                off = off * dims[d] + idx[d];
+            }
+            match op.kind {
+                0 => reference[off] = op.value as f64,
+                _ => reference[off] += (op.scale * op.value) as f64,
+            }
+            let mut d = dims.len();
+            'adv: loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < op.hi[d] {
+                    break 'adv;
+                }
+                idx[d] = op.lo[d];
+            }
+            if idx == op.lo {
+                break;
+            }
+        }
+    }
+    let dims2 = dims.clone();
+    let image = Runtime::run_with(nprocs, quiet(), move |p| {
+        let rt: Box<dyn Armci> = if mpi {
+            Box::new(ArmciMpi::new(p))
+        } else {
+            Box::new(ArmciNative::new(p))
+        };
+        let rt = rt.as_ref();
+        let a = GlobalArray::create(rt, "prop", GaType::F64, &dims2).unwrap();
+        a.zero().unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            if i % rt.nprocs() == rt.rank() {
+                let len: usize = op.lo.iter().zip(&op.hi).map(|(&l, &h)| h - l).product();
+                match op.kind {
+                    0 => a
+                        .put_patch(&op.lo, &op.hi, &vec![op.value as f64; len])
+                        .unwrap(),
+                    _ => a
+                        .acc_patch(op.scale as f64, &op.lo, &op.hi, &vec![op.value as f64; len])
+                        .unwrap(),
+                }
+            }
+            a.sync();
+        }
+        let lo = vec![0usize; dims2.len()];
+        let full = a.get_patch(&lo, &dims2).unwrap();
+        a.sync();
+        a.destroy().unwrap();
+        full
+    })
+    .swap_remove(0);
+    (image, reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// GA over ARMCI-MPI matches the sequential reference for any shape
+    /// and schedule.
+    #[test]
+    fn ga_matches_reference_on_mpi((dims, ops) in arb_case(), nprocs in 1usize..6) {
+        let (img, reference) = run_case(true, nprocs, dims, ops);
+        prop_assert_eq!(img, reference);
+    }
+
+    /// And so does GA over ARMCI-Native.
+    #[test]
+    fn ga_matches_reference_on_native((dims, ops) in arb_case(), nprocs in 1usize..6) {
+        let (img, reference) = run_case(false, nprocs, dims, ops);
+        prop_assert_eq!(img, reference);
+    }
+}

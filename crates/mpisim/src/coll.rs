@@ -1,0 +1,276 @@
+//! Collective rendezvous machinery and typed reductions.
+//!
+//! All collectives are built on one primitive: a phase-gated **allgather
+//! cell** (`CollectiveCell`). Every participant deposits a byte
+//! contribution; when the last one arrives all contributions are published
+//! and participants drain. The cell is reusable: a fast rank cannot enter
+//! round `k+1` until every rank has left round `k`.
+//!
+//! Collective *cost* is modelled as a binomial tree: `ceil(log2 P)` stages of
+//! `α + n/β`, synchronised via [`simnet::clock::sync_max`].
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Collecting,
+    Distributing,
+}
+
+struct CollState {
+    phase: Phase,
+    arrived: usize,
+    leaving: usize,
+    contributions: Vec<Option<Vec<u8>>>,
+    results: Option<Arc<Vec<Vec<u8>>>>,
+}
+
+/// A reusable allgather rendezvous for a fixed participant count.
+pub(crate) struct CollectiveCell {
+    size: usize,
+    m: Mutex<CollState>,
+    cv: Condvar,
+}
+
+impl CollectiveCell {
+    pub fn new(size: usize) -> CollectiveCell {
+        CollectiveCell {
+            size,
+            m: Mutex::new(CollState {
+                phase: Phase::Collecting,
+                arrived: 0,
+                leaving: 0,
+                contributions: (0..size).map(|_| None).collect(),
+                results: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deposits `data` as participant `rank`'s contribution and returns all
+    /// contributions once every participant has arrived.
+    pub fn exchange(&self, rank: usize, data: Vec<u8>) -> Arc<Vec<Vec<u8>>> {
+        let mut st = self.m.lock();
+        // Gate: previous round must fully drain first.
+        while st.phase == Phase::Distributing {
+            self.cv.wait(&mut st);
+        }
+        debug_assert!(
+            st.contributions[rank].is_none(),
+            "double arrival of rank {rank}"
+        );
+        st.contributions[rank] = Some(data);
+        st.arrived += 1;
+        if st.arrived == self.size {
+            let all: Vec<Vec<u8>> = st
+                .contributions
+                .iter_mut()
+                .map(|c| c.take().expect("missing contribution"))
+                .collect();
+            st.results = Some(Arc::new(all));
+            st.phase = Phase::Distributing;
+            self.cv.notify_all();
+        } else {
+            while st.phase == Phase::Collecting {
+                self.cv.wait(&mut st);
+            }
+        }
+        let res = Arc::clone(st.results.as_ref().expect("results missing"));
+        st.leaving += 1;
+        if st.leaving == self.size {
+            st.arrived = 0;
+            st.leaving = 0;
+            st.results = None;
+            st.phase = Phase::Collecting;
+            self.cv.notify_all();
+        }
+        res
+    }
+}
+
+/// Reduction operators over homogeneous numeric vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Min,
+    Max,
+    /// Pairwise max on value with the *lowest* index winning ties; operates
+    /// on `(value, index)` pairs. Used for leader election (§V-B).
+    MaxLoc,
+}
+
+/// Element-wise reduction of f64 vectors.
+pub fn reduce_f64(op: ReduceOp, vecs: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!vecs.is_empty());
+    let len = vecs[0].len();
+    let mut out = vecs[0].clone();
+    for v in &vecs[1..] {
+        assert_eq!(v.len(), len, "reduction length mismatch");
+        for (o, &x) in out.iter_mut().zip(v) {
+            *o = match op {
+                ReduceOp::Sum => *o + x,
+                ReduceOp::Min => o.min(x),
+                ReduceOp::Max => o.max(x),
+                ReduceOp::MaxLoc => unreachable!("MaxLoc needs pairs"),
+            };
+        }
+    }
+    out
+}
+
+/// Element-wise reduction of i64 vectors.
+pub fn reduce_i64(op: ReduceOp, vecs: &[Vec<i64>]) -> Vec<i64> {
+    assert!(!vecs.is_empty());
+    let len = vecs[0].len();
+    let mut out = vecs[0].clone();
+    for v in &vecs[1..] {
+        assert_eq!(v.len(), len, "reduction length mismatch");
+        for (o, &x) in out.iter_mut().zip(v) {
+            *o = match op {
+                ReduceOp::Sum => *o + x,
+                ReduceOp::Min => (*o).min(x),
+                ReduceOp::Max => (*o).max(x),
+                ReduceOp::MaxLoc => unreachable!("MaxLoc needs pairs"),
+            };
+        }
+    }
+    out
+}
+
+/// MAXLOC over `(value, index)` pairs: the largest value wins; ties go to
+/// the smallest index.
+pub fn maxloc_i64(pairs: &[(i64, usize)]) -> (i64, usize) {
+    let mut best = pairs[0];
+    for &(v, i) in &pairs[1..] {
+        if v > best.0 || (v == best.0 && i < best.1) {
+            best = (v, i);
+        }
+    }
+    best
+}
+
+/// Little-endian byte serialisation helpers for collective payloads.
+pub mod wire {
+    /// Encodes a `u64` slice.
+    pub fn put_u64s(out: &mut Vec<u8>, xs: &[u64]) {
+        for &x in xs {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Decodes `n` `u64`s from the front of `buf`, returning the rest.
+    pub fn get_u64s(buf: &[u8], n: usize) -> (Vec<u64>, &[u8]) {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[i * 8..i * 8 + 8]);
+            out.push(u64::from_le_bytes(b));
+        }
+        (out, &buf[n * 8..])
+    }
+
+    /// Encodes f64s.
+    pub fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+        for &x in xs {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Decodes all f64s in `buf`.
+    pub fn get_f64s(buf: &[u8]) -> Vec<f64> {
+        buf.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Decodes all i64s in `buf`.
+    pub fn get_i64s(buf: &[u8]) -> Vec<i64> {
+        buf.chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Encodes i64s.
+    pub fn put_i64s(out: &mut Vec<u8>, xs: &[i64]) {
+        for &x in xs {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn exchange_gathers_all_contributions() {
+        let cell = StdArc::new(CollectiveCell::new(4));
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|r| {
+                    let cell = StdArc::clone(&cell);
+                    s.spawn(move || cell.exchange(r, vec![r as u8; r + 1]))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for res in results {
+            assert_eq!(res.len(), 4);
+            for (r, c) in res.iter().enumerate() {
+                assert_eq!(c, &vec![r as u8; r + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_is_reusable_across_rounds() {
+        let cell = StdArc::new(CollectiveCell::new(3));
+        std::thread::scope(|s| {
+            for r in 0..3 {
+                let cell = StdArc::clone(&cell);
+                s.spawn(move || {
+                    for round in 0u8..50 {
+                        let res = cell.exchange(r, vec![round, r as u8]);
+                        for (i, c) in res.iter().enumerate() {
+                            assert_eq!(c, &vec![round, i as u8], "round {round}");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn reduce_f64_ops() {
+        let vecs = vec![vec![1.0, -2.0], vec![3.0, 5.0]];
+        assert_eq!(reduce_f64(ReduceOp::Sum, &vecs), vec![4.0, 3.0]);
+        assert_eq!(reduce_f64(ReduceOp::Min, &vecs), vec![1.0, -2.0]);
+        assert_eq!(reduce_f64(ReduceOp::Max, &vecs), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn reduce_i64_ops() {
+        let vecs = vec![vec![1, -2], vec![3, 5]];
+        assert_eq!(reduce_i64(ReduceOp::Sum, &vecs), vec![4, 3]);
+        assert_eq!(reduce_i64(ReduceOp::Min, &vecs), vec![1, -2]);
+        assert_eq!(reduce_i64(ReduceOp::Max, &vecs), vec![3, 5]);
+    }
+
+    #[test]
+    fn maxloc_prefers_lowest_index_on_tie() {
+        assert_eq!(maxloc_i64(&[(3, 2), (7, 1), (7, 0)]), (7, 0));
+        assert_eq!(maxloc_i64(&[(-1, 0), (-1, 1)]), (-1, 0));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut buf = Vec::new();
+        wire::put_u64s(&mut buf, &[1, u64::MAX]);
+        wire::put_f64s(&mut buf, &[1.5]);
+        let (u, rest) = wire::get_u64s(&buf, 2);
+        assert_eq!(u, vec![1, u64::MAX]);
+        assert_eq!(wire::get_f64s(rest), vec![1.5]);
+    }
+}

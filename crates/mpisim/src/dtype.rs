@@ -1,0 +1,473 @@
+//! Derived datatypes.
+//!
+//! The subset of MPI's datatype machinery that ARMCI-MPI needs: contiguous
+//! regions, indexed types (for the *IOV-direct* method of §VI-A) and
+//! subarray types (for the *direct strided* method of §VI-C). All types are
+//! expressed in **bytes** over a base buffer; the element width only matters
+//! for accumulate, which carries its own [`crate::win::ElemType`].
+//!
+//! A datatype flattens to an ordered list of `(offset, len)` segments
+//! relative to some base (the origin buffer start, or the window start plus
+//! displacement on the target side).
+
+use crate::error::{MpiError, MpiResult};
+
+/// A derived datatype (byte-granular).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Datatype {
+    /// `len` contiguous bytes.
+    Contiguous { len: usize },
+    /// `count` blocks of `blocklen` bytes, the start of consecutive blocks
+    /// separated by `stride` bytes (`stride >= blocklen`).
+    Vector {
+        count: usize,
+        blocklen: usize,
+        stride: usize,
+    },
+    /// Explicit `(displacement, len)` pairs. Displacements must be
+    /// non-negative; blocks may be unsorted but must not overlap (checked at
+    /// use when semantic checks are enabled).
+    Indexed { blocks: Vec<(usize, usize)> },
+    /// An n-dimensional subarray in C (row-major) order.
+    ///
+    /// `sizes` are the full array dimensions **in elements**, `subsizes` the
+    /// patch dimensions, `starts` the patch origin, and `elem` the element
+    /// width in bytes.
+    Subarray {
+        sizes: Vec<usize>,
+        subsizes: Vec<usize>,
+        starts: Vec<usize>,
+        elem: usize,
+    },
+}
+
+impl Datatype {
+    /// Contiguous helper.
+    pub fn contiguous(len: usize) -> Datatype {
+        Datatype::Contiguous { len }
+    }
+
+    /// Builds a subarray datatype, validating the shape.
+    pub fn subarray(
+        sizes: &[usize],
+        subsizes: &[usize],
+        starts: &[usize],
+        elem: usize,
+    ) -> MpiResult<Datatype> {
+        if sizes.len() != subsizes.len() || sizes.len() != starts.len() {
+            return Err(MpiError::BadDatatype(format!(
+                "rank mismatch: sizes {}, subsizes {}, starts {}",
+                sizes.len(),
+                subsizes.len(),
+                starts.len()
+            )));
+        }
+        if sizes.is_empty() {
+            return Err(MpiError::BadDatatype("zero-dimensional subarray".into()));
+        }
+        if elem == 0 {
+            return Err(MpiError::BadDatatype("zero-size element".into()));
+        }
+        for i in 0..sizes.len() {
+            if starts[i] + subsizes[i] > sizes[i] {
+                return Err(MpiError::BadDatatype(format!(
+                    "dim {i}: start {} + subsize {} exceeds size {}",
+                    starts[i], subsizes[i], sizes[i]
+                )));
+            }
+        }
+        Ok(Datatype::Subarray {
+            sizes: sizes.to_vec(),
+            subsizes: subsizes.to_vec(),
+            starts: starts.to_vec(),
+            elem,
+        })
+    }
+
+    /// Total number of bytes the type selects.
+    pub fn size(&self) -> usize {
+        match self {
+            Datatype::Contiguous { len } => *len,
+            Datatype::Vector {
+                count, blocklen, ..
+            } => count * blocklen,
+            Datatype::Indexed { blocks } => blocks.iter().map(|&(_, l)| l).sum(),
+            Datatype::Subarray { subsizes, elem, .. } => subsizes.iter().product::<usize>() * elem,
+        }
+    }
+
+    /// Number of contiguous segments after coalescing along the innermost
+    /// dimension.
+    pub fn num_segments(&self) -> usize {
+        match self {
+            Datatype::Contiguous { len } => usize::from(*len > 0),
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+            } => {
+                if *blocklen == 0 || *count == 0 {
+                    0
+                } else if blocklen == stride {
+                    1
+                } else {
+                    *count
+                }
+            }
+            Datatype::Indexed { blocks } => blocks.iter().filter(|&&(_, l)| l > 0).count(),
+            Datatype::Subarray {
+                subsizes, sizes, ..
+            } => {
+                if subsizes.contains(&0) {
+                    return 0;
+                }
+                // Runs along the innermost dimension; fully-covered inner
+                // dimensions coalesce upward. Let `m` be the outermost
+                // dimension that still contributes to each contiguous run:
+                // one segment per index combination of dims `0..m`.
+                let mut m = sizes.len() - 1;
+                while m > 0 && subsizes[m] == sizes[m] {
+                    m -= 1;
+                }
+                subsizes[..m].iter().product()
+            }
+        }
+    }
+
+    /// The span in bytes from the first to one past the last selected byte
+    /// (the buffer must be at least `extent()` long).
+    pub fn extent(&self) -> usize {
+        match self {
+            Datatype::Contiguous { len } => *len,
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+            } => {
+                if *count == 0 || *blocklen == 0 {
+                    0
+                } else {
+                    (count - 1) * stride + blocklen
+                }
+            }
+            Datatype::Indexed { blocks } => blocks.iter().map(|&(d, l)| d + l).max().unwrap_or(0),
+            Datatype::Subarray {
+                sizes,
+                subsizes,
+                starts,
+                elem,
+            } => {
+                // True span: one past the last selected byte, so that tight
+                // window allocations (last row not spanning a full stride)
+                // pass bounds checks.
+                if subsizes.contains(&0) {
+                    return 0;
+                }
+                let n = sizes.len();
+                let mut stride = *elem;
+                let mut last = 0usize;
+                for d in (0..n).rev() {
+                    last += (starts[d] + subsizes[d] - 1) * stride;
+                    stride *= sizes[d];
+                }
+                last + elem
+            }
+        }
+    }
+
+    /// Flattens to ordered `(offset, len)` segments, coalescing contiguous
+    /// runs.
+    pub fn segments(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        match self {
+            Datatype::Contiguous { len } => {
+                if *len > 0 {
+                    out.push((0, *len));
+                }
+            }
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+            } => {
+                if *blocklen > 0 {
+                    for i in 0..*count {
+                        out.push((i * stride, *blocklen));
+                    }
+                }
+            }
+            Datatype::Indexed { blocks } => {
+                out.extend(blocks.iter().copied().filter(|&(_, l)| l > 0));
+            }
+            Datatype::Subarray {
+                sizes,
+                subsizes,
+                starts,
+                elem,
+            } => {
+                subarray_segments(sizes, subsizes, starts, *elem, &mut out);
+            }
+        }
+        coalesce(&mut out);
+        out
+    }
+}
+
+/// Row-major subarray enumeration: emits one segment per innermost-dimension
+/// run.
+fn subarray_segments(
+    sizes: &[usize],
+    subsizes: &[usize],
+    starts: &[usize],
+    elem: usize,
+    out: &mut Vec<(usize, usize)>,
+) {
+    let n = sizes.len();
+    if subsizes.contains(&0) {
+        return;
+    }
+    // Byte strides of each dimension (C order: last dim fastest).
+    let mut strides = vec![0usize; n];
+    let mut acc = elem;
+    for d in (0..n).rev() {
+        strides[d] = acc;
+        acc *= sizes[d];
+    }
+    let run = subsizes[n - 1] * elem;
+    // Iterate over all index tuples of the outer n-1 dims.
+    let outer: usize = subsizes[..n - 1].iter().product();
+    let mut idx = vec![0usize; n.saturating_sub(1)];
+    for _ in 0..outer.max(1) {
+        let mut off = starts[n - 1] * elem;
+        for d in 0..n - 1 {
+            off += (starts[d] + idx[d]) * strides[d];
+        }
+        out.push((off, run));
+        // increment mixed-radix counter (idx over subsizes[..n-1]),
+        // innermost of the outer dims moves fastest
+        for d in (0..n - 1).rev() {
+            idx[d] += 1;
+            if idx[d] < subsizes[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+        if n == 1 {
+            break;
+        }
+    }
+}
+
+/// Merges adjacent `(offset, len)` pairs that are contiguous in memory.
+/// Segments must already be in ascending offset order for full coalescing;
+/// out-of-order inputs are left as-is apart from adjacent merges.
+fn coalesce(segs: &mut Vec<(usize, usize)>) {
+    let mut w = 0usize;
+    for i in 0..segs.len() {
+        if w > 0 && segs[w - 1].0 + segs[w - 1].1 == segs[i].0 {
+            segs[w - 1].1 += segs[i].1;
+        } else {
+            segs[w] = segs[i];
+            w += 1;
+        }
+    }
+    segs.truncate(w);
+}
+
+/// Splits the segment lists of two datatypes into a common refinement so
+/// that bytes can be copied pairwise. Returns `(origin_piece, target_piece,
+/// len)` triples. Errors if total sizes differ.
+pub fn zip_segments(origin: &Datatype, target: &Datatype) -> MpiResult<Vec<(usize, usize, usize)>> {
+    let ob = origin.size();
+    let tb = target.size();
+    if ob != tb {
+        return Err(MpiError::TypeMismatch {
+            origin_bytes: ob,
+            target_bytes: tb,
+        });
+    }
+    let os = origin.segments();
+    let ts = target.segments();
+    let mut out = Vec::with_capacity(os.len().max(ts.len()));
+    let (mut oi, mut ti) = (0usize, 0usize);
+    let (mut ooff, mut toff) = (0usize, 0usize);
+    while oi < os.len() && ti < ts.len() {
+        let orem = os[oi].1 - ooff;
+        let trem = ts[ti].1 - toff;
+        let n = orem.min(trem);
+        out.push((os[oi].0 + ooff, ts[ti].0 + toff, n));
+        ooff += n;
+        toff += n;
+        if ooff == os[oi].1 {
+            oi += 1;
+            ooff = 0;
+        }
+        if toff == ts[ti].1 {
+            ti += 1;
+            toff = 0;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_is_one_segment() {
+        let d = Datatype::contiguous(64);
+        assert_eq!(d.size(), 64);
+        assert_eq!(d.extent(), 64);
+        assert_eq!(d.segments(), vec![(0, 64)]);
+    }
+
+    #[test]
+    fn vector_segments_and_extent() {
+        let d = Datatype::Vector {
+            count: 3,
+            blocklen: 4,
+            stride: 10,
+        };
+        assert_eq!(d.size(), 12);
+        assert_eq!(d.extent(), 24);
+        assert_eq!(d.segments(), vec![(0, 4), (10, 4), (20, 4)]);
+    }
+
+    #[test]
+    fn dense_vector_coalesces() {
+        let d = Datatype::Vector {
+            count: 4,
+            blocklen: 8,
+            stride: 8,
+        };
+        assert_eq!(d.segments(), vec![(0, 32)]);
+    }
+
+    #[test]
+    fn indexed_skips_empty_blocks() {
+        let d = Datatype::Indexed {
+            blocks: vec![(0, 4), (4, 0), (8, 4)],
+        };
+        assert_eq!(d.segments(), vec![(0, 4), (8, 4)]);
+        assert_eq!(d.size(), 8);
+    }
+
+    #[test]
+    fn indexed_adjacent_blocks_coalesce() {
+        let d = Datatype::Indexed {
+            blocks: vec![(0, 4), (4, 4), (16, 4)],
+        };
+        assert_eq!(d.segments(), vec![(0, 8), (16, 4)]);
+    }
+
+    #[test]
+    fn subarray_2d_row_major() {
+        // 4x6 array of f64, take the 2x3 patch starting at (1,2)
+        let d = Datatype::subarray(&[4, 6], &[2, 3], &[1, 2], 8).unwrap();
+        assert_eq!(d.size(), 2 * 3 * 8);
+        let segs = d.segments();
+        // row 1: offset (1*6+2)*8 = 64, 24 bytes; row 2: (2*6+2)*8 = 112
+        assert_eq!(segs, vec![(64, 24), (112, 24)]);
+    }
+
+    #[test]
+    fn subarray_full_rows_coalesce() {
+        // patch spans full innermost dimension -> contiguous rows merge
+        let d = Datatype::subarray(&[4, 6], &[2, 6], &[1, 0], 1).unwrap();
+        assert_eq!(d.segments(), vec![(6, 12)]);
+    }
+
+    #[test]
+    fn subarray_3d() {
+        let d = Datatype::subarray(&[2, 3, 4], &[2, 2, 2], &[0, 1, 1], 1).unwrap();
+        let segs = d.segments();
+        assert_eq!(d.size(), 8);
+        assert_eq!(segs.iter().map(|s| s.1).sum::<usize>(), 8);
+        // offsets: z-plane 0 rows 1,2 col 1..3 → 5,9 ; plane 1 → 17,21
+        assert_eq!(segs, vec![(5, 2), (9, 2), (17, 2), (21, 2)]);
+    }
+
+    #[test]
+    fn subarray_validation() {
+        assert!(Datatype::subarray(&[4], &[5], &[0], 8).is_err());
+        assert!(Datatype::subarray(&[4, 4], &[1], &[0], 8).is_err());
+        assert!(Datatype::subarray(&[4], &[2], &[3], 8).is_err());
+        assert!(Datatype::subarray(&[], &[], &[], 8).is_err());
+        assert!(Datatype::subarray(&[4], &[2], &[0], 0).is_err());
+    }
+
+    #[test]
+    fn zip_equal_shapes() {
+        let a = Datatype::Vector {
+            count: 2,
+            blocklen: 4,
+            stride: 8,
+        };
+        let b = Datatype::contiguous(8);
+        let z = zip_segments(&a, &b).unwrap();
+        assert_eq!(z, vec![(0, 0, 4), (8, 4, 4)]);
+    }
+
+    #[test]
+    fn zip_refines_mismatched_segmentation() {
+        let a = Datatype::Indexed {
+            blocks: vec![(0, 6), (10, 2)],
+        };
+        let b = Datatype::Indexed {
+            blocks: vec![(0, 2), (4, 6)],
+        };
+        let z = zip_segments(&a, &b).unwrap();
+        assert_eq!(z, vec![(0, 0, 2), (2, 4, 4), (10, 8, 2)]);
+        let total: usize = z.iter().map(|t| t.2).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn zip_rejects_size_mismatch() {
+        let a = Datatype::contiguous(8);
+        let b = Datatype::contiguous(9);
+        assert!(matches!(
+            zip_segments(&a, &b),
+            Err(MpiError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn num_segments_matches_segment_list() {
+        let cases = vec![
+            Datatype::contiguous(64),
+            Datatype::Vector {
+                count: 3,
+                blocklen: 4,
+                stride: 10,
+            },
+            Datatype::Vector {
+                count: 4,
+                blocklen: 8,
+                stride: 8,
+            },
+            Datatype::subarray(&[4, 6], &[2, 3], &[1, 2], 8).unwrap(),
+            Datatype::subarray(&[4, 6], &[2, 6], &[1, 0], 1).unwrap(),
+            Datatype::subarray(&[2, 3, 4], &[2, 2, 2], &[0, 1, 1], 1).unwrap(),
+            Datatype::subarray(&[5], &[3], &[1], 8).unwrap(),
+            Datatype::subarray(&[2, 3], &[2, 3], &[0, 0], 4).unwrap(),
+        ];
+        for d in cases {
+            assert_eq!(d.num_segments(), d.segments().len(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn zero_sized_types() {
+        let d = Datatype::contiguous(0);
+        assert!(d.segments().is_empty());
+        let v = Datatype::Vector {
+            count: 0,
+            blocklen: 8,
+            stride: 16,
+        };
+        assert_eq!(v.size(), 0);
+        assert!(v.segments().is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Error types for the simulated MPI runtime.
+
+use std::fmt;
+
+/// Errors surfaced by the runtime. In real MPI most of these abort the job;
+//  here they are `Result`s so tests can assert that erroneous programs are
+//  detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// An RMA operation was issued outside any access epoch on its target.
+    NoEpoch { target: usize },
+    /// `lock` was called on a target that this origin already has locked
+    /// (MPI-2 forbids nested locks of the same window/target pair).
+    AlreadyLocked { target: usize },
+    /// `unlock` without a matching `lock`.
+    NotLocked { target: usize },
+    /// Two operations within the same epoch touch overlapping target
+    /// memory in a conflicting way (erroneous per MPI-2 §11.7).
+    ConflictingAccess {
+        target: usize,
+        first: (usize, usize),
+        second: (usize, usize),
+    },
+    /// Operation runs past the end of the target's window slice.
+    OutOfBounds {
+        target: usize,
+        disp: usize,
+        len: usize,
+        size: usize,
+    },
+    /// Origin and target datatypes describe different numbers of bytes.
+    TypeMismatch {
+        origin_bytes: usize,
+        target_bytes: usize,
+    },
+    /// A datatype is malformed (e.g. subarray sub-sizes exceed sizes).
+    BadDatatype(String),
+    /// Rank out of range for the communicator.
+    BadRank { rank: usize, size: usize },
+    /// A window handle was used after `free`.
+    WinFreed,
+    /// Collective invoked with inconsistent arguments across ranks.
+    CollectiveMismatch(String),
+    /// Attempt to use `lock`/`unlock` while `lock_all` is active, or vice
+    /// versa.
+    EpochModeMixed { target: usize },
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::NoEpoch { target } => {
+                write!(
+                    f,
+                    "RMA operation on target {target} outside an access epoch"
+                )
+            }
+            MpiError::AlreadyLocked { target } => {
+                write!(f, "window/target {target} is already locked by this origin")
+            }
+            MpiError::NotLocked { target } => {
+                write!(f, "unlock of target {target} without a matching lock")
+            }
+            MpiError::ConflictingAccess {
+                target,
+                first,
+                second,
+            } => write!(
+                f,
+                "conflicting RMA accesses within one epoch on target {target}: \
+                 [{}..{}) vs [{}..{})",
+                first.0,
+                first.0 + first.1,
+                second.0,
+                second.0 + second.1
+            ),
+            MpiError::OutOfBounds {
+                target,
+                disp,
+                len,
+                size,
+            } => write!(
+                f,
+                "access [{disp}..{}) outside window of {size} bytes on target {target}",
+                disp + len
+            ),
+            MpiError::TypeMismatch {
+                origin_bytes,
+                target_bytes,
+            } => write!(
+                f,
+                "origin datatype covers {origin_bytes} bytes but target covers {target_bytes}"
+            ),
+            MpiError::BadDatatype(msg) => write!(f, "malformed datatype: {msg}"),
+            MpiError::BadRank { rank, size } => {
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
+            }
+            MpiError::WinFreed => write!(f, "window used after free"),
+            MpiError::CollectiveMismatch(msg) => write!(f, "collective mismatch: {msg}"),
+            MpiError::EpochModeMixed { target } => {
+                write!(f, "mixing lock/unlock with lock_all on target {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Convenience alias.
+pub type MpiResult<T> = Result<T, MpiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MpiError::ConflictingAccess {
+            target: 3,
+            first: (0, 8),
+            second: (4, 8),
+        };
+        let s = e.to_string();
+        assert!(s.contains("target 3"));
+        assert!(s.contains("[0..8)"));
+        assert!(s.contains("[4..12)"));
+    }
+
+    #[test]
+    fn out_of_bounds_reports_extent() {
+        let e = MpiError::OutOfBounds {
+            target: 1,
+            disp: 100,
+            len: 28,
+            size: 64,
+        };
+        assert!(e.to_string().contains("[100..128)"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Runtime bootstrap: one OS thread per simulated MPI process.
+
+use crate::coll::CollectiveCell;
+use crate::comm::{Comm, CommInner};
+use crate::p2p::Mailbox;
+use crate::win::WinInner;
+use parking_lot::RwLock;
+use simnet::{Platform, PlatformId, VClock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Runtime-wide configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Platform whose cost model prices every operation. The MPI-side
+    /// parameters (`platform.mpi`) are used by this crate.
+    pub platform: Platform,
+    /// When true, the runtime detects and reports access patterns that the
+    /// MPI-2 standard declares erroneous (conflicting RMA operations within
+    /// an epoch, double locking). Mirrors a debugging MPI build.
+    pub semantic_checks: bool,
+    /// When true, operations advance the per-rank virtual clocks.
+    pub charge_time: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            platform: Platform::get(PlatformId::InfiniBandCluster),
+            semantic_checks: true,
+            charge_time: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Config for a given platform with checks on.
+    pub fn on_platform(id: PlatformId) -> Self {
+        RuntimeConfig {
+            platform: Platform::get(id),
+            ..Default::default()
+        }
+    }
+}
+
+/// State shared by all ranks of one runtime instance.
+pub(crate) struct Shared {
+    pub nranks: usize,
+    pub cfg: RuntimeConfig,
+    pub clocks: Vec<VClock>,
+    pub mailboxes: Vec<Mailbox>,
+    pub comms: RwLock<HashMap<u64, Arc<CommInner>>>,
+    pub next_comm_id: AtomicU64,
+    pub wins: RwLock<HashMap<u64, Arc<WinInner>>>,
+    pub next_win_id: AtomicU64,
+    /// Generic shared-segment registry: lets higher layers (e.g. the
+    /// native ARMCI baseline, which models XPMEM-style shared memory)
+    /// publish cross-rank state without going through MPI windows.
+    pub shmem: RwLock<HashMap<u64, Arc<dyn std::any::Any + Send + Sync>>>,
+    pub next_uid: AtomicU64,
+}
+
+pub(crate) const WORLD_COMM_ID: u64 = 0;
+
+impl Shared {
+    fn new(nranks: usize, cfg: RuntimeConfig) -> Arc<Shared> {
+        let world = Arc::new(CommInner {
+            id: WORLD_COMM_ID,
+            members: (0..nranks).collect(),
+            coll: CollectiveCell::new(nranks),
+        });
+        let mut comms = HashMap::new();
+        comms.insert(WORLD_COMM_ID, world);
+        Arc::new(Shared {
+            nranks,
+            cfg,
+            clocks: (0..nranks).map(|_| VClock::new()).collect(),
+            mailboxes: (0..nranks).map(|_| Mailbox::new()).collect(),
+            comms: RwLock::new(comms),
+            next_comm_id: AtomicU64::new(1),
+            wins: RwLock::new(HashMap::new()),
+            next_win_id: AtomicU64::new(1),
+            shmem: RwLock::new(HashMap::new()),
+            next_uid: AtomicU64::new(1),
+        })
+    }
+
+    /// Allocates a fresh communicator id.
+    pub fn alloc_comm_id(&self) -> u64 {
+        self.next_comm_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates a fresh window id.
+    pub fn alloc_win_id(&self) -> u64 {
+        self.next_win_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates a fresh generic uid (shared-segment registry keys).
+    pub fn alloc_uid(&self) -> u64 {
+        self.next_uid.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Handle held by each simulated process ("rank").
+pub struct Proc {
+    pub(crate) world_rank: usize,
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Proc {
+    /// This process's rank in the world communicator.
+    pub fn rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Number of processes in the world.
+    pub fn size(&self) -> usize {
+        self.shared.nranks
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> Comm {
+        let inner = self.shared.comms.read()[&WORLD_COMM_ID].clone();
+        Comm::from_inner(self, inner)
+    }
+
+    /// This rank's virtual clock.
+    pub fn clock(&self) -> &VClock {
+        &self.shared.clocks[self.world_rank]
+    }
+
+    /// Advances this rank's virtual clock by `dt` if time charging is on.
+    pub(crate) fn charge(&self, dt: f64) {
+        if self.shared.cfg.charge_time {
+            self.clock().advance(dt);
+        }
+    }
+
+    /// The MPI-backend cost parameters of the configured platform.
+    pub fn params(&self) -> &simnet::BackendParams {
+        &self.shared.cfg.platform.mpi
+    }
+
+    /// Runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.shared.cfg
+    }
+
+    /// Models local computation taking `seconds` of virtual time.
+    pub fn compute(&self, seconds: f64) {
+        self.charge(seconds);
+    }
+}
+
+/// Entry point: spawns `nranks` threads and runs `f` as each rank's main.
+///
+/// ```
+/// use mpisim::coll::ReduceOp;
+/// use mpisim::Runtime;
+///
+/// let sums = Runtime::run(4, |p| {
+///     let world = p.world();
+///     world.allreduce_i64(ReduceOp::Sum, &[p.rank() as i64])[0]
+/// });
+/// assert_eq!(sums, vec![6, 6, 6, 6]);
+/// ```
+pub struct Runtime;
+
+impl Runtime {
+    /// Runs an SPMD program on `nranks` simulated processes with the given
+    /// configuration; returns each rank's result, indexed by rank.
+    ///
+    /// Panics in any rank propagate (the whole run aborts), matching an MPI
+    /// job dying on error.
+    pub fn run_with<F, R>(nranks: usize, cfg: RuntimeConfig, f: F) -> Vec<R>
+    where
+        F: Fn(&Proc) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(nranks > 0, "need at least one rank");
+        let shared = Shared::new(nranks, cfg);
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(nranks);
+            for rank in 0..nranks {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    let proc = Proc {
+                        world_rank: rank,
+                        shared,
+                    };
+                    f(&proc)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+
+    /// [`Runtime::run_with`] under the default (InfiniBand, checks-on)
+    /// configuration.
+    pub fn run<F, R>(nranks: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&Proc) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::run_with(nranks, RuntimeConfig::default(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_distinct_and_complete() {
+        let mut ranks = Runtime::run(8, |p| p.rank());
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn size_is_visible_everywhere() {
+        let sizes = Runtime::run(5, |p| p.size());
+        assert!(sizes.iter().all(|&s| s == 5));
+    }
+
+    #[test]
+    fn world_comm_has_identity_mapping() {
+        Runtime::run(4, |p| {
+            let w = p.world();
+            assert_eq!(w.rank(), p.rank());
+            assert_eq!(w.size(), 4);
+        });
+    }
+
+    #[test]
+    fn compute_advances_clock() {
+        Runtime::run(2, |p| {
+            p.compute(1.25);
+            assert!((p.clock().now() - 1.25).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn charge_time_can_be_disabled() {
+        let cfg = RuntimeConfig {
+            charge_time: false,
+            ..Default::default()
+        };
+        Runtime::run_with(2, cfg, |p| {
+            p.compute(1.0);
+            assert_eq!(p.clock().now(), 0.0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Runtime::run(0, |_| ());
+    }
+}

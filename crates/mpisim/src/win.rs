@@ -1,0 +1,834 @@
+//! Passive-target one-sided communication (MPI-2 §11 subset).
+//!
+//! Windows are created collectively over a communicator; each member
+//! contributes a local slice. Origins open access epochs with
+//! [`WinHandle::lock`] (shared or exclusive) and issue `put` / `get` /
+//! `accumulate` operations with derived datatypes on both sides.
+//!
+//! Two layers of protection coexist:
+//!
+//! 1. **Real synchronisation** — epoch locks are actual reader–writer locks
+//!    and each operation's byte movement additionally holds a per-target
+//!    I/O mutex, so the simulator itself is free of data races even when
+//!    executing programs MPI would call erroneous.
+//! 2. **Semantic checking** — when [`crate::RuntimeConfig::semantic_checks`]
+//!    is on, the runtime reports (as `Err`) the patterns MPI-2 defines to be
+//!    errors: conflicting operations within one epoch, operations outside an
+//!    epoch, double locking. This is what forces ARMCI-MPI into its
+//!    one-op-per-exclusive-epoch design (§V-C) — and our tests assert both
+//!    the detection and the design's compliance.
+
+use crate::comm::Comm;
+use crate::dtype::{zip_segments, Datatype};
+use crate::error::{MpiError, MpiResult};
+use crate::runtime::Shared;
+use parking_lot::{Condvar, Mutex};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Passive-target lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+/// Element type for accumulate operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemType {
+    U8,
+    I32,
+    I64,
+    F32,
+    F64,
+}
+
+impl ElemType {
+    /// Width in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            ElemType::U8 => 1,
+            ElemType::I32 | ElemType::F32 => 4,
+            ElemType::I64 | ElemType::F64 => 8,
+        }
+    }
+}
+
+/// Accumulate combine operator (subset of MPI predefined ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccOp {
+    Sum,
+    Replace,
+    Min,
+    Max,
+}
+
+/// What an epoch-recorded operation did, for conflict detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum OpKind {
+    Read,
+    Write,
+    Acc(ElemType, AccOp),
+}
+
+impl OpKind {
+    /// MPI-2 compatibility: overlapping reads are fine; overlapping
+    /// accumulates with the same type and op are fine; all else conflicts.
+    fn compatible(self, other: OpKind) -> bool {
+        match (self, other) {
+            (OpKind::Read, OpKind::Read) => true,
+            (OpKind::Acc(t1, o1), OpKind::Acc(t2, o2)) => t1 == t2 && o1 == o2,
+            _ => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpRecord {
+    lo: usize,
+    hi: usize,
+    kind: OpKind,
+}
+
+struct Epoch {
+    mode: LockMode,
+    ops: Vec<OpRecord>,
+    /// Operations issued so far in this epoch (always tracked, unlike
+    /// `ops` which is only populated when semantic checks are on). Used by
+    /// the cost model: operations after the first in an epoch pipeline and
+    /// skip the per-message latency, which is what makes the *batched* IOV
+    /// method profitable (§VI-A).
+    issued: usize,
+}
+
+/// A reader–writer lock with writer preference whose guards are explicit
+/// (MPI lock/unlock calls rather than lexical scopes).
+struct TargetLock {
+    m: Mutex<LockSt>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct LockSt {
+    readers: usize,
+    writer: bool,
+    waiting_writers: usize,
+}
+
+impl TargetLock {
+    fn new() -> TargetLock {
+        TargetLock {
+            m: Mutex::new(LockSt::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self, mode: LockMode) {
+        let mut st = self.m.lock();
+        match mode {
+            LockMode::Shared => {
+                while st.writer || st.waiting_writers > 0 {
+                    self.cv.wait(&mut st);
+                }
+                st.readers += 1;
+            }
+            LockMode::Exclusive => {
+                st.waiting_writers += 1;
+                while st.writer || st.readers > 0 {
+                    self.cv.wait(&mut st);
+                }
+                st.waiting_writers -= 1;
+                st.writer = true;
+            }
+        }
+    }
+
+    fn release(&self, mode: LockMode) {
+        let mut st = self.m.lock();
+        match mode {
+            LockMode::Shared => {
+                debug_assert!(st.readers > 0);
+                st.readers -= 1;
+            }
+            LockMode::Exclusive => {
+                debug_assert!(st.writer);
+                st.writer = false;
+            }
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// One rank's window backing store.
+pub(crate) struct RankMem {
+    buf: UnsafeCell<Box<[u8]>>,
+    /// Serialises actual byte movement so that even *erroneous* concurrent
+    /// accesses cannot race at the machine level.
+    io: Mutex<()>,
+}
+
+// Safety: all access to `buf` goes through `io` (remote ops) or through the
+// epoch locks guaranteeing exclusivity (local access).
+unsafe impl Sync for RankMem {}
+unsafe impl Send for RankMem {}
+
+impl RankMem {
+    fn new(size: usize) -> RankMem {
+        RankMem {
+            buf: UnsafeCell::new(vec![0u8; size].into_boxed_slice()),
+            io: Mutex::new(()),
+        }
+    }
+}
+
+use std::cell::UnsafeCell;
+
+/// Shared window state.
+pub(crate) struct WinInner {
+    pub id: u64,
+    pub sizes: Vec<usize>,
+    mem: Vec<RankMem>,
+    locks: Vec<TargetLock>,
+    freed: AtomicBool,
+}
+
+/// One rank's handle on a window. Not `Send`: epoch state is origin-local,
+/// exactly like MPI's per-process epoch bookkeeping.
+pub struct WinHandle {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) inner: Arc<WinInner>,
+    pub(crate) comm: Comm,
+    epochs: RefCell<HashMap<usize, Epoch>>,
+    pub(crate) lock_all_active: Cell<bool>,
+    /// Active-target (fence) epoch open on this handle (§III "active
+    /// mode"). Between two `fence` calls every rank may be both origin
+    /// and target without per-target locks.
+    active_epoch: Cell<bool>,
+}
+
+impl WinHandle {
+    /// Collectively creates a window; this rank contributes `local_size`
+    /// bytes (zero-initialised). Zero-size contributions are allowed.
+    pub fn create(comm: &Comm, local_size: usize) -> WinHandle {
+        // Leader allocates the id.
+        let id = if comm.rank() == 0 {
+            Some(comm.shared.alloc_win_id().to_le_bytes().to_vec())
+        } else {
+            None
+        };
+        let id = u64::from_le_bytes(comm.bcast_bytes(0, id).as_slice().try_into().unwrap());
+        let sizes_u64 = comm.allgather_bytes((local_size as u64).to_le_bytes().to_vec());
+        let sizes: Vec<usize> = sizes_u64
+            .iter()
+            .map(|b| u64::from_le_bytes(b.as_slice().try_into().unwrap()) as usize)
+            .collect();
+        let inner = {
+            let mut wins = comm.shared.wins.write();
+            Arc::clone(wins.entry(id).or_insert_with(|| {
+                Arc::new(WinInner {
+                    id,
+                    mem: sizes.iter().map(|&s| RankMem::new(s)).collect(),
+                    locks: sizes.iter().map(|_| TargetLock::new()).collect(),
+                    sizes,
+                    freed: AtomicBool::new(false),
+                })
+            }))
+        };
+        WinHandle {
+            shared: Arc::clone(&comm.shared),
+            inner,
+            comm: comm.clone(),
+            epochs: RefCell::new(HashMap::new()),
+            lock_all_active: Cell::new(false),
+            active_epoch: Cell::new(false),
+        }
+    }
+
+    /// Active-target synchronisation (`MPI_Win_fence`): collective; closes
+    /// the previous active access/exposure epoch and opens a new one. The
+    /// paper's §III notes active mode "requires synchronization among all
+    /// parties", which is why ARMCI-MPI uses passive mode — this exists to
+    /// complete the model (and for programs that *are* bulk-synchronous).
+    ///
+    /// Mixing fence epochs with open passive epochs on the same handle is
+    /// rejected, like the standard's matching rules.
+    pub fn fence(&self) -> MpiResult<()> {
+        self.check_alive()?;
+        if !self.epochs.borrow().is_empty() || self.lock_all_active.get() {
+            return Err(MpiError::EpochModeMixed { target: usize::MAX });
+        }
+        self.comm.barrier();
+        self.active_epoch.set(true);
+        self.charge(0.5 * self.params().epoch_overhead);
+        Ok(())
+    }
+
+    /// Ends active-target mode on this handle (an `MPI_Win_fence` with
+    /// `MPI_MODE_NOSUCCEED`): completes outstanding operations and leaves
+    /// no epoch open.
+    pub fn fence_end(&self) -> MpiResult<()> {
+        self.check_alive()?;
+        if !self.active_epoch.get() {
+            return Err(MpiError::NoEpoch { target: usize::MAX });
+        }
+        self.comm.barrier();
+        self.active_epoch.set(false);
+        self.charge(0.5 * self.params().epoch_overhead);
+        Ok(())
+    }
+
+    /// The communicator the window was created on.
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// Window id (diagnostic).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Size in bytes of `rank`'s window slice.
+    pub fn size_of(&self, rank: usize) -> usize {
+        self.inner.sizes[rank]
+    }
+
+    fn check_alive(&self) -> MpiResult<()> {
+        if self.inner.freed.load(Ordering::Acquire) {
+            Err(MpiError::WinFreed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn charge(&self, dt: f64) {
+        if self.shared.cfg.charge_time {
+            self.shared.clocks[self.comm.my_world_rank()].advance(dt);
+        }
+    }
+
+    fn params(&self) -> &simnet::BackendParams {
+        &self.shared.cfg.platform.mpi
+    }
+
+    // ------------------------------------------------------------------
+    // Epochs
+    // ------------------------------------------------------------------
+
+    /// Begins a passive-target access epoch on `target`.
+    pub fn lock(&self, mode: LockMode, target: usize) -> MpiResult<()> {
+        self.check_alive()?;
+        if target >= self.inner.sizes.len() {
+            return Err(MpiError::BadRank {
+                rank: target,
+                size: self.inner.sizes.len(),
+            });
+        }
+        if self.lock_all_active.get() {
+            return Err(MpiError::EpochModeMixed { target });
+        }
+        if self.epochs.borrow().contains_key(&target) {
+            return Err(MpiError::AlreadyLocked { target });
+        }
+        self.inner.locks[target].acquire(mode);
+        self.epochs.borrow_mut().insert(
+            target,
+            Epoch {
+                mode,
+                ops: Vec::new(),
+                issued: 0,
+            },
+        );
+        self.charge(0.5 * self.params().epoch_overhead);
+        Ok(())
+    }
+
+    /// Ends the epoch on `target`, completing all its operations.
+    pub fn unlock(&self, target: usize) -> MpiResult<()> {
+        self.check_alive()?;
+        let ep = self
+            .epochs
+            .borrow_mut()
+            .remove(&target)
+            .ok_or(MpiError::NotLocked { target })?;
+        self.inner.locks[target].release(ep.mode);
+        self.charge(0.5 * self.params().epoch_overhead);
+        Ok(())
+    }
+
+    /// Is an epoch currently open on `target`?
+    pub fn is_locked(&self, target: usize) -> bool {
+        self.epochs.borrow().contains_key(&target)
+            || self.lock_all_active.get()
+            || self.active_epoch.get()
+    }
+
+    /// Mode of the open epoch on `target`, if any.
+    pub fn lock_mode(&self, target: usize) -> Option<LockMode> {
+        self.epochs.borrow().get(&target).map(|e| e.mode)
+    }
+
+    /// Validates epoch presence and (optionally) records + conflict-checks
+    /// the operation's target ranges.
+    fn admit(&self, target: usize, tdisp: usize, tdt: &Datatype, kind: OpKind) -> MpiResult<()> {
+        let size = self.inner.sizes[target];
+        let extent = tdt.extent();
+        if tdisp + extent > size {
+            return Err(MpiError::OutOfBounds {
+                target,
+                disp: tdisp,
+                len: extent,
+                size,
+            });
+        }
+        let mut epochs = self.epochs.borrow_mut();
+        let ep = match epochs.get_mut(&target) {
+            Some(e) => e,
+            // MPI-3 lock_all: conflicts undefined, not erroneous.
+            None if self.lock_all_active.get() => return Ok(()),
+            // Active-target epoch: the fences provide the synchronisation;
+            // conflicting access rules are the programmer's bulk-sync
+            // discipline (not tracked per-target here).
+            None if self.active_epoch.get() => return Ok(()),
+            None => return Err(MpiError::NoEpoch { target }),
+        };
+        if self.shared.cfg.semantic_checks {
+            for (off, len) in tdt.segments() {
+                let (lo, hi) = (tdisp + off, tdisp + off + len);
+                for r in &ep.ops {
+                    if lo < r.hi && r.lo < hi && !kind.compatible(r.kind) {
+                        return Err(MpiError::ConflictingAccess {
+                            target,
+                            first: (r.lo, r.hi - r.lo),
+                            second: (lo, hi - lo),
+                        });
+                    }
+                }
+                ep.ops.push(OpRecord { lo, hi, kind });
+            }
+        }
+        Ok(())
+    }
+
+    /// Virtual-time price of one RMA operation.
+    ///
+    /// `issued_before` is the number of operations already issued in the
+    /// same epoch: follow-on operations pipeline behind the first and skip
+    /// the per-message latency, and — when the platform models the
+    /// MVAPICH2 batched-operation bug — accrue growing queueing overhead
+    /// instead (Figure 4b).
+    fn op_cost(&self, op: simnet::Op, bytes: usize, nsegs: usize, issued_before: usize) -> f64 {
+        let p = self.params();
+        let link = p.link(op);
+        let mut op_over = p.op_overhead;
+        if issued_before > 0 {
+            if let Some(scale) = p.batched_bug {
+                op_over *= 1.0 + issued_before as f64 / scale;
+            }
+        }
+        let mut t = op_over + bytes as f64 / link.effective_peak(bytes) + p.seg_overhead;
+        if issued_before == 0 {
+            t += link.alpha;
+        }
+        if nsegs > 1 {
+            t += p.dtype_setup
+                + nsegs as f64 * p.dtype_seg_overhead
+                + 2.0 * bytes as f64 / p.pack_rate;
+        }
+        if op == simnet::Op::Acc {
+            t += p.combine_cost(bytes);
+        }
+        t
+    }
+
+    /// Bumps and returns the prior per-epoch issue counter for `target`.
+    fn bump_issued(&self, target: usize) -> usize {
+        let mut epochs = self.epochs.borrow_mut();
+        match epochs.get_mut(&target) {
+            Some(ep) => {
+                let n = ep.issued;
+                ep.issued += 1;
+                n
+            }
+            // lock_all: treat every op as a fresh issue (no pipelining
+            // credit; the MPI-3 backend charges flushes separately).
+            None => 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data movement
+    // ------------------------------------------------------------------
+
+    /// One-sided put: origin bytes (selected by `odt` within `origin`) are
+    /// written into `target`'s window (selected by `tdt` at `tdisp`).
+    pub fn put(
+        &self,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+    ) -> MpiResult<()> {
+        self.check_alive()?;
+        if odt.extent() > origin.len() {
+            return Err(MpiError::BadDatatype(format!(
+                "origin datatype extent {} exceeds buffer {}",
+                odt.extent(),
+                origin.len()
+            )));
+        }
+        self.admit(target, tdisp, tdt, OpKind::Write)?;
+        let pairs = zip_segments(odt, tdt)?;
+        let mem = &self.inner.mem[target];
+        {
+            let _io = mem.io.lock();
+            // Safety: `io` serialises all byte movement on this rank's slice.
+            let dst = unsafe { &mut *mem.buf.get() };
+            for (ooff, toff, len) in &pairs {
+                dst[tdisp + toff..tdisp + toff + len].copy_from_slice(&origin[*ooff..*ooff + *len]);
+            }
+        }
+        let issued = self.bump_issued(target);
+        self.charge(self.op_cost(
+            simnet::Op::Put,
+            odt.size(),
+            odt.num_segments().max(tdt.num_segments()),
+            issued,
+        ));
+        Ok(())
+    }
+
+    /// One-sided get: bytes from `target`'s window into `origin`.
+    pub fn get(
+        &self,
+        origin: &mut [u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+    ) -> MpiResult<()> {
+        self.check_alive()?;
+        if odt.extent() > origin.len() {
+            return Err(MpiError::BadDatatype(format!(
+                "origin datatype extent {} exceeds buffer {}",
+                odt.extent(),
+                origin.len()
+            )));
+        }
+        self.admit(target, tdisp, tdt, OpKind::Read)?;
+        let pairs = zip_segments(odt, tdt)?;
+        let mem = &self.inner.mem[target];
+        {
+            let _io = mem.io.lock();
+            let src = unsafe { &*mem.buf.get() };
+            for (ooff, toff, len) in &pairs {
+                origin[*ooff..*ooff + *len].copy_from_slice(&src[tdisp + toff..tdisp + toff + len]);
+            }
+        }
+        let issued = self.bump_issued(target);
+        self.charge(self.op_cost(
+            simnet::Op::Get,
+            odt.size(),
+            odt.num_segments().max(tdt.num_segments()),
+            issued,
+        ));
+        Ok(())
+    }
+
+    /// One-sided accumulate: `target[i] = target[i] ⊕ origin[i]` element
+    /// wise for the given element type. Every target segment must be
+    /// element-aligned.
+    #[allow(clippy::too_many_arguments)] // mirrors MPI_Accumulate's signature
+    pub fn accumulate(
+        &self,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+        elem: ElemType,
+        op: AccOp,
+    ) -> MpiResult<()> {
+        self.check_alive()?;
+        let es = elem.size();
+        if !odt.size().is_multiple_of(es) {
+            return Err(MpiError::BadDatatype(format!(
+                "accumulate of {} bytes not a multiple of element size {es}",
+                odt.size()
+            )));
+        }
+        if odt.extent() > origin.len() {
+            return Err(MpiError::BadDatatype(format!(
+                "origin datatype extent {} exceeds buffer {}",
+                odt.extent(),
+                origin.len()
+            )));
+        }
+        self.admit(target, tdisp, tdt, OpKind::Acc(elem, op))?;
+        // Stage the origin contiguously, then combine per target segment.
+        let osegs = odt.segments();
+        let tsegs = tdt.segments();
+        for &(_, len) in &tsegs {
+            if len % es != 0 {
+                return Err(MpiError::BadDatatype(format!(
+                    "target segment of {len} bytes not element-aligned (elem {es})"
+                )));
+            }
+        }
+        if odt.size() != tdt.size() {
+            return Err(MpiError::TypeMismatch {
+                origin_bytes: odt.size(),
+                target_bytes: tdt.size(),
+            });
+        }
+        let mut staged = Vec::with_capacity(odt.size());
+        for &(off, len) in &osegs {
+            staged.extend_from_slice(&origin[off..off + len]);
+        }
+        let mem = &self.inner.mem[target];
+        {
+            let _io = mem.io.lock();
+            let dst = unsafe { &mut *mem.buf.get() };
+            let mut s = 0usize;
+            for &(toff, len) in &tsegs {
+                apply_acc(
+                    &mut dst[tdisp + toff..tdisp + toff + len],
+                    &staged[s..s + len],
+                    elem,
+                    op,
+                );
+                s += len;
+            }
+        }
+        let issued = self.bump_issued(target);
+        self.charge(self.op_cost(
+            simnet::Op::Acc,
+            odt.size(),
+            odt.num_segments().max(tdt.num_segments()),
+            issued,
+        ));
+        Ok(())
+    }
+
+    /// Contiguous-put convenience.
+    pub fn put_bytes(&self, origin: &[u8], target: usize, tdisp: usize) -> MpiResult<()> {
+        let dt = Datatype::contiguous(origin.len());
+        self.put(origin, &dt.clone(), target, tdisp, &dt)
+    }
+
+    /// Contiguous-get convenience.
+    pub fn get_bytes(&self, origin: &mut [u8], target: usize, tdisp: usize) -> MpiResult<()> {
+        let dt = Datatype::contiguous(origin.len());
+        self.get(origin, &dt.clone(), target, tdisp, &dt)
+    }
+
+    // ------------------------------------------------------------------
+    // Local access
+    // ------------------------------------------------------------------
+
+    /// Read access to this rank's own window slice. Requires an open epoch
+    /// on self (shared suffices), per the paper's DLA rules (§V-E).
+    pub fn with_local<R>(&self, f: impl FnOnce(&[u8]) -> R) -> MpiResult<R> {
+        self.check_alive()?;
+        let me = self.comm.rank();
+        if !self.is_locked(me) {
+            return Err(MpiError::NoEpoch { target: me });
+        }
+        let mem = &self.inner.mem[me];
+        let _io = mem.io.lock();
+        let buf = unsafe { &*mem.buf.get() };
+        Ok(f(buf))
+    }
+
+    /// Mutable access to this rank's own window slice. Requires an
+    /// *exclusive* epoch on self (§V-E: "direct local access should be
+    /// performed only while the window is locked for exclusive access") —
+    /// or, under MPI-3 `lock_all`, the unified-memory-model rules apply:
+    /// access is granted and serialised against remote operations by the
+    /// per-rank I/O lock (the `MPI_Win_sync` discipline).
+    pub fn with_local_mut<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> MpiResult<R> {
+        self.check_alive()?;
+        let me = self.comm.rank();
+        match self.lock_mode(me) {
+            Some(LockMode::Exclusive) => {}
+            _ if self.lock_all_active.get() => {}
+            _ => return Err(MpiError::NoEpoch { target: me }),
+        }
+        let mem = &self.inner.mem[me];
+        let _io = mem.io.lock();
+        let buf = unsafe { &mut *mem.buf.get() };
+        Ok(f(buf))
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Collectively frees the window. All epochs must be closed.
+    pub fn free(self) -> MpiResult<()> {
+        self.check_alive()?;
+        assert!(
+            self.epochs.borrow().is_empty()
+                && !self.lock_all_active.get()
+                && !self.active_epoch.get(),
+            "window freed with open epochs"
+        );
+        self.comm.barrier();
+        self.inner.freed.store(true, Ordering::Release);
+        self.shared.wins.write().remove(&self.inner.id);
+        Ok(())
+    }
+
+    /// Direct raw access for the MPI-3 extension module.
+    pub(crate) fn raw_mem(&self, target: usize) -> (&Mutex<()>, *mut Box<[u8]>) {
+        let mem = &self.inner.mem[target];
+        (&mem.io, mem.buf.get())
+    }
+
+    pub(crate) fn target_lock(&self, target: usize) -> &impl LockOps {
+        &self.inner.locks[target]
+    }
+}
+
+/// Internal trait so mpi3.rs can drive the target locks.
+pub(crate) trait LockOps {
+    fn acquire(&self, mode: LockMode);
+    fn release(&self, mode: LockMode);
+}
+
+impl LockOps for TargetLock {
+    fn acquire(&self, mode: LockMode) {
+        TargetLock::acquire(self, mode)
+    }
+    fn release(&self, mode: LockMode) {
+        TargetLock::release(self, mode)
+    }
+}
+
+/// Element-wise combine.
+fn apply_acc(dst: &mut [u8], src: &[u8], elem: ElemType, op: AccOp) {
+    debug_assert_eq!(dst.len(), src.len());
+    if op == AccOp::Replace {
+        dst.copy_from_slice(src);
+        return;
+    }
+    macro_rules! combine {
+        ($ty:ty, $w:expr) => {{
+            for (d, s) in dst.chunks_exact_mut($w).zip(src.chunks_exact($w)) {
+                let a = <$ty>::from_le_bytes(d[..$w].try_into().unwrap());
+                let b = <$ty>::from_le_bytes(s[..$w].try_into().unwrap());
+                let r = match op {
+                    AccOp::Sum => a + b,
+                    AccOp::Min => {
+                        if b < a {
+                            b
+                        } else {
+                            a
+                        }
+                    }
+                    AccOp::Max => {
+                        if b > a {
+                            b
+                        } else {
+                            a
+                        }
+                    }
+                    AccOp::Replace => unreachable!(),
+                };
+                d.copy_from_slice(&r.to_le_bytes());
+            }
+        }};
+    }
+    match elem {
+        ElemType::U8 => combine!(u8, 1),
+        ElemType::I32 => combine!(i32, 4),
+        ElemType::I64 => combine!(i64, 8),
+        ElemType::F32 => combine!(f32, 4),
+        ElemType::F64 => combine!(f64, 8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_acc_sum_f64() {
+        let mut dst = Vec::new();
+        for x in [1.0f64, 2.0] {
+            dst.extend_from_slice(&x.to_le_bytes());
+        }
+        let mut src = Vec::new();
+        for x in [0.5f64, -2.0] {
+            src.extend_from_slice(&x.to_le_bytes());
+        }
+        apply_acc(&mut dst, &src, ElemType::F64, AccOp::Sum);
+        let out: Vec<f64> = dst
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(out, vec![1.5, 0.0]);
+    }
+
+    #[test]
+    fn apply_acc_minmax_i32() {
+        let mut dst = 5i32.to_le_bytes().to_vec();
+        apply_acc(&mut dst, &3i32.to_le_bytes(), ElemType::I32, AccOp::Min);
+        assert_eq!(i32::from_le_bytes(dst[..4].try_into().unwrap()), 3);
+        apply_acc(&mut dst, &9i32.to_le_bytes(), ElemType::I32, AccOp::Max);
+        assert_eq!(i32::from_le_bytes(dst[..4].try_into().unwrap()), 9);
+    }
+
+    #[test]
+    fn apply_acc_replace() {
+        let mut dst = vec![0u8; 4];
+        apply_acc(&mut dst, &[1, 2, 3, 4], ElemType::U8, AccOp::Replace);
+        assert_eq!(dst, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn opkind_compatibility_matrix() {
+        use OpKind::*;
+        assert!(Read.compatible(Read));
+        assert!(!Read.compatible(Write));
+        assert!(!Write.compatible(Write));
+        assert!(Acc(ElemType::F64, AccOp::Sum).compatible(Acc(ElemType::F64, AccOp::Sum)));
+        assert!(!Acc(ElemType::F64, AccOp::Sum).compatible(Acc(ElemType::I64, AccOp::Sum)));
+        assert!(!Acc(ElemType::F64, AccOp::Sum).compatible(Acc(ElemType::F64, AccOp::Max)));
+        assert!(!Acc(ElemType::F64, AccOp::Sum).compatible(Write));
+    }
+
+    #[test]
+    fn target_lock_shared_allows_concurrency() {
+        let l = TargetLock::new();
+        l.acquire(LockMode::Shared);
+        l.acquire(LockMode::Shared);
+        l.release(LockMode::Shared);
+        l.release(LockMode::Shared);
+    }
+
+    #[test]
+    fn target_lock_exclusive_blocks() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let l = Arc::new(TargetLock::new());
+        l.acquire(LockMode::Exclusive);
+        let flag = Arc::new(AtomicBool::new(false));
+        let (l2, f2) = (Arc::clone(&l), Arc::clone(&flag));
+        let h = std::thread::spawn(move || {
+            l2.acquire(LockMode::Shared);
+            f2.store(true, Ordering::SeqCst);
+            l2.release(LockMode::Shared);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(
+            !flag.load(Ordering::SeqCst),
+            "reader entered during exclusive"
+        );
+        l.release(LockMode::Exclusive);
+        h.join().unwrap();
+        assert!(flag.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,108 @@
+//! Active-target (fence) RMA tests — the §III "active mode" the paper
+//! rejects for ARMCI because of its all-party synchronisation.
+
+use mpisim::{Datatype, LockMode, MpiError, Proc, Runtime, RuntimeConfig, WinHandle};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn fence_put_fence_read() {
+    Runtime::run_with(4, quiet(), |p: &Proc| {
+        let w = p.world();
+        let win = WinHandle::create(&w, 32);
+        win.fence().unwrap();
+        // everyone puts its rank into the right neighbour
+        let next = (p.rank() + 1) % 4;
+        win.put_bytes(&[p.rank() as u8; 4], next, 0).unwrap();
+        win.fence().unwrap();
+        // after the fence, everyone's slice holds its left neighbour's id
+        let prev = (p.rank() + 3) % 4;
+        let mut buf = [0u8; 4];
+        win.get_bytes(&mut buf, p.rank(), 0).unwrap();
+        win.fence_end().unwrap();
+        assert_eq!(buf, [prev as u8; 4]);
+        w.barrier();
+        win.free().unwrap();
+    });
+}
+
+#[test]
+fn bulk_synchronous_halo_exchange() {
+    // The classic active-target usage: alternating compute/exchange.
+    Runtime::run_with(3, quiet(), |p: &Proc| {
+        let w = p.world();
+        let win = WinHandle::create(&w, 8);
+        win.fence().unwrap();
+        for step in 0..10u8 {
+            let next = (p.rank() + 1) % 3;
+            win.put_bytes(&[step + p.rank() as u8], next, 0).unwrap();
+            win.fence().unwrap();
+            let mut b = [0u8; 1];
+            win.get_bytes(&mut b, p.rank(), 0).unwrap();
+            let prev = (p.rank() + 2) % 3;
+            assert_eq!(b[0], step + prev as u8);
+            win.fence().unwrap();
+        }
+        win.fence_end().unwrap();
+        w.barrier();
+        win.free().unwrap();
+    });
+}
+
+#[test]
+fn mixing_fence_and_lock_rejected() {
+    Runtime::run_with(2, quiet(), |p: &Proc| {
+        let w = p.world();
+        let win = WinHandle::create(&w, 16);
+        // lock then fence: rejected
+        if p.rank() == 0 {
+            win.lock(LockMode::Shared, 0).unwrap();
+            assert!(matches!(win.fence(), Err(MpiError::EpochModeMixed { .. })));
+            win.unlock(0).unwrap();
+        }
+        w.barrier();
+        // fence then... ops fine, fence_end required before free
+        win.fence().unwrap();
+        win.put_bytes(&[1], p.rank(), 8).unwrap();
+        win.fence_end().unwrap();
+        // fence_end without fence: rejected
+        assert!(matches!(win.fence_end(), Err(MpiError::NoEpoch { .. })));
+        w.barrier();
+        win.free().unwrap();
+    });
+}
+
+#[test]
+fn datatype_ops_work_in_active_epochs() {
+    Runtime::run_with(2, quiet(), |p: &Proc| {
+        let w = p.world();
+        let win = WinHandle::create(&w, 64);
+        win.fence().unwrap();
+        if p.rank() == 0 {
+            let tdt = Datatype::Vector {
+                count: 4,
+                blocklen: 4,
+                stride: 16,
+            };
+            win.put(&[9u8; 16], &Datatype::contiguous(16), 1, 0, &tdt)
+                .unwrap();
+        }
+        win.fence().unwrap();
+        if p.rank() == 1 {
+            let mut buf = [0u8; 64];
+            win.get_bytes(&mut buf, 1, 0).unwrap();
+            for i in 0..4 {
+                assert_eq!(&buf[i * 16..i * 16 + 4], &[9u8; 4]);
+                assert_eq!(&buf[i * 16 + 4..i * 16 + 16], &[0u8; 12]);
+            }
+        }
+        win.fence_end().unwrap();
+        w.barrier();
+        win.free().unwrap();
+    });
+}

@@ -1,0 +1,128 @@
+//! Edge cases: single-rank communicators, windows on subcommunicators
+//! with concurrent traffic elsewhere, large payloads.
+
+use mpisim::coll::ReduceOp;
+use mpisim::{LockMode, Proc, RecvSrc, Runtime, RuntimeConfig, WinHandle};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn single_rank_world_collectives() {
+    Runtime::run_with(1, quiet(), |p: &Proc| {
+        let w = p.world();
+        w.barrier();
+        assert_eq!(w.allreduce_i64(ReduceOp::Sum, &[7])[0], 7);
+        assert_eq!(w.bcast_bytes(0, Some(vec![1, 2])), vec![1, 2]);
+        assert_eq!(w.maxloc_i64(5), (5, 0));
+        let a2a = w.alltoallv_bytes(vec![vec![9]]);
+        assert_eq!(a2a, vec![vec![9]]);
+    });
+}
+
+#[test]
+fn single_rank_window_self_ops() {
+    Runtime::run_with(1, quiet(), |p: &Proc| {
+        let w = p.world();
+        let win = WinHandle::create(&w, 64);
+        win.lock(LockMode::Exclusive, 0).unwrap();
+        win.put_bytes(&[9u8; 8], 0, 0).unwrap();
+        win.unlock(0).unwrap();
+        win.lock(LockMode::Shared, 0).unwrap();
+        let mut b = [0u8; 8];
+        win.get_bytes(&mut b, 0, 0).unwrap();
+        win.unlock(0).unwrap();
+        assert_eq!(b, [9u8; 8]);
+        win.free().unwrap();
+    });
+}
+
+#[test]
+fn subcomm_window_with_concurrent_world_traffic() {
+    Runtime::run_with(6, quiet(), |p: &Proc| {
+        let w = p.world();
+        let sub = w.split((p.rank() % 2) as i64, p.rank() as i64).unwrap();
+        // windows live on the subcommunicators; world p2p runs alongside
+        let win = WinHandle::create(&sub, 32);
+        if p.rank() == 0 {
+            w.send(5, 99, b"cross");
+        }
+        if sub.rank() == 0 && sub.size() > 1 {
+            win.lock(LockMode::Exclusive, 1).unwrap();
+            win.put_bytes(&[p.rank() as u8 + 1], 1, 0).unwrap();
+            win.unlock(1).unwrap();
+        }
+        if p.rank() == 5 {
+            let (m, _) = w.recv(RecvSrc::Rank(0), 99);
+            assert_eq!(m, b"cross");
+        }
+        sub.barrier();
+        if sub.rank() == 1 {
+            win.lock(LockMode::Shared, 1).unwrap();
+            let mut b = [0u8; 1];
+            win.get_bytes(&mut b, 1, 0).unwrap();
+            win.unlock(1).unwrap();
+            // group leader is world rank 0 (even group) or 1 (odd group)
+            let leader = sub.world_rank_of(0);
+            assert_eq!(b[0], leader as u8 + 1);
+        }
+        sub.barrier();
+        win.free().unwrap();
+    });
+}
+
+#[test]
+fn large_payload_collectives_and_p2p() {
+    Runtime::run_with(3, quiet(), |p: &Proc| {
+        let w = p.world();
+        let big = vec![p.rank() as u8; 1 << 20];
+        let all = w.allgather_bytes(big);
+        for (r, b) in all.iter().enumerate() {
+            assert_eq!(b.len(), 1 << 20);
+            assert_eq!(b[0], r as u8);
+            assert_eq!(b[(1 << 20) - 1], r as u8);
+        }
+        if p.rank() == 0 {
+            w.send(2, 1, &vec![0xabu8; 1 << 21]);
+        } else if p.rank() == 2 {
+            let (m, _) = w.recv(RecvSrc::Rank(0), 1);
+            assert_eq!(m.len(), 1 << 21);
+        }
+    });
+}
+
+#[test]
+fn many_windows_lifecycle() {
+    Runtime::run_with(2, quiet(), |p: &Proc| {
+        let w = p.world();
+        let wins: Vec<WinHandle> = (0..20)
+            .map(|i| WinHandle::create(&w, 8 * (i + 1)))
+            .collect();
+        for (i, win) in wins.iter().enumerate() {
+            assert_eq!(win.size_of(0), 8 * (i + 1));
+            if p.rank() == 0 {
+                win.lock(LockMode::Exclusive, 1).unwrap();
+                win.put_bytes(&[i as u8], 1, 0).unwrap();
+                win.unlock(1).unwrap();
+            }
+        }
+        w.barrier();
+        for (i, win) in wins.iter().enumerate() {
+            if p.rank() == 1 {
+                win.lock(LockMode::Shared, 1).unwrap();
+                let mut b = [0u8; 1];
+                win.get_bytes(&mut b, 1, 0).unwrap();
+                win.unlock(1).unwrap();
+                assert_eq!(b[0], i as u8);
+            }
+        }
+        w.barrier();
+        for win in wins {
+            win.free().unwrap();
+        }
+    });
+}

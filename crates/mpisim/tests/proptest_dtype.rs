@@ -1,0 +1,158 @@
+//! Property tests for the datatype engine: subarray flattening against a
+//! brute-force element enumeration, and zip/copy semantics through a real
+//! window.
+
+use mpisim::dtype::zip_segments;
+use mpisim::{Datatype, LockMode, Runtime, RuntimeConfig, WinHandle};
+use proptest::prelude::*;
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+/// Strategy: a random subarray shape of rank 1–3 with small extents.
+fn arb_subarray() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, Vec<usize>, usize)> {
+    (1usize..4).prop_flat_map(|rank| {
+        let dims = proptest::collection::vec((1usize..6, 0usize..5, 1usize..6), rank);
+        (dims, 1usize..5).prop_map(|(specs, elem)| {
+            let mut sizes = Vec::new();
+            let mut starts = Vec::new();
+            let mut subsizes = Vec::new();
+            for (sub, start, pad) in specs {
+                subsizes.push(sub);
+                starts.push(start);
+                sizes.push(sub + start + pad);
+            }
+            (sizes, subsizes, starts, elem)
+        })
+    })
+}
+
+/// Brute-force byte enumeration of a subarray selection, in row-major
+/// element order.
+fn brute_force_bytes(
+    sizes: &[usize],
+    subsizes: &[usize],
+    starts: &[usize],
+    elem: usize,
+) -> Vec<usize> {
+    let n = sizes.len();
+    let mut strides = vec![0usize; n];
+    let mut acc = elem;
+    for d in (0..n).rev() {
+        strides[d] = acc;
+        acc *= sizes[d];
+    }
+    let mut out = Vec::new();
+    let mut idx = vec![0usize; n];
+    loop {
+        let base: usize = (0..n).map(|d| (starts[d] + idx[d]) * strides[d]).sum();
+        for b in 0..elem {
+            out.push(base + b);
+        }
+        // odometer increment over subsizes
+        let mut d = n;
+        loop {
+            if d == 0 {
+                return out;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < subsizes[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `segments()` selects exactly the bytes of the brute-force
+    /// enumeration, in order.
+    #[test]
+    fn subarray_segments_match_bruteforce(
+        (sizes, subsizes, starts, elem) in arb_subarray()
+    ) {
+        let dt = Datatype::subarray(&sizes, &subsizes, &starts, elem).unwrap();
+        let mut from_segments = Vec::new();
+        for (off, len) in dt.segments() {
+            from_segments.extend(off..off + len);
+        }
+        let brute = brute_force_bytes(&sizes, &subsizes, &starts, elem);
+        prop_assert_eq!(from_segments, brute);
+        prop_assert_eq!(dt.size(), subsizes.iter().product::<usize>() * elem);
+    }
+
+    /// `extent()` is exactly one past the last selected byte.
+    #[test]
+    fn subarray_extent_is_tight(
+        (sizes, subsizes, starts, elem) in arb_subarray()
+    ) {
+        let dt = Datatype::subarray(&sizes, &subsizes, &starts, elem).unwrap();
+        let brute = brute_force_bytes(&sizes, &subsizes, &starts, elem);
+        prop_assert_eq!(dt.extent(), brute.iter().max().unwrap() + 1);
+    }
+
+    /// zip pairing preserves byte order: copying through any two types of
+    /// equal size is equivalent to gathering the source bytes and
+    /// scattering them into the target positions.
+    #[test]
+    fn zip_is_order_preserving(
+        (sizes, subsizes, starts, elem) in arb_subarray()
+    ) {
+        let a = Datatype::subarray(&sizes, &subsizes, &starts, elem).unwrap();
+        let b = Datatype::contiguous(a.size());
+        let pairs = zip_segments(&a, &b).unwrap();
+        // target offsets must be 0..size in order; source offsets must be
+        // the brute-force selection in order
+        let mut covered = 0usize;
+        let mut src_bytes = Vec::new();
+        for (aoff, boff, len) in pairs {
+            prop_assert_eq!(boff, covered);
+            covered += len;
+            src_bytes.extend(aoff..aoff + len);
+        }
+        prop_assert_eq!(covered, a.size());
+        prop_assert_eq!(src_bytes, brute_force_bytes(&sizes, &subsizes, &starts, elem));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random put/get through real windows with subarray target types
+    /// round-trips exactly.
+    #[test]
+    fn window_subarray_roundtrip(
+        (sizes, subsizes, starts, elem) in arb_subarray(),
+        seed in 0u64..1000
+    ) {
+        let dt = Datatype::subarray(&sizes, &subsizes, &starts, elem).unwrap();
+        let total = dt.size();
+        let win_size = dt.extent();
+        prop_assume!(total > 0);
+        Runtime::run_with(2, quiet(), move |p| {
+            let w = p.world();
+            let win = WinHandle::create(&w, win_size);
+            if p.rank() == 0 {
+                let src: Vec<u8> = (0..total).map(|i| ((i as u64 * 31 + seed) % 251) as u8).collect();
+                let cdt = Datatype::contiguous(total);
+                win.lock(LockMode::Exclusive, 1).unwrap();
+                win.put(&src, &cdt, 1, 0, &dt).unwrap();
+                win.unlock(1).unwrap();
+                let mut back = vec![0u8; total];
+                win.lock(LockMode::Shared, 1).unwrap();
+                win.get(&mut back, &cdt, 1, 0, &dt).unwrap();
+                win.unlock(1).unwrap();
+                assert_eq!(back, src);
+            }
+            w.barrier();
+            win.free().unwrap();
+        });
+    }
+}

@@ -1,0 +1,150 @@
+//! The proxy's correctness oracle: bit-exact energies across backends,
+//! process counts, and tilings.
+
+use armci_mpi::ArmciMpi;
+use armci_native::ArmciNative;
+use mpisim::{Runtime, RuntimeConfig};
+use nwchem_proxy::{run_ccsd, run_triples, CcsdConfig};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+fn ccsd_energy_mpi(n: usize, cfg: CcsdConfig) -> (f64, usize) {
+    let res = Runtime::run_with(n, quiet(), move |p| {
+        let rt = ArmciMpi::new(p);
+        run_ccsd(p, &rt, &cfg)
+    });
+    let total_tasks = res.iter().map(|r| r.tasks_done).sum();
+    (res[0].energy, total_tasks)
+}
+
+fn ccsd_energy_native(n: usize, cfg: CcsdConfig) -> (f64, usize) {
+    let res = Runtime::run_with(n, quiet(), move |p| {
+        let rt = ArmciNative::new(p);
+        run_ccsd(p, &rt, &cfg)
+    });
+    let total_tasks = res.iter().map(|r| r.tasks_done).sum();
+    (res[0].energy, total_tasks)
+}
+
+#[test]
+fn ccsd_energy_identical_across_backends() {
+    let cfg = CcsdConfig::tiny();
+    let (e_mpi, t_mpi) = ccsd_energy_mpi(3, cfg);
+    let (e_nat, t_nat) = ccsd_energy_native(3, cfg);
+    assert!(e_mpi != 0.0, "energy unexpectedly zero");
+    assert_eq!(e_mpi, e_nat, "backend energies differ");
+    assert_eq!(t_mpi, cfg.ccsd_tasks() * cfg.iterations);
+    assert_eq!(t_nat, cfg.ccsd_tasks() * cfg.iterations);
+}
+
+#[test]
+fn ccsd_energy_independent_of_process_count() {
+    let cfg = CcsdConfig::tiny();
+    let (e1, _) = ccsd_energy_mpi(1, cfg);
+    let (e2, _) = ccsd_energy_mpi(2, cfg);
+    let (e5, _) = ccsd_energy_mpi(5, cfg);
+    assert_eq!(e1, e2);
+    assert_eq!(e2, e5);
+}
+
+#[test]
+fn ccsd_energy_independent_of_tiling() {
+    let a = CcsdConfig {
+        no: 4,
+        nv: 8,
+        tile_o: 2,
+        tile_v: 4,
+        iterations: 1,
+    };
+    let b = CcsdConfig {
+        no: 4,
+        nv: 8,
+        tile_o: 4,
+        tile_v: 2,
+        iterations: 1,
+    };
+    let c = CcsdConfig {
+        no: 4,
+        nv: 8,
+        tile_o: 1,
+        tile_v: 8,
+        iterations: 1,
+    };
+    let (ea, _) = ccsd_energy_mpi(3, a);
+    let (eb, _) = ccsd_energy_mpi(3, b);
+    let (ec, _) = ccsd_energy_mpi(3, c);
+    assert_eq!(ea, eb);
+    assert_eq!(eb, ec);
+}
+
+#[test]
+fn triples_energy_identical_across_backends_and_ranks() {
+    let cfg = CcsdConfig::tiny();
+    let e_m2 = Runtime::run_with(2, quiet(), move |p| {
+        let rt = ArmciMpi::new(p);
+        run_triples(p, &rt, &cfg).energy
+    })[0];
+    let e_m4 = Runtime::run_with(4, quiet(), move |p| {
+        let rt = ArmciMpi::new(p);
+        run_triples(p, &rt, &cfg).energy
+    })[0];
+    let e_n3 = Runtime::run_with(3, quiet(), move |p| {
+        let rt = ArmciNative::new(p);
+        run_triples(p, &rt, &cfg).energy
+    })[0];
+    assert!(e_m2 > 0.0);
+    assert_eq!(e_m2, e_m4);
+    assert_eq!(e_m2, e_n3);
+}
+
+#[test]
+fn dynamic_load_balancing_splits_tasks() {
+    // With several ranks, no rank should execute all tasks (NXTVAL works).
+    let cfg = CcsdConfig {
+        no: 4,
+        nv: 8,
+        tile_o: 1,
+        tile_v: 2,
+        iterations: 1,
+    };
+    let res = Runtime::run_with(4, quiet(), move |p| {
+        let rt = ArmciMpi::new(p);
+        run_ccsd(p, &rt, &cfg)
+    });
+    let total: usize = res.iter().map(|r| r.tasks_done).sum();
+    assert_eq!(total, cfg.ccsd_tasks());
+    let max = res.iter().map(|r| r.tasks_done).max().unwrap();
+    assert!(max < total, "one rank hogged all {total} tasks");
+}
+
+#[test]
+fn virtual_time_scales_down_with_ranks() {
+    // More processes → less virtual time per rank (parallel speedup in
+    // the simulated clock domain).
+    let cfg = CcsdConfig {
+        no: 4,
+        nv: 16,
+        tile_o: 2,
+        tile_v: 4,
+        iterations: 1,
+    };
+    let t1 = Runtime::run(1, move |p| {
+        let rt = ArmciMpi::new(p);
+        run_ccsd(p, &rt, &cfg).elapsed
+    })[0];
+    let t4: f64 = Runtime::run(4, move |p| {
+        let rt = ArmciMpi::new(p);
+        run_ccsd(p, &rt, &cfg).elapsed
+    })
+    .iter()
+    .fold(0.0f64, |m, &t| m.max(t));
+    assert!(
+        t4 < 0.75 * t1,
+        "no speedup: 1 rank {t1} vs 4 ranks {t4} virtual seconds"
+    );
+}

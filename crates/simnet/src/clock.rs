@@ -1,0 +1,154 @@
+//! Per-rank virtual clocks.
+//!
+//! Each simulated process owns a [`VClock`] measuring seconds of virtual
+//! time. Clocks are advanced by the cost model on every communication call.
+//! Collective operations synchronise the clocks of all participants to the
+//! maximum (everyone leaves a barrier together).
+//!
+//! The clock is an atomic `f64` (stored as bits in an `AtomicU64`) so that
+//! collectives executed by one thread can read and bump the clocks of its
+//! peers without extra locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically non-decreasing virtual clock, in seconds.
+#[derive(Debug, Default)]
+pub struct VClock {
+    bits: AtomicU64,
+}
+
+impl VClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        VClock {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+
+    /// Advances the clock by `dt` seconds. Negative or non-finite `dt` is a
+    /// programming error in the cost model and panics in debug builds.
+    pub fn advance(&self, dt: f64) {
+        debug_assert!(dt.is_finite() && dt >= 0.0, "bad clock delta {dt}");
+        // Single-writer in practice (only the owning rank advances its own
+        // clock outside collectives), but CAS-loop for safety.
+        let mut cur = self.bits.load(Ordering::Acquire);
+        loop {
+            let next = (f64::from_bits(cur) + dt).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Moves the clock forward to at least `t` seconds (no-op if already
+    /// past `t`).
+    pub fn advance_to(&self, t: f64) {
+        let mut cur = self.bits.load(Ordering::Acquire);
+        loop {
+            if f64::from_bits(cur) >= t {
+                return;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                t.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Resets the clock to zero. Used between benchmark phases.
+    pub fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Release);
+    }
+}
+
+/// Synchronises a set of clocks to `max(now) + extra`, returning the new
+/// common time. This models a collective: no participant leaves before the
+/// slowest one arrives, and the collective itself costs `extra` seconds.
+pub fn sync_max(clocks: &[&VClock], extra: f64) -> f64 {
+    let t = clocks.iter().map(|c| c.now()).fold(0.0f64, f64::max) + extra;
+    for c in clocks {
+        c.advance_to(t);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = VClock::new();
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = VClock::new();
+        c.advance(1.5);
+        c.advance(0.25);
+        assert!((c.now() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = VClock::new();
+        c.advance_to(2.0);
+        assert_eq!(c.now(), 2.0);
+        c.advance_to(1.0); // must not go backwards
+        assert_eq!(c.now(), 2.0);
+    }
+
+    #[test]
+    fn sync_max_brings_all_to_common_time() {
+        let a = VClock::new();
+        let b = VClock::new();
+        a.advance(3.0);
+        b.advance(1.0);
+        let t = sync_max(&[&a, &b], 0.5);
+        assert!((t - 3.5).abs() < 1e-12);
+        assert_eq!(a.now(), t);
+        assert_eq!(b.now(), t);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let c = VClock::new();
+        c.advance(9.0);
+        c.reset();
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_advances_are_not_lost() {
+        use std::sync::Arc;
+        let c = Arc::new(VClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.advance(0.001);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((c.now() - 8.0).abs() < 1e-6);
+    }
+}

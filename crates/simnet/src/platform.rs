@@ -1,0 +1,436 @@
+//! Platform registry (paper Table II) with calibrated cost parameters.
+//!
+//! Each platform carries two [`BackendParams`]: `native` (the vendor /
+//! ARMCI-team implementation) and `mpi` (the MPI RMA implementation that
+//! ARMCI-MPI runs on). Parameter values are calibrated against the paper's
+//! Figures 3–5; the qualitative relations the calibration must satisfy are
+//! asserted in this module's tests:
+//!
+//! * **Blue Gene/P** — MPI get/put slightly below native, acc clearly below;
+//!   slow cores make packing expensive (low `pack_rate`).
+//! * **InfiniBand cluster** — native is the most aggressively tuned: MPI
+//!   trails for get/put and the double-precision accumulate gap exceeds
+//!   1.5 GB/s at large sizes; the MVAPICH2 batched-op bug hurts large
+//!   batches.
+//! * **Cray XT5** — comparable below 32 KiB, MPI reaches only half the
+//!   native bandwidth above it.
+//! * **Cray XE6** — the native port is a development release: MPI achieves
+//!   roughly 2× native bandwidth for put/get and ~25% more for acc.
+
+use crate::cost::{BackendParams, LinkParams};
+use crate::registration::RegParams;
+use serde::Serialize;
+
+/// The four systems of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum PlatformId {
+    BlueGeneP,
+    InfiniBandCluster,
+    CrayXT5,
+    CrayXE6,
+}
+
+impl PlatformId {
+    /// All platforms, in the paper's presentation order.
+    pub const ALL: [PlatformId; 4] = [
+        PlatformId::BlueGeneP,
+        PlatformId::InfiniBandCluster,
+        PlatformId::CrayXT5,
+        PlatformId::CrayXE6,
+    ];
+
+    /// Short name used in figure output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformId::BlueGeneP => "Blue Gene/P",
+            PlatformId::InfiniBandCluster => "InfiniBand Cluster",
+            PlatformId::CrayXT5 => "Cray XT5",
+            PlatformId::CrayXE6 => "Cray XE6",
+        }
+    }
+}
+
+/// Compute-side parameters used by the NWChem proxy.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComputeParams {
+    /// Sustained DGEMM rate per core, flops/second.
+    pub flops_per_core: f64,
+}
+
+/// A platform: Table II row plus calibrated cost models.
+///
+/// ```
+/// use simnet::{Platform, PlatformId, Op};
+///
+/// let ib = Platform::get(PlatformId::InfiniBandCluster);
+/// assert_eq!(ib.system, "Fusion");
+/// // 1 MiB native get approaches wire speed; MPI trails
+/// let native = ib.native.get.bandwidth(1 << 20);
+/// let mpi = ib.mpi.get.bandwidth(1 << 20);
+/// assert!(native > mpi);
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct Platform {
+    pub id: PlatformId,
+    pub name: &'static str,
+    /// System name from Table II (e.g. "Intrepid").
+    pub system: &'static str,
+    pub nodes: u32,
+    /// Sockets per node.
+    pub sockets_per_node: u32,
+    /// Cores per socket.
+    pub cores_per_socket: u32,
+    /// GiB of memory per node.
+    pub memory_per_node_gib: u32,
+    pub interconnect: &'static str,
+    pub mpi_version: &'static str,
+    pub native: BackendParams,
+    pub mpi: BackendParams,
+    pub reg: RegParams,
+    pub compute: ComputeParams,
+}
+
+impl Platform {
+    /// Cores per node.
+    pub fn cores_per_node(&self) -> u32 {
+        self.sockets_per_node * self.cores_per_socket
+    }
+
+    /// Looks up a platform by id.
+    pub fn get(id: PlatformId) -> Platform {
+        match id {
+            PlatformId::BlueGeneP => blue_gene_p(),
+            PlatformId::InfiniBandCluster => infiniband(),
+            PlatformId::CrayXT5 => cray_xt5(),
+            PlatformId::CrayXE6 => cray_xe6(),
+        }
+    }
+
+    /// All platforms.
+    pub fn all() -> Vec<Platform> {
+        PlatformId::ALL
+            .iter()
+            .map(|&id| Platform::get(id))
+            .collect()
+    }
+
+    /// Builds a custom platform from an existing one — the supported way
+    /// to model a machine that is not in Table II: start from the closest
+    /// calibrated platform and override parameters.
+    ///
+    /// ```
+    /// use simnet::{Platform, PlatformId};
+    ///
+    /// let mut mine = Platform::get(PlatformId::InfiniBandCluster)
+    ///     .customized("my-cluster");
+    /// mine.mpi.put.peak = 12.5e9; // HDR InfiniBand
+    /// assert_eq!(mine.system, "my-cluster");
+    /// assert!(mine.mpi.put.bandwidth(64 << 20) > 12.0e9);
+    /// ```
+    pub fn customized(mut self, system: &'static str) -> Platform {
+        self.system = system;
+        self
+    }
+}
+
+/// Default registration model: effectively free (non-IB platforms do not
+/// exhibit the Figure 5 behaviour in the paper's study).
+fn reg_trivial() -> RegParams {
+    RegParams {
+        bounce_threshold: usize::MAX,
+        copy_rate: f64::INFINITY,
+        pin_base: 0.0,
+        pin_per_page: 0.0,
+        page_size: 4096,
+        nonpinned_bw_factor: 1.0,
+    }
+}
+
+fn blue_gene_p() -> Platform {
+    // 3D torus, 425 MB/s per link; slow (850 MHz) PPC450 cores make
+    // packing expensive, which is why the *batched* method wins for large
+    // segments in Figure 4a while datatypes win for small segments.
+    let native = BackendParams {
+        get: LinkParams::new(3.5e-6, 0.380e9),
+        put: LinkParams::new(3.0e-6, 0.380e9),
+        acc: LinkParams::new(4.0e-6, 0.300e9),
+        epoch_overhead: 0.3e-6,
+        op_overhead: 0.4e-6,
+        seg_overhead: 0.9e-6,
+        pack_rate: 1.2e9,
+        dtype_setup: 2.0e-6,
+        dtype_seg_overhead: 90e-9,
+        batched_bug: None,
+        rmw_latency: 4.0e-6,
+        acc_combine_rate: 0.8e9,
+    };
+    let mpi = BackendParams {
+        get: LinkParams::new(5.0e-6, 0.340e9),
+        put: LinkParams::new(4.5e-6, 0.340e9),
+        acc: LinkParams::new(6.0e-6, 0.200e9),
+        epoch_overhead: 2.0e-6,
+        op_overhead: 0.8e-6,
+        seg_overhead: 1.1e-6,
+        // Slow cores: packing below 1 GB/s, so direct datatypes lose for
+        // large segments but win for small ones (per-segment overheads are
+        // tiny relative to batched issue costs).
+        pack_rate: 0.8e9,
+        dtype_setup: 3.0e-6,
+        dtype_seg_overhead: 60e-9,
+        batched_bug: None,
+        rmw_latency: 5.0e-6,
+        acc_combine_rate: 0.5e9,
+    };
+    Platform {
+        id: PlatformId::BlueGeneP,
+        name: PlatformId::BlueGeneP.name(),
+        system: "Intrepid",
+        nodes: 40_960,
+        sockets_per_node: 1,
+        cores_per_socket: 4,
+        memory_per_node_gib: 2,
+        interconnect: "3D Torus",
+        mpi_version: "IBM MPI",
+        native,
+        mpi,
+        reg: reg_trivial(),
+        compute: ComputeParams {
+            flops_per_core: 2.7e9,
+        },
+    }
+}
+
+fn infiniband() -> Platform {
+    // QDR InfiniBand; the native port is the ARMCI team's flagship.
+    let native = BackendParams {
+        get: LinkParams::new(1.8e-6, 3.2e9),
+        put: LinkParams::new(1.5e-6, 3.2e9),
+        acc: LinkParams::new(2.2e-6, 2.6e9),
+        epoch_overhead: 0.2e-6,
+        op_overhead: 0.3e-6,
+        seg_overhead: 0.08e-6,
+        pack_rate: 5.0e9,
+        dtype_setup: 1.0e-6,
+        dtype_seg_overhead: 25e-9,
+        batched_bug: None,
+        rmw_latency: 1.9e-6,
+        acc_combine_rate: 4.0e9,
+    };
+    let mpi = BackendParams {
+        get: LinkParams::new(3.2e-6, 2.8e9),
+        put: LinkParams::new(2.9e-6, 2.8e9),
+        // The >1.5 GB/s accumulate gap of Figure 3b.
+        acc: LinkParams::new(4.0e-6, 0.9e9),
+        epoch_overhead: 1.6e-6,
+        op_overhead: 0.5e-6,
+        seg_overhead: 0.4e-6,
+        // pack throughput caps the direct method for large segments
+        // (Figure 4b: batched beats direct at 1 KiB segments)
+        pack_rate: 2.5e9,
+        dtype_setup: 1.8e-6,
+        dtype_seg_overhead: 30e-9,
+        // MPICH2 batched-op bug, fixed upstream but not yet in MVAPICH2
+        // at the time of the paper: large batches fall off a cliff.
+        batched_bug: Some(48.0),
+        rmw_latency: 2.5e-6,
+        acc_combine_rate: 3.0e9,
+    };
+    Platform {
+        id: PlatformId::InfiniBandCluster,
+        name: PlatformId::InfiniBandCluster.name(),
+        system: "Fusion",
+        nodes: 320,
+        sockets_per_node: 2,
+        cores_per_socket: 4,
+        memory_per_node_gib: 36,
+        interconnect: "InfiniBand QDR",
+        mpi_version: "MVAPICH2 1.6",
+        native,
+        mpi,
+        reg: RegParams {
+            bounce_threshold: 8 << 10,
+            copy_rate: 4.5e9,
+            pin_base: 40e-6,
+            pin_per_page: 0.45e-6,
+            page_size: 4096,
+            nonpinned_bw_factor: 0.35,
+        },
+        compute: ComputeParams {
+            flops_per_core: 8.0e9,
+        },
+    }
+}
+
+fn cray_xt5() -> Platform {
+    let native = BackendParams {
+        get: LinkParams::new(5.5e-6, 2.1e9),
+        put: LinkParams::new(5.0e-6, 2.1e9),
+        acc: LinkParams::new(6.0e-6, 1.7e9),
+        epoch_overhead: 0.3e-6,
+        op_overhead: 0.4e-6,
+        seg_overhead: 0.35e-6,
+        pack_rate: 4.0e9,
+        dtype_setup: 1.5e-6,
+        dtype_seg_overhead: 35e-9,
+        batched_bug: None,
+        rmw_latency: 4.5e-6,
+        acc_combine_rate: 3.5e9,
+    };
+    let mut mpi_get = LinkParams::new(6.5e-6, 2.0e9);
+    let mut mpi_put = LinkParams::new(6.0e-6, 2.0e9);
+    let mut mpi_acc = LinkParams::new(7.5e-6, 1.5e9);
+    // Figure 3c: beyond 32 KiB MPI achieves half the native bandwidth.
+    mpi_get.large_penalty = Some((32 << 10, 0.5));
+    mpi_put.large_penalty = Some((32 << 10, 0.5));
+    mpi_acc.large_penalty = Some((32 << 10, 0.5));
+    let mpi = BackendParams {
+        get: mpi_get,
+        put: mpi_put,
+        acc: mpi_acc,
+        epoch_overhead: 2.2e-6,
+        op_overhead: 0.9e-6,
+        seg_overhead: 1.4e-6,
+        pack_rate: 3.5e9,
+        dtype_setup: 2.0e-6,
+        dtype_seg_overhead: 40e-9,
+        batched_bug: None,
+        rmw_latency: 5.5e-6,
+        acc_combine_rate: 3.0e9,
+    };
+    Platform {
+        id: PlatformId::CrayXT5,
+        name: PlatformId::CrayXT5.name(),
+        system: "Jaguar PF",
+        nodes: 18_688,
+        sockets_per_node: 2,
+        cores_per_socket: 6,
+        memory_per_node_gib: 16,
+        interconnect: "Seastar 2+",
+        mpi_version: "Cray MPI",
+        native,
+        mpi,
+        reg: reg_trivial(),
+        compute: ComputeParams {
+            flops_per_core: 9.2e9,
+        },
+    }
+}
+
+fn cray_xe6() -> Platform {
+    // Gemini interconnect; the native ARMCI port is a development release
+    // and underperforms — the one platform where ARMCI-MPI wins outright.
+    let native = BackendParams {
+        get: LinkParams::new(4.5e-6, 0.75e9),
+        put: LinkParams::new(4.2e-6, 0.75e9),
+        acc: LinkParams::new(5.0e-6, 0.80e9),
+        epoch_overhead: 0.4e-6,
+        op_overhead: 0.6e-6,
+        seg_overhead: 0.5e-6,
+        pack_rate: 3.0e9,
+        dtype_setup: 1.8e-6,
+        dtype_seg_overhead: 45e-9,
+        batched_bug: None,
+        rmw_latency: 3.0e-6,
+        acc_combine_rate: 2.5e9,
+    };
+    let mpi = BackendParams {
+        get: LinkParams::new(2.6e-6, 1.5e9),
+        put: LinkParams::new(2.4e-6, 1.5e9),
+        acc: LinkParams::new(3.2e-6, 1.0e9),
+        epoch_overhead: 1.4e-6,
+        op_overhead: 0.5e-6,
+        seg_overhead: 0.6e-6,
+        pack_rate: 4.5e9,
+        dtype_setup: 1.6e-6,
+        dtype_seg_overhead: 30e-9,
+        batched_bug: None,
+        rmw_latency: 2.2e-6,
+        // Gemini's BTE does the combine off the critical path; the acc
+        // link peak above already reflects the end-to-end rate, so the
+        // separate combine term is negligible (keeps the paper's +25%
+        // MPI-over-native acc advantage visible end to end).
+        acc_combine_rate: 30e9,
+    };
+    Platform {
+        id: PlatformId::CrayXE6,
+        name: PlatformId::CrayXE6.name(),
+        system: "Hopper II",
+        nodes: 6_392,
+        sockets_per_node: 2,
+        cores_per_socket: 12,
+        memory_per_node_gib: 32,
+        interconnect: "Gemini",
+        mpi_version: "Cray MPI",
+        native,
+        mpi,
+        reg: reg_trivial(),
+        compute: ComputeParams {
+            flops_per_core: 8.4e9,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIG: usize = 8 << 20;
+
+    #[test]
+    fn table2_rows_match_paper() {
+        let bgp = Platform::get(PlatformId::BlueGeneP);
+        assert_eq!(bgp.nodes, 40_960);
+        assert_eq!(bgp.cores_per_node(), 4);
+        let ib = Platform::get(PlatformId::InfiniBandCluster);
+        assert_eq!(ib.nodes, 320);
+        assert_eq!(ib.cores_per_node(), 8);
+        let xt = Platform::get(PlatformId::CrayXT5);
+        assert_eq!(xt.nodes, 18_688);
+        assert_eq!(xt.cores_per_node(), 12);
+        let xe = Platform::get(PlatformId::CrayXE6);
+        assert_eq!(xe.nodes, 6_392);
+        assert_eq!(xe.cores_per_node(), 24);
+    }
+
+    #[test]
+    fn bgp_mpi_close_to_native_for_get_put() {
+        let p = Platform::get(PlatformId::BlueGeneP);
+        let nat = p.native.get.bandwidth(BIG);
+        let mpi = p.mpi.get.bandwidth(BIG);
+        assert!(mpi < nat);
+        assert!(mpi > 0.8 * nat, "mpi {mpi} vs native {nat}");
+    }
+
+    #[test]
+    fn ib_acc_gap_exceeds_1_5_gbs() {
+        let p = Platform::get(PlatformId::InfiniBandCluster);
+        let gap = p.native.acc.bandwidth(BIG) - p.mpi.acc.bandwidth(BIG);
+        assert!(gap > 1.5e9, "gap {gap}");
+    }
+
+    #[test]
+    fn xt5_mpi_half_native_beyond_32k() {
+        let p = Platform::get(PlatformId::CrayXT5);
+        // comparable at 32 KiB
+        let small = 32 << 10;
+        let r_small = p.mpi.get.bandwidth(small) / p.native.get.bandwidth(small);
+        assert!(r_small > 0.85, "ratio {r_small}");
+        // roughly half at large sizes
+        let r_big = p.mpi.get.bandwidth(BIG) / p.native.get.bandwidth(BIG);
+        assert!(r_big > 0.4 && r_big < 0.6, "ratio {r_big}");
+    }
+
+    #[test]
+    fn xe6_mpi_doubles_native_put_get() {
+        let p = Platform::get(PlatformId::CrayXE6);
+        let r = p.mpi.put.bandwidth(BIG) / p.native.put.bandwidth(BIG);
+        assert!(r > 1.8 && r < 2.2, "ratio {r}");
+        let racc = p.mpi.acc.bandwidth(BIG) / p.native.acc.bandwidth(BIG);
+        assert!(racc > 1.15 && racc < 1.4, "acc ratio {racc}");
+    }
+
+    #[test]
+    fn all_returns_four_platforms() {
+        assert_eq!(Platform::all().len(), 4);
+    }
+}

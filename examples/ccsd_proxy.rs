@@ -1,0 +1,92 @@
+//! Runs the NWChem CCSD(T) proxy on both ARMCI backends and shows the
+//! Figure 6 scaling study at full w5 scale via the discrete-event model.
+//!
+//! ```sh
+//! cargo run --release --example ccsd_proxy
+//! ```
+
+use armci_mpi::ArmciMpi;
+use armci_native::ArmciNative;
+use mpisim::{Runtime, RuntimeConfig};
+use nwchem_proxy::{run_ccsd, Backend, CcsdConfig, ProxyPhase};
+use scalesim::fig6;
+use simnet::PlatformId;
+
+fn main() {
+    // --- executable proxy at laptop scale ------------------------------
+    let cfg = CcsdConfig {
+        no: 4,
+        nv: 16,
+        tile_o: 2,
+        tile_v: 4,
+        iterations: 2,
+    };
+    println!(
+        "executable CCSD proxy: no={} nv={} ({} tasks/iter)",
+        cfg.no,
+        cfg.nv,
+        cfg.ccsd_tasks()
+    );
+    for nprocs in [1usize, 2, 4] {
+        let rcfg = RuntimeConfig::on_platform(PlatformId::InfiniBandCluster);
+        let res = Runtime::run_with(nprocs, rcfg, move |p| {
+            let rt = ArmciMpi::new(p);
+            run_ccsd(p, &rt, &cfg)
+        });
+        let t = res.iter().map(|r| r.elapsed).fold(0.0f64, f64::max);
+        println!(
+            "  ARMCI-MPI    P={nprocs}: energy {:+.12e}, {:.2} ms virtual",
+            res[0].energy,
+            t * 1e3
+        );
+    }
+    let rcfg = RuntimeConfig::on_platform(PlatformId::InfiniBandCluster);
+    let res = Runtime::run_with(4, rcfg, move |p| {
+        let rt = ArmciNative::new(p);
+        run_ccsd(p, &rt, &cfg)
+    });
+    println!(
+        "  ARMCI-Native P=4: energy {:+.12e} (bit-identical: yes — dyadic-rational amplitudes)",
+        res[0].energy
+    );
+
+    // how the run mapped onto MPI (rank 0's ARMCI-MPI statistics)
+    let rcfg = RuntimeConfig::on_platform(PlatformId::InfiniBandCluster);
+    let stats = Runtime::run_with(4, rcfg, move |p| {
+        let rt = ArmciMpi::new(p);
+        run_ccsd(p, &rt, &cfg);
+        rt.stats()
+    });
+    let s = &stats[0];
+    println!(
+        "  rank 0 op statistics: {} epochs, {} gets ({} KiB), {} accs ({} KiB), {} RMWs, {} mutex locks",
+        s.epochs,
+        s.gets,
+        s.bytes_got / 1024,
+        s.accs,
+        s.bytes_acc / 1024,
+        s.rmws,
+        s.mutex_locks
+    );
+
+    // --- Figure 6 at full w5 scale (DES) --------------------------------
+    println!("\nFigure 6 (w5, no=20, nv=435) — minutes:");
+    for id in [PlatformId::InfiniBandCluster, PlatformId::CrayXE6] {
+        println!("  {}:", id.name());
+        for phase in [ProxyPhase::Ccsd, ProxyPhase::Triples] {
+            for backend in [Backend::ArmciMpi, Backend::Native] {
+                let series = fig6::series(id, backend, phase);
+                let pts: Vec<String> = series
+                    .iter()
+                    .map(|p| format!("{}:{:.1}", p.cores, p.minutes))
+                    .collect();
+                println!(
+                    "    {:12} {:18} {}",
+                    format!("{phase:?}"),
+                    format!("{backend:?}"),
+                    pts.join("  ")
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Compares the four ARMCI-MPI strided methods and native ARMCI on one
+//! workload — a miniature of the paper's Figure 4 experiment.
+//!
+//! ```sh
+//! cargo run --example strided_methods [platform]
+//! ```
+//! where `platform` is one of `bgp`, `ib` (default), `xt`, `xe`.
+
+use armci::{Armci, StridedMethod};
+use armci_mpi::{ArmciMpi, Config};
+use armci_native::ArmciNative;
+use mpisim::{Proc, Runtime, RuntimeConfig};
+use simnet::PlatformId;
+
+fn one_transfer<A: Armci>(p: &Proc, rt: &A, nsegs: usize, seg: usize) -> f64 {
+    let bases = rt.malloc(nsegs * seg * 2).unwrap();
+    rt.barrier();
+    let mut bw = 0.0;
+    if p.rank() == 0 {
+        let local = vec![1u8; nsegs * seg];
+        let t0 = p.clock().now();
+        rt.put_strided(&local, &[seg], bases[1], &[2 * seg], &[seg, nsegs])
+            .unwrap();
+        bw = (nsegs * seg) as f64 / (p.clock().now() - t0);
+    }
+    rt.barrier();
+    rt.free(bases[p.rank()]).unwrap();
+    bw
+}
+
+fn main() {
+    let platform = match std::env::args().nth(1).as_deref() {
+        Some("bgp") => PlatformId::BlueGeneP,
+        Some("xt") => PlatformId::CrayXT5,
+        Some("xe") => PlatformId::CrayXE6,
+        _ => PlatformId::InfiniBandCluster,
+    };
+    println!("platform: {}", platform.name());
+    println!(
+        "{:<18} {:>14} {:>14}",
+        "method", "16B x 1024", "1KiB x 1024"
+    );
+
+    let methods = [
+        ("Native", None),
+        ("Direct", Some(StridedMethod::Direct)),
+        ("IOV-Direct", Some(StridedMethod::IovDatatype)),
+        ("IOV-Batched", Some(StridedMethod::IovBatched { batch: 0 })),
+        ("IOV-Consrv", Some(StridedMethod::IovConservative)),
+        ("Auto", Some(StridedMethod::Auto)),
+    ];
+    for (label, method) in methods {
+        let cfg = RuntimeConfig::on_platform(platform);
+        let bws = Runtime::run_with(2, cfg, move |p| match method {
+            None => {
+                let rt = ArmciNative::new(p);
+                (
+                    one_transfer(p, &rt, 1024, 16),
+                    one_transfer(p, &rt, 1024, 1024),
+                )
+            }
+            Some(m) => {
+                let rt = ArmciMpi::with_config(
+                    p,
+                    Config {
+                        strided: m,
+                        iov: m,
+                        ..Default::default()
+                    },
+                );
+                (
+                    one_transfer(p, &rt, 1024, 16),
+                    one_transfer(p, &rt, 1024, 1024),
+                )
+            }
+        })
+        .swap_remove(0);
+        println!(
+            "{label:<18} {:>10.3} GB/s {:>10.3} GB/s",
+            bws.0 / 1e9,
+            bws.1 / 1e9
+        );
+    }
+}

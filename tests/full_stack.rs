@@ -1,0 +1,196 @@
+//! Full-stack integration: GA → ARMCI → (simulated) MPI, on both
+//! backends, combining features the way NWChem does.
+
+use armci::{AccessMode, Armci, ArmciExt};
+use armci_mpi::{ArmciMpi, Config};
+use armci_native::ArmciNative;
+use ga::{GaType, GlobalArray};
+use mpisim::{Proc, Runtime, RuntimeConfig};
+use nwchem_proxy::{run_ccsd, CcsdConfig};
+use simnet::PlatformId;
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn proxy_on_subgroup_with_access_modes() {
+    // NWChem-style: a compute subgroup runs CCSD while the other ranks
+    // idle, with the integral array marked read-only during the sweep.
+    Runtime::run_with(6, quiet(), |p: &Proc| {
+        let rt = ArmciMpi::new(p);
+        let world = rt.world_group();
+        let in_group = p.rank() < 4;
+        let sub = world
+            .split(if in_group { 0 } else { 1 }, p.rank() as i64)
+            .unwrap();
+        if in_group {
+            // a GA on the subgroup
+            let a =
+                GlobalArray::create_on(&rt, "sub", GaType::F64, &[12, 12], sub.clone()).unwrap();
+            a.fill(1.0).unwrap();
+            a.set_access_mode(AccessMode::ReadOnly).unwrap();
+            let mut sum = 0.0;
+            for _ in 0..5 {
+                sum += a.get_patch(&[0, 0], &[12, 12]).unwrap().iter().sum::<f64>();
+            }
+            assert_eq!(sum, 5.0 * 144.0);
+            a.set_access_mode(AccessMode::Standard).unwrap();
+            a.sync();
+            a.destroy().unwrap();
+        }
+    });
+}
+
+#[test]
+fn ccsd_proxy_identical_on_cray_xe_platform_model() {
+    // Platform choice must not change results, only virtual time.
+    let cfg = CcsdConfig::tiny();
+    let on_ib = Runtime::run_with(
+        3,
+        RuntimeConfig::on_platform(PlatformId::InfiniBandCluster),
+        move |p| {
+            let rt = ArmciMpi::new(p);
+            run_ccsd(p, &rt, &cfg)
+        },
+    );
+    let on_xe = Runtime::run_with(
+        3,
+        RuntimeConfig::on_platform(PlatformId::CrayXE6),
+        move |p| {
+            let rt = ArmciNative::new(p);
+            run_ccsd(p, &rt, &cfg)
+        },
+    );
+    assert_eq!(on_ib[0].energy, on_xe[0].energy);
+    assert!(on_ib[0].elapsed > 0.0 && on_xe[0].elapsed > 0.0);
+}
+
+#[test]
+fn mixed_ga_and_raw_armci_traffic() {
+    // GA operations interleaved with raw ARMCI operations on separate
+    // allocations — the interoperability scenario of Figure 1 (GA uses
+    // ARMCI and MPI side by side).
+    Runtime::run_with(4, quiet(), |p: &Proc| {
+        let rt = ArmciMpi::new(p);
+        let a = GlobalArray::create(&rt, "ga", GaType::F64, &[16]).unwrap();
+        let raw = rt.malloc(64).unwrap();
+        a.zero().unwrap();
+        rt.barrier();
+        // raw ARMCI put next to GA accumulate
+        if p.rank() == 0 {
+            rt.put_f64s(&[9.0; 8], raw[3]).unwrap();
+        }
+        a.acc_patch(1.0, &[0], &[16], &[1.0; 16]).unwrap();
+        a.sync();
+        if p.rank() == 3 {
+            assert_eq!(rt.get_f64s(raw[3], 8).unwrap(), vec![9.0; 8]);
+        }
+        let v = a.get_patch(&[0], &[16]).unwrap();
+        assert!(v.iter().all(|&x| x == 4.0));
+        // two-sided MPI messaging still works alongside (Figure 1: GA
+        // programs use MPI collectives/p2p directly too)
+        let w = p.world();
+        if p.rank() == 0 {
+            w.send(1, 77, b"interop");
+        } else if p.rank() == 1 {
+            let (msg, _) = w.recv(mpisim::RecvSrc::Rank(0), 77);
+            assert_eq!(msg, b"interop");
+        }
+        a.sync();
+        a.destroy().unwrap();
+        rt.free(raw[p.rank()]).unwrap();
+    });
+}
+
+#[test]
+fn noncollective_group_proxy_run() {
+    // Only a noncollectively-created subgroup runs a small proxy job —
+    // the paper §V-A machinery end to end.
+    Runtime::run_with(5, quiet(), |p: &Proc| {
+        let rt = ArmciNative::new(p);
+        let world = rt.world_group();
+        let members = [0usize, 2, 3];
+        if members.contains(&p.rank()) {
+            let g = world.create_noncollective(&members);
+            let a = GlobalArray::create_on(&rt, "nc", GaType::I64, &[4], g.clone()).unwrap();
+            a.put_patch_i64(&[0], &[4], &[0; 4]).unwrap();
+            a.sync();
+            let t = a.read_inc(&[0], 1).unwrap();
+            assert!(t < 3);
+            a.sync();
+            assert_eq!(a.get_patch_i64(&[0], &[1]).unwrap()[0], 3);
+            a.sync();
+            a.destroy().unwrap();
+        }
+    });
+}
+
+#[test]
+fn strided_methods_consistent_through_ga() {
+    // The GA patch layer must produce identical arrays no matter which
+    // ARMCI-MPI strided method carries the traffic.
+    use armci::StridedMethod;
+    let methods = [
+        StridedMethod::Direct,
+        StridedMethod::IovDatatype,
+        StridedMethod::IovBatched { batch: 2 },
+        StridedMethod::IovConservative,
+        StridedMethod::Auto,
+    ];
+    let mut results: Vec<Vec<f64>> = Vec::new();
+    for m in methods {
+        let cfg = Config {
+            strided: m,
+            iov: m,
+            ..Default::default()
+        };
+        let out = Runtime::run_with(4, quiet(), move |p: &Proc| {
+            let rt = ArmciMpi::with_config(p, cfg.clone());
+            let a = GlobalArray::create(&rt, "m", GaType::F64, &[9, 7]).unwrap();
+            a.zero().unwrap();
+            if p.rank() == 1 {
+                // patch [2,1) .. [7,7): 5 rows × 6 cols
+                let data: Vec<f64> = (0..30).map(|i| (i * i) as f64).collect();
+                a.put_patch(&[2, 1], &[7, 7], &data).unwrap();
+            }
+            a.sync();
+            let full = a.get_patch(&[0, 0], &[9, 7]).unwrap();
+            a.sync();
+            a.destroy().unwrap();
+            full
+        })
+        .swap_remove(0);
+        results.push(out);
+    }
+    for r in &results[1..] {
+        assert_eq!(r, &results[0]);
+    }
+}
+
+#[test]
+fn ga_math_pipeline_both_backends() {
+    // c = 2a - b; dot; norms — a mini numerical pipeline.
+    fn pipeline(rt: &dyn Armci) -> (f64, f64) {
+        let a = GlobalArray::create(rt, "a", GaType::F64, &[6, 6]).unwrap();
+        let b = GlobalArray::create(rt, "b", GaType::F64, &[6, 6]).unwrap();
+        let c = GlobalArray::create(rt, "c", GaType::F64, &[6, 6]).unwrap();
+        a.fill(3.0).unwrap();
+        b.fill(1.0).unwrap();
+        c.add_from(2.0, &a, -1.0, &b).unwrap(); // c = 5
+        let d = c.dot(&a).unwrap(); // 5·3·36
+        let n = c.norm_inf().unwrap();
+        a.sync();
+        a.destroy().unwrap();
+        b.destroy().unwrap();
+        c.destroy().unwrap();
+        (d, n)
+    }
+    let mpi = Runtime::run_with(4, quiet(), |p| pipeline(&ArmciMpi::new(p)))[0];
+    let nat = Runtime::run_with(4, quiet(), |p| pipeline(&ArmciNative::new(p)))[0];
+    assert_eq!(mpi, (540.0, 5.0));
+    assert_eq!(nat, (540.0, 5.0));
+}

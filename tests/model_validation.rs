@@ -1,0 +1,79 @@
+//! Model validation: the discrete-event simulator (used for Figure 6 at
+//! core counts the thread runtime cannot reach) must agree with the
+//! *executable* proxy where both can run. The per-task profile is an
+//! analytic approximation of the GA patch traffic, so agreement within a
+//! small factor — and the same qualitative behaviour — is the bar.
+
+use armci_mpi::ArmciMpi;
+use mpisim::{Runtime, RuntimeConfig};
+use nwchem_proxy::{run_ccsd, task_profile, Backend, CcsdConfig, ProxyPhase};
+use scalesim::{simulate, SimConfig};
+use simnet::{Platform, PlatformId};
+
+fn executable_time(nprocs: usize, cfg: CcsdConfig) -> f64 {
+    let rcfg = RuntimeConfig {
+        semantic_checks: false,
+        ..RuntimeConfig::on_platform(PlatformId::InfiniBandCluster)
+    };
+    Runtime::run_with(nprocs, rcfg, move |p| {
+        let rt = ArmciMpi::new(p);
+        run_ccsd(p, &rt, &cfg).elapsed
+    })
+    .into_iter()
+    .fold(0.0f64, f64::max)
+}
+
+fn des_time(nprocs: usize, cfg: CcsdConfig) -> f64 {
+    let platform = Platform::get(PlatformId::InfiniBandCluster);
+    let prof = task_profile(&cfg, &platform, Backend::ArmciMpi, ProxyPhase::Ccsd);
+    simulate(&SimConfig {
+        nprocs,
+        ntasks: prof.ntasks,
+        task_compute: prof.compute_time,
+        task_comm: prof.comm_time,
+        nxtval_service: prof.nxtval_service,
+        nxtval_latency: 2.0 * prof.nxtval_service,
+        congestion_scale: None,
+        startup: 0.0,
+        iterations: cfg.iterations,
+    })
+    .makespan
+}
+
+#[test]
+fn des_and_executable_agree_within_a_small_factor() {
+    let cfg = CcsdConfig {
+        no: 4,
+        nv: 16,
+        tile_o: 2,
+        tile_v: 4,
+        iterations: 1,
+    };
+    for nprocs in [2usize, 4] {
+        let real = executable_time(nprocs, cfg);
+        let des = des_time(nprocs, cfg);
+        let ratio = real / des;
+        // The executable run additionally pays array creation, tensor
+        // initialisation, barriers, and the energy reductions, so it
+        // should be the larger of the two — but by a bounded factor.
+        assert!(
+            (0.8..8.0).contains(&ratio),
+            "P={nprocs}: executable {real:.6}s vs DES {des:.6}s (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn both_models_show_speedup_from_more_processes() {
+    let cfg = CcsdConfig {
+        no: 4,
+        nv: 16,
+        tile_o: 2,
+        tile_v: 4,
+        iterations: 1,
+    };
+    let real_speedup = executable_time(1, cfg) / executable_time(4, cfg);
+    let des_speedup = des_time(1, cfg) / des_time(4, cfg);
+    assert!(real_speedup > 1.2, "executable speedup {real_speedup}");
+    assert!(des_speedup > 2.0, "DES speedup {des_speedup}");
+}

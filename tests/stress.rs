@@ -1,0 +1,87 @@
+//! Randomized full-stack stress: three backends, mixed GA traffic,
+//! deterministic seeds — a miniature soak test.
+
+use armci::Armci;
+use armci_ds::run_with_servers;
+use armci_mpi::{ArmciMpi, Config};
+use armci_native::ArmciNative;
+use ga::{GaType, GlobalArray};
+use mpisim::{Proc, Runtime, RuntimeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+/// A deterministic mixed workload; returns the array digest.
+fn workload(p: &Proc, rt: &dyn Armci, rounds: usize) -> Vec<f64> {
+    let dims = [17usize, 13];
+    let a = GlobalArray::create(rt, "stress", GaType::F64, &dims).unwrap();
+    let counter = GlobalArray::create(rt, "ctr", GaType::I64, &[1]).unwrap();
+    a.zero().unwrap();
+    counter.put_patch_i64(&[0], &[1], &[0]).unwrap();
+    counter.sync();
+    // all ranks share the same op schedule; the ticket counter assigns
+    // each op to exactly one rank, in a nondeterministic interleaving —
+    // but only accumulates overlap, so the result is deterministic
+    let mut rng = StdRng::seed_from_u64(2026);
+    let mut ops = Vec::new();
+    for _ in 0..rounds {
+        let l0 = rng.gen_range(0..dims[0] - 1);
+        let h0 = rng.gen_range(l0 + 1..=dims[0]);
+        let l1 = rng.gen_range(0..dims[1] - 1);
+        let h1 = rng.gen_range(l1 + 1..=dims[1]);
+        let v = rng.gen_range(1..8) as f64 / 4.0;
+        ops.push(([l0, l1], [h0, h1], v));
+    }
+    loop {
+        let t = counter.read_inc(&[0], 1).unwrap() as usize;
+        if t >= ops.len() {
+            break;
+        }
+        let (lo, hi, v) = &ops[t];
+        let len = (hi[0] - lo[0]) * (hi[1] - lo[1]);
+        a.acc_patch(*v, lo, hi, &vec![1.0; len]).unwrap();
+    }
+    a.sync();
+    let digest = a.get_patch(&[0, 0], &dims).unwrap();
+    a.sync();
+    a.destroy().unwrap();
+    counter.destroy().unwrap();
+    let _ = p;
+    digest
+}
+
+#[test]
+fn stress_digest_identical_across_backends_and_scales() {
+    let rounds = 60;
+    let mpi4 = Runtime::run_with(4, quiet(), move |p| workload(p, &ArmciMpi::new(p), rounds))
+        .swap_remove(0);
+    let mpi7 = Runtime::run_with(7, quiet(), move |p| workload(p, &ArmciMpi::new(p), rounds))
+        .swap_remove(0);
+    let nat5 = Runtime::run_with(5, quiet(), move |p| {
+        workload(p, &ArmciNative::new(p), rounds)
+    })
+    .swap_remove(0);
+    let ds3 = run_with_servers(3, quiet(), move |p, rt| workload(p, rt, rounds)).swap_remove(0);
+    let epochless = Runtime::run_with(4, quiet(), move |p| {
+        let rt = ArmciMpi::with_config(
+            p,
+            Config {
+                epochless: true,
+                ..Default::default()
+            },
+        );
+        workload(p, &rt, rounds)
+    })
+    .swap_remove(0);
+    assert!(!mpi4.is_empty());
+    assert_eq!(mpi4, mpi7, "rank-count independence");
+    assert_eq!(mpi4, nat5, "native parity");
+    assert_eq!(mpi4, ds3, "data-server parity");
+    assert_eq!(mpi4, epochless, "epochless parity");
+}
