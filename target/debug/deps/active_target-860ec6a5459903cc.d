@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/active_target-860ec6a5459903cc.d: crates/mpisim/tests/active_target.rs
+
+/root/repo/target/debug/deps/active_target-860ec6a5459903cc: crates/mpisim/tests/active_target.rs
+
+crates/mpisim/tests/active_target.rs:

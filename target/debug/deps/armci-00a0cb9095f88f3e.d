@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/armci-00a0cb9095f88f3e.d: crates/armci/src/lib.rs crates/armci/src/acc.rs crates/armci/src/error.rs crates/armci/src/group.rs crates/armci/src/stride.rs crates/armci/src/traits.rs crates/armci/src/types.rs
+
+/root/repo/target/debug/deps/armci-00a0cb9095f88f3e: crates/armci/src/lib.rs crates/armci/src/acc.rs crates/armci/src/error.rs crates/armci/src/group.rs crates/armci/src/stride.rs crates/armci/src/traits.rs crates/armci/src/types.rs
+
+crates/armci/src/lib.rs:
+crates/armci/src/acc.rs:
+crates/armci/src/error.rs:
+crates/armci/src/group.rs:
+crates/armci/src/stride.rs:
+crates/armci/src/traits.rs:
+crates/armci/src/types.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/armci-2da6462c1a666728.d: crates/armci/src/lib.rs crates/armci/src/acc.rs crates/armci/src/error.rs crates/armci/src/group.rs crates/armci/src/stride.rs crates/armci/src/traits.rs crates/armci/src/types.rs
+
+/root/repo/target/debug/deps/libarmci-2da6462c1a666728.rlib: crates/armci/src/lib.rs crates/armci/src/acc.rs crates/armci/src/error.rs crates/armci/src/group.rs crates/armci/src/stride.rs crates/armci/src/traits.rs crates/armci/src/types.rs
+
+/root/repo/target/debug/deps/libarmci-2da6462c1a666728.rmeta: crates/armci/src/lib.rs crates/armci/src/acc.rs crates/armci/src/error.rs crates/armci/src/group.rs crates/armci/src/stride.rs crates/armci/src/traits.rs crates/armci/src/types.rs
+
+crates/armci/src/lib.rs:
+crates/armci/src/acc.rs:
+crates/armci/src/error.rs:
+crates/armci/src/group.rs:
+crates/armci/src/stride.rs:
+crates/armci/src/traits.rs:
+crates/armci/src/types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/armci_ds-a521c96e4e69aa5e.d: crates/armci-ds/src/lib.rs crates/armci-ds/src/protocol.rs crates/armci-ds/src/server.rs
+
+/root/repo/target/debug/deps/libarmci_ds-a521c96e4e69aa5e.rlib: crates/armci-ds/src/lib.rs crates/armci-ds/src/protocol.rs crates/armci-ds/src/server.rs
+
+/root/repo/target/debug/deps/libarmci_ds-a521c96e4e69aa5e.rmeta: crates/armci-ds/src/lib.rs crates/armci-ds/src/protocol.rs crates/armci-ds/src/server.rs
+
+crates/armci-ds/src/lib.rs:
+crates/armci-ds/src/protocol.rs:
+crates/armci-ds/src/server.rs:

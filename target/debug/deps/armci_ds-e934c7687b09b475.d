@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/armci_ds-e934c7687b09b475.d: crates/armci-ds/src/lib.rs crates/armci-ds/src/protocol.rs crates/armci-ds/src/server.rs
+
+/root/repo/target/debug/deps/armci_ds-e934c7687b09b475: crates/armci-ds/src/lib.rs crates/armci-ds/src/protocol.rs crates/armci-ds/src/server.rs
+
+crates/armci-ds/src/lib.rs:
+crates/armci-ds/src/protocol.rs:
+crates/armci-ds/src/server.rs:

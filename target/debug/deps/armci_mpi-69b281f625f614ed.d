@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/armci_mpi-69b281f625f614ed.d: crates/core/src/lib.rs crates/core/src/dla.rs crates/core/src/gmr.rs crates/core/src/iov.rs crates/core/src/mutex.rs crates/core/src/ops.rs crates/core/src/rmw.rs crates/core/src/strided.rs
+
+/root/repo/target/debug/deps/armci_mpi-69b281f625f614ed: crates/core/src/lib.rs crates/core/src/dla.rs crates/core/src/gmr.rs crates/core/src/iov.rs crates/core/src/mutex.rs crates/core/src/ops.rs crates/core/src/rmw.rs crates/core/src/strided.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dla.rs:
+crates/core/src/gmr.rs:
+crates/core/src/iov.rs:
+crates/core/src/mutex.rs:
+crates/core/src/ops.rs:
+crates/core/src/rmw.rs:
+crates/core/src/strided.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/armci_mpi-94127e8d348271da.d: crates/core/src/lib.rs crates/core/src/dla.rs crates/core/src/gmr.rs crates/core/src/iov.rs crates/core/src/mutex.rs crates/core/src/ops.rs crates/core/src/rmw.rs crates/core/src/strided.rs
+
+/root/repo/target/debug/deps/libarmci_mpi-94127e8d348271da.rlib: crates/core/src/lib.rs crates/core/src/dla.rs crates/core/src/gmr.rs crates/core/src/iov.rs crates/core/src/mutex.rs crates/core/src/ops.rs crates/core/src/rmw.rs crates/core/src/strided.rs
+
+/root/repo/target/debug/deps/libarmci_mpi-94127e8d348271da.rmeta: crates/core/src/lib.rs crates/core/src/dla.rs crates/core/src/gmr.rs crates/core/src/iov.rs crates/core/src/mutex.rs crates/core/src/ops.rs crates/core/src/rmw.rs crates/core/src/strided.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dla.rs:
+crates/core/src/gmr.rs:
+crates/core/src/iov.rs:
+crates/core/src/mutex.rs:
+crates/core/src/ops.rs:
+crates/core/src/rmw.rs:
+crates/core/src/strided.rs:

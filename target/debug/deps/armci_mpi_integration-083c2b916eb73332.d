@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/armci_mpi_integration-083c2b916eb73332.d: crates/core/tests/armci_mpi_integration.rs
+
+/root/repo/target/debug/deps/armci_mpi_integration-083c2b916eb73332: crates/core/tests/armci_mpi_integration.rs
+
+crates/core/tests/armci_mpi_integration.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/armci_native-68917bfb63c37abe.d: crates/armci-native/src/lib.rs
+
+/root/repo/target/debug/deps/libarmci_native-68917bfb63c37abe.rlib: crates/armci-native/src/lib.rs
+
+/root/repo/target/debug/deps/libarmci_native-68917bfb63c37abe.rmeta: crates/armci-native/src/lib.rs
+
+crates/armci-native/src/lib.rs:

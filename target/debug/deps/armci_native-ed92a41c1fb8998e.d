@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/armci_native-ed92a41c1fb8998e.d: crates/armci-native/src/lib.rs
+
+/root/repo/target/debug/deps/armci_native-ed92a41c1fb8998e: crates/armci-native/src/lib.rs
+
+crates/armci-native/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_parity-9f24beb74d881f87.d: crates/armci-native/tests/backend_parity.rs
+
+/root/repo/target/debug/deps/backend_parity-9f24beb74d881f87: crates/armci-native/tests/backend_parity.rs
+
+crates/armci-native/tests/backend_parity.rs:

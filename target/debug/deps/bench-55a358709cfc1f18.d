@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-55a358709cfc1f18.d: crates/bench/src/lib.rs crates/bench/src/ds_compare.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6r.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/bench-55a358709cfc1f18: crates/bench/src/lib.rs crates/bench/src/ds_compare.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6r.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ds_compare.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6r.rs:
+crates/bench/src/table2.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bench-71560aa1e354d97c.d: crates/bench/src/lib.rs crates/bench/src/ds_compare.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6r.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/libbench-71560aa1e354d97c.rlib: crates/bench/src/lib.rs crates/bench/src/ds_compare.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6r.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/libbench-71560aa1e354d97c.rmeta: crates/bench/src/lib.rs crates/bench/src/ds_compare.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6r.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ds_compare.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6r.rs:
+crates/bench/src/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ctree-85a72b1a4422368b.d: crates/ctree/src/lib.rs
+
+/root/repo/target/debug/deps/ctree-85a72b1a4422368b: crates/ctree/src/lib.rs
+
+crates/ctree/src/lib.rs:

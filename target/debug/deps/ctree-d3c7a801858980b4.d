@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ctree-d3c7a801858980b4.d: crates/ctree/src/lib.rs
+
+/root/repo/target/debug/deps/libctree-d3c7a801858980b4.rlib: crates/ctree/src/lib.rs
+
+/root/repo/target/debug/deps/libctree-d3c7a801858980b4.rmeta: crates/ctree/src/lib.rs
+
+crates/ctree/src/lib.rs:

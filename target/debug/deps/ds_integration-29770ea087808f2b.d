@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ds_integration-29770ea087808f2b.d: crates/armci-ds/tests/ds_integration.rs
+
+/root/repo/target/debug/deps/ds_integration-29770ea087808f2b: crates/armci-ds/tests/ds_integration.rs
+
+crates/armci-ds/tests/ds_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-d6e3ba347f926b44.d: crates/mpisim/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-d6e3ba347f926b44: crates/mpisim/tests/edge_cases.rs
+
+crates/mpisim/tests/edge_cases.rs:

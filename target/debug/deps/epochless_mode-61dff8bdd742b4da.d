@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/epochless_mode-61dff8bdd742b4da.d: crates/core/tests/epochless_mode.rs
+
+/root/repo/target/debug/deps/epochless_mode-61dff8bdd742b4da: crates/core/tests/epochless_mode.rs
+
+crates/core/tests/epochless_mode.rs:

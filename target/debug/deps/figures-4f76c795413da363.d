@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-4f76c795413da363.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-4f76c795413da363: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

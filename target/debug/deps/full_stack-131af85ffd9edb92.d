@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-131af85ffd9edb92.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-131af85ffd9edb92: tests/full_stack.rs
+
+tests/full_stack.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ga-8c05e3540f209f8c.d: crates/ga/src/lib.rs crates/ga/src/array.rs crates/ga/src/dist.rs crates/ga/src/gather.rs crates/ga/src/ghosts.rs crates/ga/src/gop.rs crates/ga/src/linalg.rs crates/ga/src/math.rs
+
+/root/repo/target/debug/deps/libga-8c05e3540f209f8c.rlib: crates/ga/src/lib.rs crates/ga/src/array.rs crates/ga/src/dist.rs crates/ga/src/gather.rs crates/ga/src/ghosts.rs crates/ga/src/gop.rs crates/ga/src/linalg.rs crates/ga/src/math.rs
+
+/root/repo/target/debug/deps/libga-8c05e3540f209f8c.rmeta: crates/ga/src/lib.rs crates/ga/src/array.rs crates/ga/src/dist.rs crates/ga/src/gather.rs crates/ga/src/ghosts.rs crates/ga/src/gop.rs crates/ga/src/linalg.rs crates/ga/src/math.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/array.rs:
+crates/ga/src/dist.rs:
+crates/ga/src/gather.rs:
+crates/ga/src/ghosts.rs:
+crates/ga/src/gop.rs:
+crates/ga/src/linalg.rs:
+crates/ga/src/math.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ga-ff0a4f5aa0898ffe.d: crates/ga/src/lib.rs crates/ga/src/array.rs crates/ga/src/dist.rs crates/ga/src/gather.rs crates/ga/src/ghosts.rs crates/ga/src/gop.rs crates/ga/src/linalg.rs crates/ga/src/math.rs
+
+/root/repo/target/debug/deps/ga-ff0a4f5aa0898ffe: crates/ga/src/lib.rs crates/ga/src/array.rs crates/ga/src/dist.rs crates/ga/src/gather.rs crates/ga/src/ghosts.rs crates/ga/src/gop.rs crates/ga/src/linalg.rs crates/ga/src/math.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/array.rs:
+crates/ga/src/dist.rs:
+crates/ga/src/gather.rs:
+crates/ga/src/ghosts.rs:
+crates/ga/src/gop.rs:
+crates/ga/src/linalg.rs:
+crates/ga/src/math.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ga_gather-50ce4bdba43a721c.d: crates/ga/tests/ga_gather.rs
+
+/root/repo/target/debug/deps/ga_gather-50ce4bdba43a721c: crates/ga/tests/ga_gather.rs
+
+crates/ga/tests/ga_gather.rs:

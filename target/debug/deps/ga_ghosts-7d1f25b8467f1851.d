@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ga_ghosts-7d1f25b8467f1851.d: crates/ga/tests/ga_ghosts.rs
+
+/root/repo/target/debug/deps/ga_ghosts-7d1f25b8467f1851: crates/ga/tests/ga_ghosts.rs
+
+crates/ga/tests/ga_ghosts.rs:

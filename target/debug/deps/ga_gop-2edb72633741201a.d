@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ga_gop-2edb72633741201a.d: crates/ga/tests/ga_gop.rs
+
+/root/repo/target/debug/deps/ga_gop-2edb72633741201a: crates/ga/tests/ga_gop.rs
+
+crates/ga/tests/ga_gop.rs:

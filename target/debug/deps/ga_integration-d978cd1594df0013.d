@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ga_integration-d978cd1594df0013.d: crates/ga/tests/ga_integration.rs
+
+/root/repo/target/debug/deps/ga_integration-d978cd1594df0013: crates/ga/tests/ga_integration.rs
+
+crates/ga/tests/ga_integration.rs:

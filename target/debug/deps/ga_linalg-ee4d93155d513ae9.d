@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ga_linalg-ee4d93155d513ae9.d: crates/ga/tests/ga_linalg.rs
+
+/root/repo/target/debug/deps/ga_linalg-ee4d93155d513ae9: crates/ga/tests/ga_linalg.rs
+
+crates/ga/tests/ga_linalg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ga_mpi_repro-8f77ec5a740c3b4d.d: src/lib.rs
+
+/root/repo/target/debug/deps/ga_mpi_repro-8f77ec5a740c3b4d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ga_mpi_repro-96eaeaeefa7256d4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libga_mpi_repro-96eaeaeefa7256d4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libga_mpi_repro-96eaeaeefa7256d4.rmeta: src/lib.rs
+
+src/lib.rs:

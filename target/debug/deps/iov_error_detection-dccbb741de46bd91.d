@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/iov_error_detection-dccbb741de46bd91.d: crates/core/tests/iov_error_detection.rs
+
+/root/repo/target/debug/deps/iov_error_detection-dccbb741de46bd91: crates/core/tests/iov_error_detection.rs
+
+crates/core/tests/iov_error_detection.rs:

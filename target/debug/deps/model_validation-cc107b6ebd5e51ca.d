@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_validation-cc107b6ebd5e51ca.d: tests/model_validation.rs
+
+/root/repo/target/debug/deps/model_validation-cc107b6ebd5e51ca: tests/model_validation.rs
+
+tests/model_validation.rs:

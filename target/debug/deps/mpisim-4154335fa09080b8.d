@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpisim-4154335fa09080b8.d: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/error.rs crates/mpisim/src/mpi3.rs crates/mpisim/src/p2p.rs crates/mpisim/src/runtime.rs crates/mpisim/src/win.rs
+
+/root/repo/target/debug/deps/mpisim-4154335fa09080b8: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/error.rs crates/mpisim/src/mpi3.rs crates/mpisim/src/p2p.rs crates/mpisim/src/runtime.rs crates/mpisim/src/win.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/coll.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/dtype.rs:
+crates/mpisim/src/error.rs:
+crates/mpisim/src/mpi3.rs:
+crates/mpisim/src/p2p.rs:
+crates/mpisim/src/runtime.rs:
+crates/mpisim/src/win.rs:

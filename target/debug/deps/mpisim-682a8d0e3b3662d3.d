@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpisim-682a8d0e3b3662d3.d: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/error.rs crates/mpisim/src/mpi3.rs crates/mpisim/src/p2p.rs crates/mpisim/src/runtime.rs crates/mpisim/src/win.rs
+
+/root/repo/target/debug/deps/libmpisim-682a8d0e3b3662d3.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/error.rs crates/mpisim/src/mpi3.rs crates/mpisim/src/p2p.rs crates/mpisim/src/runtime.rs crates/mpisim/src/win.rs
+
+/root/repo/target/debug/deps/libmpisim-682a8d0e3b3662d3.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/error.rs crates/mpisim/src/mpi3.rs crates/mpisim/src/p2p.rs crates/mpisim/src/runtime.rs crates/mpisim/src/win.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/coll.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/dtype.rs:
+crates/mpisim/src/error.rs:
+crates/mpisim/src/mpi3.rs:
+crates/mpisim/src/p2p.rs:
+crates/mpisim/src/runtime.rs:
+crates/mpisim/src/win.rs:

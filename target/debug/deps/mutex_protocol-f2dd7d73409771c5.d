@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutex_protocol-f2dd7d73409771c5.d: crates/core/tests/mutex_protocol.rs
+
+/root/repo/target/debug/deps/mutex_protocol-f2dd7d73409771c5: crates/core/tests/mutex_protocol.rs
+
+crates/core/tests/mutex_protocol.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nwchem_proxy-977bd258e981566a.d: crates/nwchem-proxy/src/lib.rs crates/nwchem-proxy/src/ccsd.rs crates/nwchem-proxy/src/profile.rs crates/nwchem-proxy/src/tensors.rs
+
+/root/repo/target/debug/deps/nwchem_proxy-977bd258e981566a: crates/nwchem-proxy/src/lib.rs crates/nwchem-proxy/src/ccsd.rs crates/nwchem-proxy/src/profile.rs crates/nwchem-proxy/src/tensors.rs
+
+crates/nwchem-proxy/src/lib.rs:
+crates/nwchem-proxy/src/ccsd.rs:
+crates/nwchem-proxy/src/profile.rs:
+crates/nwchem-proxy/src/tensors.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nwchem_proxy-cfc2c49f15ede1ee.d: crates/nwchem-proxy/src/lib.rs crates/nwchem-proxy/src/ccsd.rs crates/nwchem-proxy/src/profile.rs crates/nwchem-proxy/src/tensors.rs
+
+/root/repo/target/debug/deps/libnwchem_proxy-cfc2c49f15ede1ee.rlib: crates/nwchem-proxy/src/lib.rs crates/nwchem-proxy/src/ccsd.rs crates/nwchem-proxy/src/profile.rs crates/nwchem-proxy/src/tensors.rs
+
+/root/repo/target/debug/deps/libnwchem_proxy-cfc2c49f15ede1ee.rmeta: crates/nwchem-proxy/src/lib.rs crates/nwchem-proxy/src/ccsd.rs crates/nwchem-proxy/src/profile.rs crates/nwchem-proxy/src/tensors.rs
+
+crates/nwchem-proxy/src/lib.rs:
+crates/nwchem-proxy/src/ccsd.rs:
+crates/nwchem-proxy/src/profile.rs:
+crates/nwchem-proxy/src/tensors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-b1a52b7c4d2084ac.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-b1a52b7c4d2084ac: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_dtype-1447079534ab3e86.d: crates/mpisim/tests/proptest_dtype.rs
+
+/root/repo/target/debug/deps/proptest_dtype-1447079534ab3e86: crates/mpisim/tests/proptest_dtype.rs
+
+crates/mpisim/tests/proptest_dtype.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ga-e5c2564495a82e65.d: crates/ga/tests/proptest_ga.rs
+
+/root/repo/target/debug/deps/proptest_ga-e5c2564495a82e65: crates/ga/tests/proptest_ga.rs
+
+crates/ga/tests/proptest_ga.rs:

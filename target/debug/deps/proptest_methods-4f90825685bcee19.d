@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_methods-4f90825685bcee19.d: crates/core/tests/proptest_methods.rs
+
+/root/repo/target/debug/deps/proptest_methods-4f90825685bcee19: crates/core/tests/proptest_methods.rs
+
+crates/core/tests/proptest_methods.rs:

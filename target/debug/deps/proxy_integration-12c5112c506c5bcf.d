@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proxy_integration-12c5112c506c5bcf.d: crates/nwchem-proxy/tests/proxy_integration.rs
+
+/root/repo/target/debug/deps/proxy_integration-12c5112c506c5bcf: crates/nwchem-proxy/tests/proxy_integration.rs
+
+crates/nwchem-proxy/tests/proxy_integration.rs:

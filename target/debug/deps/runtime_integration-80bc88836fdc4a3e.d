@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_integration-80bc88836fdc4a3e.d: crates/mpisim/tests/runtime_integration.rs
+
+/root/repo/target/debug/deps/runtime_integration-80bc88836fdc4a3e: crates/mpisim/tests/runtime_integration.rs
+
+crates/mpisim/tests/runtime_integration.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/scalesim-ad236aa3c71715af.d: crates/scalesim/src/lib.rs crates/scalesim/src/fig6.rs
+
+/root/repo/target/debug/deps/scalesim-ad236aa3c71715af: crates/scalesim/src/lib.rs crates/scalesim/src/fig6.rs
+
+crates/scalesim/src/lib.rs:
+crates/scalesim/src/fig6.rs:

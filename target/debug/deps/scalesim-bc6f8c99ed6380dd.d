@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/scalesim-bc6f8c99ed6380dd.d: crates/scalesim/src/lib.rs crates/scalesim/src/fig6.rs
+
+/root/repo/target/debug/deps/libscalesim-bc6f8c99ed6380dd.rlib: crates/scalesim/src/lib.rs crates/scalesim/src/fig6.rs
+
+/root/repo/target/debug/deps/libscalesim-bc6f8c99ed6380dd.rmeta: crates/scalesim/src/lib.rs crates/scalesim/src/fig6.rs
+
+crates/scalesim/src/lib.rs:
+crates/scalesim/src/fig6.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simnet-b1e35a7bf227eb27.d: crates/simnet/src/lib.rs crates/simnet/src/clock.rs crates/simnet/src/cost.rs crates/simnet/src/platform.rs crates/simnet/src/registration.rs
+
+/root/repo/target/debug/deps/libsimnet-b1e35a7bf227eb27.rlib: crates/simnet/src/lib.rs crates/simnet/src/clock.rs crates/simnet/src/cost.rs crates/simnet/src/platform.rs crates/simnet/src/registration.rs
+
+/root/repo/target/debug/deps/libsimnet-b1e35a7bf227eb27.rmeta: crates/simnet/src/lib.rs crates/simnet/src/clock.rs crates/simnet/src/cost.rs crates/simnet/src/platform.rs crates/simnet/src/registration.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/clock.rs:
+crates/simnet/src/cost.rs:
+crates/simnet/src/platform.rs:
+crates/simnet/src/registration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simnet-b7258245f37d1614.d: crates/simnet/src/lib.rs crates/simnet/src/clock.rs crates/simnet/src/cost.rs crates/simnet/src/platform.rs crates/simnet/src/registration.rs
+
+/root/repo/target/debug/deps/simnet-b7258245f37d1614: crates/simnet/src/lib.rs crates/simnet/src/clock.rs crates/simnet/src/cost.rs crates/simnet/src/platform.rs crates/simnet/src/registration.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/clock.rs:
+crates/simnet/src/cost.rs:
+crates/simnet/src/platform.rs:
+crates/simnet/src/registration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_structure-c0430fe27a5be611.d: crates/core/tests/stats_structure.rs
+
+/root/repo/target/debug/deps/stats_structure-c0430fe27a5be611: crates/core/tests/stats_structure.rs
+
+crates/core/tests/stats_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-1db7638ec9fb2958.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-1db7638ec9fb2958: tests/stress.rs
+
+tests/stress.rs:

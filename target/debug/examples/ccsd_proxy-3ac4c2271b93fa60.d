@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ccsd_proxy-3ac4c2271b93fa60.d: examples/ccsd_proxy.rs
+
+/root/repo/target/debug/examples/ccsd_proxy-3ac4c2271b93fa60: examples/ccsd_proxy.rs
+
+examples/ccsd_proxy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ga_transpose-a3feacf33ef42978.d: examples/ga_transpose.rs
+
+/root/repo/target/debug/examples/ga_transpose-a3feacf33ef42978: examples/ga_transpose.rs
+
+examples/ga_transpose.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heat_stencil-38c9b8c9e0cab27d.d: examples/heat_stencil.rs
+
+/root/repo/target/debug/examples/heat_stencil-38c9b8c9e0cab27d: examples/heat_stencil.rs
+
+examples/heat_stencil.rs:

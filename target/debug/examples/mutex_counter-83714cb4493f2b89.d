@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mutex_counter-83714cb4493f2b89.d: examples/mutex_counter.rs
+
+/root/repo/target/debug/examples/mutex_counter-83714cb4493f2b89: examples/mutex_counter.rs
+
+examples/mutex_counter.rs:

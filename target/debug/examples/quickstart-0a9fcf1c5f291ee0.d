@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0a9fcf1c5f291ee0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0a9fcf1c5f291ee0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strided_methods-6f068a8d13532aa3.d: examples/strided_methods.rs
+
+/root/repo/target/debug/examples/strided_methods-6f068a8d13532aa3: examples/strided_methods.rs
+
+examples/strided_methods.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/armci-2f90791852becf88.d: crates/armci/src/lib.rs crates/armci/src/acc.rs crates/armci/src/error.rs crates/armci/src/group.rs crates/armci/src/stride.rs crates/armci/src/traits.rs crates/armci/src/types.rs
+
+/root/repo/target/release/deps/libarmci-2f90791852becf88.rlib: crates/armci/src/lib.rs crates/armci/src/acc.rs crates/armci/src/error.rs crates/armci/src/group.rs crates/armci/src/stride.rs crates/armci/src/traits.rs crates/armci/src/types.rs
+
+/root/repo/target/release/deps/libarmci-2f90791852becf88.rmeta: crates/armci/src/lib.rs crates/armci/src/acc.rs crates/armci/src/error.rs crates/armci/src/group.rs crates/armci/src/stride.rs crates/armci/src/traits.rs crates/armci/src/types.rs
+
+crates/armci/src/lib.rs:
+crates/armci/src/acc.rs:
+crates/armci/src/error.rs:
+crates/armci/src/group.rs:
+crates/armci/src/stride.rs:
+crates/armci/src/traits.rs:
+crates/armci/src/types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/armci_ds-5a3a11c9d59f46dc.d: crates/armci-ds/src/lib.rs crates/armci-ds/src/protocol.rs crates/armci-ds/src/server.rs
+
+/root/repo/target/release/deps/libarmci_ds-5a3a11c9d59f46dc.rlib: crates/armci-ds/src/lib.rs crates/armci-ds/src/protocol.rs crates/armci-ds/src/server.rs
+
+/root/repo/target/release/deps/libarmci_ds-5a3a11c9d59f46dc.rmeta: crates/armci-ds/src/lib.rs crates/armci-ds/src/protocol.rs crates/armci-ds/src/server.rs
+
+crates/armci-ds/src/lib.rs:
+crates/armci-ds/src/protocol.rs:
+crates/armci-ds/src/server.rs:

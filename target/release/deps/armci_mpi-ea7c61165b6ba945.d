@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/armci_mpi-ea7c61165b6ba945.d: crates/core/src/lib.rs crates/core/src/dla.rs crates/core/src/gmr.rs crates/core/src/iov.rs crates/core/src/mutex.rs crates/core/src/ops.rs crates/core/src/rmw.rs crates/core/src/strided.rs
+
+/root/repo/target/release/deps/libarmci_mpi-ea7c61165b6ba945.rlib: crates/core/src/lib.rs crates/core/src/dla.rs crates/core/src/gmr.rs crates/core/src/iov.rs crates/core/src/mutex.rs crates/core/src/ops.rs crates/core/src/rmw.rs crates/core/src/strided.rs
+
+/root/repo/target/release/deps/libarmci_mpi-ea7c61165b6ba945.rmeta: crates/core/src/lib.rs crates/core/src/dla.rs crates/core/src/gmr.rs crates/core/src/iov.rs crates/core/src/mutex.rs crates/core/src/ops.rs crates/core/src/rmw.rs crates/core/src/strided.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dla.rs:
+crates/core/src/gmr.rs:
+crates/core/src/iov.rs:
+crates/core/src/mutex.rs:
+crates/core/src/ops.rs:
+crates/core/src/rmw.rs:
+crates/core/src/strided.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/armci_native-5f46ac47fc1a26cb.d: crates/armci-native/src/lib.rs
+
+/root/repo/target/release/deps/libarmci_native-5f46ac47fc1a26cb.rlib: crates/armci-native/src/lib.rs
+
+/root/repo/target/release/deps/libarmci_native-5f46ac47fc1a26cb.rmeta: crates/armci-native/src/lib.rs
+
+crates/armci-native/src/lib.rs:

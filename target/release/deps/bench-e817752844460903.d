@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bench-e817752844460903.d: crates/bench/src/lib.rs crates/bench/src/ds_compare.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6r.rs crates/bench/src/table2.rs
+
+/root/repo/target/release/deps/libbench-e817752844460903.rlib: crates/bench/src/lib.rs crates/bench/src/ds_compare.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6r.rs crates/bench/src/table2.rs
+
+/root/repo/target/release/deps/libbench-e817752844460903.rmeta: crates/bench/src/lib.rs crates/bench/src/ds_compare.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6r.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ds_compare.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6r.rs:
+crates/bench/src/table2.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ctree-79675fa40e4927e9.d: crates/ctree/src/lib.rs
+
+/root/repo/target/release/deps/libctree-79675fa40e4927e9.rlib: crates/ctree/src/lib.rs
+
+/root/repo/target/release/deps/libctree-79675fa40e4927e9.rmeta: crates/ctree/src/lib.rs
+
+crates/ctree/src/lib.rs:

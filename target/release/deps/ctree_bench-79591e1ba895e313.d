@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ctree_bench-79591e1ba895e313.d: crates/bench/benches/ctree_bench.rs
+
+/root/repo/target/release/deps/ctree_bench-79591e1ba895e313: crates/bench/benches/ctree_bench.rs
+
+crates/bench/benches/ctree_bench.rs:

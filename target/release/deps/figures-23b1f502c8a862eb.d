@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-23b1f502c8a862eb.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-23b1f502c8a862eb: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ga-678f34aa4c721157.d: crates/ga/src/lib.rs crates/ga/src/array.rs crates/ga/src/dist.rs crates/ga/src/gather.rs crates/ga/src/ghosts.rs crates/ga/src/gop.rs crates/ga/src/linalg.rs crates/ga/src/math.rs
+
+/root/repo/target/release/deps/libga-678f34aa4c721157.rlib: crates/ga/src/lib.rs crates/ga/src/array.rs crates/ga/src/dist.rs crates/ga/src/gather.rs crates/ga/src/ghosts.rs crates/ga/src/gop.rs crates/ga/src/linalg.rs crates/ga/src/math.rs
+
+/root/repo/target/release/deps/libga-678f34aa4c721157.rmeta: crates/ga/src/lib.rs crates/ga/src/array.rs crates/ga/src/dist.rs crates/ga/src/gather.rs crates/ga/src/ghosts.rs crates/ga/src/gop.rs crates/ga/src/linalg.rs crates/ga/src/math.rs
+
+crates/ga/src/lib.rs:
+crates/ga/src/array.rs:
+crates/ga/src/dist.rs:
+crates/ga/src/gather.rs:
+crates/ga/src/ghosts.rs:
+crates/ga/src/gop.rs:
+crates/ga/src/linalg.rs:
+crates/ga/src/math.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ga_mpi_repro-c62f377b85463507.d: src/lib.rs
+
+/root/repo/target/release/deps/libga_mpi_repro-c62f377b85463507.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libga_mpi_repro-c62f377b85463507.rmeta: src/lib.rs
+
+src/lib.rs:

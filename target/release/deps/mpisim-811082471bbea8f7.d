@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mpisim-811082471bbea8f7.d: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/error.rs crates/mpisim/src/mpi3.rs crates/mpisim/src/p2p.rs crates/mpisim/src/runtime.rs crates/mpisim/src/win.rs
+
+/root/repo/target/release/deps/libmpisim-811082471bbea8f7.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/error.rs crates/mpisim/src/mpi3.rs crates/mpisim/src/p2p.rs crates/mpisim/src/runtime.rs crates/mpisim/src/win.rs
+
+/root/repo/target/release/deps/libmpisim-811082471bbea8f7.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/coll.rs crates/mpisim/src/comm.rs crates/mpisim/src/dtype.rs crates/mpisim/src/error.rs crates/mpisim/src/mpi3.rs crates/mpisim/src/p2p.rs crates/mpisim/src/runtime.rs crates/mpisim/src/win.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/coll.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/dtype.rs:
+crates/mpisim/src/error.rs:
+crates/mpisim/src/mpi3.rs:
+crates/mpisim/src/p2p.rs:
+crates/mpisim/src/runtime.rs:
+crates/mpisim/src/win.rs:

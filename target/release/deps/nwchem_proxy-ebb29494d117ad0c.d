@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nwchem_proxy-ebb29494d117ad0c.d: crates/nwchem-proxy/src/lib.rs crates/nwchem-proxy/src/ccsd.rs crates/nwchem-proxy/src/profile.rs crates/nwchem-proxy/src/tensors.rs
+
+/root/repo/target/release/deps/libnwchem_proxy-ebb29494d117ad0c.rlib: crates/nwchem-proxy/src/lib.rs crates/nwchem-proxy/src/ccsd.rs crates/nwchem-proxy/src/profile.rs crates/nwchem-proxy/src/tensors.rs
+
+/root/repo/target/release/deps/libnwchem_proxy-ebb29494d117ad0c.rmeta: crates/nwchem-proxy/src/lib.rs crates/nwchem-proxy/src/ccsd.rs crates/nwchem-proxy/src/profile.rs crates/nwchem-proxy/src/tensors.rs
+
+crates/nwchem-proxy/src/lib.rs:
+crates/nwchem-proxy/src/ccsd.rs:
+crates/nwchem-proxy/src/profile.rs:
+crates/nwchem-proxy/src/tensors.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/scalesim-603218b2942e1bf0.d: crates/scalesim/src/lib.rs crates/scalesim/src/fig6.rs
+
+/root/repo/target/release/deps/libscalesim-603218b2942e1bf0.rlib: crates/scalesim/src/lib.rs crates/scalesim/src/fig6.rs
+
+/root/repo/target/release/deps/libscalesim-603218b2942e1bf0.rmeta: crates/scalesim/src/lib.rs crates/scalesim/src/fig6.rs
+
+crates/scalesim/src/lib.rs:
+crates/scalesim/src/fig6.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/simnet-3de59058fda6ccc7.d: crates/simnet/src/lib.rs crates/simnet/src/clock.rs crates/simnet/src/cost.rs crates/simnet/src/platform.rs crates/simnet/src/registration.rs
+
+/root/repo/target/release/deps/libsimnet-3de59058fda6ccc7.rlib: crates/simnet/src/lib.rs crates/simnet/src/clock.rs crates/simnet/src/cost.rs crates/simnet/src/platform.rs crates/simnet/src/registration.rs
+
+/root/repo/target/release/deps/libsimnet-3de59058fda6ccc7.rmeta: crates/simnet/src/lib.rs crates/simnet/src/clock.rs crates/simnet/src/cost.rs crates/simnet/src/platform.rs crates/simnet/src/registration.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/clock.rs:
+crates/simnet/src/cost.rs:
+crates/simnet/src/platform.rs:
+crates/simnet/src/registration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-197079984aa040b6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-197079984aa040b6: examples/quickstart.rs
+
+examples/quickstart.rs:

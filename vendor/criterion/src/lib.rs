@@ -1,0 +1,187 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate keeps the workspace's `cargo bench` targets compiling and
+//! running: each benchmark closure is executed for a small fixed number
+//! of timed iterations and the mean wall time is printed. There is no
+//! statistical analysis, warm-up, or HTML report — the benches act as
+//! smoke tests plus rough timings, which is all an offline CI can use.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations per benchmark. Small, because several workspace benches
+/// simulate whole CCSD iterations per call.
+const DEFAULT_ITERS: u32 = 10;
+
+/// Top-level driver handed to each `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher {
+        total_nanos: 0,
+        total_iters: 0,
+    };
+    f(&mut b);
+    let mean = if b.total_iters > 0 {
+        b.total_nanos as f64 / b.total_iters as f64
+    } else {
+        0.0
+    };
+    println!("bench {label}: mean {mean:.0} ns/iter ({} iters)", b.total_iters);
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    total_nanos: u128,
+    total_iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..DEFAULT_ITERS {
+            black_box(f());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.total_iters += DEFAULT_ITERS as u64;
+    }
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Opaque value barrier re-exported for bench code that uses
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a bench group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_iters() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, DEFAULT_ITERS as u64);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("id", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate re-implements the subset of proptest the workspace tests rely
+//! on: the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, `collection::vec`,
+//! [`Just`](strategy::Just), the `proptest!` runner macro and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case panics with its generated values via
+//!   the normal assertion message;
+//! * deterministic seeding from the test's source location, so failures
+//!   reproduce exactly across runs;
+//! * `ProptestConfig` only carries `cases`.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Size specification for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    pub trait IntoSizeRange {
+        fn pick(&self, rng: &mut crate::test_runner::TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut crate::test_runner::TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut crate::test_runner::TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from `element`, with a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Runs each test item's body `cases` times with freshly generated
+/// inputs. Supports an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(N))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    file!(), line!(), stringify!($name));
+                let mut __ran: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __ran < __cfg.cases {
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                        (|| {
+                            $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        Ok(()) => __ran += 1,
+                        Err(_) => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected < 10_000,
+                                "prop_assume rejected 10000 cases in {}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Rejects the current case (it is regenerated, not counted as run).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, Vec<u8>)> {
+        (1usize..8).prop_flat_map(|n| (Just(n), crate::collection::vec(0u8..10, n)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_links_sizes((n, v) in arb_pair()) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u8..5, _y in 0i32..3) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn map_transforms() {
+        let s = (1usize..5).prop_map(|x| x * 10);
+        let mut rng = crate::test_runner::TestRng::deterministic("f", 1, "t");
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            prop_assert!((10..50).contains(&v) && v % 10 == 0);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives `serde::Serialize` (the vendored trait, not real serde) for
+//! the two shapes the workspace uses: structs with named fields and
+//! enums whose variants are all unit-like. The token stream is parsed
+//! by hand — no `syn`/`quote` available offline — so anything fancier
+//! (tuple structs, generics, data-carrying variants) panics at compile
+//! time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match item.kind {
+        ItemKind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),",
+                        name = item.name
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {}\n    }}\n}}\n",
+        item.name, body
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+enum ItemKind {
+    /// Named field identifiers, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variant identifiers, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut is_enum = None;
+    let mut name = None;
+
+    // Walk "<attrs> <vis> (struct|enum) Name { ... }".
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next(); // pub(crate) etc.
+                        }
+                    }
+                }
+                "struct" => is_enum = Some(false),
+                "enum" => is_enum = Some(true),
+                other if is_enum.is_some() && name.is_none() => {
+                    name = Some(other.to_string());
+                }
+                other => panic!("derive(Serialize): unexpected token `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("derive(Serialize): generic types are not supported offline")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let name = name.expect("derive(Serialize): item name before body");
+                let kind = if is_enum == Some(true) {
+                    ItemKind::Enum(parse_unit_variants(g.stream()))
+                } else {
+                    ItemKind::Struct(parse_named_fields(g.stream()))
+                };
+                return Item { name, kind };
+            }
+            other => panic!("derive(Serialize): unexpected token `{other}`"),
+        }
+    }
+    panic!("derive(Serialize): only braced structs and enums are supported")
+}
+
+/// Extracts field names from a named-field struct body, skipping
+/// attributes/visibility and ignoring type tokens (tracking `<...>`
+/// depth so commas inside generics don't split fields).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    let mut in_type = false;
+    let mut angle_depth = 0usize;
+
+    while let Some(tt) = iter.next() {
+        if in_type {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => in_type = false,
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // attribute body
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {
+                        in_type = true;
+                        angle_depth = 0;
+                    }
+                    _ => panic!(
+                        "derive(Serialize): only named-field structs are supported offline"
+                    ),
+                }
+            }
+            other => panic!("derive(Serialize): unexpected token in struct body `{other}`"),
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from an enum body; panics on data-carrying
+/// variants, which this stand-in cannot serialize.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    panic!(
+                        "derive(Serialize): data-carrying enum variants are not supported offline"
+                    );
+                }
+            }
+            other => panic!("derive(Serialize): unexpected token in enum body `{other}`"),
+        }
+    }
+    variants
+}

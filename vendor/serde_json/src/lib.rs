@@ -1,0 +1,189 @@
+//! Offline stand-in for `serde_json`: renders the vendored serde
+//! [`Value`] model as JSON text with 2-space-indented pretty printing,
+//! which is all the workspace uses (`to_string_pretty`).
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The vendored data model is infallible to
+/// render, so this is never actually produced, but the signature
+/// matches real serde_json so call sites can `.unwrap()`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0);
+    Ok(out)
+}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(compact(&value.to_value()))
+}
+
+fn compact(v: &Value) -> String {
+    let mut out = String::new();
+    match v {
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&compact(item));
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(&mut out, k);
+                out.push(':');
+                out.push_str(&compact(val));
+            }
+            out.push('}');
+        }
+        scalar => write_value(&mut out, scalar, 0),
+    }
+    out
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value(out, val, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // JSON has no NaN/Infinity; serde_json errors here, we emit null.
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{f}");
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("fig3".into())),
+            (
+                "points".into(),
+                Value::Array(vec![
+                    Value::Array(vec![Value::UInt(8), Value::Float(1.5)]),
+                    Value::Array(vec![Value::UInt(16), Value::Float(3.0)]),
+                ]),
+            ),
+            ("none".into(), Value::Null),
+        ]);
+        let s = {
+            struct W(Value);
+            impl Serialize for W {
+                fn to_value(&self) -> Value {
+                    self.0.clone()
+                }
+            }
+            to_string_pretty(&W(v)).unwrap()
+        };
+        assert!(s.contains("\"name\": \"fig3\""));
+        assert!(s.contains("3.0"));
+        assert!(s.contains("null"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        let mut out = String::new();
+        write_float(&mut out, 2.0);
+        assert_eq!(out, "2.0");
+        out.clear();
+        write_float(&mut out, 0.25);
+        assert_eq!(out, "0.25");
+    }
+}
