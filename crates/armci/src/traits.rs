@@ -47,14 +47,39 @@ pub enum RmwOp {
     Swap(i64),
 }
 
-/// Handle for a nonblocking operation. The paper notes MPI-2 cannot
-/// express true nonblocking one-sided operations, so ARMCI-MPI completes
-/// them eagerly; the handle records that fact.
+/// Handle for a nonblocking operation.
+///
+/// Implementations either defer the operation for real (the handle then
+/// carries the runtime-assigned id that [`Armci::wait`] resolves) or
+/// complete it at issue time and *say so* via `completed_eagerly` — a
+/// handle is never silently synchronous.
 #[derive(Debug)]
 #[must_use = "nonblocking operations must be waited on"]
 pub struct NbHandle {
-    /// True when the implementation completed the operation at issue time.
+    /// Runtime-assigned id of the deferred operation (`None` when the
+    /// operation completed eagerly).
+    pub id: Option<u64>,
+    /// True when the implementation completed the operation at issue time
+    /// (the honest answer for backends without deferred operations).
     pub completed_eagerly: bool,
+}
+
+impl NbHandle {
+    /// Handle for an operation that completed at issue time.
+    pub fn eager() -> NbHandle {
+        NbHandle {
+            id: None,
+            completed_eagerly: true,
+        }
+    }
+
+    /// Handle for a genuinely deferred operation.
+    pub fn deferred(id: u64) -> NbHandle {
+        NbHandle {
+            id: Some(id),
+            completed_eagerly: false,
+        }
+    }
 }
 
 /// The ARMCI runtime interface.
@@ -170,27 +195,89 @@ pub trait Armci {
     fn acc_iov(&self, kind: AccKind, desc: &IovDesc, local: &[u8]) -> ArmciResult<()>;
 
     // ---------------- nonblocking ----------------------------------------
+    //
+    // The defaults return `Unsupported` rather than silently falling back
+    // to the blocking operation: a caller overlapping communication with
+    // computation must find out that no overlap is happening. Backends
+    // either implement deferred operations for real, or complete eagerly
+    // and return [`NbHandle::eager`] to record that fact.
 
-    /// `ARMCI_NbGet`: MPI-2 cannot leave one-sided operations in flight,
-    /// so the default completes eagerly (§VIII-B).
+    /// `ARMCI_NbGet`.
     fn nb_get(&self, src: GlobalAddr, dst: &mut [u8]) -> ArmciResult<NbHandle> {
-        self.get(src, dst)?;
-        Ok(NbHandle {
-            completed_eagerly: true,
-        })
+        let _ = (src, dst);
+        Err(crate::ArmciError::Unsupported("nonblocking get"))
     }
 
     /// `ARMCI_NbPut`.
     fn nb_put(&self, src: &[u8], dst: GlobalAddr) -> ArmciResult<NbHandle> {
-        self.put(src, dst)?;
-        Ok(NbHandle {
-            completed_eagerly: true,
-        })
+        let _ = (src, dst);
+        Err(crate::ArmciError::Unsupported("nonblocking put"))
     }
 
-    /// `ARMCI_Wait`.
+    /// `ARMCI_NbAcc`.
+    fn nb_acc(&self, kind: AccKind, src: &[u8], dst: GlobalAddr) -> ArmciResult<NbHandle> {
+        let _ = (kind, src, dst);
+        Err(crate::ArmciError::Unsupported("nonblocking accumulate"))
+    }
+
+    /// `ARMCI_NbGetS`: nonblocking strided read.
+    fn nb_get_strided(
+        &self,
+        src: GlobalAddr,
+        src_strides: &[usize],
+        dst: &mut [u8],
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<NbHandle> {
+        let _ = (src, src_strides, dst, dst_strides, count);
+        Err(crate::ArmciError::Unsupported("nonblocking strided get"))
+    }
+
+    /// `ARMCI_NbPutS`: nonblocking strided write.
+    fn nb_put_strided(
+        &self,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<NbHandle> {
+        let _ = (src, src_strides, dst, dst_strides, count);
+        Err(crate::ArmciError::Unsupported("nonblocking strided put"))
+    }
+
+    /// `ARMCI_NbAccS`: nonblocking strided accumulate.
+    fn nb_acc_strided(
+        &self,
+        kind: AccKind,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<NbHandle> {
+        let _ = (kind, src, src_strides, dst, dst_strides, count);
+        Err(crate::ArmciError::Unsupported("nonblocking strided acc"))
+    }
+
+    /// `ARMCI_Wait`: completes the operation behind `handle`. The default
+    /// only understands eagerly-completed handles; backends with real
+    /// deferred operations must override it.
     fn wait(&self, handle: NbHandle) -> ArmciResult<()> {
-        debug_assert!(handle.completed_eagerly);
+        if handle.completed_eagerly {
+            Ok(())
+        } else {
+            Err(crate::ArmciError::Unsupported(
+                "deferred nonblocking handles",
+            ))
+        }
+    }
+
+    /// `ARMCI_WaitAll` over an explicit handle list.
+    fn wait_all(&self, handles: Vec<NbHandle>) -> ArmciResult<()> {
+        for h in handles {
+            self.wait(h)?;
+        }
         Ok(())
     }
 

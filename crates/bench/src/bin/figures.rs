@@ -1,13 +1,13 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [table2|fig3|fig4|fig5|fig6|all] [--json DIR]
+//! figures [table2|fig3|fig4|fig5|fig6|pipeline|all] [--json DIR]
 //! ```
 //!
 //! Text goes to stdout; with `--json DIR`, machine-readable data is also
 //! written to `DIR/<artifact>.json`.
 
-use bench::{fig3, fig4, fig5, fig6r, table2};
+use bench::{fig3, fig4, fig5, fig6r, pipeline, table2};
 use simnet::PlatformId;
 
 fn main() {
@@ -79,6 +79,19 @@ fn main() {
         }
         dump(
             "fig6_ablation",
+            &serde_json::to_string_pretty(&everything).unwrap(),
+        );
+    }
+    if all || what == "pipeline" {
+        let mut everything = Vec::new();
+        for id in [PlatformId::InfiniBandCluster, PlatformId::CrayXE6] {
+            eprintln!("[figures] pipeline: {}", id.name());
+            let rows = pipeline::generate(id);
+            print!("{}", pipeline::render(&rows));
+            everything.extend(rows);
+        }
+        dump(
+            "BENCH_pipeline",
             &serde_json::to_string_pretty(&everything).unwrap(),
         );
     }

@@ -10,7 +10,9 @@
 //! | Figure 6 | [`fig6r`]  | NWChem CCSD and (T) scaling |
 //!
 //! A supplemental §IX comparison (`ds_compare`) pits ARMCI-MPI against
-//! the legacy two-sided data-server ARMCI.
+//! the legacy two-sided data-server ARMCI, and [`pipeline`] breaks the
+//! transfer engine's plan/acquire/execute/complete stages down over the
+//! Figure 3/4 workloads (`BENCH_pipeline.json`).
 //!
 //! The `figures` binary prints each as aligned text and (optionally) JSON.
 //! Bandwidth numbers are **virtual-time** measurements: the operations
@@ -22,6 +24,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6r;
+pub mod pipeline;
 pub mod table2;
 
 /// Formats a byte count like the paper's axes (powers of two).

@@ -1,0 +1,234 @@
+//! Transfer-engine pipeline breakdown: per-stage counters and virtual
+//! time spent in plan / acquire / execute / complete, over the paper's
+//! Figure 3 (contiguous) and Figure 4 (strided) workloads, comparing
+//! blocking epochs against nonblocking aggregate epochs.
+//!
+//! Unlike the bandwidth figures this reports *where the time goes inside
+//! the runtime*: translation and datatype construction (plan), epoch or
+//! flush acquisition (acquire), RMA issue (execute), and completion
+//! (complete). The nonblocking rows issue a burst of operations before
+//! waiting, so they also show epoch aggregation at work.
+
+use armci::Armci;
+use armci_mpi::{ArmciMpi, Config};
+use mpisim::{Runtime, RuntimeConfig};
+use serde::Serialize;
+use simnet::PlatformId;
+
+/// Operations issued back to back per measurement; the nonblocking path
+/// aggregates them into one epoch, the blocking path pays one each.
+pub const BURST: usize = 4;
+
+/// One measured workload configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    pub platform: PlatformId,
+    /// `"contig-put"` or `"strided-put"`.
+    pub workload: &'static str,
+    /// Contiguous: transfer size. Strided: segment size.
+    pub bytes: usize,
+    /// Strided only: number of segments (1 for contiguous).
+    pub segments: usize,
+    pub nonblocking: bool,
+    // Stage counters for the whole burst.
+    pub plans: u64,
+    pub planned_ops: u64,
+    pub acquires: u64,
+    pub executed_ops: u64,
+    pub completes: u64,
+    pub nb_aggregated: u64,
+    // Virtual seconds per stage for the whole burst.
+    pub plan_s: f64,
+    pub acquire_s: f64,
+    pub execute_s: f64,
+    pub complete_s: f64,
+}
+
+/// Figure 3 contiguous sizes (a coarse subset: 1 KiB … 1 MiB).
+pub fn contig_sizes() -> Vec<usize> {
+    (10..=20).step_by(2).map(|k| 1usize << k).collect()
+}
+
+/// Figure 4 strided shapes: `(segment bytes, segment count)`.
+pub fn strided_shapes() -> Vec<(usize, usize)> {
+    vec![(16, 64), (1024, 64)]
+}
+
+/// Measures every workload on one platform (rank 0 → rank 1, epochless
+/// mode so the nonblocking burst genuinely overlaps).
+pub fn generate(platform: PlatformId) -> Vec<Row> {
+    let cfg = RuntimeConfig::on_platform(platform);
+    Runtime::run_with(2, cfg, move |p| measure(p, platform)).swap_remove(0)
+}
+
+fn measure(p: &mpisim::Proc, platform: PlatformId) -> Vec<Row> {
+    let rt = ArmciMpi::with_config(
+        p,
+        Config {
+            epochless: true,
+            ..Default::default()
+        },
+    );
+    let max_contig = *contig_sizes().last().unwrap();
+    let max_strided = strided_shapes()
+        .iter()
+        .map(|&(seg, n)| 2 * seg * n)
+        .max()
+        .unwrap();
+    let bases = rt.malloc(max_contig.max(max_strided)).expect("malloc");
+    rt.barrier();
+    let mut rows = Vec::new();
+    if p.rank() == 0 {
+        let src = vec![1u8; max_contig.max(max_strided)];
+        for &size in &contig_sizes() {
+            for nonblocking in [false, true] {
+                rt.reset_stage_stats();
+                if nonblocking {
+                    let mut hs = Vec::new();
+                    for _ in 0..BURST {
+                        hs.push(rt.nb_put(&src[..size], bases[1]).unwrap());
+                    }
+                    rt.wait_all(hs).unwrap();
+                } else {
+                    for _ in 0..BURST {
+                        rt.put(&src[..size], bases[1]).unwrap();
+                    }
+                }
+                rows.push(row(platform, "contig-put", size, 1, nonblocking, &rt));
+            }
+        }
+        for &(seg, n) in &strided_shapes() {
+            let count = [seg, n];
+            let lstr = [seg]; // dense local
+            let rstr = [2 * seg]; // 50%-dense remote, as in Figure 4
+            for nonblocking in [false, true] {
+                rt.reset_stage_stats();
+                if nonblocking {
+                    let mut hs = Vec::new();
+                    for _ in 0..BURST {
+                        hs.push(
+                            rt.nb_put_strided(&src[..n * seg], &lstr, bases[1], &rstr, &count)
+                                .unwrap(),
+                        );
+                    }
+                    rt.wait_all(hs).unwrap();
+                } else {
+                    for _ in 0..BURST {
+                        rt.put_strided(&src[..n * seg], &lstr, bases[1], &rstr, &count)
+                            .unwrap();
+                    }
+                }
+                rows.push(row(platform, "strided-put", seg, n, nonblocking, &rt));
+            }
+        }
+    }
+    rt.barrier();
+    rt.free(bases[p.rank()]).unwrap();
+    rows
+}
+
+fn row(
+    platform: PlatformId,
+    workload: &'static str,
+    bytes: usize,
+    segments: usize,
+    nonblocking: bool,
+    rt: &ArmciMpi,
+) -> Row {
+    let g = rt.stage_stats();
+    Row {
+        platform,
+        workload,
+        bytes,
+        segments,
+        nonblocking,
+        plans: g.plans,
+        planned_ops: g.planned_ops,
+        acquires: g.acquires,
+        executed_ops: g.executed_ops,
+        completes: g.completes,
+        nb_aggregated: g.nb_aggregated,
+        plan_s: g.plan_s,
+        acquire_s: g.acquire_s,
+        execute_s: g.execute_s,
+        complete_s: g.complete_s,
+    }
+}
+
+/// Renders the table as aligned text.
+pub fn render(rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "# Engine pipeline breakdown — burst of {BURST} puts, virtual µs per stage\n"
+    ));
+    s.push_str(&format!(
+        "{:<24} {:>10} {:>5} {:>3} {:>9} {:>9} {:>9} {:>9} {:>4} {:>4}\n",
+        "workload", "bytes", "segs", "nb", "plan", "acquire", "execute", "complete", "acq", "agg"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<24} {:>10} {:>5} {:>3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>4} {:>4}\n",
+            format!("{}/{}", r.platform.name(), r.workload),
+            r.bytes,
+            r.segments,
+            if r.nonblocking { "y" } else { "n" },
+            r.plan_s * 1e6,
+            r.acquire_s * 1e6,
+            r.execute_s * 1e6,
+            r.complete_s * 1e6,
+            r.acquires,
+            r.nb_aggregated,
+        ));
+    }
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_rows_cover_both_modes() {
+        let rows = generate(PlatformId::InfiniBandCluster);
+        let expect = 2 * (contig_sizes().len() + strided_shapes().len());
+        assert_eq!(rows.len(), expect);
+        for r in &rows {
+            assert!(r.plans >= BURST as u64);
+            assert!(r.executed_ops > 0);
+            if r.nonblocking {
+                // The burst aggregates into a single flush epoch.
+                assert_eq!(r.acquires, 1, "{}: burst not aggregated", r.workload);
+                assert!(r.nb_aggregated > 0);
+                assert_eq!(r.completes, 1);
+            } else {
+                // One epoch per blocking transfer.
+                assert_eq!(r.acquires as usize, BURST);
+                assert_eq!(r.completes as usize, BURST);
+            }
+        }
+    }
+
+    #[test]
+    fn nonblocking_burst_completes_sooner() {
+        // The aggregated burst should spend no more total virtual time
+        // across stages than the blocking one for large transfers.
+        let rows = generate(PlatformId::InfiniBandCluster);
+        let total = |r: &Row| r.plan_s + r.acquire_s + r.execute_s + r.complete_s;
+        let big = *contig_sizes().last().unwrap();
+        let b = rows
+            .iter()
+            .find(|r| r.workload == "contig-put" && r.bytes == big && !r.nonblocking)
+            .unwrap();
+        let nb = rows
+            .iter()
+            .find(|r| r.workload == "contig-put" && r.bytes == big && r.nonblocking)
+            .unwrap();
+        assert!(
+            total(nb) <= total(b) * 1.05,
+            "nonblocking {} s vs blocking {} s",
+            total(nb),
+            total(b)
+        );
+    }
+}

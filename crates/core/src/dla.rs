@@ -27,6 +27,10 @@ impl ArmciMpi {
                 self.world.rank()
             )));
         }
+        // Serialise behind outstanding nonblocking operations: direct
+        // load/store while a deferred transfer targets this window would
+        // be a conflicting access.
+        self.nb_quiesce()?;
         let tr = self.translate(addr, len)?;
         let gmrs = self.gmrs.borrow();
         let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
@@ -61,6 +65,8 @@ impl ArmciMpi {
                 self.world.rank()
             )));
         }
+        // Serialise behind outstanding nonblocking operations (as above).
+        self.nb_quiesce()?;
         let tr = self.translate(addr, len)?;
         let gmrs = self.gmrs.borrow();
         let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");

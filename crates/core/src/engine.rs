@@ -1,0 +1,844 @@
+//! The unified transfer engine.
+//!
+//! Every data-movement path in ARMCI-MPI — contiguous, IOV, strided, RMW
+//! staging — runs through one explicit four-stage pipeline:
+//!
+//! 1. **plan** — address translation (§V-A), strided/IOV method selection
+//!    (§VI-A), the conflict-tree scan of the auto method (§VI-B), and
+//!    lock-mode selection from the GMR's access-mode hint (§VIII-A). The
+//!    output is a list of [`TransferPlan`]s: one access epoch each, holding
+//!    one or more RMA operations with fully-resolved datatypes.
+//! 2. **acquire** — opening the access context: a passive-target lock in
+//!    MPI-2 mode (one epoch per plan, §V-C), nothing in MPI-3 epochless
+//!    mode where the window-wide `lock_all` epoch is already open
+//!    (§VIII-B(2)).
+//! 3. **execute** — issuing the operations: `put`/`get`/`accumulate` with
+//!    contiguous, indexed or subarray datatypes. Operations after the
+//!    first in an epoch pipeline (the batched-method win, §VI-A).
+//! 4. **complete** — `unlock` (MPI-2) or `flush` (MPI-3), statistics, and
+//!    virtual-time accounting.
+//!
+//! Nonblocking operations run the same plans through the request-based
+//! path: the execute stage issues `rput`/`rget`/`racc` (§VIII-B(3)) and
+//! the complete stage is deferred to `ARMCI_Wait`. Consecutive
+//! nonblocking operations to the same `(GMR, target)` pair coalesce into
+//! one **aggregate epoch** — the engine-level realisation of ARMCI's
+//! aggregate handles — so a train of small operations pays one epoch and
+//! pipelines on the wire. In MPI-2 mode at most one aggregate epoch is
+//! open at a time (opening a second target completes the first), which
+//! keeps the hold-and-wait deadlock impossible; in epochless mode no
+//! per-target lock is held at all and any number of targets may have
+//! operations in flight concurrently.
+
+use crate::gmr::Gmr;
+use crate::ops::OpClass;
+use crate::ArmciMpi;
+use armci::{ArmciError, ArmciResult, GlobalAddr, IovDesc, NbHandle, StridedMethod};
+use mpisim::mpi3::RmaRequest;
+use mpisim::{AccOp, Datatype, ElemType, LockMode};
+use std::collections::HashSet;
+
+/// Per-stage counters and virtual-time totals for the transfer engine.
+/// Complements [`crate::OpStats`] (which counts MPI-level operations)
+/// with pipeline-level accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageStats {
+    /// Transfer plans produced (one access epoch each).
+    pub plans: u64,
+    /// RMA operations contained in those plans.
+    pub planned_ops: u64,
+    /// Access contexts opened (epoch locks in MPI-2 mode; aggregate-epoch
+    /// entries under `lock_all` in epochless mode).
+    pub acquires: u64,
+    /// RMA operations issued by the execute stage (blocking and
+    /// request-based combined).
+    pub executed_ops: u64,
+    /// Access contexts completed (unlock or flush).
+    pub completes: u64,
+    /// Operations issued through the nonblocking (request-based) path.
+    pub nb_submitted: u64,
+    /// Nonblocking operations that joined an already-open aggregate epoch
+    /// instead of paying for a new one.
+    pub nb_aggregated: u64,
+    /// `ARMCI_Wait`/`ARMCI_WaitAll` resolutions.
+    pub nb_waits: u64,
+    /// Virtual seconds spent in the plan stage (method selection,
+    /// conflict-tree scans).
+    pub plan_s: f64,
+    /// Virtual seconds spent acquiring access epochs.
+    pub acquire_s: f64,
+    /// Virtual seconds spent issuing operations (for blocking operations
+    /// this includes the wire transfer).
+    pub execute_s: f64,
+    /// Virtual seconds spent completing epochs (unlock/flush and deferred
+    /// request completion).
+    pub complete_s: f64,
+}
+
+/// One RMA operation within a plan: both datatypes fully resolved. Origin
+/// datatype offsets are absolute within the execute-stage buffer (the
+/// caller's local buffer for put/get, the pre-scaled staging buffer for
+/// accumulates).
+pub(crate) struct PlannedOp {
+    pub odt: Datatype,
+    pub tdisp: usize,
+    pub tdt: Datatype,
+    /// Payload bytes this operation moves (statistics).
+    pub bytes: u64,
+}
+
+/// A unit of acquire/execute/complete work: one access epoch on one
+/// `(GMR, target)` pair carrying one or more operations.
+pub(crate) struct TransferPlan {
+    pub gmr: u64,
+    /// Target rank within the GMR's group.
+    pub target: usize,
+    pub mode: LockMode,
+    pub ops: Vec<PlannedOp>,
+}
+
+/// The buffer the execute stage moves data against. Raw pointers (not
+/// slices) because IOV descriptors address disjoint pieces of one caller
+/// buffer that may also be the *source* of a get (`&mut` would alias).
+pub(crate) enum ExecBuf<'a> {
+    /// Destination of a get: base pointer and length of the local buffer.
+    Get(*mut u8, usize),
+    /// Source of a put.
+    Put(*const u8, usize),
+    /// Pre-scaled contiguous staging buffer for an accumulate, plus the
+    /// MPI element type of the wire operation.
+    Acc(&'a [u8], ElemType),
+}
+
+/// An open nonblocking aggregate epoch: operations to one `(GMR, target)`
+/// pair whose completion has been deferred to `ARMCI_Wait`.
+/// What an operation does to its target ranges, for MPI-2 aggregation
+/// conflict checks (mirrors the simulator's epoch access rules:
+/// overlapping gets are fine, overlapping same-type accumulates are
+/// fine, everything else conflicts).
+#[derive(Clone, Copy, PartialEq)]
+enum NbKind {
+    Get,
+    Put,
+    Acc(ElemType),
+}
+
+impl NbKind {
+    fn compatible(self, other: NbKind) -> bool {
+        match (self, other) {
+            (NbKind::Get, NbKind::Get) => true,
+            (NbKind::Acc(a), NbKind::Acc(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Do any of the new target ranges overlap an already-issued range with
+/// an incompatible access kind?
+fn conflicts(issued: &[(usize, usize, NbKind)], new: &[(usize, usize, NbKind)]) -> bool {
+    new.iter().any(|&(lo, hi, k)| {
+        issued
+            .iter()
+            .any(|&(ilo, ihi, ik)| lo < ihi && ilo < hi && !k.compatible(ik))
+    })
+}
+
+struct NbEpoch {
+    gmr: u64,
+    target: usize,
+    mode: LockMode,
+    /// Handle ids with operations in this epoch.
+    ids: Vec<u64>,
+    /// In-flight request-based operations.
+    reqs: Vec<RmaRequest>,
+    /// Target byte ranges already issued in this epoch (MPI-2 mode only:
+    /// a joining plan that would conflict forces a fresh epoch instead,
+    /// because conflicting accesses within one epoch are erroneous).
+    ranges: Vec<(usize, usize, NbKind)>,
+}
+
+/// Engine-side nonblocking state.
+#[derive(Default)]
+pub(crate) struct NbState {
+    next_id: u64,
+    open: Vec<NbEpoch>,
+    /// Handle ids whose operations have completed (epoch closed) but whose
+    /// `wait` has not been called yet.
+    resolved: HashSet<u64>,
+}
+
+impl ArmciMpi {
+    /// This rank's virtual clock (stage timing).
+    pub(crate) fn vnow(&self) -> f64 {
+        self.world.clock_now()
+    }
+
+    pub(crate) fn stage(&self, f: impl FnOnce(&mut StageStats)) {
+        f(&mut self.stage_stats.borrow_mut());
+    }
+
+    fn note_plans(&self, t0: f64, plans: &[TransferPlan]) {
+        let dt = self.vnow() - t0;
+        let ops: u64 = plans.iter().map(|p| p.ops.len() as u64).sum();
+        self.stage(|g| {
+            g.plans += plans.len() as u64;
+            g.planned_ops += ops;
+            g.plan_s += dt;
+        });
+    }
+
+    /// Lock mode for an operation of `class` against `gmr_id`, derived
+    /// from the GMR's access-mode hint (§VIII-A).
+    fn mode_for_gmr(&self, gmr_id: u64, class: OpClass) -> LockMode {
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&gmr_id).expect("translated GMR must exist");
+        self.lock_mode_for(gmr.mode.get(), class)
+    }
+
+    // ------------------------------------------------------------------
+    // Plan stage
+    // ------------------------------------------------------------------
+
+    /// Plans a contiguous transfer: one epoch, one operation.
+    pub(crate) fn plan_contiguous(
+        &self,
+        class: OpClass,
+        remote: GlobalAddr,
+        len: usize,
+    ) -> ArmciResult<TransferPlan> {
+        let t0 = self.vnow();
+        let tr = self.translate(remote, len)?;
+        let mode = self.mode_for_gmr(tr.gmr, class);
+        let plan = Self::single_plan(tr.gmr, tr.group_rank, mode, len, tr.disp);
+        self.note_plans(t0, std::slice::from_ref(&plan));
+        Ok(plan)
+    }
+
+    /// Plans a contiguous transfer with an explicit lock mode (the RMW
+    /// protocol's read/write epochs are always exclusive, §V-D).
+    pub(crate) fn plan_fixed(
+        &self,
+        remote: GlobalAddr,
+        len: usize,
+        mode: LockMode,
+    ) -> ArmciResult<TransferPlan> {
+        let t0 = self.vnow();
+        let tr = self.translate(remote, len)?;
+        let plan = Self::single_plan(tr.gmr, tr.group_rank, mode, len, tr.disp);
+        self.note_plans(t0, std::slice::from_ref(&plan));
+        Ok(plan)
+    }
+
+    fn single_plan(
+        gmr: u64,
+        target: usize,
+        mode: LockMode,
+        len: usize,
+        disp: usize,
+    ) -> TransferPlan {
+        let dt = Datatype::contiguous(len);
+        TransferPlan {
+            gmr,
+            target,
+            mode,
+            ops: vec![PlannedOp {
+                odt: dt.clone(),
+                tdisp: disp,
+                tdt: dt,
+                bytes: len as u64,
+            }],
+        }
+    }
+
+    /// Resolves every IOV segment, requiring a single common GMR (the
+    /// batched/datatype prerequisite). Errors if segments span allocations.
+    pub(crate) fn resolve_single_gmr(
+        &self,
+        desc: &IovDesc,
+    ) -> ArmciResult<(u64, usize, Vec<usize>)> {
+        let mut gmr_id = None;
+        let mut group_rank = 0usize;
+        let mut disps = Vec::with_capacity(desc.len());
+        for &addr in &desc.remote_addrs {
+            let tr = self.translate(GlobalAddr::new(desc.rank, addr), desc.bytes)?;
+            match gmr_id {
+                None => {
+                    gmr_id = Some(tr.gmr);
+                    group_rank = tr.group_rank;
+                }
+                Some(id) if id != tr.gmr => {
+                    return Err(ArmciError::BadDescriptor(
+                        "IOV segments span multiple GMRs".into(),
+                    ))
+                }
+                _ => {}
+            }
+            disps.push(tr.disp);
+        }
+        let id = gmr_id.ok_or_else(|| ArmciError::BadDescriptor("empty IOV".into()))?;
+        Ok((id, group_rank, disps))
+    }
+
+    /// Origin-side byte offset of segment `i`: into the caller's buffer
+    /// for put/get, into the gathered staging buffer (segment order) for
+    /// accumulates.
+    fn seg_off(desc: &IovDesc, staged: bool, i: usize) -> usize {
+        if staged {
+            i * desc.bytes
+        } else {
+            desc.local_offsets[i]
+        }
+    }
+
+    /// Plans an IOV transfer with the given §VI-A method. `staged` marks
+    /// accumulate transfers whose origin is the contiguous pre-scaled
+    /// staging buffer rather than the caller's scattered buffer.
+    pub(crate) fn plan_iov(
+        &self,
+        desc: &IovDesc,
+        class: OpClass,
+        staged: bool,
+        method: StridedMethod,
+    ) -> ArmciResult<Vec<TransferPlan>> {
+        let t0 = self.vnow();
+        let plans = match method {
+            StridedMethod::IovConservative => self.plan_iov_conservative(desc, class, staged)?,
+            StridedMethod::IovBatched { batch } => {
+                self.plan_iov_batched(desc, class, staged, batch)?
+            }
+            StridedMethod::IovDatatype | StridedMethod::Direct => {
+                vec![self.plan_iov_datatype(desc, class, staged)?]
+            }
+            StridedMethod::Auto => {
+                // §VI-B: conflict-tree scan; datatype when the descriptor
+                // is clean and single-GMR, conservative otherwise. The
+                // O(N log N) scan is charged to the plan stage.
+                let single = self.resolve_single_gmr(desc).is_ok();
+                let clean = single && ctree::scan_segments(&desc.remote_segments()).is_ok();
+                let n = desc.len().max(1) as f64;
+                self.charge(4e-9 * n * n.log2().max(1.0));
+                if clean {
+                    vec![self.plan_iov_datatype(desc, class, staged)?]
+                } else {
+                    self.plan_iov_conservative(desc, class, staged)?
+                }
+            }
+        };
+        self.note_plans(t0, &plans);
+        Ok(plans)
+    }
+
+    /// Conservative method: one epoch per segment; segments may live in
+    /// different GMRs and may overlap.
+    fn plan_iov_conservative(
+        &self,
+        desc: &IovDesc,
+        class: OpClass,
+        staged: bool,
+    ) -> ArmciResult<Vec<TransferPlan>> {
+        let mut plans = Vec::with_capacity(desc.len());
+        for (i, &raddr) in desc.remote_addrs.iter().enumerate() {
+            let tr = self.translate(GlobalAddr::new(desc.rank, raddr), desc.bytes)?;
+            let mode = self.mode_for_gmr(tr.gmr, class);
+            plans.push(TransferPlan {
+                gmr: tr.gmr,
+                target: tr.group_rank,
+                mode,
+                ops: vec![PlannedOp {
+                    odt: Datatype::Indexed {
+                        blocks: vec![(Self::seg_off(desc, staged, i), desc.bytes)],
+                    },
+                    tdisp: tr.disp,
+                    tdt: Datatype::contiguous(desc.bytes),
+                    bytes: desc.bytes as u64,
+                }],
+            });
+        }
+        Ok(plans)
+    }
+
+    /// Batched method: chunks of `batch` operations per epoch (0 =
+    /// unlimited). Single GMR, disjoint segments.
+    fn plan_iov_batched(
+        &self,
+        desc: &IovDesc,
+        class: OpClass,
+        staged: bool,
+        batch: usize,
+    ) -> ArmciResult<Vec<TransferPlan>> {
+        let (gmr_id, group_rank, disps) = self.resolve_single_gmr(desc)?;
+        let mode = self.mode_for_gmr(gmr_id, class);
+        let chunk = if batch == 0 { desc.len() } else { batch };
+        let mut plans = Vec::with_capacity(desc.len().div_ceil(chunk));
+        let mut i = 0usize;
+        while i < desc.len() {
+            let end = (i + chunk).min(desc.len());
+            let ops = (i..end)
+                .map(|j| PlannedOp {
+                    odt: Datatype::Indexed {
+                        blocks: vec![(Self::seg_off(desc, staged, j), desc.bytes)],
+                    },
+                    tdisp: disps[j],
+                    tdt: Datatype::contiguous(desc.bytes),
+                    bytes: desc.bytes as u64,
+                })
+                .collect();
+            plans.push(TransferPlan {
+                gmr: gmr_id,
+                target: group_rank,
+                mode,
+                ops,
+            });
+            i = end;
+        }
+        Ok(plans)
+    }
+
+    /// Datatype method: two indexed datatypes, one operation, one epoch.
+    fn plan_iov_datatype(
+        &self,
+        desc: &IovDesc,
+        class: OpClass,
+        staged: bool,
+    ) -> ArmciResult<TransferPlan> {
+        let (gmr_id, group_rank, disps) = self.resolve_single_gmr(desc)?;
+        let mode = self.mode_for_gmr(gmr_id, class);
+        let tdt = Datatype::Indexed {
+            blocks: disps.iter().map(|&d| (d, desc.bytes)).collect(),
+        };
+        let odt = if staged {
+            // pre-scaled staging buffer is contiguous in segment order
+            Datatype::contiguous(desc.total_bytes())
+        } else {
+            Datatype::Indexed {
+                blocks: desc
+                    .local_offsets
+                    .iter()
+                    .map(|&o| (o, desc.bytes))
+                    .collect(),
+            }
+        };
+        Ok(TransferPlan {
+            gmr: gmr_id,
+            target: group_rank,
+            mode,
+            ops: vec![PlannedOp {
+                odt,
+                tdisp: 0,
+                tdt,
+                bytes: desc.total_bytes() as u64,
+            }],
+        })
+    }
+
+    /// Plans a direct strided transfer (§VI-C): subarray datatypes on both
+    /// sides, one operation, one epoch. Returns `Ok(None)` when the shape
+    /// cannot be expressed as subarrays (caller falls back to IOV).
+    pub(crate) fn plan_strided_direct(
+        &self,
+        class: OpClass,
+        local_len: usize,
+        local_strides: &[usize],
+        remote: GlobalAddr,
+        remote_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<Option<TransferPlan>> {
+        let t0 = self.vnow();
+        let (Some(odt), Some(tdt)) = (
+            armci::strided_to_subarray(local_strides, count),
+            armci::strided_to_subarray(remote_strides, count),
+        ) else {
+            return Ok(None);
+        };
+        if odt.extent() > local_len {
+            return Err(ArmciError::BadDescriptor(format!(
+                "strided origin extent {} exceeds buffer {}",
+                odt.extent(),
+                local_len
+            )));
+        }
+        let tr = self.translate(remote, armci::stride::extent(remote_strides, count))?;
+        let mode = self.mode_for_gmr(tr.gmr, class);
+        let plan = TransferPlan {
+            gmr: tr.gmr,
+            target: tr.group_rank,
+            mode,
+            ops: vec![PlannedOp {
+                odt,
+                tdisp: tr.disp,
+                tdt,
+                bytes: armci::stride::total_bytes(count) as u64,
+            }],
+        };
+        self.note_plans(t0, std::slice::from_ref(&plan));
+        Ok(Some(plan))
+    }
+
+    /// Plans a direct strided accumulate: contiguous pre-scaled staging
+    /// buffer on the origin side, subarray datatype on the target side.
+    /// The caller has already verified the target shape is
+    /// subarray-expressible.
+    pub(crate) fn plan_strided_direct_acc(
+        &self,
+        remote: GlobalAddr,
+        remote_strides: &[usize],
+        count: &[usize],
+        staged_len: usize,
+    ) -> ArmciResult<TransferPlan> {
+        let t0 = self.vnow();
+        let tdt = armci::strided_to_subarray(remote_strides, count)
+            .expect("caller verified subarray-expressible shape");
+        let tr = self.translate(remote, armci::stride::extent(remote_strides, count))?;
+        let mode = self.mode_for_gmr(tr.gmr, OpClass::Acc);
+        let plan = TransferPlan {
+            gmr: tr.gmr,
+            target: tr.group_rank,
+            mode,
+            ops: vec![PlannedOp {
+                odt: Datatype::contiguous(staged_len),
+                tdisp: tr.disp,
+                tdt,
+                bytes: armci::stride::total_bytes(count) as u64,
+            }],
+        };
+        self.note_plans(t0, std::slice::from_ref(&plan));
+        Ok(plan)
+    }
+
+    // ------------------------------------------------------------------
+    // Acquire / execute / complete — blocking path
+    // ------------------------------------------------------------------
+
+    /// Runs plans to completion. Outstanding nonblocking aggregate epochs
+    /// are completed first, serialising blocking traffic (and §V-E1
+    /// staging) behind in-flight nonblocking operations.
+    pub(crate) fn run_plans(&self, plans: &[TransferPlan], buf: &ExecBuf) -> ArmciResult<()> {
+        self.nb_quiesce()?;
+        for plan in plans {
+            self.run_plan(plan, buf)?;
+        }
+        Ok(())
+    }
+
+    fn run_plan(&self, plan: &TransferPlan, buf: &ExecBuf) -> ArmciResult<()> {
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&plan.gmr).expect("translated GMR must exist");
+        // acquire
+        let t0 = self.vnow();
+        self.epoch_begin(gmr, plan.target, plan.mode)?;
+        let t1 = self.vnow();
+        // execute (the epoch is closed even when an operation fails)
+        let mut issued = 0u64;
+        let mut res = Ok(());
+        for op in &plan.ops {
+            res = self.issue_op(gmr, plan.target, op, buf);
+            if res.is_err() {
+                break;
+            }
+            issued += 1;
+        }
+        let t2 = self.vnow();
+        // complete
+        let end = self.epoch_end(gmr, plan.target);
+        let t3 = self.vnow();
+        self.stage(|g| {
+            g.acquires += 1;
+            g.executed_ops += issued;
+            g.completes += 1;
+            g.acquire_s += t1 - t0;
+            g.execute_s += t2 - t1;
+            g.complete_s += t3 - t2;
+        });
+        end?;
+        res
+    }
+
+    /// Issues one planned operation inside an open access context.
+    fn issue_op(&self, gmr: &Gmr, target: usize, op: &PlannedOp, buf: &ExecBuf) -> ArmciResult<()> {
+        match *buf {
+            ExecBuf::Get(ptr, len) => {
+                // Safety: `ptr` covers `len` bytes for the duration of the
+                // call and the planner keeps every datatype within bounds;
+                // disjoint plans may address disjoint pieces of it.
+                let b = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+                gmr.win.get(b, &op.odt, target, op.tdisp, &op.tdt)?;
+                self.stat(|s| {
+                    s.gets += 1;
+                    s.bytes_got += op.bytes;
+                });
+            }
+            ExecBuf::Put(ptr, len) => {
+                // Safety: as above, read-only.
+                let b = unsafe { std::slice::from_raw_parts(ptr, len) };
+                gmr.win.put(b, &op.odt, target, op.tdisp, &op.tdt)?;
+                self.stat(|s| {
+                    s.puts += 1;
+                    s.bytes_put += op.bytes;
+                });
+            }
+            ExecBuf::Acc(staged, elem) => {
+                gmr.win
+                    .accumulate(staged, &op.odt, target, op.tdisp, &op.tdt, elem, AccOp::Sum)?;
+                self.stat(|s| {
+                    s.accs += 1;
+                    s.bytes_acc += op.bytes;
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Acquire / execute — nonblocking (request-based) path
+    // ------------------------------------------------------------------
+
+    /// Runs plans through the request-based path and returns a deferred
+    /// handle; completion happens at `ARMCI_Wait` (or at the next
+    /// synchronisation point).
+    pub(crate) fn nb_run_plans(
+        &self,
+        plans: Vec<TransferPlan>,
+        buf: &ExecBuf,
+    ) -> ArmciResult<NbHandle> {
+        if plans.is_empty() {
+            return Ok(NbHandle::eager());
+        }
+        let id = {
+            let mut nb = self.nb.borrow_mut();
+            nb.next_id += 1;
+            nb.next_id
+        };
+        let kind = match *buf {
+            ExecBuf::Get(..) => NbKind::Get,
+            ExecBuf::Put(..) => NbKind::Put,
+            ExecBuf::Acc(_, elem) => NbKind::Acc(elem),
+        };
+        for plan in plans {
+            let t0 = self.vnow();
+            // The plan's target byte ranges, for the aggregation conflict
+            // check and the epoch's issued-range record.
+            let plan_ranges: Vec<(usize, usize, NbKind)> = plan
+                .ops
+                .iter()
+                .flat_map(|op| {
+                    op.tdt
+                        .segments()
+                        .into_iter()
+                        .map(move |(off, len)| (op.tdisp + off, op.tdisp + off + len, kind))
+                })
+                .collect();
+            // acquire: join an open aggregate epoch on (gmr, target) or
+            // open a new one. In epochless mode lock modes are irrelevant
+            // (no per-target lock exists under lock_all). An MPI-2 epoch
+            // whose issued operations would conflict with this plan
+            // (overlapping put/put, get/put, mixed-type acc) cannot be
+            // joined — conflicting accesses within one epoch are
+            // erroneous — so it is retired and a fresh epoch opened.
+            let found = self.nb.borrow().open.iter().position(|e| {
+                e.gmr == plan.gmr
+                    && e.target == plan.target
+                    && (self.cfg.epochless
+                        || (e.mode == plan.mode && !conflicts(&e.ranges, &plan_ranges)))
+            });
+            let idx = match found {
+                Some(i) => {
+                    self.stage(|g| g.nb_aggregated += plan.ops.len() as u64);
+                    i
+                }
+                None => {
+                    if !self.cfg.epochless {
+                        // Deadlock safety: opening a second MPI-2 aggregate
+                        // epoch while one is held would be hold-and-wait;
+                        // complete the outstanding one first.
+                        self.nb_quiesce()?;
+                        let gmrs = self.gmrs.borrow();
+                        let gmr = gmrs.get(&plan.gmr).expect("translated GMR must exist");
+                        self.stat(|s| s.epochs += 1);
+                        gmr.win.lock(plan.mode, plan.target)?;
+                    }
+                    self.stage(|g| g.acquires += 1);
+                    let mut nb = self.nb.borrow_mut();
+                    nb.open.push(NbEpoch {
+                        gmr: plan.gmr,
+                        target: plan.target,
+                        mode: plan.mode,
+                        ids: Vec::new(),
+                        reqs: Vec::new(),
+                        ranges: Vec::new(),
+                    });
+                    nb.open.len() - 1
+                }
+            };
+            let t1 = self.vnow();
+            // execute: request-based issue; completion deferred.
+            let mut reqs = Vec::with_capacity(plan.ops.len());
+            {
+                let gmrs = self.gmrs.borrow();
+                let gmr = gmrs.get(&plan.gmr).expect("translated GMR must exist");
+                for op in &plan.ops {
+                    reqs.push(self.nb_issue_op(gmr, plan.target, op, buf)?);
+                }
+            }
+            let t2 = self.vnow();
+            self.stage(|g| {
+                g.nb_submitted += reqs.len() as u64;
+                g.executed_ops += reqs.len() as u64;
+                g.acquire_s += t1 - t0;
+                g.execute_s += t2 - t1;
+            });
+            let mut nb = self.nb.borrow_mut();
+            let ep = &mut nb.open[idx];
+            ep.reqs.append(&mut reqs);
+            ep.ids.push(id);
+            ep.ranges.extend(plan_ranges);
+        }
+        Ok(NbHandle::deferred(id))
+    }
+
+    fn nb_issue_op(
+        &self,
+        gmr: &Gmr,
+        target: usize,
+        op: &PlannedOp,
+        buf: &ExecBuf,
+    ) -> ArmciResult<RmaRequest> {
+        let req = match *buf {
+            ExecBuf::Get(ptr, len) => {
+                // Safety: see `issue_op`; the simulator moves bytes at
+                // issue, only virtual-time completion is deferred, so the
+                // borrow ends with this call.
+                let b = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+                let r = gmr.win.rget(b, &op.odt, target, op.tdisp, &op.tdt)?;
+                self.stat(|s| {
+                    s.gets += 1;
+                    s.bytes_got += op.bytes;
+                });
+                r
+            }
+            ExecBuf::Put(ptr, len) => {
+                // Safety: as above, read-only.
+                let b = unsafe { std::slice::from_raw_parts(ptr, len) };
+                let r = gmr.win.rput(b, &op.odt, target, op.tdisp, &op.tdt)?;
+                self.stat(|s| {
+                    s.puts += 1;
+                    s.bytes_put += op.bytes;
+                });
+                r
+            }
+            ExecBuf::Acc(staged, elem) => {
+                let r =
+                    gmr.win
+                        .racc(staged, &op.odt, target, op.tdisp, &op.tdt, elem, AccOp::Sum)?;
+                self.stat(|s| {
+                    s.accs += 1;
+                    s.bytes_acc += op.bytes;
+                });
+                r
+            }
+        };
+        Ok(req)
+    }
+
+    // ------------------------------------------------------------------
+    // Complete — nonblocking path
+    // ------------------------------------------------------------------
+
+    /// Completes every open aggregate epoch. Called by blocking transfers,
+    /// direct local access, fences, barriers and collective memory
+    /// operations: any synchronising call serialises against in-flight
+    /// nonblocking operations instead of corrupting them.
+    pub(crate) fn nb_quiesce(&self) -> ArmciResult<()> {
+        let open = std::mem::take(&mut self.nb.borrow_mut().open);
+        for ep in open {
+            self.nb_complete_epoch(ep)?;
+        }
+        Ok(())
+    }
+
+    /// Completes only the open aggregate epochs that touch `gmr`. Used by
+    /// RMW, whose atomicity guarantee is per-location: an RMW on the
+    /// NXTVAL counter must not retire in-flight transfers on unrelated
+    /// allocations (that would serialise the §VIII-B(3) overlap schedule).
+    pub(crate) fn nb_quiesce_gmr(&self, gmr: u64) -> ArmciResult<()> {
+        let matching = {
+            let mut nb = self.nb.borrow_mut();
+            let mut keep = Vec::new();
+            let mut out = Vec::new();
+            for ep in std::mem::take(&mut nb.open) {
+                if ep.gmr == gmr {
+                    out.push(ep);
+                } else {
+                    keep.push(ep);
+                }
+            }
+            nb.open = keep;
+            out
+        };
+        for ep in matching {
+            self.nb_complete_epoch(ep)?;
+        }
+        Ok(())
+    }
+
+    /// Completes one aggregate epoch: waits all requests (advancing the
+    /// virtual clock to the latest completion), then unlocks (MPI-2) or
+    /// flushes (MPI-3).
+    fn nb_complete_epoch(&self, ep: NbEpoch) -> ArmciResult<()> {
+        let t0 = self.vnow();
+        {
+            let gmrs = self.gmrs.borrow();
+            let gmr = gmrs
+                .get(&ep.gmr)
+                .expect("GMR freed with nonblocking operations in flight");
+            for r in ep.reqs {
+                r.wait(&gmr.win);
+            }
+            if self.cfg.epochless {
+                self.stat(|s| s.flushes += 1);
+                gmr.win.flush(ep.target)?;
+            } else {
+                gmr.win.unlock(ep.target)?;
+            }
+        }
+        self.nb.borrow_mut().resolved.extend(ep.ids);
+        let dt = self.vnow() - t0;
+        self.stage(|g| {
+            g.completes += 1;
+            g.complete_s += dt;
+        });
+        Ok(())
+    }
+
+    /// `ARMCI_Wait`: completes the aggregate epoch holding `handle`'s
+    /// operations (a no-op for eagerly-completed or already-completed
+    /// handles).
+    pub(crate) fn nb_wait(&self, handle: NbHandle) -> ArmciResult<()> {
+        self.stage(|g| g.nb_waits += 1);
+        if handle.completed_eagerly {
+            return Ok(());
+        }
+        let Some(id) = handle.id else {
+            return Ok(());
+        };
+        if self.nb.borrow_mut().resolved.remove(&id) {
+            return Ok(());
+        }
+        let pos = self
+            .nb
+            .borrow()
+            .open
+            .iter()
+            .position(|e| e.ids.contains(&id));
+        match pos {
+            Some(i) => {
+                let ep = self.nb.borrow_mut().open.remove(i);
+                self.nb_complete_epoch(ep)?;
+                self.nb.borrow_mut().resolved.remove(&id);
+                Ok(())
+            }
+            None => Err(ArmciError::BadDescriptor(
+                "wait on unknown nonblocking handle".into(),
+            )),
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! Generalized I/O vector operations (§VI-A) and the auto method's
 //! conflict scan (§VI-B).
 //!
-//! Four methods, exactly as in the paper:
+//! Four methods, exactly as in the paper — all expressed as transfer-plan
+//! construction in [`crate::engine`]:
 //!
 //! * **conservative** — one operation per segment, each in its own epoch;
 //!   tolerates segments that overlap or span multiple GMRs;
@@ -15,23 +16,17 @@
 //!   descriptors take the datatype path, conflicted ones fall back to
 //!   conservative (the error-recovery motivation of §VI-B: detecting the
 //!   error *after* MPI has started the transfer would be too late).
+//!
+//! This module validates descriptors, stages accumulate sources, and hands
+//! the engine a method; planning and epoch management live in the engine.
 
-use crate::gmr::Translation;
+use crate::engine::ExecBuf;
 use crate::ops::OpClass;
 use crate::ArmciMpi;
-use armci::{AccKind, ArmciError, ArmciResult, GlobalAddr, IovDesc, StridedMethod};
-use mpisim::{AccOp, Datatype};
-
-/// Which data-movement verb an IOV operation performs.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum IovVerb<'a> {
-    Get,
-    Put,
-    Acc(AccKind, &'a [u8]),
-}
+use armci::{AccKind, ArmciError, ArmciResult, IovDesc, StridedMethod};
 
 impl ArmciMpi {
-    fn check_local(&self, desc: &IovDesc, local_len: usize) -> ArmciResult<()> {
+    pub(crate) fn check_local(&self, desc: &IovDesc, local_len: usize) -> ArmciResult<()> {
         desc.validate()?;
         if desc.local_end() > local_len {
             return Err(ArmciError::BadDescriptor(format!(
@@ -43,277 +38,6 @@ impl ArmciMpi {
         Ok(())
     }
 
-    /// Resolves every segment, requiring a single common GMR. Errors if
-    /// segments span allocations (the batched/datatype prerequisite).
-    fn resolve_single_gmr(&self, desc: &IovDesc) -> ArmciResult<(u64, usize, Vec<usize>)> {
-        let mut gmr_id = None;
-        let mut group_rank = 0usize;
-        let mut disps = Vec::with_capacity(desc.len());
-        for &addr in &desc.remote_addrs {
-            let tr = self.translate(GlobalAddr::new(desc.rank, addr), desc.bytes)?;
-            match gmr_id {
-                None => {
-                    gmr_id = Some(tr.gmr);
-                    group_rank = tr.group_rank;
-                }
-                Some(id) if id != tr.gmr => {
-                    return Err(ArmciError::BadDescriptor(
-                        "IOV segments span multiple GMRs".into(),
-                    ))
-                }
-                _ => {}
-            }
-            disps.push(tr.disp);
-        }
-        let id = gmr_id.ok_or_else(|| ArmciError::BadDescriptor("empty IOV".into()))?;
-        Ok((id, group_rank, disps))
-    }
-
-    fn class_of(verb: &IovVerb) -> OpClass {
-        match verb {
-            IovVerb::Get => OpClass::Get,
-            IovVerb::Put => OpClass::Put,
-            IovVerb::Acc(..) => OpClass::Acc,
-        }
-    }
-
-    /// Conservative method: one epoch per segment; segments may live in
-    /// different GMRs and may overlap.
-    fn iov_conservative(
-        &self,
-        desc: &IovDesc,
-        local: *mut u8,
-        local_len: usize,
-        verb: IovVerb,
-    ) -> ArmciResult<()> {
-        let _ = local_len;
-        for (i, (&loff, &raddr)) in desc
-            .local_offsets
-            .iter()
-            .zip(&desc.remote_addrs)
-            .enumerate()
-        {
-            let tr = self.translate(GlobalAddr::new(desc.rank, raddr), desc.bytes)?;
-            let gmrs = self.gmrs.borrow();
-            let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
-            let mode = self.lock_mode_for(gmr.mode.get(), Self::class_of(&verb));
-            self.epoch_begin(gmr, tr.group_rank, mode)?;
-            let res = self.issue_segment(gmr, &tr, loff, local, desc.bytes, &verb, i);
-            self.epoch_end(gmr, tr.group_rank)?;
-            res?;
-        }
-        Ok(())
-    }
-
-    /// Batched method: chunks of `batch` operations per epoch (0 =
-    /// unlimited). Single GMR, disjoint segments.
-    #[allow(clippy::needless_range_loop)] // j indexes two parallel arrays
-    fn iov_batched(
-        &self,
-        desc: &IovDesc,
-        local: *mut u8,
-        verb: IovVerb,
-        batch: usize,
-    ) -> ArmciResult<()> {
-        let (gmr_id, group_rank, disps) = self.resolve_single_gmr(desc)?;
-        let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&gmr_id).expect("translated GMR must exist");
-        let mode = self.lock_mode_for(gmr.mode.get(), Self::class_of(&verb));
-        let chunk = if batch == 0 { desc.len() } else { batch };
-        let mut i = 0usize;
-        while i < desc.len() {
-            let end = (i + chunk).min(desc.len());
-            self.epoch_begin(gmr, group_rank, mode)?;
-            let mut res = Ok(());
-            for j in i..end {
-                let tr = Translation {
-                    gmr: gmr_id,
-                    group_rank,
-                    disp: disps[j],
-                };
-                res = self.issue_segment(
-                    gmr,
-                    &tr,
-                    desc.local_offsets[j],
-                    local,
-                    desc.bytes,
-                    &verb,
-                    j,
-                );
-                if res.is_err() {
-                    break;
-                }
-            }
-            self.epoch_end(gmr, group_rank)?;
-            res?;
-            i = end;
-        }
-        Ok(())
-    }
-
-    /// Datatype method: two indexed datatypes, one operation, one epoch.
-    fn iov_datatype(&self, desc: &IovDesc, local: *mut u8, verb: IovVerb) -> ArmciResult<()> {
-        let (gmr_id, group_rank, disps) = self.resolve_single_gmr(desc)?;
-        let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&gmr_id).expect("translated GMR must exist");
-        let mode = self.lock_mode_for(gmr.mode.get(), Self::class_of(&verb));
-
-        let remote_dt = Datatype::Indexed {
-            blocks: disps.iter().map(|&d| (d, desc.bytes)).collect(),
-        };
-        let local_dt = Datatype::Indexed {
-            blocks: desc
-                .local_offsets
-                .iter()
-                .map(|&o| (o, desc.bytes))
-                .collect(),
-        };
-        let local_extent = desc.local_end();
-
-        self.epoch_begin(gmr, group_rank, mode)?;
-        let res: ArmciResult<()> = (|| {
-            match verb {
-                IovVerb::Get => {
-                    // Safety: `local` covers `local_len` >= local extent
-                    // bytes and no other alias exists during the call.
-                    let buf = unsafe { std::slice::from_raw_parts_mut(local, local_extent) };
-                    gmr.win.get(buf, &local_dt, group_rank, 0, &remote_dt)?;
-                    self.stat(|s| {
-                        s.gets += 1;
-                        s.bytes_got += desc.total_bytes() as u64;
-                    });
-                }
-                IovVerb::Put => {
-                    let buf =
-                        unsafe { std::slice::from_raw_parts(local as *const u8, local_extent) };
-                    gmr.win.put(buf, &local_dt, group_rank, 0, &remote_dt)?;
-                    self.stat(|s| {
-                        s.puts += 1;
-                        s.bytes_put += desc.total_bytes() as u64;
-                    });
-                }
-                IovVerb::Acc(kind, staged) => {
-                    // staged already pre-scaled and gathered contiguous;
-                    // pair it with the indexed remote type.
-                    let src_dt = Datatype::contiguous(staged.len());
-                    gmr.win.accumulate(
-                        staged,
-                        &src_dt,
-                        group_rank,
-                        0,
-                        &remote_dt,
-                        kind.mpi_elem(),
-                        AccOp::Sum,
-                    )?;
-                    self.stat(|s| {
-                        s.accs += 1;
-                        s.bytes_acc += staged.len() as u64;
-                    });
-                }
-            }
-            Ok(())
-        })();
-        self.epoch_end(gmr, group_rank)?;
-        res
-    }
-
-    /// Auto method (§VI-B): conflict-tree scan, datatype when clean,
-    /// conservative otherwise.
-    fn iov_auto(
-        &self,
-        desc: &IovDesc,
-        local: *mut u8,
-        local_len: usize,
-        verb: IovVerb,
-    ) -> ArmciResult<()> {
-        // The scan must also verify the single-GMR condition; resolve and
-        // scan in one pass.
-        let single_gmr = self.resolve_single_gmr(desc).is_ok();
-        let clean = single_gmr && ctree::scan_segments(&desc.remote_segments()).is_ok();
-        // Charge the O(N log N) scan (~a few ns per tree visit on a
-        // cache-resident AVL tree).
-        let n = desc.len().max(1) as f64;
-        self.charge(4e-9 * n * n.log2().max(1.0));
-        if clean {
-            self.iov_datatype(desc, local, verb)
-        } else {
-            self.iov_conservative(desc, local, local_len, verb)
-        }
-    }
-
-    /// Issues one segment inside an open epoch.
-    #[allow(clippy::too_many_arguments)]
-    fn issue_segment(
-        &self,
-        gmr: &crate::gmr::Gmr,
-        tr: &Translation,
-        loff: usize,
-        local: *mut u8,
-        bytes: usize,
-        verb: &IovVerb,
-        _index: usize,
-    ) -> ArmciResult<()> {
-        match verb {
-            IovVerb::Get => {
-                let buf = unsafe { std::slice::from_raw_parts_mut(local.add(loff), bytes) };
-                gmr.win.get_bytes(buf, tr.group_rank, tr.disp)?;
-                self.stat(|s| {
-                    s.gets += 1;
-                    s.bytes_got += bytes as u64;
-                });
-            }
-            IovVerb::Put => {
-                let buf =
-                    unsafe { std::slice::from_raw_parts(local.add(loff) as *const u8, bytes) };
-                gmr.win.put_bytes(buf, tr.group_rank, tr.disp)?;
-                self.stat(|s| {
-                    s.puts += 1;
-                    s.bytes_put += bytes as u64;
-                });
-            }
-            IovVerb::Acc(kind, staged) => {
-                // staged is contiguous in segment order
-                let seg = &staged[_index * bytes..(_index + 1) * bytes];
-                let dt = Datatype::contiguous(bytes);
-                gmr.win.accumulate(
-                    seg,
-                    &dt.clone(),
-                    tr.group_rank,
-                    tr.disp,
-                    &dt,
-                    kind.mpi_elem(),
-                    AccOp::Sum,
-                )?;
-                self.stat(|s| {
-                    s.accs += 1;
-                    s.bytes_acc += bytes as u64;
-                });
-            }
-        }
-        Ok(())
-    }
-
-    fn dispatch(
-        &self,
-        desc: &IovDesc,
-        local: *mut u8,
-        local_len: usize,
-        verb: IovVerb,
-        method: StridedMethod,
-    ) -> ArmciResult<()> {
-        if desc.is_empty() {
-            return Ok(());
-        }
-        match method {
-            StridedMethod::IovConservative => self.iov_conservative(desc, local, local_len, verb),
-            StridedMethod::IovBatched { batch } => self.iov_batched(desc, local, verb, batch),
-            StridedMethod::IovDatatype | StridedMethod::Direct => {
-                self.iov_datatype(desc, local, verb)
-            }
-            StridedMethod::Auto => self.iov_auto(desc, local, local_len, verb),
-        }
-    }
-
     pub(crate) fn get_iov_impl(
         &self,
         desc: &IovDesc,
@@ -321,8 +45,11 @@ impl ArmciMpi {
         method: StridedMethod,
     ) -> ArmciResult<()> {
         self.check_local(desc, local.len())?;
-        let len = local.len();
-        self.dispatch(desc, local.as_mut_ptr(), len, IovVerb::Get, method)
+        if desc.is_empty() {
+            return Ok(());
+        }
+        let plans = self.plan_iov(desc, OpClass::Get, false, method)?;
+        self.run_plans(&plans, &ExecBuf::Get(local.as_mut_ptr(), local.len()))
     }
 
     pub(crate) fn put_iov_impl(
@@ -332,13 +59,11 @@ impl ArmciMpi {
         method: StridedMethod,
     ) -> ArmciResult<()> {
         self.check_local(desc, local.len())?;
-        self.dispatch(
-            desc,
-            local.as_ptr() as *mut u8,
-            local.len(),
-            IovVerb::Put,
-            method,
-        )
+        if desc.is_empty() {
+            return Ok(());
+        }
+        let plans = self.plan_iov(desc, OpClass::Put, false, method)?;
+        self.run_plans(&plans, &ExecBuf::Put(local.as_ptr(), local.len()))
     }
 
     pub(crate) fn acc_iov_impl(
@@ -353,20 +78,25 @@ impl ArmciMpi {
         if desc.is_empty() {
             return Ok(());
         }
-        // Gather + pre-scale the local segments once (contiguous, in
-        // segment order); all methods then source from the staged buffer.
+        let staged = self.stage_iov_acc(kind, desc, local)?;
+        let plans = self.plan_iov(desc, OpClass::Acc, true, method)?;
+        self.run_plans(&plans, &ExecBuf::Acc(&staged, kind.mpi_elem()))
+    }
+
+    /// Gathers + pre-scales the local segments once (contiguous, in
+    /// segment order); all methods then source from the staged buffer.
+    pub(crate) fn stage_iov_acc(
+        &self,
+        kind: AccKind,
+        desc: &IovDesc,
+        local: &[u8],
+    ) -> ArmciResult<Vec<u8>> {
         let mut gathered = Vec::with_capacity(desc.total_bytes());
         for &off in &desc.local_offsets {
             gathered.extend_from_slice(&local[off..off + desc.bytes]);
         }
         let staged = kind.prescale(&gathered)?;
         self.charge(self.copy_cost(staged.len()));
-        self.dispatch(
-            desc,
-            local.as_ptr() as *mut u8,
-            local.len(),
-            IovVerb::Acc(kind, &staged),
-            method,
-        )
+        Ok(staged)
     }
 }

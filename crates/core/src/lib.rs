@@ -28,6 +28,7 @@
 //!   keep local load/stores and global↔global copies epoch-correct.
 
 pub mod dla;
+pub mod engine;
 pub mod gmr;
 pub mod iov;
 pub mod mutex;
@@ -35,9 +36,11 @@ pub mod ops;
 pub mod rmw;
 pub mod strided;
 
+pub use engine::StageStats;
+
 use armci::{
-    AccKind, AccessMode, Armci, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IovDesc, RmwOp,
-    StridedMethod,
+    AccKind, AccessMode, Armci, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IovDesc, NbHandle,
+    RmwOp, StridedMethod,
 };
 use gmr::{Gmr, GmrTable};
 use mpisim::{Comm, Proc};
@@ -140,6 +143,10 @@ pub struct ArmciMpi {
     pub(crate) user_mutexes: RefCell<HashMap<usize, MutexSet>>,
     pub(crate) next_mutex_handle: Cell<usize>,
     pub(crate) stats: RefCell<OpStats>,
+    /// Transfer-engine pipeline counters and stage timings.
+    pub(crate) stage_stats: RefCell<StageStats>,
+    /// Open nonblocking aggregate epochs and resolved handles.
+    pub(crate) nb: RefCell<engine::NbState>,
 }
 
 impl ArmciMpi {
@@ -189,6 +196,8 @@ impl ArmciMpi {
             user_mutexes: RefCell::new(HashMap::new()),
             next_mutex_handle: Cell::new(1),
             stats: RefCell::new(OpStats::default()),
+            stage_stats: RefCell::new(StageStats::default()),
+            nb: RefCell::new(engine::NbState::default()),
         }
     }
 
@@ -200,6 +209,16 @@ impl ArmciMpi {
     /// Resets the statistics counters.
     pub fn reset_stats(&self) {
         *self.stats.borrow_mut() = OpStats::default();
+    }
+
+    /// A snapshot of the transfer engine's per-stage counters and timings.
+    pub fn stage_stats(&self) -> StageStats {
+        *self.stage_stats.borrow()
+    }
+
+    /// Resets the per-stage counters.
+    pub fn reset_stage_stats(&self) {
+        *self.stage_stats.borrow_mut() = StageStats::default();
     }
 
     pub(crate) fn stat(&self, f: impl FnOnce(&mut OpStats)) {
@@ -241,6 +260,8 @@ impl Armci for ArmciMpi {
     }
 
     fn free_group(&self, addr: GlobalAddr, group: &ArmciGroup) -> ArmciResult<()> {
+        // Nonblocking operations may still reference the GMR.
+        self.nb_quiesce()?;
         self.free_impl(addr, group)
     }
 
@@ -250,6 +271,8 @@ impl Armci for ArmciMpi {
         group: &ArmciGroup,
         mode: AccessMode,
     ) -> ArmciResult<()> {
+        // The mode switch must not reclassify in-flight operations.
+        self.nb_quiesce()?;
         self.set_access_mode_impl(addr, group, mode)
     }
 
@@ -315,18 +338,70 @@ impl Armci for ArmciMpi {
         self.acc_iov_impl(kind, desc, local, self.cfg.iov)
     }
 
+    fn nb_get(&self, src: GlobalAddr, dst: &mut [u8]) -> ArmciResult<NbHandle> {
+        self.nb_get_impl(src, dst)
+    }
+
+    fn nb_put(&self, src: &[u8], dst: GlobalAddr) -> ArmciResult<NbHandle> {
+        self.nb_put_impl(src, dst)
+    }
+
+    fn nb_acc(&self, kind: AccKind, src: &[u8], dst: GlobalAddr) -> ArmciResult<NbHandle> {
+        self.nb_acc_impl(kind, src, dst)
+    }
+
+    fn nb_get_strided(
+        &self,
+        src: GlobalAddr,
+        src_strides: &[usize],
+        dst: &mut [u8],
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<NbHandle> {
+        self.nb_get_strided_impl(src, src_strides, dst, dst_strides, count)
+    }
+
+    fn nb_put_strided(
+        &self,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<NbHandle> {
+        self.nb_put_strided_impl(src, src_strides, dst, dst_strides, count)
+    }
+
+    fn nb_acc_strided(
+        &self,
+        kind: AccKind,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<NbHandle> {
+        self.nb_acc_strided_impl(kind, src, src_strides, dst, dst_strides, count)
+    }
+
+    fn wait(&self, handle: NbHandle) -> ArmciResult<()> {
+        self.nb_wait(handle)
+    }
+
     fn fence(&self, _proc: usize) -> ArmciResult<()> {
-        // §V-F: operations complete remotely before each epoch closes, so
-        // fence is a no-op under ARMCI-MPI.
-        Ok(())
+        // §V-F: blocking operations complete remotely before each epoch
+        // closes, so fence only has to retire nonblocking aggregates.
+        self.nb_quiesce()
     }
 
     fn fence_all(&self) -> ArmciResult<()> {
-        Ok(())
+        self.nb_quiesce()
     }
 
     fn barrier(&self) {
-        // fence-all (no-op) + world barrier
+        // fence-all + world barrier
+        self.nb_quiesce()
+            .expect("completing nonblocking operations at barrier");
         self.world.barrier();
     }
 

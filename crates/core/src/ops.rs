@@ -1,16 +1,18 @@
 //! Contiguous one-sided operations (§V-C, §V-E1, §V-F).
 //!
-//! Every operation is issued inside its own passive-target epoch. The
-//! epoch's lock mode is **exclusive** by default — an ARMCI process has no
-//! knowledge of operations issued by its peers, so exclusivity is the only
-//! way to guarantee MPI-2's no-conflict rule (§V-C). When the target GMR
-//! carries an access-mode hint (§VIII-A), compatible operations downgrade
-//! to **shared** locks: concurrent readers during read-only phases,
-//! concurrent accumulators during accumulate-only phases.
+//! Every operation is planned as a single-op [`crate::engine`] transfer
+//! plan and issued inside its own passive-target epoch. The epoch's lock
+//! mode is **exclusive** by default — an ARMCI process has no knowledge of
+//! operations issued by its peers, so exclusivity is the only way to
+//! guarantee MPI-2's no-conflict rule (§V-C). When the target GMR carries
+//! an access-mode hint (§VIII-A), compatible operations downgrade to
+//! **shared** locks: concurrent readers during read-only phases, concurrent
+//! accumulators during accumulate-only phases.
 
+use crate::engine::ExecBuf;
 use crate::ArmciMpi;
-use armci::{AccKind, AccessMode, ArmciError, ArmciResult, GlobalAddr};
-use mpisim::{AccOp, Datatype, LockMode};
+use armci::{AccKind, AccessMode, ArmciResult, GlobalAddr, NbHandle};
+use mpisim::LockMode;
 
 /// Operation class for lock-mode selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,36 +39,22 @@ impl ArmciMpi {
         if dst.is_empty() {
             return Ok(());
         }
-        let tr = self.translate(src, dst.len())?;
-        let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
-        let mode = self.lock_mode_for(gmr.mode.get(), OpClass::Get);
-        self.epoch_begin(gmr, tr.group_rank, mode)?;
-        let res = gmr.win.get_bytes(dst, tr.group_rank, tr.disp);
-        self.epoch_end(gmr, tr.group_rank)?;
-        self.stat(|s| {
-            s.gets += 1;
-            s.bytes_got += dst.len() as u64;
-        });
-        res.map_err(ArmciError::from)
+        let plan = self.plan_contiguous(OpClass::Get, src, dst.len())?;
+        self.run_plans(
+            std::slice::from_ref(&plan),
+            &ExecBuf::Get(dst.as_mut_ptr(), dst.len()),
+        )
     }
 
     pub(crate) fn put_impl(&self, src: &[u8], dst: GlobalAddr) -> ArmciResult<()> {
         if src.is_empty() {
             return Ok(());
         }
-        let tr = self.translate(dst, src.len())?;
-        let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
-        let mode = self.lock_mode_for(gmr.mode.get(), OpClass::Put);
-        self.epoch_begin(gmr, tr.group_rank, mode)?;
-        let res = gmr.win.put_bytes(src, tr.group_rank, tr.disp);
-        self.epoch_end(gmr, tr.group_rank)?;
-        self.stat(|s| {
-            s.puts += 1;
-            s.bytes_put += src.len() as u64;
-        });
-        res.map_err(ArmciError::from)
+        let plan = self.plan_contiguous(OpClass::Put, dst, src.len())?;
+        self.run_plans(
+            std::slice::from_ref(&plan),
+            &ExecBuf::Put(src.as_ptr(), src.len()),
+        )
     }
 
     pub(crate) fn acc_impl(&self, kind: AccKind, src: &[u8], dst: GlobalAddr) -> ArmciResult<()> {
@@ -74,33 +62,58 @@ impl ArmciMpi {
             return Ok(());
         }
         kind.check_len(src.len())?;
-        let tr = self.translate(dst, src.len())?;
+        let plan = self.plan_contiguous(OpClass::Acc, dst, src.len())?;
         // Pre-scale into a staged buffer so the wire operation is MPI's
         // unscaled SUM accumulate.
         let staged = kind.prescale(src)?;
         if !kind.is_unit_scale() {
             self.charge(self.copy_cost(src.len()));
         }
-        let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
-        let mode = self.lock_mode_for(gmr.mode.get(), OpClass::Acc);
-        self.epoch_begin(gmr, tr.group_rank, mode)?;
-        let dt = Datatype::contiguous(staged.len());
-        let res = gmr.win.accumulate(
-            &staged,
-            &dt.clone(),
-            tr.group_rank,
-            tr.disp,
-            &dt,
-            kind.mpi_elem(),
-            AccOp::Sum,
-        );
-        self.epoch_end(gmr, tr.group_rank)?;
-        self.stat(|s| {
-            s.accs += 1;
-            s.bytes_acc += staged.len() as u64;
-        });
-        res.map_err(ArmciError::from)
+        self.run_plans(
+            std::slice::from_ref(&plan),
+            &ExecBuf::Acc(&staged, kind.mpi_elem()),
+        )
+    }
+
+    /// Nonblocking contiguous get (§VIII-B(3)): planned like `get_impl`
+    /// but executed through the request-based path; the returned handle
+    /// completes at `wait` or the next synchronisation point. The
+    /// simulator moves bytes at issue time, so `dst` is filled on return —
+    /// only the virtual-time completion is deferred.
+    pub(crate) fn nb_get_impl(&self, src: GlobalAddr, dst: &mut [u8]) -> ArmciResult<NbHandle> {
+        if dst.is_empty() {
+            return Ok(NbHandle::eager());
+        }
+        let plan = self.plan_contiguous(OpClass::Get, src, dst.len())?;
+        self.nb_run_plans(vec![plan], &ExecBuf::Get(dst.as_mut_ptr(), dst.len()))
+    }
+
+    /// Nonblocking contiguous put.
+    pub(crate) fn nb_put_impl(&self, src: &[u8], dst: GlobalAddr) -> ArmciResult<NbHandle> {
+        if src.is_empty() {
+            return Ok(NbHandle::eager());
+        }
+        let plan = self.plan_contiguous(OpClass::Put, dst, src.len())?;
+        self.nb_run_plans(vec![plan], &ExecBuf::Put(src.as_ptr(), src.len()))
+    }
+
+    /// Nonblocking contiguous accumulate.
+    pub(crate) fn nb_acc_impl(
+        &self,
+        kind: AccKind,
+        src: &[u8],
+        dst: GlobalAddr,
+    ) -> ArmciResult<NbHandle> {
+        if src.is_empty() {
+            return Ok(NbHandle::eager());
+        }
+        kind.check_len(src.len())?;
+        let plan = self.plan_contiguous(OpClass::Acc, dst, src.len())?;
+        let staged = kind.prescale(src)?;
+        if !kind.is_unit_scale() {
+            self.charge(self.copy_cost(src.len()));
+        }
+        self.nb_run_plans(vec![plan], &ExecBuf::Acc(&staged, kind.mpi_elem()))
     }
 
     /// Global↔global contiguous copy (§V-E1). The source is staged into a

@@ -4,11 +4,13 @@
 //! location within one epoch is erroneous (conflicting accesses). The only
 //! standard-conforming construction is therefore **mutex + two epochs**:
 //! acquire the GMR's mutex for the target, read in one exclusive epoch,
-//! write the updated value in a second, release the mutex. The paper calls
-//! this out as a high-latency path and motivates MPI-3's `fetch_and_op`
-//! (§VIII-B); [`crate::Config::use_mpi3_rmw`] switches to that extension
-//! for the ablation study.
+//! write the updated value in a second, release the mutex. Both epochs are
+//! ordinary engine transfer plans with a forced-exclusive lock mode. The
+//! paper calls this out as a high-latency path and motivates MPI-3's
+//! `fetch_and_op` (§VIII-B); [`crate::Config::use_mpi3_rmw`] switches to
+//! that extension for the ablation study.
 
+use crate::engine::ExecBuf;
 use crate::ArmciMpi;
 use armci::{ArmciResult, GlobalAddr, RmwOp};
 use mpisim::mpi3::FetchOp;
@@ -16,6 +18,11 @@ use mpisim::LockMode;
 
 impl ArmciMpi {
     pub(crate) fn rmw_impl(&self, op: RmwOp, target: GlobalAddr) -> ArmciResult<i64> {
+        // RMW atomicity is per-location: serialise against nonblocking
+        // transfers on this allocation only, so a NXTVAL counter RMW does
+        // not retire in-flight transfers on unrelated arrays.
+        let tr = self.translate(target, 8)?;
+        self.nb_quiesce_gmr(tr.gmr)?;
         self.stat(|s| s.rmws += 1);
         if self.cfg.use_mpi3_rmw || self.cfg.epochless {
             self.rmw_mpi3(op, target)
@@ -27,38 +34,40 @@ impl ArmciMpi {
     /// The MPI-2 protocol: per-GMR mutex, read epoch, write epoch.
     fn rmw_mutex(&self, op: RmwOp, target: GlobalAddr) -> ArmciResult<i64> {
         let tr = self.translate(target, 8)?;
-        let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
         // One mutex per group member, hosted on the member: serialises
         // RMWs per target process without a global bottleneck.
         self.stat(|s| s.mutex_locks += 1);
-        gmr.rmw_mutexes.lock(0, tr.group_rank)?;
-        self.stat(|s| {
-            s.epochs += 2;
-            s.gets += 1;
-            s.puts += 1;
-            s.bytes_got += 8;
-            s.bytes_put += 8;
-        });
+        {
+            let gmrs = self.gmrs.borrow();
+            let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+            gmr.rmw_mutexes.lock(0, tr.group_rank)?;
+        }
         let result = (|| {
-            // Read epoch.
+            // Read epoch (always exclusive — the hint system never
+            // downgrades the RMW protocol).
             let mut buf = [0u8; 8];
-            gmr.win.lock(LockMode::Exclusive, tr.group_rank)?;
-            gmr.win.get_bytes(&mut buf, tr.group_rank, tr.disp)?;
-            gmr.win.unlock(tr.group_rank)?;
+            let read = self.plan_fixed(target, 8, LockMode::Exclusive)?;
+            self.run_plans(
+                std::slice::from_ref(&read),
+                &ExecBuf::Get(buf.as_mut_ptr(), 8),
+            )?;
             let old = i64::from_le_bytes(buf);
             let new = match op {
                 RmwOp::FetchAdd(x) => old.wrapping_add(x),
                 RmwOp::Swap(x) => x,
             };
             // Write epoch.
-            gmr.win.lock(LockMode::Exclusive, tr.group_rank)?;
-            gmr.win
-                .put_bytes(&new.to_le_bytes(), tr.group_rank, tr.disp)?;
-            gmr.win.unlock(tr.group_rank)?;
+            let bytes = new.to_le_bytes();
+            let write = self.plan_fixed(target, 8, LockMode::Exclusive)?;
+            self.run_plans(
+                std::slice::from_ref(&write),
+                &ExecBuf::Put(bytes.as_ptr(), 8),
+            )?;
             Ok(old)
         })();
         // Release the mutex even on error.
+        let gmrs = self.gmrs.borrow();
+        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
         gmr.rmw_mutexes.unlock(0, tr.group_rank)?;
         result
     }

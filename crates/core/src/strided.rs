@@ -10,14 +10,20 @@
 //!   RMA operation hands the whole transfer to the MPI layer. When the
 //!   strides do not describe a dense array (non-divisible strides) the
 //!   implementation silently falls back to the IOV-datatype path.
+//!
+//! Both strategies produce [`crate::engine`] transfer plans; the blocking
+//! entry points run them immediately while the nonblocking entry points
+//! hand them to the request-based path, so `ARMCI_NbPutS`-style patch
+//! transfers overlap with computation exactly like their contiguous
+//! counterparts.
 
+use crate::engine::{ExecBuf, TransferPlan};
 use crate::ops::OpClass;
 use crate::ArmciMpi;
-use armci::stride::{extent, total_bytes, validate, StridedIter};
+use armci::stride::{total_bytes, validate, StridedIter};
 use armci::{
-    strided_to_subarray, AccKind, ArmciError, ArmciResult, GlobalAddr, IovDesc, StridedMethod,
+    strided_to_subarray, AccKind, ArmciResult, GlobalAddr, IovDesc, NbHandle, StridedMethod,
 };
-use mpisim::{AccOp, Datatype};
 
 impl ArmciMpi {
     /// Builds the IOV descriptor for a strided transfer where the remote
@@ -43,6 +49,105 @@ impl ArmciMpi {
         })
     }
 
+    /// Plans a strided put: direct subarray datatypes when configured and
+    /// expressible, IOV translation otherwise.
+    fn plan_put_strided(
+        &self,
+        src_len: usize,
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<Vec<TransferPlan>> {
+        if self.cfg.strided == StridedMethod::Direct {
+            if let Some(plan) = self.plan_strided_direct(
+                OpClass::Put,
+                src_len,
+                src_strides,
+                dst,
+                dst_strides,
+                count,
+            )? {
+                return Ok(vec![plan]);
+            }
+            // fall back to the datatype IOV path
+            let desc = Self::strided_to_iov(dst, dst_strides, src_strides, count)?;
+            self.check_local(&desc, src_len)?;
+            return self.plan_iov(&desc, OpClass::Put, false, StridedMethod::IovDatatype);
+        }
+        let desc = Self::strided_to_iov(dst, dst_strides, src_strides, count)?;
+        self.check_local(&desc, src_len)?;
+        self.plan_iov(&desc, OpClass::Put, false, self.cfg.strided)
+    }
+
+    /// Plans a strided get (local side is the destination).
+    fn plan_get_strided(
+        &self,
+        src: GlobalAddr,
+        src_strides: &[usize],
+        dst_len: usize,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<Vec<TransferPlan>> {
+        if self.cfg.strided == StridedMethod::Direct {
+            if let Some(plan) = self.plan_strided_direct(
+                OpClass::Get,
+                dst_len,
+                dst_strides,
+                src,
+                src_strides,
+                count,
+            )? {
+                return Ok(vec![plan]);
+            }
+            let desc = Self::strided_to_iov(src, src_strides, dst_strides, count)?;
+            self.check_local(&desc, dst_len)?;
+            return self.plan_iov(&desc, OpClass::Get, false, StridedMethod::IovDatatype);
+        }
+        let desc = Self::strided_to_iov(src, src_strides, dst_strides, count)?;
+        self.check_local(&desc, dst_len)?;
+        self.plan_iov(&desc, OpClass::Get, false, self.cfg.strided)
+    }
+
+    /// Plans a strided accumulate and stages its pre-scaled source. The
+    /// direct path gathers the origin segments into a contiguous staging
+    /// buffer (the pack an MPI implementation would do anyway) and pairs
+    /// it with the target subarray type in one operation.
+    fn plan_acc_strided(
+        &self,
+        kind: AccKind,
+        src: &[u8],
+        src_strides: &[usize],
+        dst: GlobalAddr,
+        dst_strides: &[usize],
+        count: &[usize],
+    ) -> ArmciResult<(Vec<TransferPlan>, Vec<u8>)> {
+        kind.check_len(count[0])?;
+        if self.cfg.strided == StridedMethod::Direct
+            && strided_to_subarray(dst_strides, count).is_some()
+        {
+            let total = total_bytes(count);
+            let mut gathered = Vec::with_capacity(total);
+            for (sdisp, _) in StridedIter::new(src_strides, dst_strides, count)? {
+                gathered.extend_from_slice(&src[sdisp..sdisp + count[0]]);
+            }
+            let staged = kind.prescale(&gathered)?;
+            self.charge(self.copy_cost(total));
+            let plan = self.plan_strided_direct_acc(dst, dst_strides, count, staged.len())?;
+            return Ok((vec![plan], staged));
+        }
+        let method = if self.cfg.strided == StridedMethod::Direct {
+            StridedMethod::IovDatatype
+        } else {
+            self.cfg.strided
+        };
+        let desc = Self::strided_to_iov(dst, dst_strides, src_strides, count)?;
+        self.check_local(&desc, src.len())?;
+        let staged = self.stage_iov_acc(kind, &desc, src)?;
+        let plans = self.plan_iov(&desc, OpClass::Acc, true, method)?;
+        Ok((plans, staged))
+    }
+
     pub(crate) fn put_strided_impl(
         &self,
         src: &[u8],
@@ -53,16 +158,8 @@ impl ArmciMpi {
     ) -> ArmciResult<()> {
         validate(src_strides, count)?;
         validate(dst_strides, count)?;
-        if self.cfg.strided == StridedMethod::Direct {
-            if self.put_strided_direct(src, src_strides, dst, dst_strides, count)? {
-                return Ok(());
-            }
-            // fall back to the datatype IOV path
-            let desc = Self::strided_to_iov(dst, dst_strides, src_strides, count)?;
-            return self.put_iov_impl(&desc, src, StridedMethod::IovDatatype);
-        }
-        let desc = Self::strided_to_iov(dst, dst_strides, src_strides, count)?;
-        self.put_iov_impl(&desc, src, self.cfg.strided)
+        let plans = self.plan_put_strided(src.len(), src_strides, dst, dst_strides, count)?;
+        self.run_plans(&plans, &ExecBuf::Put(src.as_ptr(), src.len()))
     }
 
     pub(crate) fn get_strided_impl(
@@ -75,15 +172,8 @@ impl ArmciMpi {
     ) -> ArmciResult<()> {
         validate(src_strides, count)?;
         validate(dst_strides, count)?;
-        if self.cfg.strided == StridedMethod::Direct {
-            if self.get_strided_direct(src, src_strides, dst, dst_strides, count)? {
-                return Ok(());
-            }
-            let desc = Self::strided_to_iov(src, src_strides, dst_strides, count)?;
-            return self.get_iov_impl(&desc, dst, StridedMethod::IovDatatype);
-        }
-        let desc = Self::strided_to_iov(src, src_strides, dst_strides, count)?;
-        self.get_iov_impl(&desc, dst, self.cfg.strided)
+        let plans = self.plan_get_strided(src, src_strides, dst.len(), dst_strides, count)?;
+        self.run_plans(&plans, &ExecBuf::Get(dst.as_mut_ptr(), dst.len()))
     }
 
     pub(crate) fn acc_strided_impl(
@@ -97,98 +187,46 @@ impl ArmciMpi {
     ) -> ArmciResult<()> {
         validate(src_strides, count)?;
         validate(dst_strides, count)?;
-        kind.check_len(count[0])?;
-        if self.cfg.strided == StridedMethod::Direct {
-            if self.acc_strided_direct(kind, src, src_strides, dst, dst_strides, count)? {
-                return Ok(());
-            }
-            let desc = Self::strided_to_iov(dst, dst_strides, src_strides, count)?;
-            return self.acc_iov_impl(kind, &desc, src, StridedMethod::IovDatatype);
-        }
-        let desc = Self::strided_to_iov(dst, dst_strides, src_strides, count)?;
-        self.acc_iov_impl(kind, &desc, src, self.cfg.strided)
+        let (plans, staged) =
+            self.plan_acc_strided(kind, src, src_strides, dst, dst_strides, count)?;
+        self.run_plans(&plans, &ExecBuf::Acc(&staged, kind.mpi_elem()))
     }
 
-    /// Direct subarray-datatype put. Returns `Ok(false)` when the shape
-    /// cannot be expressed as subarrays (caller falls back).
-    fn put_strided_direct(
+    /// Nonblocking strided put (`ARMCI_NbPutS`): same planning as the
+    /// blocking path, executed through the request-based engine path.
+    pub(crate) fn nb_put_strided_impl(
         &self,
         src: &[u8],
         src_strides: &[usize],
         dst: GlobalAddr,
         dst_strides: &[usize],
         count: &[usize],
-    ) -> ArmciResult<bool> {
-        let (Some(odt), Some(tdt)) = (
-            strided_to_subarray(src_strides, count),
-            strided_to_subarray(dst_strides, count),
-        ) else {
-            return Ok(false);
-        };
-        if odt.extent() > src.len() {
-            return Err(ArmciError::BadDescriptor(format!(
-                "strided origin extent {} exceeds buffer {}",
-                odt.extent(),
-                src.len()
-            )));
-        }
-        let tr = self.translate(dst, extent(dst_strides, count))?;
-        let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
-        let mode = self.lock_mode_for(gmr.mode.get(), OpClass::Put);
-        self.epoch_begin(gmr, tr.group_rank, mode)?;
-        let res = gmr.win.put(src, &odt, tr.group_rank, tr.disp, &tdt);
-        self.epoch_end(gmr, tr.group_rank)?;
-        res?;
-        self.stat(|s| {
-            s.puts += 1;
-            s.bytes_put += total_bytes(count) as u64;
-        });
-        Ok(true)
+    ) -> ArmciResult<NbHandle> {
+        validate(src_strides, count)?;
+        validate(dst_strides, count)?;
+        let plans = self.plan_put_strided(src.len(), src_strides, dst, dst_strides, count)?;
+        self.nb_run_plans(plans, &ExecBuf::Put(src.as_ptr(), src.len()))
     }
 
-    /// Direct subarray-datatype get.
-    fn get_strided_direct(
+    /// Nonblocking strided get (`ARMCI_NbGetS`). The simulator moves bytes
+    /// at issue time, so `dst` is filled on return — only the virtual-time
+    /// completion is deferred to `wait`.
+    pub(crate) fn nb_get_strided_impl(
         &self,
         src: GlobalAddr,
         src_strides: &[usize],
         dst: &mut [u8],
         dst_strides: &[usize],
         count: &[usize],
-    ) -> ArmciResult<bool> {
-        let (Some(odt), Some(tdt)) = (
-            strided_to_subarray(dst_strides, count),
-            strided_to_subarray(src_strides, count),
-        ) else {
-            return Ok(false);
-        };
-        if odt.extent() > dst.len() {
-            return Err(ArmciError::BadDescriptor(format!(
-                "strided origin extent {} exceeds buffer {}",
-                odt.extent(),
-                dst.len()
-            )));
-        }
-        let tr = self.translate(src, extent(src_strides, count))?;
-        let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
-        let mode = self.lock_mode_for(gmr.mode.get(), OpClass::Get);
-        self.epoch_begin(gmr, tr.group_rank, mode)?;
-        let res = gmr.win.get(dst, &odt, tr.group_rank, tr.disp, &tdt);
-        self.epoch_end(gmr, tr.group_rank)?;
-        res?;
-        self.stat(|s| {
-            s.gets += 1;
-            s.bytes_got += total_bytes(count) as u64;
-        });
-        Ok(true)
+    ) -> ArmciResult<NbHandle> {
+        validate(src_strides, count)?;
+        validate(dst_strides, count)?;
+        let plans = self.plan_get_strided(src, src_strides, dst.len(), dst_strides, count)?;
+        self.nb_run_plans(plans, &ExecBuf::Get(dst.as_mut_ptr(), dst.len()))
     }
 
-    /// Direct strided accumulate: the origin segments are gathered and
-    /// pre-scaled into a contiguous staging buffer (the pack an MPI
-    /// implementation would do anyway), then accumulated through the
-    /// target subarray type in one operation.
-    fn acc_strided_direct(
+    /// Nonblocking strided accumulate (`ARMCI_NbAccS`).
+    pub(crate) fn nb_acc_strided_impl(
         &self,
         kind: AccKind,
         src: &[u8],
@@ -196,37 +234,11 @@ impl ArmciMpi {
         dst: GlobalAddr,
         dst_strides: &[usize],
         count: &[usize],
-    ) -> ArmciResult<bool> {
-        let Some(tdt) = strided_to_subarray(dst_strides, count) else {
-            return Ok(false);
-        };
-        let total = total_bytes(count);
-        let mut gathered = Vec::with_capacity(total);
-        for (sdisp, _) in StridedIter::new(src_strides, dst_strides, count)? {
-            gathered.extend_from_slice(&src[sdisp..sdisp + count[0]]);
-        }
-        let staged = kind.prescale(&gathered)?;
-        self.charge(self.copy_cost(total));
-        let tr = self.translate(dst, extent(dst_strides, count))?;
-        let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
-        let mode = self.lock_mode_for(gmr.mode.get(), OpClass::Acc);
-        self.epoch_begin(gmr, tr.group_rank, mode)?;
-        let res = gmr.win.accumulate(
-            &staged,
-            &Datatype::contiguous(staged.len()),
-            tr.group_rank,
-            tr.disp,
-            &tdt,
-            kind.mpi_elem(),
-            AccOp::Sum,
-        );
-        self.epoch_end(gmr, tr.group_rank)?;
-        res?;
-        self.stat(|s| {
-            s.accs += 1;
-            s.bytes_acc += total as u64;
-        });
-        Ok(true)
+    ) -> ArmciResult<NbHandle> {
+        validate(src_strides, count)?;
+        validate(dst_strides, count)?;
+        let (plans, staged) =
+            self.plan_acc_strided(kind, src, src_strides, dst, dst_strides, count)?;
+        self.nb_run_plans(plans, &ExecBuf::Acc(&staged, kind.mpi_elem()))
     }
 }

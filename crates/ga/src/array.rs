@@ -2,7 +2,17 @@
 
 use crate::dist::Distribution;
 use crate::GaResult;
-use armci::{AccKind, Armci, ArmciError, ArmciGroup, GlobalAddr, RmwOp};
+use armci::{AccKind, Armci, ArmciError, ArmciGroup, GlobalAddr, NbHandle, RmwOp};
+
+/// Handle for a nonblocking patch operation (`NGA_NbPut`/`NbGet`/`NbAcc`):
+/// one ARMCI handle per owner the patch fans out to. Complete it with
+/// [`GlobalArray::nb_wait`] (or a `sync`, which retires all outstanding
+/// nonblocking work).
+#[must_use = "nonblocking patch operations must be completed with nb_wait or sync"]
+pub struct GaNbHandle {
+    /// The per-owner ARMCI handles, in fan-out order.
+    pub handles: Vec<NbHandle>,
+}
 
 /// Element type of a global array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -293,6 +303,46 @@ impl<'a, A: Armci + ?Sized> GlobalArray<'a, A> {
         Ok(())
     }
 
+    /// The nonblocking counterpart of [`Self::xfer`]: issues one
+    /// nonblocking strided operation per owner and returns their handles
+    /// unwaited, so transfers to distinct owners stay in flight
+    /// concurrently.
+    fn nb_xfer(&self, lo: &[usize], hi: &[usize], mut verb: Verb<'_>) -> GaResult<GaNbHandle> {
+        let mut handles = Vec::new();
+        for (cell, ilo, ihi) in self.dist.locate_region(lo, hi) {
+            let (raddr, rstrides, loff, lstrides, count) =
+                self.strided_args(cell, &ilo, &ihi, lo, hi);
+            let h = match &mut verb {
+                Verb::Put(data) => {
+                    self.rt
+                        .nb_put_strided(&data[loff..], &lstrides, raddr, &rstrides, &count)?
+                }
+                Verb::Get(out) => {
+                    self.rt
+                        .nb_get_strided(raddr, &rstrides, &mut out[loff..], &lstrides, &count)?
+                }
+                Verb::Acc(scale, data) => self.rt.nb_acc_strided(
+                    AccKind::Double(*scale),
+                    &data[loff..],
+                    &lstrides,
+                    raddr,
+                    &rstrides,
+                    &count,
+                )?,
+                Verb::AccI64(scale, data) => self.rt.nb_acc_strided(
+                    AccKind::Long(*scale),
+                    &data[loff..],
+                    &lstrides,
+                    raddr,
+                    &rstrides,
+                    &count,
+                )?,
+            };
+            handles.push(h);
+        }
+        Ok(GaNbHandle { handles })
+    }
+
     // -----------------------------------------------------------------
     // Typed patch operations
     // -----------------------------------------------------------------
@@ -332,6 +382,52 @@ impl<'a, A: Armci + ?Sized> GlobalArray<'a, A> {
         self.check_patch(lo, hi, data.len() * 8)?;
         let bytes = armci::acc::f64s_to_bytes(data);
         self.xfer(lo, hi, Verb::Acc(scale, &bytes))
+    }
+
+    /// `NGA_NbPut`: nonblocking patch write. The transfer stays in flight
+    /// until [`Self::nb_wait`] (or a `sync`); transfers to distinct owners
+    /// proceed concurrently.
+    pub fn nb_put_patch(&self, lo: &[usize], hi: &[usize], data: &[f64]) -> GaResult<GaNbHandle> {
+        self.want(GaType::F64)?;
+        self.check_patch(lo, hi, data.len() * 8)?;
+        let bytes = armci::acc::f64s_to_bytes(data);
+        self.nb_xfer(lo, hi, Verb::Put(&bytes))
+    }
+
+    /// `NGA_NbGet`: nonblocking patch read into a caller-owned buffer.
+    /// `out` holds the patch data after [`Self::nb_wait`] on the returned
+    /// handle; reading it before then is undefined.
+    pub fn nb_get_patch_into(
+        &self,
+        lo: &[usize],
+        hi: &[usize],
+        out: &mut [f64],
+    ) -> GaResult<GaNbHandle> {
+        self.want(GaType::F64)?;
+        self.check_patch(lo, hi, out.len() * 8)?;
+        let mut bytes = vec![0u8; out.len() * 8];
+        let h = self.nb_xfer(lo, hi, Verb::Get(&mut bytes))?;
+        out.copy_from_slice(&armci::acc::bytes_to_f64s(&bytes));
+        Ok(h)
+    }
+
+    /// `NGA_NbAcc`: nonblocking `patch += scale * data`.
+    pub fn nb_acc_patch(
+        &self,
+        scale: f64,
+        lo: &[usize],
+        hi: &[usize],
+        data: &[f64],
+    ) -> GaResult<GaNbHandle> {
+        self.want(GaType::F64)?;
+        self.check_patch(lo, hi, data.len() * 8)?;
+        let bytes = armci::acc::f64s_to_bytes(data);
+        self.nb_xfer(lo, hi, Verb::Acc(scale, &bytes))
+    }
+
+    /// `NGA_NbWait`: completes a nonblocking patch operation.
+    pub fn nb_wait(&self, handle: GaNbHandle) -> GaResult<()> {
+        self.rt.wait_all(handle.handles)
     }
 
     /// Integer put.

@@ -20,7 +20,7 @@ pub mod gop;
 pub mod linalg;
 pub mod math;
 
-pub use array::{GaType, GlobalArray};
+pub use array::{GaNbHandle, GaType, GlobalArray};
 pub use dist::{proc_grid, Distribution};
 
 /// Errors are ARMCI errors (GA adds no new failure modes of its own).

@@ -11,7 +11,7 @@
 
 use crate::dtype::Datatype;
 use crate::error::{MpiError, MpiResult};
-use crate::win::{LockMode, LockOps, WinHandle};
+use crate::win::{AccOp, ElemType, LockMode, LockOps, WinHandle};
 
 /// Atomic fetch-and-op operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +38,11 @@ impl RmaRequest {
         if win.shared.cfg.charge_time {
             win.shared.clocks[win.comm.my_world_rank()].advance_to(self.completes_at);
         }
+    }
+
+    /// Virtual time at which the transfer completes remotely.
+    pub fn completes_at(&self) -> f64 {
+        self.completes_at
     }
 }
 
@@ -183,9 +188,11 @@ impl WinHandle {
         Ok(old)
     }
 
-    /// Request-based put (`MPI_Rput`): issues eagerly, returns a request
-    /// whose `wait` completes at issue-time + transfer-time, allowing
-    /// virtual-time overlap with computation.
+    /// Request-based put (`MPI_Rput`): the caller's clock is charged only
+    /// the software issue overhead; the wire transfer proceeds in the
+    /// background and the request's `wait` advances the clock to its
+    /// completion time. Computation performed between issue and `wait`
+    /// therefore hides the transfer — §VIII-B(3)'s overlap benefit.
     pub fn rput(
         &self,
         origin: &[u8],
@@ -194,12 +201,8 @@ impl WinHandle {
         tdisp: usize,
         tdt: &Datatype,
     ) -> MpiResult<RmaRequest> {
-        let t0 = self.now();
-        self.put(origin, odt, target, tdisp, tdt)?;
-        let t1 = self.now();
-        // Roll the clock back to issue time + issue overhead; completion
-        // happens at t1 when `wait` is called.
-        Ok(self.make_request(t0, t1))
+        let cost = self.put_core(origin, odt, target, tdisp, tdt)?;
+        Ok(self.issue_deferred(cost))
     }
 
     /// Request-based get (`MPI_Rget`).
@@ -211,20 +214,33 @@ impl WinHandle {
         tdisp: usize,
         tdt: &Datatype,
     ) -> MpiResult<RmaRequest> {
-        let t0 = self.now();
-        self.get(origin, odt, target, tdisp, tdt)?;
-        let t1 = self.now();
-        Ok(self.make_request(t0, t1))
+        let cost = self.get_core(origin, odt, target, tdisp, tdt)?;
+        Ok(self.issue_deferred(cost))
     }
 
-    fn make_request(&self, t0: f64, t1: f64) -> RmaRequest {
-        // The virtual clock is monotone, so the transfer is charged at
-        // issue; `wait` then costs nothing extra. This under-models the
-        // overlap benefit of request-based ops — a conservative choice
-        // recorded in DESIGN.md (the ablation bench compares issue
-        // patterns, not overlap wins).
+    /// Request-based accumulate (`MPI_Raccumulate`).
+    #[allow(clippy::too_many_arguments)] // mirrors MPI_Raccumulate's signature
+    pub fn racc(
+        &self,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+        elem: ElemType,
+        op: AccOp,
+    ) -> MpiResult<RmaRequest> {
+        let cost = self.accumulate_core(origin, odt, target, tdisp, tdt, elem, op)?;
+        Ok(self.issue_deferred(cost))
+    }
+
+    /// Charges the issue overhead now and defers the rest of `cost` to the
+    /// returned request's completion time.
+    fn issue_deferred(&self, cost: f64) -> RmaRequest {
+        let issue = self.params_pub().op_overhead.min(cost);
+        self.charge_pub(issue);
         RmaRequest {
-            completes_at: t1.max(t0),
+            completes_at: self.now() + (cost - issue),
         }
     }
 

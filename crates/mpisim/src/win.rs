@@ -471,6 +471,23 @@ impl WinHandle {
         tdisp: usize,
         tdt: &Datatype,
     ) -> MpiResult<()> {
+        let cost = self.put_core(origin, odt, target, tdisp, tdt)?;
+        self.charge(cost);
+        Ok(())
+    }
+
+    /// Validates and executes a put, returning its full virtual-time cost
+    /// *without* charging it. The blocking entry point charges the whole
+    /// cost; the request-based entry point (`rput`) charges only the issue
+    /// overhead and defers the remainder to the request's `wait`.
+    pub(crate) fn put_core(
+        &self,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+    ) -> MpiResult<f64> {
         self.check_alive()?;
         if odt.extent() > origin.len() {
             return Err(MpiError::BadDatatype(format!(
@@ -491,13 +508,12 @@ impl WinHandle {
             }
         }
         let issued = self.bump_issued(target);
-        self.charge(self.op_cost(
+        Ok(self.op_cost(
             simnet::Op::Put,
             odt.size(),
             odt.num_segments().max(tdt.num_segments()),
             issued,
-        ));
-        Ok(())
+        ))
     }
 
     /// One-sided get: bytes from `target`'s window into `origin`.
@@ -509,6 +525,20 @@ impl WinHandle {
         tdisp: usize,
         tdt: &Datatype,
     ) -> MpiResult<()> {
+        let cost = self.get_core(origin, odt, target, tdisp, tdt)?;
+        self.charge(cost);
+        Ok(())
+    }
+
+    /// `get` minus the charge; see [`WinHandle::put_core`].
+    pub(crate) fn get_core(
+        &self,
+        origin: &mut [u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+    ) -> MpiResult<f64> {
         self.check_alive()?;
         if odt.extent() > origin.len() {
             return Err(MpiError::BadDatatype(format!(
@@ -528,13 +558,12 @@ impl WinHandle {
             }
         }
         let issued = self.bump_issued(target);
-        self.charge(self.op_cost(
+        Ok(self.op_cost(
             simnet::Op::Get,
             odt.size(),
             odt.num_segments().max(tdt.num_segments()),
             issued,
-        ));
-        Ok(())
+        ))
     }
 
     /// One-sided accumulate: `target[i] = target[i] ⊕ origin[i]` element
@@ -551,6 +580,23 @@ impl WinHandle {
         elem: ElemType,
         op: AccOp,
     ) -> MpiResult<()> {
+        let cost = self.accumulate_core(origin, odt, target, tdisp, tdt, elem, op)?;
+        self.charge(cost);
+        Ok(())
+    }
+
+    /// `accumulate` minus the charge; see [`WinHandle::put_core`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn accumulate_core(
+        &self,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+        elem: ElemType,
+        op: AccOp,
+    ) -> MpiResult<f64> {
         self.check_alive()?;
         let es = elem.size();
         if !odt.size().is_multiple_of(es) {
@@ -603,13 +649,12 @@ impl WinHandle {
             }
         }
         let issued = self.bump_issued(target);
-        self.charge(self.op_cost(
+        Ok(self.op_cost(
             simnet::Op::Acc,
             odt.size(),
             odt.num_segments().max(tdt.num_segments()),
             issued,
-        ));
-        Ok(())
+        ))
     }
 
     /// Contiguous-put convenience.

@@ -213,6 +213,161 @@ pub fn run_ccsd<A: Armci + ?Sized>(p: &Proc, rt: &A, cfg: &CcsdConfig) -> CcsdRe
     }
 }
 
+/// Runs the same CCSD ladder as [`run_ccsd`] but with the NWChem-style
+/// overlap schedule: the V/T tiles of the *next* `cd` pair are prefetched
+/// with nonblocking gets while the current pair's DGEMM runs
+/// (double-buffering), and each task's result accumulate is issued
+/// nonblocking and retired while the next task's first tiles are fetched.
+/// The arithmetic — tile order, contraction order, reductions — is
+/// identical to the blocking path, so the returned energy is bit-exact
+/// equal; only the virtual-time schedule differs.
+pub fn run_ccsd_overlap<A: Armci + ?Sized>(p: &Proc, rt: &A, cfg: &CcsdConfig) -> CcsdResult {
+    cfg.check();
+    let t0 = p.clock().now();
+    let flop_rate = p.config().platform.compute.flops_per_core;
+
+    let tdims = [cfg.no, cfg.no, cfg.nv, cfg.nv];
+    let vdims = [cfg.nv, cfg.nv, cfg.nv, cfg.nv];
+    let t2 = GlobalArray::create(rt, "t2", GaType::F64, &tdims).expect("create t2");
+    let v2 = GlobalArray::create(rt, "v2", GaType::F64, &vdims).expect("create v2");
+    let r2 = GlobalArray::create(rt, "r2", GaType::F64, &tdims).expect("create r2");
+    let counter = GlobalArray::create(rt, "nxtval", GaType::I64, &[1]).expect("create counter");
+
+    init_4d(&t2, t2_value);
+    init_4d(&v2, v2_value);
+    t2.sync();
+
+    let (ot, vt, to, tv) = (cfg.ot(), cfg.vt(), cfg.tile_o, cfg.tile_v);
+    let ntasks = cfg.ccsd_tasks();
+    let mut tasks_done = 0usize;
+    let mut energy = 0.0;
+
+    let m = to * to;
+    let n = tv * tv;
+    let k = tv * tv;
+    // Double buffers for the V and T tiles of two consecutive cd pairs.
+    let mut vcur = vec![0.0f64; n * k];
+    let mut tcur = vec![0.0f64; m * k];
+    let mut vnext = vec![0.0f64; n * k];
+    let mut tnext = vec![0.0f64; m * k];
+
+    for _iter in 0..cfg.iterations {
+        r2.zero().expect("zero r2");
+        if rt.rank() == 0 {
+            counter
+                .put_patch_i64(&[0], &[1], &[0])
+                .expect("reset counter");
+        }
+        counter.sync();
+
+        // Pending result accumulate from the previous task; retired while
+        // the next task's first tiles are in flight.
+        let mut pending_acc: Option<ga::GaNbHandle> = None;
+
+        loop {
+            let task = counter.read_inc(&[0], 1).expect("nxtval") as usize;
+            if task >= ntasks {
+                break;
+            }
+            tasks_done += 1;
+            let ti = task / (ot * vt * vt);
+            let tj = (task / (vt * vt)) % ot;
+            let ta = (task / vt) % vt;
+            let tb = task % vt;
+            let (ilo, ihi) = (ti * to, (ti + 1) * to);
+            let (jlo, jhi) = (tj * to, (tj + 1) * to);
+            let (alo, ahi) = (ta * tv, (ta + 1) * tv);
+            let (blo, bhi) = (tb * tv, (tb + 1) * tv);
+
+            let mut rblock = vec![0.0f64; m * n];
+            let bounds = |tc: usize, td: usize| {
+                let (clo, chi) = (tc * tv, (tc + 1) * tv);
+                let (dlo, dhi) = (td * tv, (td + 1) * tv);
+                (
+                    [alo, blo, clo, dlo],
+                    [ahi, bhi, chi, dhi],
+                    [ilo, jlo, clo, dlo],
+                    [ihi, jhi, chi, dhi],
+                )
+            };
+
+            // Prefetch the first cd pair, overlapping the still-pending
+            // accumulate of the previous task's result tile.
+            let (vlo0, vhi0, tlo0, thi0) = bounds(0, 0);
+            let hv = v2
+                .nb_get_patch_into(&vlo0, &vhi0, &mut vcur)
+                .expect("nb get V");
+            let ht = t2
+                .nb_get_patch_into(&tlo0, &thi0, &mut tcur)
+                .expect("nb get T");
+            if let Some(h) = pending_acc.take() {
+                r2.nb_wait(h).expect("wait acc R");
+            }
+            v2.nb_wait(hv).expect("wait V");
+            t2.nb_wait(ht).expect("wait T");
+
+            let npairs = vt * vt;
+            for pair in 0..npairs {
+                // Issue the next pair's gets before computing this one.
+                let mut inflight = None;
+                if pair + 1 < npairs {
+                    let (tc, td) = ((pair + 1) / vt, (pair + 1) % vt);
+                    let (vlo, vhi, tlo, thi) = bounds(tc, td);
+                    let hv = v2
+                        .nb_get_patch_into(&vlo, &vhi, &mut vnext)
+                        .expect("nb get V");
+                    let ht = t2
+                        .nb_get_patch_into(&tlo, &thi, &mut tnext)
+                        .expect("nb get T");
+                    inflight = Some((hv, ht));
+                }
+                // local DGEMM on the current pair, overlapping the fetch
+                for ij in 0..m {
+                    for ab in 0..n {
+                        let mut acc = 0.0;
+                        for cd in 0..k {
+                            acc += vcur[ab * k + cd] * tcur[ij * k + cd];
+                        }
+                        rblock[ij * n + ab] += acc;
+                    }
+                }
+                p.compute(2.0 * (m * n * k) as f64 / flop_rate);
+                if let Some((hv, ht)) = inflight {
+                    v2.nb_wait(hv).expect("wait V");
+                    t2.nb_wait(ht).expect("wait T");
+                    std::mem::swap(&mut vcur, &mut vnext);
+                    std::mem::swap(&mut tcur, &mut tnext);
+                }
+            }
+            // Issue the result-tile accumulate nonblocking; it completes
+            // while the next task fetches its first tiles.
+            pending_acc = Some(
+                r2.nb_acc_patch(1.0, &[ilo, jlo, alo, blo], &[ihi, jhi, ahi, bhi], &rblock)
+                    .expect("nb acc R"),
+            );
+        }
+        if let Some(h) = pending_acc.take() {
+            r2.nb_wait(h).expect("wait acc R");
+        }
+        r2.sync();
+        let rt_dot = r2.dot(&t2).expect("dot");
+        let tt = t2.dot(&t2).expect("dot");
+        energy = rt_dot / (1.0 + tt);
+    }
+
+    t2.sync();
+    counter.destroy().expect("destroy counter");
+    r2.destroy().expect("destroy r2");
+    v2.destroy().expect("destroy v2");
+    t2.destroy().expect("destroy t2");
+
+    CcsdResult {
+        energy,
+        elapsed: p.clock().now() - t0,
+        tasks_done,
+    }
+}
+
 /// Runs the (T)-like triples sweep: energy-only, get-dominated, with a
 /// triples-scale flop charge per task. Collective.
 pub fn run_triples<A: Armci + ?Sized>(p: &Proc, rt: &A, cfg: &CcsdConfig) -> CcsdResult {

@@ -59,7 +59,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -81,7 +86,10 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
     } else {
         0.0
     };
-    println!("bench {label}: mean {mean:.0} ns/iter ({} iters)", b.total_iters);
+    println!(
+        "bench {label}: mean {mean:.0} ns/iter ({} iters)",
+        b.total_iters
+    );
 }
 
 /// Times the closure handed to [`Bencher::iter`].
@@ -179,9 +187,7 @@ mod tests {
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("g");
         g.sample_size(10).throughput(Throughput::Elements(4));
-        g.bench_with_input(BenchmarkId::new("id", 4), &4u32, |b, &n| {
-            b.iter(|| n * 2)
-        });
+        g.bench_with_input(BenchmarkId::new("id", 4), &4u32, |b, &n| b.iter(|| n * 2));
         g.finish();
     }
 }

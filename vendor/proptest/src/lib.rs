@@ -78,6 +78,8 @@ macro_rules! __proptest_items {
                 let mut __ran: u32 = 0;
                 let mut __rejected: u32 = 0;
                 while __ran < __cfg.cases {
+                    // The closure gives `prop_assume!` an early-return scope.
+                    #[allow(clippy::redundant_closure_call)]
                     let __outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
                         (|| {
                             $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+

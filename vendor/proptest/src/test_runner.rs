@@ -35,11 +35,7 @@ impl TestRng {
     pub fn deterministic(file: &str, line: u32, name: &str) -> TestRng {
         // FNV-1a over the location gives a stable per-test seed.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in file
-            .bytes()
-            .chain(name.bytes())
-            .chain(line.to_le_bytes().into_iter())
-        {
+        for b in file.bytes().chain(name.bytes()).chain(line.to_le_bytes()) {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }

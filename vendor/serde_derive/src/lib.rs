@@ -143,9 +143,9 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
                         in_type = true;
                         angle_depth = 0;
                     }
-                    _ => panic!(
-                        "derive(Serialize): only named-field structs are supported offline"
-                    ),
+                    _ => {
+                        panic!("derive(Serialize): only named-field structs are supported offline")
+                    }
                 }
             }
             other => panic!("derive(Serialize): unexpected token in struct body `{other}`"),
