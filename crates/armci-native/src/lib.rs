@@ -27,14 +27,14 @@
 
 use armci::stride::{extent, num_segments, validate, StridedIter};
 use armci::{
-    AccKind, AccessMode, Armci, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IovDesc, NbHandle,
-    RmwOp,
+    AccKind, AccessMode, Armci, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IntervalMap,
+    IovDesc, NbHandle, RmwOp,
 };
 use mpisim::{Comm, Proc};
 use parking_lot::{Condvar, Mutex, RwLock};
-use simnet::{Op, StridedMethodCost};
+use simnet::{BufferPool, Op, PoolStats, RegistrationPolicy, StridedMethodCost};
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------
@@ -114,18 +114,24 @@ struct Allocation {
 // Runtime handle
 // ---------------------------------------------------------------------
 
-/// Per-rank translation index: base address → (allocation id, size).
-type AddrIndex = HashMap<usize, BTreeMap<usize, (u64, usize)>>;
+/// Bytes of bounce-buffer space a native port registers with the NIC up
+/// front (the prepinned segment real ports carve from `ARMCI_Init`).
+const PREPIN_BYTES: usize = 4 << 20;
 
 /// Per-process handle for the native ARMCI baseline.
 pub struct ArmciNative {
     world: Comm,
-    /// `(rank, base) → allocation id` translation.
-    table: RefCell<AddrIndex>,
+    /// `(rank, base) → allocation id` translation over the shared
+    /// [`IntervalMap`] (same index structure as ARMCI-MPI's GMR table).
+    table: RefCell<IntervalMap<u64>>,
     allocs: RefCell<HashMap<u64, Allocation>>,
     next_addr: Cell<usize>,
     user_mutexes: RefCell<HashMap<usize, (Arc<Segment>, usize)>>,
     next_handle: Cell<usize>,
+    /// Prepinned staging pool: registration is paid once at init, so
+    /// bounce copies never pay first-touch pin cost (the native half of
+    /// the paper's Fig-5 registration story).
+    pool: BufferPool,
 }
 
 struct Located {
@@ -135,16 +141,47 @@ struct Located {
 }
 
 impl ArmciNative {
-    /// Bootstraps the native runtime for this process.
+    /// Bootstraps the native runtime for this process. Registration of
+    /// the prepinned staging slab is charged here, once, so per-op bounce
+    /// copies run at full rate afterwards.
     pub fn new(proc: &Proc) -> ArmciNative {
+        let world = proc.world();
+        let pool = BufferPool::new(RegistrationPolicy::Prepinned, world.platform().reg.clone());
+        let prepin_cost = pool.prepin(PREPIN_BYTES);
+        if prepin_cost > 0.0 {
+            world.charge_time(prepin_cost);
+        }
         ArmciNative {
-            world: proc.world(),
-            table: RefCell::new(HashMap::new()),
+            world,
+            table: RefCell::new(IntervalMap::new()),
             allocs: RefCell::new(HashMap::new()),
             next_addr: Cell::new(0x1000),
             user_mutexes: RefCell::new(HashMap::new()),
             next_handle: Cell::new(1),
+            pool,
         }
+    }
+
+    /// Buffer-pool statistics (hits, misses, registration cost). The
+    /// init-time prepin of the slab is included in `reg_cost_s` until
+    /// [`Self::reset_pool_stats`] is called.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Zeroes the pool counters (cached buffers stay pinned).
+    pub fn reset_pool_stats(&self) {
+        self.pool.reset_stats();
+    }
+
+    /// Pooled scratch: charges any registration cost the take incurred
+    /// (only possible once the prepinned budget is exhausted).
+    fn scratch(&self, len: usize) -> simnet::PoolBuf {
+        let buf = self.pool.take(len);
+        if buf.reg_cost() > 0.0 {
+            self.charge(buf.reg_cost());
+        }
+        buf
     }
 
     fn params(&self) -> &simnet::BackendParams {
@@ -163,25 +200,22 @@ impl ArmciNative {
             });
         }
         let table = self.table.borrow();
-        let m = table.get(&addr.rank).ok_or(ArmciError::BadAddress {
-            rank: addr.rank,
-            addr: addr.addr,
-        })?;
-        let (&base, &(id, size)) =
-            m.range(..=addr.addr)
-                .next_back()
-                .ok_or(ArmciError::BadAddress {
+        let found = table.lookup(addr.rank, addr.addr, len).ok_or_else(|| {
+            match table.lookup(addr.rank, addr.addr, 1) {
+                // base found but range too long → precise bounds error
+                Some(f) => ArmciError::OutOfBounds {
                     rank: addr.rank,
                     addr: addr.addr,
-                })?;
-        if addr.addr + len.max(1) > base + size {
-            return Err(ArmciError::OutOfBounds {
-                rank: addr.rank,
-                addr: addr.addr,
-                len,
-                limit: base + size,
-            });
-        }
+                    len,
+                    limit: f.base + f.size,
+                },
+                None => ArmciError::BadAddress {
+                    rank: addr.rank,
+                    addr: addr.addr,
+                },
+            }
+        })?;
+        let (id, base) = (found.value, found.base);
         let allocs = self.allocs.borrow();
         let alloc = allocs.get(&id).ok_or(ArmciError::BadAddress {
             rank: addr.rank,
@@ -206,7 +240,9 @@ impl ArmciNative {
         f: impl FnOnce(&[u8]) -> R,
     ) -> ArmciResult<R> {
         let allocs = self.allocs.borrow();
-        let alloc = allocs.get(&loc.alloc_id).expect("located alloc exists");
+        let alloc = allocs
+            .get(&loc.alloc_id)
+            .ok_or(ArmciError::GmrVanished { gmr: loc.alloc_id })?;
         let slice = &alloc.seg.slices[loc.group_rank];
         let _g = slice.lock.read();
         // Safety: `lock` guards all access to `buf`.
@@ -222,7 +258,9 @@ impl ArmciNative {
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> ArmciResult<R> {
         let allocs = self.allocs.borrow();
-        let alloc = allocs.get(&loc.alloc_id).expect("located alloc exists");
+        let alloc = allocs
+            .get(&loc.alloc_id)
+            .ok_or(ArmciError::GmrVanished { gmr: loc.alloc_id })?;
         let slice = &alloc.seg.slices[loc.group_rank];
         let _g = slice.lock.write();
         // Safety: `lock` guards all access to `buf`.
@@ -250,16 +288,11 @@ impl ArmciNative {
             ));
         }
         let payload = if group.rank() == leader {
-            Some((addr.addr as u64).to_le_bytes().to_vec())
+            Some(addr.addr as u64)
         } else {
             None
         };
-        let leader_addr = u64::from_le_bytes(
-            comm.bcast_bytes(leader, payload)
-                .as_slice()
-                .try_into()
-                .unwrap(),
-        ) as usize;
+        let leader_addr = comm.bcast_u64(leader, payload) as usize;
         let leader_abs = group.absolute_id(leader)?;
         Ok(self
             .locate(GlobalAddr::new(leader_abs, leader_addr), 1)?
@@ -290,25 +323,16 @@ impl Armci for ArmciNative {
             0
         };
         // Agree on a segment id (leader allocates, broadcast).
-        let id_bytes = if comm.rank() == 0 {
-            Some(comm.alloc_uid().to_le_bytes().to_vec())
+        let id_payload = if comm.rank() == 0 {
+            Some(comm.alloc_uid())
         } else {
             None
         };
-        let id = u64::from_le_bytes(comm.bcast_bytes(0, id_bytes).as_slice().try_into().unwrap());
+        let id = comm.bcast_u64(0, id_payload);
         // Exchange bases and sizes.
-        let mut payload = Vec::with_capacity(16);
-        payload.extend_from_slice(&(base as u64).to_le_bytes());
-        payload.extend_from_slice(&(bytes as u64).to_le_bytes());
-        let all = comm.allgather_bytes(payload);
-        let bases: Vec<usize> = all
-            .iter()
-            .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()) as usize)
-            .collect();
-        let sizes: Vec<usize> = all
-            .iter()
-            .map(|b| u64::from_le_bytes(b[8..16].try_into().unwrap()) as usize)
-            .collect();
+        let all = comm.allgather_u64s(&[base as u64, bytes as u64]);
+        let bases: Vec<usize> = all.iter().map(|b| b[0] as usize).collect();
+        let sizes: Vec<usize> = all.iter().map(|b| b[1] as usize).collect();
         // First registrant constructs the shared segment.
         let seg = {
             let candidate: Arc<Segment> = Arc::new(Segment {
@@ -332,7 +356,7 @@ impl Armci for ArmciNative {
             for (gr, (&b, &s)) in bases.iter().zip(&sizes).enumerate() {
                 if b != 0 {
                     let abs = group.absolute_id(gr)?;
-                    table.entry(abs).or_default().insert(b, (id, s));
+                    table.insert(abs, b, s, id);
                 }
             }
         }
@@ -372,9 +396,7 @@ impl Armci for ArmciNative {
             for (gr, &b) in alloc.bases.iter().enumerate() {
                 if b != 0 {
                     let abs = alloc.group.absolute_id(gr)?;
-                    if let Some(m) = table.get_mut(&abs) {
-                        m.remove(&b);
-                    }
+                    table.remove(abs, b);
                 }
             }
         }
@@ -439,7 +461,8 @@ impl Armci for ArmciNative {
         if bytes == 0 {
             return Ok(());
         }
-        let mut tmp = vec![0u8; bytes];
+        // Bounce through the prepinned staging pool.
+        let mut tmp = self.scratch(bytes);
         self.get(src, &mut tmp)?;
         self.put(&tmp, dst)
     }
@@ -652,12 +675,12 @@ impl Armci for ArmciNative {
     fn create_mutexes(&self, count: usize) -> ArmciResult<usize> {
         // Host the mutexes in a dedicated shared segment.
         let comm = &self.world;
-        let id_bytes = if comm.rank() == 0 {
-            Some(comm.alloc_uid().to_le_bytes().to_vec())
+        let id_payload = if comm.rank() == 0 {
+            Some(comm.alloc_uid())
         } else {
             None
         };
-        let id = u64::from_le_bytes(comm.bcast_bytes(0, id_bytes).as_slice().try_into().unwrap());
+        let id = comm.bcast_u64(0, id_payload);
         let candidate: Arc<Segment> = Arc::new(Segment {
             slices: Vec::new(),
             mutexes: (0..count * comm.size())

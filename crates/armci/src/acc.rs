@@ -54,14 +54,34 @@ impl AccKind {
     /// Returns `scale * src` as a fresh byte vector (used by ARMCI-MPI to
     /// stage scaled operands before an unscaled MPI accumulate).
     pub fn prescale(&self, src: &[u8]) -> ArmciResult<Vec<u8>> {
-        self.check_len(src.len())?;
         let mut out = src.to_vec();
+        self.scale_in_place(&mut out)?;
+        Ok(out)
+    }
+
+    /// Writes `scale * src` into `dst` (same length); the pooled-staging
+    /// variant of [`AccKind::prescale`] — no allocation.
+    pub fn prescale_into(&self, src: &[u8], dst: &mut [u8]) -> ArmciResult<()> {
+        if dst.len() != src.len() {
+            return Err(ArmciError::BadDescriptor(format!(
+                "prescale length mismatch: dst {} vs src {}",
+                dst.len(),
+                src.len()
+            )));
+        }
+        dst.copy_from_slice(src);
+        self.scale_in_place(dst)
+    }
+
+    /// Multiplies every element of `buf` by the scale, in place.
+    pub fn scale_in_place(&self, buf: &mut [u8]) -> ArmciResult<()> {
+        self.check_len(buf.len())?;
         if self.is_unit_scale() {
-            return Ok(out);
+            return Ok(());
         }
         macro_rules! scale {
             ($ty:ty, $w:expr, $s:expr) => {
-                for chunk in out.chunks_exact_mut($w) {
+                for chunk in buf.chunks_exact_mut($w) {
                     let v = <$ty>::from_le_bytes(chunk[..$w].try_into().unwrap());
                     let r = v * $s;
                     chunk.copy_from_slice(&r.to_le_bytes());
@@ -74,7 +94,7 @@ impl AccKind {
             AccKind::Float(s) => scale!(f32, 4, s),
             AccKind::Double(s) => scale!(f64, 8, s),
         }
-        Ok(out)
+        Ok(())
     }
 
     /// In-place combine: `dst[i] += scale * src[i]`.
@@ -204,6 +224,18 @@ mod tests {
         let mut dst = vec![0u8; 8];
         let src = vec![0u8; 16];
         assert!(AccKind::Double(1.0).apply(&mut dst, &src).is_err());
+    }
+
+    #[test]
+    fn prescale_into_matches_prescale() {
+        let src = f64s_to_bytes(&[1.0, -2.0, 0.5]);
+        let mut dst = vec![0u8; src.len()];
+        AccKind::Double(2.0).prescale_into(&src, &mut dst).unwrap();
+        assert_eq!(dst, AccKind::Double(2.0).prescale(&src).unwrap());
+        let mut short = vec![0u8; 8];
+        assert!(AccKind::Double(2.0)
+            .prescale_into(&src, &mut short)
+            .is_err());
     }
 
     #[test]

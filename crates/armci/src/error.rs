@@ -21,6 +21,9 @@ pub enum ArmciError {
     BadDescriptor(String),
     /// Mutex API misuse (unlock without lock, unknown handle…).
     MutexMisuse(String),
+    /// An allocation was freed while an operation still referencing it
+    /// (a translation, a nonblocking handle) was in flight.
+    GmrVanished { gmr: u64 },
     /// The underlying MPI runtime reported an error.
     Mpi(mpisim::MpiError),
     /// Operation not supported by this implementation/configuration.
@@ -49,6 +52,9 @@ impl fmt::Display for ArmciError {
             ArmciError::NotInGroup => write!(f, "caller is not a member of the group"),
             ArmciError::BadDescriptor(msg) => write!(f, "bad descriptor: {msg}"),
             ArmciError::MutexMisuse(msg) => write!(f, "mutex misuse: {msg}"),
+            ArmciError::GmrVanished { gmr } => {
+                write!(f, "allocation {gmr} freed with operations in flight")
+            }
             ArmciError::Mpi(e) => write!(f, "MPI error: {e}"),
             ArmciError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }

@@ -1,0 +1,114 @@
+//! Per-rank sorted interval map for address translation (§V-A).
+//!
+//! Both ARMCI backends keep the same index: for every process, the set of
+//! allocation slices living in its address space, queried on every
+//! communication call with "which allocation contains `[addr, addr+len)`
+//! on rank r?". Intervals are non-overlapping, so a base-address ordered
+//! map answers containment with one `O(log n)` predecessor probe: the
+//! candidate is the greatest base `<= addr`, and the range matches iff it
+//! ends beyond `addr + len`.
+//!
+//! `armci-mpi` stores `(gmr id, size)` per slice, the native baseline
+//! stores `(allocation id, size)`; both wrap this one structure.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A located interval: the slice base/size plus the caller's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Found<T> {
+    pub base: usize,
+    pub size: usize,
+    pub value: T,
+}
+
+/// Per-rank base-ordered interval index; `T` is the per-slice payload
+/// (an allocation id in both backends).
+#[derive(Debug, Clone, Default)]
+pub struct IntervalMap<T> {
+    by_rank: HashMap<usize, BTreeMap<usize, (usize, T)>>,
+}
+
+impl<T: Copy> IntervalMap<T> {
+    pub fn new() -> IntervalMap<T> {
+        IntervalMap {
+            by_rank: HashMap::new(),
+        }
+    }
+
+    /// Registers the slice `[base, base+size)` on `rank`. NULL bases and
+    /// empty slices are never indexed.
+    pub fn insert(&mut self, rank: usize, base: usize, size: usize, value: T) {
+        debug_assert!(base != 0 && size > 0);
+        self.by_rank
+            .entry(rank)
+            .or_default()
+            .insert(base, (size, value));
+    }
+
+    /// Unregisters the slice at `base` on `rank`, returning its payload.
+    /// Removing an unknown base is a no-op. Empties prune their rank
+    /// entry so alloc/free cycles leave no residue.
+    pub fn remove(&mut self, rank: usize, base: usize) -> Option<T> {
+        let m = self.by_rank.get_mut(&rank)?;
+        let out = m.remove(&base).map(|(_, v)| v);
+        if m.is_empty() {
+            self.by_rank.remove(&rank);
+        }
+        out
+    }
+
+    /// Finds the slice containing `[addr, addr+len)` on `rank`
+    /// (`len == 0` is treated as 1: the address itself must be inside).
+    pub fn lookup(&self, rank: usize, addr: usize, len: usize) -> Option<Found<T>> {
+        let m = self.by_rank.get(&rank)?;
+        let (&base, &(size, value)) = m.range(..=addr).next_back()?;
+        if addr + len.max(1) <= base + size {
+            Some(Found { base, size, value })
+        } else {
+            None
+        }
+    }
+
+    /// Total registered slices across all ranks (diagnostics; the
+    /// alloc/free-loop tests assert this stays bounded).
+    pub fn len(&self) -> usize {
+        self.by_rank.values().map(BTreeMap::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of ranks with at least one registered slice.
+    pub fn rank_count(&self) -> usize {
+        self.by_rank.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_finds_containing_interval() {
+        let mut t = IntervalMap::new();
+        t.insert(2, 0x1000, 256, 7u64);
+        t.insert(2, 0x2000, 128, 8);
+        assert_eq!(t.lookup(2, 0x10ff, 1).map(|f| f.value), Some(7));
+        assert_eq!(t.lookup(2, 0x10f0, 32), None);
+        assert_eq!(t.lookup(2, 0x2040, 64).map(|f| f.base), Some(0x2000));
+        assert_eq!(t.lookup(2, 0x1a00, 1), None);
+        assert_eq!(t.lookup(3, 0x1000, 1), None);
+    }
+
+    #[test]
+    fn remove_prunes_empty_ranks() {
+        let mut t = IntervalMap::new();
+        t.insert(1, 0x100, 16, 1u64);
+        assert_eq!(t.rank_count(), 1);
+        assert_eq!(t.remove(1, 0x100), Some(1));
+        assert_eq!(t.rank_count(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.remove(9, 0xdead), None);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod acc;
 pub mod error;
 pub mod group;
+pub mod ivmap;
 pub mod stride;
 pub mod traits;
 pub mod types;
@@ -30,6 +31,7 @@ pub mod types;
 pub use acc::AccKind;
 pub use error::{ArmciError, ArmciResult};
 pub use group::ArmciGroup;
+pub use ivmap::IntervalMap;
 pub use stride::{strided_to_subarray, StridedIter};
 pub use traits::{AccessMode, Armci, ArmciExt, NbHandle, RmwOp, StridedMethod};
 pub use types::{GlobalAddr, IovDesc};

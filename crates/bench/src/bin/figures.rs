@@ -1,17 +1,170 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [table2|fig3|fig4|fig5|fig6|pipeline|all] [--json DIR]
+//! figures [table2|fig3|fig4|fig5|fig6|pipeline|pool|all] [--json DIR]
+//! figures check DIR
 //! ```
 //!
 //! Text goes to stdout; with `--json DIR`, machine-readable data is also
-//! written to `DIR/<artifact>.json`.
+//! written to `DIR/<artifact>.json`. `check` validates the schema of the
+//! JSON artifacts in `DIR` (keys present, value kinds unchanged) and
+//! exits nonzero on drift — CI regenerates the cheap artifacts and runs
+//! it to catch accidental serializer or struct-shape changes.
 
-use bench::{fig3, fig4, fig5, fig6r, pipeline, table2};
+use bench::{fig3, fig4, fig5, fig6r, pipeline, pool, table2};
+use serde::Value;
 use simnet::PlatformId;
+
+/// Expected value kind for one field of an artifact row.
+#[derive(Clone, Copy)]
+enum Kind {
+    Str,
+    Bool,
+    UInt,
+    Num,
+    /// Array of `(bytes, bandwidth)` pairs.
+    Points,
+}
+
+fn kind_ok(v: &Value, k: Kind) -> bool {
+    match k {
+        Kind::Str => matches!(v, Value::Str(_)),
+        Kind::Bool => matches!(v, Value::Bool(_)),
+        Kind::UInt => matches!(v, Value::UInt(_)),
+        Kind::Num => matches!(v, Value::UInt(_) | Value::Int(_) | Value::Float(_)),
+        Kind::Points => match v {
+            Value::Array(items) => items.iter().all(|p| match p {
+                Value::Array(pair) => {
+                    pair.len() == 2 && kind_ok(&pair[0], Kind::UInt) && kind_ok(&pair[1], Kind::Num)
+                }
+                _ => false,
+            }),
+            _ => false,
+        },
+    }
+}
+
+/// Schemas of the artifacts CI regenerates: every row must be an object
+/// carrying exactly these fields with these kinds.
+fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
+    vec![
+        (
+            "fig5",
+            vec![
+                ("combo", Kind::Str),
+                ("warm", Kind::Bool),
+                ("points", Kind::Points),
+            ],
+        ),
+        (
+            "BENCH_pipeline",
+            vec![
+                ("platform", Kind::Str),
+                ("workload", Kind::Str),
+                ("bytes", Kind::UInt),
+                ("segments", Kind::UInt),
+                ("nonblocking", Kind::Bool),
+                ("plans", Kind::UInt),
+                ("planned_ops", Kind::UInt),
+                ("acquires", Kind::UInt),
+                ("executed_ops", Kind::UInt),
+                ("completes", Kind::UInt),
+                ("nb_aggregated", Kind::UInt),
+                ("plan_s", Kind::Num),
+                ("acquire_s", Kind::Num),
+                ("execute_s", Kind::Num),
+                ("complete_s", Kind::Num),
+                ("pool_hits", Kind::UInt),
+                ("pool_misses", Kind::UInt),
+                ("pool_reg_s", Kind::Num),
+            ],
+        ),
+        (
+            "BENCH_pool",
+            vec![
+                ("platform", Kind::Str),
+                ("backend", Kind::Str),
+                ("workload", Kind::Str),
+                ("phase", Kind::Str),
+                ("hits", Kind::UInt),
+                ("misses", Kind::UInt),
+                ("hit_rate", Kind::Num),
+                ("reg_cost_s", Kind::Num),
+                ("high_water_bytes", Kind::UInt),
+            ],
+        ),
+    ]
+}
+
+/// Validates the artifacts in `dir` against the schemas; returns the
+/// number of problems found (each reported on stderr).
+fn check(dir: &str) -> usize {
+    let mut problems = 0;
+    let mut complain = |msg: String| {
+        eprintln!("[figures check] {msg}");
+        problems += 1;
+    };
+    for (name, fields) in schemas() {
+        let path = format!("{dir}/{name}.json");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                complain(format!("{path}: unreadable: {e}"));
+                continue;
+            }
+        };
+        let rows = match serde_json::from_str(&text) {
+            Ok(Value::Array(rows)) if !rows.is_empty() => rows,
+            Ok(Value::Array(_)) => {
+                complain(format!("{path}: empty artifact"));
+                continue;
+            }
+            Ok(_) => {
+                complain(format!("{path}: top level is not an array"));
+                continue;
+            }
+            Err(e) => {
+                complain(format!("{path}: {e}"));
+                continue;
+            }
+        };
+        for (i, row) in rows.iter().enumerate() {
+            let Value::Object(entries) = row else {
+                complain(format!("{path}[{i}]: row is not an object"));
+                continue;
+            };
+            for &(key, kind) in &fields {
+                match entries.iter().find(|(k, _)| k == key) {
+                    None => complain(format!("{path}[{i}]: missing field `{key}`")),
+                    Some((_, v)) if !kind_ok(v, kind) => {
+                        complain(format!("{path}[{i}]: field `{key}` has wrong kind"))
+                    }
+                    _ => {}
+                }
+            }
+            for (k, _) in entries {
+                if !fields.iter().any(|(key, _)| key == k) {
+                    complain(format!("{path}[{i}]: unexpected field `{k}`"));
+                }
+            }
+        }
+        eprintln!("[figures check] {path}: {} rows", rows.len());
+    }
+    problems
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check") {
+        let dir = args.get(1).cloned().unwrap_or_else(|| "results".into());
+        let problems = check(&dir);
+        if problems > 0 {
+            eprintln!("[figures check] FAILED: {problems} problem(s)");
+            std::process::exit(1);
+        }
+        eprintln!("[figures check] OK");
+        return;
+    }
     let mut what = "all".to_string();
     let mut json_dir: Option<String> = None;
     let mut it = args.iter();
@@ -58,7 +211,8 @@ fn main() {
     }
     if all || what == "fig5" {
         eprintln!("[figures] fig5");
-        let series = fig5::generate();
+        let mut series = fig5::generate();
+        series.extend(fig5::generate_warm());
         print!("{}", fig5::render(&series));
         dump("fig5", &serde_json::to_string_pretty(&series).unwrap());
     }
@@ -92,6 +246,19 @@ fn main() {
         }
         dump(
             "BENCH_pipeline",
+            &serde_json::to_string_pretty(&everything).unwrap(),
+        );
+    }
+    if all || what == "pool" {
+        let mut everything = Vec::new();
+        for id in [PlatformId::InfiniBandCluster, PlatformId::CrayXE6] {
+            eprintln!("[figures] pool: {}", id.name());
+            let rows = pool::generate(id);
+            print!("{}", pool::render(&rows));
+            everything.extend(rows);
+        }
+        dump(
+            "BENCH_pool",
             &serde_json::to_string_pretty(&everything).unwrap(),
         );
     }

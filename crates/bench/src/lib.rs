@@ -10,9 +10,11 @@
 //! | Figure 6 | [`fig6r`]  | NWChem CCSD and (T) scaling |
 //!
 //! A supplemental §IX comparison (`ds_compare`) pits ARMCI-MPI against
-//! the legacy two-sided data-server ARMCI, and [`pipeline`] breaks the
+//! the legacy two-sided data-server ARMCI, [`pipeline`] breaks the
 //! transfer engine's plan/acquire/execute/complete stages down over the
-//! Figure 3/4 workloads (`BENCH_pipeline.json`).
+//! Figure 3/4 workloads (`BENCH_pipeline.json`), and [`pool`] reports
+//! the staging buffer pool's hit/miss/registration behaviour on the same
+//! workloads (`BENCH_pool.json`).
 //!
 //! The `figures` binary prints each as aligned text and (optionally) JSON.
 //! Bandwidth numbers are **virtual-time** measurements: the operations
@@ -25,6 +27,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6r;
 pub mod pipeline;
+pub mod pool;
 pub mod table2;
 
 /// Formats a byte count like the paper's axes (powers of two).

@@ -9,7 +9,7 @@
 //! (complete). The nonblocking rows issue a burst of operations before
 //! waiting, so they also show epoch aggregation at work.
 
-use armci::Armci;
+use armci::{AccKind, Armci};
 use armci_mpi::{ArmciMpi, Config};
 use mpisim::{Runtime, RuntimeConfig};
 use serde::Serialize;
@@ -23,7 +23,7 @@ pub const BURST: usize = 4;
 #[derive(Debug, Clone, Serialize)]
 pub struct Row {
     pub platform: PlatformId,
-    /// `"contig-put"` or `"strided-put"`.
+    /// `"contig-put"`, `"contig-acc"` or `"strided-put"`.
     pub workload: &'static str,
     /// Contiguous: transfer size. Strided: segment size.
     pub bytes: usize,
@@ -42,6 +42,10 @@ pub struct Row {
     pub acquire_s: f64,
     pub execute_s: f64,
     pub complete_s: f64,
+    // Staging buffer pool counters (accumulate staging, bounce copies).
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub pool_reg_s: f64,
 }
 
 /// Figure 3 contiguous sizes (a coarse subset: 1 KiB … 1 MiB).
@@ -95,6 +99,25 @@ fn measure(p: &mpisim::Proc, platform: PlatformId) -> Vec<Row> {
                     }
                 }
                 rows.push(row(platform, "contig-put", size, 1, nonblocking, &rt));
+            }
+        }
+        for &size in &contig_sizes() {
+            // Accumulate: the pre-scale staging draws from the buffer
+            // pool, so these rows exercise the pool counters.
+            for nonblocking in [false, true] {
+                rt.reset_stage_stats();
+                if nonblocking {
+                    let mut hs = Vec::new();
+                    for _ in 0..BURST {
+                        hs.push(rt.nb_acc(AccKind::Int(2), &src[..size], bases[1]).unwrap());
+                    }
+                    rt.wait_all(hs).unwrap();
+                } else {
+                    for _ in 0..BURST {
+                        rt.acc(AccKind::Int(2), &src[..size], bases[1]).unwrap();
+                    }
+                }
+                rows.push(row(platform, "contig-acc", size, 1, nonblocking, &rt));
             }
         }
         for &(seg, n) in &strided_shapes() {
@@ -152,6 +175,9 @@ fn row(
         acquire_s: g.acquire_s,
         execute_s: g.execute_s,
         complete_s: g.complete_s,
+        pool_hits: g.pool_hits,
+        pool_misses: g.pool_misses,
+        pool_reg_s: g.pool_reg_s,
     }
 }
 
@@ -191,7 +217,7 @@ mod tests {
     #[test]
     fn pipeline_rows_cover_both_modes() {
         let rows = generate(PlatformId::InfiniBandCluster);
-        let expect = 2 * (contig_sizes().len() + strided_shapes().len());
+        let expect = 2 * (2 * contig_sizes().len() + strided_shapes().len());
         assert_eq!(rows.len(), expect);
         for r in &rows {
             assert!(r.plans >= BURST as u64);
@@ -206,6 +232,28 @@ mod tests {
                 assert_eq!(r.acquires as usize, BURST);
                 assert_eq!(r.completes as usize, BURST);
             }
+        }
+    }
+
+    #[test]
+    fn accumulate_rows_exercise_the_pool() {
+        let rows = generate(PlatformId::InfiniBandCluster);
+        for r in rows.iter().filter(|r| r.workload == "contig-acc") {
+            // Every accumulate stages through the pool.
+            assert_eq!(
+                (r.pool_hits + r.pool_misses) as usize,
+                BURST,
+                "{}B nb={}: takes",
+                r.bytes,
+                r.nonblocking
+            );
+            // At most one miss per burst: the first take warms the size
+            // class, the rest hit it.
+            assert!(r.pool_hits as usize >= BURST - 1);
+        }
+        // Put rows never touch the pool.
+        for r in rows.iter().filter(|r| r.workload == "contig-put") {
+            assert_eq!(r.pool_hits + r.pool_misses, 0);
         }
     }
 

@@ -33,7 +33,9 @@ impl ArmciMpi {
         self.nb_quiesce()?;
         let tr = self.translate(addr, len)?;
         let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        let gmr = gmrs
+            .get(&tr.gmr)
+            .ok_or(ArmciError::GmrVanished { gmr: tr.gmr })?;
         if self.cfg.epochless {
             // MPI-3 unified memory model: local access under the
             // window-wide lock_all epoch, ordered by the win_sync
@@ -69,7 +71,9 @@ impl ArmciMpi {
         self.nb_quiesce()?;
         let tr = self.translate(addr, len)?;
         let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        let gmr = gmrs
+            .get(&tr.gmr)
+            .ok_or(ArmciError::GmrVanished { gmr: tr.gmr })?;
         if self.cfg.epochless {
             // the lock_all epoch already grants shared access
             let res = gmr.win.with_local(|buf| f(&buf[tr.disp..tr.disp + len]));

@@ -62,6 +62,12 @@ pub struct StageStats {
     pub nb_aggregated: u64,
     /// `ARMCI_Wait`/`ARMCI_WaitAll` resolutions.
     pub nb_waits: u64,
+    /// Scratch-pool leases served from already-registered memory.
+    pub pool_hits: u64,
+    /// Scratch-pool leases that pinned fresh pages at first touch.
+    pub pool_misses: u64,
+    /// Virtual seconds charged for on-demand scratch registration.
+    pub pool_reg_s: f64,
     /// Virtual seconds spent in the plan stage (method selection,
     /// conflict-tree scans).
     pub plan_s: f64,
@@ -73,6 +79,18 @@ pub struct StageStats {
     /// Virtual seconds spent completing epochs (unlock/flush and deferred
     /// request completion).
     pub complete_s: f64,
+}
+
+impl StageStats {
+    /// Fraction of scratch-pool leases served from registered memory
+    /// (0.0 when the pool was never used).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool_hits as f64 / total as f64
+    }
 }
 
 /// One RMA operation within a plan: both datatypes fully resolved. Origin
@@ -189,10 +207,12 @@ impl ArmciMpi {
 
     /// Lock mode for an operation of `class` against `gmr_id`, derived
     /// from the GMR's access-mode hint (§VIII-A).
-    fn mode_for_gmr(&self, gmr_id: u64, class: OpClass) -> LockMode {
+    fn mode_for_gmr(&self, gmr_id: u64, class: OpClass) -> ArmciResult<LockMode> {
         let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&gmr_id).expect("translated GMR must exist");
-        self.lock_mode_for(gmr.mode.get(), class)
+        let gmr = gmrs
+            .get(&gmr_id)
+            .ok_or(ArmciError::GmrVanished { gmr: gmr_id })?;
+        Ok(self.lock_mode_for(gmr.mode.get(), class))
     }
 
     // ------------------------------------------------------------------
@@ -208,7 +228,7 @@ impl ArmciMpi {
     ) -> ArmciResult<TransferPlan> {
         let t0 = self.vnow();
         let tr = self.translate(remote, len)?;
-        let mode = self.mode_for_gmr(tr.gmr, class);
+        let mode = self.mode_for_gmr(tr.gmr, class)?;
         let plan = Self::single_plan(tr.gmr, tr.group_rank, mode, len, tr.disp);
         self.note_plans(t0, std::slice::from_ref(&plan));
         Ok(plan)
@@ -339,7 +359,7 @@ impl ArmciMpi {
         let mut plans = Vec::with_capacity(desc.len());
         for (i, &raddr) in desc.remote_addrs.iter().enumerate() {
             let tr = self.translate(GlobalAddr::new(desc.rank, raddr), desc.bytes)?;
-            let mode = self.mode_for_gmr(tr.gmr, class);
+            let mode = self.mode_for_gmr(tr.gmr, class)?;
             plans.push(TransferPlan {
                 gmr: tr.gmr,
                 target: tr.group_rank,
@@ -367,7 +387,7 @@ impl ArmciMpi {
         batch: usize,
     ) -> ArmciResult<Vec<TransferPlan>> {
         let (gmr_id, group_rank, disps) = self.resolve_single_gmr(desc)?;
-        let mode = self.mode_for_gmr(gmr_id, class);
+        let mode = self.mode_for_gmr(gmr_id, class)?;
         let chunk = if batch == 0 { desc.len() } else { batch };
         let mut plans = Vec::with_capacity(desc.len().div_ceil(chunk));
         let mut i = 0usize;
@@ -402,7 +422,7 @@ impl ArmciMpi {
         staged: bool,
     ) -> ArmciResult<TransferPlan> {
         let (gmr_id, group_rank, disps) = self.resolve_single_gmr(desc)?;
-        let mode = self.mode_for_gmr(gmr_id, class);
+        let mode = self.mode_for_gmr(gmr_id, class)?;
         let tdt = Datatype::Indexed {
             blocks: disps.iter().map(|&d| (d, desc.bytes)).collect(),
         };
@@ -458,7 +478,7 @@ impl ArmciMpi {
             )));
         }
         let tr = self.translate(remote, armci::stride::extent(remote_strides, count))?;
-        let mode = self.mode_for_gmr(tr.gmr, class);
+        let mode = self.mode_for_gmr(tr.gmr, class)?;
         let plan = TransferPlan {
             gmr: tr.gmr,
             target: tr.group_rank,
@@ -489,7 +509,7 @@ impl ArmciMpi {
         let tdt = armci::strided_to_subarray(remote_strides, count)
             .expect("caller verified subarray-expressible shape");
         let tr = self.translate(remote, armci::stride::extent(remote_strides, count))?;
-        let mode = self.mode_for_gmr(tr.gmr, OpClass::Acc);
+        let mode = self.mode_for_gmr(tr.gmr, OpClass::Acc)?;
         let plan = TransferPlan {
             gmr: tr.gmr,
             target: tr.group_rank,
@@ -522,7 +542,9 @@ impl ArmciMpi {
 
     fn run_plan(&self, plan: &TransferPlan, buf: &ExecBuf) -> ArmciResult<()> {
         let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&plan.gmr).expect("translated GMR must exist");
+        let gmr = gmrs
+            .get(&plan.gmr)
+            .ok_or(ArmciError::GmrVanished { gmr: plan.gmr })?;
         // acquire
         let t0 = self.vnow();
         self.epoch_begin(gmr, plan.target, plan.mode)?;
@@ -652,7 +674,9 @@ impl ArmciMpi {
                         // complete the outstanding one first.
                         self.nb_quiesce()?;
                         let gmrs = self.gmrs.borrow();
-                        let gmr = gmrs.get(&plan.gmr).expect("translated GMR must exist");
+                        let gmr = gmrs
+                            .get(&plan.gmr)
+                            .ok_or(ArmciError::GmrVanished { gmr: plan.gmr })?;
                         self.stat(|s| s.epochs += 1);
                         gmr.win.lock(plan.mode, plan.target)?;
                     }
@@ -674,7 +698,9 @@ impl ArmciMpi {
             let mut reqs = Vec::with_capacity(plan.ops.len());
             {
                 let gmrs = self.gmrs.borrow();
-                let gmr = gmrs.get(&plan.gmr).expect("translated GMR must exist");
+                let gmr = gmrs
+                    .get(&plan.gmr)
+                    .ok_or(ArmciError::GmrVanished { gmr: plan.gmr })?;
                 for op in &plan.ops {
                     reqs.push(self.nb_issue_op(gmr, plan.target, op, buf)?);
                 }
@@ -789,7 +815,7 @@ impl ArmciMpi {
             let gmrs = self.gmrs.borrow();
             let gmr = gmrs
                 .get(&ep.gmr)
-                .expect("GMR freed with nonblocking operations in flight");
+                .ok_or(ArmciError::GmrVanished { gmr: ep.gmr })?;
             for r in ep.reqs {
                 r.wait(&gmr.win);
             }

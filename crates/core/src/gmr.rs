@@ -7,10 +7,9 @@
 
 use crate::mutex::MutexSet;
 use crate::{bad_address, ArmciMpi};
-use armci::{AccessMode, ArmciError, ArmciGroup, ArmciResult, GlobalAddr};
+use armci::{AccessMode, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IntervalMap};
 use mpisim::WinHandle;
 use std::cell::Cell;
-use std::collections::{BTreeMap, HashMap};
 
 /// One global allocation.
 pub(crate) struct Gmr {
@@ -42,50 +41,42 @@ pub(crate) struct Translation {
     pub disp: usize,
 }
 
-/// Address-range index: per absolute rank, a base-address ordered map of
-/// `(base → (gmr id, size))`.
+/// Address-range index over the shared [`IntervalMap`]: per absolute
+/// rank, a base-address ordered interval map of `base → (size, gmr id)`.
+/// Every communication call consults this table, so containment lookup
+/// is `O(log n)` in the number of live allocations on the target rank.
 pub(crate) struct GmrTable {
-    by_rank: HashMap<usize, BTreeMap<usize, (u64, usize)>>,
+    map: IntervalMap<u64>,
 }
 
 impl GmrTable {
     pub fn new() -> GmrTable {
         GmrTable {
-            by_rank: HashMap::new(),
+            map: IntervalMap::new(),
         }
     }
 
     /// Registers an allocation slice.
     pub fn insert(&mut self, rank: usize, base: usize, size: usize, gmr: u64) {
-        debug_assert!(base != 0 && size > 0);
-        self.by_rank
-            .entry(rank)
-            .or_default()
-            .insert(base, (gmr, size));
+        self.map.insert(rank, base, size, gmr);
     }
 
     /// Unregisters a slice.
     pub fn remove(&mut self, rank: usize, base: usize) {
-        if let Some(m) = self.by_rank.get_mut(&rank) {
-            m.remove(&base);
-        }
+        self.map.remove(rank, base);
     }
 
     /// Finds the allocation containing `[addr, addr+len)` on `rank`.
     pub fn lookup(&self, rank: usize, addr: usize, len: usize) -> Option<(u64, usize, usize)> {
-        let m = self.by_rank.get(&rank)?;
-        let (&base, &(gmr, size)) = m.range(..=addr).next_back()?;
-        if addr + len.max(1) <= base + size {
-            Some((gmr, base, size))
-        } else {
-            None
-        }
+        self.map
+            .lookup(rank, addr, len)
+            .map(|f| (f.value, f.base, f.size))
     }
 
     /// Number of registered slices (diagnostics).
     #[allow(dead_code)]
     pub fn len(&self) -> usize {
-        self.by_rank.values().map(BTreeMap::len).sum()
+        self.map.len()
     }
 }
 
@@ -144,15 +135,12 @@ impl ArmciMpi {
         let win = WinHandle::create(comm, bytes);
         let gmr_id = win.id();
         // All-to-all exchange of local base addresses (§V-B).
-        let mut payload = Vec::with_capacity(16);
-        payload.extend_from_slice(&(base as u64).to_le_bytes());
-        payload.extend_from_slice(&(bytes as u64).to_le_bytes());
-        let all = comm.allgather_bytes(payload);
+        let all = comm.allgather_u64s(&[base as u64, bytes as u64]);
         let mut bases = Vec::with_capacity(all.len());
         let mut sizes = Vec::with_capacity(all.len());
         for b in &all {
-            bases.push(u64::from_le_bytes(b[..8].try_into().unwrap()) as usize);
-            sizes.push(u64::from_le_bytes(b[8..16].try_into().unwrap()) as usize);
+            bases.push(b[0] as usize);
+            sizes.push(b[1] as usize);
         }
         // Register every non-NULL slice in the translation table.
         {
@@ -213,16 +201,11 @@ impl ArmciMpi {
             ));
         }
         let payload = if group.rank() == leader {
-            Some((addr.addr as u64).to_le_bytes().to_vec())
+            Some(addr.addr as u64)
         } else {
             None
         };
-        let leader_addr = u64::from_le_bytes(
-            comm.bcast_bytes(leader, payload)
-                .as_slice()
-                .try_into()
-                .unwrap(),
-        ) as usize;
+        let leader_addr = comm.bcast_u64(leader, payload) as usize;
         let leader_abs = group.absolute_id(leader)?;
         let tr = self.translate(GlobalAddr::new(leader_abs, leader_addr), 1)?;
         Ok(tr.gmr)

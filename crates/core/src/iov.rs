@@ -24,6 +24,7 @@ use crate::engine::ExecBuf;
 use crate::ops::OpClass;
 use crate::ArmciMpi;
 use armci::{AccKind, ArmciError, ArmciResult, IovDesc, StridedMethod};
+use simnet::PoolBuf;
 
 impl ArmciMpi {
     pub(crate) fn check_local(&self, desc: &IovDesc, local_len: usize) -> ArmciResult<()> {
@@ -84,18 +85,21 @@ impl ArmciMpi {
     }
 
     /// Gathers + pre-scales the local segments once (contiguous, in
-    /// segment order); all methods then source from the staged buffer.
+    /// segment order) into pooled scratch; all methods then source from
+    /// the staged buffer.
     pub(crate) fn stage_iov_acc(
         &self,
         kind: AccKind,
         desc: &IovDesc,
         local: &[u8],
-    ) -> ArmciResult<Vec<u8>> {
-        let mut gathered = Vec::with_capacity(desc.total_bytes());
+    ) -> ArmciResult<PoolBuf> {
+        let mut staged = self.scratch(desc.total_bytes());
+        let mut w = 0usize;
         for &off in &desc.local_offsets {
-            gathered.extend_from_slice(&local[off..off + desc.bytes]);
+            staged[w..w + desc.bytes].copy_from_slice(&local[off..off + desc.bytes]);
+            w += desc.bytes;
         }
-        let staged = kind.prescale(&gathered)?;
+        kind.scale_in_place(&mut staged)?;
         self.charge(self.copy_cost(staged.len()));
         Ok(staged)
     }

@@ -45,6 +45,8 @@ use armci::{
 use gmr::{Gmr, GmrTable};
 use mpisim::{Comm, Proc};
 use mutex::MutexSet;
+use simnet::pool::{BufferPool, PoolBuf, RegistrationPolicy};
+use simnet::PoolStats;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
@@ -143,6 +145,10 @@ pub struct ArmciMpi {
     pub(crate) user_mutexes: RefCell<HashMap<usize, MutexSet>>,
     pub(crate) next_mutex_handle: Cell<usize>,
     pub(crate) stats: RefCell<OpStats>,
+    /// Registration-aware scratch pool: every staging, gather and bounce
+    /// buffer leases from here. Misses pin fresh pages at first-touch
+    /// cost (the Fig-5 penalty); hits run at prepinned rates.
+    pub(crate) pool: BufferPool,
     /// Transfer-engine pipeline counters and stage timings.
     pub(crate) stage_stats: RefCell<StageStats>,
     /// Open nonblocking aggregate epochs and resolved handles.
@@ -185,9 +191,15 @@ impl ArmciMpi {
 
     /// Bootstraps with an explicit configuration.
     pub fn with_config(proc: &Proc, cfg: Config) -> ArmciMpi {
+        let world = proc.world();
+        // MPI has no prepinned segment of its own: scratch pages are
+        // registered on demand at first touch and then cached, which is
+        // what lets the pool amortize the Fig-5 registration penalty.
+        let pool = BufferPool::new(RegistrationPolicy::OnDemand, world.platform().reg.clone());
         ArmciMpi {
-            world: proc.world(),
+            world,
             cfg,
+            pool,
             table: RefCell::new(GmrTable::new()),
             gmrs: RefCell::new(HashMap::new()),
             // Base of this process's global address space; non-zero so
@@ -239,6 +251,39 @@ impl ArmciMpi {
     /// Cost of a local memcpy of `bytes` (staging).
     pub(crate) fn copy_cost(&self, bytes: usize) -> f64 {
         bytes as f64 / self.world.platform().mpi.pack_rate
+    }
+
+    /// Leases `len` bytes of zeroed scratch from the registration-aware
+    /// pool. A miss charges the first-touch pin cost to this rank's
+    /// virtual clock; a hit reuses already-registered memory for free.
+    /// Both outcomes are recorded in [`StageStats`].
+    pub(crate) fn scratch(&self, len: usize) -> PoolBuf {
+        let buf = self.pool.take(len);
+        {
+            let mut st = self.stage_stats.borrow_mut();
+            if buf.was_hit() {
+                st.pool_hits += 1;
+            } else {
+                st.pool_misses += 1;
+                st.pool_reg_s += buf.reg_cost();
+            }
+        }
+        if buf.reg_cost() > 0.0 {
+            self.charge(buf.reg_cost());
+        }
+        buf
+    }
+
+    /// A snapshot of the scratch pool's counters (hits, misses, pinned
+    /// high-water mark, accounted registration time).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Resets the pool counters (cached registrations are kept — only
+    /// the statistics are zeroed).
+    pub fn reset_pool_stats(&self) {
+        self.pool.reset_stats();
     }
 }
 

@@ -63,9 +63,10 @@ impl ArmciMpi {
         }
         kind.check_len(src.len())?;
         let plan = self.plan_contiguous(OpClass::Acc, dst, src.len())?;
-        // Pre-scale into a staged buffer so the wire operation is MPI's
+        // Pre-scale into pooled staging so the wire operation is MPI's
         // unscaled SUM accumulate.
-        let staged = kind.prescale(src)?;
+        let mut staged = self.scratch(src.len());
+        kind.prescale_into(src, &mut staged)?;
         if !kind.is_unit_scale() {
             self.charge(self.copy_cost(src.len()));
         }
@@ -109,7 +110,8 @@ impl ArmciMpi {
         }
         kind.check_len(src.len())?;
         let plan = self.plan_contiguous(OpClass::Acc, dst, src.len())?;
-        let staged = kind.prescale(src)?;
+        let mut staged = self.scratch(src.len());
+        kind.prescale_into(src, &mut staged)?;
         if !kind.is_unit_scale() {
             self.charge(self.copy_cost(src.len()));
         }
@@ -129,7 +131,9 @@ impl ArmciMpi {
         if bytes == 0 {
             return Ok(());
         }
-        let mut tmp = vec![0u8; bytes];
+        // Pooled bounce buffer: the global→global copy path is the
+        // classic beneficiary of prepinned staging (§V-E1).
+        let mut tmp = self.scratch(bytes);
         if src.rank == self.rank_of_self() {
             // Local global buffer: exclusive-epoch direct access, copy
             // out, release (no window is locked while we then lock dst's).

@@ -12,7 +12,7 @@
 
 use crate::engine::ExecBuf;
 use crate::ArmciMpi;
-use armci::{ArmciResult, GlobalAddr, RmwOp};
+use armci::{ArmciError, ArmciResult, GlobalAddr, RmwOp};
 use mpisim::mpi3::FetchOp;
 use mpisim::LockMode;
 
@@ -39,7 +39,9 @@ impl ArmciMpi {
         self.stat(|s| s.mutex_locks += 1);
         {
             let gmrs = self.gmrs.borrow();
-            let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+            let gmr = gmrs
+                .get(&tr.gmr)
+                .ok_or(ArmciError::GmrVanished { gmr: tr.gmr })?;
             gmr.rmw_mutexes.lock(0, tr.group_rank)?;
         }
         let result = (|| {
@@ -67,7 +69,9 @@ impl ArmciMpi {
         })();
         // Release the mutex even on error.
         let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        let gmr = gmrs
+            .get(&tr.gmr)
+            .ok_or(ArmciError::GmrVanished { gmr: tr.gmr })?;
         gmr.rmw_mutexes.unlock(0, tr.group_rank)?;
         result
     }
@@ -76,7 +80,9 @@ impl ArmciMpi {
     fn rmw_mpi3(&self, op: RmwOp, target: GlobalAddr) -> ArmciResult<i64> {
         let tr = self.translate(target, 8)?;
         let gmrs = self.gmrs.borrow();
-        let gmr = gmrs.get(&tr.gmr).expect("translated GMR must exist");
+        let gmr = gmrs
+            .get(&tr.gmr)
+            .ok_or(ArmciError::GmrVanished { gmr: tr.gmr })?;
         // Under epochless mode the window-wide lock_all epoch already
         // covers the atomic; otherwise open a shared epoch around it.
         if !self.cfg.epochless {

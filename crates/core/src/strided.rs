@@ -24,6 +24,7 @@ use armci::stride::{total_bytes, validate, StridedIter};
 use armci::{
     strided_to_subarray, AccKind, ArmciResult, GlobalAddr, IovDesc, NbHandle, StridedMethod,
 };
+use simnet::PoolBuf;
 
 impl ArmciMpi {
     /// Builds the IOV descriptor for a strided transfer where the remote
@@ -121,17 +122,21 @@ impl ArmciMpi {
         dst: GlobalAddr,
         dst_strides: &[usize],
         count: &[usize],
-    ) -> ArmciResult<(Vec<TransferPlan>, Vec<u8>)> {
+    ) -> ArmciResult<(Vec<TransferPlan>, PoolBuf)> {
         kind.check_len(count[0])?;
         if self.cfg.strided == StridedMethod::Direct
             && strided_to_subarray(dst_strides, count).is_some()
         {
+            // Gather the origin segments into pooled scratch (the pack an
+            // MPI implementation would do anyway), then scale in place.
             let total = total_bytes(count);
-            let mut gathered = Vec::with_capacity(total);
+            let mut staged = self.scratch(total);
+            let mut w = 0usize;
             for (sdisp, _) in StridedIter::new(src_strides, dst_strides, count)? {
-                gathered.extend_from_slice(&src[sdisp..sdisp + count[0]]);
+                staged[w..w + count[0]].copy_from_slice(&src[sdisp..sdisp + count[0]]);
+                w += count[0];
             }
-            let staged = kind.prescale(&gathered)?;
+            kind.scale_in_place(&mut staged)?;
             self.charge(self.copy_cost(total));
             let plan = self.plan_strided_direct_acc(dst, dst_strides, count, staged.len())?;
             return Ok((vec![plan], staged));

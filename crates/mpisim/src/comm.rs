@@ -238,6 +238,41 @@ impl Comm {
         res.as_ref().clone()
     }
 
+    /// Allgather of one `u64` per rank — the typed fast path for window
+    /// and allocation metadata exchanges (no per-rank `Vec` decoding,
+    /// no `try_into().unwrap()` at every call site).
+    pub fn allgather_u64(&self, v: u64) -> Vec<u64> {
+        self.allgather_u64s(&[v]).iter().map(|p| p[0]).collect()
+    }
+
+    /// Allgather of a fixed-length `u64` record per rank.
+    pub fn allgather_u64s(&self, vals: &[u64]) -> Vec<Vec<u64>> {
+        let mut buf = Vec::with_capacity(vals.len() * 8);
+        coll::wire::put_u64s(&mut buf, vals);
+        let res = self.inner.coll.exchange(self.my_comm_rank, buf);
+        self.sync_clocks(self.coll_cost(vals.len() * 8));
+        res.iter()
+            .map(|b| coll::wire::get_u64s(b, vals.len()).0)
+            .collect()
+    }
+
+    /// Broadcast of one `u64` from `root` (id distribution).
+    pub fn bcast_u64(&self, root: usize, v: Option<u64>) -> u64 {
+        assert!(root < self.size(), "bcast: bad root {root}");
+        let mine = match (self.my_comm_rank == root, v) {
+            (true, Some(x)) => {
+                let mut b = Vec::with_capacity(8);
+                coll::wire::put_u64s(&mut b, &[x]);
+                b
+            }
+            (true, None) => panic!("root must supply the broadcast payload"),
+            (false, _) => Vec::new(),
+        };
+        let res = self.inner.coll.exchange(self.my_comm_rank, mine);
+        self.sync_clocks(self.coll_cost(8));
+        coll::wire::get_u64s(&res[root], 1).0[0]
+    }
+
     /// Broadcast from `root`: the root passes `Some(payload)`, everyone
     /// receives the payload.
     pub fn bcast_bytes(&self, root: usize, data: Option<Vec<u8>>) -> Vec<u8> {
@@ -356,12 +391,11 @@ impl Comm {
     pub fn dup(&self) -> Comm {
         // Rank 0 allocates the context id and broadcasts it.
         let id = if self.my_comm_rank == 0 {
-            Some(self.shared.alloc_comm_id().to_le_bytes().to_vec())
+            Some(self.shared.alloc_comm_id())
         } else {
             None
         };
-        let id_bytes = self.bcast_bytes(0, id);
-        let id = u64::from_le_bytes(id_bytes.as_slice().try_into().unwrap());
+        let id = self.bcast_u64(0, id);
         let inner = self.register_comm(id, self.inner.members.clone());
         self.comm_from(inner)
     }
@@ -466,7 +500,7 @@ impl Comm {
             id
         } else {
             let (bytes, _) = self.recv(RecvSrc::Rank(members[0]), TAG_NONCOLL_CTX);
-            u64::from_le_bytes(bytes.as_slice().try_into().unwrap())
+            coll::wire::get_u64s(&bytes, 1).0[0]
         };
         let world_members: Vec<usize> = members.iter().map(|&r| self.inner.members[r]).collect();
         let inner = self.register_comm(id, world_members);

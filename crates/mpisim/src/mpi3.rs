@@ -103,14 +103,15 @@ impl WinHandle {
         tdisp: usize,
         op: FetchOp,
     ) -> MpiResult<i64> {
-        self.rmw_guarded(target, tdisp, 8, |bytes| {
-            let old = i64::from_le_bytes(bytes.try_into().unwrap());
+        self.rmw_guarded(target, tdisp, |cell| {
+            let old = i64::from_le_bytes(*cell);
             let new = match op {
                 FetchOp::Sum => old.wrapping_add(operand),
                 FetchOp::Replace => operand,
                 FetchOp::NoOp => old,
             };
-            (new.to_le_bytes().to_vec(), old)
+            *cell = new.to_le_bytes();
+            old
         })
     }
 
@@ -122,14 +123,15 @@ impl WinHandle {
         tdisp: usize,
         op: FetchOp,
     ) -> MpiResult<f64> {
-        let old = self.rmw_guarded(target, tdisp, 8, |bytes| {
-            let old = f64::from_le_bytes(bytes.try_into().unwrap());
+        let old = self.rmw_guarded(target, tdisp, |cell| {
+            let old = f64::from_le_bytes(*cell);
             let new = match op {
                 FetchOp::Sum => old + operand,
                 FetchOp::Replace => operand,
                 FetchOp::NoOp => old,
             };
-            (new.to_le_bytes().to_vec(), old.to_bits() as i64)
+            *cell = new.to_le_bytes();
+            old.to_bits() as i64
         })?;
         Ok(f64::from_bits(old as u64))
     }
@@ -143,20 +145,24 @@ impl WinHandle {
         target: usize,
         tdisp: usize,
     ) -> MpiResult<i64> {
-        self.rmw_guarded(target, tdisp, 8, |bytes| {
-            let old = i64::from_le_bytes(bytes.try_into().unwrap());
+        self.rmw_guarded(target, tdisp, |cell| {
+            let old = i64::from_le_bytes(*cell);
             let new = if old == compare { swap } else { old };
-            (new.to_le_bytes().to_vec(), old)
+            *cell = new.to_le_bytes();
+            old
         })
     }
 
+    /// Atomically applies `f` to the 8-byte cell at `tdisp` on `target`.
+    /// The mutator works in place on a stack array — RMW ops allocate
+    /// nothing per call.
     fn rmw_guarded(
         &self,
         target: usize,
         tdisp: usize,
-        width: usize,
-        f: impl FnOnce(&[u8]) -> (Vec<u8>, i64),
+        f: impl FnOnce(&mut [u8; 8]) -> i64,
     ) -> MpiResult<i64> {
+        const WIDTH: usize = 8;
         if target >= self.size_count() {
             return Err(MpiError::BadRank {
                 rank: target,
@@ -167,11 +173,11 @@ impl WinHandle {
             return Err(MpiError::NoEpoch { target });
         }
         let size = self.size_of(target);
-        if tdisp + width > size {
+        if tdisp + WIDTH > size {
             return Err(MpiError::OutOfBounds {
                 target,
                 disp: tdisp,
-                len: width,
+                len: WIDTH,
                 size,
             });
         }
@@ -180,8 +186,10 @@ impl WinHandle {
             let _g = io.lock();
             // Safety: `io` serialises all access to the slice.
             let slice = unsafe { &mut **buf };
-            let (new, old) = f(&slice[tdisp..tdisp + width]);
-            slice[tdisp..tdisp + width].copy_from_slice(&new);
+            let mut cell = [0u8; WIDTH];
+            cell.copy_from_slice(&slice[tdisp..tdisp + WIDTH]);
+            let old = f(&mut cell);
+            slice[tdisp..tdisp + WIDTH].copy_from_slice(&cell);
             old
         };
         self.charge_pub(self.params_pub().rmw_latency);

@@ -4,7 +4,7 @@ use crate::coll::CollectiveCell;
 use crate::comm::{Comm, CommInner};
 use crate::p2p::Mailbox;
 use crate::win::WinInner;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use simnet::{Platform, PlatformId, VClock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,6 +54,10 @@ pub(crate) struct Shared {
     pub next_comm_id: AtomicU64,
     pub wins: RwLock<HashMap<u64, Arc<WinInner>>>,
     pub next_win_id: AtomicU64,
+    /// Ids of freed windows, reused by [`Shared::alloc_win_id`] so
+    /// alloc/free cycles keep the id space (and every table keyed by
+    /// window id) bounded instead of growing monotonically.
+    pub free_win_ids: Mutex<Vec<u64>>,
     /// Generic shared-segment registry: lets higher layers (e.g. the
     /// native ARMCI baseline, which models XPMEM-style shared memory)
     /// publish cross-rank state without going through MPI windows.
@@ -81,6 +85,7 @@ impl Shared {
             next_comm_id: AtomicU64::new(1),
             wins: RwLock::new(HashMap::new()),
             next_win_id: AtomicU64::new(1),
+            free_win_ids: Mutex::new(Vec::new()),
             shmem: RwLock::new(HashMap::new()),
             next_uid: AtomicU64::new(1),
         })
@@ -91,9 +96,19 @@ impl Shared {
         self.next_comm_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Allocates a fresh window id.
+    /// Allocates a window id, preferring ids recycled by
+    /// [`Shared::recycle_win_id`] over growing the counter.
     pub fn alloc_win_id(&self) -> u64 {
+        if let Some(id) = self.free_win_ids.lock().pop() {
+            return id;
+        }
         self.next_win_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Returns a window id to the free list. Called exactly once per
+    /// freed window, after its `wins` entry has been removed.
+    pub fn recycle_win_id(&self, id: u64) {
+        self.free_win_ids.lock().push(id);
     }
 
     /// Allocates a fresh generic uid (shared-segment registry keys).

@@ -23,6 +23,7 @@ use crate::dtype::{zip_segments, Datatype};
 use crate::error::{MpiError, MpiResult};
 use crate::runtime::Shared;
 use parking_lot::{Condvar, Mutex};
+use simnet::pool::{BufferPool, RegistrationPolicy};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -201,6 +202,11 @@ pub struct WinHandle {
     pub(crate) inner: Arc<WinInner>,
     pub(crate) comm: Comm,
     epochs: RefCell<HashMap<usize, Epoch>>,
+    /// Scratch pool for datatype pack/unpack staging. Policy is
+    /// `Unregistered`: these copies are simulator-internal (they never
+    /// cross the modelled NIC), so only the allocator churn is saved —
+    /// the cost model is untouched.
+    pool: BufferPool,
     pub(crate) lock_all_active: Cell<bool>,
     /// Active-target (fence) epoch open on this handle (§III "active
     /// mode"). Between two `fence` calls every rank may be both origin
@@ -212,17 +218,18 @@ impl WinHandle {
     /// Collectively creates a window; this rank contributes `local_size`
     /// bytes (zero-initialised). Zero-size contributions are allowed.
     pub fn create(comm: &Comm, local_size: usize) -> WinHandle {
-        // Leader allocates the id.
+        // Leader allocates the id (recycled from freed windows when
+        // available, so alloc/free cycles keep the id space bounded).
         let id = if comm.rank() == 0 {
-            Some(comm.shared.alloc_win_id().to_le_bytes().to_vec())
+            Some(comm.shared.alloc_win_id())
         } else {
             None
         };
-        let id = u64::from_le_bytes(comm.bcast_bytes(0, id).as_slice().try_into().unwrap());
-        let sizes_u64 = comm.allgather_bytes((local_size as u64).to_le_bytes().to_vec());
-        let sizes: Vec<usize> = sizes_u64
-            .iter()
-            .map(|b| u64::from_le_bytes(b.as_slice().try_into().unwrap()) as usize)
+        let id = comm.bcast_u64(0, id);
+        let sizes: Vec<usize> = comm
+            .allgather_u64(local_size as u64)
+            .into_iter()
+            .map(|s| s as usize)
             .collect();
         let inner = {
             let mut wins = comm.shared.wins.write();
@@ -241,6 +248,10 @@ impl WinHandle {
             inner,
             comm: comm.clone(),
             epochs: RefCell::new(HashMap::new()),
+            pool: BufferPool::new(
+                RegistrationPolicy::Unregistered,
+                comm.platform().reg.clone(),
+            ),
             lock_all_active: Cell::new(false),
             active_epoch: Cell::new(false),
         }
@@ -629,9 +640,13 @@ impl WinHandle {
                 target_bytes: tdt.size(),
             });
         }
-        let mut staged = Vec::with_capacity(odt.size());
+        // Pack the origin into pooled scratch (steady-state: zero
+        // allocations per accumulate).
+        let mut staged = self.pool.take(odt.size());
+        let mut w = 0usize;
         for &(off, len) in &osegs {
-            staged.extend_from_slice(&origin[off..off + len]);
+            staged[w..w + len].copy_from_slice(&origin[off..off + len]);
+            w += len;
         }
         let mem = &self.inner.mem[target];
         {
@@ -720,9 +735,24 @@ impl WinHandle {
                 && !self.active_epoch.get(),
             "window freed with open epochs"
         );
+        // Every rank calls free; the first one to get here removes the
+        // registry entry and recycles the id. Later ranks must compare
+        // the stored `Arc` — the id may already name a *new* window
+        // created from the free list (the registry is only consulted at
+        // create time, so in-flight peers are unaffected). Recycling
+        // before the barrier guarantees the slot is visible to the next
+        // collective create on this communicator.
+        {
+            let mut wins = self.shared.wins.write();
+            if let Some(cur) = wins.get(&self.inner.id) {
+                if Arc::ptr_eq(cur, &self.inner) {
+                    wins.remove(&self.inner.id);
+                    self.shared.recycle_win_id(self.inner.id);
+                }
+            }
+        }
         self.comm.barrier();
         self.inner.freed.store(true, Ordering::Release);
-        self.shared.wins.write().remove(&self.inner.id);
         Ok(())
     }
 

@@ -29,9 +29,11 @@
 pub mod clock;
 pub mod cost;
 pub mod platform;
+pub mod pool;
 pub mod registration;
 
 pub use clock::VClock;
 pub use cost::{BackendParams, LinkParams, Op, StridedMethodCost};
 pub use platform::{ComputeParams, Platform, PlatformId};
+pub use pool::{BufferPool, PoolBuf, PoolStats, RegistrationPolicy};
 pub use registration::{BufferKind, RegParams, RegistrationTracker};

@@ -37,6 +37,20 @@ pub struct RegParams {
     pub nonpinned_bw_factor: f64,
 }
 
+impl RegParams {
+    /// First-touch cost of registering (pinning) `bytes` of memory:
+    /// the fixed `ibv_reg_mr` syscall cost plus a per-page charge.
+    pub fn pin_cost(&self, bytes: usize) -> f64 {
+        let pages = bytes.div_ceil(self.page_size);
+        self.pin_base + pages as f64 * self.pin_per_page
+    }
+
+    /// Cost of copying `bytes` through prepinned bounce buffers.
+    pub fn bounce_cost(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.copy_rate
+    }
+}
+
 /// How a local buffer was obtained, for the purposes of registration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum BufferKind {
@@ -120,9 +134,8 @@ impl RegistrationTracker {
                     link.xfer_time(bytes) + bytes as f64 / reg.copy_rate
                 } else {
                     // Pin on demand, then zero-copy; registration persists.
-                    let pages = bytes.div_ceil(reg.page_size);
                     self.mpi_registered.insert(buf);
-                    reg.pin_base + pages as f64 * reg.pin_per_page + link.xfer_time(bytes)
+                    reg.pin_cost(bytes) + link.xfer_time(bytes)
                 }
             }
             Mover::NativeArmci => {

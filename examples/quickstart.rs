@@ -46,6 +46,31 @@ fn main() {
         }
 
         a.sync();
+
+        // The runtime keeps per-stage counters for every transfer it
+        // executed, including the registration-aware staging pool that
+        // backs accumulate/strided scratch buffers.
+        if rt.rank() == 0 {
+            let s = rt.stage_stats();
+            println!(
+                "engine: {} plans, {} ops executed, {} epochs acquired",
+                s.plans, s.executed_ops, s.acquires
+            );
+            let takes = s.pool_hits + s.pool_misses;
+            let hit_rate = if takes > 0 {
+                s.pool_hits as f64 / takes as f64
+            } else {
+                0.0
+            };
+            println!(
+                "staging pool: {} takes, {:.0}% hit rate, {:.3} µs registering",
+                takes,
+                hit_rate * 100.0,
+                s.pool_reg_s * 1e6
+            );
+        }
+
+        a.sync();
         a.destroy().unwrap();
     });
     println!("quickstart finished.");

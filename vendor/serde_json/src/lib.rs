@@ -1,19 +1,31 @@
 //! Offline stand-in for `serde_json`: renders the vendored serde
-//! [`Value`] model as JSON text with 2-space-indented pretty printing,
-//! which is all the workspace uses (`to_string_pretty`).
+//! [`Value`] model as JSON text with 2-space-indented pretty printing
+//! (`to_string_pretty`), and parses JSON text back into [`Value`]
+//! (`from_str`) so artifact schemas can be validated without a
+//! `Deserialize` machinery.
 
 use serde::{Serialize, Value};
 use std::fmt;
 
-/// Serialization error. The vendored data model is infallible to
-/// render, so this is never actually produced, but the signature
-/// matches real serde_json so call sites can `.unwrap()`.
+/// Serialization or parse error. Rendering the vendored data model is
+/// infallible, so serialization never produces one; parsing reports the
+/// byte offset and a short description.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn parse(offset: usize, msg: &str) -> Error {
+        Error(format!("JSON parse error at byte {offset}: {msg}"))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serde_json stand-in error")
+        if self.0.is_empty() {
+            write!(f, "serde_json stand-in error")
+        } else {
+            write!(f, "{}", self.0)
+        }
     }
 }
 
@@ -29,6 +41,213 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 /// Renders `value` as compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(compact(&value.to_value()))
+}
+
+/// Parses JSON text into a [`Value`]. Numbers without a fraction or
+/// exponent parse as `Int`/`UInt`; everything else numeric is `Float`.
+/// Trailing non-whitespace after the top-level value is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != b.len() {
+        return Err(Error::parse(p.pos, "trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.pos) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), Error> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, &format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.b[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::parse(self.pos, &format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(Error::parse(self.pos, "unexpected character")),
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::parse(self.pos, "truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::parse(self.pos, "bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::parse(self.pos, "bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for the
+                            // artifact schemas; map lone surrogates to
+                            // the replacement character.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(Error::parse(self.pos, "unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar from the source text.
+                    let rest = &self.b[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::parse(self.pos, "invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos])
+            .map_err(|_| Error::parse(start, "invalid number"))?;
+        if float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::parse(start, "invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::parse(start, "invalid number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::parse(start, "invalid number"))
+        }
+    }
 }
 
 fn compact(v: &Value) -> String {
@@ -175,6 +394,50 @@ mod tests {
         assert!(s.contains("3.0"));
         assert!(s.contains("null"));
         assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_output() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("fig\"5\"".into())),
+            ("warm".into(), Value::Bool(true)),
+            ("n".into(), Value::Int(-3)),
+            ("u".into(), Value::UInt(42)),
+            ("bw".into(), Value::Float(2.5e9)),
+            ("gap".into(), Value::Null),
+            (
+                "points".into(),
+                Value::Array(vec![Value::UInt(8), Value::Float(0.25)]),
+            ),
+        ]);
+        struct W(Value);
+        impl Serialize for W {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let text = to_string_pretty(&W(v.clone())).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+        let compact = to_string(&W(v.clone())).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("{\"a\":1} trailing").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn parse_numbers_keep_integer_types() {
+        assert_eq!(from_str("7").unwrap(), Value::UInt(7));
+        assert_eq!(from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str("7.5").unwrap(), Value::Float(7.5));
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
     }
 
     #[test]
