@@ -99,6 +99,13 @@ pub trait Armci {
     /// The world group.
     fn world_group(&self) -> ArmciGroup;
 
+    /// The caller's current virtual time in seconds, for trace event
+    /// stamps. Backends without a clock report 0.0 (events then fall back
+    /// to the recording thread's last known time).
+    fn vtime(&self) -> f64 {
+        0.0
+    }
+
     // ---------------- memory management ---------------------------------
 
     /// `ARMCI_Malloc`: collectively allocates `bytes` of globally

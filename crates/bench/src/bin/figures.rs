@@ -11,7 +11,7 @@
 //! exits nonzero on drift — CI regenerates the cheap artifacts and runs
 //! it to catch accidental serializer or struct-shape changes.
 
-use bench::{fig3, fig4, fig5, fig6r, pipeline, pool, table2};
+use bench::{fig3, fig4, fig5, fig6r, pipeline, pool, table2, trace};
 use serde::Value;
 use simnet::PlatformId;
 
@@ -77,6 +77,10 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
                 ("pool_hits", Kind::UInt),
                 ("pool_misses", Kind::UInt),
                 ("pool_reg_s", Kind::Num),
+                ("pool_hit_rate", Kind::Num),
+                ("epoch_held_s", Kind::Num),
+                ("pack_s", Kind::Num),
+                ("rma_ops", Kind::UInt),
             ],
         ),
         (
@@ -150,7 +154,104 @@ fn check(dir: &str) -> usize {
         }
         eprintln!("[figures check] {path}: {} rows", rows.len());
     }
+    for (name, want_cats) in [
+        ("TRACE_fig3", &["epoch", "stage", "pack", "op"][..]),
+        ("TRACE_ccsd", &["epoch", "stage", "op"][..]),
+    ] {
+        check_trace(dir, name, want_cats, &mut complain);
+    }
+    check_report(dir, &mut complain);
     problems
+}
+
+/// Validates a Chrome-trace artifact: a top-level object whose nonempty
+/// `traceEvents` array holds events with `name`/`cat`/`ph`/`ts` fields
+/// and covers at least `want_cats` categories.
+fn check_trace(dir: &str, name: &str, want_cats: &[&str], complain: &mut impl FnMut(String)) {
+    let path = format!("{dir}/{name}.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return complain(format!("{path}: unreadable: {e}")),
+    };
+    let top = match serde_json::from_str(&text) {
+        Ok(Value::Object(top)) => top,
+        Ok(_) => return complain(format!("{path}: top level is not an object")),
+        Err(e) => return complain(format!("{path}: {e}")),
+    };
+    let Some((_, Value::Array(events))) = top.iter().find(|(k, _)| k == "traceEvents") else {
+        return complain(format!("{path}: missing `traceEvents` array"));
+    };
+    if events.is_empty() {
+        return complain(format!("{path}: empty trace"));
+    }
+    let mut cats = std::collections::HashSet::new();
+    for (i, e) in events.iter().enumerate() {
+        let Value::Object(fields) = e else {
+            return complain(format!("{path}: traceEvents[{i}] is not an object"));
+        };
+        for key in ["name", "cat", "ph", "ts"] {
+            if !fields.iter().any(|(k, _)| k == key) {
+                return complain(format!("{path}: traceEvents[{i}] missing `{key}`"));
+            }
+        }
+        if let Some((_, Value::Str(c))) = fields.iter().find(|(k, _)| k == "cat") {
+            cats.insert(c.clone());
+        }
+    }
+    for want in want_cats {
+        if !cats.contains(*want) {
+            complain(format!("{path}: no `{want}` spans in trace"));
+        }
+    }
+    eprintln!("[figures check] {path}: {} events", events.len());
+}
+
+/// Validates the OBS_report artifact: `counters` / `times` /
+/// `histograms` maps with the kinds the registry serialises.
+fn check_report(dir: &str, complain: &mut impl FnMut(String)) {
+    let path = format!("{dir}/OBS_report.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return complain(format!("{path}: unreadable: {e}")),
+    };
+    let top = match serde_json::from_str(&text) {
+        Ok(Value::Object(top)) => top,
+        Ok(_) => return complain(format!("{path}: top level is not an object")),
+        Err(e) => return complain(format!("{path}: {e}")),
+    };
+    for (section, kind) in [
+        ("counters", Kind::UInt),
+        ("times", Kind::Num),
+        ("histograms", Kind::Num),
+    ] {
+        let Some((_, Value::Object(entries))) = top.iter().find(|(k, _)| k == section) else {
+            complain(format!("{path}: missing `{section}` object"));
+            continue;
+        };
+        if section == "histograms" {
+            for (k, v) in entries {
+                let ok = matches!(v, Value::Object(h)
+                    if h.iter().any(|(hk, _)| hk == "count")
+                        && h.iter().any(|(hk, _)| hk == "buckets_log2us"));
+                if !ok {
+                    complain(format!("{path}: histogram `{k}` malformed"));
+                }
+            }
+        } else {
+            for (k, v) in entries {
+                if !kind_ok(v, kind) {
+                    complain(format!("{path}: `{section}.{k}` has wrong kind"));
+                }
+            }
+        }
+    }
+    if !top
+        .iter()
+        .any(|(k, v)| k == "counters" && matches!(v, Value::Object(o) if !o.is_empty()))
+    {
+        complain(format!("{path}: report has no counters"));
+    }
+    eprintln!("[figures check] {path}: ok");
 }
 
 fn main() {
@@ -271,5 +372,28 @@ fn main() {
             everything.extend(series);
         }
         dump("fig6", &serde_json::to_string_pretty(&everything).unwrap());
+    }
+    if all || what == "trace" {
+        let mut violations = 0usize;
+        let mut combined = Vec::new();
+        for (name, cap) in [
+            ("TRACE_fig3", trace::fig3_capture()),
+            ("TRACE_ccsd", trace::ccsd_capture()),
+        ] {
+            eprintln!("[figures] {name}: {} events", cap.events.len());
+            for v in cap.audit() {
+                eprintln!("[figures] {name} AUDIT {v}");
+                violations += 1;
+            }
+            dump(name, &cap.chrome_json());
+            combined.extend(cap.events);
+        }
+        let reg = obs::metrics::Registry::from_events(&combined);
+        print!("{}", reg.render());
+        dump("OBS_report", &reg.to_json());
+        if violations > 0 {
+            eprintln!("[figures] FAILED: {violations} epoch-invariant violation(s)");
+            std::process::exit(1);
+        }
     }
 }

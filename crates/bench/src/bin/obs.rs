@@ -1,0 +1,108 @@
+//! Observability CLI over the instrumented runtime.
+//!
+//! ```text
+//! obs trace [fig3|ccsd] [--out PATH] [--jsonl]
+//! obs report [fig3|ccsd|all]
+//! obs audit [fig3|ccsd]
+//! obs overhead [REPS]
+//! ```
+//!
+//! `trace` captures the named workload with the recorder enabled and
+//! writes Chrome-trace JSON (open in `chrome://tracing` or Perfetto) —
+//! or one event per line with `--jsonl` — to `--out` (default stdout).
+//! `report` prints the one-screen folded metrics summary. `audit`
+//! replays the trace through the epoch-invariant auditor and exits
+//! nonzero if any illegal interleaving is found. `overhead` times a
+//! contiguous put/get loop for A/B against a `--features obs/off` build
+//! of this same binary (the <5% recorder-overhead acceptance check).
+
+use bench::trace::{self, Capture};
+
+fn capture_named(name: &str) -> Capture {
+    match name {
+        "fig3" => trace::fig3_capture(),
+        "ccsd" => trace::ccsd_capture(),
+        other => {
+            eprintln!("[obs] unknown workload `{other}` (want fig3 or ccsd)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("report");
+    let mut workload = "fig3".to_string();
+    let mut out: Option<String> = None;
+    let mut jsonl = false;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(it.next().expect("--out needs a path").clone()),
+            "--jsonl" => jsonl = true,
+            other => workload = other.to_string(),
+        }
+    }
+    match cmd {
+        "trace" => {
+            let cap = capture_named(&workload);
+            let text = if jsonl {
+                obs::chrome::to_jsonl(&cap.events)
+            } else {
+                cap.chrome_json()
+            };
+            match &out {
+                Some(path) => {
+                    if let Some(dir) = std::path::Path::new(path).parent() {
+                        let _ = std::fs::create_dir_all(dir);
+                    }
+                    std::fs::write(path, &text).expect("write trace");
+                    eprintln!("[obs] {} events -> {path}", cap.events.len());
+                }
+                None => print!("{text}"),
+            }
+        }
+        "report" => {
+            let caps = if workload == "all" {
+                vec![trace::fig3_capture(), trace::ccsd_capture()]
+            } else {
+                vec![capture_named(&workload)]
+            };
+            let events: Vec<obs::Event> = caps.into_iter().flat_map(|c| c.events).collect();
+            print!("{}", obs::metrics::Registry::from_events(&events).render());
+        }
+        "audit" => {
+            let cap = capture_named(&workload);
+            let violations = cap.audit();
+            for v in &violations {
+                eprintln!("[obs audit] {v}");
+            }
+            if violations.is_empty() {
+                eprintln!(
+                    "[obs audit] {workload}: clean ({} events)",
+                    cap.events.len()
+                );
+            } else {
+                eprintln!("[obs audit] FAILED: {} violation(s)", violations.len());
+                std::process::exit(1);
+            }
+        }
+        "overhead" => {
+            let reps: usize = workload.parse().unwrap_or(200);
+            let dt = trace::contig_overhead(reps);
+            println!(
+                "contig put/get x{reps}: {:.1} ms (recorder {})",
+                dt.as_secs_f64() * 1e3,
+                if obs::COMPILED_IN {
+                    "recording"
+                } else {
+                    "compiled out"
+                }
+            );
+        }
+        other => {
+            eprintln!("[obs] unknown command `{other}` (want trace, report, audit or overhead)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -29,6 +29,7 @@ pub mod fig6r;
 pub mod pipeline;
 pub mod pool;
 pub mod table2;
+pub mod trace;
 
 /// Formats a byte count like the paper's axes (powers of two).
 pub fn fmt_bytes(b: usize) -> String {

@@ -10,7 +10,7 @@
 //! waiting, so they also show epoch aggregation at work.
 
 use armci::{AccKind, Armci};
-use armci_mpi::{ArmciMpi, Config};
+use armci_mpi::{ArmciMpi, Config, StageStats};
 use mpisim::{Runtime, RuntimeConfig};
 use serde::Serialize;
 use simnet::PlatformId;
@@ -46,6 +46,15 @@ pub struct Row {
     pub pool_hits: u64,
     pub pool_misses: u64,
     pub pool_reg_s: f64,
+    /// Pool hit-rate for this phase alone (0.0 when the pool was idle).
+    pub pool_hit_rate: f64,
+    // Recorder-derived phase totals (zero when obs is compiled out).
+    /// Virtual seconds passive-target locks were held during the phase.
+    pub epoch_held_s: f64,
+    /// Virtual seconds charged to datatype pack/unpack.
+    pub pack_s: f64,
+    /// MPI-level RMA operations the recorder saw this phase.
+    pub rma_ops: u64,
 }
 
 /// Figure 3 contiguous sizes (a coarse subset: 1 KiB … 1 MiB).
@@ -65,7 +74,17 @@ pub fn generate(platform: PlatformId) -> Vec<Row> {
     Runtime::run_with(2, cfg, move |p| measure(p, platform)).swap_remove(0)
 }
 
+/// Marks a phase boundary: snapshots the running stage counters and
+/// drains this thread's recorder buffer so [`row`] sees only the
+/// phase's own events. The counters themselves are never reset — the
+/// cumulative totals stay available to the caller.
+fn phase_start(rt: &ArmciMpi) -> StageStats {
+    let _ = obs::take_local();
+    rt.stage_stats()
+}
+
 fn measure(p: &mpisim::Proc, platform: PlatformId) -> Vec<Row> {
+    obs::enable();
     let rt = ArmciMpi::with_config(
         p,
         Config {
@@ -86,7 +105,7 @@ fn measure(p: &mpisim::Proc, platform: PlatformId) -> Vec<Row> {
         let src = vec![1u8; max_contig.max(max_strided)];
         for &size in &contig_sizes() {
             for nonblocking in [false, true] {
-                rt.reset_stage_stats();
+                let s0 = phase_start(&rt);
                 if nonblocking {
                     let mut hs = Vec::new();
                     for _ in 0..BURST {
@@ -98,14 +117,14 @@ fn measure(p: &mpisim::Proc, platform: PlatformId) -> Vec<Row> {
                         rt.put(&src[..size], bases[1]).unwrap();
                     }
                 }
-                rows.push(row(platform, "contig-put", size, 1, nonblocking, &rt));
+                rows.push(row(platform, "contig-put", size, 1, nonblocking, &rt, &s0));
             }
         }
         for &size in &contig_sizes() {
             // Accumulate: the pre-scale staging draws from the buffer
             // pool, so these rows exercise the pool counters.
             for nonblocking in [false, true] {
-                rt.reset_stage_stats();
+                let s0 = phase_start(&rt);
                 if nonblocking {
                     let mut hs = Vec::new();
                     for _ in 0..BURST {
@@ -117,7 +136,7 @@ fn measure(p: &mpisim::Proc, platform: PlatformId) -> Vec<Row> {
                         rt.acc(AccKind::Int(2), &src[..size], bases[1]).unwrap();
                     }
                 }
-                rows.push(row(platform, "contig-acc", size, 1, nonblocking, &rt));
+                rows.push(row(platform, "contig-acc", size, 1, nonblocking, &rt, &s0));
             }
         }
         for &(seg, n) in &strided_shapes() {
@@ -125,7 +144,7 @@ fn measure(p: &mpisim::Proc, platform: PlatformId) -> Vec<Row> {
             let lstr = [seg]; // dense local
             let rstr = [2 * seg]; // 50%-dense remote, as in Figure 4
             for nonblocking in [false, true] {
-                rt.reset_stage_stats();
+                let s0 = phase_start(&rt);
                 if nonblocking {
                     let mut hs = Vec::new();
                     for _ in 0..BURST {
@@ -141,7 +160,7 @@ fn measure(p: &mpisim::Proc, platform: PlatformId) -> Vec<Row> {
                             .unwrap();
                     }
                 }
-                rows.push(row(platform, "strided-put", seg, n, nonblocking, &rt));
+                rows.push(row(platform, "strided-put", seg, n, nonblocking, &rt, &s0));
             }
         }
     }
@@ -157,8 +176,10 @@ fn row(
     segments: usize,
     nonblocking: bool,
     rt: &ArmciMpi,
+    since: &StageStats,
 ) -> Row {
-    let g = rt.stage_stats();
+    let g = rt.stage_stats().delta(since);
+    let reg = obs::metrics::Registry::from_events(&obs::take_local());
     Row {
         platform,
         workload,
@@ -178,6 +199,13 @@ fn row(
         pool_hits: g.pool_hits,
         pool_misses: g.pool_misses,
         pool_reg_s: g.pool_reg_s,
+        pool_hit_rate: g.pool_hit_rate(),
+        epoch_held_s: reg.time("epoch_held_s"),
+        pack_s: reg.time("pack_s"),
+        rma_ops: reg.counter("rma.put")
+            + reg.counter("rma.get")
+            + reg.counter("rma.acc")
+            + reg.counter("rma.rmw"),
     }
 }
 

@@ -35,22 +35,47 @@ impl ArmciMpi {
         let gmrs = self.gmrs.borrow();
         let gmr = gmrs
             .get(&tr.gmr)
-            .ok_or(ArmciError::GmrVanished { gmr: tr.gmr })?;
+            .ok_or_else(|| crate::gmr::gmr_vanished(tr.gmr))?;
         if self.cfg.epochless {
             // MPI-3 unified memory model: local access under the
             // window-wide lock_all epoch, ordered by the win_sync
             // discipline (the simulator's per-rank I/O lock).
+            self.dla_begin(tr.gmr, true);
             let res = gmr
                 .win
                 .with_local_mut(|buf| f(&mut buf[tr.disp..tr.disp + len]));
+            self.dla_end(tr.gmr);
             return res.map_err(ArmciError::from);
         }
         gmr.win.lock(LockMode::Exclusive, tr.group_rank)?;
+        self.dla_begin(tr.gmr, true);
         let res = gmr
             .win
             .with_local_mut(|buf| f(&mut buf[tr.disp..tr.disp + len]));
+        self.dla_end(tr.gmr);
         gmr.win.unlock(tr.group_rank)?;
         res.map_err(ArmciError::from)
+    }
+
+    /// Records entry into an `ARMCI_Access_begin/end` region (the lock
+    /// that grants it is already held, so the auditor sees a covered
+    /// region).
+    fn dla_begin(&self, gmr: u64, exclusive: bool) {
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::DlaBegin {
+                    win: gmr,
+                    exclusive,
+                },
+                self.vnow(),
+            );
+        }
+    }
+
+    fn dla_end(&self, gmr: u64) {
+        if obs::enabled() {
+            obs::instant_at(obs::EventKind::DlaEnd { win: gmr }, self.vnow());
+        }
     }
 
     /// Read-only direct access (shared epoch on self).
@@ -73,14 +98,18 @@ impl ArmciMpi {
         let gmrs = self.gmrs.borrow();
         let gmr = gmrs
             .get(&tr.gmr)
-            .ok_or(ArmciError::GmrVanished { gmr: tr.gmr })?;
+            .ok_or_else(|| crate::gmr::gmr_vanished(tr.gmr))?;
         if self.cfg.epochless {
             // the lock_all epoch already grants shared access
+            self.dla_begin(tr.gmr, false);
             let res = gmr.win.with_local(|buf| f(&buf[tr.disp..tr.disp + len]));
+            self.dla_end(tr.gmr);
             return res.map_err(ArmciError::from);
         }
         gmr.win.lock(LockMode::Shared, tr.group_rank)?;
+        self.dla_begin(tr.gmr, false);
         let res = gmr.win.with_local(|buf| f(&buf[tr.disp..tr.disp + len]));
+        self.dla_end(tr.gmr);
         gmr.win.unlock(tr.group_rank)?;
         res.map_err(ArmciError::from)
     }

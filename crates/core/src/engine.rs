@@ -82,6 +82,30 @@ pub struct StageStats {
 }
 
 impl StageStats {
+    /// Field-wise difference `self − earlier`: the activity between two
+    /// snapshots taken with [`crate::ArmciMpi::stage_stats`]. Lets a
+    /// harness carve phases out of the running totals without resetting
+    /// them (and losing the cumulative view).
+    pub fn delta(&self, earlier: &StageStats) -> StageStats {
+        StageStats {
+            plans: self.plans - earlier.plans,
+            planned_ops: self.planned_ops - earlier.planned_ops,
+            acquires: self.acquires - earlier.acquires,
+            executed_ops: self.executed_ops - earlier.executed_ops,
+            completes: self.completes - earlier.completes,
+            nb_submitted: self.nb_submitted - earlier.nb_submitted,
+            nb_aggregated: self.nb_aggregated - earlier.nb_aggregated,
+            nb_waits: self.nb_waits - earlier.nb_waits,
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            pool_misses: self.pool_misses - earlier.pool_misses,
+            pool_reg_s: self.pool_reg_s - earlier.pool_reg_s,
+            plan_s: self.plan_s - earlier.plan_s,
+            acquire_s: self.acquire_s - earlier.acquire_s,
+            execute_s: self.execute_s - earlier.execute_s,
+            complete_s: self.complete_s - earlier.complete_s,
+        }
+    }
+
     /// Fraction of scratch-pool leases served from registered memory
     /// (0.0 when the pool was never used).
     pub fn pool_hit_rate(&self) -> f64 {
@@ -196,13 +220,23 @@ impl ArmciMpi {
     }
 
     fn note_plans(&self, t0: f64, plans: &[TransferPlan]) {
-        let dt = self.vnow() - t0;
+        let t1 = self.vnow();
         let ops: u64 = plans.iter().map(|p| p.ops.len() as u64).sum();
         self.stage(|g| {
             g.plans += plans.len() as u64;
             g.planned_ops += ops;
-            g.plan_s += dt;
+            g.plan_s += t1 - t0;
         });
+        if obs::enabled() {
+            obs::span(
+                obs::EventKind::Stage {
+                    stage: "plan",
+                    gmr: plans.first().map(|p| p.gmr).unwrap_or(0),
+                },
+                t0,
+                t1,
+            );
+        }
     }
 
     /// Lock mode for an operation of `class` against `gmr_id`, derived
@@ -211,7 +245,7 @@ impl ArmciMpi {
         let gmrs = self.gmrs.borrow();
         let gmr = gmrs
             .get(&gmr_id)
-            .ok_or(ArmciError::GmrVanished { gmr: gmr_id })?;
+            .ok_or_else(|| crate::gmr::gmr_vanished(gmr_id))?;
         Ok(self.lock_mode_for(gmr.mode.get(), class))
     }
 
@@ -344,6 +378,17 @@ impl ArmciMpi {
                 }
             }
         };
+        if obs::enabled() {
+            let (name, fast) = match method {
+                StridedMethod::IovConservative => ("iov_conservative", false),
+                StridedMethod::IovBatched { .. } => ("iov_batched", false),
+                StridedMethod::IovDatatype | StridedMethod::Direct => ("iov_datatype", true),
+                // Auto elected the datatype method iff the conflict-tree
+                // scan came back clean (one plan instead of one per segment).
+                StridedMethod::Auto => ("iov_auto", plans.len() == 1),
+            };
+            obs::instant_at(obs::EventKind::Method { name, fast }, self.vnow());
+        }
         self.note_plans(t0, &plans);
         Ok(plans)
     }
@@ -544,7 +589,7 @@ impl ArmciMpi {
         let gmrs = self.gmrs.borrow();
         let gmr = gmrs
             .get(&plan.gmr)
-            .ok_or(ArmciError::GmrVanished { gmr: plan.gmr })?;
+            .ok_or_else(|| crate::gmr::gmr_vanished(plan.gmr))?;
         // acquire
         let t0 = self.vnow();
         self.epoch_begin(gmr, plan.target, plan.mode)?;
@@ -571,8 +616,51 @@ impl ArmciMpi {
             g.execute_s += t2 - t1;
             g.complete_s += t3 - t2;
         });
+        obs::batch(|b| {
+            b.span(
+                obs::EventKind::Stage {
+                    stage: "acquire",
+                    gmr: plan.gmr,
+                },
+                t0,
+                t1,
+            );
+            b.span(
+                obs::EventKind::Stage {
+                    stage: "execute",
+                    gmr: plan.gmr,
+                },
+                t1,
+                t2,
+            );
+            b.span(
+                obs::EventKind::Stage {
+                    stage: "complete",
+                    gmr: plan.gmr,
+                },
+                t2,
+                t3,
+            );
+            b.span(
+                obs::EventKind::Op {
+                    name: Self::exec_name(buf),
+                    gmr: plan.gmr,
+                    bytes: plan.ops.iter().map(|o| o.bytes).sum(),
+                },
+                t0,
+                t3,
+            );
+        });
         end?;
         res
+    }
+
+    fn exec_name(buf: &ExecBuf) -> &'static str {
+        match buf {
+            ExecBuf::Get(..) => "get",
+            ExecBuf::Put(..) => "put",
+            ExecBuf::Acc(..) => "acc",
+        }
     }
 
     /// Issues one planned operation inside an open access context.
@@ -676,9 +764,16 @@ impl ArmciMpi {
                         let gmrs = self.gmrs.borrow();
                         let gmr = gmrs
                             .get(&plan.gmr)
-                            .ok_or(ArmciError::GmrVanished { gmr: plan.gmr })?;
+                            .ok_or_else(|| crate::gmr::gmr_vanished(plan.gmr))?;
                         self.stat(|s| s.epochs += 1);
                         gmr.win.lock(plan.mode, plan.target)?;
+                        // Mark the lock as an aggregate epoch: the auditor
+                        // exempts staging performed under it (§V-E1 applies
+                        // to blocking epochs only).
+                        obs::instant(obs::EventKind::NbEpochOpen {
+                            win: plan.gmr,
+                            target: plan.target as u32,
+                        });
                     }
                     self.stage(|g| g.acquires += 1);
                     let mut nb = self.nb.borrow_mut();
@@ -700,7 +795,7 @@ impl ArmciMpi {
                 let gmrs = self.gmrs.borrow();
                 let gmr = gmrs
                     .get(&plan.gmr)
-                    .ok_or(ArmciError::GmrVanished { gmr: plan.gmr })?;
+                    .ok_or_else(|| crate::gmr::gmr_vanished(plan.gmr))?;
                 for op in &plan.ops {
                     reqs.push(self.nb_issue_op(gmr, plan.target, op, buf)?);
                 }
@@ -711,6 +806,37 @@ impl ArmciMpi {
                 g.executed_ops += reqs.len() as u64;
                 g.acquire_s += t1 - t0;
                 g.execute_s += t2 - t1;
+            });
+            obs::batch(|b| {
+                b.span(
+                    obs::EventKind::Stage {
+                        stage: "acquire",
+                        gmr: plan.gmr,
+                    },
+                    t0,
+                    t1,
+                );
+                b.span(
+                    obs::EventKind::Stage {
+                        stage: "execute",
+                        gmr: plan.gmr,
+                    },
+                    t1,
+                    t2,
+                );
+                b.span(
+                    obs::EventKind::Op {
+                        name: match kind {
+                            NbKind::Get => "nb_get",
+                            NbKind::Put => "nb_put",
+                            NbKind::Acc(_) => "nb_acc",
+                        },
+                        gmr: plan.gmr,
+                        bytes: plan.ops.iter().map(|o| o.bytes).sum(),
+                    },
+                    t0,
+                    t2,
+                );
             });
             let mut nb = self.nb.borrow_mut();
             let ep = &mut nb.open[idx];
@@ -815,7 +941,7 @@ impl ArmciMpi {
             let gmrs = self.gmrs.borrow();
             let gmr = gmrs
                 .get(&ep.gmr)
-                .ok_or(ArmciError::GmrVanished { gmr: ep.gmr })?;
+                .ok_or_else(|| crate::gmr::gmr_vanished(ep.gmr))?;
             for r in ep.reqs {
                 r.wait(&gmr.win);
             }
@@ -827,11 +953,25 @@ impl ArmciMpi {
             }
         }
         self.nb.borrow_mut().resolved.extend(ep.ids);
-        let dt = self.vnow() - t0;
+        let t1 = self.vnow();
         self.stage(|g| {
             g.completes += 1;
-            g.complete_s += dt;
+            g.complete_s += t1 - t0;
         });
+        if obs::enabled() {
+            obs::instant(obs::EventKind::NbEpochClose {
+                win: ep.gmr,
+                target: ep.target as u32,
+            });
+            obs::span(
+                obs::EventKind::Stage {
+                    stage: "complete",
+                    gmr: ep.gmr,
+                },
+                t0,
+                t1,
+            );
+        }
         Ok(())
     }
 

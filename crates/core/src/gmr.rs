@@ -30,6 +30,18 @@ pub(crate) struct Gmr {
     pub rmw_mutexes: MutexSet,
 }
 
+/// Builds a `GmrVanished` error, routing it through the recorder first:
+/// release builds that swallow the `Result` (or lose it across an FFI-ish
+/// boundary) still leave an `error` event carrying the offending GMR id
+/// in the trace.
+pub(crate) fn gmr_vanished(gmr: u64) -> ArmciError {
+    obs::instant(obs::EventKind::Error {
+        what: "gmr_vanished",
+        gmr,
+    });
+    ArmciError::GmrVanished { gmr }
+}
+
 /// Result of translating a global address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Translation {
@@ -168,6 +180,15 @@ impl ArmciMpi {
                 rmw_mutexes,
             },
         );
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::GmrCreate {
+                    gmr: gmr_id,
+                    bytes: bytes as u64,
+                },
+                self.vnow(),
+            );
+        }
         // Base address vector indexed by group rank.
         let mut out = Vec::with_capacity(bases.len());
         for (gr, &b) in bases.iter().enumerate() {
@@ -233,6 +254,9 @@ impl ArmciMpi {
             gmr.win.unlock_all()?;
         }
         gmr.win.free()?;
+        if obs::enabled() {
+            obs::instant_at(obs::EventKind::GmrFree { gmr: gmr_id }, self.vnow());
+        }
         Ok(())
     }
 

@@ -81,6 +81,9 @@ impl ArmciMpi {
         }
         let staged = self.stage_iov_acc(kind, desc, local)?;
         let plans = self.plan_iov(desc, OpClass::Acc, true, method)?;
+        if let Some(p) = plans.first() {
+            self.stage_touch(p.gmr, staged.len());
+        }
         self.run_plans(&plans, &ExecBuf::Acc(&staged, kind.mpi_elem()))
     }
 

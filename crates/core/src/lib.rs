@@ -296,6 +296,10 @@ impl Armci for ArmciMpi {
         self.world.size()
     }
 
+    fn vtime(&self) -> f64 {
+        self.vnow()
+    }
+
     fn world_group(&self) -> ArmciGroup {
         ArmciGroup::from_comm(self.world.clone())
     }

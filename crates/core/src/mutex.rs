@@ -100,7 +100,19 @@ impl MutexSet {
         let contended = before.iter().chain(after.iter()).any(|&b| b != 0);
         if contended {
             // Enqueued: wait locally for the zero-byte handoff.
+            let t0 = self.comm.clock_now();
             let (_, _st) = self.comm.recv(RecvSrc::Any, mutex as i32);
+            if obs::enabled() {
+                obs::span(
+                    obs::EventKind::MutexWait {
+                        win: self.win.id(),
+                        mutex: mutex as u32,
+                        host: host as u32,
+                    },
+                    t0,
+                    self.comm.clock_now(),
+                );
+            }
         }
         self.held.borrow_mut().insert((mutex, host));
         Ok(())

@@ -35,6 +35,20 @@ impl ArmciMpi {
         }
     }
 
+    /// Records a staging-buffer fill/drain for `gmr`'s window. The auditor
+    /// checks these happen while the home window is unlocked (§V-E1).
+    pub(crate) fn stage_touch(&self, gmr: u64, bytes: usize) {
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::StageTouch {
+                    gmr,
+                    bytes: bytes as u64,
+                },
+                self.vnow(),
+            );
+        }
+    }
+
     pub(crate) fn get_impl(&self, src: GlobalAddr, dst: &mut [u8]) -> ArmciResult<()> {
         if dst.is_empty() {
             return Ok(());
@@ -70,6 +84,7 @@ impl ArmciMpi {
         if !kind.is_unit_scale() {
             self.charge(self.copy_cost(src.len()));
         }
+        self.stage_touch(plan.gmr, src.len());
         self.run_plans(
             std::slice::from_ref(&plan),
             &ExecBuf::Acc(&staged, kind.mpi_elem()),
@@ -115,6 +130,7 @@ impl ArmciMpi {
         if !kind.is_unit_scale() {
             self.charge(self.copy_cost(src.len()));
         }
+        self.stage_touch(plan.gmr, src.len());
         self.nb_run_plans(vec![plan], &ExecBuf::Acc(&staged, kind.mpi_elem()))
     }
 
@@ -142,6 +158,13 @@ impl ArmciMpi {
             self.get_impl(src, &mut tmp)?;
         }
         self.charge(self.copy_cost(bytes));
+        if obs::enabled() {
+            // The bounce buffer is complete and the source epoch released;
+            // the destination window must not be locked yet (§V-E1).
+            if let Ok(tr) = self.translate(dst, bytes) {
+                self.stage_touch(tr.gmr, bytes);
+            }
+        }
         self.put_impl(&tmp, dst)
     }
 

@@ -12,7 +12,7 @@
 
 use crate::engine::ExecBuf;
 use crate::ArmciMpi;
-use armci::{ArmciError, ArmciResult, GlobalAddr, RmwOp};
+use armci::{ArmciResult, GlobalAddr, RmwOp};
 use mpisim::mpi3::FetchOp;
 use mpisim::LockMode;
 
@@ -41,7 +41,7 @@ impl ArmciMpi {
             let gmrs = self.gmrs.borrow();
             let gmr = gmrs
                 .get(&tr.gmr)
-                .ok_or(ArmciError::GmrVanished { gmr: tr.gmr })?;
+                .ok_or_else(|| crate::gmr::gmr_vanished(tr.gmr))?;
             gmr.rmw_mutexes.lock(0, tr.group_rank)?;
         }
         let result = (|| {
@@ -71,7 +71,7 @@ impl ArmciMpi {
         let gmrs = self.gmrs.borrow();
         let gmr = gmrs
             .get(&tr.gmr)
-            .ok_or(ArmciError::GmrVanished { gmr: tr.gmr })?;
+            .ok_or_else(|| crate::gmr::gmr_vanished(tr.gmr))?;
         gmr.rmw_mutexes.unlock(0, tr.group_rank)?;
         result
     }
@@ -82,7 +82,7 @@ impl ArmciMpi {
         let gmrs = self.gmrs.borrow();
         let gmr = gmrs
             .get(&tr.gmr)
-            .ok_or(ArmciError::GmrVanished { gmr: tr.gmr })?;
+            .ok_or_else(|| crate::gmr::gmr_vanished(tr.gmr))?;
         // Under epochless mode the window-wide lock_all epoch already
         // covers the atomic; otherwise open a shared epoch around it.
         if !self.cfg.epochless {

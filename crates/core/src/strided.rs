@@ -139,6 +139,7 @@ impl ArmciMpi {
             kind.scale_in_place(&mut staged)?;
             self.charge(self.copy_cost(total));
             let plan = self.plan_strided_direct_acc(dst, dst_strides, count, staged.len())?;
+            self.stage_touch(plan.gmr, staged.len());
             return Ok((vec![plan], staged));
         }
         let method = if self.cfg.strided == StridedMethod::Direct {
@@ -150,6 +151,9 @@ impl ArmciMpi {
         self.check_local(&desc, src.len())?;
         let staged = self.stage_iov_acc(kind, &desc, src)?;
         let plans = self.plan_iov(&desc, OpClass::Acc, true, method)?;
+        if let Some(p) = plans.first() {
+            self.stage_touch(p.gmr, staged.len());
+        }
         Ok((plans, staged))
     }
 

@@ -71,6 +71,26 @@ enum Verb<'d> {
     AccI64(i64, &'d [u8]),
 }
 
+impl Verb<'_> {
+    fn name(&self, nb: bool) -> &'static str {
+        match (self, nb) {
+            (Verb::Put(_), false) => "ga_put",
+            (Verb::Get(_), false) => "ga_get",
+            (Verb::Acc(..) | Verb::AccI64(..), false) => "ga_acc",
+            (Verb::Put(_), true) => "ga_nb_put",
+            (Verb::Get(_), true) => "ga_nb_get",
+            (Verb::Acc(..) | Verb::AccI64(..), true) => "ga_nb_acc",
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        match self {
+            Verb::Put(d) | Verb::Acc(_, d) | Verb::AccI64(_, d) => d.len() as u64,
+            Verb::Get(d) => d.len() as u64,
+        }
+    }
+}
+
 impl<'a, A: Armci + ?Sized> GlobalArray<'a, A> {
     /// Collectively creates an array with GA's regular block distribution
     /// over the world group.
@@ -174,8 +194,19 @@ impl<'a, A: Armci + ?Sized> GlobalArray<'a, A> {
     /// Synchronises the group: all outstanding operations complete
     /// everywhere (`GA_Sync`).
     pub fn sync(&self) {
+        let t0 = obs::enabled().then(|| self.rt.vtime());
         self.rt.fence_all().expect("fence_all");
         self.group.barrier();
+        if let Some(t0) = t0 {
+            obs::span(
+                obs::EventKind::GaOp {
+                    name: "ga_sync",
+                    bytes: 0,
+                },
+                t0,
+                self.rt.vtime(),
+            );
+        }
     }
 
     // -----------------------------------------------------------------
@@ -264,6 +295,7 @@ impl<'a, A: Armci + ?Sized> GlobalArray<'a, A> {
     /// The Figure 2 fan-out: decompose the patch over owners and issue
     /// one strided ARMCI operation per owner.
     fn xfer(&self, lo: &[usize], hi: &[usize], mut verb: Verb<'_>) -> GaResult<()> {
+        let trace = obs::enabled().then(|| (verb.name(false), verb.bytes(), self.rt.vtime()));
         for (cell, ilo, ihi) in self.dist.locate_region(lo, hi) {
             let (raddr, rstrides, loff, lstrides, count) =
                 self.strided_args(cell, &ilo, &ihi, lo, hi);
@@ -300,6 +332,9 @@ impl<'a, A: Armci + ?Sized> GlobalArray<'a, A> {
                 }
             }
         }
+        if let Some((name, bytes, t0)) = trace {
+            obs::span(obs::EventKind::GaOp { name, bytes }, t0, self.rt.vtime());
+        }
         Ok(())
     }
 
@@ -308,6 +343,7 @@ impl<'a, A: Armci + ?Sized> GlobalArray<'a, A> {
     /// unwaited, so transfers to distinct owners stay in flight
     /// concurrently.
     fn nb_xfer(&self, lo: &[usize], hi: &[usize], mut verb: Verb<'_>) -> GaResult<GaNbHandle> {
+        let trace = obs::enabled().then(|| (verb.name(true), verb.bytes(), self.rt.vtime()));
         let mut handles = Vec::new();
         for (cell, ilo, ihi) in self.dist.locate_region(lo, hi) {
             let (raddr, rstrides, loff, lstrides, count) =
@@ -339,6 +375,9 @@ impl<'a, A: Armci + ?Sized> GlobalArray<'a, A> {
                 )?,
             };
             handles.push(h);
+        }
+        if let Some((name, bytes, t0)) = trace {
+            obs::span(obs::EventKind::GaOp { name, bytes }, t0, self.rt.vtime());
         }
         Ok(GaNbHandle { handles })
     }
@@ -479,7 +518,19 @@ impl<'a, A: Armci + ?Sized> GlobalArray<'a, A> {
         let (blo, bhi) = self.dist.cell_block(cell);
         let bdims: Vec<usize> = blo.iter().zip(&bhi).map(|(&l, &h)| h - l).collect();
         let addr = self.bases[cell].offset(self.offset_in(idx, &blo, &bdims));
-        self.rt.rmw(RmwOp::FetchAdd(inc), addr)
+        let t0 = obs::enabled().then(|| self.rt.vtime());
+        let res = self.rt.rmw(RmwOp::FetchAdd(inc), addr);
+        if let Some(t0) = t0 {
+            obs::span(
+                obs::EventKind::GaOp {
+                    name: "ga_read_inc",
+                    bytes: 8,
+                },
+                t0,
+                self.rt.vtime(),
+            );
+        }
+        res
     }
 
     // -----------------------------------------------------------------

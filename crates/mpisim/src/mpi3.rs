@@ -64,6 +64,9 @@ impl WinHandle {
         }
         self.lock_all_active.set(true);
         self.charge_pub(0.5 * self.params_pub().epoch_overhead);
+        if obs::enabled() {
+            obs::instant_at(obs::EventKind::LockAll { win: self.id() }, self.now());
+        }
         Ok(())
     }
 
@@ -77,6 +80,9 @@ impl WinHandle {
             self.target_lock(t).release(LockMode::Shared);
         }
         self.charge_pub(0.5 * self.params_pub().epoch_overhead);
+        if obs::enabled() {
+            obs::instant_at(obs::EventKind::UnlockAll { win: self.id() }, self.now());
+        }
         Ok(())
     }
 
@@ -88,6 +94,15 @@ impl WinHandle {
             return Err(MpiError::NoEpoch { target });
         }
         self.charge_pub(self.params_pub().put.alpha);
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::Flush {
+                    win: self.id(),
+                    target: target as u32,
+                },
+                self.now(),
+            );
+        }
         Ok(())
     }
 
@@ -193,6 +208,17 @@ impl WinHandle {
             old
         };
         self.charge_pub(self.params_pub().rmw_latency);
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::Rma {
+                    win: self.id(),
+                    target: target as u32,
+                    kind: obs::OpKind::Rmw,
+                    bytes: WIDTH as u64,
+                },
+                self.now(),
+            );
+        }
         Ok(old)
     }
 

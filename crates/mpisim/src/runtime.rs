@@ -201,6 +201,10 @@ impl Runtime {
                 let shared = Arc::clone(&shared);
                 let f = &f;
                 handles.push(s.spawn(move || {
+                    // Tag this rank thread's trace events; the recorder's
+                    // thread-local buffer flushes when the thread exits,
+                    // i.e. before `run_with` returns.
+                    obs::set_rank(rank);
                     let proc = Proc {
                         world_rank: rank,
                         shared,

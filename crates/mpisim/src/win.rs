@@ -273,6 +273,9 @@ impl WinHandle {
         self.comm.barrier();
         self.active_epoch.set(true);
         self.charge(0.5 * self.params().epoch_overhead);
+        if obs::enabled() {
+            obs::instant_at(obs::EventKind::FenceBegin { win: self.inner.id }, self.vt());
+        }
         Ok(())
     }
 
@@ -287,6 +290,9 @@ impl WinHandle {
         self.comm.barrier();
         self.active_epoch.set(false);
         self.charge(0.5 * self.params().epoch_overhead);
+        if obs::enabled() {
+            obs::instant_at(obs::EventKind::FenceEnd { win: self.inner.id }, self.vt());
+        }
         Ok(())
     }
 
@@ -317,6 +323,11 @@ impl WinHandle {
         if self.shared.cfg.charge_time {
             self.shared.clocks[self.comm.my_world_rank()].advance(dt);
         }
+    }
+
+    /// This rank's current virtual time (for trace event stamps).
+    pub(crate) fn vt(&self) -> f64 {
+        self.shared.clocks[self.comm.my_world_rank()].now()
     }
 
     fn params(&self) -> &simnet::BackendParams {
@@ -352,6 +363,16 @@ impl WinHandle {
             },
         );
         self.charge(0.5 * self.params().epoch_overhead);
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::LockAcquire {
+                    win: self.inner.id,
+                    target: target as u32,
+                    exclusive: mode == LockMode::Exclusive,
+                },
+                self.vt(),
+            );
+        }
         Ok(())
     }
 
@@ -365,6 +386,15 @@ impl WinHandle {
             .ok_or(MpiError::NotLocked { target })?;
         self.inner.locks[target].release(ep.mode);
         self.charge(0.5 * self.params().epoch_overhead);
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::LockRelease {
+                    win: self.inner.id,
+                    target: target as u32,
+                },
+                self.vt(),
+            );
+        }
         Ok(())
     }
 
@@ -453,6 +483,39 @@ impl WinHandle {
         t
     }
 
+    /// Records an MPI-level RMA event — plus a pack span when the datatype
+    /// is non-contiguous, sized by the same pack model `op_cost` charges —
+    /// at the current virtual time.
+    fn note_rma(&self, kind: obs::OpKind, target: usize, bytes: usize, nsegs: usize) {
+        if !obs::enabled() {
+            return;
+        }
+        let ts = self.vt();
+        obs::instant_at(
+            obs::EventKind::Rma {
+                win: self.inner.id,
+                target: target as u32,
+                kind,
+                bytes: bytes as u64,
+            },
+            ts,
+        );
+        if nsegs > 1 {
+            let p = self.params();
+            let pack = p.dtype_setup
+                + nsegs as f64 * p.dtype_seg_overhead
+                + 2.0 * bytes as f64 / p.pack_rate;
+            obs::span(
+                obs::EventKind::Pack {
+                    win: self.inner.id,
+                    bytes: bytes as u64,
+                },
+                ts,
+                ts + pack,
+            );
+        }
+    }
+
     /// Bumps and returns the prior per-epoch issue counter for `target`.
     fn bump_issued(&self, target: usize) -> usize {
         let mut epochs = self.epochs.borrow_mut();
@@ -519,12 +582,9 @@ impl WinHandle {
             }
         }
         let issued = self.bump_issued(target);
-        Ok(self.op_cost(
-            simnet::Op::Put,
-            odt.size(),
-            odt.num_segments().max(tdt.num_segments()),
-            issued,
-        ))
+        let nsegs = odt.num_segments().max(tdt.num_segments());
+        self.note_rma(obs::OpKind::Put, target, odt.size(), nsegs);
+        Ok(self.op_cost(simnet::Op::Put, odt.size(), nsegs, issued))
     }
 
     /// One-sided get: bytes from `target`'s window into `origin`.
@@ -569,12 +629,9 @@ impl WinHandle {
             }
         }
         let issued = self.bump_issued(target);
-        Ok(self.op_cost(
-            simnet::Op::Get,
-            odt.size(),
-            odt.num_segments().max(tdt.num_segments()),
-            issued,
-        ))
+        let nsegs = odt.num_segments().max(tdt.num_segments());
+        self.note_rma(obs::OpKind::Get, target, odt.size(), nsegs);
+        Ok(self.op_cost(simnet::Op::Get, odt.size(), nsegs, issued))
     }
 
     /// One-sided accumulate: `target[i] = target[i] ⊕ origin[i]` element
@@ -664,12 +721,9 @@ impl WinHandle {
             }
         }
         let issued = self.bump_issued(target);
-        Ok(self.op_cost(
-            simnet::Op::Acc,
-            odt.size(),
-            odt.num_segments().max(tdt.num_segments()),
-            issued,
-        ))
+        let nsegs = odt.num_segments().max(tdt.num_segments());
+        self.note_rma(obs::OpKind::Acc, target, odt.size(), nsegs);
+        Ok(self.op_cost(simnet::Op::Acc, odt.size(), nsegs, issued))
     }
 
     /// Contiguous-put convenience.
@@ -696,6 +750,15 @@ impl WinHandle {
         if !self.is_locked(me) {
             return Err(MpiError::NoEpoch { target: me });
         }
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::LocalAccess {
+                    win: self.inner.id,
+                    write: false,
+                },
+                self.vt(),
+            );
+        }
         let mem = &self.inner.mem[me];
         let _io = mem.io.lock();
         let buf = unsafe { &*mem.buf.get() };
@@ -715,6 +778,15 @@ impl WinHandle {
             Some(LockMode::Exclusive) => {}
             _ if self.lock_all_active.get() => {}
             _ => return Err(MpiError::NoEpoch { target: me }),
+        }
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::LocalAccess {
+                    win: self.inner.id,
+                    write: true,
+                },
+                self.vt(),
+            );
         }
         let mem = &self.inner.mem[me];
         let _io = mem.io.lock();

@@ -1,0 +1,407 @@
+//! Epoch-invariant auditor.
+//!
+//! Replays a recorded event stream per rank (slice order within one rank
+//! is program order) and flags interleavings that violate the paper's
+//! §IV/§V safety rules:
+//!
+//! * **NestedLock** — acquiring a passive-target lock on a
+//!   (window, target) pair this rank already holds, or mixing `lock` and
+//!   `lock_all` epochs on one window (MPI allows one epoch per pair per
+//!   origin; nested exclusive epochs self-deadlock).
+//! * **UnlockWithoutLock** — releasing a lock, `lock_all`, or fence the
+//!   rank does not hold (includes double-unlock).
+//! * **DlaViolation** — a direct load/store of window memory outside an
+//!   `ARMCI_Access_begin/end` region, or a region opened without the
+//!   local epoch that makes the memory accessible (§IV-C).
+//! * **StagingWhileLocked** — an engine staging buffer for a GMR filled
+//!   or drained while this rank holds a *blocking* lock on that GMR's
+//!   window (§V-E1: staging must complete before the home window is
+//!   locked, or the copy self-deadlocks under exclusive epochs).
+//!   Nonblocking aggregate epochs announce themselves via
+//!   [`EventKind::NbEpochOpen`] and are exempt: the engine stages the
+//!   next fragment under the open aggregate epoch by design.
+//! * **OpOutsideEpoch** — an MPI-level RMA call on a (window, target)
+//!   with no lock, `lock_all`, or fence epoch covering it.
+//!
+//! Partial traces are common (a benchmark may drain events mid-run), so
+//! epochs still open at end-of-trace are *not* violations.
+
+use crate::{Event, EventKind};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Which invariant was broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    NestedLock,
+    UnlockWithoutLock,
+    DlaViolation,
+    StagingWhileLocked,
+    OpOutsideEpoch,
+}
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NestedLock => "nested-lock",
+            Rule::UnlockWithoutLock => "unlock-without-lock",
+            Rule::DlaViolation => "dla-violation",
+            Rule::StagingWhileLocked => "staging-while-locked",
+            Rule::OpOutsideEpoch => "op-outside-epoch",
+        }
+    }
+}
+
+/// One flagged interleaving.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rank: u32,
+    pub ts: f64,
+    pub rule: Rule,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[rank {} @ {:.9}s] {}: {}",
+            self.rank,
+            self.ts,
+            self.rule.name(),
+            self.detail
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeldLock {
+    exclusive: bool,
+    /// Adopted by a nonblocking aggregate epoch (staging under it is legal).
+    aggregate: bool,
+}
+
+#[derive(Default)]
+struct RankState {
+    held: HashMap<(u64, u32), HeldLock>,
+    lock_all: HashSet<u64>,
+    fence: HashSet<u64>,
+    dla_depth: HashMap<u64, u32>,
+}
+
+/// Replay `events` and return every invariant violation found.
+pub fn audit(events: &[Event]) -> Vec<Violation> {
+    let mut ranks: BTreeMap<u32, RankState> = BTreeMap::new();
+    let mut out = Vec::new();
+    for e in events {
+        let st = ranks.entry(e.rank).or_default();
+        let mut flag = |rule: Rule, detail: String| {
+            out.push(Violation {
+                rank: e.rank,
+                ts: e.ts,
+                rule,
+                detail,
+            });
+        };
+        // Arm bodies like `if map.remove(..) { flag(..) }` must not become
+        // match guards: the removal has to happen even on the legal path.
+        #[allow(clippy::collapsible_match)]
+        match &e.kind {
+            EventKind::LockAcquire {
+                win,
+                target,
+                exclusive,
+            } => {
+                if let Some(prev) = st.held.get(&(*win, *target)) {
+                    flag(
+                        Rule::NestedLock,
+                        format!(
+                            "lock({}) on win {win} target {target} while already holding a {} epoch there",
+                            if *exclusive { "exclusive" } else { "shared" },
+                            if prev.exclusive { "exclusive" } else { "shared" },
+                        ),
+                    );
+                } else if st.lock_all.contains(win) {
+                    flag(
+                        Rule::NestedLock,
+                        format!("lock on win {win} target {target} while lock_all is open on that window"),
+                    );
+                }
+                st.held.insert(
+                    (*win, *target),
+                    HeldLock {
+                        exclusive: *exclusive,
+                        aggregate: false,
+                    },
+                );
+            }
+            EventKind::LockRelease { win, target } => {
+                if st.held.remove(&(*win, *target)).is_none() {
+                    flag(
+                        Rule::UnlockWithoutLock,
+                        format!("unlock on win {win} target {target} with no matching lock"),
+                    );
+                }
+            }
+            EventKind::LockAll { win } => {
+                if st.lock_all.contains(win) {
+                    flag(
+                        Rule::NestedLock,
+                        format!("lock_all on win {win} while lock_all is already open"),
+                    );
+                } else if st.held.keys().any(|(w, _)| w == win) {
+                    flag(
+                        Rule::NestedLock,
+                        format!("lock_all on win {win} while a per-target lock is held"),
+                    );
+                }
+                st.lock_all.insert(*win);
+            }
+            EventKind::UnlockAll { win } => {
+                if !st.lock_all.remove(win) {
+                    flag(
+                        Rule::UnlockWithoutLock,
+                        format!("unlock_all on win {win} with no matching lock_all"),
+                    );
+                }
+            }
+            EventKind::FenceBegin { win } => {
+                st.fence.insert(*win);
+            }
+            EventKind::FenceEnd { win } => {
+                if !st.fence.remove(win) {
+                    flag(
+                        Rule::UnlockWithoutLock,
+                        format!("fence end on win {win} with no matching fence begin"),
+                    );
+                }
+            }
+            EventKind::NbEpochOpen { win, target } => {
+                if let Some(h) = st.held.get_mut(&(*win, *target)) {
+                    h.aggregate = true;
+                }
+            }
+            EventKind::NbEpochClose { .. } => {}
+            EventKind::DlaBegin { win, .. } => {
+                let covered = st.lock_all.contains(win)
+                    || st.fence.contains(win)
+                    || st.held.keys().any(|(w, _)| w == win);
+                if !covered {
+                    flag(
+                        Rule::DlaViolation,
+                        format!("access region opened on win {win} without a local epoch"),
+                    );
+                }
+                *st.dla_depth.entry(*win).or_insert(0) += 1;
+            }
+            EventKind::DlaEnd { win } => {
+                let d = st.dla_depth.entry(*win).or_insert(0);
+                if *d == 0 {
+                    flag(
+                        Rule::DlaViolation,
+                        format!("access end on win {win} with no matching access begin"),
+                    );
+                } else {
+                    *d -= 1;
+                }
+            }
+            EventKind::LocalAccess { win, write } => {
+                if st.dla_depth.get(win).copied().unwrap_or(0) == 0 {
+                    flag(
+                        Rule::DlaViolation,
+                        format!(
+                            "direct {} of win {win} memory outside ARMCI_Access_begin/end",
+                            if *write { "store" } else { "load" },
+                        ),
+                    );
+                }
+            }
+            EventKind::StageTouch { gmr, bytes } => {
+                if let Some(((_, target), _)) =
+                    st.held.iter().find(|((w, _), h)| w == gmr && !h.aggregate)
+                {
+                    flag(
+                        Rule::StagingWhileLocked,
+                        format!(
+                            "staging buffer for gmr {gmr} ({bytes} B) touched while its window is locked (target {target})",
+                        ),
+                    );
+                }
+            }
+            EventKind::Rma {
+                win, target, kind, ..
+            } => {
+                let covered = st.held.contains_key(&(*win, *target))
+                    || st.lock_all.contains(win)
+                    || st.fence.contains(win);
+                if !covered {
+                    flag(
+                        Rule::OpOutsideEpoch,
+                        format!(
+                            "rma {} on win {win} target {target} with no covering epoch",
+                            kind.name(),
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    fn ev(rank: u32, ts: f64, kind: EventKind) -> Event {
+        Event {
+            rank,
+            ts,
+            dur: 0.0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn legal_interleaving_is_silent() {
+        use EventKind::*;
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                LockAcquire {
+                    win: 1,
+                    target: 1,
+                    exclusive: true,
+                },
+            ),
+            ev(
+                0,
+                0.1,
+                Rma {
+                    win: 1,
+                    target: 1,
+                    kind: OpKind::Put,
+                    bytes: 8,
+                },
+            ),
+            ev(0, 0.2, LockRelease { win: 1, target: 1 }),
+            // Staging after release is fine.
+            ev(0, 0.3, StageTouch { gmr: 1, bytes: 64 }),
+            // DLA under a self-lock.
+            ev(
+                0,
+                0.4,
+                LockAcquire {
+                    win: 1,
+                    target: 0,
+                    exclusive: true,
+                },
+            ),
+            ev(
+                0,
+                0.45,
+                DlaBegin {
+                    win: 1,
+                    exclusive: true,
+                },
+            ),
+            ev(
+                0,
+                0.5,
+                LocalAccess {
+                    win: 1,
+                    write: true,
+                },
+            ),
+            ev(0, 0.55, DlaEnd { win: 1 }),
+            ev(0, 0.6, LockRelease { win: 1, target: 0 }),
+        ];
+        assert!(audit(&events).is_empty());
+    }
+
+    #[test]
+    fn nested_lock_is_flagged() {
+        use EventKind::*;
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                LockAcquire {
+                    win: 2,
+                    target: 1,
+                    exclusive: true,
+                },
+            ),
+            ev(
+                0,
+                0.1,
+                LockAcquire {
+                    win: 2,
+                    target: 1,
+                    exclusive: true,
+                },
+            ),
+        ];
+        let v = audit(&events);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NestedLock);
+    }
+
+    #[test]
+    fn aggregate_epoch_staging_is_exempt() {
+        use EventKind::*;
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                LockAcquire {
+                    win: 3,
+                    target: 1,
+                    exclusive: true,
+                },
+            ),
+            ev(0, 0.05, NbEpochOpen { win: 3, target: 1 }),
+            ev(0, 0.1, StageTouch { gmr: 3, bytes: 64 }),
+            ev(0, 0.2, NbEpochClose { win: 3, target: 1 }),
+            ev(0, 0.2, LockRelease { win: 3, target: 1 }),
+        ];
+        assert!(audit(&events).is_empty());
+        // The same touch under a plain (blocking) lock is a violation.
+        let bad = vec![
+            ev(
+                0,
+                0.0,
+                LockAcquire {
+                    win: 3,
+                    target: 1,
+                    exclusive: true,
+                },
+            ),
+            ev(0, 0.1, StageTouch { gmr: 3, bytes: 64 }),
+        ];
+        let v = audit(&bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::StagingWhileLocked);
+    }
+
+    #[test]
+    fn ranks_are_independent() {
+        use EventKind::*;
+        // Rank 0 holds the lock; rank 1's staging touch is unrelated.
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                LockAcquire {
+                    win: 5,
+                    target: 1,
+                    exclusive: true,
+                },
+            ),
+            ev(1, 0.1, StageTouch { gmr: 5, bytes: 64 }),
+        ];
+        assert!(audit(&events).is_empty());
+    }
+}

@@ -1,0 +1,374 @@
+//! Chrome-trace and JSONL exporters.
+//!
+//! [`to_chrome_trace`] renders the event stream as a Chrome trace-event
+//! JSON object (load it in `chrome://tracing` or Perfetto): span events
+//! become complete (`"X"`) slices, paired instants (lock/unlock, DLA and
+//! fence begin/end) become `"B"`/`"E"` duration slices so epochs show as
+//! nested bars, everything else becomes a thread-scoped instant. Ranks
+//! map to tids; timestamps are virtual seconds scaled to microseconds.
+
+use crate::{Event, EventKind};
+use serde::Value;
+
+enum Phase {
+    Span,
+    Begin,
+    End,
+    Instant,
+}
+
+fn uval(v: u64) -> Value {
+    Value::UInt(v)
+}
+
+fn sval(v: &str) -> Value {
+    Value::Str(v.to_owned())
+}
+
+/// Name, category, phase and argument object for one event.
+fn describe(e: &Event) -> (String, &'static str, Phase, Vec<(String, Value)>) {
+    use EventKind::*;
+    match &e.kind {
+        Op { name, gmr, bytes } => (
+            format!("op:{name}"),
+            "op",
+            Phase::Span,
+            vec![("gmr".into(), uval(*gmr)), ("bytes".into(), uval(*bytes))],
+        ),
+        GaOp { name, bytes } => (
+            format!("ga:{name}"),
+            "ga",
+            Phase::Span,
+            vec![("bytes".into(), uval(*bytes))],
+        ),
+        Stage { stage, gmr } => (
+            format!("stage:{stage}"),
+            "stage",
+            Phase::Span,
+            vec![("gmr".into(), uval(*gmr))],
+        ),
+        Pack { win, bytes } => (
+            "pack".into(),
+            "pack",
+            Phase::Span,
+            vec![("win".into(), uval(*win)), ("bytes".into(), uval(*bytes))],
+        ),
+        MutexWait { win, mutex, host } => (
+            format!("mutex_wait:m{mutex}@{host}"),
+            "mutex",
+            Phase::Span,
+            vec![
+                ("win".into(), uval(*win)),
+                ("mutex".into(), uval(u64::from(*mutex))),
+                ("host".into(), uval(u64::from(*host))),
+            ],
+        ),
+        LockAcquire {
+            win,
+            target,
+            exclusive,
+        } => (
+            format!("epoch:w{win}->{target}"),
+            "epoch",
+            Phase::Begin,
+            vec![
+                ("win".into(), uval(*win)),
+                ("target".into(), uval(u64::from(*target))),
+                ("exclusive".into(), Value::Bool(*exclusive)),
+            ],
+        ),
+        LockRelease { win, target } => (
+            format!("epoch:w{win}->{target}"),
+            "epoch",
+            Phase::End,
+            vec![
+                ("win".into(), uval(*win)),
+                ("target".into(), uval(u64::from(*target))),
+            ],
+        ),
+        LockAll { win } => (
+            format!("epoch:w{win}:all"),
+            "epoch",
+            Phase::Begin,
+            vec![("win".into(), uval(*win))],
+        ),
+        UnlockAll { win } => (
+            format!("epoch:w{win}:all"),
+            "epoch",
+            Phase::End,
+            vec![("win".into(), uval(*win))],
+        ),
+        Flush { win, target } => (
+            format!("flush:w{win}->{target}"),
+            "epoch",
+            Phase::Instant,
+            vec![
+                ("win".into(), uval(*win)),
+                ("target".into(), uval(u64::from(*target))),
+            ],
+        ),
+        FenceBegin { win } => (
+            format!("fence:w{win}"),
+            "epoch",
+            Phase::Begin,
+            vec![("win".into(), uval(*win))],
+        ),
+        FenceEnd { win } => (
+            format!("fence:w{win}"),
+            "epoch",
+            Phase::End,
+            vec![("win".into(), uval(*win))],
+        ),
+        NbEpochOpen { win, target } => (
+            format!("nb_epoch:w{win}->{target}"),
+            "epoch",
+            Phase::Instant,
+            vec![
+                ("win".into(), uval(*win)),
+                ("target".into(), uval(u64::from(*target))),
+            ],
+        ),
+        NbEpochClose { win, target } => (
+            format!("nb_epoch_close:w{win}->{target}"),
+            "epoch",
+            Phase::Instant,
+            vec![
+                ("win".into(), uval(*win)),
+                ("target".into(), uval(u64::from(*target))),
+            ],
+        ),
+        Rma {
+            win,
+            target,
+            kind,
+            bytes,
+        } => (
+            format!("rma:{}", kind.name()),
+            "rma",
+            Phase::Instant,
+            vec![
+                ("win".into(), uval(*win)),
+                ("target".into(), uval(u64::from(*target))),
+                ("bytes".into(), uval(*bytes)),
+            ],
+        ),
+        Pool { bytes, hit } => (
+            if *hit { "pool:hit" } else { "pool:miss" }.into(),
+            "pool",
+            Phase::Instant,
+            vec![
+                ("bytes".into(), uval(*bytes)),
+                ("hit".into(), Value::Bool(*hit)),
+            ],
+        ),
+        StageTouch { gmr, bytes } => (
+            format!("stage_touch:g{gmr}"),
+            "stage",
+            Phase::Instant,
+            vec![("gmr".into(), uval(*gmr)), ("bytes".into(), uval(*bytes))],
+        ),
+        DlaBegin { win, exclusive } => (
+            format!("dla:w{win}"),
+            "dla",
+            Phase::Begin,
+            vec![
+                ("win".into(), uval(*win)),
+                ("exclusive".into(), Value::Bool(*exclusive)),
+            ],
+        ),
+        DlaEnd { win } => (
+            format!("dla:w{win}"),
+            "dla",
+            Phase::End,
+            vec![("win".into(), uval(*win))],
+        ),
+        LocalAccess { win, write } => (
+            "local_access".into(),
+            "dla",
+            Phase::Instant,
+            vec![
+                ("win".into(), uval(*win)),
+                ("write".into(), Value::Bool(*write)),
+            ],
+        ),
+        Method { name, fast } => (
+            format!("method:{name}"),
+            "method",
+            Phase::Instant,
+            vec![("fast".into(), Value::Bool(*fast))],
+        ),
+        GmrCreate { gmr, bytes } => (
+            format!("gmr_create:g{gmr}"),
+            "gmr",
+            Phase::Instant,
+            vec![("gmr".into(), uval(*gmr)), ("bytes".into(), uval(*bytes))],
+        ),
+        GmrFree { gmr } => (
+            format!("gmr_free:g{gmr}"),
+            "gmr",
+            Phase::Instant,
+            vec![("gmr".into(), uval(*gmr))],
+        ),
+        Error { what, gmr } => (
+            format!("error:{what}"),
+            "error",
+            Phase::Instant,
+            vec![("gmr".into(), uval(*gmr))],
+        ),
+    }
+}
+
+fn trace_event(e: &Event) -> Value {
+    let (name, cat, phase, args) = describe(e);
+    let mut fields: Vec<(String, Value)> = vec![
+        ("name".into(), Value::Str(name)),
+        ("cat".into(), sval(cat)),
+        ("ts".into(), Value::Float(e.ts * 1e6)),
+        ("pid".into(), uval(0)),
+        ("tid".into(), uval(u64::from(e.rank))),
+    ];
+    let ph = match phase {
+        Phase::Span => {
+            fields.push(("dur".into(), Value::Float(e.dur * 1e6)));
+            "X"
+        }
+        Phase::Begin => "B",
+        Phase::End => "E",
+        Phase::Instant => {
+            fields.push(("s".into(), sval("t")));
+            "i"
+        }
+    };
+    fields.insert(2, ("ph".into(), sval(ph)));
+    fields.push(("args".into(), Value::Object(args)));
+    Value::Object(fields)
+}
+
+/// Render a full Chrome trace-event JSON document.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let rows: Vec<Value> = events.iter().map(trace_event).collect();
+    let doc = Value::Object(vec![
+        ("traceEvents".into(), Value::Array(rows)),
+        ("displayTimeUnit".into(), sval("ms")),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("chrome trace render")
+}
+
+/// Render one JSON object per line (grep-friendly event dump).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let (name, cat, _, args) = describe(e);
+        let mut fields: Vec<(String, Value)> = vec![
+            ("rank".into(), uval(u64::from(e.rank))),
+            ("ts".into(), Value::Float(e.ts)),
+            ("dur".into(), Value::Float(e.dur)),
+            ("name".into(), Value::Str(name)),
+            ("cat".into(), sval(cat)),
+        ];
+        fields.extend(args);
+        out.push_str(&serde_json::to_string(&Value::Object(fields)).expect("jsonl render"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    fn ev(rank: u32, ts: f64, dur: f64, kind: EventKind) -> Event {
+        Event {
+            rank,
+            ts,
+            dur,
+            kind,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_parses_back_and_pairs_epochs() {
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                0.0,
+                EventKind::LockAcquire {
+                    win: 1,
+                    target: 1,
+                    exclusive: true,
+                },
+            ),
+            ev(
+                0,
+                0.1,
+                0.2,
+                EventKind::Op {
+                    name: "put",
+                    gmr: 1,
+                    bytes: 4096,
+                },
+            ),
+            ev(
+                0,
+                0.15,
+                0.0,
+                EventKind::Rma {
+                    win: 1,
+                    target: 1,
+                    kind: OpKind::Put,
+                    bytes: 4096,
+                },
+            ),
+            ev(0, 0.3, 0.0, EventKind::LockRelease { win: 1, target: 1 }),
+        ];
+        let doc = to_chrome_trace(&events);
+        let val = serde_json::from_str(&doc).expect("valid json");
+        let Value::Object(fields) = val else {
+            panic!("not an object")
+        };
+        let rows = fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .expect("traceEvents");
+        let Value::Array(rows) = rows else {
+            panic!("not an array")
+        };
+        assert_eq!(rows.len(), 4);
+        let phs: Vec<&str> = rows
+            .iter()
+            .map(|r| {
+                let Value::Object(f) = r else { panic!() };
+                let (_, Value::Str(ph)) = f.iter().find(|(k, _)| k == "ph").unwrap() else {
+                    panic!()
+                };
+                ph.as_str()
+            })
+            .collect();
+        assert_eq!(phs, ["B", "X", "i", "E"]);
+    }
+
+    #[test]
+    fn jsonl_emits_one_line_per_event() {
+        let events = vec![
+            ev(
+                1,
+                0.5,
+                0.0,
+                EventKind::Pool {
+                    bytes: 64,
+                    hit: true,
+                },
+            ),
+            ev(1, 0.6, 0.0, EventKind::Flush { win: 2, target: 0 }),
+        ];
+        let dump = to_jsonl(&events);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            serde_json::from_str(line).expect("each line is valid json");
+        }
+    }
+}

@@ -179,6 +179,12 @@ impl BufferPool {
         buf.clear();
         buf.resize(len, 0);
         p.stats.outstanding += 1;
+        // The pool has no clock of its own; the event is stamped with the
+        // leasing thread's last known virtual time.
+        obs::instant(obs::EventKind::Pool {
+            bytes: len as u64,
+            hit,
+        });
         PoolBuf {
             buf,
             pool: Rc::clone(&self.inner),

@@ -12,6 +12,9 @@ use mpisim::{Runtime, RuntimeConfig};
 use simnet::PlatformId;
 
 fn main() {
+    // Record every RMA event (epochs, ops, staging) for the closing
+    // observability report.
+    obs::enable();
     // Four simulated MPI processes on the InfiniBand cluster model.
     let cfg = RuntimeConfig::on_platform(PlatformId::InfiniBandCluster);
     Runtime::run_with(4, cfg, |p| {
@@ -73,5 +76,19 @@ fn main() {
         a.sync();
         a.destroy().unwrap();
     });
+
+    // Fold every rank's recorded events into the one-screen obs report
+    // (ops and bytes per kind, epoch counts and hold time, pool
+    // hit-rate), then check the trace against the epoch invariants.
+    let events = obs::take();
+    print!("{}", obs::metrics::Registry::from_events(&events).render());
+    let violations = obs::audit::audit(&events);
+    if violations.is_empty() {
+        println!("epoch audit: clean ({} events)", events.len());
+    } else {
+        for v in &violations {
+            eprintln!("epoch audit: {v}");
+        }
+    }
     println!("quickstart finished.");
 }

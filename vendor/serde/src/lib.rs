@@ -113,6 +113,12 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 macro_rules! ser_tuple {
     ($(($($name:ident . $idx:tt),+))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
