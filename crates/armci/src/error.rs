@@ -28,6 +28,15 @@ pub enum ArmciError {
     Mpi(mpisim::MpiError),
     /// Operation not supported by this implementation/configuration.
     Unsupported(&'static str),
+    /// An operation contradicts the allocation's access-mode hint
+    /// (§VIII-A): e.g. a Put into a ReadOnly-hinted GMR. The hint is a
+    /// promise about application behaviour during the phase; breaking it
+    /// is erroneous access, not merely a missed optimisation.
+    AccessModeViolation {
+        gmr: u64,
+        mode: &'static str,
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for ArmciError {
@@ -57,6 +66,10 @@ impl fmt::Display for ArmciError {
             }
             ArmciError::Mpi(e) => write!(f, "MPI error: {e}"),
             ArmciError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            ArmciError::AccessModeViolation { gmr, mode, op } => write!(
+                f,
+                "{op} violates the {mode} access-mode hint on allocation {gmr}"
+            ),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [table2|fig3|fig4|fig5|fig6|pipeline|pool|all] [--json DIR]
+//! figures [table2|fig3|fig4|fig5|fig6|pipeline|pool|coalesce|all] [--json DIR]
 //! figures check DIR
 //! ```
 //!
@@ -11,7 +11,7 @@
 //! exits nonzero on drift — CI regenerates the cheap artifacts and runs
 //! it to catch accidental serializer or struct-shape changes.
 
-use bench::{fig3, fig4, fig5, fig6r, pipeline, pool, table2, trace};
+use bench::{coalesce, fig3, fig4, fig5, fig6r, pipeline, pool, table2, trace};
 use serde::Value;
 use simnet::PlatformId;
 
@@ -81,6 +81,27 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
                 ("epoch_held_s", Kind::Num),
                 ("pack_s", Kind::Num),
                 ("rma_ops", Kind::UInt),
+            ],
+        ),
+        (
+            "BENCH_coalesce",
+            vec![
+                ("platform", Kind::Str),
+                ("workload", Kind::Str),
+                ("arm", Kind::Str),
+                ("epochs", Kind::UInt),
+                ("flushes", Kind::UInt),
+                ("wire_ops", Kind::UInt),
+                ("queued_ops", Kind::UInt),
+                ("runs", Kind::UInt),
+                ("segs_in", Kind::UInt),
+                ("segs_out", Kind::UInt),
+                ("dtype_hits", Kind::UInt),
+                ("dtype_misses", Kind::UInt),
+                ("dtype_hit_rate", Kind::Num),
+                ("virtual_s", Kind::Num),
+                ("payload_ok", Kind::Bool),
+                ("energy", Kind::Num),
             ],
         ),
         (
@@ -347,6 +368,19 @@ fn main() {
         }
         dump(
             "BENCH_pipeline",
+            &serde_json::to_string_pretty(&everything).unwrap(),
+        );
+    }
+    if all || what == "coalesce" {
+        let mut everything = Vec::new();
+        for id in [PlatformId::InfiniBandCluster, PlatformId::CrayXE6] {
+            eprintln!("[figures] coalesce: {}", id.name());
+            let rows = coalesce::generate(id);
+            print!("{}", coalesce::render(&rows));
+            everything.extend(rows);
+        }
+        dump(
+            "BENCH_coalesce",
             &serde_json::to_string_pretty(&everything).unwrap(),
         );
     }

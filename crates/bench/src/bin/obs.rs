@@ -1,9 +1,9 @@
 //! Observability CLI over the instrumented runtime.
 //!
 //! ```text
-//! obs trace [fig3|ccsd] [--out PATH] [--jsonl]
-//! obs report [fig3|ccsd|all]
-//! obs audit [fig3|ccsd]
+//! obs trace [fig3|ccsd|ccsd-coalesced] [--out PATH] [--jsonl]
+//! obs report [fig3|ccsd|ccsd-coalesced|all]
+//! obs audit [fig3|ccsd|ccsd-coalesced]
 //! obs overhead [REPS]
 //! ```
 //!
@@ -22,8 +22,9 @@ fn capture_named(name: &str) -> Capture {
     match name {
         "fig3" => trace::fig3_capture(),
         "ccsd" => trace::ccsd_capture(),
+        "ccsd-coalesced" => trace::ccsd_coalesced_capture(),
         other => {
-            eprintln!("[obs] unknown workload `{other}` (want fig3 or ccsd)");
+            eprintln!("[obs] unknown workload `{other}` (want fig3, ccsd or ccsd-coalesced)");
             std::process::exit(2);
         }
     }

@@ -12,15 +12,19 @@
 //! A supplemental §IX comparison (`ds_compare`) pits ARMCI-MPI against
 //! the legacy two-sided data-server ARMCI, [`pipeline`] breaks the
 //! transfer engine's plan/acquire/execute/complete stages down over the
-//! Figure 3/4 workloads (`BENCH_pipeline.json`), and [`pool`] reports
+//! Figure 3/4 workloads (`BENCH_pipeline.json`), [`pool`] reports
 //! the staging buffer pool's hit/miss/registration behaviour on the same
-//! workloads (`BENCH_pool.json`).
+//! workloads (`BENCH_pool.json`), and [`coalesce`] A/B-tests the
+//! coalescing RMA scheduler and committed-datatype cache against the
+//! per-op path on the fig3 mix and the CCSD proxy
+//! (`BENCH_coalesce.json`), asserting bit-identical payloads/energies.
 //!
 //! The `figures` binary prints each as aligned text and (optionally) JSON.
 //! Bandwidth numbers are **virtual-time** measurements: the operations
 //! really execute on the simulated runtime and the platform cost model
 //! prices them, so shapes are deterministic and platform-faithful.
 
+pub mod coalesce;
 pub mod ds_compare;
 pub mod fig3;
 pub mod fig4;

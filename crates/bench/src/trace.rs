@@ -8,12 +8,15 @@
 //! nonblocking burst, and a direct-local-access region, all in MPI-2
 //! per-op epoch mode so lock epochs show up as trace intervals) and one
 //! tiny CCSD proxy iteration (the paper's §VII NWChem workload: NXTVAL
-//! task claims, tile gets, accumulate flushes).
+//! task claims, tile gets, accumulate flushes). A third capture replays
+//! the CCSD iteration through the pipelined schedule with the
+//! coalescing scheduler active, so the auditor vets the coarsened-epoch
+//! shape alongside the per-op one (`obs audit ccsd-coalesced`).
 
 use armci::{AccKind, Armci};
 use armci_mpi::{ArmciMpi, Config};
 use mpisim::{Proc, Runtime, RuntimeConfig};
-use nwchem_proxy::{run_ccsd, CcsdConfig};
+use nwchem_proxy::{run_ccsd, run_ccsd_pipelined, CcsdConfig};
 use simnet::PlatformId;
 
 /// One captured event stream (every rank, program order within a rank).
@@ -106,6 +109,26 @@ pub fn ccsd_capture() -> Capture {
     })
 }
 
+/// The same tiny CCSD iteration through the chunked pipelined schedule
+/// with the coalescing scheduler active (MPI-3 epochless mode): the
+/// trace shows `SchedFlush` instants, coarsened nonblocking epochs and
+/// per-target flushes instead of per-op locks. The auditor must accept
+/// this shape too — it is the "both paths" half of the coalescing
+/// acceptance gate.
+pub fn ccsd_coalesced_capture() -> Capture {
+    capture(2, PlatformId::InfiniBandCluster, |p| {
+        let rt = ArmciMpi::with_config(
+            p,
+            Config {
+                epochless: true,
+                ..Config::default()
+            },
+        );
+        let cfg = CcsdConfig::tiny();
+        run_ccsd_pipelined(p, &rt, &cfg);
+    })
+}
+
 /// Wall-clock for `reps` rounds of fig3-style contiguous put/get with the
 /// recorder in this build's state (recording when compiled in, inert under
 /// `--features obs/off`). Events are discarded every round so the buffer
@@ -181,6 +204,19 @@ mod tests {
         for want in ["epoch", "stage", "pack", "op", "rma", "dla"] {
             assert!(cats.contains(want), "missing category {want}: {cats:?}");
         }
+    }
+
+    #[test]
+    fn ccsd_coalesced_trace_audits_clean_and_coalesces() {
+        let cap = ccsd_coalesced_capture();
+        let v = cap.audit();
+        assert!(v.is_empty(), "audit violations: {:?}", v);
+        let reg = cap.registry();
+        // The scheduler actually ran: queued ops outnumber wire runs.
+        assert!(reg.counter("sched.flushes") > 0, "no scheduler flushes");
+        assert!(reg.counter("sched.ops") > reg.counter("sched.runs"));
+        // Epochless completion: flushes, no per-op exclusive epochs.
+        assert!(reg.counter("epochs.flushes") > 0);
     }
 
     #[test]

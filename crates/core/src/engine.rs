@@ -29,14 +29,134 @@
 //! keeps the hold-and-wait deadlock impossible; in epochless mode no
 //! per-target lock is held at all and any number of targets may have
 //! operations in flight concurrently.
+//!
+//! # The coalescing scheduler
+//!
+//! With [`CoalesceMode`] other than `PerOp` (the default is `Auto`), the
+//! nonblocking path goes one step further than epoch aggregation: queued
+//! operations are *merged*. Payload bytes still move at enqueue (through
+//! the window's `stage_*` movers, so no raw caller pointer outlives the
+//! call), but the wire operations themselves are deferred into a
+//! per-`(GMR, target)` queue. At flush the queue is walked in program
+//! order and split into **runs** of same-class operations (all-get,
+//! all-put, or all-accumulate with one element type) whose target
+//! segments the [`ctree`] conflict scan proves disjoint; each run is
+//! issued as **one** MPI operation whose target datatype is the
+//! adjacency-merged segment list, under **one** coarsened epoch per
+//! flush (shared-lock when the §VIII-A access-mode hint allows it,
+//! `flush`-completed under `lock_all` on the MPI-3 path). Operations
+//! that would conflict fall back to one wire operation each — never
+//! merged, still inside the coarsened epoch. An online [`CostModel`]
+//! fed by observed issue costs arbitrates `Auto` between the merged
+//! datatype and the batched per-op issue shape.
 
 use crate::gmr::Gmr;
 use crate::ops::OpClass;
 use crate::ArmciMpi;
 use armci::{ArmciError, ArmciResult, GlobalAddr, IovDesc, NbHandle, StridedMethod};
 use mpisim::mpi3::RmaRequest;
-use mpisim::{AccOp, Datatype, ElemType, LockMode};
+use mpisim::{AccOp, Datatype, ElemType, LockMode, RmaClass};
 use std::collections::HashSet;
+
+/// How the scheduler issues queued nonblocking operations at flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoalesceMode {
+    /// Legacy behaviour: one request-based wire operation per queued
+    /// operation, issued at enqueue inside the aggregate epoch.
+    PerOp,
+    /// Coarsened epochs, one wire operation per queued operation
+    /// (the §VI-A batched shape).
+    Batched,
+    /// Coarsened epochs, runs merged into single wire operations with
+    /// indexed datatypes (the §VI-A direct-datatype shape).
+    Datatype,
+    /// Pick `Batched` or `Datatype` per run with the online [`CostModel`];
+    /// behaves like `Datatype` until the model has seen enough issues.
+    #[default]
+    Auto,
+}
+
+/// Exponentially-weighted online estimate of the platform's issue-cost
+/// primitives, learned from the costs the simulator actually charges.
+/// Drives the [`CoalesceMode::Auto`] decision: merging a run into one
+/// datatype operation trades per-operation overhead for per-segment
+/// datatype overhead, and which side wins is a platform property the
+/// engine should not hard-code.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CostModel {
+    /// Fixed cost of one wire operation (s).
+    op_s: f64,
+    /// Incremental cost of one datatype segment (s).
+    seg_s: f64,
+    /// Per-byte wire cost (s/B).
+    byte_s: f64,
+    /// Issues observed so far.
+    obs: u64,
+}
+
+impl CostModel {
+    const ALPHA: f64 = 0.25;
+    /// Observations before `Auto` trusts the estimates.
+    const WARM: u64 = 8;
+
+    fn ewma(slot: &mut f64, sample: f64) {
+        *slot = if *slot == 0.0 {
+            sample
+        } else {
+            (1.0 - Self::ALPHA) * *slot + Self::ALPHA * sample
+        };
+    }
+
+    /// Folds one observed issue: `cost` seconds for an operation moving
+    /// `bytes` across `nsegs` target segments.
+    pub(crate) fn observe(&mut self, cost: f64, bytes: u64, nsegs: usize) {
+        self.obs += 1;
+        let byte_part = self.byte_s * bytes as f64;
+        if nsegs <= 1 {
+            Self::ewma(&mut self.op_s, (cost - byte_part).max(0.0));
+        } else {
+            let fixed = self.op_s + byte_part;
+            Self::ewma(&mut self.seg_s, ((cost - fixed) / nsegs as f64).max(0.0));
+        }
+        if bytes > 0 {
+            let seg_part = if nsegs > 1 {
+                self.seg_s * nsegs as f64
+            } else {
+                0.0
+            };
+            Self::ewma(
+                &mut self.byte_s,
+                (cost - self.op_s - seg_part).max(0.0) / bytes as f64,
+            );
+        }
+    }
+
+    /// Predicted cost of issuing a run as one merged datatype operation
+    /// over `nsegs` merged segments.
+    fn datatype_cost(&self, bytes: u64, nsegs: usize) -> f64 {
+        let seg = if nsegs > 1 {
+            self.seg_s * nsegs as f64
+        } else {
+            0.0
+        };
+        self.op_s + self.byte_s * bytes as f64 + seg
+    }
+
+    /// Predicted cost of issuing a run as `ops` separate wire operations.
+    fn batched_cost(&self, bytes: u64, ops: usize) -> f64 {
+        self.op_s * ops as f64 + self.byte_s * bytes as f64
+    }
+
+    /// `true` once enough issues were observed for `Auto` to decide.
+    fn warm(&self) -> bool {
+        self.obs >= Self::WARM
+    }
+
+    /// The `Auto` decision: merge the run into one datatype operation?
+    fn prefer_merged(&self, bytes: u64, ops: usize, merged_segs: usize) -> bool {
+        !self.warm() || self.datatype_cost(bytes, merged_segs) <= self.batched_cost(bytes, ops)
+    }
+}
 
 /// Per-stage counters and virtual-time totals for the transfer engine.
 /// Complements [`crate::OpStats`] (which counts MPI-level operations)
@@ -68,6 +188,22 @@ pub struct StageStats {
     pub pool_misses: u64,
     /// Virtual seconds charged for on-demand scratch registration.
     pub pool_reg_s: f64,
+    /// Operations queued by the coalescing scheduler.
+    pub sched_enqueued: u64,
+    /// Scheduler queue flushes (one coarsened epoch each).
+    pub sched_flushes: u64,
+    /// Wire operations the scheduler actually issued (merged runs plus
+    /// batched/fallback per-op issues).
+    pub sched_runs: u64,
+    /// Target segments entering the merger across all flushed runs.
+    pub sched_segs_in: u64,
+    /// Target segments left after adjacency merging.
+    pub sched_segs_out: u64,
+    /// Committed-datatype cache hits (folded from the windows by
+    /// [`crate::ArmciMpi::stage_stats`]; zero in a raw snapshot).
+    pub dtype_hits: u64,
+    /// Committed-datatype cache misses (folded likewise).
+    pub dtype_misses: u64,
     /// Virtual seconds spent in the plan stage (method selection,
     /// conflict-tree scans).
     pub plan_s: f64,
@@ -99,6 +235,13 @@ impl StageStats {
             pool_hits: self.pool_hits - earlier.pool_hits,
             pool_misses: self.pool_misses - earlier.pool_misses,
             pool_reg_s: self.pool_reg_s - earlier.pool_reg_s,
+            sched_enqueued: self.sched_enqueued - earlier.sched_enqueued,
+            sched_flushes: self.sched_flushes - earlier.sched_flushes,
+            sched_runs: self.sched_runs - earlier.sched_runs,
+            sched_segs_in: self.sched_segs_in - earlier.sched_segs_in,
+            sched_segs_out: self.sched_segs_out - earlier.sched_segs_out,
+            dtype_hits: self.dtype_hits - earlier.dtype_hits,
+            dtype_misses: self.dtype_misses - earlier.dtype_misses,
             plan_s: self.plan_s - earlier.plan_s,
             acquire_s: self.acquire_s - earlier.acquire_s,
             execute_s: self.execute_s - earlier.execute_s,
@@ -114,6 +257,28 @@ impl StageStats {
             return 0.0;
         }
         self.pool_hits as f64 / total as f64
+    }
+
+    /// Queued operations the scheduler merged away (wire operations it
+    /// did *not* issue thanks to run merging).
+    pub fn sched_ops_merged(&self) -> u64 {
+        self.sched_enqueued.saturating_sub(self.sched_runs)
+    }
+
+    /// Epochs the scheduler saved against the per-op discipline: each
+    /// queued operation would have paid its own epoch, the scheduler paid
+    /// one coarsened epoch per flush.
+    pub fn sched_epochs_saved(&self) -> u64 {
+        self.sched_enqueued.saturating_sub(self.sched_flushes)
+    }
+
+    /// Committed-datatype cache hit rate (0.0 when never consulted).
+    pub fn dtype_hit_rate(&self) -> f64 {
+        let total = self.dtype_hits + self.dtype_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.dtype_hits as f64 / total as f64
     }
 }
 
@@ -173,6 +338,16 @@ impl NbKind {
             _ => false,
         }
     }
+
+    /// The wire class a scheduler run of this kind issues as (engine
+    /// accumulates are always MPI `SUM`; scaling happened at staging).
+    fn rma_class(self) -> RmaClass {
+        match self {
+            NbKind::Get => RmaClass::Get,
+            NbKind::Put => RmaClass::Put,
+            NbKind::Acc(elem) => RmaClass::Acc(elem, AccOp::Sum),
+        }
+    }
 }
 
 /// Do any of the new target ranges overlap an already-issued range with
@@ -183,6 +358,34 @@ fn conflicts(issued: &[(usize, usize, NbKind)], new: &[(usize, usize, NbKind)]) 
             .iter()
             .any(|&(ilo, ihi, ik)| lo < ihi && ilo < hi && !k.compatible(ik))
     })
+}
+
+/// Splits queued operations (kept in program order) into maximal runs of
+/// same-class operations whose combined target segments the conflict
+/// tree proves disjoint — the precondition for merging a run into one
+/// wire operation. An operation that would overlap its run (or change
+/// class) starts a new run: the conservative per-op fallback, which
+/// preserves program order because MPI executes the flush's operations
+/// in issue order within one epoch.
+fn form_runs(ops: &[QueuedOp]) -> Vec<Vec<usize>> {
+    let mut runs: Vec<Vec<usize>> = Vec::new();
+    let mut segs: Vec<(usize, usize)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(run) = runs.last_mut() {
+            if ops[run[0]].kind == op.kind {
+                let mut cand = segs.clone();
+                cand.extend(op.segs.iter().copied());
+                if ctree::scan_segments(&cand).is_ok() {
+                    run.push(i);
+                    segs = cand;
+                    continue;
+                }
+            }
+        }
+        segs = op.segs.clone();
+        runs.push(vec![i]);
+    }
+    runs
 }
 
 struct NbEpoch {
@@ -199,11 +402,46 @@ struct NbEpoch {
     ranges: Vec<(usize, usize, NbKind)>,
 }
 
+/// One operation queued by the coalescing scheduler: payload already
+/// moved, wire issue deferred to flush.
+struct QueuedOp {
+    kind: NbKind,
+    /// Window-absolute target byte segments, in datatype order.
+    segs: Vec<(usize, usize)>,
+    /// Payload bytes (statistics).
+    bytes: u64,
+}
+
+/// A per-`(GMR, target)` scheduler queue: the deferred-issue counterpart
+/// of [`NbEpoch`]. No lock is held while the queue is open — the
+/// coarsened epoch is acquired and released entirely inside the flush.
+struct SchedQueue {
+    gmr: u64,
+    target: usize,
+    mode: LockMode,
+    /// Virtual time the queue opened; queued transfers are on the wire
+    /// from here in epochless mode (under the standing `lock_all`), so
+    /// flush-time completion is priced from this origin.
+    t_open: f64,
+    /// Handle ids with operations in this queue.
+    ids: Vec<u64>,
+    ops: Vec<QueuedOp>,
+    /// Target byte ranges already queued (MPI-2 conflict check, exactly
+    /// as for [`NbEpoch`]: the coarsened epoch is still one epoch, so
+    /// conflicting accesses inside it would be erroneous).
+    ranges: Vec<(usize, usize, NbKind)>,
+}
+
 /// Engine-side nonblocking state.
 #[derive(Default)]
 pub(crate) struct NbState {
     next_id: u64,
     open: Vec<NbEpoch>,
+    /// Coalescing-scheduler queues (used when `Config::coalesce` is not
+    /// `PerOp`; `open` stays empty then, and vice versa).
+    queues: Vec<SchedQueue>,
+    /// Online issue-cost estimates for [`CoalesceMode::Auto`].
+    model: CostModel,
     /// Handle ids whose operations have completed (epoch closed) but whose
     /// `wait` has not been called yet.
     resolved: HashSet<u64>,
@@ -240,13 +478,14 @@ impl ArmciMpi {
     }
 
     /// Lock mode for an operation of `class` against `gmr_id`, derived
-    /// from the GMR's access-mode hint (§VIII-A).
+    /// from the GMR's access-mode hint (§VIII-A). Errors when the
+    /// operation contradicts the hint.
     fn mode_for_gmr(&self, gmr_id: u64, class: OpClass) -> ArmciResult<LockMode> {
         let gmrs = self.gmrs.borrow();
         let gmr = gmrs
             .get(&gmr_id)
             .ok_or_else(|| crate::gmr::gmr_vanished(gmr_id))?;
-        Ok(self.lock_mode_for(gmr.mode.get(), class))
+        self.lock_mode_for(gmr_id, gmr.mode.get(), class)
     }
 
     // ------------------------------------------------------------------
@@ -718,6 +957,9 @@ impl ArmciMpi {
             nb.next_id += 1;
             nb.next_id
         };
+        if self.cfg.coalesce != CoalesceMode::PerOp {
+            return self.sched_run_plans(plans, buf, id);
+        }
         let kind = match *buf {
             ExecBuf::Get(..) => NbKind::Get,
             ExecBuf::Put(..) => NbKind::Put,
@@ -892,6 +1134,380 @@ impl ArmciMpi {
     }
 
     // ------------------------------------------------------------------
+    // The coalescing scheduler (enqueue / flush)
+    // ------------------------------------------------------------------
+
+    /// Enqueues plans on the coalescing scheduler: payload moves now
+    /// (through the window's bounds-checked staging movers), wire issue
+    /// and epoch accounting are deferred to the queue's flush.
+    fn sched_run_plans(
+        &self,
+        plans: Vec<TransferPlan>,
+        buf: &ExecBuf,
+        id: u64,
+    ) -> ArmciResult<NbHandle> {
+        let kind = match *buf {
+            ExecBuf::Get(..) => NbKind::Get,
+            ExecBuf::Put(..) => NbKind::Put,
+            ExecBuf::Acc(_, elem) => NbKind::Acc(elem),
+        };
+        let op_overhead = self.world.platform().mpi.op_overhead;
+        for plan in plans {
+            let t0 = self.vnow();
+            let plan_ranges: Vec<(usize, usize, NbKind)> = plan
+                .ops
+                .iter()
+                .flat_map(|op| {
+                    op.tdt
+                        .segments()
+                        .into_iter()
+                        .map(move |(off, len)| (op.tdisp + off, op.tdisp + off + len, kind))
+                })
+                .collect();
+            // Join an open queue on (gmr, target) or open a new one. The
+            // coarsened MPI-2 epoch is still *one* epoch, so a plan whose
+            // ranges would conflict with queued operations cannot join —
+            // the queue is flushed and a fresh one opened, exactly like
+            // the per-op path splits its aggregate epoch.
+            let found = self.nb.borrow().queues.iter().position(|q| {
+                q.gmr == plan.gmr
+                    && q.target == plan.target
+                    && (self.cfg.epochless
+                        || (q.mode == plan.mode && !conflicts(&q.ranges, &plan_ranges)))
+            });
+            let idx = match found {
+                Some(i) => {
+                    self.stage(|g| g.nb_aggregated += plan.ops.len() as u64);
+                    i
+                }
+                None => {
+                    if !self.cfg.epochless {
+                        // One coarsened MPI-2 epoch at a time: flushing
+                        // everything outstanding before opening a new
+                        // queue keeps hold-and-wait impossible (and is
+                        // the only way to retire a conflicting queue on
+                        // the same target).
+                        self.nb_quiesce()?;
+                    }
+                    self.stage(|g| g.acquires += 1);
+                    let t_open = self.vnow();
+                    let mut nb = self.nb.borrow_mut();
+                    nb.queues.push(SchedQueue {
+                        gmr: plan.gmr,
+                        target: plan.target,
+                        mode: plan.mode,
+                        t_open,
+                        ids: Vec::new(),
+                        ops: Vec::new(),
+                        ranges: Vec::new(),
+                    });
+                    nb.queues.len() - 1
+                }
+            };
+            // Move the payload eagerly; pricing waits for the flush.
+            {
+                let gmrs = self.gmrs.borrow();
+                let gmr = gmrs
+                    .get(&plan.gmr)
+                    .ok_or_else(|| crate::gmr::gmr_vanished(plan.gmr))?;
+                for op in &plan.ops {
+                    self.sched_stage_op(gmr, plan.target, op, buf)?;
+                }
+            }
+            // Software issue overhead per queued operation; the wire time
+            // itself is charged when the flush prices the runs.
+            self.charge(plan.ops.len() as f64 * op_overhead);
+            let t1 = self.vnow();
+            self.stage(|g| {
+                g.nb_submitted += plan.ops.len() as u64;
+                g.sched_enqueued += plan.ops.len() as u64;
+                g.execute_s += t1 - t0;
+            });
+            obs::batch(|b| {
+                b.span(
+                    obs::EventKind::Stage {
+                        stage: "execute",
+                        gmr: plan.gmr,
+                    },
+                    t0,
+                    t1,
+                );
+                b.span(
+                    obs::EventKind::Op {
+                        name: match kind {
+                            NbKind::Get => "nb_get",
+                            NbKind::Put => "nb_put",
+                            NbKind::Acc(_) => "nb_acc",
+                        },
+                        gmr: plan.gmr,
+                        bytes: plan.ops.iter().map(|o| o.bytes).sum(),
+                    },
+                    t0,
+                    t1,
+                );
+            });
+            let mut nb = self.nb.borrow_mut();
+            let q = &mut nb.queues[idx];
+            for op in &plan.ops {
+                q.ops.push(QueuedOp {
+                    kind,
+                    segs: op
+                        .tdt
+                        .segments()
+                        .into_iter()
+                        .map(|(off, len)| (op.tdisp + off, len))
+                        .collect(),
+                    bytes: op.bytes,
+                });
+            }
+            q.ids.push(id);
+            q.ranges.extend(plan_ranges);
+        }
+        Ok(NbHandle::deferred(id))
+    }
+
+    /// Moves one planned operation's payload between the caller's buffer
+    /// and the target window *now*, without wire pricing: a two-pointer
+    /// walk pairs the origin datatype's segments with the target
+    /// datatype's, splitting at whichever boundary comes first.
+    fn sched_stage_op(
+        &self,
+        gmr: &Gmr,
+        target: usize,
+        op: &PlannedOp,
+        buf: &ExecBuf,
+    ) -> ArmciResult<()> {
+        let osegs = op.odt.segments();
+        let tsegs = op.tdt.segments();
+        let (mut oi, mut ti) = (0usize, 0usize);
+        let (mut opos, mut tpos) = (0usize, 0usize);
+        while oi < osegs.len() && ti < tsegs.len() {
+            let (ooff, olen) = osegs[oi];
+            let (toff, tlen) = tsegs[ti];
+            let len = (olen - opos).min(tlen - tpos);
+            let o = ooff + opos;
+            let t = op.tdisp + toff + tpos;
+            match *buf {
+                ExecBuf::Get(ptr, buflen) => {
+                    // Safety: see `issue_op` — the pointer covers `buflen`
+                    // bytes and the borrow ends with this call.
+                    let b = unsafe { std::slice::from_raw_parts_mut(ptr, buflen) };
+                    gmr.win.stage_get_bytes(&mut b[o..o + len], target, t)?;
+                }
+                ExecBuf::Put(ptr, buflen) => {
+                    // Safety: as above, read-only.
+                    let b = unsafe { std::slice::from_raw_parts(ptr, buflen) };
+                    gmr.win.stage_put_bytes(&b[o..o + len], target, t)?;
+                }
+                ExecBuf::Acc(staged, elem) => {
+                    gmr.win
+                        .stage_acc_bytes(&staged[o..o + len], target, t, elem, AccOp::Sum)?;
+                }
+            }
+            opos += len;
+            tpos += len;
+            if opos == olen {
+                oi += 1;
+                opos = 0;
+            }
+            if tpos == tlen {
+                ti += 1;
+                tpos = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes one scheduler queue: acquires the coarsened epoch (MPI-2),
+    /// forms merged runs, issues them, prices the wire, and releases.
+    fn sched_flush(&self, q: SchedQueue) -> ArmciResult<()> {
+        let t0 = self.vnow();
+        let segs_in: u64 = q.ops.iter().map(|o| o.segs.len() as u64).sum();
+        let mut segs_out = 0u64;
+        let mut wire_ops = 0u64;
+        let mut res = Ok(());
+        let end;
+        {
+            let gmrs = self.gmrs.borrow();
+            let gmr = gmrs
+                .get(&q.gmr)
+                .ok_or_else(|| crate::gmr::gmr_vanished(q.gmr))?;
+            if !self.cfg.epochless {
+                self.stat(|s| s.epochs += 1);
+                gmr.win.lock(q.mode, q.target)?;
+                obs::instant(obs::EventKind::NbEpochOpen {
+                    win: q.gmr,
+                    target: q.target as u32,
+                });
+            }
+            let t1 = self.vnow();
+            // Run formation re-runs the conflict-tree scan over the queued
+            // segments; charge it like the plan stage charges its scan.
+            let n = q.ops.len().max(1) as f64;
+            self.charge(4e-9 * n * n.log2().max(1.0));
+            let runs = form_runs(&q.ops);
+            // Wire origin: epochless transfers have been on the wire under
+            // the standing `lock_all` since enqueue; MPI-2 transfers
+            // cannot start before the coarsened lock was granted.
+            let mut wire_t = if self.cfg.epochless { q.t_open } else { t1 };
+            'runs: for run in &runs {
+                let kind = q.ops[run[0]].kind;
+                let class = kind.rma_class();
+                let bytes: u64 = run.iter().map(|&i| q.ops[i].bytes).sum();
+                let all_segs: Vec<(usize, usize)> = run
+                    .iter()
+                    .flat_map(|&i| q.ops[i].segs.iter().copied())
+                    .collect();
+                let merged = ctree::merge_segments(&all_segs);
+                let use_merged = match self.cfg.coalesce {
+                    CoalesceMode::Datatype => true,
+                    CoalesceMode::Batched => false,
+                    // Cold model prefers the merged datatype (one op beats
+                    // many on every platform the paper measures).
+                    CoalesceMode::Auto => {
+                        self.nb
+                            .borrow()
+                            .model
+                            .prefer_merged(bytes, run.len(), merged.len())
+                    }
+                    CoalesceMode::PerOp => unreachable!("scheduler inactive in PerOp mode"),
+                };
+                if use_merged {
+                    let cost = match gmr.win.issue_merged(class, q.target, &merged) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            res = Err(e.into());
+                            break 'runs;
+                        }
+                    };
+                    self.nb
+                        .borrow_mut()
+                        .model
+                        .observe(cost, bytes, merged.len());
+                    wire_t += cost;
+                    segs_out += merged.len() as u64;
+                    wire_ops += 1;
+                    self.note_wire_op(kind, bytes);
+                } else {
+                    // Batched shape: one wire op per queued op (adjacent
+                    // segments within an op still merge), pipelined under
+                    // the one coarsened epoch.
+                    for &i in run {
+                        let op = &q.ops[i];
+                        let segs = ctree::merge_segments(&op.segs);
+                        let cost = match gmr.win.issue_merged(class, q.target, &segs) {
+                            Ok(c) => c,
+                            Err(e) => {
+                                res = Err(e.into());
+                                break 'runs;
+                            }
+                        };
+                        self.nb
+                            .borrow_mut()
+                            .model
+                            .observe(cost, op.bytes, segs.len());
+                        wire_t += cost;
+                        segs_out += segs.len() as u64;
+                        wire_ops += 1;
+                        self.note_wire_op(kind, op.bytes);
+                    }
+                }
+            }
+            let t2 = self.vnow();
+            // Completion: the wire finishes at `wire_t`; advance there.
+            if wire_t > t2 {
+                self.charge(wire_t - t2);
+            }
+            end = if self.cfg.epochless {
+                self.stat(|s| s.flushes += 1);
+                gmr.win.flush(q.target).map_err(ArmciError::from)
+            } else {
+                gmr.win.unlock(q.target).map_err(ArmciError::from)
+            };
+            let t3 = self.vnow();
+            self.stage(|g| {
+                g.completes += 1;
+                g.executed_ops += wire_ops;
+                g.sched_flushes += 1;
+                g.sched_runs += wire_ops;
+                g.sched_segs_in += segs_in;
+                g.sched_segs_out += segs_out;
+                g.acquire_s += t1 - t0;
+                g.execute_s += t2 - t1;
+                g.complete_s += t3 - t2;
+            });
+            if obs::enabled() {
+                obs::batch(|b| {
+                    b.instant_at(
+                        obs::EventKind::SchedFlush {
+                            win: q.gmr,
+                            target: q.target as u32,
+                            ops: q.ops.len() as u32,
+                            runs: wire_ops as u32,
+                            segs_in: segs_in as u32,
+                            segs_out: segs_out as u32,
+                        },
+                        t2,
+                    );
+                    b.instant_at(
+                        obs::EventKind::NbEpochClose {
+                            win: q.gmr,
+                            target: q.target as u32,
+                        },
+                        t3,
+                    );
+                    b.span(
+                        obs::EventKind::Stage {
+                            stage: "acquire",
+                            gmr: q.gmr,
+                        },
+                        t0,
+                        t1,
+                    );
+                    b.span(
+                        obs::EventKind::Stage {
+                            stage: "execute",
+                            gmr: q.gmr,
+                        },
+                        t1,
+                        t2,
+                    );
+                    b.span(
+                        obs::EventKind::Stage {
+                            stage: "complete",
+                            gmr: q.gmr,
+                        },
+                        t2,
+                        t3,
+                    );
+                });
+            }
+        }
+        self.nb.borrow_mut().resolved.extend(q.ids.iter().copied());
+        end?;
+        res
+    }
+
+    /// Counts one wire operation in the per-class operation statistics
+    /// (the scheduler's merged runs are what actually hits the wire).
+    fn note_wire_op(&self, kind: NbKind, bytes: u64) {
+        self.stat(|s| match kind {
+            NbKind::Get => {
+                s.gets += 1;
+                s.bytes_got += bytes;
+            }
+            NbKind::Put => {
+                s.puts += 1;
+                s.bytes_put += bytes;
+            }
+            NbKind::Acc(_) => {
+                s.accs += 1;
+                s.bytes_acc += bytes;
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
     // Complete — nonblocking path
     // ------------------------------------------------------------------
 
@@ -900,6 +1516,10 @@ impl ArmciMpi {
     /// operations: any synchronising call serialises against in-flight
     /// nonblocking operations instead of corrupting them.
     pub(crate) fn nb_quiesce(&self) -> ArmciResult<()> {
+        let queues = std::mem::take(&mut self.nb.borrow_mut().queues);
+        for q in queues {
+            self.sched_flush(q)?;
+        }
         let open = std::mem::take(&mut self.nb.borrow_mut().open);
         for ep in open {
             self.nb_complete_epoch(ep)?;
@@ -912,8 +1532,18 @@ impl ArmciMpi {
     /// NXTVAL counter must not retire in-flight transfers on unrelated
     /// allocations (that would serialise the §VIII-B(3) overlap schedule).
     pub(crate) fn nb_quiesce_gmr(&self, gmr: u64) -> ArmciResult<()> {
-        let matching = {
+        let (queues, epochs) = {
             let mut nb = self.nb.borrow_mut();
+            let mut keep_q = Vec::new();
+            let mut out_q = Vec::new();
+            for q in std::mem::take(&mut nb.queues) {
+                if q.gmr == gmr {
+                    out_q.push(q);
+                } else {
+                    keep_q.push(q);
+                }
+            }
+            nb.queues = keep_q;
             let mut keep = Vec::new();
             let mut out = Vec::new();
             for ep in std::mem::take(&mut nb.open) {
@@ -924,9 +1554,12 @@ impl ArmciMpi {
                 }
             }
             nb.open = keep;
-            out
+            (out_q, out)
         };
-        for ep in matching {
+        for q in queues {
+            self.sched_flush(q)?;
+        }
+        for ep in epochs {
             self.nb_complete_epoch(ep)?;
         }
         Ok(())
@@ -986,25 +1619,40 @@ impl ArmciMpi {
         let Some(id) = handle.id else {
             return Ok(());
         };
-        if self.nb.borrow_mut().resolved.remove(&id) {
+        // A handle's operations can sit in a scheduler queue and/or an
+        // already-resolved earlier flush (an MPI-2 multi-plan transfer
+        // split across targets): retire every live holder first, then the
+        // resolved record.
+        let mut found = false;
+        loop {
+            let pos = self
+                .nb
+                .borrow()
+                .queues
+                .iter()
+                .position(|q| q.ids.contains(&id));
+            let Some(i) = pos else { break };
+            let q = self.nb.borrow_mut().queues.remove(i);
+            self.sched_flush(q)?;
+            found = true;
+        }
+        loop {
+            let pos = self
+                .nb
+                .borrow()
+                .open
+                .iter()
+                .position(|e| e.ids.contains(&id));
+            let Some(i) = pos else { break };
+            let ep = self.nb.borrow_mut().open.remove(i);
+            self.nb_complete_epoch(ep)?;
+            found = true;
+        }
+        if self.nb.borrow_mut().resolved.remove(&id) || found {
             return Ok(());
         }
-        let pos = self
-            .nb
-            .borrow()
-            .open
-            .iter()
-            .position(|e| e.ids.contains(&id));
-        match pos {
-            Some(i) => {
-                let ep = self.nb.borrow_mut().open.remove(i);
-                self.nb_complete_epoch(ep)?;
-                self.nb.borrow_mut().resolved.remove(&id);
-                Ok(())
-            }
-            None => Err(ArmciError::BadDescriptor(
-                "wait on unknown nonblocking handle".into(),
-            )),
-        }
+        Err(ArmciError::BadDescriptor(
+            "wait on unknown nonblocking handle".into(),
+        ))
     }
 }

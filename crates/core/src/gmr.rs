@@ -253,6 +253,11 @@ impl ArmciMpi {
         if self.cfg.epochless {
             gmr.win.unlock_all()?;
         }
+        // Preserve the window's committed-datatype cache counters past its
+        // destruction: stage-stat snapshots fold live windows + retired.
+        let (hits, misses, _) = gmr.win.dtype_cache_stats();
+        let (rh, rm) = self.dtype_retired.get();
+        self.dtype_retired.set((rh + hits, rm + misses));
         gmr.win.free()?;
         if obs::enabled() {
             obs::instant_at(obs::EventKind::GmrFree { gmr: gmr_id }, self.vnow());

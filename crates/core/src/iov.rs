@@ -19,6 +19,11 @@
 //!
 //! This module validates descriptors, stages accumulate sources, and hands
 //! the engine a method; planning and epoch management live in the engine.
+//! Nonblocking IOV calls additionally route through the engine's
+//! coalescing scheduler (DESIGN §7): queued same-target descriptors can
+//! merge with neighbouring operations into coarsened epochs, and clean
+//! datatype-path descriptors reuse committed datatypes via the
+//! window-level shape cache.
 
 use crate::engine::ExecBuf;
 use crate::ops::OpClass;

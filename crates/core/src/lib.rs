@@ -36,7 +36,7 @@ pub mod ops;
 pub mod rmw;
 pub mod strided;
 
-pub use engine::StageStats;
+pub use engine::{CoalesceMode, StageStats};
 
 use armci::{
     AccKind, AccessMode, Armci, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IovDesc, NbHandle,
@@ -65,6 +65,9 @@ pub struct Config {
     /// instead of running in per-op exclusive epochs; conflicting accesses
     /// become undefined rather than erroneous; RMW uses `fetch_and_op`.
     pub epochless: bool,
+    /// Nonblocking-operation coalescing discipline (the scheduler of
+    /// [`engine`]): how queued same-target operations are issued at flush.
+    pub coalesce: CoalesceMode,
 }
 
 impl Default for Config {
@@ -74,6 +77,7 @@ impl Default for Config {
             iov: StridedMethod::Auto,
             use_mpi3_rmw: false,
             epochless: false,
+            coalesce: CoalesceMode::Auto,
         }
     }
 }
@@ -153,6 +157,14 @@ pub struct ArmciMpi {
     pub(crate) stage_stats: RefCell<StageStats>,
     /// Open nonblocking aggregate epochs and resolved handles.
     pub(crate) nb: RefCell<engine::NbState>,
+    /// Committed-datatype cache counters of already-freed windows; live
+    /// windows are folded in at snapshot time (the caches themselves live
+    /// on the window handles).
+    pub(crate) dtype_retired: Cell<(u64, u64)>,
+    /// Baseline subtracted from the folded datatype counters, so
+    /// [`ArmciMpi::reset_stage_stats`] can zero them without touching the
+    /// monotonic per-window counts.
+    pub(crate) dtype_base: Cell<(u64, u64)>,
 }
 
 impl ArmciMpi {
@@ -210,6 +222,8 @@ impl ArmciMpi {
             stats: RefCell::new(OpStats::default()),
             stage_stats: RefCell::new(StageStats::default()),
             nb: RefCell::new(engine::NbState::default()),
+            dtype_retired: Cell::new((0, 0)),
+            dtype_base: Cell::new((0, 0)),
         }
     }
 
@@ -224,13 +238,37 @@ impl ArmciMpi {
     }
 
     /// A snapshot of the transfer engine's per-stage counters and timings.
+    /// Committed-datatype cache hits/misses are folded in from every live
+    /// window plus the retired total of freed windows, so the counters
+    /// stay monotonic across `free` and the [`StageStats::delta`] phase
+    /// arithmetic never underflows.
     pub fn stage_stats(&self) -> StageStats {
-        *self.stage_stats.borrow()
+        let mut g = *self.stage_stats.borrow();
+        let (hits, misses) = self.dtype_counts();
+        let (bh, bm) = self.dtype_base.get();
+        g.dtype_hits = hits - bh;
+        g.dtype_misses = misses - bm;
+        g
     }
 
-    /// Resets the per-stage counters.
+    /// Resets the per-stage counters. Datatype-cache counters are rebased
+    /// rather than zeroed (the underlying per-window counts are
+    /// monotonic); cached committed shapes are kept.
     pub fn reset_stage_stats(&self) {
+        self.dtype_base.set(self.dtype_counts());
         *self.stage_stats.borrow_mut() = StageStats::default();
+    }
+
+    /// Total committed-datatype cache consultations: live windows plus
+    /// freed ones.
+    fn dtype_counts(&self) -> (u64, u64) {
+        let (mut hits, mut misses) = self.dtype_retired.get();
+        for gmr in self.gmrs.borrow().values() {
+            let (h, m, _) = gmr.win.dtype_cache_stats();
+            hits += h;
+            misses += m;
+        }
+        (hits, misses)
     }
 
     pub(crate) fn stat(&self, f: impl FnOnce(&mut OpStats)) {

@@ -11,7 +11,7 @@
 
 use crate::engine::ExecBuf;
 use crate::ArmciMpi;
-use armci::{AccKind, AccessMode, ArmciResult, GlobalAddr, NbHandle};
+use armci::{AccKind, AccessMode, ArmciError, ArmciResult, GlobalAddr, NbHandle};
 use mpisim::LockMode;
 
 /// Operation class for lock-mode selection.
@@ -22,16 +22,45 @@ pub(crate) enum OpClass {
     Acc,
 }
 
+impl OpClass {
+    fn name(self) -> &'static str {
+        match self {
+            OpClass::Get => "get",
+            OpClass::Put => "put",
+            OpClass::Acc => "accumulate",
+        }
+    }
+}
+
 impl ArmciMpi {
     /// Lock mode implied by the GMR's access-mode hint for `class`
-    /// (§VIII-A). Operations that contradict the hint fall back to
-    /// exclusive — the hint promises application behaviour, it does not
-    /// license corruption.
-    pub(crate) fn lock_mode_for(&self, mode: AccessMode, class: OpClass) -> LockMode {
+    /// (§VIII-A). The hint is a *promise* about application behaviour
+    /// during the phase — shared locks for compatible operations are
+    /// sound only because nothing else touches the region — so an
+    /// operation that contradicts the hint (a put into a read-only
+    /// region, a get from an accumulate-only one) is erroneous and is
+    /// rejected outright rather than silently escalated to an exclusive
+    /// lock that could still corrupt concurrent shared-lock traffic.
+    pub(crate) fn lock_mode_for(
+        &self,
+        gmr: u64,
+        mode: AccessMode,
+        class: OpClass,
+    ) -> ArmciResult<LockMode> {
         match (mode, class) {
-            (AccessMode::ReadOnly, OpClass::Get) => LockMode::Shared,
-            (AccessMode::AccumulateOnly, OpClass::Acc) => LockMode::Shared,
-            _ => LockMode::Exclusive,
+            (AccessMode::Standard, _) => Ok(LockMode::Exclusive),
+            (AccessMode::ReadOnly, OpClass::Get) => Ok(LockMode::Shared),
+            (AccessMode::AccumulateOnly, OpClass::Acc) => Ok(LockMode::Shared),
+            (AccessMode::ReadOnly, c) => Err(ArmciError::AccessModeViolation {
+                gmr,
+                mode: "read-only",
+                op: c.name(),
+            }),
+            (AccessMode::AccumulateOnly, c) => Err(ArmciError::AccessModeViolation {
+                gmr,
+                mode: "accumulate-only",
+                op: c.name(),
+            }),
         }
     }
 

@@ -13,9 +13,12 @@
 //!
 //! Both strategies produce [`crate::engine`] transfer plans; the blocking
 //! entry points run them immediately while the nonblocking entry points
-//! hand them to the request-based path, so `ARMCI_NbPutS`-style patch
-//! transfers overlap with computation exactly like their contiguous
-//! counterparts.
+//! hand them to the coalescing scheduler (DESIGN §7), so
+//! `ARMCI_NbPutS`-style patch transfers overlap with computation — and
+//! same-target trains of them merge into coarsened epochs — exactly like
+//! their contiguous counterparts. Direct-datatype transfers of a
+//! repeated shape hit the window's committed-datatype cache instead of
+//! rebuilding subarray types per call.
 
 use crate::engine::{ExecBuf, TransferPlan};
 use crate::ops::OpClass;

@@ -1,0 +1,258 @@
+//! The coalescing RMA scheduler: behavioural equivalence with the
+//! per-op path, wire-level op merging and epoch coarsening, §VIII-A
+//! access-mode rejection, and the committed-datatype cache.
+
+use armci::{AccKind, AccessMode, Armci, ArmciError, ArmciExt};
+use armci_mpi::{ArmciMpi, CoalesceMode, Config};
+use mpisim::{Runtime, RuntimeConfig};
+use proptest::prelude::*;
+
+fn quiet() -> RuntimeConfig {
+    RuntimeConfig {
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+fn cfg(coalesce: CoalesceMode, epochless: bool) -> Config {
+    Config {
+        coalesce,
+        epochless,
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// §VIII-A: operations that contradict the access-mode hint are rejected
+// ---------------------------------------------------------------------
+
+#[test]
+fn put_into_read_only_region_is_rejected() {
+    Runtime::run_with(2, quiet(), |p| {
+        let rt = ArmciMpi::new(p);
+        let world = rt.world_group();
+        let bases = rt.malloc(64).unwrap();
+        rt.barrier();
+        rt.set_access_mode(bases[p.rank()], &world, AccessMode::ReadOnly)
+            .unwrap();
+        if p.rank() == 0 {
+            let err = rt.put(&[1u8; 8], bases[1]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ArmciError::AccessModeViolation {
+                        mode: "read-only",
+                        op: "put",
+                        ..
+                    }
+                ),
+                "unexpected error: {err}"
+            );
+            let err = rt
+                .acc(AccKind::Double(1.0), &[0u8; 8], bases[1])
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                ArmciError::AccessModeViolation {
+                    mode: "read-only",
+                    op: "accumulate",
+                    ..
+                }
+            ));
+            // the nonblocking path rejects at plan time too
+            assert!(rt.nb_put(&[1u8; 8], bases[1]).is_err());
+            // reads are what the hint promises — still fine
+            let mut b = [0u8; 8];
+            rt.get(bases[1], &mut b).unwrap();
+        }
+        rt.barrier();
+        rt.set_access_mode(bases[p.rank()], &world, AccessMode::Standard)
+            .unwrap();
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+    });
+}
+
+#[test]
+fn get_from_accumulate_only_region_is_rejected() {
+    Runtime::run_with(2, quiet(), |p| {
+        let rt = ArmciMpi::new(p);
+        let world = rt.world_group();
+        let bases = rt.malloc(64).unwrap();
+        rt.barrier();
+        rt.set_access_mode(bases[p.rank()], &world, AccessMode::AccumulateOnly)
+            .unwrap();
+        if p.rank() == 0 {
+            let mut b = [0u8; 8];
+            let err = rt.get(bases[1], &mut b).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ArmciError::AccessModeViolation {
+                        mode: "accumulate-only",
+                        op: "get",
+                        ..
+                    }
+                ),
+                "unexpected error: {err}"
+            );
+            assert!(rt.put(&[1u8; 8], bases[1]).is_err());
+            // accumulates are the promise — still fine
+            rt.acc_f64s(1.0, &[1.0], bases[1]).unwrap();
+        }
+        rt.barrier();
+        rt.set_access_mode(bases[p.rank()], &world, AccessMode::Standard)
+            .unwrap();
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------
+// Wire-level merging and the committed-datatype cache
+// ---------------------------------------------------------------------
+
+/// Eight adjacent disjoint nonblocking puts to one target coalesce into
+/// one epoch *and* one wire operation (the per-op aggregate epoch already
+/// gave one epoch; the scheduler's merge is what removes the other seven
+/// wire ops).
+#[test]
+fn adjacent_puts_merge_into_one_wire_op() {
+    Runtime::run_with(2, quiet(), |p| {
+        let rt = ArmciMpi::with_config(p, cfg(CoalesceMode::Auto, false));
+        let bases = rt.malloc(64).unwrap();
+        rt.barrier();
+        if p.rank() == 0 {
+            let mut hs = Vec::new();
+            for i in 0..8usize {
+                let payload = [i as u8 + 1; 8];
+                hs.push(rt.nb_put(&payload, bases[1].offset(i * 8)).unwrap());
+            }
+            rt.wait_all(hs).unwrap();
+            let st = rt.stats();
+            assert_eq!(st.epochs, 1, "one coarsened epoch");
+            assert_eq!(st.puts, 1, "eight queued puts, one wire put");
+            let g = rt.stage_stats();
+            assert_eq!(g.sched_enqueued, 8);
+            assert_eq!(g.sched_runs, 1);
+            assert_eq!(g.sched_ops_merged(), 7);
+            assert_eq!(g.sched_segs_in, 8);
+            assert_eq!(g.sched_segs_out, 1, "adjacent segments merged");
+        }
+        rt.barrier();
+        if p.rank() == 1 {
+            let mut img = vec![0u8; 64];
+            rt.get(bases[1], &mut img).unwrap();
+            for i in 0..8usize {
+                assert_eq!(&img[i * 8..(i + 1) * 8], &[i as u8 + 1; 8]);
+            }
+        }
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+    });
+}
+
+/// Repeated same-shape strided transfers hit the committed-datatype
+/// cache after the first commit.
+#[test]
+fn repeated_strided_shape_hits_dtype_cache() {
+    Runtime::run_with(2, quiet(), |p| {
+        let rt = ArmciMpi::with_config(p, cfg(CoalesceMode::Datatype, true));
+        let bases = rt.malloc(8 * 64).unwrap();
+        rt.barrier();
+        if p.rank() == 0 {
+            // 8 rows × 8 bytes at stride 64: a non-contiguous shape the
+            // merged issue commits as one indexed datatype.
+            let local = vec![7u8; 8 * 8];
+            for _ in 0..4 {
+                let h = rt
+                    .nb_put_strided(&local, &[8], bases[1], &[64], &[8, 8])
+                    .unwrap();
+                rt.wait(h).unwrap();
+            }
+            let g = rt.stage_stats();
+            assert_eq!(g.dtype_misses, 1, "first flush commits the shape");
+            assert_eq!(g.dtype_hits, 3, "remaining flushes reuse it");
+            assert!(g.dtype_hit_rate() > 0.7);
+        }
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------
+// Equivalence: every coalesce mode leaves the same memory as PerOp
+// ---------------------------------------------------------------------
+
+/// One random operation: (kind, slot offset, slot length, payload seed).
+/// Slots are 8-byte (f64) units inside a 256-byte region.
+type MixOp = (u8, usize, usize, u8);
+
+fn arb_ops() -> impl Strategy<Value = Vec<MixOp>> {
+    proptest::collection::vec((0u8..3, 0usize..24, 1usize..6, 0u8..200), 1..12)
+}
+
+/// Replays a nonblocking op mix under one scheduler mode; returns the
+/// final remote image and the concatenated get results.
+fn run_mix(coalesce: CoalesceMode, epochless: bool, ops: Vec<MixOp>) -> (Vec<u8>, Vec<u8>) {
+    let cfg = cfg(coalesce, epochless);
+    Runtime::run_with(2, quiet(), move |p| {
+        let rt = ArmciMpi::with_config(p, cfg.clone());
+        let bases = rt.malloc(256).unwrap();
+        rt.barrier();
+        let mut out = (Vec::new(), Vec::new());
+        if p.rank() == 0 {
+            let mut handles = Vec::new();
+            let mut gets: Vec<Vec<u8>> = Vec::new();
+            for &(kind, off, len, seed) in &ops {
+                let addr = bases[1].offset(off * 8);
+                let bytes = len * 8;
+                match kind {
+                    0 => {
+                        let payload: Vec<u8> = (0..bytes)
+                            .map(|i| (i as u8).wrapping_mul(11).wrapping_add(seed))
+                            .collect();
+                        handles.push(rt.nb_put(&payload, addr).unwrap());
+                    }
+                    1 => {
+                        let mut buf = vec![0u8; bytes];
+                        handles.push(rt.nb_get(addr, &mut buf).unwrap());
+                        gets.push(buf);
+                    }
+                    _ => {
+                        let raw: Vec<u8> = std::iter::repeat_n(f64::from(seed).to_le_bytes(), len)
+                            .flatten()
+                            .collect();
+                        handles.push(rt.nb_acc(AccKind::Double(1.0), &raw, addr).unwrap());
+                    }
+                }
+            }
+            rt.wait_all(handles).unwrap();
+            let mut image = vec![0u8; 256];
+            rt.get(bases[1], &mut image).unwrap();
+            out = (image, gets.concat());
+        }
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+        out
+    })
+    .swap_remove(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any mix of possibly-overlapping nonblocking puts, gets and
+    /// accumulates leaves byte-identical remote memory and get results
+    /// under every coalesce mode, in both epoch disciplines.
+    #[test]
+    fn coalesce_modes_equivalent(ops in arb_ops()) {
+        for epochless in [false, true] {
+            let reference = run_mix(CoalesceMode::PerOp, epochless, ops.clone());
+            for mode in [CoalesceMode::Batched, CoalesceMode::Datatype, CoalesceMode::Auto] {
+                let got = run_mix(mode, epochless, ops.clone());
+                prop_assert_eq!(&got, &reference, "mode {:?} epochless {}", mode, epochless);
+            }
+        }
+    }
+}

@@ -277,6 +277,30 @@ pub fn scan_segments(segs: &[(usize, usize)]) -> Result<(), Conflict> {
     Ok(())
 }
 
+/// Sorts and fuses a segment list `(offset, len)` into the minimal set of
+/// maximal ranges covering the same bytes: adjacent or overlapping
+/// segments merge, zero-length segments vanish, output is ascending.
+/// O(N·log N). The coalescing scheduler calls this only after
+/// [`scan_segments`] proves the input disjoint — merging *overlapping*
+/// writes or accumulates would change semantics — but the function itself
+/// is total and the merged cover is byte-equal for any input.
+pub fn merge_segments(segs: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut v: Vec<(usize, usize)> = segs
+        .iter()
+        .filter(|&&(_, len)| len > 0)
+        .map(|&(off, len)| (off, off + len))
+        .collect();
+    v.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(v.len());
+    for (lo, hi) in v {
+        match out.last_mut() {
+            Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out.into_iter().map(|(lo, hi)| (lo, hi - lo)).collect()
+}
+
 /// Reference O(N²) pairwise scan (tests, ablation benchmarks).
 pub fn scan_segments_naive(segs: &[(usize, usize)]) -> Result<(), Conflict> {
     for (i, &(o1, l1)) in segs.iter().enumerate() {
@@ -424,6 +448,31 @@ mod tests {
     }
 
     #[test]
+    fn merge_fuses_adjacent_and_overlapping() {
+        // unsorted, with an adjacency (0..8 + 8..8), an overlap
+        // (30..10 vs 35..10), and a zero-length segment
+        let segs = vec![(8usize, 8usize), (0, 8), (35, 10), (30, 10), (100, 0)];
+        assert_eq!(merge_segments(&segs), vec![(0, 16), (30, 15)]);
+    }
+
+    #[test]
+    fn merge_empty_and_singleton() {
+        assert!(merge_segments(&[]).is_empty());
+        assert!(merge_segments(&[(5, 0)]).is_empty());
+        assert_eq!(merge_segments(&[(7, 3)]), vec![(7, 3)]);
+    }
+
+    #[test]
+    fn merge_strided_gap_preserved() {
+        // stride 64, len 16: nothing adjacent, output == sorted input
+        let segs: Vec<(usize, usize)> = (0..32).rev().map(|i| (i * 64, 16)).collect();
+        let merged = merge_segments(&segs);
+        assert_eq!(merged.len(), 32);
+        assert_eq!(merged[0], (0, 16));
+        assert_eq!(merged[31], (31 * 64, 16));
+    }
+
+    #[test]
     fn typical_strided_iov_is_clean() {
         // 1024 segments of 16 bytes with stride 64 — the Figure 4 shape.
         let segs: Vec<(usize, usize)> = (0..1024).map(|i| (i * 64, 16)).collect();
@@ -464,6 +513,37 @@ mod proptests {
             }
             stored.sort_unstable();
             prop_assert_eq!(t.ranges(), stored);
+        }
+
+        /// The merged segment list covers exactly the same bytes as a
+        /// naive per-byte union, is itself conflict-free, and is minimal
+        /// (no two output ranges touch or overlap).
+        #[test]
+        fn merge_matches_naive_coverage_oracle(
+            segs in proptest::collection::vec((0usize..600, 0usize..48), 0..200)
+        ) {
+            let merged = merge_segments(&segs);
+            // naive oracle: mark every covered byte
+            let mut cover = vec![false; 700];
+            for &(off, len) in &segs {
+                for c in cover.iter_mut().skip(off).take(len) {
+                    *c = true;
+                }
+            }
+            let mut merged_cover = vec![false; 700];
+            for &(off, len) in &merged {
+                for (b, c) in merged_cover.iter_mut().enumerate().skip(off).take(len) {
+                    prop_assert!(!*c, "byte {} covered twice", b);
+                    *c = true;
+                }
+            }
+            prop_assert_eq!(cover, merged_cover);
+            // conflict-free by construction
+            prop_assert!(scan_segments(&merged).is_ok());
+            // minimal: consecutive output ranges separated by a real gap
+            for w in merged.windows(2) {
+                prop_assert!(w[0].0 + w[0].1 < w[1].0);
+            }
         }
 
         /// A reported conflict really overlaps something stored, and a

@@ -425,7 +425,9 @@ impl<'a, A: Armci + ?Sized> GlobalArray<'a, A> {
 
     /// `NGA_NbPut`: nonblocking patch write. The transfer stays in flight
     /// until [`Self::nb_wait`] (or a `sync`); transfers to distinct owners
-    /// proceed concurrently.
+    /// proceed concurrently, and per-owner fan-out pieces queue in the
+    /// runtime's coalescing scheduler, which merges adjacent spans and
+    /// coarsens epochs per target (DESIGN §7).
     pub fn nb_put_patch(&self, lo: &[usize], hi: &[usize], data: &[f64]) -> GaResult<GaNbHandle> {
         self.want(GaType::F64)?;
         self.check_patch(lo, hi, data.len() * 8)?;

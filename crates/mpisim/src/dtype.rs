@@ -11,6 +11,7 @@
 //! displacement on the target side).
 
 use crate::error::{MpiError, MpiResult};
+use std::collections::HashMap;
 
 /// A derived datatype (byte-granular).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -310,6 +311,168 @@ pub fn zip_segments(origin: &Datatype, target: &Datatype) -> MpiResult<Vec<(usiz
     Ok(out)
 }
 
+/// Structural signature of a datatype: a canonical `Vec<u64>` encoding of
+/// shape (kind tag, dims, counts, strides, element size). Every variant
+/// starts with a distinct tag and variable-length parts carry an explicit
+/// length prefix, so encodings of different shapes cannot collide.
+/// Indexed blocks are normalised relative to their lowest displacement —
+/// the same IOV shape issued at a different window displacement commits
+/// to the same cached descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DtypeSig(Vec<u64>);
+
+impl DtypeSig {
+    /// Signature of one datatype.
+    pub fn of(d: &Datatype) -> DtypeSig {
+        let mut v = Vec::new();
+        Self::encode(d, &mut v);
+        DtypeSig(v)
+    }
+
+    /// Combined signature of an (origin, target) pair — one wire pack
+    /// descriptor covers both sides.
+    pub fn pair(origin: &Datatype, target: &Datatype) -> DtypeSig {
+        let mut v = Vec::new();
+        Self::encode(origin, &mut v);
+        Self::encode(target, &mut v);
+        DtypeSig(v)
+    }
+
+    fn encode(d: &Datatype, v: &mut Vec<u64>) {
+        match d {
+            Datatype::Contiguous { len } => {
+                v.push(0);
+                v.push(*len as u64);
+            }
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+            } => {
+                v.push(1);
+                v.push(*count as u64);
+                v.push(*blocklen as u64);
+                v.push(*stride as u64);
+            }
+            Datatype::Indexed { blocks } => {
+                v.push(2);
+                let live: Vec<(usize, usize)> =
+                    blocks.iter().copied().filter(|&(_, l)| l > 0).collect();
+                let base = live.iter().map(|&(o, _)| o).min().unwrap_or(0);
+                v.push(live.len() as u64);
+                for (o, l) in live {
+                    v.push((o - base) as u64);
+                    v.push(l as u64);
+                }
+            }
+            Datatype::Subarray {
+                sizes,
+                subsizes,
+                starts: _,
+                elem,
+            } => {
+                // The pack descriptor depends on dims/counts/strides, not
+                // on where the patch sits — `starts` is excluded so every
+                // same-shape patch hits one committed type.
+                v.push(3);
+                v.push(*elem as u64);
+                v.push(sizes.len() as u64);
+                v.extend(sizes.iter().map(|&s| s as u64));
+                v.extend(subsizes.iter().map(|&s| s as u64));
+            }
+        }
+    }
+}
+
+/// Committed-datatype cache (§VI-B): remembers pack-descriptor shapes by
+/// [`DtypeSig`] so repeated NWChem-style patch transfers skip the
+/// descriptor build cost. Bounded, with least-recently-used eviction by a
+/// monotonic use tick; hit/miss/eviction counters feed `StageStats` and
+/// the obs `DtypeCommit` instants.
+#[derive(Debug)]
+pub struct DtypeCache {
+    cap: usize,
+    tick: u64,
+    map: HashMap<DtypeSig, u64>,
+    /// Consultations that found a committed descriptor.
+    pub hits: u64,
+    /// Consultations that had to build (and commit) a descriptor.
+    pub misses: u64,
+    /// Committed descriptors discarded to stay within capacity.
+    pub evictions: u64,
+}
+
+impl DtypeCache {
+    /// Cache holding at most `cap` committed descriptors (`cap >= 1`).
+    pub fn new(cap: usize) -> DtypeCache {
+        DtypeCache {
+            cap: cap.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Consults the cache for the (origin, target) pack descriptor,
+    /// committing it on miss. Returns `true` on hit (descriptor build
+    /// skipped).
+    pub fn commit_pair(&mut self, origin: &Datatype, target: &Datatype) -> bool {
+        self.commit_sig(DtypeSig::pair(origin, target))
+    }
+
+    /// Consults the cache for one datatype's descriptor.
+    pub fn commit(&mut self, d: &Datatype) -> bool {
+        self.commit_sig(DtypeSig::of(d))
+    }
+
+    fn commit_sig(&mut self, sig: DtypeSig) -> bool {
+        self.tick += 1;
+        if let Some(last) = self.map.get_mut(&sig) {
+            *last = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.map.len() >= self.cap {
+            // cap is small (tens of shapes); a linear LRU scan beats
+            // maintaining an ordered index
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|&(_, &last)| last)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(sig, self.tick);
+        false
+    }
+
+    /// Committed descriptors currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Nothing committed yet?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Hit-rate in `[0, 1]`; zero before the first consultation.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +619,84 @@ mod tests {
         for d in cases {
             assert_eq!(d.num_segments(), d.segments().len(), "{d:?}");
         }
+    }
+
+    #[test]
+    fn dtype_cache_hits_on_repeated_shape() {
+        let mut c = DtypeCache::new(8);
+        let patch = Datatype::subarray(&[64, 64], &[8, 8], &[4, 4], 8).unwrap();
+        assert!(!c.commit(&patch)); // cold miss builds the descriptor
+        assert!(c.commit(&patch));
+        // same patch shape at a different origin hits (starts excluded)
+        let shifted = Datatype::subarray(&[64, 64], &[8, 8], &[20, 32], 8).unwrap();
+        assert!(c.commit(&shifted));
+        assert_eq!((c.hits, c.misses), (2, 1));
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtype_cache_normalises_indexed_displacement() {
+        let mut c = DtypeCache::new(8);
+        let a = Datatype::Indexed {
+            blocks: vec![(0, 8), (16, 8)],
+        };
+        let b = Datatype::Indexed {
+            blocks: vec![(100, 8), (116, 8)],
+        };
+        assert!(!c.commit(&a));
+        assert!(c.commit(&b)); // same shape, different displacement
+    }
+
+    #[test]
+    fn dtype_cache_lru_eviction() {
+        let mut c = DtypeCache::new(2);
+        let a = Datatype::contiguous(16);
+        let b = Datatype::contiguous(32);
+        let d = Datatype::contiguous(64);
+        assert!(!c.commit(&a));
+        assert!(!c.commit(&b));
+        assert!(c.commit(&a)); // a now more recently used than b
+        assert!(!c.commit(&d)); // evicts b (LRU), not a
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.len(), 2);
+        assert!(c.commit(&a));
+        assert!(c.commit(&d));
+        assert!(!c.commit(&b)); // b really was evicted
+    }
+
+    #[test]
+    fn dtype_signatures_do_not_collide_across_shapes() {
+        // Same flattened byte pattern, structurally different types:
+        // signatures must differ (kind tags keep the encoding injective).
+        let vector = Datatype::Vector {
+            count: 2,
+            blocklen: 2,
+            stride: 4,
+        };
+        let indexed = Datatype::Indexed {
+            blocks: vec![(0, 2), (4, 2)],
+        };
+        assert_ne!(DtypeSig::of(&vector), DtypeSig::of(&indexed));
+        // Raw number streams that would alias without length prefixes.
+        let i1 = Datatype::Indexed {
+            blocks: vec![(1, 2), (3, 4)],
+        };
+        let i2 = Datatype::Indexed {
+            blocks: vec![(1, 2), (3, 4), (9, 1)],
+        };
+        assert_ne!(DtypeSig::of(&i1), DtypeSig::of(&i2));
+        // Contiguous{4} vs Vector{count:4,...} share leading numbers.
+        assert_ne!(
+            DtypeSig::of(&Datatype::contiguous(4)),
+            DtypeSig::of(&Datatype::Vector {
+                count: 4,
+                blocklen: 1,
+                stride: 1
+            })
+        );
+        // Pair signature is ordered: (a,b) != (b,a) for a != b.
+        let a = Datatype::contiguous(8);
+        assert_ne!(DtypeSig::pair(&a, &vector), DtypeSig::pair(&vector, &a));
     }
 
     #[test]

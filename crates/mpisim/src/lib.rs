@@ -37,8 +37,8 @@ pub mod runtime;
 pub mod win;
 
 pub use comm::Comm;
-pub use dtype::Datatype;
+pub use dtype::{Datatype, DtypeCache, DtypeSig};
 pub use error::{MpiError, MpiResult};
 pub use p2p::{RecvSrc, Status, ANY_TAG};
 pub use runtime::{Proc, Runtime, RuntimeConfig};
-pub use win::{AccOp, ElemType, LockMode, WinHandle};
+pub use win::{AccOp, ElemType, LockMode, RmaClass, WinHandle};

@@ -11,7 +11,7 @@
 
 use crate::dtype::Datatype;
 use crate::error::{MpiError, MpiResult};
-use crate::win::{AccOp, ElemType, LockMode, LockOps, WinHandle};
+use crate::win::{AccOp, ElemType, LockMode, LockOps, RmaClass, WinHandle};
 
 /// Atomic fetch-and-op operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -265,6 +265,21 @@ impl WinHandle {
         op: AccOp,
     ) -> MpiResult<RmaRequest> {
         let cost = self.accumulate_core(origin, odt, target, tdisp, tdt, elem, op)?;
+        Ok(self.issue_deferred(cost))
+    }
+
+    /// Request-based scheduler-merged RMA: one wire operation covering a
+    /// whole coalesced run (bytes already staged; see
+    /// [`WinHandle::issue_merged`]). Completion follows the same
+    /// issue-now/complete-later model as `rput`, so merged runs under a
+    /// `lock_all` epoch finish at `flush`/`wait` like §VIII-B(3) requests.
+    pub fn rma_merged(
+        &self,
+        class: RmaClass,
+        target: usize,
+        segs: &[(usize, usize)],
+    ) -> MpiResult<RmaRequest> {
+        let cost = self.issue_merged(class, target, segs)?;
         Ok(self.issue_deferred(cost))
     }
 

@@ -19,7 +19,7 @@
 //!    the detection and the design's compliance.
 
 use crate::comm::Comm;
-use crate::dtype::{zip_segments, Datatype};
+use crate::dtype::{zip_segments, Datatype, DtypeCache};
 use crate::error::{MpiError, MpiResult};
 use crate::runtime::Shared;
 use parking_lot::{Condvar, Mutex};
@@ -64,6 +64,15 @@ pub enum AccOp {
     Replace,
     Min,
     Max,
+}
+
+/// Operation class of a scheduler-merged RMA issue (see
+/// [`WinHandle::issue_merged`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmaClass {
+    Get,
+    Put,
+    Acc(ElemType, AccOp),
 }
 
 /// What an epoch-recorded operation did, for conflict detection.
@@ -207,6 +216,10 @@ pub struct WinHandle {
     /// cross the modelled NIC), so only the allocator churn is saved —
     /// the cost model is untouched.
     pool: BufferPool,
+    /// Committed-datatype cache (§VI-B): repeated non-contiguous shapes
+    /// skip the pack-descriptor build cost. Origin-local, like MPI's
+    /// committed handles.
+    dtype_cache: RefCell<DtypeCache>,
     pub(crate) lock_all_active: Cell<bool>,
     /// Active-target (fence) epoch open on this handle (§III "active
     /// mode"). Between two `fence` calls every rank may be both origin
@@ -252,6 +265,7 @@ impl WinHandle {
                 RegistrationPolicy::Unregistered,
                 comm.platform().reg.clone(),
             ),
+            dtype_cache: RefCell::new(DtypeCache::new(64)),
             lock_all_active: Cell::new(false),
             active_epoch: Cell::new(false),
         }
@@ -458,8 +472,17 @@ impl WinHandle {
     /// same epoch: follow-on operations pipeline behind the first and skip
     /// the per-message latency, and — when the platform models the
     /// MVAPICH2 batched-operation bug — accrue growing queueing overhead
-    /// instead (Figure 4b).
-    fn op_cost(&self, op: simnet::Op, bytes: usize, nsegs: usize, issued_before: usize) -> f64 {
+    /// instead (Figure 4b). `cached` means the committed-datatype cache
+    /// held this shape's pack descriptor, waiving the one-time
+    /// `dtype_setup` (per-segment walk and pack copies are still paid).
+    fn op_cost(
+        &self,
+        op: simnet::Op,
+        bytes: usize,
+        nsegs: usize,
+        issued_before: usize,
+        cached: bool,
+    ) -> f64 {
         let p = self.params();
         let link = p.link(op);
         let mut op_over = p.op_overhead;
@@ -473,9 +496,10 @@ impl WinHandle {
             t += link.alpha;
         }
         if nsegs > 1 {
-            t += p.dtype_setup
-                + nsegs as f64 * p.dtype_seg_overhead
-                + 2.0 * bytes as f64 / p.pack_rate;
+            if !cached {
+                t += p.dtype_setup;
+            }
+            t += nsegs as f64 * p.dtype_seg_overhead + 2.0 * bytes as f64 / p.pack_rate;
         }
         if op == simnet::Op::Acc {
             t += p.combine_cost(bytes);
@@ -483,10 +507,33 @@ impl WinHandle {
         t
     }
 
+    /// Consults the committed-datatype cache for the (origin, target)
+    /// shape of a non-contiguous transfer. Returns `true` on hit; records
+    /// the consultation as a `DtypeCommit` instant.
+    fn dtype_commit(&self, odt: &Datatype, tdt: &Datatype) -> bool {
+        let hit = self.dtype_cache.borrow_mut().commit_pair(odt, tdt);
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::DtypeCommit {
+                    win: self.inner.id,
+                    hit,
+                },
+                self.vt(),
+            );
+        }
+        hit
+    }
+
+    /// `(hits, misses, evictions)` of this handle's datatype cache.
+    pub fn dtype_cache_stats(&self) -> (u64, u64, u64) {
+        let c = self.dtype_cache.borrow();
+        (c.hits, c.misses, c.evictions)
+    }
+
     /// Records an MPI-level RMA event — plus a pack span when the datatype
     /// is non-contiguous, sized by the same pack model `op_cost` charges —
     /// at the current virtual time.
-    fn note_rma(&self, kind: obs::OpKind, target: usize, bytes: usize, nsegs: usize) {
+    fn note_rma(&self, kind: obs::OpKind, target: usize, bytes: usize, nsegs: usize, cached: bool) {
         if !obs::enabled() {
             return;
         }
@@ -502,9 +549,9 @@ impl WinHandle {
         );
         if nsegs > 1 {
             let p = self.params();
-            let pack = p.dtype_setup
-                + nsegs as f64 * p.dtype_seg_overhead
-                + 2.0 * bytes as f64 / p.pack_rate;
+            let setup = if cached { 0.0 } else { p.dtype_setup };
+            let pack =
+                setup + nsegs as f64 * p.dtype_seg_overhead + 2.0 * bytes as f64 / p.pack_rate;
             obs::span(
                 obs::EventKind::Pack {
                     win: self.inner.id,
@@ -583,8 +630,9 @@ impl WinHandle {
         }
         let issued = self.bump_issued(target);
         let nsegs = odt.num_segments().max(tdt.num_segments());
-        self.note_rma(obs::OpKind::Put, target, odt.size(), nsegs);
-        Ok(self.op_cost(simnet::Op::Put, odt.size(), nsegs, issued))
+        let cached = nsegs > 1 && self.dtype_commit(odt, tdt);
+        self.note_rma(obs::OpKind::Put, target, odt.size(), nsegs, cached);
+        Ok(self.op_cost(simnet::Op::Put, odt.size(), nsegs, issued, cached))
     }
 
     /// One-sided get: bytes from `target`'s window into `origin`.
@@ -630,8 +678,9 @@ impl WinHandle {
         }
         let issued = self.bump_issued(target);
         let nsegs = odt.num_segments().max(tdt.num_segments());
-        self.note_rma(obs::OpKind::Get, target, odt.size(), nsegs);
-        Ok(self.op_cost(simnet::Op::Get, odt.size(), nsegs, issued))
+        let cached = nsegs > 1 && self.dtype_commit(odt, tdt);
+        self.note_rma(obs::OpKind::Get, target, odt.size(), nsegs, cached);
+        Ok(self.op_cost(simnet::Op::Get, odt.size(), nsegs, issued, cached))
     }
 
     /// One-sided accumulate: `target[i] = target[i] ⊕ origin[i]` element
@@ -722,8 +771,129 @@ impl WinHandle {
         }
         let issued = self.bump_issued(target);
         let nsegs = odt.num_segments().max(tdt.num_segments());
-        self.note_rma(obs::OpKind::Acc, target, odt.size(), nsegs);
-        Ok(self.op_cost(simnet::Op::Acc, odt.size(), nsegs, issued))
+        let cached = nsegs > 1 && self.dtype_commit(odt, tdt);
+        self.note_rma(obs::OpKind::Acc, target, odt.size(), nsegs, cached);
+        Ok(self.op_cost(simnet::Op::Acc, odt.size(), nsegs, issued, cached))
+    }
+
+    // ------------------------------------------------------------------
+    // Coalescing-scheduler support
+    // ------------------------------------------------------------------
+    //
+    // The transfer engine's coalescing scheduler moves bytes eagerly at
+    // enqueue time (`stage_*`, below: bounds-checked and serialised but
+    // uncharged, eventless, and epoch-free) and defers all pricing and
+    // epoch accounting to flush time, where whole runs of same-class ops
+    // are issued as one merged RMA (`issue_merged`). Splitting movement
+    // from pricing this way keeps queued operations free of raw-pointer
+    // lifetime hazards — the caller's buffers are consumed before enqueue
+    // returns, exactly like the existing request-based (`rput`) path.
+
+    /// Bounds check shared by the stage movers.
+    fn stage_check(&self, target: usize, tdisp: usize, len: usize) -> MpiResult<()> {
+        self.check_alive()?;
+        if target >= self.inner.sizes.len() {
+            return Err(MpiError::BadRank {
+                rank: target,
+                size: self.inner.sizes.len(),
+            });
+        }
+        let size = self.inner.sizes[target];
+        if tdisp + len > size {
+            return Err(MpiError::OutOfBounds {
+                target,
+                disp: tdisp,
+                len,
+                size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Moves put bytes for a queued (scheduler-deferred) operation.
+    pub fn stage_put_bytes(&self, origin: &[u8], target: usize, tdisp: usize) -> MpiResult<()> {
+        self.stage_check(target, tdisp, origin.len())?;
+        let mem = &self.inner.mem[target];
+        let _io = mem.io.lock();
+        // Safety: `io` serialises all byte movement on this rank's slice.
+        let dst = unsafe { &mut *mem.buf.get() };
+        dst[tdisp..tdisp + origin.len()].copy_from_slice(origin);
+        Ok(())
+    }
+
+    /// Moves get bytes for a queued (scheduler-deferred) operation.
+    pub fn stage_get_bytes(&self, origin: &mut [u8], target: usize, tdisp: usize) -> MpiResult<()> {
+        self.stage_check(target, tdisp, origin.len())?;
+        let mem = &self.inner.mem[target];
+        let _io = mem.io.lock();
+        let src = unsafe { &*mem.buf.get() };
+        origin.copy_from_slice(&src[tdisp..tdisp + origin.len()]);
+        Ok(())
+    }
+
+    /// Applies accumulate bytes for a queued (scheduler-deferred)
+    /// operation. Element alignment is the caller's contract, as with
+    /// [`WinHandle::accumulate`].
+    pub fn stage_acc_bytes(
+        &self,
+        origin: &[u8],
+        target: usize,
+        tdisp: usize,
+        elem: ElemType,
+        op: AccOp,
+    ) -> MpiResult<()> {
+        let es = elem.size();
+        if !origin.len().is_multiple_of(es) {
+            return Err(MpiError::BadDatatype(format!(
+                "accumulate of {} bytes not a multiple of element size {es}",
+                origin.len()
+            )));
+        }
+        self.stage_check(target, tdisp, origin.len())?;
+        let mem = &self.inner.mem[target];
+        let _io = mem.io.lock();
+        let dst = unsafe { &mut *mem.buf.get() };
+        apply_acc(&mut dst[tdisp..tdisp + origin.len()], origin, elem, op);
+        Ok(())
+    }
+
+    /// Prices and records one scheduler-merged RMA: a whole run of
+    /// same-class queued operations issued as a single wire operation
+    /// whose target datatype is the merged segment list (window-absolute
+    /// `(offset, len)` pairs, disjoint and ascending — the scheduler
+    /// proves this with the conflict tree before calling). Bytes have
+    /// already moved via the `stage_*` movers; this performs the epoch
+    /// admission, consults the committed-datatype cache, records the RMA
+    /// (and pack) events, and returns the virtual-time cost for the
+    /// caller to charge or defer.
+    pub fn issue_merged(
+        &self,
+        class: RmaClass,
+        target: usize,
+        segs: &[(usize, usize)],
+    ) -> MpiResult<f64> {
+        self.check_alive()?;
+        let tdt = Datatype::Indexed {
+            blocks: segs.to_vec(),
+        };
+        let kind = match class {
+            RmaClass::Get => OpKind::Read,
+            RmaClass::Put => OpKind::Write,
+            RmaClass::Acc(elem, op) => OpKind::Acc(elem, op),
+        };
+        self.admit(target, 0, &tdt, kind)?;
+        let bytes = tdt.size();
+        let nsegs = tdt.num_segments();
+        let odt = Datatype::contiguous(bytes);
+        let issued = self.bump_issued(target);
+        let cached = nsegs > 1 && self.dtype_commit(&odt, &tdt);
+        let (op, okind) = match class {
+            RmaClass::Get => (simnet::Op::Get, obs::OpKind::Get),
+            RmaClass::Put => (simnet::Op::Put, obs::OpKind::Put),
+            RmaClass::Acc(..) => (simnet::Op::Acc, obs::OpKind::Acc),
+        };
+        self.note_rma(okind, target, bytes, nsegs, cached);
+        Ok(self.op_cost(op, bytes, nsegs, issued, cached))
     }
 
     /// Contiguous-put convenience.

@@ -368,6 +368,153 @@ pub fn run_ccsd_overlap<A: Armci + ?Sized>(p: &Proc, rt: &A, cfg: &CcsdConfig) -
     }
 }
 
+/// Runs the same CCSD ladder as [`run_ccsd`] with the chunked schedule
+/// production GA codes use: NXTVAL claims [`CCSD_CHUNK`] tasks per RMW,
+/// every claimed task's V and T tiles are prefetched in one nonblocking
+/// volley — trains of same-array, same-owner gets a coalescing runtime
+/// can merge — and the result accumulates are deferred to the iteration
+/// fence, which ARMCI's location consistency permits because each r2
+/// tile is written by exactly one task. The arithmetic (tile order, cd
+/// reduction order, global reductions) is unchanged, so the energy is
+/// bit-exact equal to the blocking path; only the communication
+/// schedule differs.
+pub fn run_ccsd_pipelined<A: Armci + ?Sized>(p: &Proc, rt: &A, cfg: &CcsdConfig) -> CcsdResult {
+    cfg.check();
+    let t0 = p.clock().now();
+    let flop_rate = p.config().platform.compute.flops_per_core;
+
+    let tdims = [cfg.no, cfg.no, cfg.nv, cfg.nv];
+    let vdims = [cfg.nv, cfg.nv, cfg.nv, cfg.nv];
+    let t2 = GlobalArray::create(rt, "t2", GaType::F64, &tdims).expect("create t2");
+    let v2 = GlobalArray::create(rt, "v2", GaType::F64, &vdims).expect("create v2");
+    let r2 = GlobalArray::create(rt, "r2", GaType::F64, &tdims).expect("create r2");
+    let counter = GlobalArray::create(rt, "nxtval", GaType::I64, &[1]).expect("create counter");
+
+    init_4d(&t2, t2_value);
+    init_4d(&v2, v2_value);
+    t2.sync();
+
+    let (ot, vt, to, tv) = (cfg.ot(), cfg.vt(), cfg.tile_o, cfg.tile_v);
+    let ntasks = cfg.ccsd_tasks();
+    let mut tasks_done = 0usize;
+    let mut energy = 0.0;
+
+    let m = to * to;
+    let n = tv * tv;
+    let k = tv * tv;
+    let npairs = vt * vt;
+    // Tile buffers for a whole claimed chunk's worth of cd pairs.
+    let mut vbufs = vec![vec![0.0f64; n * k]; CCSD_CHUNK * npairs];
+    let mut tbufs = vec![vec![0.0f64; m * k]; CCSD_CHUNK * npairs];
+
+    for _iter in 0..cfg.iterations {
+        r2.zero().expect("zero r2");
+        if rt.rank() == 0 {
+            counter
+                .put_patch_i64(&[0], &[1], &[0])
+                .expect("reset counter");
+        }
+        counter.sync();
+
+        // Result accumulates are retired at the iteration fence, not per
+        // task: each r2 tile has exactly one writer, so deferral is safe.
+        let mut pending_accs = Vec::new();
+
+        loop {
+            let first = counter.read_inc(&[0], CCSD_CHUNK as i64).expect("nxtval") as usize;
+            if first >= ntasks {
+                break;
+            }
+            let chunk: Vec<usize> = (first..(first + CCSD_CHUNK).min(ntasks)).collect();
+            tasks_done += chunk.len();
+            let tile_of = |task: usize| {
+                let ti = task / (ot * vt * vt);
+                let tj = (task / (vt * vt)) % ot;
+                let ta = (task / vt) % vt;
+                let tb = task % vt;
+                (
+                    [ti * to, tj * to, ta * tv, tb * tv],
+                    [(ti + 1) * to, (tj + 1) * to, (ta + 1) * tv, (tb + 1) * tv],
+                )
+            };
+            // One prefetch volley for every (task, cd pair) tile in the
+            // chunk; gets to the same array and owner queue back to back.
+            let mut gets = Vec::new();
+            for (t, &task) in chunk.iter().enumerate() {
+                let (lo, hi) = tile_of(task);
+                for pair in 0..npairs {
+                    let (tc, td) = (pair / vt, pair % vt);
+                    let (clo, chi) = (tc * tv, (tc + 1) * tv);
+                    let (dlo, dhi) = (td * tv, (td + 1) * tv);
+                    let slot = t * npairs + pair;
+                    gets.push(
+                        v2.nb_get_patch_into(
+                            &[lo[2], lo[3], clo, dlo],
+                            &[hi[2], hi[3], chi, dhi],
+                            &mut vbufs[slot],
+                        )
+                        .expect("nb get V"),
+                    );
+                    gets.push(
+                        t2.nb_get_patch_into(
+                            &[lo[0], lo[1], clo, dlo],
+                            &[hi[0], hi[1], chi, dhi],
+                            &mut tbufs[slot],
+                        )
+                        .expect("nb get T"),
+                    );
+                }
+            }
+            for h in gets {
+                t2.nb_wait(h).expect("wait tiles");
+            }
+            // Compute each task from its prefetched tiles; same cd order
+            // as the blocking path, so rblock is bit-identical.
+            for (t, &task) in chunk.iter().enumerate() {
+                let (lo, hi) = tile_of(task);
+                let mut rblock = vec![0.0f64; m * n];
+                for pair in 0..npairs {
+                    let slot = t * npairs + pair;
+                    let (vblk, tblk) = (&vbufs[slot], &tbufs[slot]);
+                    for ij in 0..m {
+                        for ab in 0..n {
+                            let mut acc = 0.0;
+                            for cd in 0..k {
+                                acc += vblk[ab * k + cd] * tblk[ij * k + cd];
+                            }
+                            rblock[ij * n + ab] += acc;
+                        }
+                    }
+                    p.compute(2.0 * (m * n * k) as f64 / flop_rate);
+                }
+                pending_accs.push(r2.nb_acc_patch(1.0, &lo, &hi, &rblock).expect("nb acc R"));
+            }
+        }
+        for h in pending_accs {
+            r2.nb_wait(h).expect("wait acc R");
+        }
+        r2.sync();
+        let rt_dot = r2.dot(&t2).expect("dot");
+        let tt = t2.dot(&t2).expect("dot");
+        energy = rt_dot / (1.0 + tt);
+    }
+
+    t2.sync();
+    counter.destroy().expect("destroy counter");
+    r2.destroy().expect("destroy r2");
+    v2.destroy().expect("destroy v2");
+    t2.destroy().expect("destroy t2");
+
+    CcsdResult {
+        energy,
+        elapsed: p.clock().now() - t0,
+        tasks_done,
+    }
+}
+
+/// Tasks claimed per NXTVAL RMW by [`run_ccsd_pipelined`].
+pub const CCSD_CHUNK: usize = 4;
+
 /// Runs the (T)-like triples sweep: energy-only, get-dominated, with a
 /// triples-scale flop charge per task. Collective.
 pub fn run_triples<A: Armci + ?Sized>(p: &Proc, rt: &A, cfg: &CcsdConfig) -> CcsdResult {

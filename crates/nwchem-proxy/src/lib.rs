@@ -25,5 +25,7 @@ pub mod ccsd;
 pub mod profile;
 pub mod tensors;
 
-pub use ccsd::{run_ccsd, run_ccsd_overlap, run_triples, CcsdConfig, CcsdResult};
+pub use ccsd::{
+    run_ccsd, run_ccsd_overlap, run_ccsd_pipelined, run_triples, CcsdConfig, CcsdResult, CCSD_CHUNK,
+};
 pub use profile::{task_profile, Backend, ProxyPhase, TaskProfile};

@@ -215,6 +215,39 @@ fn describe(e: &Event) -> (String, &'static str, Phase, Vec<(String, Value)>) {
             Phase::Instant,
             vec![("gmr".into(), uval(*gmr))],
         ),
+        SchedFlush {
+            win,
+            target,
+            ops,
+            runs,
+            segs_in,
+            segs_out,
+        } => (
+            format!("sched_flush:w{win}->{target}"),
+            "sched",
+            Phase::Instant,
+            vec![
+                ("win".into(), uval(*win)),
+                ("target".into(), uval(u64::from(*target))),
+                ("ops".into(), uval(u64::from(*ops))),
+                ("runs".into(), uval(u64::from(*runs))),
+                ("segs_in".into(), uval(u64::from(*segs_in))),
+                ("segs_out".into(), uval(u64::from(*segs_out))),
+            ],
+        ),
+        DtypeCommit { win, hit } => (
+            if *hit {
+                "dtype:hit".into()
+            } else {
+                "dtype:miss".into()
+            },
+            "dtype",
+            Phase::Instant,
+            vec![
+                ("win".into(), uval(*win)),
+                ("hit".into(), Value::Bool(*hit)),
+            ],
+        ),
     }
 }
 

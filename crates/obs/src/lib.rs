@@ -178,6 +178,23 @@ pub enum EventKind {
         what: &'static str,
         gmr: u64,
     },
+    /// One coalescing-scheduler flush of a (window, target) queue: `ops`
+    /// queued operations issued as `runs` coarsened epochs, `segs_in`
+    /// raw segments merged down to `segs_out` wire segments.
+    SchedFlush {
+        win: u64,
+        target: u32,
+        ops: u32,
+        runs: u32,
+        segs_in: u32,
+        segs_out: u32,
+    },
+    /// Committed-datatype cache consultation on a window (§VI-B shapes):
+    /// `hit` means the pack descriptor build was skipped.
+    DtypeCommit {
+        win: u64,
+        hit: bool,
+    },
 }
 
 /// One recorded event. `ts`/`dur` are virtual seconds; `dur` is zero for

@@ -90,6 +90,18 @@ impl Registry {
         }
     }
 
+    /// Committed-datatype cache hit-rate in `[0, 1]`; zero when the cache
+    /// was never consulted.
+    pub fn dtype_hit_rate(&self) -> f64 {
+        let h = self.counter("dtype.hits") as f64;
+        let m = self.counter("dtype.misses") as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
     /// Fold a trace into counters, time totals and histograms.
     pub fn from_events(events: &[Event]) -> Self {
         use EventKind::*;
@@ -204,6 +216,25 @@ impl Registry {
                     reg.bump(&format!("errors.{what}"), 1);
                     reg.bump(&format!("errors.{what}.gmr.{gmr}"), 1);
                 }
+                SchedFlush {
+                    ops,
+                    runs,
+                    segs_in,
+                    segs_out,
+                    ..
+                } => {
+                    reg.bump("sched.flushes", 1);
+                    reg.bump("sched.ops", *ops as u64);
+                    reg.bump("sched.runs", *runs as u64);
+                    reg.bump("sched.segs_in", *segs_in as u64);
+                    reg.bump("sched.segs_out", *segs_out as u64);
+                    // Each run costs one epoch; without coalescing each op
+                    // would have cost one.
+                    reg.bump("sched.epochs_saved", (*ops - *runs) as u64);
+                }
+                DtypeCommit { hit, .. } => {
+                    reg.bump(if *hit { "dtype.hits" } else { "dtype.misses" }, 1)
+                }
             }
         }
         reg
@@ -286,6 +317,26 @@ impl Registry {
         let (fast, cons) = (self.counter("iov.fast"), self.counter("iov.conservative"));
         if fast + cons > 0 {
             out.push_str(&format!("  iov    : fast={fast} conservative={cons}\n"));
+        }
+        if self.counter("sched.flushes") > 0 {
+            out.push_str(&format!(
+                "  sched  : {} ops in {} runs over {} flushes, {} epochs saved, segs {}→{}\n",
+                self.counter("sched.ops"),
+                self.counter("sched.runs"),
+                self.counter("sched.flushes"),
+                self.counter("sched.epochs_saved"),
+                self.counter("sched.segs_in"),
+                self.counter("sched.segs_out"),
+            ));
+        }
+        let dtype_total = self.counter("dtype.hits") + self.counter("dtype.misses");
+        if dtype_total > 0 {
+            out.push_str(&format!(
+                "  dtype  : {} hits / {} commits ({:.1}% hit-rate)\n",
+                self.counter("dtype.hits"),
+                dtype_total,
+                self.dtype_hit_rate() * 100.0,
+            ));
         }
         let errs: Vec<String> = self
             .counters
