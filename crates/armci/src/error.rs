@@ -24,6 +24,13 @@ pub enum ArmciError {
     /// An allocation was freed while an operation still referencing it
     /// (a translation, a nonblocking handle) was in flight.
     GmrVanished { gmr: u64 },
+    /// The shared-memory slab backing an allocation was torn down while a
+    /// section handle or a slab-routed operation still referenced it. The
+    /// distinction from [`GmrVanished`](ArmciError::GmrVanished) matters
+    /// for teardown: a detached slab means a *node peer* may still hold a
+    /// base pointer, so the error must surface instead of the stale
+    /// pointer dereferencing.
+    ShmDetached { gmr: u64 },
     /// The underlying MPI runtime reported an error.
     Mpi(mpisim::MpiError),
     /// Operation not supported by this implementation/configuration.
@@ -64,6 +71,10 @@ impl fmt::Display for ArmciError {
             ArmciError::GmrVanished { gmr } => {
                 write!(f, "allocation {gmr} freed with operations in flight")
             }
+            ArmciError::ShmDetached { gmr } => write!(
+                f,
+                "shared-memory slab of allocation {gmr} detached with sections live"
+            ),
             ArmciError::Mpi(e) => write!(f, "MPI error: {e}"),
             ArmciError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             ArmciError::AccessModeViolation { gmr, mode, op } => write!(
@@ -86,6 +97,24 @@ impl std::error::Error for ArmciError {
 impl From<mpisim::MpiError> for ArmciError {
     fn from(e: mpisim::MpiError) -> Self {
         ArmciError::Mpi(e)
+    }
+}
+
+impl ArmciError {
+    /// The single conversion point for "the allocation's backing memory is
+    /// gone". Two ways an operation can lose its footing both funnel here:
+    /// the GMR disappeared from the translation table (`cause` = `None` →
+    /// [`GmrVanished`](ArmciError::GmrVanished)), or the shared-memory
+    /// fast path hit a freed window — the slab was torn down under a live
+    /// section — which becomes [`ShmDetached`](ArmciError::ShmDetached)
+    /// rather than a panic on a stale base pointer. Any other MPI cause
+    /// wraps as [`Mpi`](ArmciError::Mpi) unchanged.
+    pub fn backing_lost(gmr: u64, cause: Option<mpisim::MpiError>) -> ArmciError {
+        match cause {
+            None => ArmciError::GmrVanished { gmr },
+            Some(mpisim::MpiError::WinFreed) => ArmciError::ShmDetached { gmr },
+            Some(e) => ArmciError::Mpi(e),
+        }
     }
 }
 
@@ -114,5 +143,22 @@ mod tests {
         use std::error::Error;
         let e: ArmciError = mpisim::MpiError::WinFreed.into();
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn backing_lost_classifies_causes() {
+        assert_eq!(
+            ArmciError::backing_lost(3, None),
+            ArmciError::GmrVanished { gmr: 3 }
+        );
+        assert_eq!(
+            ArmciError::backing_lost(3, Some(mpisim::MpiError::WinFreed)),
+            ArmciError::ShmDetached { gmr: 3 }
+        );
+        assert_eq!(
+            ArmciError::backing_lost(3, Some(mpisim::MpiError::NoEpoch { target: 1 })),
+            ArmciError::Mpi(mpisim::MpiError::NoEpoch { target: 1 })
+        );
+        assert!(ArmciError::ShmDetached { gmr: 3 }.to_string().contains("3"));
     }
 }

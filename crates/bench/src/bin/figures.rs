@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [table2|fig3|fig4|fig5|fig6|pipeline|pool|coalesce|all] [--json DIR]
+//! figures [table2|fig3|fig4|fig5|fig6|pipeline|pool|coalesce|shm|all] [--json DIR]
 //! figures check DIR
 //! ```
 //!
@@ -11,7 +11,7 @@
 //! exits nonzero on drift — CI regenerates the cheap artifacts and runs
 //! it to catch accidental serializer or struct-shape changes.
 
-use bench::{coalesce, fig3, fig4, fig5, fig6r, pipeline, pool, table2, trace};
+use bench::{coalesce, fig3, fig4, fig5, fig6r, pipeline, pool, shm, table2, trace};
 use serde::Value;
 use simnet::PlatformId;
 
@@ -63,6 +63,7 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
                 ("workload", Kind::Str),
                 ("bytes", Kind::UInt),
                 ("segments", Kind::UInt),
+                ("ranks_per_node", Kind::UInt),
                 ("nonblocking", Kind::Bool),
                 ("plans", Kind::UInt),
                 ("planned_ops", Kind::UInt),
@@ -89,6 +90,7 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
                 ("platform", Kind::Str),
                 ("workload", Kind::Str),
                 ("arm", Kind::Str),
+                ("ranks_per_node", Kind::UInt),
                 ("epochs", Kind::UInt),
                 ("flushes", Kind::UInt),
                 ("wire_ops", Kind::UInt),
@@ -105,12 +107,29 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
             ],
         ),
         (
+            "BENCH_shm",
+            vec![
+                ("platform", Kind::Str),
+                ("workload", Kind::Str),
+                ("arm", Kind::Str),
+                ("ranks_per_node", Kind::UInt),
+                ("shm_hits", Kind::UInt),
+                ("shm_bypass_bytes", Kind::UInt),
+                ("executed_ops", Kind::UInt),
+                ("shm_hit_rate", Kind::Num),
+                ("virtual_s", Kind::Num),
+                ("payload_ok", Kind::Bool),
+                ("energy", Kind::Num),
+            ],
+        ),
+        (
             "BENCH_pool",
             vec![
                 ("platform", Kind::Str),
                 ("backend", Kind::Str),
                 ("workload", Kind::Str),
                 ("phase", Kind::Str),
+                ("ranks_per_node", Kind::UInt),
                 ("hits", Kind::UInt),
                 ("misses", Kind::UInt),
                 ("hit_rate", Kind::Num),
@@ -170,6 +189,18 @@ fn check(dir: &str) -> usize {
             for (k, _) in entries {
                 if !fields.iter().any(|(key, _)| key == k) {
                     complain(format!("{path}[{i}]: unexpected field `{k}`"));
+                }
+            }
+            // Every BENCH_* row must say what node layout produced it:
+            // the intra-node shared-memory tier makes numbers meaningless
+            // without the ranks-per-node context.
+            if name.starts_with("BENCH_") {
+                match entries.iter().find(|(k, _)| k == "ranks_per_node") {
+                    Some((_, Value::UInt(n))) if *n >= 1 => {}
+                    Some((_, Value::UInt(_))) => {
+                        complain(format!("{path}[{i}]: `ranks_per_node` must be >= 1"))
+                    }
+                    _ => {} // missing/mistyped already reported above
                 }
             }
         }
@@ -381,6 +412,19 @@ fn main() {
         }
         dump(
             "BENCH_coalesce",
+            &serde_json::to_string_pretty(&everything).unwrap(),
+        );
+    }
+    if all || what == "shm" {
+        let mut everything = Vec::new();
+        for id in [PlatformId::InfiniBandCluster, PlatformId::CrayXE6] {
+            eprintln!("[figures] shm: {}", id.name());
+            let rows = shm::generate(id);
+            print!("{}", shm::render(&rows));
+            everything.extend(rows);
+        }
+        dump(
+            "BENCH_shm",
             &serde_json::to_string_pretty(&everything).unwrap(),
         );
     }

@@ -10,7 +10,7 @@
 
 use armci::Armci;
 use armci_mpi::{ArmciMpi, CoalesceMode, Config};
-use mpisim::{Proc, Runtime, RuntimeConfig};
+use mpisim::{Proc, Runtime};
 use nwchem_proxy::{run_ccsd, run_ccsd_pipelined, CcsdConfig};
 use serde::Serialize;
 use simnet::PlatformId;
@@ -33,6 +33,9 @@ pub struct Row {
     pub workload: &'static str,
     /// `"blocking-perop"`, `"nb-perop"` or `"nb-coalesced"`.
     pub arm: &'static str,
+    /// Node layout of the measurement (one rank per node; see
+    /// `crate::internode`).
+    pub ranks_per_node: u32,
     /// Passive-target epochs opened during the phase.
     pub epochs: u64,
     /// Flush completions (the MPI-3 arms synchronise with `flush` under
@@ -65,6 +68,11 @@ fn arm_cfg(arm: &str, epochless: bool) -> Config {
             "nb-coalesced" => CoalesceMode::Auto,
             _ => CoalesceMode::PerOp,
         },
+        // This A/B isolates the wire scheduler: rank-local ops are
+        // always "same node", so the shared-memory bypass would route
+        // them around the scheduler under every arm and skew the epoch
+        // and wire-op counts. The shm tier gets its own A/B in shm.rs.
+        shm: false,
         ..Default::default()
     }
 }
@@ -72,7 +80,7 @@ fn arm_cfg(arm: &str, epochless: bool) -> Config {
 /// Runs the strided mix under one arm; returns the stats row (without
 /// `payload_ok`, fixed up by the caller) and the final remote image.
 fn run_mix(platform: PlatformId, arm: &'static str) -> (Row, Vec<u8>) {
-    let cfg = RuntimeConfig::on_platform(platform);
+    let cfg = crate::internode(platform);
     let mut out = Runtime::run_with(2, cfg, move |p| {
         let rt = ArmciMpi::with_config(p, arm_cfg(arm, false));
         let strided_base = CONTIG_OPS * CONTIG_BYTES;
@@ -159,6 +167,7 @@ fn run_mix(platform: PlatformId, arm: &'static str) -> (Row, Vec<u8>) {
                 platform,
                 workload: "fig3-strided-mix",
                 arm,
+                ranks_per_node: 1,
                 epochs: s1.epochs - s0.epochs,
                 flushes: s1.flushes - s0.flushes,
                 wire_ops: (s1.puts - s0.puts) + (s1.gets - s0.gets) + (s1.accs - s0.accs),
@@ -188,7 +197,7 @@ fn run_mix(platform: PlatformId, arm: &'static str) -> (Row, Vec<u8>) {
 /// Runs the CCSD ladder proxy under one arm; returns the row (the
 /// caller fixes `payload_ok` against the per-op energy).
 fn run_ccsd_arm(platform: PlatformId, arm: &'static str) -> Row {
-    let cfg = RuntimeConfig::on_platform(platform);
+    let cfg = crate::internode(platform);
     Runtime::run_with(2, cfg, move |p: &Proc| {
         // The per-op baseline is the paper's §V-C model (one exclusive
         // epoch per blocking op, MPI-2); both nonblocking arms run the
@@ -211,6 +220,7 @@ fn run_ccsd_arm(platform: PlatformId, arm: &'static str) -> Row {
             platform,
             workload: "ccsd-proxy",
             arm,
+            ranks_per_node: 1,
             epochs: s1.epochs - s0.epochs,
             flushes: s1.flushes - s0.flushes,
             wire_ops: (s1.puts - s0.puts) + (s1.gets - s0.gets) + (s1.accs - s0.accs),

@@ -5,7 +5,7 @@
 use armci::{Armci, ArmciExt};
 use armci_ds::run_with_servers;
 use armci_mpi::ArmciMpi;
-use mpisim::{Runtime, RuntimeConfig};
+use mpisim::Runtime;
 use serde::Serialize;
 use simnet::PlatformId;
 
@@ -23,7 +23,7 @@ pub fn generate(platform: PlatformId) -> Vec<Row> {
     let mut rows = Vec::new();
     for &size in &sizes {
         let reps = 3usize;
-        let rma = Runtime::run_with(2, RuntimeConfig::on_platform(platform), move |p| {
+        let rma = Runtime::run_with(2, crate::internode(platform), move |p| {
             let rt = ArmciMpi::new(p);
             let bases = rt.malloc(size).unwrap();
             rt.barrier();
@@ -40,7 +40,7 @@ pub fn generate(platform: PlatformId) -> Vec<Row> {
             rt.free(bases[p.rank()]).unwrap();
             t
         })[0];
-        let ds = run_with_servers(2, RuntimeConfig::on_platform(platform), move |p, rt| {
+        let ds = run_with_servers(2, crate::internode(platform), move |p, rt| {
             let bases = rt.malloc(size).unwrap();
             rt.barrier();
             let mut t = 0.0;
@@ -68,7 +68,7 @@ pub fn generate(platform: PlatformId) -> Vec<Row> {
 /// NXTVAL latency (µs) for both designs under `n`-way contention.
 pub fn nxtval_latency(platform: PlatformId, n: usize) -> (f64, f64) {
     let iters = 30usize;
-    let rma = Runtime::run_with(n, RuntimeConfig::on_platform(platform), move |p| {
+    let rma = Runtime::run_with(n, crate::internode(platform), move |p| {
         let rt = ArmciMpi::new(p);
         let bases = rt.malloc(8).unwrap();
         rt.barrier();
@@ -84,7 +84,7 @@ pub fn nxtval_latency(platform: PlatformId, n: usize) -> (f64, f64) {
     .iter()
     .sum::<f64>()
         / n as f64;
-    let ds = run_with_servers(n, RuntimeConfig::on_platform(platform), move |p, rt| {
+    let ds = run_with_servers(n, crate::internode(platform), move |p, rt| {
         let bases = rt.malloc(8).unwrap();
         rt.barrier();
         let t0 = p.clock().now();

@@ -5,7 +5,7 @@
 use armci::{AccKind, Armci};
 use armci_mpi::ArmciMpi;
 use armci_native::ArmciNative;
-use mpisim::{Runtime, RuntimeConfig};
+use mpisim::Runtime;
 use serde::Serialize;
 use simnet::PlatformId;
 
@@ -37,7 +37,7 @@ pub fn sizes() -> Vec<usize> {
 pub fn generate(platform: PlatformId) -> Vec<Series> {
     let mut out = Vec::new();
     for backend in [Impl::Native, Impl::Mpi] {
-        let cfg = RuntimeConfig::on_platform(platform);
+        let cfg = crate::internode(platform);
         let curves = Runtime::run_with(2, cfg, move |p| {
             macro_rules! drive {
                 ($rt:expr) => {{

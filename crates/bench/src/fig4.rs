@@ -4,7 +4,7 @@
 use armci::{AccKind, Armci, StridedMethod};
 use armci_mpi::{ArmciMpi, Config};
 use armci_native::ArmciNative;
-use mpisim::{Runtime, RuntimeConfig};
+use mpisim::Runtime;
 use serde::Serialize;
 use simnet::PlatformId;
 
@@ -78,7 +78,7 @@ pub const SEG_SIZES: [usize; 2] = [16, 1024];
 pub fn generate(platform: PlatformId) -> Vec<Series> {
     let mut out = Vec::new();
     for method in Method::ALL {
-        let cfg = RuntimeConfig::on_platform(platform);
+        let cfg = crate::internode(platform);
         let curves = Runtime::run_with(2, cfg, move |p| match method.armci_mpi_config() {
             None => measure(p, &ArmciNative::new(p)),
             Some(c) => measure(p, &ArmciMpi::with_config(p, c)),

@@ -14,10 +14,13 @@
 //! transfer engine's plan/acquire/execute/complete stages down over the
 //! Figure 3/4 workloads (`BENCH_pipeline.json`), [`pool`] reports
 //! the staging buffer pool's hit/miss/registration behaviour on the same
-//! workloads (`BENCH_pool.json`), and [`coalesce`] A/B-tests the
+//! workloads (`BENCH_pool.json`), [`coalesce`] A/B-tests the
 //! coalescing RMA scheduler and committed-datatype cache against the
 //! per-op path on the fig3 mix and the CCSD proxy
-//! (`BENCH_coalesce.json`), asserting bit-identical payloads/energies.
+//! (`BENCH_coalesce.json`), asserting bit-identical payloads/energies,
+//! and [`shm`] A/B-tests the intra-node shared-memory fast path against
+//! the forced-wire baseline over a ranks-per-node sweep
+//! (`BENCH_shm.json`).
 //!
 //! The `figures` binary prints each as aligned text and (optionally) JSON.
 //! Bandwidth numbers are **virtual-time** measurements: the operations
@@ -32,8 +35,25 @@ pub mod fig5;
 pub mod fig6r;
 pub mod pipeline;
 pub mod pool;
+pub mod shm;
 pub mod table2;
 pub mod trace;
+
+/// Runtime configuration for `id` with the ranks spread one per node.
+///
+/// The paper's bandwidth topologies place origin and target on separate
+/// nodes, so the wire benchmarks must keep the intra-node shared-memory
+/// tier out of their measurements; `BENCH_shm.json` is where that tier
+/// is measured, explicitly, A/B against the forced-wire path.
+pub fn internode(id: simnet::PlatformId) -> mpisim::RuntimeConfig {
+    let mut platform = simnet::Platform::get(id).customized("internode-bench");
+    platform.sockets_per_node = 1;
+    platform.cores_per_socket = 1;
+    mpisim::RuntimeConfig {
+        platform,
+        ..Default::default()
+    }
+}
 
 /// Formats a byte count like the paper's axes (powers of two).
 pub fn fmt_bytes(b: usize) -> String {

@@ -11,7 +11,7 @@
 
 use armci::{AccKind, Armci};
 use armci_mpi::{ArmciMpi, Config, StageStats};
-use mpisim::{Runtime, RuntimeConfig};
+use mpisim::Runtime;
 use serde::Serialize;
 use simnet::PlatformId;
 
@@ -29,6 +29,9 @@ pub struct Row {
     pub bytes: usize,
     /// Strided only: number of segments (1 for contiguous).
     pub segments: usize,
+    /// Node layout of the measurement (the wire benchmarks spread ranks
+    /// one per node; see `crate::internode`).
+    pub ranks_per_node: u32,
     pub nonblocking: bool,
     // Stage counters for the whole burst.
     pub plans: u64,
@@ -70,7 +73,7 @@ pub fn strided_shapes() -> Vec<(usize, usize)> {
 /// Measures every workload on one platform (rank 0 → rank 1, epochless
 /// mode so the nonblocking burst genuinely overlaps).
 pub fn generate(platform: PlatformId) -> Vec<Row> {
-    let cfg = RuntimeConfig::on_platform(platform);
+    let cfg = crate::internode(platform);
     Runtime::run_with(2, cfg, move |p| measure(p, platform)).swap_remove(0)
 }
 
@@ -185,6 +188,7 @@ fn row(
         workload,
         bytes,
         segments,
+        ranks_per_node: 1,
         nonblocking,
         plans: g.plans,
         planned_ops: g.planned_ops,

@@ -16,7 +16,7 @@
 use armci::{AccKind, Armci};
 use armci_mpi::ArmciMpi;
 use armci_native::ArmciNative;
-use mpisim::{Proc, Runtime, RuntimeConfig};
+use mpisim::{Proc, Runtime};
 use serde::Serialize;
 use simnet::{PlatformId, PoolStats};
 
@@ -33,6 +33,9 @@ pub struct PoolRow {
     /// `"cold"` = first pass from an empty pool, `"steady"` = the same
     /// pass repeated after warm-up.
     pub phase: &'static str,
+    /// Node layout of the measurement (one rank per node; see
+    /// `crate::internode`).
+    pub ranks_per_node: u32,
     pub hits: u64,
     pub misses: u64,
     pub hit_rate: f64,
@@ -56,7 +59,7 @@ pub fn strided_shapes() -> Vec<(usize, usize)> {
 
 /// Runs every workload on `platform` for both backends.
 pub fn generate(platform: PlatformId) -> Vec<PoolRow> {
-    let cfg = RuntimeConfig::on_platform(platform);
+    let cfg = crate::internode(platform);
     Runtime::run_with(2, cfg, move |p| measure(p, platform)).swap_remove(0)
 }
 
@@ -72,6 +75,7 @@ fn row(
         backend,
         workload,
         phase,
+        ranks_per_node: 1,
         hits: s.hits,
         misses: s.misses,
         hit_rate: s.hit_rate(),

@@ -15,7 +15,7 @@
 
 use armci::{AccKind, Armci};
 use armci_mpi::{ArmciMpi, Config};
-use mpisim::{Proc, Runtime, RuntimeConfig};
+use mpisim::{Proc, Runtime};
 use nwchem_proxy::{run_ccsd, run_ccsd_pipelined, CcsdConfig};
 use simnet::PlatformId;
 
@@ -49,7 +49,7 @@ pub fn capture(ranks: usize, platform: PlatformId, body: impl Fn(&Proc) + Send +
     let _g = obs::test_guard();
     obs::enable();
     obs::clear();
-    let cfg = RuntimeConfig::on_platform(platform);
+    let cfg = crate::internode(platform);
     Runtime::run_with(ranks, cfg, |p| {
         body(p);
         obs::flush_thread();
@@ -121,6 +121,10 @@ pub fn ccsd_coalesced_capture() -> Capture {
             p,
             Config {
                 epochless: true,
+                // Rank-local tile traffic would take the shared-memory
+                // bypass and rob the scheduler of the queued ops this
+                // capture exists to show the auditor.
+                shm: false,
                 ..Config::default()
             },
         );
@@ -138,7 +142,7 @@ pub fn contig_overhead(reps: usize) -> std::time::Duration {
     let _g = obs::test_guard();
     obs::enable();
     obs::clear();
-    let cfg = RuntimeConfig::on_platform(PlatformId::InfiniBandCluster);
+    let cfg = crate::internode(PlatformId::InfiniBandCluster);
     let start = std::time::Instant::now();
     Runtime::run_with(2, cfg, |p| {
         let rt = ArmciMpi::with_config(p, Config::default());

@@ -21,11 +21,9 @@ impl ArmciMpi {
         f: &mut dyn FnMut(&mut [u8]),
     ) -> ArmciResult<()> {
         if addr.rank != self.world.rank() {
-            return Err(ArmciError::BadDescriptor(format!(
-                "direct access to remote process {} from {}",
-                addr.rank,
-                self.world.rank()
-            )));
+            // A node peer's slice is reachable through the shared slab
+            // (crate::shm); any other remote rank stays illegal.
+            return self.access_peer_impl(addr, len, true, f);
         }
         // Serialise behind outstanding nonblocking operations: direct
         // load/store while a deferred transfer targets this window would
@@ -60,7 +58,7 @@ impl ArmciMpi {
     /// Records entry into an `ARMCI_Access_begin/end` region (the lock
     /// that grants it is already held, so the auditor sees a covered
     /// region).
-    fn dla_begin(&self, gmr: u64, exclusive: bool) {
+    pub(crate) fn dla_begin(&self, gmr: u64, exclusive: bool) {
         if obs::enabled() {
             obs::instant_at(
                 obs::EventKind::DlaBegin {
@@ -72,7 +70,7 @@ impl ArmciMpi {
         }
     }
 
-    fn dla_end(&self, gmr: u64) {
+    pub(crate) fn dla_end(&self, gmr: u64) {
         if obs::enabled() {
             obs::instant_at(obs::EventKind::DlaEnd { win: gmr }, self.vnow());
         }
@@ -86,11 +84,8 @@ impl ArmciMpi {
         f: &mut dyn FnMut(&[u8]),
     ) -> ArmciResult<()> {
         if addr.rank != self.world.rank() {
-            return Err(ArmciError::BadDescriptor(format!(
-                "direct access to remote process {} from {}",
-                addr.rank,
-                self.world.rank()
-            )));
+            // Shared-slab read of a node peer's slice (as above).
+            return self.access_peer_impl(addr, len, false, &mut |b| f(b));
         }
         // Serialise behind outstanding nonblocking operations (as above).
         self.nb_quiesce()?;

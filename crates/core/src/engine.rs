@@ -204,6 +204,12 @@ pub struct StageStats {
     pub dtype_hits: u64,
     /// Committed-datatype cache misses (folded likewise).
     pub dtype_misses: u64,
+    /// Operations routed through the intra-node shared-memory fast path
+    /// instead of the wire (one count per planned operation).
+    pub shm_hits: u64,
+    /// Payload bytes those operations moved as node-local load/store —
+    /// bytes that never touched the NIC model.
+    pub shm_bypass_bytes: u64,
     /// Virtual seconds spent in the plan stage (method selection,
     /// conflict-tree scans).
     pub plan_s: f64,
@@ -242,6 +248,8 @@ impl StageStats {
             sched_segs_out: self.sched_segs_out - earlier.sched_segs_out,
             dtype_hits: self.dtype_hits - earlier.dtype_hits,
             dtype_misses: self.dtype_misses - earlier.dtype_misses,
+            shm_hits: self.shm_hits - earlier.shm_hits,
+            shm_bypass_bytes: self.shm_bypass_bytes - earlier.shm_bypass_bytes,
             plan_s: self.plan_s - earlier.plan_s,
             acquire_s: self.acquire_s - earlier.acquire_s,
             execute_s: self.execute_s - earlier.execute_s,
@@ -270,6 +278,16 @@ impl StageStats {
     /// one coarsened epoch per flush.
     pub fn sched_epochs_saved(&self) -> u64 {
         self.sched_enqueued.saturating_sub(self.sched_flushes)
+    }
+
+    /// Fraction of issued operations that took the intra-node
+    /// shared-memory route instead of the wire (0.0 when nothing issued).
+    pub fn shm_hit_rate(&self) -> f64 {
+        let total = self.shm_hits + self.executed_ops;
+        if total == 0 {
+            return 0.0;
+        }
+        self.shm_hits as f64 / total as f64
     }
 
     /// Committed-datatype cache hit rate (0.0 when never consulted).
@@ -825,6 +843,11 @@ impl ArmciMpi {
     }
 
     fn run_plan(&self, plan: &TransferPlan, buf: &ExecBuf) -> ArmciResult<()> {
+        // Plan-time route decision: a node-peer target on a slab-backed
+        // window never touches the wire (crate::shm).
+        if self.plan_shm_routable(plan) {
+            return self.run_plan_shm(plan, buf);
+        }
         let gmrs = self.gmrs.borrow();
         let gmr = gmrs
             .get(&plan.gmr)
@@ -894,7 +917,7 @@ impl ArmciMpi {
         res
     }
 
-    fn exec_name(buf: &ExecBuf) -> &'static str {
+    pub(crate) fn exec_name(buf: &ExecBuf) -> &'static str {
         match buf {
             ExecBuf::Get(..) => "get",
             ExecBuf::Put(..) => "put",
@@ -950,6 +973,19 @@ impl ArmciMpi {
         buf: &ExecBuf,
     ) -> ArmciResult<NbHandle> {
         if plans.is_empty() {
+            return Ok(NbHandle::eager());
+        }
+        // Intra-node plans bypass the RMA scheduler entirely: a node-local
+        // copy has no wire latency to overlap, so deferring it buys
+        // nothing. They complete eagerly through the shared-memory route
+        // (after quiescing, exactly like the blocking path). Mixed plan
+        // lists stay on the wire path as a unit so cross-plan ordering is
+        // owned by one engine.
+        if plans.iter().all(|p| self.plan_shm_routable(p)) {
+            self.nb_quiesce()?;
+            for plan in &plans {
+                self.run_plan_shm(plan, buf)?;
+            }
             return Ok(NbHandle::eager());
         }
         let id = {

@@ -14,7 +14,6 @@ use std::cell::Cell;
 /// One global allocation.
 pub(crate) struct Gmr {
     /// Window id doubles as the GMR id (consistent across processes).
-    #[allow(dead_code)]
     pub id: u64,
     pub win: WinHandle,
     pub group: ArmciGroup,
@@ -33,13 +32,14 @@ pub(crate) struct Gmr {
 /// Builds a `GmrVanished` error, routing it through the recorder first:
 /// release builds that swallow the `Result` (or lose it across an FFI-ish
 /// boundary) still leave an `error` event carrying the offending GMR id
-/// in the trace.
+/// in the trace. The error itself comes from the single
+/// [`ArmciError::backing_lost`] funnel shared with the shm fast path.
 pub(crate) fn gmr_vanished(gmr: u64) -> ArmciError {
     obs::instant(obs::EventKind::Error {
         what: "gmr_vanished",
         gmr,
     });
-    ArmciError::GmrVanished { gmr }
+    ArmciError::backing_lost(gmr, None)
 }
 
 /// Result of translating a global address.
@@ -144,7 +144,15 @@ impl ArmciMpi {
         } else {
             0
         };
-        let win = WinHandle::create(comm, bytes);
+        // Node-aware allocation: with the shm subsystem on, the window is
+        // backed by one slab per node (carved in window-rank order), which
+        // is what gives node peers real base pointers. Off, each rank owns
+        // private window memory and every target is wire-remote.
+        let win = if self.cfg.shm {
+            WinHandle::allocate_shared(comm, bytes)
+        } else {
+            WinHandle::create(comm, bytes)
+        };
         let gmr_id = win.id();
         // All-to-all exchange of local base addresses (§V-B).
         let all = comm.allgather_u64s(&[base as u64, bytes as u64]);

@@ -25,7 +25,11 @@
 //!   exclusive epochs — or, with [`Config::use_mpi3_rmw`], via the MPI-3
 //!   `fetch_and_op` extension the paper advocates (§VIII-B);
 //! * **direct local access** (§V-E) and **global-buffer staging** (§V-E1)
-//!   keep local load/stores and global↔global copies epoch-correct.
+//!   keep local load/stores and global↔global copies epoch-correct;
+//! * **node-aware shared memory** ([`shm`], the §VIII-B outlook):
+//!   allocations are backed by per-node `MPI_Win_allocate_shared` slabs,
+//!   and plans whose target is a node peer bypass the wire entirely as
+//!   direct load/store/accumulate under `win_sync` coherence.
 
 pub mod dla;
 pub mod engine;
@@ -34,6 +38,7 @@ pub mod iov;
 pub mod mutex;
 pub mod ops;
 pub mod rmw;
+pub mod shm;
 pub mod strided;
 
 pub use engine::{CoalesceMode, StageStats};
@@ -68,6 +73,12 @@ pub struct Config {
     /// Nonblocking-operation coalescing discipline (the scheduler of
     /// [`engine`]): how queued same-target operations are issued at flush.
     pub coalesce: CoalesceMode,
+    /// Node-aware shared-memory windows ([`shm`]): allocations are backed
+    /// by per-node slabs (`MPI_Win_allocate_shared`) and intra-node plans
+    /// bypass the RMA path as direct load/store under the shared window's
+    /// `win_sync` discipline. `false` forces every transfer — including
+    /// same-node — onto the wire path (the A/B baseline).
+    pub shm: bool,
 }
 
 impl Default for Config {
@@ -78,6 +89,7 @@ impl Default for Config {
             use_mpi3_rmw: false,
             epochless: false,
             coalesce: CoalesceMode::Auto,
+            shm: true,
         }
     }
 }

@@ -586,8 +586,37 @@ fn direct_local_access() {
             assert_eq!(b[1] as usize, 10 * p.rank() + 1);
         })
         .unwrap();
-        // remote DLA is rejected
-        assert!(rt.access(bases[peer], 4, &mut |_| {}).is_err());
+        // a node peer's slice is directly accessible through the shared
+        // slab (both ranks share a node on the default platform)
+        rt.access(bases[peer], 4, &mut |b| {
+            assert_eq!(b[0] as usize, 10 * peer);
+        })
+        .unwrap();
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+    });
+}
+
+#[test]
+fn remote_dla_rejected_without_shm() {
+    // With the shm subsystem off there is no slab, so direct access to
+    // any remote rank — node peer or not — stays illegal.
+    let cfg = Config {
+        shm: false,
+        ..Default::default()
+    };
+    run_cfg(2, cfg, |p, rt| {
+        let bases = rt.malloc(32).unwrap();
+        rt.barrier();
+        let peer = 1 - p.rank();
+        assert!(matches!(
+            rt.access(bases[peer], 4, &mut |_| {}),
+            Err(ArmciError::BadDescriptor(_))
+        ));
+        assert!(matches!(
+            rt.access_mut(bases[peer], 4, &mut |_| {}),
+            Err(ArmciError::BadDescriptor(_))
+        ));
         rt.barrier();
         rt.free(bases[p.rank()]).unwrap();
     });
@@ -747,6 +776,10 @@ fn conservative_slower_than_datatype_for_many_segments() {
         let cfg = Config {
             strided: method,
             iov: method,
+            // Cost comparison between wire IOV methods: the intra-node
+            // shared-memory tier would route both ranks' transfers around
+            // the NIC model entirely.
+            shm: false,
             ..Default::default()
         };
         let times = Runtime::run_with(2, rt_cfg.clone(), move |p| {

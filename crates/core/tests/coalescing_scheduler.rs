@@ -18,6 +18,11 @@ fn cfg(coalesce: CoalesceMode, epochless: bool) -> Config {
     Config {
         coalesce,
         epochless,
+        // These tests assert wire-scheduler internals (sched_* counters,
+        // datatype cache hits); the intra-node shared-memory bypass would
+        // route every op around the scheduler on the 2-rank single-node
+        // layouts used here. shm-on equivalence lives in shm_subsystem.rs.
+        shm: false,
         ..Default::default()
     }
 }

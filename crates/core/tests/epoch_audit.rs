@@ -15,7 +15,11 @@ use simnet::PlatformId;
 /// Runs `body` on two simulated ranks with the recorder enabled and
 /// returns the full event stream. Serialised on the recorder's global
 /// guard — the sink is process-wide.
-fn capture(epochless: bool, body: impl Fn(&Proc, &ArmciMpi) + Send + Sync) -> Vec<Event> {
+fn capture_with(
+    epochless: bool,
+    shm: bool,
+    body: impl Fn(&Proc, &ArmciMpi) + Send + Sync,
+) -> Vec<Event> {
     let _g = obs::test_guard();
     obs::enable();
     obs::clear();
@@ -25,6 +29,7 @@ fn capture(epochless: bool, body: impl Fn(&Proc, &ArmciMpi) + Send + Sync) -> Ve
             p,
             Config {
                 epochless,
+                shm,
                 ..Default::default()
             },
         );
@@ -32,6 +37,13 @@ fn capture(epochless: bool, body: impl Fn(&Proc, &ArmciMpi) + Send + Sync) -> Ve
         obs::flush_thread();
     });
     obs::take()
+}
+
+/// Wire-path capture: both ranks share a node, so the seeded-violation
+/// tests below pin `shm: false` to keep genuine `Rma` events in the
+/// trace. The shm-routed trace is audited separately.
+fn capture(epochless: bool, body: impl Fn(&Proc, &ArmciMpi) + Send + Sync) -> Vec<Event> {
+    capture_with(epochless, false, body)
 }
 
 /// A blocking-only workload: contiguous put/get/acc, a strided put, and
@@ -197,4 +209,76 @@ fn seeded_op_outside_epoch_is_flagged_exactly_once() {
     let v = audit(&events);
     assert_eq!(v.len(), 1, "expected exactly the seeded violation: {v:?}");
     assert_eq!(v[0].rule, Rule::OpOutsideEpoch);
+}
+
+// ---------------------------------------------------------------------
+// The intra-node shared-memory route under the same auditor
+// ---------------------------------------------------------------------
+
+/// The blocking workload with shm routing on: every transfer between
+/// these two same-node ranks takes the load/store fast path.
+fn shm_trace() -> Vec<Event> {
+    capture_with(false, true, |p, rt| {
+        let bases = rt.malloc(1 << 16).expect("malloc");
+        rt.barrier();
+        if p.rank() == 0 {
+            let src = vec![3u8; 1 << 12];
+            let mut dst = vec![0u8; 1 << 10];
+            rt.put(&src, bases[1]).unwrap();
+            rt.get(bases[1], &mut dst).unwrap();
+            rt.acc(AccKind::Int(1), &src[..512], bases[1]).unwrap();
+        }
+        rt.barrier();
+        rt.free(bases[p.rank()]).unwrap();
+    })
+}
+
+#[test]
+fn legal_shm_trace_is_silent_and_uses_the_fast_path() {
+    let events = shm_trace();
+    let shm_accesses = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ShmAccess { .. }))
+        .count();
+    assert!(
+        shm_accesses >= 3,
+        "same-node transfers did not take the shm route"
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Rma { .. })),
+        "intra-node traffic leaked onto the wire path"
+    );
+    let v = audit(&events);
+    assert!(v.is_empty(), "legal shm trace flagged: {v:?}");
+}
+
+#[test]
+fn seeded_shm_access_outside_win_sync_is_flagged_exactly_once() {
+    let mut events = shm_trace();
+    let (win, target) = events
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::ShmAccess { win, target, .. } => Some((win, target)),
+            _ => None,
+        })
+        .expect("trace has shm accesses");
+    let ts = events.last().unwrap().ts + 1.0;
+    // A direct store into the peer's section after every epoch closed:
+    // no lock covers it and no Win_sync re-established coherence.
+    events.push(Event {
+        rank: 0,
+        ts,
+        dur: 0.0,
+        kind: EventKind::ShmAccess {
+            win,
+            target,
+            write: true,
+            bytes: 8,
+        },
+    });
+    let v = audit(&events);
+    assert_eq!(v.len(), 1, "expected exactly the seeded violation: {v:?}");
+    assert_eq!(v[0].rule, Rule::ShmCoherence);
 }

@@ -19,9 +19,21 @@ fn quiet() -> RuntimeConfig {
     }
 }
 
+// Every layout in this file fits on one node, so the intra-node
+// shared-memory bypass would route ops around the deferred engine whose
+// counters and overlap schedule these tests assert. Pin the wire path;
+// shm-on equivalence is covered in shm_subsystem.rs.
 fn epochless() -> Config {
     Config {
         epochless: true,
+        shm: false,
+        ..Default::default()
+    }
+}
+
+fn mpi2() -> Config {
+    Config {
+        shm: false,
         ..Default::default()
     }
 }
@@ -95,7 +107,7 @@ fn nb_fanout_overlaps_where_blocking_serialises() {
 #[test]
 fn nb_ops_to_same_target_aggregate_into_one_epoch() {
     Runtime::run_with(2, quiet(), |p: &Proc| {
-        let rt = ArmciMpi::new(p);
+        let rt = ArmciMpi::with_config(p, mpi2());
         let bases = rt.malloc(64).unwrap();
         rt.barrier();
         if p.rank() == 0 {
@@ -134,7 +146,7 @@ fn mpi2_conflicting_ops_split_the_epoch() {
     // first epoch to retire and opens a fresh one. Program order is
     // preserved, so the later write wins.
     Runtime::run_with(2, quiet(), |p: &Proc| {
-        let rt = ArmciMpi::new(p);
+        let rt = ArmciMpi::with_config(p, mpi2());
         let bases = rt.malloc(8).unwrap();
         rt.barrier();
         if p.rank() == 0 {
@@ -161,7 +173,7 @@ fn mpi2_second_target_closes_first_epoch() {
     // target quiesces the first (no hold-and-wait deadlock), and waiting
     // on the already-retired handle is still Ok.
     Runtime::run_with(3, quiet(), |p: &Proc| {
-        let rt = ArmciMpi::new(p);
+        let rt = ArmciMpi::with_config(p, mpi2());
         let bases = rt.malloc(8).unwrap();
         rt.barrier();
         if p.rank() == 0 {
@@ -271,7 +283,7 @@ fn rmw_quiesces_only_its_own_allocation() {
 #[test]
 fn wait_on_unknown_handle_is_an_error() {
     Runtime::run_with(1, quiet(), |p: &Proc| {
-        let rt = ArmciMpi::new(p);
+        let rt = ArmciMpi::with_config(p, mpi2());
         assert!(rt.wait(NbHandle::deferred(997)).is_err());
         // Eager handles are always fine.
         rt.wait(NbHandle::eager()).unwrap();

@@ -22,6 +22,15 @@ use std::sync::Arc;
 const TAG_NONCOLL_XCHG: i32 = i32::MIN + 10;
 const TAG_NONCOLL_CTX: i32 = i32::MIN + 11;
 
+/// Selector for [`Comm::split_type`] (`MPI_Comm_split_type`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommSplitType {
+    /// `MPI_COMM_TYPE_SHARED`: the largest groups of ranks that can share
+    /// memory — here, ranks on the same node under the platform's
+    /// authoritative [`simnet::Platform::node_of`] mapping.
+    Shared,
+}
+
 /// Shared, immutable communicator state.
 pub(crate) struct CommInner {
     pub id: u64,
@@ -450,6 +459,21 @@ impl Comm {
         let id = coll::wire::get_i64s(&ids[leader_old_rank])[0] as u64;
         let inner = self.register_comm(id, my_group);
         Some(self.comm_from(inner))
+    }
+
+    /// Collective `MPI_Comm_split_type`: groups ranks by capability class.
+    /// With [`CommSplitType::Shared`] every node's ranks land in one
+    /// sub-communicator (ordered by `(key, old rank)`), which is what
+    /// [`crate::WinHandle::allocate_shared`] callers use to find their
+    /// node peers.
+    pub fn split_type(&self, kind: CommSplitType, key: i64) -> Comm {
+        match kind {
+            CommSplitType::Shared => {
+                let node = self.platform().node_of(self.my_world_rank) as i64;
+                self.split(node, key)
+                    .expect("non-negative colour always yields a communicator")
+            }
+        }
     }
 
     /// **Noncollective** communicator creation: only the listed members

@@ -44,6 +44,10 @@ pub enum MpiError {
     /// Attempt to use `lock`/`unlock` while `lock_all` is active, or vice
     /// versa.
     EpochModeMixed { target: usize },
+    /// `shared_query` or an shm-routed operation on a target that does not
+    /// share a node-local slab with the caller (remote node, or the window
+    /// was not created with `allocate_shared`).
+    ShmUnavailable { target: usize },
 }
 
 impl fmt::Display for MpiError {
@@ -102,6 +106,12 @@ impl fmt::Display for MpiError {
             MpiError::CollectiveMismatch(msg) => write!(f, "collective mismatch: {msg}"),
             MpiError::EpochModeMixed { target } => {
                 write!(f, "mixing lock/unlock with lock_all on target {target}")
+            }
+            MpiError::ShmUnavailable { target } => {
+                write!(
+                    f,
+                    "target {target} does not share a node-local shared-memory slab with this rank"
+                )
             }
         }
     }

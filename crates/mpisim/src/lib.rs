@@ -36,9 +36,9 @@ pub mod p2p;
 pub mod runtime;
 pub mod win;
 
-pub use comm::Comm;
+pub use comm::{Comm, CommSplitType};
 pub use dtype::{Datatype, DtypeCache, DtypeSig};
 pub use error::{MpiError, MpiResult};
 pub use p2p::{RecvSrc, Status, ANY_TAG};
 pub use runtime::{Proc, Runtime, RuntimeConfig};
-pub use win::{AccOp, ElemType, LockMode, RmaClass, WinHandle};
+pub use win::{AccOp, ElemType, LockMode, RmaClass, ShmSection, WinHandle};

@@ -196,15 +196,18 @@ impl WinHandle {
                 size,
             });
         }
-        let (io, buf) = self.raw_mem(target);
+        let (io, buf, base) = self.raw_mem(target);
         let old = {
             let _g = io.lock();
-            // Safety: `io` serialises all access to the slice.
+            // Safety: `io` serialises all access to the slice. `base` is
+            // the section offset inside the backing allocation (non-zero
+            // on shared-backed windows).
             let slice = unsafe { &mut **buf };
+            let lo = base + tdisp;
             let mut cell = [0u8; WIDTH];
-            cell.copy_from_slice(&slice[tdisp..tdisp + WIDTH]);
+            cell.copy_from_slice(&slice[lo..lo + WIDTH]);
             let old = f(&mut cell);
-            slice[tdisp..tdisp + WIDTH].copy_from_slice(&cell);
+            slice[lo..lo + WIDTH].copy_from_slice(&cell);
             old
         };
         self.charge_pub(self.params_pub().rmw_latency);

@@ -193,15 +193,117 @@ impl RankMem {
     }
 }
 
+/// One node's shared slab (`MPI_Win_allocate_shared` backing): every rank
+/// on the node gets a section of the same allocation, so intra-node peers
+/// see each other's window memory at real addresses.
+struct NodeSlab {
+    buf: UnsafeCell<Box<[u8]>>,
+    /// Serialises byte movement on the whole slab. Coarser than the
+    /// per-rank `RankMem::io` (all node members share it) but the
+    /// correctness argument is identical.
+    io: Mutex<()>,
+}
+
+// Safety: all access to `buf` goes through `io`, as with `RankMem`.
+unsafe impl Sync for NodeSlab {}
+unsafe impl Send for NodeSlab {}
+
+impl NodeSlab {
+    fn new(size: usize) -> NodeSlab {
+        NodeSlab {
+            buf: UnsafeCell::new(vec![0u8; size].into_boxed_slice()),
+            io: Mutex::new(()),
+        }
+    }
+}
+
+/// Section alignment inside a node slab (cache-line).
+const SHM_ALIGN: usize = 64;
+
+/// Node-carved backing for a shared window.
+struct ShmBacking {
+    /// One slab per node represented in the window, in node
+    /// first-appearance order.
+    slabs: Vec<NodeSlab>,
+    /// Per window rank: `(slab index, byte offset)` of its section.
+    place: Vec<(usize, usize)>,
+    /// Per window rank: node id (from [`simnet::Platform::node_of`] of its
+    /// world rank).
+    node: Vec<usize>,
+}
+
+/// Where a window's bytes live.
+enum Backing {
+    /// `MPI_Win_create`: each rank owns a private allocation.
+    PerRank(Vec<RankMem>),
+    /// `MPI_Win_allocate_shared`: per-node slabs, sections carved per rank.
+    Shared(ShmBacking),
+}
+
+/// A view of one rank's window section: the I/O mutex to hold, the backing
+/// allocation, and the section's extent within it. All byte movement —
+/// RMA, staging, local access, and the shm fast path — goes through
+/// [`Section::with`] / [`Section::with_mut`], which take the lock before
+/// dereferencing.
+pub(crate) struct Section<'a> {
+    io: &'a Mutex<()>,
+    buf: *mut Box<[u8]>,
+    off: usize,
+    len: usize,
+}
+
+impl Section<'_> {
+    pub(crate) fn with<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        let _io = self.io.lock();
+        // Safety: `io` serialises all byte movement on this backing.
+        let buf = unsafe { &**self.buf };
+        f(&buf[self.off..self.off + self.len])
+    }
+
+    pub(crate) fn with_mut<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let _io = self.io.lock();
+        // Safety: `io` serialises all byte movement on this backing.
+        let buf = unsafe { &mut **self.buf };
+        f(&mut buf[self.off..self.off + self.len])
+    }
+}
+
 use std::cell::UnsafeCell;
 
 /// Shared window state.
 pub(crate) struct WinInner {
     pub id: u64,
     pub sizes: Vec<usize>,
-    mem: Vec<RankMem>,
+    backing: Backing,
     locks: Vec<TargetLock>,
     freed: AtomicBool,
+}
+
+impl WinInner {
+    /// The section view of `target`'s window slice.
+    fn section(&self, target: usize) -> Section<'_> {
+        match &self.backing {
+            Backing::PerRank(mem) => {
+                let m = &mem[target];
+                Section {
+                    io: &m.io,
+                    buf: m.buf.get(),
+                    off: 0,
+                    len: self.sizes[target],
+                }
+            }
+            Backing::Shared(shm) => {
+                let (slab, off) = shm.place[target];
+                let s = &shm.slabs[slab];
+                Section {
+                    io: &s.io,
+                    buf: s.buf.get(),
+                    off,
+                    len: self.sizes[target],
+                }
+            }
+        }
+    }
 }
 
 /// One rank's handle on a window. Not `Send`: epoch state is origin-local,
@@ -249,13 +351,79 @@ impl WinHandle {
             Arc::clone(wins.entry(id).or_insert_with(|| {
                 Arc::new(WinInner {
                     id,
-                    mem: sizes.iter().map(|&s| RankMem::new(s)).collect(),
+                    backing: Backing::PerRank(sizes.iter().map(|&s| RankMem::new(s)).collect()),
                     locks: sizes.iter().map(|_| TargetLock::new()).collect(),
                     sizes,
                     freed: AtomicBool::new(false),
                 })
             }))
         };
+        Self::from_inner(comm, inner)
+    }
+
+    /// Collectively creates a **shared-memory** window
+    /// (`MPI_Win_allocate_shared`): ranks on the same node carve sections
+    /// out of one per-node slab, so intra-node peers can reach each
+    /// other's window memory with plain loads and stores
+    /// ([`WinHandle::shared_query`]) instead of RMA. Inter-node pairs fall
+    /// back to the ordinary RMA path on the same window.
+    ///
+    /// The rank → node mapping comes from the platform's single
+    /// authoritative [`simnet::Platform::node_of`]; the layout (slab order,
+    /// section offsets, 64-byte alignment) is computed identically on
+    /// every rank from the allgathered sizes, so the collective needs no
+    /// extra exchange beyond `create`'s.
+    pub fn allocate_shared(comm: &Comm, local_size: usize) -> WinHandle {
+        let id = if comm.rank() == 0 {
+            Some(comm.shared.alloc_win_id())
+        } else {
+            None
+        };
+        let id = comm.bcast_u64(0, id);
+        let sizes: Vec<usize> = comm
+            .allgather_u64(local_size as u64)
+            .into_iter()
+            .map(|s| s as usize)
+            .collect();
+        let plat = comm.platform();
+        let node: Vec<usize> = (0..comm.size())
+            .map(|r| plat.node_of(comm.world_rank_of(r)))
+            .collect();
+        // Deterministic carve: slabs in node first-appearance order,
+        // sections appended in window-rank order, cache-line aligned.
+        let mut slab_sizes: Vec<(usize, usize)> = Vec::new(); // (node, bytes)
+        let mut place = Vec::with_capacity(sizes.len());
+        for (r, &sz) in sizes.iter().enumerate() {
+            let si = match slab_sizes.iter().position(|&(n, _)| n == node[r]) {
+                Some(i) => i,
+                None => {
+                    slab_sizes.push((node[r], 0));
+                    slab_sizes.len() - 1
+                }
+            };
+            place.push((si, slab_sizes[si].1));
+            slab_sizes[si].1 += sz.next_multiple_of(SHM_ALIGN);
+        }
+        let inner = {
+            let mut wins = comm.shared.wins.write();
+            Arc::clone(wins.entry(id).or_insert_with(|| {
+                Arc::new(WinInner {
+                    id,
+                    backing: Backing::Shared(ShmBacking {
+                        slabs: slab_sizes.iter().map(|&(_, b)| NodeSlab::new(b)).collect(),
+                        place,
+                        node,
+                    }),
+                    locks: sizes.iter().map(|_| TargetLock::new()).collect(),
+                    sizes,
+                    freed: AtomicBool::new(false),
+                })
+            }))
+        };
+        Self::from_inner(comm, inner)
+    }
+
+    fn from_inner(comm: &Comm, inner: Arc<WinInner>) -> WinHandle {
         WinHandle {
             shared: Arc::clone(&comm.shared),
             inner,
@@ -619,15 +787,11 @@ impl WinHandle {
         }
         self.admit(target, tdisp, tdt, OpKind::Write)?;
         let pairs = zip_segments(odt, tdt)?;
-        let mem = &self.inner.mem[target];
-        {
-            let _io = mem.io.lock();
-            // Safety: `io` serialises all byte movement on this rank's slice.
-            let dst = unsafe { &mut *mem.buf.get() };
+        self.inner.section(target).with_mut(|dst| {
             for (ooff, toff, len) in &pairs {
                 dst[tdisp + toff..tdisp + toff + len].copy_from_slice(&origin[*ooff..*ooff + *len]);
             }
-        }
+        });
         let issued = self.bump_issued(target);
         let nsegs = odt.num_segments().max(tdt.num_segments());
         let cached = nsegs > 1 && self.dtype_commit(odt, tdt);
@@ -668,14 +832,11 @@ impl WinHandle {
         }
         self.admit(target, tdisp, tdt, OpKind::Read)?;
         let pairs = zip_segments(odt, tdt)?;
-        let mem = &self.inner.mem[target];
-        {
-            let _io = mem.io.lock();
-            let src = unsafe { &*mem.buf.get() };
+        self.inner.section(target).with(|src| {
             for (ooff, toff, len) in &pairs {
                 origin[*ooff..*ooff + *len].copy_from_slice(&src[tdisp + toff..tdisp + toff + len]);
             }
-        }
+        });
         let issued = self.bump_issued(target);
         let nsegs = odt.num_segments().max(tdt.num_segments());
         let cached = nsegs > 1 && self.dtype_commit(odt, tdt);
@@ -754,10 +915,7 @@ impl WinHandle {
             staged[w..w + len].copy_from_slice(&origin[off..off + len]);
             w += len;
         }
-        let mem = &self.inner.mem[target];
-        {
-            let _io = mem.io.lock();
-            let dst = unsafe { &mut *mem.buf.get() };
+        self.inner.section(target).with_mut(|dst| {
             let mut s = 0usize;
             for &(toff, len) in &tsegs {
                 apply_acc(
@@ -768,7 +926,7 @@ impl WinHandle {
                 );
                 s += len;
             }
-        }
+        });
         let issued = self.bump_issued(target);
         let nsegs = odt.num_segments().max(tdt.num_segments());
         let cached = nsegs > 1 && self.dtype_commit(odt, tdt);
@@ -813,21 +971,18 @@ impl WinHandle {
     /// Moves put bytes for a queued (scheduler-deferred) operation.
     pub fn stage_put_bytes(&self, origin: &[u8], target: usize, tdisp: usize) -> MpiResult<()> {
         self.stage_check(target, tdisp, origin.len())?;
-        let mem = &self.inner.mem[target];
-        let _io = mem.io.lock();
-        // Safety: `io` serialises all byte movement on this rank's slice.
-        let dst = unsafe { &mut *mem.buf.get() };
-        dst[tdisp..tdisp + origin.len()].copy_from_slice(origin);
+        self.inner
+            .section(target)
+            .with_mut(|dst| dst[tdisp..tdisp + origin.len()].copy_from_slice(origin));
         Ok(())
     }
 
     /// Moves get bytes for a queued (scheduler-deferred) operation.
     pub fn stage_get_bytes(&self, origin: &mut [u8], target: usize, tdisp: usize) -> MpiResult<()> {
         self.stage_check(target, tdisp, origin.len())?;
-        let mem = &self.inner.mem[target];
-        let _io = mem.io.lock();
-        let src = unsafe { &*mem.buf.get() };
-        origin.copy_from_slice(&src[tdisp..tdisp + origin.len()]);
+        self.inner
+            .section(target)
+            .with(|src| origin.copy_from_slice(&src[tdisp..tdisp + origin.len()]));
         Ok(())
     }
 
@@ -850,10 +1005,9 @@ impl WinHandle {
             )));
         }
         self.stage_check(target, tdisp, origin.len())?;
-        let mem = &self.inner.mem[target];
-        let _io = mem.io.lock();
-        let dst = unsafe { &mut *mem.buf.get() };
-        apply_acc(&mut dst[tdisp..tdisp + origin.len()], origin, elem, op);
+        self.inner
+            .section(target)
+            .with_mut(|dst| apply_acc(&mut dst[tdisp..tdisp + origin.len()], origin, elem, op));
         Ok(())
     }
 
@@ -909,6 +1063,240 @@ impl WinHandle {
     }
 
     // ------------------------------------------------------------------
+    // Shared-memory fast path
+    // ------------------------------------------------------------------
+    //
+    // Windows created with `allocate_shared` expose intra-node peers'
+    // sections directly: `shared_query` returns a load/store handle, and
+    // the `shm_*` movers run whole RMA-shaped operations as node-local
+    // copies priced by the platform's `ShmParams` tier instead of the NIC
+    // model. Epoch discipline is unchanged — the movers go through the
+    // same `admit` as the wire path — but there is no per-message wire
+    // latency, no pipelining credit, and no datatype pack cost: a
+    // non-contiguous shape is just more `memcpy` segments.
+
+    fn shm_params(&self) -> &simnet::ShmParams {
+        &self.shared.cfg.platform.shm
+    }
+
+    /// Was this window created with [`WinHandle::allocate_shared`]?
+    pub fn is_shared_backed(&self) -> bool {
+        matches!(self.inner.backing, Backing::Shared(_))
+    }
+
+    /// Can `target` be reached through a node-local slab (shared-backed
+    /// window *and* same node as the caller)? This is the route predicate
+    /// the transfer engine consults at plan time.
+    pub fn shm_reachable(&self, target: usize) -> bool {
+        match &self.inner.backing {
+            Backing::Shared(shm) => {
+                target < shm.node.len() && shm.node[target] == shm.node[self.comm.rank()]
+            }
+            Backing::PerRank(_) => false,
+        }
+    }
+
+    /// `MPI_Win_shared_query`: a load/store handle on `rank`'s section of
+    /// the node slab. Errors with [`MpiError::ShmUnavailable`] when the
+    /// window is not shared-backed or `rank` lives on another node.
+    pub fn shared_query(&self, rank: usize) -> MpiResult<ShmSection> {
+        self.check_alive()?;
+        if rank >= self.inner.sizes.len() {
+            return Err(MpiError::BadRank {
+                rank,
+                size: self.inner.sizes.len(),
+            });
+        }
+        if !self.shm_reachable(rank) {
+            return Err(MpiError::ShmUnavailable { target: rank });
+        }
+        Ok(ShmSection {
+            inner: Arc::clone(&self.inner),
+            rank,
+        })
+    }
+
+    /// `MPI_Win_sync`: synchronises the private and public window copies
+    /// under the separate-memory model. Load/store access to a peer's
+    /// section is only well-defined between a `win_sync` and the close of
+    /// the surrounding epoch — the epoch auditor enforces exactly this.
+    /// Requires an open epoch (lock, lock_all, or fence) on the handle.
+    pub fn win_sync(&self) -> MpiResult<()> {
+        self.check_alive()?;
+        if self.epochs.borrow().is_empty()
+            && !self.lock_all_active.get()
+            && !self.active_epoch.get()
+        {
+            return Err(MpiError::NoEpoch { target: usize::MAX });
+        }
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.charge(self.shm_params().win_sync);
+        if obs::enabled() {
+            obs::instant_at(obs::EventKind::WinSync { win: self.inner.id }, self.vt());
+        }
+        Ok(())
+    }
+
+    /// Records a shared-memory access event at the current virtual time.
+    fn note_shm(&self, write: bool, target: usize, bytes: usize) {
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::ShmAccess {
+                    win: self.inner.id,
+                    target: target as u32,
+                    write,
+                    bytes: bytes as u64,
+                },
+                self.vt(),
+            );
+        }
+    }
+
+    /// Shared-memory put: same validation and epoch admission as
+    /// [`WinHandle::put`], but the bytes move as a node-local copy and the
+    /// returned (uncharged) cost comes from the platform's shm tier.
+    pub fn shm_put(
+        &self,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+    ) -> MpiResult<f64> {
+        self.check_alive()?;
+        if !self.shm_reachable(target) {
+            return Err(MpiError::ShmUnavailable { target });
+        }
+        if odt.extent() > origin.len() {
+            return Err(MpiError::BadDatatype(format!(
+                "origin datatype extent {} exceeds buffer {}",
+                odt.extent(),
+                origin.len()
+            )));
+        }
+        self.admit(target, tdisp, tdt, OpKind::Write)?;
+        let pairs = zip_segments(odt, tdt)?;
+        self.inner.section(target).with_mut(|dst| {
+            for (ooff, toff, len) in &pairs {
+                dst[tdisp + toff..tdisp + toff + len].copy_from_slice(&origin[*ooff..*ooff + *len]);
+            }
+        });
+        let nsegs = odt.num_segments().max(tdt.num_segments());
+        self.note_shm(true, target, odt.size());
+        Ok(self
+            .shm_params()
+            .op_cost(simnet::Op::Put, odt.size(), nsegs))
+    }
+
+    /// Shared-memory get; see [`WinHandle::shm_put`].
+    pub fn shm_get(
+        &self,
+        origin: &mut [u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+    ) -> MpiResult<f64> {
+        self.check_alive()?;
+        if !self.shm_reachable(target) {
+            return Err(MpiError::ShmUnavailable { target });
+        }
+        if odt.extent() > origin.len() {
+            return Err(MpiError::BadDatatype(format!(
+                "origin datatype extent {} exceeds buffer {}",
+                odt.extent(),
+                origin.len()
+            )));
+        }
+        self.admit(target, tdisp, tdt, OpKind::Read)?;
+        let pairs = zip_segments(odt, tdt)?;
+        self.inner.section(target).with(|src| {
+            for (ooff, toff, len) in &pairs {
+                origin[*ooff..*ooff + *len].copy_from_slice(&src[tdisp + toff..tdisp + toff + len]);
+            }
+        });
+        let nsegs = odt.num_segments().max(tdt.num_segments());
+        self.note_shm(false, target, odt.size());
+        Ok(self
+            .shm_params()
+            .op_cost(simnet::Op::Get, odt.size(), nsegs))
+    }
+
+    /// Shared-memory accumulate; see [`WinHandle::shm_put`]. The combine
+    /// runs under the slab's I/O lock, so same-type-and-op concurrent
+    /// accumulates from node peers remain element-atomic exactly like the
+    /// wire path.
+    #[allow(clippy::too_many_arguments)] // mirrors MPI_Accumulate's signature
+    pub fn shm_acc(
+        &self,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+        elem: ElemType,
+        op: AccOp,
+    ) -> MpiResult<f64> {
+        self.check_alive()?;
+        if !self.shm_reachable(target) {
+            return Err(MpiError::ShmUnavailable { target });
+        }
+        let es = elem.size();
+        if !odt.size().is_multiple_of(es) {
+            return Err(MpiError::BadDatatype(format!(
+                "accumulate of {} bytes not a multiple of element size {es}",
+                odt.size()
+            )));
+        }
+        if odt.extent() > origin.len() {
+            return Err(MpiError::BadDatatype(format!(
+                "origin datatype extent {} exceeds buffer {}",
+                odt.extent(),
+                origin.len()
+            )));
+        }
+        self.admit(target, tdisp, tdt, OpKind::Acc(elem, op))?;
+        let osegs = odt.segments();
+        let tsegs = tdt.segments();
+        for &(_, len) in &tsegs {
+            if len % es != 0 {
+                return Err(MpiError::BadDatatype(format!(
+                    "target segment of {len} bytes not element-aligned (elem {es})"
+                )));
+            }
+        }
+        if odt.size() != tdt.size() {
+            return Err(MpiError::TypeMismatch {
+                origin_bytes: odt.size(),
+                target_bytes: tdt.size(),
+            });
+        }
+        let mut staged = self.pool.take(odt.size());
+        let mut w = 0usize;
+        for &(off, len) in &osegs {
+            staged[w..w + len].copy_from_slice(&origin[off..off + len]);
+            w += len;
+        }
+        self.inner.section(target).with_mut(|dst| {
+            let mut s = 0usize;
+            for &(toff, len) in &tsegs {
+                apply_acc(
+                    &mut dst[tdisp + toff..tdisp + toff + len],
+                    &staged[s..s + len],
+                    elem,
+                    op,
+                );
+                s += len;
+            }
+        });
+        let nsegs = odt.num_segments().max(tdt.num_segments());
+        self.note_shm(true, target, odt.size());
+        Ok(self
+            .shm_params()
+            .op_cost(simnet::Op::Acc, odt.size(), nsegs))
+    }
+
+    // ------------------------------------------------------------------
     // Local access
     // ------------------------------------------------------------------
 
@@ -929,10 +1317,7 @@ impl WinHandle {
                 self.vt(),
             );
         }
-        let mem = &self.inner.mem[me];
-        let _io = mem.io.lock();
-        let buf = unsafe { &*mem.buf.get() };
-        Ok(f(buf))
+        Ok(self.inner.section(me).with(f))
     }
 
     /// Mutable access to this rank's own window slice. Requires an
@@ -958,10 +1343,7 @@ impl WinHandle {
                 self.vt(),
             );
         }
-        let mem = &self.inner.mem[me];
-        let _io = mem.io.lock();
-        let buf = unsafe { &mut *mem.buf.get() };
-        Ok(f(buf))
+        Ok(self.inner.section(me).with_mut(f))
     }
 
     // ------------------------------------------------------------------
@@ -998,10 +1380,12 @@ impl WinHandle {
         Ok(())
     }
 
-    /// Direct raw access for the MPI-3 extension module.
-    pub(crate) fn raw_mem(&self, target: usize) -> (&Mutex<()>, *mut Box<[u8]>) {
-        let mem = &self.inner.mem[target];
-        (&mem.io, mem.buf.get())
+    /// Direct raw access for the MPI-3 extension module: the I/O mutex,
+    /// the backing allocation, and the byte offset of `target`'s section
+    /// within it (non-zero for shared-backed windows).
+    pub(crate) fn raw_mem(&self, target: usize) -> (&Mutex<()>, *mut Box<[u8]>, usize) {
+        let sec = self.inner.section(target);
+        (sec.io, sec.buf, sec.off)
     }
 
     pub(crate) fn target_lock(&self, target: usize) -> &impl LockOps {
@@ -1021,6 +1405,107 @@ impl LockOps for TargetLock {
     }
     fn release(&self, mode: LockMode) {
         TargetLock::release(self, mode)
+    }
+}
+
+/// Load/store handle on a same-node peer's window section, returned by
+/// [`WinHandle::shared_query`]. Models the base pointer
+/// `MPI_Win_shared_query` hands back: accesses are plain memory operations
+/// on the node slab (serialised by the slab's I/O lock so the simulator
+/// stays race-free even for programs that skip `win_sync`).
+///
+/// The handle keeps the window's backing alive, but honours `free`: any
+/// access after the window was collectively freed returns
+/// [`MpiError::WinFreed`] instead of touching a stale section — teardown
+/// never turns into a wild pointer dereference.
+pub struct ShmSection {
+    inner: Arc<WinInner>,
+    rank: usize,
+}
+
+impl std::fmt::Debug for ShmSection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShmSection")
+            .field("win", &self.inner.id)
+            .field("rank", &self.rank)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl ShmSection {
+    /// The window rank whose section this is.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Section length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.sizes[self.rank]
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Byte offset of this section within its node slab — the simulated
+    /// analogue of the base-pointer arithmetic real `shared_query` users
+    /// do.
+    pub fn slab_offset(&self) -> usize {
+        match &self.inner.backing {
+            Backing::Shared(shm) => shm.place[self.rank].1,
+            Backing::PerRank(_) => unreachable!("ShmSection only exists for shared backings"),
+        }
+    }
+
+    fn check(&self, disp: usize, len: usize) -> MpiResult<()> {
+        if self.inner.freed.load(Ordering::Acquire) {
+            return Err(MpiError::WinFreed);
+        }
+        let size = self.inner.sizes[self.rank];
+        if disp + len > size {
+            return Err(MpiError::OutOfBounds {
+                target: self.rank,
+                disp,
+                len,
+                size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Load `dst.len()` bytes from offset `disp` of the section.
+    pub fn load(&self, disp: usize, dst: &mut [u8]) -> MpiResult<()> {
+        self.check(disp, dst.len())?;
+        self.inner
+            .section(self.rank)
+            .with(|src| dst.copy_from_slice(&src[disp..disp + dst.len()]));
+        if obs::enabled() {
+            obs::instant(obs::EventKind::ShmAccess {
+                win: self.inner.id,
+                target: self.rank as u32,
+                write: false,
+                bytes: dst.len() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Store `src` at offset `disp` of the section.
+    pub fn store(&self, disp: usize, src: &[u8]) -> MpiResult<()> {
+        self.check(disp, src.len())?;
+        self.inner
+            .section(self.rank)
+            .with_mut(|dst| dst[disp..disp + src.len()].copy_from_slice(src));
+        if obs::enabled() {
+            obs::instant(obs::EventKind::ShmAccess {
+                win: self.inner.id,
+                target: self.rank as u32,
+                write: true,
+                bytes: src.len() as u64,
+            });
+        }
+        Ok(())
     }
 }
 

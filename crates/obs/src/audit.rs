@@ -25,6 +25,11 @@
 //! * **FlushOutsideEpoch** — an MPI-3 `flush` of a (window, target) with
 //!   no lock or `lock_all` epoch covering it (flush requires a passive
 //!   epoch; MPI calls it erroneous otherwise).
+//! * **ShmCoherence** — a shared-memory load/store of a peer's window
+//!   section outside the separate-memory-model discipline: shm accesses
+//!   are legal inside an `ARMCI_Access_begin/end` region, or under an
+//!   epoch *after* an `MPI_Win_sync` on that window; closing any epoch on
+//!   the window revokes the synced state until the next `win_sync`.
 //!
 //! The coalescing scheduler's **coarsened epochs** are legal by
 //! construction under these rules: one `lock`/`lock_all` covering many
@@ -48,6 +53,7 @@ pub enum Rule {
     StagingWhileLocked,
     OpOutsideEpoch,
     FlushOutsideEpoch,
+    ShmCoherence,
 }
 
 impl Rule {
@@ -59,6 +65,7 @@ impl Rule {
             Rule::StagingWhileLocked => "staging-while-locked",
             Rule::OpOutsideEpoch => "op-outside-epoch",
             Rule::FlushOutsideEpoch => "flush-outside-epoch",
+            Rule::ShmCoherence => "shm-coherence",
         }
     }
 }
@@ -98,6 +105,16 @@ struct RankState {
     lock_all: HashSet<u64>,
     fence: HashSet<u64>,
     dla_depth: HashMap<u64, u32>,
+    /// Windows where a `win_sync` has been seen under a still-open epoch.
+    synced: HashSet<u64>,
+}
+
+impl RankState {
+    fn epoch_on(&self, win: &u64) -> bool {
+        self.lock_all.contains(win)
+            || self.fence.contains(win)
+            || self.held.keys().any(|(w, _)| w == win)
+    }
 }
 
 /// Replay `events` and return every invariant violation found.
@@ -153,6 +170,7 @@ pub fn audit(events: &[Event]) -> Vec<Violation> {
                         format!("unlock on win {win} target {target} with no matching lock"),
                     );
                 }
+                st.synced.remove(win);
             }
             EventKind::LockAll { win } => {
                 if st.lock_all.contains(win) {
@@ -175,6 +193,7 @@ pub fn audit(events: &[Event]) -> Vec<Violation> {
                         format!("unlock_all on win {win} with no matching lock_all"),
                     );
                 }
+                st.synced.remove(win);
             }
             EventKind::FenceBegin { win } => {
                 st.fence.insert(*win);
@@ -186,6 +205,7 @@ pub fn audit(events: &[Event]) -> Vec<Violation> {
                         format!("fence end on win {win} with no matching fence begin"),
                     );
                 }
+                st.synced.remove(win);
             }
             EventKind::NbEpochOpen { win, target } => {
                 if let Some(h) = st.held.get_mut(&(*win, *target)) {
@@ -260,6 +280,35 @@ pub fn audit(events: &[Event]) -> Vec<Violation> {
                         format!(
                             "rma {} on win {win} target {target} with no covering epoch",
                             kind.name(),
+                        ),
+                    );
+                }
+            }
+            EventKind::WinSync { win } => {
+                if st.epoch_on(win) {
+                    st.synced.insert(*win);
+                } else {
+                    flag(
+                        Rule::ShmCoherence,
+                        format!("win_sync on win {win} outside any epoch"),
+                    );
+                }
+            }
+            EventKind::ShmAccess {
+                win,
+                target,
+                write,
+                bytes,
+            } => {
+                let in_dla = st.dla_depth.get(win).copied().unwrap_or(0) > 0;
+                let synced = st.epoch_on(win) && st.synced.contains(win);
+                if !in_dla && !synced {
+                    flag(
+                        Rule::ShmCoherence,
+                        format!(
+                            "shm {} of {bytes} B on win {win} target {target} outside \
+                             win_sync coherence (no access region, no synced epoch)",
+                            if *write { "store" } else { "load" },
                         ),
                     );
                 }
@@ -514,6 +563,142 @@ mod tests {
         let v = audit(&bad);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::FlushOutsideEpoch);
+    }
+
+    #[test]
+    fn shm_access_needs_win_sync_coherence() {
+        use EventKind::*;
+        // Legal: lock → win_sync → load/store → release.
+        let ok = vec![
+            ev(
+                0,
+                0.0,
+                LockAcquire {
+                    win: 6,
+                    target: 1,
+                    exclusive: true,
+                },
+            ),
+            ev(0, 0.1, WinSync { win: 6 }),
+            ev(
+                0,
+                0.2,
+                ShmAccess {
+                    win: 6,
+                    target: 1,
+                    write: true,
+                    bytes: 64,
+                },
+            ),
+            ev(0, 0.3, LockRelease { win: 6, target: 1 }),
+        ];
+        assert!(audit(&ok).is_empty());
+        // Legal: inside an access region (DLA owns the coherence).
+        let dla = vec![
+            ev(
+                0,
+                0.0,
+                LockAcquire {
+                    win: 6,
+                    target: 0,
+                    exclusive: true,
+                },
+            ),
+            ev(
+                0,
+                0.1,
+                DlaBegin {
+                    win: 6,
+                    exclusive: true,
+                },
+            ),
+            ev(
+                0,
+                0.2,
+                ShmAccess {
+                    win: 6,
+                    target: 1,
+                    write: false,
+                    bytes: 8,
+                },
+            ),
+            ev(0, 0.3, DlaEnd { win: 6 }),
+            ev(0, 0.4, LockRelease { win: 6, target: 0 }),
+        ];
+        assert!(audit(&dla).is_empty());
+        // Seeded: load under an epoch but before any win_sync.
+        let unsynced = vec![
+            ev(
+                0,
+                0.0,
+                LockAcquire {
+                    win: 6,
+                    target: 1,
+                    exclusive: true,
+                },
+            ),
+            ev(
+                0,
+                0.1,
+                ShmAccess {
+                    win: 6,
+                    target: 1,
+                    write: false,
+                    bytes: 8,
+                },
+            ),
+            ev(0, 0.2, LockRelease { win: 6, target: 1 }),
+        ];
+        let v = audit(&unsynced);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ShmCoherence);
+    }
+
+    #[test]
+    fn epoch_close_revokes_shm_sync() {
+        use EventKind::*;
+        // win_sync in epoch 1 does not cover an access in epoch 2.
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                LockAcquire {
+                    win: 6,
+                    target: 1,
+                    exclusive: true,
+                },
+            ),
+            ev(0, 0.1, WinSync { win: 6 }),
+            ev(0, 0.2, LockRelease { win: 6, target: 1 }),
+            ev(
+                0,
+                0.3,
+                LockAcquire {
+                    win: 6,
+                    target: 1,
+                    exclusive: true,
+                },
+            ),
+            ev(
+                0,
+                0.4,
+                ShmAccess {
+                    win: 6,
+                    target: 1,
+                    write: true,
+                    bytes: 16,
+                },
+            ),
+            ev(0, 0.5, LockRelease { win: 6, target: 1 }),
+        ];
+        let v = audit(&events);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ShmCoherence);
+        // win_sync entirely outside an epoch is itself flagged.
+        let bare = vec![ev(0, 0.0, WinSync { win: 6 })];
+        let v = audit(&bare);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ShmCoherence);
     }
 
     #[test]

@@ -248,6 +248,28 @@ fn describe(e: &Event) -> (String, &'static str, Phase, Vec<(String, Value)>) {
                 ("hit".into(), Value::Bool(*hit)),
             ],
         ),
+        WinSync { win } => (
+            format!("win_sync:w{win}"),
+            "shm",
+            Phase::Instant,
+            vec![("win".into(), uval(*win))],
+        ),
+        ShmAccess {
+            win,
+            target,
+            write,
+            bytes,
+        } => (
+            if *write { "shm:store" } else { "shm:load" }.into(),
+            "shm",
+            Phase::Instant,
+            vec![
+                ("win".into(), uval(*win)),
+                ("target".into(), uval(u64::from(*target))),
+                ("write".into(), Value::Bool(*write)),
+                ("bytes".into(), uval(*bytes)),
+            ],
+        ),
     }
 }
 

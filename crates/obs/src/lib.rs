@@ -195,6 +195,22 @@ pub enum EventKind {
         win: u64,
         hit: bool,
     },
+    /// `MPI_Win_sync` on a window: the separate-memory-model barrier that
+    /// makes prior remote stores visible to subsequent load/store and
+    /// vice versa. Load/store of a peer's shared section is only coherent
+    /// between a `WinSync` and the close of the covering epoch.
+    WinSync {
+        win: u64,
+    },
+    /// An intra-node load/store of a shared-window section (the shm fast
+    /// path or a `shared_query` view): `target` is the section's owner.
+    /// Must sit inside a `Win_sync`'d epoch or a DLA region.
+    ShmAccess {
+        win: u64,
+        target: u32,
+        write: bool,
+        bytes: u64,
+    },
 }
 
 /// One recorded event. `ts`/`dur` are virtual seconds; `dur` is zero for

@@ -235,6 +235,15 @@ impl Registry {
                 DtypeCommit { hit, .. } => {
                     reg.bump(if *hit { "dtype.hits" } else { "dtype.misses" }, 1)
                 }
+                WinSync { .. } => reg.bump("shm.syncs", 1),
+                ShmAccess {
+                    win, write, bytes, ..
+                } => {
+                    reg.bump("shm.hits", 1);
+                    reg.bump(if *write { "shm.stores" } else { "shm.loads" }, 1);
+                    reg.bump("shm.bypass_bytes", *bytes);
+                    reg.bump(&format!("win.{win}.shm_bytes"), *bytes);
+                }
             }
         }
         reg
@@ -327,6 +336,16 @@ impl Registry {
                 self.counter("sched.epochs_saved"),
                 self.counter("sched.segs_in"),
                 self.counter("sched.segs_out"),
+            ));
+        }
+        if self.counter("shm.hits") > 0 {
+            out.push_str(&format!(
+                "  shm    : {} intra-node accesses ({} loads / {} stores), {} bypassed, {} syncs\n",
+                self.counter("shm.hits"),
+                self.counter("shm.loads"),
+                self.counter("shm.stores"),
+                bytes_h(self.counter("shm.bypass_bytes")),
+                self.counter("shm.syncs"),
             ));
         }
         let dtype_total = self.counter("dtype.hits") + self.counter("dtype.misses");

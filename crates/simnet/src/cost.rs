@@ -95,6 +95,46 @@ pub struct BackendParams {
     pub acc_combine_rate: f64,
 }
 
+/// Intra-node tier of the two-tier cost model: transfers between ranks
+/// on one node move through a `Win_allocate_shared` slab by load/store
+/// instead of NIC RMA, so they are priced as memcpy plus a slab-lock
+/// round trip rather than with [`BackendParams`] wire parameters.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShmParams {
+    /// Contiguous copy through the shared slab (alpha is the per-op cost
+    /// of the route decision + cacheline handoff, peak the single-core
+    /// memcpy rate).
+    pub copy: LinkParams,
+    /// Element-wise accumulate into the slab: a read-modify-write stream
+    /// at CPU rate, slower than plain memcpy.
+    pub acc: LinkParams,
+    /// One `MPI_Win_sync` (memory barrier + bookkeeping) under the
+    /// separate-memory model.
+    pub win_sync: f64,
+    /// Acquire + release of the slab lock covering the target section
+    /// (the shared window's lock discipline; replaces `epoch_overhead`).
+    pub lock_overhead: f64,
+}
+
+impl ShmParams {
+    /// Link parameters for `op`: accumulates pay the RMW stream rate,
+    /// gets and puts the plain copy rate.
+    pub fn link(&self, op: Op) -> &LinkParams {
+        match op {
+            Op::Get | Op::Put => &self.copy,
+            Op::Acc => &self.acc,
+        }
+    }
+
+    /// Virtual time of one intra-node transfer of `bytes` in `nsegs`
+    /// pieces under an already-held slab lock: each segment restarts the
+    /// copy loop, so alpha is paid per segment, bandwidth once.
+    pub fn op_cost(&self, op: Op, bytes: usize, nsegs: usize) -> f64 {
+        let link = self.link(op);
+        nsegs.max(1) as f64 * link.alpha + bytes as f64 / link.effective_peak(bytes)
+    }
+}
+
 impl BackendParams {
     /// Link parameters for `op`.
     pub fn link(&self, op: Op) -> &LinkParams {

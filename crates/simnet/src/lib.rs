@@ -33,7 +33,7 @@ pub mod pool;
 pub mod registration;
 
 pub use clock::VClock;
-pub use cost::{BackendParams, LinkParams, Op, StridedMethodCost};
+pub use cost::{BackendParams, LinkParams, Op, ShmParams, StridedMethodCost};
 pub use platform::{ComputeParams, Platform, PlatformId};
 pub use pool::{BufferPool, PoolBuf, PoolStats, RegistrationPolicy};
 pub use registration::{BufferKind, RegParams, RegistrationTracker};

@@ -17,7 +17,7 @@
 //! * **Cray XE6** — the native port is a development release: MPI achieves
 //!   roughly 2× native bandwidth for put/get and ~25% more for acc.
 
-use crate::cost::{BackendParams, LinkParams};
+use crate::cost::{BackendParams, LinkParams, ShmParams};
 use crate::registration::RegParams;
 use serde::Serialize;
 
@@ -86,6 +86,9 @@ pub struct Platform {
     pub mpi_version: &'static str,
     pub native: BackendParams,
     pub mpi: BackendParams,
+    /// Intra-node shared-memory tier (load/store through a
+    /// `Win_allocate_shared` slab); see [`ShmParams`].
+    pub shm: ShmParams,
     pub reg: RegParams,
     pub compute: ComputeParams,
 }
@@ -94,6 +97,20 @@ impl Platform {
     /// Cores per node.
     pub fn cores_per_node(&self) -> u32 {
         self.sockets_per_node * self.cores_per_socket
+    }
+
+    /// Node hosting `rank` under the dense block mapping the schedulers
+    /// on every Table II system use (ranks 0..cores_per_node on node 0,
+    /// the next block on node 1, ...). This is the single authoritative
+    /// rank → node mapping; call sites must not re-derive it by hand.
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.cores_per_node() as usize
+    }
+
+    /// Whether two ranks share a node (and therefore a shared-memory
+    /// window slab).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
     }
 
     /// Looks up a platform by id.
@@ -181,6 +198,15 @@ fn blue_gene_p() -> Platform {
         rmw_latency: 5.0e-6,
         acc_combine_rate: 0.5e9,
     };
+    // 850 MHz PPC450: memcpy well under 2 GB/s, but still far above the
+    // 0.34 GB/s torus links, and the per-op alpha is an order of
+    // magnitude below the wire latencies.
+    let shm = ShmParams {
+        copy: LinkParams::new(0.30e-6, 1.6e9),
+        acc: LinkParams::new(0.35e-6, 0.7e9),
+        win_sync: 0.15e-6,
+        lock_overhead: 0.25e-6,
+    };
     Platform {
         id: PlatformId::BlueGeneP,
         name: PlatformId::BlueGeneP.name(),
@@ -193,6 +219,7 @@ fn blue_gene_p() -> Platform {
         mpi_version: "IBM MPI",
         native,
         mpi,
+        shm,
         reg: reg_trivial(),
         compute: ComputeParams {
             flops_per_core: 2.7e9,
@@ -235,6 +262,14 @@ fn infiniband() -> Platform {
         rmw_latency: 2.5e-6,
         acc_combine_rate: 3.0e9,
     };
+    // Nehalem-class cores: single-core memcpy near the 4.5 GB/s copy
+    // rate the registration model already uses, sub-microsecond handoff.
+    let shm = ShmParams {
+        copy: LinkParams::new(0.12e-6, 4.8e9),
+        acc: LinkParams::new(0.15e-6, 2.4e9),
+        win_sync: 0.08e-6,
+        lock_overhead: 0.15e-6,
+    };
     Platform {
         id: PlatformId::InfiniBandCluster,
         name: PlatformId::InfiniBandCluster.name(),
@@ -247,6 +282,7 @@ fn infiniband() -> Platform {
         mpi_version: "MVAPICH2 1.6",
         native,
         mpi,
+        shm,
         reg: RegParams {
             bounce_threshold: 8 << 10,
             copy_rate: 4.5e9,
@@ -297,6 +333,14 @@ fn cray_xt5() -> Platform {
         rmw_latency: 5.5e-6,
         acc_combine_rate: 3.0e9,
     };
+    // Istanbul Opterons: NUMA hop keeps the effective single-core copy
+    // rate a bit under the Nehalem cluster's.
+    let shm = ShmParams {
+        copy: LinkParams::new(0.15e-6, 4.2e9),
+        acc: LinkParams::new(0.18e-6, 2.0e9),
+        win_sync: 0.10e-6,
+        lock_overhead: 0.18e-6,
+    };
     Platform {
         id: PlatformId::CrayXT5,
         name: PlatformId::CrayXT5.name(),
@@ -309,6 +353,7 @@ fn cray_xt5() -> Platform {
         mpi_version: "Cray MPI",
         native,
         mpi,
+        shm,
         reg: reg_trivial(),
         compute: ComputeParams {
             flops_per_core: 9.2e9,
@@ -351,6 +396,13 @@ fn cray_xe6() -> Platform {
         // MPI-over-native acc advantage visible end to end).
         acc_combine_rate: 30e9,
     };
+    // Magny-Cours: 24 cores over 4 NUMA dies, strong aggregate copy rate.
+    let shm = ShmParams {
+        copy: LinkParams::new(0.12e-6, 5.2e9),
+        acc: LinkParams::new(0.15e-6, 2.4e9),
+        win_sync: 0.08e-6,
+        lock_overhead: 0.15e-6,
+    };
     Platform {
         id: PlatformId::CrayXE6,
         name: PlatformId::CrayXE6.name(),
@@ -363,6 +415,7 @@ fn cray_xe6() -> Platform {
         mpi_version: "Cray MPI",
         native,
         mpi,
+        shm,
         reg: reg_trivial(),
         compute: ComputeParams {
             flops_per_core: 8.4e9,
@@ -432,5 +485,35 @@ mod tests {
     #[test]
     fn all_returns_four_platforms() {
         assert_eq!(Platform::all().len(), 4);
+    }
+
+    #[test]
+    fn node_of_is_block_mapping() {
+        let ib = Platform::get(PlatformId::InfiniBandCluster); // 8 cores/node
+        assert_eq!(ib.node_of(0), 0);
+        assert_eq!(ib.node_of(7), 0);
+        assert_eq!(ib.node_of(8), 1);
+        assert!(ib.same_node(0, 7));
+        assert!(!ib.same_node(7, 8));
+        let bgp = Platform::get(PlatformId::BlueGeneP); // 4 cores/node
+        assert_eq!(bgp.node_of(5), 1);
+    }
+
+    #[test]
+    fn shm_tier_strictly_cheaper_than_wire_rma() {
+        use crate::cost::Op;
+        for p in Platform::all() {
+            for op in [Op::Get, Op::Put, Op::Acc] {
+                for bytes in [8usize, 1 << 10, 1 << 16, BIG] {
+                    let wire = p.mpi.contig_epoch_cost(op, bytes);
+                    let shm = p.shm.lock_overhead + p.shm.op_cost(op, bytes, 1);
+                    assert!(
+                        shm < wire,
+                        "{}: {op:?} {bytes}B shm {shm} !< wire {wire}",
+                        p.name
+                    );
+                }
+            }
+        }
     }
 }

@@ -11,12 +11,27 @@ use scalesim::{simulate, SimConfig};
 use simnet::{Platform, PlatformId};
 
 fn executable_time(nprocs: usize, cfg: CcsdConfig) -> f64 {
+    // One rank per node: the DES profile prices every transfer with the
+    // wire (inter-node) cost model, so the executable run must not slip
+    // its traffic onto the intra-node shared-memory tier.
+    let mut platform = Platform::get(PlatformId::InfiniBandCluster).customized("des-validation");
+    platform.sockets_per_node = 1;
+    platform.cores_per_socket = 1;
     let rcfg = RuntimeConfig {
         semantic_checks: false,
-        ..RuntimeConfig::on_platform(PlatformId::InfiniBandCluster)
+        platform,
+        ..RuntimeConfig::default()
     };
     Runtime::run_with(nprocs, rcfg, move |p| {
-        let rt = ArmciMpi::new(p);
+        // The analytic profile also prices rank-local traffic at wire
+        // rates, so disable the shared-memory tier for the comparison.
+        let rt = ArmciMpi::with_config(
+            p,
+            armci_mpi::Config {
+                shm: false,
+                ..Default::default()
+            },
+        );
         run_ccsd(p, &rt, &cfg).elapsed
     })
     .into_iter()
