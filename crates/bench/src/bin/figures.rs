@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [table2|fig3|fig4|fig5|fig6|pipeline|pool|coalesce|shm|all] [--json DIR]
+//! figures [table2|fig3|fig4|fig5|fig6|pipeline|pool|coalesce|shm|transport|all] [--json DIR]
 //! figures check DIR
 //! ```
 //!
@@ -11,7 +11,7 @@
 //! exits nonzero on drift — CI regenerates the cheap artifacts and runs
 //! it to catch accidental serializer or struct-shape changes.
 
-use bench::{coalesce, fig3, fig4, fig5, fig6r, pipeline, pool, shm, table2, trace};
+use bench::{coalesce, fig3, fig4, fig5, fig6r, pipeline, pool, shm, table2, trace, transport};
 use serde::Value;
 use simnet::PlatformId;
 
@@ -60,6 +60,7 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
             "BENCH_pipeline",
             vec![
                 ("platform", Kind::Str),
+                ("transport", Kind::Str),
                 ("workload", Kind::Str),
                 ("bytes", Kind::UInt),
                 ("segments", Kind::UInt),
@@ -88,6 +89,7 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
             "BENCH_coalesce",
             vec![
                 ("platform", Kind::Str),
+                ("transport", Kind::Str),
                 ("workload", Kind::Str),
                 ("arm", Kind::Str),
                 ("ranks_per_node", Kind::UInt),
@@ -110,6 +112,7 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
             "BENCH_shm",
             vec![
                 ("platform", Kind::Str),
+                ("transport", Kind::Str),
                 ("workload", Kind::Str),
                 ("arm", Kind::Str),
                 ("ranks_per_node", Kind::UInt),
@@ -123,9 +126,27 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
             ],
         ),
         (
+            "BENCH_transport",
+            vec![
+                ("platform", Kind::Str),
+                ("workload", Kind::Str),
+                ("transport", Kind::Str),
+                ("congested", Kind::Bool),
+                ("ranks_per_node", Kind::UInt),
+                ("epochs", Kind::UInt),
+                ("flushes", Kind::UInt),
+                ("offloaded_ops", Kind::UInt),
+                ("fallback_ops", Kind::UInt),
+                ("virtual_s", Kind::Num),
+                ("payload_ok", Kind::Bool),
+                ("energy", Kind::Num),
+            ],
+        ),
+        (
             "BENCH_pool",
             vec![
                 ("platform", Kind::Str),
+                ("transport", Kind::Str),
                 ("backend", Kind::Str),
                 ("workload", Kind::Str),
                 ("phase", Kind::Str),
@@ -191,14 +212,22 @@ fn check(dir: &str) -> usize {
                     complain(format!("{path}[{i}]: unexpected field `{k}`"));
                 }
             }
-            // Every BENCH_* row must say what node layout produced it:
-            // the intra-node shared-memory tier makes numbers meaningless
-            // without the ranks-per-node context.
+            // Every BENCH_* row must say what node layout produced it
+            // (the intra-node shared-memory tier makes numbers
+            // meaningless without the ranks-per-node context) and which
+            // wire backend carried the traffic.
             if name.starts_with("BENCH_") {
                 match entries.iter().find(|(k, _)| k == "ranks_per_node") {
                     Some((_, Value::UInt(n))) if *n >= 1 => {}
                     Some((_, Value::UInt(_))) => {
                         complain(format!("{path}[{i}]: `ranks_per_node` must be >= 1"))
+                    }
+                    _ => {} // missing/mistyped already reported above
+                }
+                match entries.iter().find(|(k, _)| k == "transport") {
+                    Some((_, Value::Str(t))) if !t.is_empty() => {}
+                    Some((_, Value::Str(_))) => {
+                        complain(format!("{path}[{i}]: `transport` must be nonempty"))
                     }
                     _ => {} // missing/mistyped already reported above
                 }
@@ -425,6 +454,19 @@ fn main() {
         }
         dump(
             "BENCH_shm",
+            &serde_json::to_string_pretty(&everything).unwrap(),
+        );
+    }
+    if all || what == "transport" {
+        let mut everything = Vec::new();
+        for id in [PlatformId::InfiniBandCluster, PlatformId::CrayXE6] {
+            eprintln!("[figures] transport: {}", id.name());
+            let rows = transport::generate(id);
+            print!("{}", transport::render(&rows));
+            everything.extend(rows);
+        }
+        dump(
+            "BENCH_transport",
             &serde_json::to_string_pretty(&everything).unwrap(),
         );
     }

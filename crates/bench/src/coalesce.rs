@@ -29,6 +29,8 @@ const ROWS: usize = 64;
 #[derive(Debug, Clone, Serialize)]
 pub struct Row {
     pub platform: PlatformId,
+    /// Wire backend the measurement ran over (see `armci_mpi::transport`).
+    pub transport: &'static str,
     /// `"fig3-strided-mix"` or `"ccsd-proxy"`.
     pub workload: &'static str,
     /// `"blocking-perop"`, `"nb-perop"` or `"nb-coalesced"`.
@@ -165,6 +167,7 @@ fn run_mix(platform: PlatformId, arm: &'static str) -> (Row, Vec<u8>) {
             let t1 = p.clock().now();
             row = Some(Row {
                 platform,
+                transport: rt.transport_name(),
                 workload: "fig3-strided-mix",
                 arm,
                 ranks_per_node: 1,
@@ -218,6 +221,7 @@ fn run_ccsd_arm(platform: PlatformId, arm: &'static str) -> Row {
         let g1 = rt.stage_stats().delta(&g0);
         Row {
             platform,
+            transport: rt.transport_name(),
             workload: "ccsd-proxy",
             arm,
             ranks_per_node: 1,

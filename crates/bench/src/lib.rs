@@ -20,7 +20,10 @@
 //! (`BENCH_coalesce.json`), asserting bit-identical payloads/energies,
 //! and [`shm`] A/B-tests the intra-node shared-memory fast path against
 //! the forced-wire baseline over a ranks-per-node sweep
-//! (`BENCH_shm.json`).
+//! (`BENCH_shm.json`). [`transport`] A/B-tests the pluggable wire
+//! backends — MPI passive-target RMA vs RAMC-style remote memory
+//! channels — with and without the congestion-aware shared-NIC queueing
+//! model (`BENCH_transport.json`).
 //!
 //! The `figures` binary prints each as aligned text and (optionally) JSON.
 //! Bandwidth numbers are **virtual-time** measurements: the operations
@@ -38,6 +41,7 @@ pub mod pool;
 pub mod shm;
 pub mod table2;
 pub mod trace;
+pub mod transport;
 
 /// Runtime configuration for `id` with the ranks spread one per node.
 ///

@@ -23,6 +23,8 @@ pub const BURST: usize = 4;
 #[derive(Debug, Clone, Serialize)]
 pub struct Row {
     pub platform: PlatformId,
+    /// Wire backend the measurement ran over (see `armci_mpi::transport`).
+    pub transport: &'static str,
     /// `"contig-put"`, `"contig-acc"` or `"strided-put"`.
     pub workload: &'static str,
     /// Contiguous: transfer size. Strided: segment size.
@@ -185,6 +187,7 @@ fn row(
     let reg = obs::metrics::Registry::from_events(&obs::take_local());
     Row {
         platform,
+        transport: rt.transport_name(),
         workload,
         bytes,
         segments,

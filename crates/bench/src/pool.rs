@@ -24,6 +24,10 @@ use simnet::{PlatformId, PoolStats};
 #[derive(Debug, Clone, Serialize)]
 pub struct PoolRow {
     pub platform: PlatformId,
+    /// Wire backend the measurement ran over: `"mpi-rma"` for the
+    /// ARMCI-MPI rows, `"native"` for the prepinned native runtime
+    /// (which bypasses the transport layer entirely).
+    pub transport: &'static str,
     /// `"armci-mpi"` (on-demand registration) or `"armci-native"`
     /// (prepinned slab).
     pub backend: &'static str,
@@ -72,6 +76,11 @@ fn row(
 ) -> PoolRow {
     PoolRow {
         platform,
+        transport: if backend == "armci-mpi" {
+            "mpi-rma"
+        } else {
+            "native"
+        },
         backend,
         workload,
         phase,

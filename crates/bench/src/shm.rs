@@ -30,6 +30,8 @@ const RANKS: usize = 8;
 #[derive(Debug, Clone, Serialize)]
 pub struct Row {
     pub platform: PlatformId,
+    /// Wire backend the measurement ran over (see `armci_mpi::transport`).
+    pub transport: &'static str,
     /// `"fig3-mix"` or `"ccsd-proxy"`.
     pub workload: &'static str,
     /// `"shm"` (fast path on) or `"wire"` (forced wire baseline).
@@ -71,6 +73,7 @@ fn arm_cfg(arm: &str) -> Config {
 fn fold(platform: PlatformId, workload: &'static str, arm: &'static str, rpn: u32) -> Row {
     Row {
         platform,
+        transport: "mpi-rma",
         workload,
         arm,
         ranks_per_node: rpn,

@@ -34,24 +34,17 @@ impl ArmciMpi {
         let gmr = gmrs
             .get(&tr.gmr)
             .ok_or_else(|| crate::gmr::gmr_vanished(tr.gmr))?;
-        if self.cfg.epochless {
-            // MPI-3 unified memory model: local access under the
-            // window-wide lock_all epoch, ordered by the win_sync
-            // discipline (the simulator's per-rank I/O lock).
-            self.dla_begin(tr.gmr, true);
-            let res = gmr
-                .win
-                .with_local_mut(|buf| f(&mut buf[tr.disp..tr.disp + len]));
-            self.dla_end(tr.gmr);
-            return res.map_err(ArmciError::from);
-        }
-        gmr.win.lock(LockMode::Exclusive, tr.group_rank)?;
+        // The backend decides whether an exclusive lock is needed or a
+        // standing lock_all epoch already covers local access (MPI-3
+        // unified memory model, ordered by the win_sync discipline).
+        self.tx()
+            .atomic_epoch_begin(&gmr.win, tr.group_rank, LockMode::Exclusive)?;
         self.dla_begin(tr.gmr, true);
         let res = gmr
             .win
             .with_local_mut(|buf| f(&mut buf[tr.disp..tr.disp + len]));
         self.dla_end(tr.gmr);
-        gmr.win.unlock(tr.group_rank)?;
+        self.tx().atomic_epoch_end(&gmr.win, tr.group_rank)?;
         res.map_err(ArmciError::from)
     }
 
@@ -94,18 +87,14 @@ impl ArmciMpi {
         let gmr = gmrs
             .get(&tr.gmr)
             .ok_or_else(|| crate::gmr::gmr_vanished(tr.gmr))?;
-        if self.cfg.epochless {
-            // the lock_all epoch already grants shared access
-            self.dla_begin(tr.gmr, false);
-            let res = gmr.win.with_local(|buf| f(&buf[tr.disp..tr.disp + len]));
-            self.dla_end(tr.gmr);
-            return res.map_err(ArmciError::from);
-        }
-        gmr.win.lock(LockMode::Shared, tr.group_rank)?;
+        // A standing lock_all epoch already grants shared access; the
+        // backend locks otherwise.
+        self.tx()
+            .atomic_epoch_begin(&gmr.win, tr.group_rank, LockMode::Shared)?;
         self.dla_begin(tr.gmr, false);
         let res = gmr.win.with_local(|buf| f(&buf[tr.disp..tr.disp + len]));
         self.dla_end(tr.gmr);
-        gmr.win.unlock(tr.group_rank)?;
+        self.tx().atomic_epoch_end(&gmr.win, tr.group_rank)?;
         res.map_err(ArmciError::from)
     }
 }

@@ -52,6 +52,7 @@
 
 use crate::gmr::Gmr;
 use crate::ops::OpClass;
+use crate::transport;
 use crate::ArmciMpi;
 use armci::{ArmciError, ArmciResult, GlobalAddr, IovDesc, NbHandle, StridedMethod};
 use mpisim::mpi3::RmaRequest;
@@ -933,7 +934,8 @@ impl ArmciMpi {
                 // call and the planner keeps every datatype within bounds;
                 // disjoint plans may address disjoint pieces of it.
                 let b = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
-                gmr.win.get(b, &op.odt, target, op.tdisp, &op.tdt)?;
+                self.tx()
+                    .get(&gmr.win, b, &op.odt, target, op.tdisp, &op.tdt)?;
                 self.stat(|s| {
                     s.gets += 1;
                     s.bytes_got += op.bytes;
@@ -942,15 +944,24 @@ impl ArmciMpi {
             ExecBuf::Put(ptr, len) => {
                 // Safety: as above, read-only.
                 let b = unsafe { std::slice::from_raw_parts(ptr, len) };
-                gmr.win.put(b, &op.odt, target, op.tdisp, &op.tdt)?;
+                self.tx()
+                    .put(&gmr.win, b, &op.odt, target, op.tdisp, &op.tdt)?;
                 self.stat(|s| {
                     s.puts += 1;
                     s.bytes_put += op.bytes;
                 });
             }
             ExecBuf::Acc(staged, elem) => {
-                gmr.win
-                    .accumulate(staged, &op.odt, target, op.tdisp, &op.tdt, elem, AccOp::Sum)?;
+                self.tx().accumulate(
+                    &gmr.win,
+                    staged,
+                    &op.odt,
+                    target,
+                    op.tdisp,
+                    &op.tdt,
+                    elem,
+                    AccOp::Sum,
+                )?;
                 self.stat(|s| {
                     s.accs += 1;
                     s.bytes_acc += op.bytes;
@@ -1016,17 +1027,18 @@ impl ArmciMpi {
                 })
                 .collect();
             // acquire: join an open aggregate epoch on (gmr, target) or
-            // open a new one. In epochless mode lock modes are irrelevant
-            // (no per-target lock exists under lock_all). An MPI-2 epoch
-            // whose issued operations would conflict with this plan
-            // (overlapping put/put, get/put, mixed-type acc) cannot be
-            // joined — conflicting accesses within one epoch are
-            // erroneous — so it is retired and a fresh epoch opened.
+            // open a new one. Without per-target epochs (MPI-3 epochless
+            // under lock_all, or the channel backend) lock modes are
+            // irrelevant. An MPI-2 epoch whose issued operations would
+            // conflict with this plan (overlapping put/put, get/put,
+            // mixed-type acc) cannot be joined — conflicting accesses
+            // within one epoch are erroneous — so it is retired and a
+            // fresh epoch opened.
+            let per_op = self.tx.epoch_style() == transport::EpochStyle::PerOp;
             let found = self.nb.borrow().open.iter().position(|e| {
                 e.gmr == plan.gmr
                     && e.target == plan.target
-                    && (self.cfg.epochless
-                        || (e.mode == plan.mode && !conflicts(&e.ranges, &plan_ranges)))
+                    && (!per_op || (e.mode == plan.mode && !conflicts(&e.ranges, &plan_ranges)))
             });
             let idx = match found {
                 Some(i) => {
@@ -1034,7 +1046,7 @@ impl ArmciMpi {
                     i
                 }
                 None => {
-                    if !self.cfg.epochless {
+                    if per_op {
                         // Deadlock safety: opening a second MPI-2 aggregate
                         // epoch while one is held would be hold-and-wait;
                         // complete the outstanding one first.
@@ -1043,8 +1055,7 @@ impl ArmciMpi {
                         let gmr = gmrs
                             .get(&plan.gmr)
                             .ok_or_else(|| crate::gmr::gmr_vanished(plan.gmr))?;
-                        self.stat(|s| s.epochs += 1);
-                        gmr.win.lock(plan.mode, plan.target)?;
+                        self.epoch_begin(gmr, plan.target, plan.mode)?;
                         // Mark the lock as an aggregate epoch: the auditor
                         // exempts staging performed under it (§V-E1 applies
                         // to blocking epochs only).
@@ -1138,7 +1149,9 @@ impl ArmciMpi {
                 // issue, only virtual-time completion is deferred, so the
                 // borrow ends with this call.
                 let b = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
-                let r = gmr.win.rget(b, &op.odt, target, op.tdisp, &op.tdt)?;
+                let r = self
+                    .tx()
+                    .rget(&gmr.win, b, &op.odt, target, op.tdisp, &op.tdt)?;
                 self.stat(|s| {
                     s.gets += 1;
                     s.bytes_got += op.bytes;
@@ -1148,7 +1161,9 @@ impl ArmciMpi {
             ExecBuf::Put(ptr, len) => {
                 // Safety: as above, read-only.
                 let b = unsafe { std::slice::from_raw_parts(ptr, len) };
-                let r = gmr.win.rput(b, &op.odt, target, op.tdisp, &op.tdt)?;
+                let r = self
+                    .tx()
+                    .rput(&gmr.win, b, &op.odt, target, op.tdisp, &op.tdt)?;
                 self.stat(|s| {
                     s.puts += 1;
                     s.bytes_put += op.bytes;
@@ -1156,9 +1171,16 @@ impl ArmciMpi {
                 r
             }
             ExecBuf::Acc(staged, elem) => {
-                let r =
-                    gmr.win
-                        .racc(staged, &op.odt, target, op.tdisp, &op.tdt, elem, AccOp::Sum)?;
+                let r = self.tx().racc(
+                    &gmr.win,
+                    staged,
+                    &op.odt,
+                    target,
+                    op.tdisp,
+                    &op.tdt,
+                    elem,
+                    AccOp::Sum,
+                )?;
                 self.stat(|s| {
                     s.accs += 1;
                     s.bytes_acc += op.bytes;
@@ -1205,11 +1227,11 @@ impl ArmciMpi {
             // ranges would conflict with queued operations cannot join —
             // the queue is flushed and a fresh one opened, exactly like
             // the per-op path splits its aggregate epoch.
+            let per_op = self.tx.epoch_style() == transport::EpochStyle::PerOp;
             let found = self.nb.borrow().queues.iter().position(|q| {
                 q.gmr == plan.gmr
                     && q.target == plan.target
-                    && (self.cfg.epochless
-                        || (q.mode == plan.mode && !conflicts(&q.ranges, &plan_ranges)))
+                    && (!per_op || (q.mode == plan.mode && !conflicts(&q.ranges, &plan_ranges)))
             });
             let idx = match found {
                 Some(i) => {
@@ -1217,7 +1239,7 @@ impl ArmciMpi {
                     i
                 }
                 None => {
-                    if !self.cfg.epochless {
+                    if per_op {
                         // One coarsened MPI-2 epoch at a time: flushing
                         // everything outstanding before opening a new
                         // queue keeps hold-and-wait impossible (and is
@@ -1328,16 +1350,23 @@ impl ArmciMpi {
                     // Safety: see `issue_op` — the pointer covers `buflen`
                     // bytes and the borrow ends with this call.
                     let b = unsafe { std::slice::from_raw_parts_mut(ptr, buflen) };
-                    gmr.win.stage_get_bytes(&mut b[o..o + len], target, t)?;
+                    self.tx()
+                        .stage_get(&gmr.win, &mut b[o..o + len], target, t)?;
                 }
                 ExecBuf::Put(ptr, buflen) => {
                     // Safety: as above, read-only.
                     let b = unsafe { std::slice::from_raw_parts(ptr, buflen) };
-                    gmr.win.stage_put_bytes(&b[o..o + len], target, t)?;
+                    self.tx().stage_put(&gmr.win, &b[o..o + len], target, t)?;
                 }
                 ExecBuf::Acc(staged, elem) => {
-                    gmr.win
-                        .stage_acc_bytes(&staged[o..o + len], target, t, elem, AccOp::Sum)?;
+                    self.tx().stage_acc(
+                        &gmr.win,
+                        &staged[o..o + len],
+                        target,
+                        t,
+                        elem,
+                        AccOp::Sum,
+                    )?;
                 }
             }
             opos += len;
@@ -1368,9 +1397,9 @@ impl ArmciMpi {
             let gmr = gmrs
                 .get(&q.gmr)
                 .ok_or_else(|| crate::gmr::gmr_vanished(q.gmr))?;
-            if !self.cfg.epochless {
-                self.stat(|s| s.epochs += 1);
-                gmr.win.lock(q.mode, q.target)?;
+            let per_op = self.tx.epoch_style() == transport::EpochStyle::PerOp;
+            if per_op {
+                self.epoch_begin(gmr, q.target, q.mode)?;
                 obs::instant(obs::EventKind::NbEpochOpen {
                     win: q.gmr,
                     target: q.target as u32,
@@ -1382,10 +1411,11 @@ impl ArmciMpi {
             let n = q.ops.len().max(1) as f64;
             self.charge(4e-9 * n * n.log2().max(1.0));
             let runs = form_runs(&q.ops);
-            // Wire origin: epochless transfers have been on the wire under
-            // the standing `lock_all` since enqueue; MPI-2 transfers
-            // cannot start before the coarsened lock was granted.
-            let mut wire_t = if self.cfg.epochless { q.t_open } else { t1 };
+            // Wire origin: transfers without a per-target epoch (standing
+            // lock_all, or the free-running channel) have been on the wire
+            // since enqueue; MPI-2 transfers cannot start before the
+            // coarsened lock was granted.
+            let mut wire_t = if per_op { t1 } else { q.t_open };
             'runs: for run in &runs {
                 let kind = q.ops[run[0]].kind;
                 let class = kind.rma_class();
@@ -1409,7 +1439,7 @@ impl ArmciMpi {
                     CoalesceMode::PerOp => unreachable!("scheduler inactive in PerOp mode"),
                 };
                 if use_merged {
-                    let cost = match gmr.win.issue_merged(class, q.target, &merged) {
+                    let cost = match self.tx().issue_merged(&gmr.win, class, q.target, &merged) {
                         Ok(c) => c,
                         Err(e) => {
                             res = Err(e.into());
@@ -1431,7 +1461,7 @@ impl ArmciMpi {
                     for &i in run {
                         let op = &q.ops[i];
                         let segs = ctree::merge_segments(&op.segs);
-                        let cost = match gmr.win.issue_merged(class, q.target, &segs) {
+                        let cost = match self.tx().issue_merged(&gmr.win, class, q.target, &segs) {
                             Ok(c) => c,
                             Err(e) => {
                                 res = Err(e.into());
@@ -1454,12 +1484,7 @@ impl ArmciMpi {
             if wire_t > t2 {
                 self.charge(wire_t - t2);
             }
-            end = if self.cfg.epochless {
-                self.stat(|s| s.flushes += 1);
-                gmr.win.flush(q.target).map_err(ArmciError::from)
-            } else {
-                gmr.win.unlock(q.target).map_err(ArmciError::from)
-            };
+            end = self.epoch_end(gmr, q.target);
             let t3 = self.vnow();
             self.stage(|g| {
                 g.completes += 1;
@@ -1612,14 +1637,9 @@ impl ArmciMpi {
                 .get(&ep.gmr)
                 .ok_or_else(|| crate::gmr::gmr_vanished(ep.gmr))?;
             for r in ep.reqs {
-                r.wait(&gmr.win);
+                self.tx().complete(&gmr.win, r);
             }
-            if self.cfg.epochless {
-                self.stat(|s| s.flushes += 1);
-                gmr.win.flush(ep.target)?;
-            } else {
-                gmr.win.unlock(ep.target)?;
-            }
+            self.epoch_end(gmr, ep.target)?;
         }
         self.nb.borrow_mut().resolved.extend(ep.ids);
         let t1 = self.vnow();

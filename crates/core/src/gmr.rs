@@ -172,9 +172,9 @@ impl ArmciMpi {
                 }
             }
         }
-        if self.cfg.epochless {
-            win.lock_all()?;
-        }
+        // Window-lifetime transport setup (the epochless backend's
+        // standing `lock_all`; a no-op elsewhere).
+        self.tx().attach(&win)?;
         let rmw_mutexes = MutexSet::create(comm, 1);
         self.gmrs.borrow_mut().insert(
             gmr_id,
@@ -258,9 +258,7 @@ impl ArmciMpi {
             }
         }
         gmr.rmw_mutexes.destroy()?;
-        if self.cfg.epochless {
-            gmr.win.unlock_all()?;
-        }
+        self.tx().detach(&gmr.win)?;
         // Preserve the window's committed-datatype cache counters past its
         // destruction: stage-stat snapshots fold live windows + retired.
         let (hits, misses, _) = gmr.win.dtype_cache_stats();

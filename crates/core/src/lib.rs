@@ -40,8 +40,10 @@ pub mod ops;
 pub mod rmw;
 pub mod shm;
 pub mod strided;
+pub mod transport;
 
 pub use engine::{CoalesceMode, StageStats};
+pub use transport::{Transport, TransportKind, TransportStats};
 
 use armci::{
     AccKind, AccessMode, Armci, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IovDesc, NbHandle,
@@ -79,6 +81,11 @@ pub struct Config {
     /// `win_sync` discipline. `false` forces every transfer — including
     /// same-node — onto the wire path (the A/B baseline).
     pub shm: bool,
+    /// Which wire backend carries inter-node traffic ([`transport`]):
+    /// MPI passive-target RMA (the paper's implementation) or RAMC-style
+    /// remote memory channels. [`Config::epochless`] only applies to the
+    /// MPI backend; the channel backend has no epochs at all.
+    pub transport: TransportKind,
 }
 
 impl Default for Config {
@@ -90,6 +97,7 @@ impl Default for Config {
             epochless: false,
             coalesce: CoalesceMode::Auto,
             shm: true,
+            transport: TransportKind::MpiRma,
         }
     }
 }
@@ -177,35 +185,63 @@ pub struct ArmciMpi {
     /// [`ArmciMpi::reset_stage_stats`] can zero them without touching the
     /// monotonic per-window counts.
     pub(crate) dtype_base: Cell<(u64, u64)>,
+    /// The wire backend every inter-node transfer goes through.
+    pub(crate) tx: Box<dyn Transport>,
+    /// The intra-node tier, bracketed the same way as the wire backend
+    /// (only honouring `epochless` when a `lock_all` actually stands).
+    pub(crate) shm_tx: transport::ShmTransport,
 }
 
 impl ArmciMpi {
-    /// Opens an access context on `target`: a passive-target epoch in
-    /// MPI-2 mode, nothing in MPI-3 epochless mode (the window-wide
-    /// `lock_all` epoch is already open).
+    /// The active wire backend.
+    pub(crate) fn tx(&self) -> &dyn Transport {
+        &*self.tx
+    }
+
+    /// Opens an access context on `target` through `tx`: a passive-target
+    /// epoch for per-op backends, nothing for epochless or channel
+    /// backends. Epoch statistics follow the backend's style.
+    pub(crate) fn epoch_begin_via(
+        &self,
+        tx: &dyn Transport,
+        gmr: &gmr::Gmr,
+        target: usize,
+        mode: mpisim::LockMode,
+    ) -> ArmciResult<()> {
+        if tx.epoch_style() == transport::EpochStyle::PerOp {
+            self.stat(|s| s.epochs += 1);
+        }
+        tx.epoch_begin(&gmr.win, target, mode)
+            .map_err(ArmciError::from)
+    }
+
+    /// Closes the access context through `tx`: `unlock`, `flush` (counted
+    /// as a flush), or nothing per the backend's style.
+    pub(crate) fn epoch_end_via(
+        &self,
+        tx: &dyn Transport,
+        gmr: &gmr::Gmr,
+        target: usize,
+    ) -> ArmciResult<()> {
+        if tx.epoch_style() == transport::EpochStyle::Flush {
+            self.stat(|s| s.flushes += 1);
+        }
+        tx.epoch_end(&gmr.win, target).map_err(ArmciError::from)
+    }
+
+    /// [`ArmciMpi::epoch_begin_via`] on the wire backend.
     pub(crate) fn epoch_begin(
         &self,
         gmr: &gmr::Gmr,
         target: usize,
         mode: mpisim::LockMode,
     ) -> ArmciResult<()> {
-        if self.cfg.epochless {
-            Ok(())
-        } else {
-            self.stat(|s| s.epochs += 1);
-            gmr.win.lock(mode, target).map_err(ArmciError::from)
-        }
+        self.epoch_begin_via(self.tx(), gmr, target, mode)
     }
 
-    /// Closes the access context: `unlock` in MPI-2 mode, `flush` (remote
-    /// completion) in epochless mode.
+    /// [`ArmciMpi::epoch_end_via`] on the wire backend.
     pub(crate) fn epoch_end(&self, gmr: &gmr::Gmr, target: usize) -> ArmciResult<()> {
-        if self.cfg.epochless {
-            self.stat(|s| s.flushes += 1);
-            gmr.win.flush(target).map_err(ArmciError::from)
-        } else {
-            gmr.win.unlock(target).map_err(ArmciError::from)
-        }
+        self.epoch_end_via(self.tx(), gmr, target)
     }
 
     /// Bootstraps ARMCI-MPI for this process with the default config.
@@ -220,7 +256,15 @@ impl ArmciMpi {
         // registered on demand at first touch and then cached, which is
         // what lets the pool amortize the Fig-5 registration penalty.
         let pool = BufferPool::new(RegistrationPolicy::OnDemand, world.platform().reg.clone());
+        let tx = transport::for_kind(cfg.transport, cfg.epochless);
+        // The shm tier may only skip per-plan locks when a standing
+        // `lock_all` covers its `win_sync` calls — i.e. epochless mode on
+        // the MPI backend. The channel backend never opens one.
+        let shm_tx =
+            transport::ShmTransport::new(cfg.epochless && cfg.transport == TransportKind::MpiRma);
         ArmciMpi {
+            tx,
+            shm_tx,
             world,
             cfg,
             pool,
@@ -328,6 +372,17 @@ impl ArmciMpi {
     /// high-water mark, accounted registration time).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// The wire backend's name (`"mpi-rma"` or `"channel"`).
+    pub fn transport_name(&self) -> &'static str {
+        self.tx.name()
+    }
+
+    /// The wire backend's offload counters (zero on backends without the
+    /// offload distinction, i.e. MPI RMA).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.tx.stats()
     }
 
     /// Resets the pool counters (cached registrations are kept — only

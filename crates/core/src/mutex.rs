@@ -21,6 +21,7 @@
 //! Each set duplicates its communicator so notification messages can never
 //! be confused between sets (or with application traffic).
 
+use crate::transport::Transport;
 use armci::{ArmciError, ArmciResult};
 use mpisim::{Comm, LockMode, RecvSrc, WinHandle};
 use std::cell::RefCell;
@@ -73,7 +74,11 @@ impl MutexSet {
     }
 
     /// Acquires `mutex` on `host` (group rank). Blocks until granted.
-    pub fn lock(&self, mutex: usize, host: usize) -> ArmciResult<()> {
+    ///
+    /// The put-then-snapshot sequence must be atomic with respect to
+    /// other ranks' sequences, so it runs inside the transport's
+    /// mutual-exclusion bracketing rather than a plain data epoch.
+    pub fn lock(&self, tx: &dyn Transport, mutex: usize, host: usize) -> ArmciResult<()> {
         self.check_args(mutex, host)?;
         if self.held.borrow().contains(&(mutex, host)) {
             return Err(ArmciError::MutexMisuse(format!(
@@ -84,18 +89,25 @@ impl MutexSet {
         let me = self.comm.rank();
         let base = mutex * nproc;
 
-        // One exclusive epoch: B[me] = 1, fetch all other entries.
-        self.win.lock(LockMode::Exclusive, host)?;
-        self.win.put_bytes(&[1], host, base + me)?;
+        // One exclusive context: B[me] = 1, fetch all other entries.
+        // Always close the context, even if a transfer fails mid-way —
+        // leaving the host locked would wedge every other requester.
         let mut before = vec![0u8; me];
         let mut after = vec![0u8; nproc - me - 1];
-        if !before.is_empty() {
-            self.win.get_bytes(&mut before, host, base)?;
-        }
-        if !after.is_empty() {
-            self.win.get_bytes(&mut after, host, base + me + 1)?;
-        }
-        self.win.unlock(host)?;
+        tx.atomic_epoch_begin(&self.win, host, LockMode::Exclusive)?;
+        let res: mpisim::MpiResult<()> = (|| {
+            tx.put_bytes(&self.win, &[1], host, base + me)?;
+            if !before.is_empty() {
+                tx.get_bytes(&self.win, &mut before, host, base)?;
+            }
+            if !after.is_empty() {
+                tx.get_bytes(&self.win, &mut after, host, base + me + 1)?;
+            }
+            Ok(())
+        })();
+        let end = tx.atomic_epoch_end(&self.win, host);
+        res.map_err(ArmciError::from)?;
+        end?;
 
         let contended = before.iter().chain(after.iter()).any(|&b| b != 0);
         if contended {
@@ -119,7 +131,7 @@ impl MutexSet {
     }
 
     /// Releases `mutex` on `host`, forwarding it fairly if contended.
-    pub fn unlock(&self, mutex: usize, host: usize) -> ArmciResult<()> {
+    pub fn unlock(&self, tx: &dyn Transport, mutex: usize, host: usize) -> ArmciResult<()> {
         self.check_args(mutex, host)?;
         if !self.held.borrow_mut().remove(&(mutex, host)) {
             return Err(ArmciError::MutexMisuse(format!(
@@ -130,18 +142,24 @@ impl MutexSet {
         let me = self.comm.rank();
         let base = mutex * nproc;
 
-        // One exclusive epoch: B[me] = 0, fetch all other entries.
-        self.win.lock(LockMode::Exclusive, host)?;
-        self.win.put_bytes(&[0], host, base + me)?;
+        // One exclusive context: B[me] = 0, fetch all other entries
+        // (closed unconditionally, as in `lock`).
         let mut before = vec![0u8; me];
         let mut after = vec![0u8; nproc - me - 1];
-        if !before.is_empty() {
-            self.win.get_bytes(&mut before, host, base)?;
-        }
-        if !after.is_empty() {
-            self.win.get_bytes(&mut after, host, base + me + 1)?;
-        }
-        self.win.unlock(host)?;
+        tx.atomic_epoch_begin(&self.win, host, LockMode::Exclusive)?;
+        let res: mpisim::MpiResult<()> = (|| {
+            tx.put_bytes(&self.win, &[0], host, base + me)?;
+            if !before.is_empty() {
+                tx.get_bytes(&self.win, &mut before, host, base)?;
+            }
+            if !after.is_empty() {
+                tx.get_bytes(&self.win, &mut after, host, base + me + 1)?;
+            }
+            Ok(())
+        })();
+        let end = tx.atomic_epoch_end(&self.win, host);
+        res.map_err(ArmciError::from)?;
+        end?;
 
         // Reassemble B without our own slot and scan from me+1, wrapping —
         // the fairness order of the paper.
@@ -189,7 +207,7 @@ impl ArmciMpi {
             .get(&handle)
             .ok_or_else(|| ArmciError::MutexMisuse(format!("unknown mutex handle {handle}")))?;
         self.stat(|s| s.mutex_locks += 1);
-        set.lock(mutex, proc)
+        set.lock(self.tx(), mutex, proc)
     }
 
     pub(crate) fn unlock_mutex_impl(
@@ -202,7 +220,7 @@ impl ArmciMpi {
         let set = sets
             .get(&handle)
             .ok_or_else(|| ArmciError::MutexMisuse(format!("unknown mutex handle {handle}")))?;
-        set.unlock(mutex, proc)
+        set.unlock(self.tx(), mutex, proc)
     }
 
     pub(crate) fn destroy_mutexes_impl(&self, handle: usize) -> ArmciResult<()> {
@@ -216,3 +234,172 @@ impl ArmciMpi {
 }
 
 use crate::ArmciMpi;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{EpochStyle, MpiRmaTransport, Transport};
+    use mpisim::dtype::Datatype;
+    use mpisim::mpi3::{FetchOp, RmaRequest};
+    use mpisim::{
+        AccOp, ElemType, MpiError, MpiResult, Proc, RmaClass, Runtime, RuntimeConfig, WinHandle,
+    };
+
+    /// A wire backend whose bulk transfers work but whose byte-protocol
+    /// gets fail mid-sequence — the "backend lost during the lock
+    /// protocol" scenario.
+    struct FailingGets {
+        inner: MpiRmaTransport,
+    }
+
+    impl Transport for FailingGets {
+        fn name(&self) -> &'static str {
+            "failing-gets"
+        }
+        fn epoch_style(&self) -> EpochStyle {
+            self.inner.epoch_style()
+        }
+        fn attach(&self, win: &WinHandle) -> MpiResult<()> {
+            self.inner.attach(win)
+        }
+        fn detach(&self, win: &WinHandle) -> MpiResult<()> {
+            self.inner.detach(win)
+        }
+        fn epoch_begin(&self, win: &WinHandle, target: usize, mode: LockMode) -> MpiResult<()> {
+            self.inner.epoch_begin(win, target, mode)
+        }
+        fn epoch_end(&self, win: &WinHandle, target: usize) -> MpiResult<()> {
+            self.inner.epoch_end(win, target)
+        }
+        fn put(
+            &self,
+            win: &WinHandle,
+            origin: &[u8],
+            odt: &Datatype,
+            target: usize,
+            tdisp: usize,
+            tdt: &Datatype,
+        ) -> MpiResult<()> {
+            self.inner.put(win, origin, odt, target, tdisp, tdt)
+        }
+        fn get(
+            &self,
+            _win: &WinHandle,
+            _origin: &mut [u8],
+            _odt: &Datatype,
+            _target: usize,
+            _tdisp: usize,
+            _tdt: &Datatype,
+        ) -> MpiResult<()> {
+            Err(MpiError::WinFreed)
+        }
+        #[allow(clippy::too_many_arguments)]
+        fn accumulate(
+            &self,
+            win: &WinHandle,
+            origin: &[u8],
+            odt: &Datatype,
+            target: usize,
+            tdisp: usize,
+            tdt: &Datatype,
+            elem: ElemType,
+            op: AccOp,
+        ) -> MpiResult<()> {
+            self.inner
+                .accumulate(win, origin, odt, target, tdisp, tdt, elem, op)
+        }
+        fn rput(
+            &self,
+            win: &WinHandle,
+            origin: &[u8],
+            odt: &Datatype,
+            target: usize,
+            tdisp: usize,
+            tdt: &Datatype,
+        ) -> MpiResult<mpisim::mpi3::RmaRequest> {
+            self.inner.rput(win, origin, odt, target, tdisp, tdt)
+        }
+        fn rget(
+            &self,
+            win: &WinHandle,
+            origin: &mut [u8],
+            odt: &Datatype,
+            target: usize,
+            tdisp: usize,
+            tdt: &Datatype,
+        ) -> MpiResult<RmaRequest> {
+            self.inner.rget(win, origin, odt, target, tdisp, tdt)
+        }
+        #[allow(clippy::too_many_arguments)]
+        fn racc(
+            &self,
+            win: &WinHandle,
+            origin: &[u8],
+            odt: &Datatype,
+            target: usize,
+            tdisp: usize,
+            tdt: &Datatype,
+            elem: ElemType,
+            op: AccOp,
+        ) -> MpiResult<RmaRequest> {
+            self.inner
+                .racc(win, origin, odt, target, tdisp, tdt, elem, op)
+        }
+        fn issue_merged(
+            &self,
+            win: &WinHandle,
+            class: RmaClass,
+            target: usize,
+            segs: &[(usize, usize)],
+        ) -> MpiResult<f64> {
+            self.inner.issue_merged(win, class, target, segs)
+        }
+        fn fetch_and_op_i64(
+            &self,
+            win: &WinHandle,
+            operand: i64,
+            target: usize,
+            tdisp: usize,
+            op: FetchOp,
+        ) -> MpiResult<i64> {
+            self.inner.fetch_and_op_i64(win, operand, target, tdisp, op)
+        }
+    }
+
+    #[test]
+    fn backend_loss_mid_lock_surfaces_and_releases_epoch() {
+        // A transfer failure inside the lock protocol's exclusive context
+        // must (a) surface as an error, (b) leave the held-set clean, and
+        // (c) release the window lock so a retry over a working backend
+        // can acquire — no wedged host.
+        let cfg = RuntimeConfig {
+            charge_time: false,
+            ..Default::default()
+        };
+        Runtime::run_with(2, cfg, |p: &Proc| {
+            let world = p.world();
+            let set = MutexSet::create(&world, 1);
+            if p.rank() == 0 {
+                let bad = FailingGets {
+                    inner: MpiRmaTransport { epochless: false },
+                };
+                let err = set.lock(&bad, 0, 0);
+                assert!(err.is_err(), "mid-lock transfer failure must surface");
+                assert!(
+                    set.held.borrow().is_empty(),
+                    "failed lock must not record the mutex as held"
+                );
+                let err = set.lock(&bad, 0, 1);
+                assert!(err.is_err(), "remote-host failure must surface too");
+                // Retry over a working backend: if the failed attempts had
+                // leaked their exclusive epochs, these locks would error
+                // (self-nested lock) instead of acquiring.
+                let good = MpiRmaTransport { epochless: false };
+                set.lock(&good, 0, 0).unwrap();
+                set.unlock(&good, 0, 0).unwrap();
+            }
+            world.barrier();
+            set.destroy().unwrap();
+        });
+    }
+}

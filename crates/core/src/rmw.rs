@@ -42,7 +42,7 @@ impl ArmciMpi {
             let gmr = gmrs
                 .get(&tr.gmr)
                 .ok_or_else(|| crate::gmr::gmr_vanished(tr.gmr))?;
-            gmr.rmw_mutexes.lock(0, tr.group_rank)?;
+            gmr.rmw_mutexes.lock(self.tx(), 0, tr.group_rank)?;
         }
         let result = (|| {
             // Read epoch (always exclusive — the hint system never
@@ -72,7 +72,7 @@ impl ArmciMpi {
         let gmr = gmrs
             .get(&tr.gmr)
             .ok_or_else(|| crate::gmr::gmr_vanished(tr.gmr))?;
-        gmr.rmw_mutexes.unlock(0, tr.group_rank)?;
+        gmr.rmw_mutexes.unlock(self.tx(), 0, tr.group_rank)?;
         result
     }
 
@@ -83,22 +83,15 @@ impl ArmciMpi {
         let gmr = gmrs
             .get(&tr.gmr)
             .ok_or_else(|| crate::gmr::gmr_vanished(tr.gmr))?;
-        // Under epochless mode the window-wide lock_all epoch already
-        // covers the atomic; otherwise open a shared epoch around it.
-        if !self.cfg.epochless {
-            gmr.win.lock(LockMode::Shared, tr.group_rank)?;
-        }
-        let res = match op {
-            RmwOp::FetchAdd(x) => gmr
-                .win
-                .fetch_and_op_i64(x, tr.group_rank, tr.disp, FetchOp::Sum),
-            RmwOp::Swap(x) => gmr
-                .win
-                .fetch_and_op_i64(x, tr.group_rank, tr.disp, FetchOp::Replace),
+        // Atomicity bracketing belongs to the backend: MPI RMA opens a
+        // shared epoch unless the standing lock_all covers it, the
+        // channel backend runs the atomic on the NIC with no epoch.
+        let (x, fop) = match op {
+            RmwOp::FetchAdd(x) => (x, FetchOp::Sum),
+            RmwOp::Swap(x) => (x, FetchOp::Replace),
         };
-        if !self.cfg.epochless {
-            gmr.win.unlock(tr.group_rank)?;
-        }
-        Ok(res?)
+        Ok(self
+            .tx()
+            .fetch_and_op_i64(&gmr.win, x, tr.group_rank, tr.disp, fop)?)
     }
 }

@@ -18,6 +18,7 @@
 
 use crate::engine::{ExecBuf, PlannedOp, TransferPlan};
 use crate::gmr::Gmr;
+use crate::transport::Transport;
 use crate::ArmciMpi;
 use armci::{ArmciError, ArmciResult};
 use mpisim::AccOp;
@@ -52,20 +53,20 @@ impl ArmciMpi {
             .ok_or_else(|| crate::gmr::gmr_vanished(plan.gmr))?;
         // acquire: the plan's epoch plus entry into win_sync coherence
         let t0 = self.vnow();
-        self.epoch_begin(gmr, plan.target, plan.mode)?;
+        self.epoch_begin_via(&self.shm_tx, gmr, plan.target, plan.mode)?;
         let sync_in = gmr.win.win_sync().map_err(|e| Self::shm_err(plan.gmr, e));
         let t1 = self.vnow();
-        // execute: node-local copies, priced by the shm tier (the epoch is
-        // closed even when an operation fails, as on the wire path)
+        // execute: node-local copies charged by the shm transport as they
+        // issue, plus one lock overhead (the epoch is closed even when an
+        // operation fails, as on the wire path)
         let mut issued = 0u64;
         let mut bytes = 0u64;
-        let mut cost = self.world.platform().shm.lock_overhead;
+        self.charge(self.world.platform().shm.lock_overhead);
         let mut res = sync_in;
         if res.is_ok() {
             for op in &plan.ops {
                 match self.shm_issue_op(gmr, plan.target, op, buf) {
-                    Ok(c) => {
-                        cost += c;
+                    Ok(()) => {
                         issued += 1;
                         bytes += op.bytes;
                     }
@@ -76,14 +77,13 @@ impl ArmciMpi {
                 }
             }
         }
-        self.charge(cost);
         let t2 = self.vnow();
         // complete: leave coherence, close the epoch
         let end = gmr
             .win
             .win_sync()
             .map_err(|e| Self::shm_err(plan.gmr, e))
-            .and_then(|()| self.epoch_end(gmr, plan.target));
+            .and_then(|()| self.epoch_end_via(&self.shm_tx, gmr, plan.target));
         let t3 = self.vnow();
         self.stage(|g| {
             g.acquires += 1;
@@ -133,58 +133,62 @@ impl ArmciMpi {
         res
     }
 
-    /// Issues one planned operation as a slab copy; returns its (already
-    /// uncharged) shm-tier cost. Operation statistics count exactly as on
-    /// the wire path — the route changes the transport, not the op.
+    /// Issues one planned operation through the shm transport (which
+    /// charges its shm-tier cost as it moves). Operation statistics count
+    /// exactly as on the wire path — the route changes the transport, not
+    /// the op.
     fn shm_issue_op(
         &self,
         gmr: &Gmr,
         target: usize,
         op: &PlannedOp,
         buf: &ExecBuf,
-    ) -> ArmciResult<f64> {
-        let cost = match *buf {
+    ) -> ArmciResult<()> {
+        match *buf {
             ExecBuf::Get(ptr, len) => {
                 // Safety: see `issue_op` — the pointer covers `len` bytes
                 // for the duration of the call and the planner keeps every
                 // datatype within bounds.
                 let b = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
-                let c = gmr
-                    .win
-                    .shm_get(b, &op.odt, target, op.tdisp, &op.tdt)
+                self.shm_tx
+                    .get(&gmr.win, b, &op.odt, target, op.tdisp, &op.tdt)
                     .map_err(|e| Self::shm_err(gmr.id, e))?;
                 self.stat(|s| {
                     s.gets += 1;
                     s.bytes_got += op.bytes;
                 });
-                c
             }
             ExecBuf::Put(ptr, len) => {
                 // Safety: as above, read-only.
                 let b = unsafe { std::slice::from_raw_parts(ptr, len) };
-                let c = gmr
-                    .win
-                    .shm_put(b, &op.odt, target, op.tdisp, &op.tdt)
+                self.shm_tx
+                    .put(&gmr.win, b, &op.odt, target, op.tdisp, &op.tdt)
                     .map_err(|e| Self::shm_err(gmr.id, e))?;
                 self.stat(|s| {
                     s.puts += 1;
                     s.bytes_put += op.bytes;
                 });
-                c
             }
             ExecBuf::Acc(staged, elem) => {
-                let c = gmr
-                    .win
-                    .shm_acc(staged, &op.odt, target, op.tdisp, &op.tdt, elem, AccOp::Sum)
+                self.shm_tx
+                    .accumulate(
+                        &gmr.win,
+                        staged,
+                        &op.odt,
+                        target,
+                        op.tdisp,
+                        &op.tdt,
+                        elem,
+                        AccOp::Sum,
+                    )
                     .map_err(|e| Self::shm_err(gmr.id, e))?;
                 self.stat(|s| {
                     s.accs += 1;
                     s.bytes_acc += op.bytes;
                 });
-                c
             }
         };
-        Ok(cost)
+        Ok(())
     }
 
     /// `ARMCI_Access_begin/end` on a *node peer's* slice — the §V-E
@@ -221,14 +225,16 @@ impl ArmciMpi {
             .shared_query(tr.group_rank)
             .map_err(|e| Self::shm_err(tr.gmr, e))?;
         let shm = self.world.platform().shm.clone();
-        if !self.cfg.epochless {
-            let mode = if write {
-                LockMode::Exclusive
-            } else {
-                LockMode::Shared
-            };
-            gmr.win.lock(mode, tr.group_rank)?;
-        }
+        // Mutual-exclusion bracketing belongs to the transport: a standing
+        // lock_all epoch (MPI-3 epochless) already covers peer access;
+        // otherwise the window is locked for the section's duration.
+        let mode = if write {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
+        self.shm_tx
+            .atomic_epoch_begin(&gmr.win, tr.group_rank, mode)?;
         gmr.win.win_sync().map_err(|e| Self::shm_err(tr.gmr, e))?;
         self.dla_begin(tr.gmr, write);
         let mut buf = self.scratch(len);
@@ -251,11 +257,9 @@ impl ArmciMpi {
             .win_sync()
             .map_err(|e| Self::shm_err(tr.gmr, e))
             .and_then(|()| {
-                if self.cfg.epochless {
-                    Ok(())
-                } else {
-                    gmr.win.unlock(tr.group_rank).map_err(ArmciError::from)
-                }
+                self.shm_tx
+                    .atomic_epoch_end(&gmr.win, tr.group_rank)
+                    .map_err(ArmciError::from)
             });
         end?;
         res

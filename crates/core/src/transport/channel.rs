@@ -1,0 +1,392 @@
+//! RAMC-style remote-memory-channel backend.
+//!
+//! Models a NIC that exposes remote memory through hardware channels
+//! instead of the MPI software stack: the initiator rings a doorbell
+//! with a descriptor, the NIC moves contiguous payload directly, and a
+//! completion-queue entry signals the finish. There are no MPI epochs —
+//! the channel orders its own traffic — so access contexts are free and
+//! conflicting accesses are the application's problem (as on real RDMA
+//! hardware).
+//!
+//! * **Offloaded path** — single-segment put/get: one doorbell, one DMA,
+//!   one CQ poll ([`ChannelParams::contig_cost`]).
+//! * **Software fallback** — noncontiguous transfers and every
+//!   accumulate: the library walks segments, rings a doorbell per
+//!   segment, and (for accumulate) combines at software rates
+//!   ([`ChannelParams::sw_cost`] + [`ChannelParams::combine_cost`]).
+//! * **NIC atomics** — fetch-and-op executes on the NIC with no epoch
+//!   ([`WinHandle::fetch_and_op_i64_raw`]).
+//!
+//! Payloads move through the window's bounds-checked staging movers, so
+//! the bytes delivered are bit-identical to the MPI-RMA backend's — only
+//! pricing, events, and epoch traffic differ. Under the congestion-aware
+//! network model, each segment counts as one injected message
+//! ([`WinHandle::net_extra`] with `msgs = nsegs`).
+
+use super::{EpochStyle, Transport, TransportStats};
+use mpisim::dtype::{zip_segments, Datatype};
+use mpisim::mpi3::{FetchOp, RmaRequest};
+use mpisim::{AccOp, ElemType, LockMode, MpiError, MpiResult, RmaClass, WinHandle};
+use simnet::ChannelParams;
+use std::cell::Cell;
+
+/// One channel transfer, priced. `offloaded` means the NIC handled it
+/// end-to-end (contiguous, no combine).
+struct Priced {
+    cost: f64,
+    offloaded: bool,
+}
+
+/// The channel wire backend. Stateless per window; the only state is a
+/// pair of offload counters surfaced through [`Transport::stats`].
+#[derive(Debug, Default)]
+pub struct ChannelTransport {
+    offloaded: Cell<u64>,
+    fallback: Cell<u64>,
+}
+
+impl ChannelTransport {
+    /// A fresh backend with zeroed counters.
+    pub fn new() -> ChannelTransport {
+        ChannelTransport::default()
+    }
+
+    /// Replicates the wire path's origin-buffer validation: the origin
+    /// datatype must fit in the caller's buffer.
+    fn check_origin(origin_len: usize, odt: &Datatype) -> MpiResult<()> {
+        if odt.extent() > origin_len {
+            return Err(MpiError::BadDatatype(format!(
+                "origin datatype extent {} exceeds buffer {}",
+                odt.extent(),
+                origin_len
+            )));
+        }
+        Ok(())
+    }
+
+    /// Prices one transfer and classifies it offloaded/fallback.
+    fn price(p: &ChannelParams, bytes: usize, nsegs: usize, combine: bool) -> Priced {
+        if nsegs <= 1 && !combine {
+            Priced {
+                cost: p.contig_cost(bytes),
+                offloaded: true,
+            }
+        } else {
+            let mut cost = p.sw_cost(bytes, nsegs);
+            if combine {
+                cost += p.combine_cost(bytes);
+            }
+            Priced {
+                cost,
+                offloaded: false,
+            }
+        }
+    }
+
+    /// Counts the op, emits its trace event, and returns the total cost
+    /// (channel pricing plus congestion delay) for the caller to charge
+    /// or defer.
+    fn account(
+        &self,
+        win: &WinHandle,
+        kind: obs::OpKind,
+        target: usize,
+        bytes: usize,
+        nsegs: usize,
+        priced: &Priced,
+    ) -> f64 {
+        if priced.offloaded {
+            self.offloaded.set(self.offloaded.get() + 1);
+        } else {
+            self.fallback.set(self.fallback.get() + 1);
+        }
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::TransportIssue {
+                    backend: "channel",
+                    win: win.id(),
+                    target: target as u32,
+                    kind,
+                    bytes: bytes as u64,
+                    offloaded: priced.offloaded,
+                },
+                win.vnow(),
+            );
+        }
+        let extra = win.net_extra(
+            target,
+            win.channel_params().ser_time(bytes),
+            nsegs.max(1) as u64,
+        );
+        priced.cost + extra
+    }
+
+    /// Moves put payload segment-by-segment and returns the priced total.
+    fn put_priced(
+        &self,
+        win: &WinHandle,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+    ) -> MpiResult<f64> {
+        Self::check_origin(origin.len(), odt)?;
+        let pairs = zip_segments(odt, tdt)?;
+        for &(ooff, toff, len) in &pairs {
+            win.stage_put_bytes(&origin[ooff..ooff + len], target, tdisp + toff)?;
+        }
+        let bytes = odt.size();
+        let nsegs = odt.num_segments().max(tdt.num_segments());
+        let priced = Self::price(win.channel_params(), bytes, nsegs, false);
+        Ok(self.account(win, obs::OpKind::Put, target, bytes, nsegs, &priced))
+    }
+
+    /// Moves get payload and returns the priced total.
+    fn get_priced(
+        &self,
+        win: &WinHandle,
+        origin: &mut [u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+    ) -> MpiResult<f64> {
+        Self::check_origin(origin.len(), odt)?;
+        let pairs = zip_segments(odt, tdt)?;
+        for &(ooff, toff, len) in &pairs {
+            win.stage_get_bytes(&mut origin[ooff..ooff + len], target, tdisp + toff)?;
+        }
+        let bytes = odt.size();
+        let nsegs = odt.num_segments().max(tdt.num_segments());
+        let priced = Self::price(win.channel_params(), bytes, nsegs, false);
+        Ok(self.account(win, obs::OpKind::Get, target, bytes, nsegs, &priced))
+    }
+
+    /// Applies accumulate payload (element-atomic per target segment via
+    /// the staging mover's slab lock) and returns the priced total. The
+    /// wire path's validation is replicated: element-multiple size,
+    /// matching origin/target sizes, element-aligned target segments
+    /// (checked by the mover).
+    #[allow(clippy::too_many_arguments)]
+    fn acc_priced(
+        &self,
+        win: &WinHandle,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+        elem: ElemType,
+        op: AccOp,
+    ) -> MpiResult<f64> {
+        let es = elem.size();
+        if !odt.size().is_multiple_of(es) {
+            return Err(MpiError::BadDatatype(format!(
+                "accumulate of {} bytes not a multiple of element size {es}",
+                odt.size()
+            )));
+        }
+        Self::check_origin(origin.len(), odt)?;
+        if odt.size() != tdt.size() {
+            return Err(MpiError::TypeMismatch {
+                origin_bytes: odt.size(),
+                target_bytes: tdt.size(),
+            });
+        }
+        // Gather the origin selection contiguously, then combine per
+        // target segment — the same shape as the wire path, so origin
+        // segments need not be element-aligned, only target ones.
+        let mut staged = vec![0u8; odt.size()];
+        let mut w = 0usize;
+        for (off, len) in odt.segments() {
+            staged[w..w + len].copy_from_slice(&origin[off..off + len]);
+            w += len;
+        }
+        let mut s = 0usize;
+        for (toff, len) in tdt.segments() {
+            win.stage_acc_bytes(&staged[s..s + len], target, tdisp + toff, elem, op)?;
+            s += len;
+        }
+        let bytes = odt.size();
+        let nsegs = odt.num_segments().max(tdt.num_segments());
+        let priced = Self::price(win.channel_params(), bytes, nsegs, true);
+        Ok(self.account(win, obs::OpKind::Acc, target, bytes, nsegs, &priced))
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+
+    fn epoch_style(&self) -> EpochStyle {
+        EpochStyle::None
+    }
+
+    fn attach(&self, _win: &WinHandle) -> MpiResult<()> {
+        Ok(())
+    }
+
+    fn detach(&self, _win: &WinHandle) -> MpiResult<()> {
+        Ok(())
+    }
+
+    fn epoch_begin(&self, _win: &WinHandle, _target: usize, _mode: LockMode) -> MpiResult<()> {
+        Ok(())
+    }
+
+    fn epoch_end(&self, _win: &WinHandle, _target: usize) -> MpiResult<()> {
+        Ok(())
+    }
+
+    fn put(
+        &self,
+        win: &WinHandle,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+    ) -> MpiResult<()> {
+        let total = self.put_priced(win, origin, odt, target, tdisp, tdt)?;
+        win.charge_virtual(total);
+        Ok(())
+    }
+
+    fn get(
+        &self,
+        win: &WinHandle,
+        origin: &mut [u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+    ) -> MpiResult<()> {
+        let total = self.get_priced(win, origin, odt, target, tdisp, tdt)?;
+        win.charge_virtual(total);
+        Ok(())
+    }
+
+    fn accumulate(
+        &self,
+        win: &WinHandle,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+        elem: ElemType,
+        op: AccOp,
+    ) -> MpiResult<()> {
+        let total = self.acc_priced(win, origin, odt, target, tdisp, tdt, elem, op)?;
+        win.charge_virtual(total);
+        Ok(())
+    }
+
+    fn rput(
+        &self,
+        win: &WinHandle,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+    ) -> MpiResult<RmaRequest> {
+        let total = self.put_priced(win, origin, odt, target, tdisp, tdt)?;
+        let issue = win.channel_params().doorbell.min(total);
+        Ok(win.defer(issue, total))
+    }
+
+    fn rget(
+        &self,
+        win: &WinHandle,
+        origin: &mut [u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+    ) -> MpiResult<RmaRequest> {
+        let total = self.get_priced(win, origin, odt, target, tdisp, tdt)?;
+        let issue = win.channel_params().doorbell.min(total);
+        Ok(win.defer(issue, total))
+    }
+
+    fn racc(
+        &self,
+        win: &WinHandle,
+        origin: &[u8],
+        odt: &Datatype,
+        target: usize,
+        tdisp: usize,
+        tdt: &Datatype,
+        elem: ElemType,
+        op: AccOp,
+    ) -> MpiResult<RmaRequest> {
+        let total = self.acc_priced(win, origin, odt, target, tdisp, tdt, elem, op)?;
+        let issue = win.channel_params().doorbell.min(total);
+        Ok(win.defer(issue, total))
+    }
+
+    fn issue_merged(
+        &self,
+        win: &WinHandle,
+        class: RmaClass,
+        target: usize,
+        segs: &[(usize, usize)],
+    ) -> MpiResult<f64> {
+        // Bytes already moved through the stage movers (bounds-checked
+        // there); merged runs always take the software path — the NIC
+        // offload is contiguous-only.
+        let bytes: usize = segs.iter().map(|&(_, len)| len).sum();
+        let nsegs = segs.len().max(1);
+        let p = win.channel_params();
+        let (combine, kind) = match class {
+            RmaClass::Acc(..) => (true, obs::OpKind::Acc),
+            RmaClass::Put => (false, obs::OpKind::Put),
+            RmaClass::Get => (false, obs::OpKind::Get),
+        };
+        let mut cost = p.sw_cost(bytes, nsegs);
+        if combine {
+            cost += p.combine_cost(bytes);
+        }
+        let priced = Priced {
+            cost,
+            offloaded: false,
+        };
+        Ok(self.account(win, kind, target, bytes, nsegs, &priced))
+    }
+
+    fn fetch_and_op_i64(
+        &self,
+        win: &WinHandle,
+        operand: i64,
+        target: usize,
+        tdisp: usize,
+        op: FetchOp,
+    ) -> MpiResult<i64> {
+        let old = win.fetch_and_op_i64_raw(operand, target, tdisp, op)?;
+        self.offloaded.set(self.offloaded.get() + 1);
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::TransportIssue {
+                    backend: "channel",
+                    win: win.id(),
+                    target: target as u32,
+                    kind: obs::OpKind::Rmw,
+                    bytes: 8,
+                    offloaded: true,
+                },
+                win.vnow(),
+            );
+        }
+        Ok(old)
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            offloaded: self.offloaded.get(),
+            fallback: self.fallback.get(),
+        }
+    }
+}

@@ -7,7 +7,11 @@
 //! round `k+1` until every rank has left round `k`.
 //!
 //! Collective *cost* is modelled as a binomial tree: `ceil(log2 P)` stages of
-//! `α + n/β`, synchronised via [`simnet::clock::sync_max`].
+//! `α + n/β`. Each participant's virtual arrival time is captured when it
+//! deposits its contribution and the maximum is published with the results,
+//! so every rank leaves at the same `max(arrival) + cost` instant by
+//! advancing **its own** clock only. (Bumping peer clocks after release
+//! would race with a fast rank that has already resumed timed work.)
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
@@ -23,7 +27,9 @@ struct CollState {
     arrived: usize,
     leaving: usize,
     contributions: Vec<Option<Vec<u8>>>,
-    results: Option<Arc<Vec<Vec<u8>>>>,
+    /// Virtual clock of each participant at arrival.
+    arrivals: Vec<f64>,
+    results: Option<(f64, Arc<Vec<Vec<u8>>>)>,
 }
 
 /// A reusable allgather rendezvous for a fixed participant count.
@@ -42,15 +48,17 @@ impl CollectiveCell {
                 arrived: 0,
                 leaving: 0,
                 contributions: (0..size).map(|_| None).collect(),
+                arrivals: vec![0.0; size],
                 results: None,
             }),
             cv: Condvar::new(),
         }
     }
 
-    /// Deposits `data` as participant `rank`'s contribution and returns all
-    /// contributions once every participant has arrived.
-    pub fn exchange(&self, rank: usize, data: Vec<u8>) -> Arc<Vec<Vec<u8>>> {
+    /// Deposits `data` as participant `rank`'s contribution (arriving at
+    /// virtual time `now`) and, once every participant has arrived, returns
+    /// all contributions together with the latest arrival time.
+    pub fn exchange(&self, rank: usize, data: Vec<u8>, now: f64) -> (f64, Arc<Vec<Vec<u8>>>) {
         let mut st = self.m.lock();
         // Gate: previous round must fully drain first.
         while st.phase == Phase::Distributing {
@@ -61,6 +69,7 @@ impl CollectiveCell {
             "double arrival of rank {rank}"
         );
         st.contributions[rank] = Some(data);
+        st.arrivals[rank] = now;
         st.arrived += 1;
         if st.arrived == self.size {
             let all: Vec<Vec<u8>> = st
@@ -68,7 +77,8 @@ impl CollectiveCell {
                 .iter_mut()
                 .map(|c| c.take().expect("missing contribution"))
                 .collect();
-            st.results = Some(Arc::new(all));
+            let t_max = st.arrivals.iter().copied().fold(0.0f64, f64::max);
+            st.results = Some((t_max, Arc::new(all)));
             st.phase = Phase::Distributing;
             self.cv.notify_all();
         } else {
@@ -76,7 +86,8 @@ impl CollectiveCell {
                 self.cv.wait(&mut st);
             }
         }
-        let res = Arc::clone(st.results.as_ref().expect("results missing"));
+        let (t_max, ref data) = *st.results.as_ref().expect("results missing");
+        let res = (t_max, Arc::clone(data));
         st.leaving += 1;
         if st.leaving == self.size {
             st.arrived = 0;
@@ -211,12 +222,13 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|r| {
                     let cell = StdArc::clone(&cell);
-                    s.spawn(move || cell.exchange(r, vec![r as u8; r + 1]))
+                    s.spawn(move || cell.exchange(r, vec![r as u8; r + 1], r as f64))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        for res in results {
+        for (t_max, res) in results {
+            assert_eq!(t_max, 3.0, "latest arrival time published to all");
             assert_eq!(res.len(), 4);
             for (r, c) in res.iter().enumerate() {
                 assert_eq!(c, &vec![r as u8; r + 1]);
@@ -232,7 +244,7 @@ mod tests {
                 let cell = StdArc::clone(&cell);
                 s.spawn(move || {
                     for round in 0u8..50 {
-                        let res = cell.exchange(r, vec![round, r as u8]);
+                        let (_, res) = cell.exchange(r, vec![round, r as u8], 0.0);
                         for (i, c) in res.iter().enumerate() {
                             assert_eq!(c, &vec![round, i as u8], "round {round}");
                         }

@@ -169,18 +169,26 @@ impl Comm {
         stages * link.xfer_time(bytes.max(8))
     }
 
-    /// Synchronises member clocks (everyone leaves together) adding `cost`.
-    fn sync_clocks(&self, cost: f64) {
-        if !self.shared.cfg.charge_time {
-            return;
+    /// Rendezvous with every member, stamping this rank's virtual arrival
+    /// time into the exchange. Returns the latest arrival among members
+    /// and the gathered contributions.
+    fn coll_exchange(&self, data: Vec<u8>) -> (f64, std::sync::Arc<Vec<Vec<u8>>>) {
+        let now = if self.shared.cfg.charge_time {
+            self.clock().now()
+        } else {
+            0.0
+        };
+        self.inner.coll.exchange(self.my_comm_rank, data, now)
+    }
+
+    /// Leaves a collective: every member departs at `max(arrival) + cost`,
+    /// each advancing **its own** clock only. (Bumping peer clocks after
+    /// the rendezvous releases would race with a member that has already
+    /// resumed timed work and inflate its measurements.)
+    fn coll_leave(&self, t_max: f64, cost: f64) {
+        if self.shared.cfg.charge_time {
+            self.clock().advance_to(t_max + cost);
         }
-        let clocks: Vec<&simnet::VClock> = self
-            .inner
-            .members
-            .iter()
-            .map(|&w| &self.shared.clocks[w])
-            .collect();
-        simnet::clock::sync_max(&clocks, cost);
     }
 
     // ------------------------------------------------------------------
@@ -235,15 +243,15 @@ impl Comm {
 
     /// Barrier over all members.
     pub fn barrier(&self) {
-        self.inner.coll.exchange(self.my_comm_rank, Vec::new());
-        self.sync_clocks(self.coll_cost(0));
+        let (t, _) = self.coll_exchange(Vec::new());
+        self.coll_leave(t, self.coll_cost(0));
     }
 
     /// Allgather of arbitrary per-rank byte payloads.
     pub fn allgather_bytes(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
         let len = data.len();
-        let res = self.inner.coll.exchange(self.my_comm_rank, data);
-        self.sync_clocks(self.coll_cost(len));
+        let (t, res) = self.coll_exchange(data);
+        self.coll_leave(t, self.coll_cost(len));
         res.as_ref().clone()
     }
 
@@ -258,8 +266,8 @@ impl Comm {
     pub fn allgather_u64s(&self, vals: &[u64]) -> Vec<Vec<u64>> {
         let mut buf = Vec::with_capacity(vals.len() * 8);
         coll::wire::put_u64s(&mut buf, vals);
-        let res = self.inner.coll.exchange(self.my_comm_rank, buf);
-        self.sync_clocks(self.coll_cost(vals.len() * 8));
+        let (t, res) = self.coll_exchange(buf);
+        self.coll_leave(t, self.coll_cost(vals.len() * 8));
         res.iter()
             .map(|b| coll::wire::get_u64s(b, vals.len()).0)
             .collect()
@@ -277,8 +285,8 @@ impl Comm {
             (true, None) => panic!("root must supply the broadcast payload"),
             (false, _) => Vec::new(),
         };
-        let res = self.inner.coll.exchange(self.my_comm_rank, mine);
-        self.sync_clocks(self.coll_cost(8));
+        let (t, res) = self.coll_exchange(mine);
+        self.coll_leave(t, self.coll_cost(8));
         coll::wire::get_u64s(&res[root], 1).0[0]
     }
 
@@ -291,8 +299,8 @@ impl Comm {
         } else {
             Vec::new()
         };
-        let res = self.inner.coll.exchange(self.my_comm_rank, mine);
-        self.sync_clocks(self.coll_cost(res[root].len()));
+        let (t, res) = self.coll_exchange(mine);
+        self.coll_leave(t, self.coll_cost(res[root].len()));
         res[root].clone()
     }
 
@@ -300,8 +308,8 @@ impl Comm {
     pub fn allreduce_f64(&self, op: ReduceOp, vals: &[f64]) -> Vec<f64> {
         let mut buf = Vec::with_capacity(vals.len() * 8);
         coll::wire::put_f64s(&mut buf, vals);
-        let res = self.inner.coll.exchange(self.my_comm_rank, buf);
-        self.sync_clocks(self.coll_cost(vals.len() * 8));
+        let (t, res) = self.coll_exchange(buf);
+        self.coll_leave(t, self.coll_cost(vals.len() * 8));
         let vecs: Vec<Vec<f64>> = res.iter().map(|b| coll::wire::get_f64s(b)).collect();
         coll::reduce_f64(op, &vecs)
     }
@@ -310,8 +318,8 @@ impl Comm {
     pub fn allreduce_i64(&self, op: ReduceOp, vals: &[i64]) -> Vec<i64> {
         let mut buf = Vec::with_capacity(vals.len() * 8);
         coll::wire::put_i64s(&mut buf, vals);
-        let res = self.inner.coll.exchange(self.my_comm_rank, buf);
-        self.sync_clocks(self.coll_cost(vals.len() * 8));
+        let (t, res) = self.coll_exchange(buf);
+        self.coll_leave(t, self.coll_cost(vals.len() * 8));
         let vecs: Vec<Vec<i64>> = res.iter().map(|b| coll::wire::get_i64s(b)).collect();
         coll::reduce_i64(op, &vecs)
     }
@@ -322,8 +330,8 @@ impl Comm {
     pub fn maxloc_i64(&self, value: i64) -> (i64, usize) {
         let mut buf = Vec::with_capacity(8);
         coll::wire::put_i64s(&mut buf, &[value]);
-        let res = self.inner.coll.exchange(self.my_comm_rank, buf);
-        self.sync_clocks(self.coll_cost(8));
+        let (t, res) = self.coll_exchange(buf);
+        self.coll_leave(t, self.coll_cost(8));
         let pairs: Vec<(i64, usize)> = res
             .iter()
             .enumerate()
@@ -350,8 +358,8 @@ impl Comm {
         for b in &send {
             buf.extend_from_slice(b);
         }
-        let res = self.inner.coll.exchange(self.my_comm_rank, buf);
-        self.sync_clocks(self.coll_cost(total / self.size().max(1)));
+        let (t, res) = self.coll_exchange(buf);
+        self.coll_leave(t, self.coll_cost(total / self.size().max(1)));
         res.iter()
             .map(|b| {
                 let (lens, mut rest) = coll::wire::get_u64s(b, self.size());

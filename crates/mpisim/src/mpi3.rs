@@ -118,7 +118,30 @@ impl WinHandle {
         tdisp: usize,
         op: FetchOp,
     ) -> MpiResult<i64> {
-        self.rmw_guarded(target, tdisp, |cell| {
+        self.rmw_guarded(target, tdisp, true, |cell| {
+            let old = i64::from_le_bytes(*cell);
+            let new = match op {
+                FetchOp::Sum => old.wrapping_add(operand),
+                FetchOp::Replace => operand,
+                FetchOp::NoOp => old,
+            };
+            *cell = new.to_le_bytes();
+            old
+        })
+    }
+
+    /// Epoch-free fetch-and-op for channel-style wire backends whose
+    /// atomics complete through a NIC completion queue instead of inside
+    /// an MPI epoch. Same cell-level atomicity and pricing as
+    /// [`WinHandle::fetch_and_op_i64`]; no epoch is required or checked.
+    pub fn fetch_and_op_i64_raw(
+        &self,
+        operand: i64,
+        target: usize,
+        tdisp: usize,
+        op: FetchOp,
+    ) -> MpiResult<i64> {
+        self.rmw_guarded(target, tdisp, false, |cell| {
             let old = i64::from_le_bytes(*cell);
             let new = match op {
                 FetchOp::Sum => old.wrapping_add(operand),
@@ -138,7 +161,7 @@ impl WinHandle {
         tdisp: usize,
         op: FetchOp,
     ) -> MpiResult<f64> {
-        let old = self.rmw_guarded(target, tdisp, |cell| {
+        let old = self.rmw_guarded(target, tdisp, true, |cell| {
             let old = f64::from_le_bytes(*cell);
             let new = match op {
                 FetchOp::Sum => old + operand,
@@ -160,7 +183,7 @@ impl WinHandle {
         target: usize,
         tdisp: usize,
     ) -> MpiResult<i64> {
-        self.rmw_guarded(target, tdisp, |cell| {
+        self.rmw_guarded(target, tdisp, true, |cell| {
             let old = i64::from_le_bytes(*cell);
             let new = if old == compare { swap } else { old };
             *cell = new.to_le_bytes();
@@ -170,11 +193,13 @@ impl WinHandle {
 
     /// Atomically applies `f` to the 8-byte cell at `tdisp` on `target`.
     /// The mutator works in place on a stack array — RMW ops allocate
-    /// nothing per call.
+    /// nothing per call. `require_epoch` enforces the MPI rule that an
+    /// epoch covers the access; channel-backend NIC atomics pass `false`.
     fn rmw_guarded(
         &self,
         target: usize,
         tdisp: usize,
+        require_epoch: bool,
         f: impl FnOnce(&mut [u8; 8]) -> i64,
     ) -> MpiResult<i64> {
         const WIDTH: usize = 8;
@@ -184,7 +209,7 @@ impl WinHandle {
                 size: self.size_count(),
             });
         }
-        if !self.lock_all_active.get() && !self.is_locked(target) {
+        if require_epoch && !self.lock_all_active.get() && !self.is_locked(target) {
             return Err(MpiError::NoEpoch { target });
         }
         let size = self.size_of(target);
@@ -239,7 +264,8 @@ impl WinHandle {
         tdt: &Datatype,
     ) -> MpiResult<RmaRequest> {
         let cost = self.put_core(origin, odt, target, tdisp, tdt)?;
-        Ok(self.issue_deferred(cost))
+        let extra = self.net_extra(target, self.wire_ser(simnet::Op::Put, odt.size()), 1);
+        Ok(self.issue_deferred(cost + extra))
     }
 
     /// Request-based get (`MPI_Rget`).
@@ -252,7 +278,8 @@ impl WinHandle {
         tdt: &Datatype,
     ) -> MpiResult<RmaRequest> {
         let cost = self.get_core(origin, odt, target, tdisp, tdt)?;
-        Ok(self.issue_deferred(cost))
+        let extra = self.net_extra(target, self.wire_ser(simnet::Op::Get, odt.size()), 1);
+        Ok(self.issue_deferred(cost + extra))
     }
 
     /// Request-based accumulate (`MPI_Raccumulate`).
@@ -268,7 +295,8 @@ impl WinHandle {
         op: AccOp,
     ) -> MpiResult<RmaRequest> {
         let cost = self.accumulate_core(origin, odt, target, tdisp, tdt, elem, op)?;
-        Ok(self.issue_deferred(cost))
+        let extra = self.net_extra(target, self.wire_ser(simnet::Op::Acc, odt.size()), 1);
+        Ok(self.issue_deferred(cost + extra))
     }
 
     /// Request-based scheduler-merged RMA: one wire operation covering a
@@ -290,9 +318,17 @@ impl WinHandle {
     /// returned request's completion time.
     fn issue_deferred(&self, cost: f64) -> RmaRequest {
         let issue = self.params_pub().op_overhead.min(cost);
+        self.defer(issue, cost)
+    }
+
+    /// Charges `issue` now and returns a request completing when the
+    /// remaining `total - issue` has elapsed. For wire backends that price
+    /// operations themselves (e.g. a channel backend's doorbell write now,
+    /// completion-queue poll at `wait`).
+    pub fn defer(&self, issue: f64, total: f64) -> RmaRequest {
         self.charge_pub(issue);
         RmaRequest {
-            completes_at: self.now() + (cost - issue),
+            completes_at: self.now() + (total - issue).max(0.0),
         }
     }
 

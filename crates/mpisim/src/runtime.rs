@@ -5,7 +5,7 @@ use crate::comm::{Comm, CommInner};
 use crate::p2p::Mailbox;
 use crate::win::WinInner;
 use parking_lot::{Mutex, RwLock};
-use simnet::{Platform, PlatformId, VClock};
+use simnet::{CongestionParams, Network, Platform, PlatformId, VClock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -22,6 +22,11 @@ pub struct RuntimeConfig {
     pub semantic_checks: bool,
     /// When true, operations advance the per-rank virtual clocks.
     pub charge_time: bool,
+    /// When set, inter-node RMA contends for shared per-node NICs (see
+    /// [`simnet::net`]): concurrent transfers on one link queue behind
+    /// each other instead of each seeing the full bandwidth. `None`
+    /// (the default) keeps the classic independent-op pricing.
+    pub congestion: Option<CongestionParams>,
 }
 
 impl Default for RuntimeConfig {
@@ -30,6 +35,7 @@ impl Default for RuntimeConfig {
             platform: Platform::get(PlatformId::InfiniBandCluster),
             semantic_checks: true,
             charge_time: true,
+            congestion: None,
         }
     }
 }
@@ -63,6 +69,8 @@ pub(crate) struct Shared {
     /// publish cross-rank state without going through MPI windows.
     pub shmem: RwLock<HashMap<u64, Arc<dyn std::any::Any + Send + Sync>>>,
     pub next_uid: AtomicU64,
+    /// Shared-NIC congestion model; populated iff `cfg.congestion` is set.
+    pub net: Option<Network>,
 }
 
 pub(crate) const WORLD_COMM_ID: u64 = 0;
@@ -76,6 +84,10 @@ impl Shared {
         });
         let mut comms = HashMap::new();
         comms.insert(WORLD_COMM_ID, world);
+        let net = cfg.congestion.clone().map(|p| {
+            let per_node = cfg.platform.cores_per_node().max(1) as usize;
+            Network::new(nranks.div_ceil(per_node).max(1), p)
+        });
         Arc::new(Shared {
             nranks,
             cfg,
@@ -88,6 +100,7 @@ impl Shared {
             free_win_ids: Mutex::new(Vec::new()),
             shmem: RwLock::new(HashMap::new()),
             next_uid: AtomicU64::new(1),
+            net,
         })
     }
 

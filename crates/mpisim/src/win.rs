@@ -516,6 +516,55 @@ impl WinHandle {
         &self.shared.cfg.platform.mpi
     }
 
+    /// RAMC-style channel parameters of the configured platform, for wire
+    /// backends that price transfers themselves (doorbell + completion
+    /// queue instead of MPI epochs).
+    pub fn channel_params(&self) -> &simnet::ChannelParams {
+        &self.shared.cfg.platform.channel
+    }
+
+    /// Whether a window-wide `lock_all` epoch is currently open from this
+    /// rank. Transport backends use this to decide whether a byte-protocol
+    /// access needs its own lock or is already covered.
+    pub fn lock_all_is_active(&self) -> bool {
+        self.lock_all_active.get()
+    }
+
+    /// This rank's current virtual time (trace-event stamps for backends
+    /// that emit their own events).
+    pub fn vnow(&self) -> f64 {
+        self.vt()
+    }
+
+    /// Advances this rank's virtual clock by `dt` (honouring
+    /// `charge_time`). For transport backends that compute their own
+    /// costs instead of going through the MPI-priced entry points.
+    pub fn charge_virtual(&self, dt: f64) {
+        self.charge(dt);
+    }
+
+    /// Wire serialization time of `bytes` under the MPI link for `op` —
+    /// the NIC occupancy a transfer holds regardless of which backend
+    /// priced it.
+    pub(crate) fn wire_ser(&self, op: simnet::Op, bytes: usize) -> f64 {
+        let link = self.params().link(op);
+        bytes as f64 / link.effective_peak(bytes)
+    }
+
+    /// Extra virtual-time delay the shared-NIC congestion model imposes on
+    /// a transfer of `ser` seconds wire occupancy in `msgs` messages to
+    /// `target` (a rank of this window's communicator). Zero when the
+    /// congestion model is off or the peer is node-local.
+    pub fn net_extra(&self, target: usize, ser: f64, msgs: u64) -> f64 {
+        let Some(net) = &self.shared.net else {
+            return 0.0;
+        };
+        let plat = &self.shared.cfg.platform;
+        let src = plat.node_of(self.comm.my_world_rank());
+        let dst = plat.node_of(self.comm.world_rank_of(target));
+        net.admit(self.vt(), src, dst, ser, msgs)
+    }
+
     // ------------------------------------------------------------------
     // Epochs
     // ------------------------------------------------------------------
@@ -761,7 +810,8 @@ impl WinHandle {
         tdt: &Datatype,
     ) -> MpiResult<()> {
         let cost = self.put_core(origin, odt, target, tdisp, tdt)?;
-        self.charge(cost);
+        let extra = self.net_extra(target, self.wire_ser(simnet::Op::Put, odt.size()), 1);
+        self.charge(cost + extra);
         Ok(())
     }
 
@@ -809,7 +859,8 @@ impl WinHandle {
         tdt: &Datatype,
     ) -> MpiResult<()> {
         let cost = self.get_core(origin, odt, target, tdisp, tdt)?;
-        self.charge(cost);
+        let extra = self.net_extra(target, self.wire_ser(simnet::Op::Get, odt.size()), 1);
+        self.charge(cost + extra);
         Ok(())
     }
 
@@ -859,7 +910,8 @@ impl WinHandle {
         op: AccOp,
     ) -> MpiResult<()> {
         let cost = self.accumulate_core(origin, odt, target, tdisp, tdt, elem, op)?;
-        self.charge(cost);
+        let extra = self.net_extra(target, self.wire_ser(simnet::Op::Acc, odt.size()), 1);
+        self.charge(cost + extra);
         Ok(())
     }
 
@@ -1047,7 +1099,8 @@ impl WinHandle {
             RmaClass::Acc(..) => (simnet::Op::Acc, obs::OpKind::Acc),
         };
         self.note_rma(okind, target, bytes, nsegs, cached);
-        Ok(self.op_cost(op, bytes, nsegs, issued, cached))
+        let extra = self.net_extra(target, self.wire_ser(op, bytes), 1);
+        Ok(self.op_cost(op, bytes, nsegs, issued, cached) + extra)
     }
 
     /// Contiguous-put convenience.

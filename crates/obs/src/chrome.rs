@@ -270,6 +270,25 @@ fn describe(e: &Event) -> (String, &'static str, Phase, Vec<(String, Value)>) {
                 ("bytes".into(), uval(*bytes)),
             ],
         ),
+        TransportIssue {
+            backend,
+            win,
+            target,
+            kind,
+            bytes,
+            offloaded,
+        } => (
+            format!("{backend}:{}", kind.name()),
+            "transport",
+            Phase::Instant,
+            vec![
+                ("backend".into(), sval(backend)),
+                ("win".into(), uval(*win)),
+                ("target".into(), uval(u64::from(*target))),
+                ("bytes".into(), uval(*bytes)),
+                ("offloaded".into(), Value::Bool(*offloaded)),
+            ],
+        ),
     }
 }
 

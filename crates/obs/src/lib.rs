@@ -211,6 +211,19 @@ pub enum EventKind {
         write: bool,
         bytes: u64,
     },
+    /// A wire operation issued through a pluggable transport backend other
+    /// than plain MPI RMA (which keeps emitting [`EventKind::Rma`]).
+    /// `offloaded` is true when the backend handled the operation in
+    /// hardware (e.g. a contiguous channel put) rather than falling back to
+    /// a software path.
+    TransportIssue {
+        backend: &'static str,
+        win: u64,
+        target: u32,
+        kind: OpKind,
+        bytes: u64,
+        offloaded: bool,
+    },
 }
 
 /// One recorded event. `ts`/`dur` are virtual seconds; `dur` is zero for

@@ -244,6 +244,18 @@ impl Registry {
                     reg.bump("shm.bypass_bytes", *bytes);
                     reg.bump(&format!("win.{win}.shm_bytes"), *bytes);
                 }
+                TransportIssue {
+                    backend,
+                    kind,
+                    bytes,
+                    offloaded,
+                    ..
+                } => {
+                    reg.bump(&format!("transport.{backend}.{}", kind.name()), 1);
+                    reg.bump(&format!("transport.{backend}.bytes"), *bytes);
+                    let path = if *offloaded { "offloaded" } else { "fallback" };
+                    reg.bump(&format!("transport.{backend}.{path}"), 1);
+                }
             }
         }
         reg

@@ -28,12 +28,14 @@
 
 pub mod clock;
 pub mod cost;
+pub mod net;
 pub mod platform;
 pub mod pool;
 pub mod registration;
 
 pub use clock::VClock;
-pub use cost::{BackendParams, LinkParams, Op, ShmParams, StridedMethodCost};
+pub use cost::{BackendParams, ChannelParams, LinkParams, Op, ShmParams, StridedMethodCost};
+pub use net::{CongestionParams, Network};
 pub use platform::{ComputeParams, Platform, PlatformId};
 pub use pool::{BufferPool, PoolBuf, PoolStats, RegistrationPolicy};
 pub use registration::{BufferKind, RegParams, RegistrationTracker};

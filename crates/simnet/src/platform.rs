@@ -17,7 +17,7 @@
 //! * **Cray XE6** — the native port is a development release: MPI achieves
 //!   roughly 2× native bandwidth for put/get and ~25% more for acc.
 
-use crate::cost::{BackendParams, LinkParams, ShmParams};
+use crate::cost::{BackendParams, ChannelParams, LinkParams, ShmParams};
 use crate::registration::RegParams;
 use serde::Serialize;
 
@@ -89,6 +89,9 @@ pub struct Platform {
     /// Intra-node shared-memory tier (load/store through a
     /// `Win_allocate_shared` slab); see [`ShmParams`].
     pub shm: ShmParams,
+    /// RAMC-style remote memory channel backend (doorbell + completion
+    /// queue over the same wire); see [`ChannelParams`].
+    pub channel: ChannelParams,
     pub reg: RegParams,
     pub compute: ComputeParams,
 }
@@ -207,6 +210,7 @@ fn blue_gene_p() -> Platform {
         win_sync: 0.15e-6,
         lock_overhead: 0.25e-6,
     };
+    let channel = ChannelParams::derived(&mpi);
     Platform {
         id: PlatformId::BlueGeneP,
         name: PlatformId::BlueGeneP.name(),
@@ -220,6 +224,7 @@ fn blue_gene_p() -> Platform {
         native,
         mpi,
         shm,
+        channel,
         reg: reg_trivial(),
         compute: ComputeParams {
             flops_per_core: 2.7e9,
@@ -270,6 +275,7 @@ fn infiniband() -> Platform {
         win_sync: 0.08e-6,
         lock_overhead: 0.15e-6,
     };
+    let channel = ChannelParams::derived(&mpi);
     Platform {
         id: PlatformId::InfiniBandCluster,
         name: PlatformId::InfiniBandCluster.name(),
@@ -283,6 +289,7 @@ fn infiniband() -> Platform {
         native,
         mpi,
         shm,
+        channel,
         reg: RegParams {
             bounce_threshold: 8 << 10,
             copy_rate: 4.5e9,
@@ -341,6 +348,7 @@ fn cray_xt5() -> Platform {
         win_sync: 0.10e-6,
         lock_overhead: 0.18e-6,
     };
+    let channel = ChannelParams::derived(&mpi);
     Platform {
         id: PlatformId::CrayXT5,
         name: PlatformId::CrayXT5.name(),
@@ -354,6 +362,7 @@ fn cray_xt5() -> Platform {
         native,
         mpi,
         shm,
+        channel,
         reg: reg_trivial(),
         compute: ComputeParams {
             flops_per_core: 9.2e9,
@@ -403,6 +412,7 @@ fn cray_xe6() -> Platform {
         win_sync: 0.08e-6,
         lock_overhead: 0.15e-6,
     };
+    let channel = ChannelParams::derived(&mpi);
     Platform {
         id: PlatformId::CrayXE6,
         name: PlatformId::CrayXE6.name(),
@@ -416,6 +426,7 @@ fn cray_xe6() -> Platform {
         native,
         mpi,
         shm,
+        channel,
         reg: reg_trivial(),
         compute: ComputeParams {
             flops_per_core: 8.4e9,
@@ -497,6 +508,22 @@ mod tests {
         assert!(!ib.same_node(7, 8));
         let bgp = Platform::get(PlatformId::BlueGeneP); // 4 cores/node
         assert_eq!(bgp.node_of(5), 1);
+    }
+
+    #[test]
+    fn channel_offload_beats_mpi_epoch_on_every_platform() {
+        use crate::cost::Op;
+        for p in Platform::all() {
+            for bytes in [8usize, 1 << 10, 1 << 16, BIG] {
+                let mpi = p.mpi.contig_epoch_cost(Op::Put, bytes);
+                let chan = p.channel.contig_cost(bytes);
+                assert!(
+                    chan < mpi,
+                    "{}: {bytes}B channel {chan} !< mpi {mpi}",
+                    p.name
+                );
+            }
+        }
     }
 
     #[test]
