@@ -35,6 +35,11 @@ pub enum ArmciError {
     Mpi(mpisim::MpiError),
     /// Operation not supported by this implementation/configuration.
     Unsupported(&'static str),
+    /// A backend was asked for an atomic of a width it cannot price.
+    /// Surfaced explicitly instead of silently falling back to a
+    /// software emulation whose cost and atomicity domain would differ
+    /// from what the caller asked for.
+    AtomicUnsupported { backend: &'static str, width: usize },
     /// An operation contradicts the allocation's access-mode hint
     /// (§VIII-A): e.g. a Put into a ReadOnly-hinted GMR. The hint is a
     /// promise about application behaviour during the phase; breaking it
@@ -77,6 +82,10 @@ impl fmt::Display for ArmciError {
             ),
             ArmciError::Mpi(e) => write!(f, "MPI error: {e}"),
             ArmciError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            ArmciError::AtomicUnsupported { backend, width } => write!(
+                f,
+                "backend `{backend}` cannot price a {width}-byte atomic operation"
+            ),
             ArmciError::AccessModeViolation { gmr, mode, op } => write!(
                 f,
                 "{op} violates the {mode} access-mode hint on allocation {gmr}"
@@ -160,5 +169,16 @@ mod tests {
             ArmciError::Mpi(mpisim::MpiError::NoEpoch { target: 1 })
         );
         assert!(ArmciError::ShmDetached { gmr: 3 }.to_string().contains("3"));
+    }
+
+    #[test]
+    fn atomic_unsupported_names_backend_and_width() {
+        let e = ArmciError::AtomicUnsupported {
+            backend: "channel",
+            width: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("channel"));
+        assert!(s.contains("4-byte"));
     }
 }

@@ -26,6 +26,13 @@ fn bench_rmw(c: &mut Criterion) {
             b.iter(|| {
                 let cfg = Config {
                     use_mpi3_rmw: mpi3,
+                    // The default resolves to native atomics; the MPI-2
+                    // arm must really run the mutex protocol.
+                    atomics: if mpi3 {
+                        armci_mpi::AtomicsMode::Native
+                    } else {
+                        armci_mpi::AtomicsMode::MutexFallback
+                    },
                     ..Default::default()
                 };
                 Runtime::run_with(4, quiet(), move |p| {

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [table2|fig3|fig4|fig5|fig6|pipeline|pool|coalesce|shm|transport|all] [--json DIR]
+//! figures [table2|fig3|fig4|fig5|fig6|pipeline|pool|coalesce|shm|transport|rmw|all] [--json DIR]
 //! figures check DIR
 //! ```
 //!
@@ -11,7 +11,9 @@
 //! exits nonzero on drift — CI regenerates the cheap artifacts and runs
 //! it to catch accidental serializer or struct-shape changes.
 
-use bench::{coalesce, fig3, fig4, fig5, fig6r, pipeline, pool, shm, table2, trace, transport};
+use bench::{
+    coalesce, fig3, fig4, fig5, fig6r, pipeline, pool, rmw, shm, table2, trace, transport,
+};
 use serde::Value;
 use simnet::PlatformId;
 
@@ -158,6 +160,23 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
                 ("high_water_bytes", Kind::UInt),
             ],
         ),
+        (
+            "BENCH_rmw",
+            vec![
+                ("platform", Kind::Str),
+                ("transport", Kind::Str),
+                ("atomics_mode", Kind::Str),
+                ("source", Kind::Str),
+                ("ranks", Kind::UInt),
+                ("ranks_per_node", Kind::UInt),
+                ("block", Kind::UInt),
+                ("service_us", Kind::Num),
+                ("ticket_us", Kind::Num),
+                ("makespan_s", Kind::Num),
+                ("counter_utilisation", Kind::Num),
+                ("cas_retries", Kind::UInt),
+            ],
+        ),
     ]
 }
 
@@ -229,6 +248,20 @@ fn check(dir: &str) -> usize {
                     Some((_, Value::Str(_))) => {
                         complain(format!("{path}[{i}]: `transport` must be nonempty"))
                     }
+                    _ => {} // missing/mistyped already reported above
+                }
+            }
+            // Atomic measurements are meaningless without knowing which
+            // synchronization discipline produced them: every BENCH_rmw
+            // row must carry its `atomics_mode` provenance.
+            if name == "BENCH_rmw" {
+                match entries.iter().find(|(k, _)| k == "atomics_mode") {
+                    Some((_, Value::Str(m)))
+                        if matches!(m.as_str(), "native" | "mutex" | "sharded") => {}
+                    Some((_, Value::Str(m))) => complain(format!(
+                        "{path}[{i}]: unknown `atomics_mode` `{m}` \
+                         (want native|mutex|sharded)"
+                    )),
                     _ => {} // missing/mistyped already reported above
                 }
             }
@@ -467,6 +500,19 @@ fn main() {
         }
         dump(
             "BENCH_transport",
+            &serde_json::to_string_pretty(&everything).unwrap(),
+        );
+    }
+    if all || what == "rmw" {
+        let mut everything = Vec::new();
+        for id in [PlatformId::InfiniBandCluster, PlatformId::CrayXE6] {
+            eprintln!("[figures] rmw: {}", id.name());
+            let rows = rmw::generate(id);
+            print!("{}", rmw::render(&rows));
+            everything.extend(rows);
+        }
+        dump(
+            "BENCH_rmw",
             &serde_json::to_string_pretty(&everything).unwrap(),
         );
     }

@@ -9,7 +9,7 @@
 //! differ only in epoch count, wire-operation count, and virtual time.
 
 use armci::Armci;
-use armci_mpi::{ArmciMpi, CoalesceMode, Config};
+use armci_mpi::{ArmciMpi, AtomicsMode, CoalesceMode, Config};
 use mpisim::{Proc, Runtime};
 use nwchem_proxy::{run_ccsd, run_ccsd_pipelined, CcsdConfig};
 use serde::Serialize;
@@ -66,6 +66,14 @@ pub struct Row {
 fn arm_cfg(arm: &str, epochless: bool) -> Config {
     Config {
         epochless,
+        // Keep the lock/unlock epoch shape this A/B asserts on stable:
+        // the non-epochless arms model the paper's MPI-2 configuration,
+        // whose RMW is the mutex protocol, not native atomics.
+        atomics: if epochless {
+            AtomicsMode::Auto
+        } else {
+            AtomicsMode::MutexFallback
+        },
         coalesce: match arm {
             "nb-coalesced" => CoalesceMode::Auto,
             _ => CoalesceMode::PerOp,

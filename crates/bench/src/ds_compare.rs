@@ -69,7 +69,16 @@ pub fn generate(platform: PlatformId) -> Vec<Row> {
 pub fn nxtval_latency(platform: PlatformId, n: usize) -> (f64, f64) {
     let iters = 30usize;
     let rma = Runtime::run_with(n, crate::internode(platform), move |p| {
-        let rt = ArmciMpi::new(p);
+        // This measurement is the paper's §V-D mutex protocol (the render
+        // labels it "RMA (mutex)"); native atomics are the default now, so
+        // pin the fallback explicitly.
+        let rt = ArmciMpi::with_config(
+            p,
+            armci_mpi::Config {
+                atomics: armci_mpi::AtomicsMode::MutexFallback,
+                ..Default::default()
+            },
+        );
         let bases = rt.malloc(8).unwrap();
         rt.barrier();
         let t0 = p.clock().now();

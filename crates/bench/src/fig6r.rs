@@ -75,6 +75,7 @@ pub fn generate_ablation(platform: PlatformId) -> Vec<Series> {
                 Fig6Opts {
                     access_modes: true,
                     mpi3_rmw: false,
+                    nxtval_shard: None,
                 },
             )
             .into_iter()
@@ -91,6 +92,24 @@ pub fn generate_ablation(platform: PlatformId) -> Vec<Series> {
                 Fig6Opts {
                     access_modes: true,
                     mpi3_rmw: true,
+                    nxtval_shard: None,
+                },
+            )
+            .into_iter()
+            .map(|q| (q.cores, q.minutes))
+            .collect(),
+        });
+        out.push(Series {
+            platform,
+            backend: "ARMCI-MPI (+modes, sharded NXTVAL)",
+            phase: phase_label(phase),
+            points: fig6::series_with(
+                platform,
+                phase,
+                Fig6Opts {
+                    access_modes: true,
+                    mpi3_rmw: true,
+                    nxtval_shard: Some(64),
                 },
             )
             .into_iter()

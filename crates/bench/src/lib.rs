@@ -23,7 +23,10 @@
 //! (`BENCH_shm.json`). [`transport`] A/B-tests the pluggable wire
 //! backends — MPI passive-target RMA vs RAMC-style remote memory
 //! channels — with and without the congestion-aware shared-NIC queueing
-//! model (`BENCH_transport.json`).
+//! model (`BENCH_transport.json`). [`rmw`] sweeps the NXTVAL contention
+//! story 1 → 4096 ranks across the three ticket disciplines — native
+//! MPI-3 atomics, the §V-D Latham mutex, and the sharded per-node
+//! counter (`BENCH_rmw.json`).
 //!
 //! The `figures` binary prints each as aligned text and (optionally) JSON.
 //! Bandwidth numbers are **virtual-time** measurements: the operations
@@ -38,6 +41,7 @@ pub mod fig5;
 pub mod fig6r;
 pub mod pipeline;
 pub mod pool;
+pub mod rmw;
 pub mod shm;
 pub mod table2;
 pub mod trace;

@@ -12,7 +12,7 @@
 //! in virtual time.
 
 use armci::{AccKind, Armci};
-use armci_mpi::{ArmciMpi, Config, StageStats};
+use armci_mpi::{ArmciMpi, AtomicsMode, Config, StageStats};
 use mpisim::{Runtime, RuntimeConfig};
 use nwchem_proxy::{run_ccsd, CcsdConfig};
 use serde::Serialize;
@@ -66,6 +66,10 @@ fn topo(platform: PlatformId, ranks_per_node: u32) -> RuntimeConfig {
 fn arm_cfg(arm: &str) -> Config {
     Config {
         shm: arm == "shm",
+        // This A/B measures the data-path tier, in the paper's MPI-2
+        // configuration; pin its mutex RMW so the arms stay comparable
+        // to the seeded artifact now that native atomics are the default.
+        atomics: AtomicsMode::MutexFallback,
         ..Default::default()
     }
 }

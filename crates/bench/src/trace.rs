@@ -65,7 +65,14 @@ pub fn capture(ranks: usize, platform: PlatformId, body: impl Fn(&Proc) + Send +
 /// nonblocking epoch, and a DLA region.
 pub fn fig3_capture() -> Capture {
     capture(2, PlatformId::InfiniBandCluster, |p| {
-        let rt = ArmciMpi::with_config(p, Config::default());
+        // MPI-2 mode: mutex RMW, per-op lock epochs.
+        let rt = ArmciMpi::with_config(
+            p,
+            Config {
+                atomics: armci_mpi::AtomicsMode::MutexFallback,
+                ..Default::default()
+            },
+        );
         let bases = rt.malloc(1 << 20).expect("malloc");
         rt.barrier();
         if p.rank() == 0 {
@@ -103,7 +110,15 @@ pub fn fig3_capture() -> Capture {
 /// task claims, strided tile gets, accumulates).
 pub fn ccsd_capture() -> Capture {
     capture(2, PlatformId::InfiniBandCluster, |p| {
-        let rt = ArmciMpi::with_config(p, Config::default());
+        // Paper-vintage MPI-2 shape: the read_inc task claims go through
+        // the mutex protocol, so its lock intervals stay in the trace.
+        let rt = ArmciMpi::with_config(
+            p,
+            Config {
+                atomics: armci_mpi::AtomicsMode::MutexFallback,
+                ..Default::default()
+            },
+        );
         let cfg = CcsdConfig::tiny();
         run_ccsd(p, &rt, &cfg);
     })

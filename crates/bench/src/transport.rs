@@ -15,7 +15,7 @@
 //! compared.
 
 use armci::{AccKind, Armci};
-use armci_mpi::{ArmciMpi, Config, TransportKind};
+use armci_mpi::{ArmciMpi, AtomicsMode, Config, TransportKind};
 use mpisim::{Runtime, RuntimeConfig};
 use nwchem_proxy::{run_ccsd, CcsdConfig};
 use serde::Serialize;
@@ -78,6 +78,10 @@ fn arm_cfg(transport: TransportKind) -> Config {
         // tier (which locks under the channel backend) and measure the
         // slab instead of the wire. BENCH_shm measures that tier.
         shm: false,
+        // Both wire arms carry the paper's MPI-2 RMW (mutex protocol) so
+        // the backend comparison is unaffected by the native-atomics
+        // default; BENCH_rmw is where the disciplines are compared.
+        atomics: AtomicsMode::MutexFallback,
         ..Default::default()
     }
 }

@@ -1626,6 +1626,99 @@ impl ArmciMpi {
         Ok(())
     }
 
+    /// Quiesce for a native atomic on bytes `[lo, hi)` of `(gmr,
+    /// target)`: retires only the in-flight nonblocking work the atomic
+    /// actually orders against. Under a per-op (MPI-2) backend the
+    /// atomic takes its own per-target lock, so every open aggregate
+    /// epoch on the same `(gmr, target)` must retire first regardless of
+    /// ranges; under the epochless and channel disciplines only
+    /// range-overlapping work must complete (location consistency), and
+    /// everything else stays in flight — §VIII-B(4)'s point that atomics
+    /// need not serialise the overlap schedule.
+    pub(crate) fn nb_quiesce_for_atomic(
+        &self,
+        gmr: u64,
+        target: usize,
+        lo: usize,
+        hi: usize,
+    ) -> ArmciResult<()> {
+        let per_op = self.tx.epoch_style() == transport::EpochStyle::PerOp;
+        let overlap = |ranges: &[(usize, usize, NbKind)]| {
+            ranges.iter().any(|&(rlo, rhi, _)| lo < rhi && rlo < hi)
+        };
+        let (queues, epochs) = {
+            let mut nb = self.nb.borrow_mut();
+            let mut keep_q = Vec::new();
+            let mut out_q = Vec::new();
+            for q in std::mem::take(&mut nb.queues) {
+                if q.gmr == gmr && q.target == target && overlap(&q.ranges) {
+                    out_q.push(q);
+                } else {
+                    keep_q.push(q);
+                }
+            }
+            nb.queues = keep_q;
+            let mut keep = Vec::new();
+            let mut out = Vec::new();
+            for ep in std::mem::take(&mut nb.open) {
+                if ep.gmr == gmr && ep.target == target && (per_op || overlap(&ep.ranges)) {
+                    out.push(ep);
+                } else {
+                    keep.push(ep);
+                }
+            }
+            nb.open = keep;
+            (out_q, out)
+        };
+        for q in queues {
+            self.sched_flush(q)?;
+        }
+        for ep in epochs {
+            self.nb_complete_epoch(ep)?;
+        }
+        Ok(())
+    }
+
+    /// Attaches an in-flight atomic's completion request to the open
+    /// aggregate epoch on `(gmr, target)` — creating one if necessary —
+    /// and returns the deferred handle that retires it. Only meaningful
+    /// for backends without per-target locks (`Flush` or `None` epoch
+    /// styles): the standing `lock_all` (or the NIC) covers the access,
+    /// so the RMW joins the same completion batch as coalesced data
+    /// traffic instead of forcing its own exclusive epoch.
+    pub(crate) fn nb_attach_atomic(&self, gmr: u64, target: usize, req: RmaRequest) -> NbHandle {
+        let mut nb = self.nb.borrow_mut();
+        nb.next_id += 1;
+        let id = nb.next_id;
+        let idx = match nb
+            .open
+            .iter()
+            .position(|e| e.gmr == gmr && e.target == target)
+        {
+            Some(i) => {
+                self.stage(|g| g.nb_aggregated += 1);
+                i
+            }
+            None => {
+                self.stage(|g| g.acquires += 1);
+                nb.open.push(NbEpoch {
+                    gmr,
+                    target,
+                    mode: LockMode::Shared,
+                    ids: Vec::new(),
+                    reqs: Vec::new(),
+                    ranges: Vec::new(),
+                });
+                nb.open.len() - 1
+            }
+        };
+        let ep = &mut nb.open[idx];
+        ep.reqs.push(req);
+        ep.ids.push(id);
+        self.stage(|g| g.nb_submitted += 1);
+        NbHandle::deferred(id)
+    }
+
     /// Completes one aggregate epoch: waits all requests (advancing the
     /// virtual clock to the latest completion), then unlocks (MPI-2) or
     /// flushes (MPI-3).

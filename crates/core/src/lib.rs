@@ -36,6 +36,7 @@ pub mod engine;
 pub mod gmr;
 pub mod iov;
 pub mod mutex;
+pub mod nxtval;
 pub mod ops;
 pub mod rmw;
 pub mod shm;
@@ -43,6 +44,7 @@ pub mod strided;
 pub mod transport;
 
 pub use engine::{CoalesceMode, StageStats};
+pub use nxtval::NxtvalCounter;
 pub use transport::{Transport, TransportKind, TransportStats};
 
 use armci::{
@@ -57,6 +59,24 @@ use simnet::PoolStats;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
+/// How `ARMCI_Rmw` (and the NXTVAL counters built on it) maps onto the
+/// backend: native atomics (§VIII-B `fetch_and_op`/`compare_and_swap`)
+/// or the paper's §V-D Latham mutex + two-epoch protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AtomicsMode {
+    /// Native backend atomics when the backend prices 8-byte atomics
+    /// ([`Transport::atomic_widths`]), the mutex protocol otherwise.
+    /// Every built-in backend prices them, so this resolves to native.
+    #[default]
+    Auto,
+    /// Force native atomics; a backend that cannot price them surfaces
+    /// [`armci::ArmciError::AtomicUnsupported`] instead of falling back.
+    Native,
+    /// Force the mutex + two-epoch protocol (the MPI-2 paper path, kept
+    /// as the ablation baseline and for backends without atomics).
+    MutexFallback,
+}
+
 /// ARMCI-MPI configuration knobs (the environment variables of the real
 /// implementation).
 #[derive(Debug, Clone)]
@@ -65,8 +85,12 @@ pub struct Config {
     pub strided: StridedMethod,
     /// Method used by `*_iov` operations (`Direct` acts as `IovDatatype`).
     pub iov: StridedMethod,
-    /// Use MPI-3 atomics for `ARMCI_Rmw` instead of the mutex protocol.
+    /// Legacy switch predating [`Config::atomics`]: `true` forces MPI-3
+    /// atomics for `ARMCI_Rmw` regardless of the mode selector.
     pub use_mpi3_rmw: bool,
+    /// RMW discipline selector; see [`AtomicsMode`]. `Auto` resolves
+    /// against what the wire backend can price.
+    pub atomics: AtomicsMode,
     /// MPI-3 epochless passive mode (§VIII-B(2)): windows are opened with
     /// `lock_all` at allocation; operations are followed by `flush`
     /// instead of running in per-op exclusive epochs; conflicting accesses
@@ -94,6 +118,7 @@ impl Default for Config {
             strided: StridedMethod::Direct,
             iov: StridedMethod::Auto,
             use_mpi3_rmw: false,
+            atomics: AtomicsMode::Auto,
             epochless: false,
             coalesce: CoalesceMode::Auto,
             shm: true,
@@ -125,6 +150,12 @@ pub struct OpStats {
     pub bytes_acc: u64,
     /// Read-modify-write operations.
     pub rmws: u64,
+    /// RMWs satisfied by a native backend atomic (fetch-and-op / CAS).
+    pub rmw_native: u64,
+    /// RMWs that took the Latham mutex fallback protocol.
+    pub rmw_mutex_fallback: u64,
+    /// Failed compare-and-swap attempts (CAS-loop retries).
+    pub cas_retries: u64,
     /// Mutex lock operations (user sets and the internal RMW mutexes).
     pub mutex_locks: u64,
     /// Bytes staged through temporary buffers (§V-E1, accumulate

@@ -14,8 +14,10 @@
 //!   accumulate: the library walks segments, rings a doorbell per
 //!   segment, and (for accumulate) combines at software rates
 //!   ([`ChannelParams::sw_cost`] + [`ChannelParams::combine_cost`]).
-//! * **NIC atomics** — fetch-and-op executes on the NIC with no epoch
-//!   ([`WinHandle::fetch_and_op_i64_raw`]).
+//! * **NIC atomics** — fetch-and-op and compare-and-swap execute on the
+//!   NIC with no epoch, priced as doorbell + wire round trip + CQ poll
+//!   ([`simnet::ChannelParams::atomic_cost`] via
+//!   [`WinHandle::fetch_and_op_i64_priced`]).
 //!
 //! Payloads move through the window's bounds-checked staging movers, so
 //! the bytes delivered are bit-identical to the MPI-RMA backend's — only
@@ -213,6 +215,31 @@ impl ChannelTransport {
         let priced = Self::price(win.channel_params(), bytes, nsegs, true);
         Ok(self.account(win, obs::OpKind::Acc, target, bytes, nsegs, &priced))
     }
+
+    /// Total cost of one NIC atomic to `target`: the channel atomic
+    /// price plus congestion delay for its single 8-byte message.
+    fn atomic_total(&self, win: &WinHandle, target: usize) -> f64 {
+        win.channel_params().atomic_cost()
+            + win.net_extra(target, win.channel_params().ser_time(8), 1)
+    }
+
+    /// Counts one offloaded NIC atomic and emits its trace event.
+    fn account_atomic(&self, win: &WinHandle, target: usize) {
+        self.offloaded.set(self.offloaded.get() + 1);
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::TransportIssue {
+                    backend: "channel",
+                    win: win.id(),
+                    target: target as u32,
+                    kind: obs::OpKind::Rmw,
+                    bytes: 8,
+                    offloaded: true,
+                },
+                win.vnow(),
+            );
+        }
+    }
 }
 
 impl Transport for ChannelTransport {
@@ -365,22 +392,40 @@ impl Transport for ChannelTransport {
         tdisp: usize,
         op: FetchOp,
     ) -> MpiResult<i64> {
-        let old = win.fetch_and_op_i64_raw(operand, target, tdisp, op)?;
-        self.offloaded.set(self.offloaded.get() + 1);
-        if obs::enabled() {
-            obs::instant_at(
-                obs::EventKind::TransportIssue {
-                    backend: "channel",
-                    win: win.id(),
-                    target: target as u32,
-                    kind: obs::OpKind::Rmw,
-                    bytes: 8,
-                    offloaded: true,
-                },
-                win.vnow(),
-            );
-        }
+        let cost = self.atomic_total(win, target);
+        let old = win.fetch_and_op_i64_priced(operand, target, tdisp, op, cost)?;
+        self.account_atomic(win, target);
         Ok(old)
+    }
+
+    fn compare_and_swap_i64(
+        &self,
+        win: &WinHandle,
+        compare: i64,
+        swap: i64,
+        target: usize,
+        tdisp: usize,
+    ) -> MpiResult<i64> {
+        let cost = self.atomic_total(win, target);
+        let old = win.compare_and_swap_i64_priced(compare, swap, target, tdisp, cost)?;
+        self.account_atomic(win, target);
+        Ok(old)
+    }
+
+    fn rfetch_and_op_i64(
+        &self,
+        win: &WinHandle,
+        operand: i64,
+        target: usize,
+        tdisp: usize,
+        op: FetchOp,
+    ) -> MpiResult<(i64, RmaRequest)> {
+        // Doorbell now; wire round trip + CQ poll reaped at completion.
+        let total = self.atomic_total(win, target);
+        let issue = win.channel_params().doorbell.min(total);
+        let pair = win.rfetch_and_op_i64_priced(operand, target, tdisp, op, issue, total)?;
+        self.account_atomic(win, target);
+        Ok(pair)
     }
 
     fn stats(&self) -> TransportStats {

@@ -283,6 +283,52 @@ pub trait Transport {
         op: FetchOp,
     ) -> MpiResult<i64>;
 
+    /// Atomic operand widths (in bytes) this backend can price natively.
+    /// The `AtomicsMode::Auto` selector keys off whether 8 is present;
+    /// asking for an absent width surfaces
+    /// `ArmciError::AtomicUnsupported` instead of a silent software
+    /// emulation with a different atomicity domain.
+    fn atomic_widths(&self) -> &'static [usize] {
+        &[8]
+    }
+
+    /// Atomic compare-and-swap on a 64-bit integer cell, including
+    /// whatever bracketing the backend needs for atomicity. The default
+    /// brackets the window's RMW primitive with the atomic-epoch hooks,
+    /// which is correct for every MPI-epoch-disciplined backend.
+    fn compare_and_swap_i64(
+        &self,
+        win: &WinHandle,
+        compare: i64,
+        swap: i64,
+        target: usize,
+        tdisp: usize,
+    ) -> MpiResult<i64> {
+        self.atomic_epoch_begin(win, target, LockMode::Shared)?;
+        let res = win.compare_and_swap_i64(compare, swap, target, tdisp);
+        let end = self.atomic_epoch_end(win, target);
+        let v = res?;
+        end?;
+        Ok(v)
+    }
+
+    /// Request-based fetch-and-op: the fetched value is available at
+    /// issue (ordering against other atomics is decided now), the rest
+    /// of the round trip is deferred to the returned request. Backends
+    /// without deferred atomics complete eagerly with a zero-length
+    /// deferral.
+    fn rfetch_and_op_i64(
+        &self,
+        win: &WinHandle,
+        operand: i64,
+        target: usize,
+        tdisp: usize,
+        op: FetchOp,
+    ) -> MpiResult<(i64, RmaRequest)> {
+        let v = self.fetch_and_op_i64(win, operand, target, tdisp, op)?;
+        Ok((v, win.defer(0.0, 0.0)))
+    }
+
     /// Offload counters (zero for backends without the distinction).
     fn stats(&self) -> TransportStats {
         TransportStats::default()
@@ -477,6 +523,25 @@ impl Transport for MpiRmaTransport {
         end?;
         Ok(v)
     }
+
+    fn rfetch_and_op_i64(
+        &self,
+        win: &WinHandle,
+        operand: i64,
+        target: usize,
+        tdisp: usize,
+        op: FetchOp,
+    ) -> MpiResult<(i64, RmaRequest)> {
+        if self.epochless {
+            // The standing `lock_all` covers the access; completion rides
+            // the request so the RMW joins coalesced/epochless batches.
+            return win.rfetch_and_op_i64(operand, target, tdisp, op);
+        }
+        // Per-op discipline: the exclusive unlock is the completion
+        // point, so there is nothing left to defer.
+        let v = self.fetch_and_op_i64(win, operand, target, tdisp, op)?;
+        Ok((v, win.defer(0.0, 0.0)))
+    }
 }
 
 /// The intra-node tier as a transport: epoch discipline identical to
@@ -645,14 +710,26 @@ impl Transport for ShmTransport {
         tdisp: usize,
         op: FetchOp,
     ) -> MpiResult<i64> {
-        if self.epochless {
-            return win.fetch_and_op_i64(operand, target, tdisp, op);
-        }
-        win.lock(LockMode::Shared, target)?;
-        let res = win.fetch_and_op_i64(operand, target, tdisp, op);
-        let end = win.unlock(target);
-        let v = res?;
-        end?;
-        Ok(v)
+        // Slab atomics are processor atomics on the shared mapping: no
+        // epoch, no wire latency — priced as one cacheline RMW. The
+        // io-lock inside the cell mutator provides the atomicity.
+        win.fetch_and_op_i64_priced(operand, target, tdisp, op, win.shm_params().atomic_cost())
+    }
+
+    fn compare_and_swap_i64(
+        &self,
+        win: &WinHandle,
+        compare: i64,
+        swap: i64,
+        target: usize,
+        tdisp: usize,
+    ) -> MpiResult<i64> {
+        win.compare_and_swap_i64_priced(
+            compare,
+            swap,
+            target,
+            tdisp,
+            win.shm_params().atomic_cost(),
+        )
     }
 }

@@ -1,0 +1,213 @@
+//! Mode equivalence of the synchronization stack (the refactor's
+//! semantic contract): native backend atomics, the Latham-mutex
+//! fallback, and the sharded NXTVAL counter must hand out *identical*
+//! tickets. Over random rank counts, node layouts and op interleavings:
+//!
+//! * with a serialised schedule, per-rank ticket sequences and the final
+//!   counter value are bit-identical across Native, MutexFallback and a
+//!   block-1 [`NxtvalCounter`] (block 1 degenerates to the flat
+//!   counter);
+//! * with genuinely concurrent takers and `block > 1`, strict FIFO is
+//!   traded away but tickets stay unique and per-rank monotonic, and
+//!   after a collective drain [`NxtvalCounter::issued`] equals exactly
+//!   the number of tickets handed out.
+
+use armci::{Armci, RmwOp};
+use armci_mpi::{ArmciMpi, AtomicsMode, Config, NxtvalCounter};
+use mpisim::{Runtime, RuntimeConfig};
+use proptest::prelude::*;
+use simnet::{Platform, PlatformId};
+
+/// Runtime with `ranks_per_node` cores per node and no clock charging,
+/// so layouts range from everything-on-one-node to one-rank-per-node.
+fn layout(ranks_per_node: u32) -> RuntimeConfig {
+    let mut platform =
+        Platform::get(PlatformId::InfiniBandCluster).customized("atomics-equivalence-test");
+    platform.sockets_per_node = 1;
+    platform.cores_per_socket = ranks_per_node;
+    RuntimeConfig {
+        platform,
+        charge_time: false,
+        ..Default::default()
+    }
+}
+
+/// The three ticket disciplines under test.
+#[derive(Clone, Copy, Debug)]
+enum Discipline {
+    /// `ARMCI_Rmw` on a shared cell, native backend atomics.
+    Native,
+    /// `ARMCI_Rmw` on a shared cell, Latham mutex + two epochs.
+    Mutex,
+    /// [`NxtvalCounter`] with the given refill block.
+    Sharded(u16),
+}
+
+impl Discipline {
+    fn config(self) -> Config {
+        match self {
+            Discipline::Mutex => Config {
+                atomics: AtomicsMode::MutexFallback,
+                ..Default::default()
+            },
+            Discipline::Native | Discipline::Sharded(_) => Config {
+                atomics: AtomicsMode::Native,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// A serialised interleaving: step `i` lets rank `sched[i].0 % nprocs`
+/// take `sched[i].1` tickets, with barriers fencing the steps so the
+/// global take order is deterministic.
+type Sched = Vec<(usize, usize)>;
+
+/// Replays `sched` under one discipline; returns each rank's ticket
+/// sequence plus the final counter value (identical on every rank).
+fn run_serialised(
+    nprocs: usize,
+    rpn: u32,
+    d: Discipline,
+    sched: Sched,
+) -> (Vec<Vec<i64>>, Vec<i64>) {
+    let out = Runtime::run_with(nprocs, layout(rpn), move |p| {
+        let rt = ArmciMpi::with_config(p, d.config());
+        let (counter, cell) = match d {
+            Discipline::Sharded(block) => (Some(NxtvalCounter::create(&rt, block).unwrap()), None),
+            _ => {
+                let bases = rt.malloc(8).unwrap();
+                rt.access_mut(bases[p.rank()], 8, &mut |b| b.fill(0))
+                    .unwrap();
+                rt.barrier();
+                (None, Some(bases))
+            }
+        };
+        let next = |rt: &ArmciMpi| -> i64 {
+            match (&counter, &cell) {
+                (Some(c), _) => c.next(rt).unwrap(),
+                (_, Some(bases)) => rt.rmw(RmwOp::FetchAdd(1), bases[0]).unwrap(),
+                _ => unreachable!(),
+            }
+        };
+        let mut seq = Vec::new();
+        for (who, n) in &sched {
+            rt.barrier();
+            if who % rt.nprocs() == p.rank() {
+                for _ in 0..*n {
+                    seq.push(next(&rt));
+                }
+            }
+        }
+        rt.barrier();
+        let fin = match (&counter, &cell) {
+            (Some(c), _) => {
+                c.drain(&rt).unwrap();
+                rt.barrier();
+                c.issued(&rt).unwrap()
+            }
+            (_, Some(bases)) => rt.rmw(RmwOp::FetchAdd(0), bases[0]).unwrap(),
+            _ => unreachable!(),
+        };
+        rt.barrier();
+        match (counter, cell) {
+            (Some(c), _) => c.destroy(&rt).unwrap(),
+            (_, Some(bases)) => rt.free(bases[p.rank()]).unwrap(),
+            _ => unreachable!(),
+        }
+        (seq, fin)
+    });
+    out.into_iter().unzip()
+}
+
+/// All ranks take `per_rank` tickets concurrently (no fences), then the
+/// counter is collectively drained. Returns per-rank sequences and the
+/// post-drain `issued()` reading.
+fn run_concurrent(nprocs: usize, rpn: u32, block: u16, per_rank: usize) -> (Vec<Vec<i64>>, i64) {
+    let out = Runtime::run_with(nprocs, layout(rpn), move |p| {
+        let rt = ArmciMpi::with_config(p, Config::default());
+        let c = NxtvalCounter::create(&rt, block).unwrap();
+        let mut seq = Vec::with_capacity(per_rank);
+        for _ in 0..per_rank {
+            seq.push(c.next(&rt).unwrap());
+        }
+        rt.barrier();
+        c.drain(&rt).unwrap();
+        rt.barrier();
+        let issued = c.issued(&rt).unwrap();
+        rt.barrier();
+        c.destroy(&rt).unwrap();
+        let _ = p;
+        (seq, issued)
+    });
+    let issued = out[0].1;
+    (out.into_iter().map(|(s, _)| s).collect(), issued)
+}
+
+fn arb_sched() -> impl Strategy<Value = Sched> {
+    proptest::collection::vec((0usize..8, 0usize..4), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Native, mutex-fallback and block-1 sharded tickets are
+    /// bit-identical — same per-rank sequences, same final value — for
+    /// any rank count, node layout and serialised interleaving.
+    #[test]
+    fn flat_disciplines_bit_identical(
+        nprocs in 2usize..6,
+        rpn in 1u32..4,
+        sched in arb_sched(),
+    ) {
+        let (seq_native, fin_native) =
+            run_serialised(nprocs, rpn, Discipline::Native, sched.clone());
+        let (seq_mutex, fin_mutex) =
+            run_serialised(nprocs, rpn, Discipline::Mutex, sched.clone());
+        let (seq_shard, fin_shard) =
+            run_serialised(nprocs, rpn, Discipline::Sharded(1), sched.clone());
+        prop_assert_eq!(&seq_native, &seq_mutex);
+        prop_assert_eq!(&seq_native, &seq_shard);
+        prop_assert_eq!(&fin_native, &fin_mutex);
+        prop_assert_eq!(&fin_native, &fin_shard);
+        // The deterministic reference: tickets are handed out in global
+        // schedule order, 0..total.
+        let total: usize = sched.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(fin_native[0], total as i64);
+        let mut expect = vec![Vec::new(); nprocs];
+        let mut t = 0i64;
+        for (who, n) in &sched {
+            for _ in 0..*n {
+                expect[who % nprocs].push(t);
+                t += 1;
+            }
+        }
+        prop_assert_eq!(&seq_native, &expect);
+    }
+
+    /// With `block > 1` and concurrent takers, tickets stay unique and
+    /// per-rank monotonic, and `issued()` is exact after the drain.
+    #[test]
+    fn sharded_tickets_unique_and_accounted(
+        nprocs in 2usize..6,
+        rpn in 1u32..4,
+        block in 2u16..9,
+        per_rank in 1usize..12,
+    ) {
+        let (seqs, issued) = run_concurrent(nprocs, rpn, block, per_rank);
+        let mut all = Vec::new();
+        for seq in &seqs {
+            prop_assert_eq!(seq.len(), per_rank);
+            prop_assert!(
+                seq.windows(2).all(|w| w[0] < w[1]),
+                "per-rank tickets must be monotonic: {:?}",
+                seq
+            );
+            all.extend_from_slice(seq);
+        }
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), nprocs * per_rank, "tickets must be unique");
+        prop_assert_eq!(issued, (nprocs * per_rank) as i64);
+    }
+}

@@ -164,7 +164,12 @@ fn epochless_is_faster_in_virtual_time() {
             t
         })[0]
     };
-    let t_mpi2 = time(Config::default());
+    // The MPI-2 arm must also pay the §V-D mutex RMW protocol: native
+    // atomics are the default now, so ask for the fallback explicitly.
+    let t_mpi2 = time(Config {
+        atomics: armci_mpi::AtomicsMode::MutexFallback,
+        ..Default::default()
+    });
     let t_mpi3 = time(epochless());
     assert!(
         t_mpi3 < 0.7 * t_mpi2,

@@ -121,22 +121,36 @@ fn rmw_protocol_shape_mpi2_vs_mpi3() {
     // MPI-2: one mutex acquisition, two exclusive data epochs (read +
     // write) — plus the mutex's own internal epochs, counted inside the
     // MutexSet's window operations (not via epoch_begin), so `epochs`
-    // counts exactly the two data epochs.
-    let mpi2 = shape(Config::default());
+    // counts exactly the two data epochs. Native atomics are the default
+    // now, so the MPI-2 protocol shape requires the explicit fallback.
+    let mpi2 = shape(Config {
+        atomics: armci_mpi::AtomicsMode::MutexFallback,
+        ..Default::default()
+    });
     assert_eq!(mpi2.rmws, 1);
     assert_eq!(mpi2.mutex_locks, 1);
+    assert_eq!(mpi2.rmw_mutex_fallback, 1);
+    assert_eq!(mpi2.rmw_native, 0);
     assert_eq!(mpi2.gets, 1);
     assert_eq!(mpi2.puts, 1);
     assert_eq!(mpi2.epochs, 2);
-    // MPI-3: a single atomic — no mutex, no extra data ops.
-    let mpi3 = shape(Config {
+    // MPI-3: a single atomic — no mutex, no extra data ops. This is the
+    // default path (Config::atomics = Auto resolves to native here).
+    let mpi3 = shape(Config::default());
+    assert_eq!(mpi3.rmws, 1);
+    assert_eq!(mpi3.mutex_locks, 0);
+    assert_eq!(mpi3.rmw_native, 1);
+    assert_eq!(mpi3.rmw_mutex_fallback, 0);
+    assert_eq!(mpi3.gets, 0);
+    assert_eq!(mpi3.puts, 0);
+    // The legacy switch still forces the native path too.
+    let legacy = shape(Config {
         use_mpi3_rmw: true,
         ..Default::default()
     });
-    assert_eq!(mpi3.rmws, 1);
-    assert_eq!(mpi3.mutex_locks, 0);
-    assert_eq!(mpi3.gets, 0);
-    assert_eq!(mpi3.puts, 0);
+    assert_eq!(legacy.rmws, 1);
+    assert_eq!(legacy.rmw_native, 1);
+    assert_eq!(legacy.mutex_locks, 0);
 }
 
 #[test]

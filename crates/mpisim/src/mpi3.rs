@@ -132,8 +132,10 @@ impl WinHandle {
 
     /// Epoch-free fetch-and-op for channel-style wire backends whose
     /// atomics complete through a NIC completion queue instead of inside
-    /// an MPI epoch. Same cell-level atomicity and pricing as
-    /// [`WinHandle::fetch_and_op_i64`]; no epoch is required or checked.
+    /// an MPI epoch. Same cell-level atomicity as
+    /// [`WinHandle::fetch_and_op_i64`]; no epoch is required or checked,
+    /// and no `Rma` event is emitted (the wire backend records its own
+    /// `TransportIssue`), so the auditor's epoch rules don't apply.
     pub fn fetch_and_op_i64_raw(
         &self,
         operand: i64,
@@ -141,7 +143,22 @@ impl WinHandle {
         tdisp: usize,
         op: FetchOp,
     ) -> MpiResult<i64> {
-        self.rmw_guarded(target, tdisp, false, |cell| {
+        self.fetch_and_op_i64_priced(operand, target, tdisp, op, self.params_pub().rmw_latency)
+    }
+
+    /// Epoch-free fetch-and-op with an explicit backend-supplied price.
+    /// Used by wire backends whose atomics are not MPI operations (NIC
+    /// atomics, shared-slab atomics) and therefore carry their own cost
+    /// model; emits no `Rma` event.
+    pub fn fetch_and_op_i64_priced(
+        &self,
+        operand: i64,
+        target: usize,
+        tdisp: usize,
+        op: FetchOp,
+        cost: f64,
+    ) -> MpiResult<i64> {
+        let old = self.rmw_cell(target, tdisp, false, |cell| {
             let old = i64::from_le_bytes(*cell);
             let new = match op {
                 FetchOp::Sum => old.wrapping_add(operand),
@@ -150,7 +167,30 @@ impl WinHandle {
             };
             *cell = new.to_le_bytes();
             old
-        })
+        })?;
+        self.charge_pub(cost);
+        Ok(old)
+    }
+
+    /// Epoch-free compare-and-swap with an explicit backend-supplied
+    /// price; the epoch-free sibling of
+    /// [`WinHandle::compare_and_swap_i64`]. Emits no `Rma` event.
+    pub fn compare_and_swap_i64_priced(
+        &self,
+        compare: i64,
+        swap: i64,
+        target: usize,
+        tdisp: usize,
+        cost: f64,
+    ) -> MpiResult<i64> {
+        let old = self.rmw_cell(target, tdisp, false, |cell| {
+            let old = i64::from_le_bytes(*cell);
+            let new = if old == compare { swap } else { old };
+            *cell = new.to_le_bytes();
+            old
+        })?;
+        self.charge_pub(cost);
+        Ok(old)
     }
 
     /// MPI-3 `MPI_Fetch_and_op` on an f64.
@@ -191,11 +231,39 @@ impl WinHandle {
         })
     }
 
-    /// Atomically applies `f` to the 8-byte cell at `tdisp` on `target`.
-    /// The mutator works in place on a stack array — RMW ops allocate
-    /// nothing per call. `require_epoch` enforces the MPI rule that an
-    /// epoch covers the access; channel-backend NIC atomics pass `false`.
+    /// Atomically applies `f` to the 8-byte cell at `tdisp` on `target`,
+    /// charging the MPI backend's `rmw_latency` and emitting the `Rma`
+    /// event the epoch auditor watches.
     fn rmw_guarded(
+        &self,
+        target: usize,
+        tdisp: usize,
+        require_epoch: bool,
+        f: impl FnOnce(&mut [u8; 8]) -> i64,
+    ) -> MpiResult<i64> {
+        let old = self.rmw_cell(target, tdisp, require_epoch, f)?;
+        self.charge_pub(self.params_pub().rmw_latency);
+        if obs::enabled() {
+            obs::instant_at(
+                obs::EventKind::Rma {
+                    win: self.id(),
+                    target: target as u32,
+                    kind: obs::OpKind::Rmw,
+                    bytes: 8,
+                },
+                self.now(),
+            );
+        }
+        Ok(old)
+    }
+
+    /// Cell-level atomic mutation only: bounds/epoch checks and the
+    /// io-lock-serialised 8-byte update, with no time charged and no
+    /// event emitted. The mutator works in place on a stack array — RMW
+    /// ops allocate nothing per call. `require_epoch` enforces the MPI
+    /// rule that an epoch covers the access; non-MPI wire atomics pass
+    /// `false`.
+    fn rmw_cell(
         &self,
         target: usize,
         tdisp: usize,
@@ -235,19 +303,71 @@ impl WinHandle {
             slice[lo..lo + WIDTH].copy_from_slice(&cell);
             old
         };
-        self.charge_pub(self.params_pub().rmw_latency);
+        Ok(old)
+    }
+
+    /// Request-based fetch-and-op: the cell mutates atomically at issue
+    /// (so the fetched value is available immediately and ordering with
+    /// respect to other atomics is decided now), the caller's clock is
+    /// charged only the issue overhead, and the returned request defers
+    /// the rest of the RMW round trip to `wait`/`flush` — §VIII-B(3)+(4)
+    /// combined: atomics that participate in overlap.
+    pub fn rfetch_and_op_i64(
+        &self,
+        operand: i64,
+        target: usize,
+        tdisp: usize,
+        op: FetchOp,
+    ) -> MpiResult<(i64, RmaRequest)> {
+        let old = self.rmw_cell(target, tdisp, true, |cell| {
+            let old = i64::from_le_bytes(*cell);
+            let new = match op {
+                FetchOp::Sum => old.wrapping_add(operand),
+                FetchOp::Replace => operand,
+                FetchOp::NoOp => old,
+            };
+            *cell = new.to_le_bytes();
+            old
+        })?;
         if obs::enabled() {
             obs::instant_at(
                 obs::EventKind::Rma {
                     win: self.id(),
                     target: target as u32,
                     kind: obs::OpKind::Rmw,
-                    bytes: WIDTH as u64,
+                    bytes: 8,
                 },
                 self.now(),
             );
         }
-        Ok(old)
+        let total = self.params_pub().rmw_latency;
+        let issue = self.params_pub().op_overhead.min(total);
+        Ok((old, self.defer(issue, total)))
+    }
+
+    /// Epoch-free request-based fetch-and-op with backend-supplied issue
+    /// and total prices (e.g. a channel backend's doorbell now, wire
+    /// round trip + CQ poll at completion). Emits no `Rma` event.
+    pub fn rfetch_and_op_i64_priced(
+        &self,
+        operand: i64,
+        target: usize,
+        tdisp: usize,
+        op: FetchOp,
+        issue: f64,
+        total: f64,
+    ) -> MpiResult<(i64, RmaRequest)> {
+        let old = self.rmw_cell(target, tdisp, false, |cell| {
+            let old = i64::from_le_bytes(*cell);
+            let new = match op {
+                FetchOp::Sum => old.wrapping_add(operand),
+                FetchOp::Replace => operand,
+                FetchOp::NoOp => old,
+            };
+            *cell = new.to_le_bytes();
+            old
+        })?;
+        Ok((old, self.defer(issue, total)))
     }
 
     /// Request-based put (`MPI_Rput`): the caller's clock is charged only

@@ -28,4 +28,4 @@ pub mod tensors;
 pub use ccsd::{
     run_ccsd, run_ccsd_overlap, run_ccsd_pipelined, run_triples, CcsdConfig, CcsdResult, CCSD_CHUNK,
 };
-pub use profile::{task_profile, Backend, ProxyPhase, TaskProfile};
+pub use profile::{nxtval_service, task_profile, Backend, ProxyPhase, TaskProfile};

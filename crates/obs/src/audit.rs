@@ -22,6 +22,13 @@
 //!   next fragment under the open aggregate epoch by design.
 //! * **OpOutsideEpoch** — an MPI-level RMA call on a (window, target)
 //!   with no lock, `lock_all`, or fence epoch covering it.
+//! * **AtomicOutsideEpoch** — the same leak for an MPI-level atomic
+//!   (`Rma` with kind `rmw`): fetch-and-op / compare-and-swap issued
+//!   with no covering passive or fence epoch. Split from
+//!   `OpOutsideEpoch` because atomics have a legal epoch-free path
+//!   (NIC-offloaded channel atomics, shm slab atomics) that does *not*
+//!   emit `Rma` events — so any `Rma { Rmw }` seen here claimed an MPI
+//!   window and must be covered by an epoch.
 //! * **FlushOutsideEpoch** — an MPI-3 `flush` of a (window, target) with
 //!   no lock or `lock_all` epoch covering it (flush requires a passive
 //!   epoch; MPI calls it erroneous otherwise).
@@ -52,6 +59,7 @@ pub enum Rule {
     DlaViolation,
     StagingWhileLocked,
     OpOutsideEpoch,
+    AtomicOutsideEpoch,
     FlushOutsideEpoch,
     ShmCoherence,
 }
@@ -64,6 +72,7 @@ impl Rule {
             Rule::DlaViolation => "dla-violation",
             Rule::StagingWhileLocked => "staging-while-locked",
             Rule::OpOutsideEpoch => "op-outside-epoch",
+            Rule::AtomicOutsideEpoch => "atomic-outside-epoch",
             Rule::FlushOutsideEpoch => "flush-outside-epoch",
             Rule::ShmCoherence => "shm-coherence",
         }
@@ -275,8 +284,13 @@ pub fn audit(events: &[Event]) -> Vec<Violation> {
                     || st.lock_all.contains(win)
                     || st.fence.contains(win);
                 if !covered {
+                    let rule = if *kind == crate::OpKind::Rmw {
+                        Rule::AtomicOutsideEpoch
+                    } else {
+                        Rule::OpOutsideEpoch
+                    };
                     flag(
-                        Rule::OpOutsideEpoch,
+                        rule,
                         format!(
                             "rma {} on win {win} target {target} with no covering epoch",
                             kind.name(),
@@ -542,6 +556,51 @@ mod tests {
         let v = audit(&events);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::OpOutsideEpoch);
+    }
+
+    #[test]
+    fn atomic_outside_epoch_is_flagged_separately() {
+        use EventKind::*;
+        // Legal: an MPI-window atomic under its passive-target epoch.
+        let ok = vec![
+            ev(
+                0,
+                0.0,
+                LockAcquire {
+                    win: 11,
+                    target: 2,
+                    exclusive: false,
+                },
+            ),
+            ev(
+                0,
+                0.1,
+                Rma {
+                    win: 11,
+                    target: 2,
+                    kind: OpKind::Rmw,
+                    bytes: 8,
+                },
+            ),
+            ev(0, 0.2, LockRelease { win: 11, target: 2 }),
+        ];
+        assert!(audit(&ok).is_empty());
+        // Seeded: the same atomic with no covering epoch trips the
+        // atomic-specific rule, not the generic op-outside-epoch one.
+        let bad = vec![ev(
+            0,
+            0.0,
+            Rma {
+                win: 11,
+                target: 2,
+                kind: OpKind::Rmw,
+                bytes: 8,
+            },
+        )];
+        let v = audit(&bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::AtomicOutsideEpoch);
+        assert_eq!(v[0].rule.name(), "atomic-outside-epoch");
     }
 
     #[test]

@@ -270,6 +270,23 @@ fn describe(e: &Event) -> (String, &'static str, Phase, Vec<(String, Value)>) {
                 ("bytes".into(), uval(*bytes)),
             ],
         ),
+        AtomicOp {
+            win,
+            target,
+            cas,
+            native,
+            success,
+        } => (
+            if *cas { "atomic:cas" } else { "atomic:rmw" }.into(),
+            "atomic",
+            Phase::Instant,
+            vec![
+                ("win".into(), uval(*win)),
+                ("target".into(), uval(u64::from(*target))),
+                ("native".into(), Value::Bool(*native)),
+                ("success".into(), Value::Bool(*success)),
+            ],
+        ),
         TransportIssue {
             backend,
             win,

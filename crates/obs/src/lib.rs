@@ -211,6 +211,18 @@ pub enum EventKind {
         write: bool,
         bytes: u64,
     },
+    /// One runtime-level atomic (`rmw` / `compare_and_swap`) against a
+    /// GMR, recorded for metrics regardless of which protocol served it:
+    /// `native` is true for MPI-3/NIC/slab atomics, false for the Latham
+    /// mutex fallback; `cas` marks compare-and-swap (where `success`
+    /// reports whether the comparison matched — a failed CAS is a retry).
+    AtomicOp {
+        win: u64,
+        target: u32,
+        cas: bool,
+        native: bool,
+        success: bool,
+    },
     /// A wire operation issued through a pluggable transport backend other
     /// than plain MPI RMA (which keeps emitting [`EventKind::Rma`]).
     /// `offloaded` is true when the backend handled the operation in

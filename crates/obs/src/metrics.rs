@@ -244,6 +244,27 @@ impl Registry {
                     reg.bump("shm.bypass_bytes", *bytes);
                     reg.bump(&format!("win.{win}.shm_bytes"), *bytes);
                 }
+                AtomicOp {
+                    cas,
+                    native,
+                    success,
+                    ..
+                } => {
+                    reg.bump(
+                        if *native {
+                            "rmw.native_ops"
+                        } else {
+                            "mutex.fallback_ops"
+                        },
+                        1,
+                    );
+                    if *cas {
+                        reg.bump("rmw.cas_ops", 1);
+                        if !*success {
+                            reg.bump("rmw.cas_retries", 1);
+                        }
+                    }
+                }
                 TransportIssue {
                     backend,
                     kind,
@@ -317,6 +338,16 @@ impl Registry {
                 self.counter("packs"),
                 bytes_h(self.counter("pack_bytes")),
                 self.time("pack_s"),
+            ));
+        }
+        let atomics = self.counter("rmw.native_ops") + self.counter("mutex.fallback_ops");
+        if atomics > 0 {
+            out.push_str(&format!(
+                "  atomic : native={} mutex_fallback={} cas={} ({} retries)\n",
+                self.counter("rmw.native_ops"),
+                self.counter("mutex.fallback_ops"),
+                self.counter("rmw.cas_ops"),
+                self.counter("rmw.cas_retries"),
             ));
         }
         if self.counter("mutex.waits") > 0 {

@@ -18,7 +18,7 @@
 //!   reproducing the native XE curves that flatten for (T) and worsen for
 //!   CCSD at high core counts while ARMCI-MPI keeps improving.
 
-use crate::{simulate, SimConfig};
+use crate::{simulate, simulate_sharded, SimConfig};
 use nwchem_proxy::{task_profile, Backend, CcsdConfig, ProxyPhase};
 use simnet::{Platform, PlatformId};
 
@@ -86,6 +86,11 @@ pub struct Fig6Opts {
     /// §VIII-B MPI-3 atomics: NXTVAL served by `fetch_and_op` instead of
     /// the mutex protocol.
     pub mpi3_rmw: bool,
+    /// Sharded NXTVAL (`armci_mpi::NxtvalCounter`) with this refill
+    /// block: node peers claim tickets from a per-node shard at slab
+    /// atomic cost and the home counter serves one refill per block.
+    /// Implies native home atomics (the shard protocol is CAS-based).
+    pub nxtval_shard: Option<usize>,
 }
 
 /// Computes one Figure 6 point with explicit ablation options.
@@ -104,7 +109,8 @@ pub fn point_with(
         }
         _ => prof.comm_time,
     };
-    let nxtval = if opts.mpi3_rmw && backend == Backend::ArmciMpi {
+    let sharded = opts.nxtval_shard.filter(|_| backend == Backend::ArmciMpi);
+    let nxtval = if (opts.mpi3_rmw || sharded.is_some()) && backend == Backend::ArmciMpi {
         platform.mpi.rmw_latency
     } else {
         prof.nxtval_service
@@ -124,7 +130,18 @@ pub fn point_with(
         startup: 0.05,
         iterations,
     };
-    let res = simulate(&sim);
+    let res = match sharded {
+        Some(block) => simulate_sharded(
+            &sim,
+            &crate::ShardedCounter {
+                ranks_per_node: platform.cores_per_node() as usize,
+                block,
+                shard_service: platform.shm.atomic_cost(),
+                shard_latency: 2.0 * platform.shm.atomic_cost(),
+            },
+        ),
+        None => simulate(&sim),
+    };
     Fig6Point {
         cores,
         minutes: res.makespan / 60.0,
@@ -265,6 +282,7 @@ mod tests {
             Fig6Opts {
                 access_modes: true,
                 mpi3_rmw: false,
+                nxtval_shard: None,
             },
         );
         let nat = series(id, Backend::Native, ProxyPhase::Ccsd);
@@ -292,6 +310,7 @@ mod tests {
             Fig6Opts {
                 access_modes: false,
                 mpi3_rmw: true,
+                nxtval_shard: None,
             },
         );
         for (a, b) in std.iter().zip(&fast) {

@@ -62,6 +62,25 @@ pub struct SimResult {
     pub mean_nxtval_wait: f64,
 }
 
+/// Per-node sharded refinement of the NXTVAL counter (the
+/// `armci_mpi::NxtvalCounter` discipline): each node's leader holds a
+/// shard of `block` tickets claimed by node peers at intra-node atomic
+/// cost, and the home counter — the serial server of the flat model —
+/// is only visited once per `block` tickets for a refill. The home
+/// service/latency still come from [`SimConfig`]; this struct adds the
+/// shard tier.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedCounter {
+    /// Ranks sharing one shard (the node size).
+    pub ranks_per_node: usize,
+    /// Tickets fetched from home per refill.
+    pub block: usize,
+    /// Shard-server service time per local claim (a slab CAS).
+    pub shard_service: f64,
+    /// Origin-observed shard round-trip latency (excluding queueing).
+    pub shard_latency: f64,
+}
+
 /// Time-ordered event key (min-heap via reversed compare).
 #[derive(Debug, PartialEq)]
 struct Ev {
@@ -136,6 +155,85 @@ fn simulate_iteration(cfg: &SimConfig) -> (f64, f64, f64, usize) {
         }
     }
     (makespan, busy, total_wait, requests)
+}
+
+/// Simulates one iteration under the sharded counter; returns
+/// (makespan, home busy, total wait, requests). Requests queue at their
+/// node's shard server; an empty shard makes the grant additionally wait
+/// for a home-counter round trip (the refill), serialised at the home
+/// server like every flat-model request.
+fn simulate_sharded_iteration(cfg: &SimConfig, sh: &ShardedCounter) -> (f64, f64, f64, usize) {
+    let comm = match cfg.congestion_scale {
+        Some(scale) => {
+            let x = cfg.nprocs as f64 / scale;
+            cfg.task_comm * (1.0 + x * x)
+        }
+        None => cfg.task_comm,
+    };
+    let task_time = cfg.task_compute + comm;
+    let rpn = sh.ranks_per_node.max(1);
+    let nnodes = cfg.nprocs.div_ceil(rpn);
+
+    let mut heap: BinaryHeap<Ev> = (0..cfg.nprocs)
+        .map(|p| Ev {
+            t: cfg.startup,
+            proc: p,
+        })
+        .collect();
+    let mut shard_free = vec![0.0f64; nnodes];
+    let mut stock = vec![0usize; nnodes];
+    let mut home_free = 0.0f64;
+    let mut home_busy = 0.0f64;
+    let mut total_wait = 0.0f64;
+    let mut requests = 0usize;
+    let mut next_ticket = 0usize;
+    let mut makespan = cfg.startup;
+
+    while let Some(Ev { t, proc }) = heap.pop() {
+        let node = proc / rpn;
+        let arrive = t + 0.5 * sh.shard_latency;
+        let mut start = shard_free[node].max(arrive);
+        if stock[node] == 0 {
+            // Refill: the shard does a home round trip before granting.
+            let harrive = start + 0.5 * cfg.nxtval_latency;
+            let hstart = home_free.max(harrive);
+            let hdone = hstart + cfg.nxtval_service;
+            home_busy += cfg.nxtval_service;
+            home_free = hdone;
+            start = hdone + 0.5 * cfg.nxtval_latency;
+            stock[node] = sh.block.max(1);
+        }
+        stock[node] -= 1;
+        let done = start + sh.shard_service;
+        shard_free[node] = done;
+        total_wait += start - arrive;
+        requests += 1;
+        let got = done + 0.5 * sh.shard_latency;
+        let ticket = next_ticket;
+        next_ticket += 1;
+        if ticket < cfg.ntasks {
+            heap.push(Ev {
+                t: got + task_time,
+                proc,
+            });
+        } else {
+            makespan = makespan.max(got);
+        }
+    }
+    (makespan, home_busy, total_wait, requests)
+}
+
+/// Runs the simulation with the sharded NXTVAL counter.
+/// `counter_utilisation` reports the *home* server — the shared resource
+/// whose saturation is the flat model's plateau.
+pub fn simulate_sharded(cfg: &SimConfig, shard: &ShardedCounter) -> SimResult {
+    assert!(cfg.nprocs > 0 && cfg.iterations > 0);
+    let (mk, busy, wait, reqs) = simulate_sharded_iteration(cfg, shard);
+    SimResult {
+        makespan: mk * cfg.iterations as f64,
+        counter_utilisation: (busy / mk).min(1.0),
+        mean_nxtval_wait: wait / reqs as f64,
+    }
 }
 
 /// Runs the simulation.
@@ -292,6 +390,81 @@ mod tests {
         let r = simulate(&cfg);
         let per_task = cfg.task_compute + cfg.task_comm;
         assert!(r.makespan < per_task + 400.0 * cfg.nxtval_service + 1e-3);
+    }
+
+    #[test]
+    fn sharded_counter_scales_past_the_flat_plateau() {
+        // Weak scaling: tickets per process fixed, so the flat counter's
+        // home server saturates (P · service > task time) while the
+        // sharded counter amortises home traffic 1/block.
+        let shard = ShardedCounter {
+            ranks_per_node: 32,
+            block: 64,
+            shard_service: 5.0e-8,
+            shard_latency: 1.0e-7,
+        };
+        let mk = |p: usize, sharded: bool| {
+            let cfg = SimConfig {
+                nprocs: p,
+                ntasks: 8 * p,
+                ..base()
+            };
+            if sharded {
+                simulate_sharded(&cfg, &shard).makespan
+            } else {
+                simulate(&cfg).makespan
+            }
+        };
+        // Throughput (tickets/s) of the flat counter flattens at the
+        // home server's rate; the sharded counter keeps scaling.
+        let flat_tp = |p: usize| 8.0 * p as f64 / mk(p, false);
+        let shard_tp = |p: usize| 8.0 * p as f64 / mk(p, true);
+        assert!(
+            flat_tp(4096) < 1.05 * flat_tp(1024),
+            "flat should plateau: {} vs {}",
+            flat_tp(4096),
+            flat_tp(1024)
+        );
+        assert!(
+            shard_tp(4096) > 2.0 * flat_tp(4096),
+            "sharded {} should beat flat {} at 4096",
+            shard_tp(4096),
+            flat_tp(4096)
+        );
+        assert!(
+            shard_tp(4096) > 1.5 * shard_tp(256),
+            "sharded keeps scaling: {} vs {}",
+            shard_tp(4096),
+            shard_tp(256)
+        );
+    }
+
+    #[test]
+    fn sharded_home_utilisation_is_a_block_fraction_of_flat() {
+        let shard = ShardedCounter {
+            ranks_per_node: 32,
+            block: 64,
+            shard_service: 5.0e-8,
+            shard_latency: 1.0e-7,
+        };
+        let cfg = SimConfig {
+            nprocs: 2048,
+            ntasks: 8 * 2048,
+            ..base()
+        };
+        let flat = simulate(&cfg);
+        let sh = simulate_sharded(&cfg, &shard);
+        assert!(
+            flat.counter_utilisation > 0.9,
+            "{}",
+            flat.counter_utilisation
+        );
+        assert!(
+            sh.counter_utilisation < 0.5 * flat.counter_utilisation,
+            "home load must drop ~1/block: {} vs {}",
+            sh.counter_utilisation,
+            flat.counter_utilisation
+        );
     }
 
     #[test]

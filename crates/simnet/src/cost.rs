@@ -133,6 +133,12 @@ impl ShmParams {
         let link = self.link(op);
         nsegs.max(1) as f64 * link.alpha + bytes as f64 / link.effective_peak(bytes)
     }
+
+    /// One 8-byte atomic on a shared slab: a cacheline-granular RMW
+    /// stream of a single element — far below any wire atomic.
+    pub fn atomic_cost(&self) -> f64 {
+        self.op_cost(Op::Acc, 8, 1)
+    }
 }
 
 /// Cost parameters for a RAMC-style remote-memory-channel backend
@@ -205,6 +211,13 @@ impl ChannelParams {
     /// congestion model; excludes latency and CPU overheads).
     pub fn ser_time(&self, bytes: usize) -> f64 {
         bytes as f64 / self.link.effective_peak(bytes)
+    }
+
+    /// One NIC-offloaded 8-byte atomic (fetch-and-op / compare-and-swap):
+    /// doorbell, one wire round trip, one completion reaped. No MPI
+    /// software stack and no epoch on the critical path.
+    pub fn atomic_cost(&self) -> f64 {
+        self.doorbell + self.link.alpha + self.cq_poll
     }
 }
 

@@ -52,6 +52,13 @@ fn main() {
                 p,
                 Config {
                     use_mpi3_rmw: mpi3,
+                    // Native atomics are the default now; the MPI-2 arm
+                    // must pin the mutex protocol to stay an ablation.
+                    atomics: if mpi3 {
+                        armci_mpi::AtomicsMode::Native
+                    } else {
+                        armci_mpi::AtomicsMode::MutexFallback
+                    },
                     ..Default::default()
                 },
             );

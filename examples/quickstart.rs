@@ -62,6 +62,22 @@ fn main() {
         }
         a.sync();
 
+        // Every rank claims task tickets from a shared NXTVAL counter —
+        // the §V-D hot counter, served here by native MPI-3 fetch_and_op
+        // (the default atomics mode) behind a per-node sharded cache.
+        let counter = armci_mpi::NxtvalCounter::create(&rt, 8).unwrap();
+        let mut tickets = Vec::new();
+        for _ in 0..3 {
+            tickets.push(counter.next(&rt).unwrap());
+        }
+        rt.barrier();
+        counter.drain(&rt).unwrap();
+        rt.barrier();
+        if rt.rank() == 1 {
+            println!("rank 1 claimed tickets {tickets:?}");
+        }
+        counter.destroy(&rt).unwrap();
+
         // Any process can read any patch, one-sided.
         if rt.rank() == 2 {
             let centre = a.get_patch(&[3, 3], &[5, 5]).unwrap();
@@ -108,6 +124,21 @@ fn main() {
                 s.shm_hits,
                 s.shm_hit_rate() * 100.0,
                 s.shm_bypass_bytes
+            );
+            // The synchronization stack: which RMW discipline served the
+            // ticket claims, and how contended the shard CAS was.
+            let o = rt.stats();
+            let retry_rate = if o.rmws > 0 {
+                o.cas_retries as f64 / o.rmws as f64
+            } else {
+                0.0
+            };
+            println!(
+                "atomics: mode {} ({} native, {} mutex-fallback, {:.2} CAS retries/op)",
+                rt.atomics_mode_name(),
+                o.rmw_native,
+                o.rmw_mutex_fallback,
+                retry_rate
             );
         }
 

@@ -24,11 +24,15 @@ fn executable_time(nprocs: usize, cfg: CcsdConfig) -> f64 {
     };
     Runtime::run_with(nprocs, rcfg, move |p| {
         // The analytic profile also prices rank-local traffic at wire
-        // rates, so disable the shared-memory tier for the comparison.
+        // rates, so disable the shared-memory tier for the comparison —
+        // and it prices NXTVAL with the §V-D mutex protocol, so pin the
+        // runtime to the mutex fallback (native MPI-3 atomics are the
+        // default and would undercut the modelled service time).
         let rt = ArmciMpi::with_config(
             p,
             armci_mpi::Config {
                 shm: false,
+                atomics: armci_mpi::AtomicsMode::MutexFallback,
                 ..Default::default()
             },
         );
