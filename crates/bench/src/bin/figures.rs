@@ -161,6 +161,27 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
             ],
         ),
         (
+            "OBS_critpath",
+            vec![
+                ("workload", Kind::Str),
+                ("ranks", Kind::UInt),
+                ("makespan_s", Kind::Num),
+                ("critpath_s", Kind::Num),
+                ("rank_switches", Kind::UInt),
+                ("attributed_frac", Kind::Num),
+                ("imbalance", Kind::Num),
+                ("top_wait_category", Kind::Str),
+                ("wait_progress_s", Kind::Num),
+                ("wait_lock_s", Kind::Num),
+                ("wait_congestion_s", Kind::Num),
+                ("wait_cas_retry_s", Kind::Num),
+                ("wait_win_sync_s", Kind::Num),
+                ("compute_s", Kind::Num),
+                ("tracked_s", Kind::Num),
+                ("untracked_s", Kind::Num),
+            ],
+        ),
+        (
             "BENCH_rmw",
             vec![
                 ("platform", Kind::Str),
@@ -249,6 +270,31 @@ fn check(dir: &str) -> usize {
                         complain(format!("{path}[{i}]: `transport` must be nonempty"))
                     }
                     _ => {} // missing/mistyped already reported above
+                }
+            }
+            // The profiler's acceptance gates ride the schema check: the
+            // backward walk must cover the whole makespan, and the
+            // skewed-CCSD run must attribute at least 90% of its
+            // non-compute time to named wait/communication categories.
+            if name == "OBS_critpath" {
+                let get = |key: &str| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+                if let (Some(Value::Float(m)), Some(Value::Float(c))) =
+                    (get("makespan_s"), get("critpath_s"))
+                {
+                    if (m - c).abs() > 1e-9 * m.abs().max(1.0) {
+                        complain(format!(
+                            "{path}[{i}]: critpath_s {c} does not cover makespan_s {m}"
+                        ));
+                    }
+                }
+                if matches!(get("workload"), Some(Value::Str(w)) if w == "ccsd-skewed") {
+                    match get("attributed_frac") {
+                        Some(Value::Float(f)) if *f >= 0.9 => {}
+                        Some(Value::Float(f)) => complain(format!(
+                            "{path}[{i}]: ccsd-skewed attribution {f:.3} below the 0.9 gate"
+                        )),
+                        _ => {} // missing/mistyped already reported above
+                    }
                 }
             }
             // Atomic measurements are meaningless without knowing which
@@ -561,5 +607,26 @@ fn main() {
             eprintln!("[figures] FAILED: {violations} epoch-invariant violation(s)");
             std::process::exit(1);
         }
+    }
+    if all || what == "critpath" {
+        let mut rows = Vec::new();
+        for (workload, ranks, cap) in [
+            ("fig3", 2usize, trace::fig3_capture()),
+            (
+                "ccsd-skewed",
+                trace::CCSD_SKEWED_RANKS,
+                trace::ccsd_skewed_capture(4.0),
+            ),
+        ] {
+            eprintln!("[figures] critpath {workload}: {} events", cap.events.len());
+            println!("== {workload} ==");
+            print!("{}", cap.waitstate().render());
+            print!("{}", cap.critpath().render());
+            rows.push(trace::critpath_row(workload, ranks, &cap));
+        }
+        dump(
+            "OBS_critpath",
+            &serde_json::to_string_pretty(&serde::Value::Array(rows)).unwrap(),
+        );
     }
 }

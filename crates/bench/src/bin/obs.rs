@@ -1,10 +1,11 @@
 //! Observability CLI over the instrumented runtime.
 //!
 //! ```text
-//! obs trace [fig3|ccsd|ccsd-coalesced] [--out PATH] [--jsonl]
-//! obs report [fig3|ccsd|ccsd-coalesced|all]
-//! obs audit [fig3|ccsd|ccsd-coalesced]
-//! obs overhead [REPS]
+//! obs trace [fig3|ccsd|ccsd-coalesced|ccsd-skewed] [--out PATH] [--jsonl] [--skew X]
+//! obs report [fig3|ccsd|ccsd-coalesced|ccsd-skewed|all]
+//! obs audit [fig3|ccsd|ccsd-coalesced|ccsd-skewed]
+//! obs critpath [WORKLOAD] [--skew X] [--out PATH]
+//! obs overhead [REPS] [--assert-ns N]
 //! ```
 //!
 //! `trace` captures the named workload with the recorder enabled and
@@ -12,21 +13,39 @@
 //! or one event per line with `--jsonl` — to `--out` (default stdout).
 //! `report` prints the one-screen folded metrics summary. `audit`
 //! replays the trace through the epoch-invariant auditor and exits
-//! nonzero if any illegal interleaving is found. `overhead` times a
-//! contiguous put/get loop for A/B against a `--features obs/off` build
-//! of this same binary (the <5% recorder-overhead acceptance check).
+//! nonzero if any illegal interleaving is found. `critpath` runs the
+//! wait-state attributor and critical-path walker over the capture,
+//! prints both summaries, and with `--out` writes the flat JSON row the
+//! `OBS_critpath` artifact carries; with the recorder compiled out
+//! (`--features obs/off`) it reports "no events" and exits zero.
+//! `overhead` times a contiguous put/get loop for A/B against a
+//! `--features obs/off` build of this same binary; `--assert-ns N`
+//! instead times recorder-on vs recorder-off in this binary and fails
+//! if the per-op delta exceeds `N` nanoseconds.
 
 use bench::trace::{self, Capture};
 
-fn capture_named(name: &str) -> Capture {
+fn capture_named(name: &str, skew: f64) -> Capture {
     match name {
         "fig3" => trace::fig3_capture(),
         "ccsd" => trace::ccsd_capture(),
         "ccsd-coalesced" => trace::ccsd_coalesced_capture(),
+        "ccsd-skewed" => trace::ccsd_skewed_capture(skew),
         other => {
-            eprintln!("[obs] unknown workload `{other}` (want fig3, ccsd or ccsd-coalesced)");
+            eprintln!(
+                "[obs] unknown workload `{other}` \
+                 (want fig3, ccsd, ccsd-coalesced or ccsd-skewed)"
+            );
             std::process::exit(2);
         }
+    }
+}
+
+fn ranks_of(name: &str) -> usize {
+    if name == "ccsd-skewed" {
+        trace::CCSD_SKEWED_RANKS
+    } else {
+        2
     }
 }
 
@@ -36,17 +55,34 @@ fn main() {
     let mut workload = "fig3".to_string();
     let mut out: Option<String> = None;
     let mut jsonl = false;
+    let mut skew = 4.0f64;
+    let mut assert_ns: Option<f64> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out = Some(it.next().expect("--out needs a path").clone()),
             "--jsonl" => jsonl = true,
+            "--skew" => {
+                skew = it
+                    .next()
+                    .expect("--skew needs a factor")
+                    .parse()
+                    .expect("--skew wants a number")
+            }
+            "--assert-ns" => {
+                assert_ns = Some(
+                    it.next()
+                        .expect("--assert-ns needs a bound")
+                        .parse()
+                        .expect("--assert-ns wants a number"),
+                )
+            }
             other => workload = other.to_string(),
         }
     }
     match cmd {
         "trace" => {
-            let cap = capture_named(&workload);
+            let cap = capture_named(&workload, skew);
             let text = if jsonl {
                 obs::chrome::to_jsonl(&cap.events)
             } else {
@@ -67,13 +103,33 @@ fn main() {
             let caps = if workload == "all" {
                 vec![trace::fig3_capture(), trace::ccsd_capture()]
             } else {
-                vec![capture_named(&workload)]
+                vec![capture_named(&workload, skew)]
             };
             let events: Vec<obs::Event> = caps.into_iter().flat_map(|c| c.events).collect();
             print!("{}", obs::metrics::Registry::from_events(&events).render());
         }
+        "critpath" => {
+            let cap = capture_named(&workload, skew);
+            if cap.events.is_empty() {
+                // The obs/off build records nothing; the analyzers have
+                // nothing to say, which is not an error.
+                println!("[obs critpath] {workload}: no events (recorder off)");
+                return;
+            }
+            print!("{}", cap.waitstate().render());
+            print!("{}", cap.critpath().render());
+            if let Some(path) = &out {
+                if let Some(dir) = std::path::Path::new(path).parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                let row = trace::critpath_row(&workload, ranks_of(&workload), &cap);
+                let text = serde_json::to_string_pretty(&serde::Value::Array(vec![row])).unwrap();
+                std::fs::write(path, text).expect("write critpath row");
+                eprintln!("[obs critpath] row -> {path}");
+            }
+        }
         "audit" => {
-            let cap = capture_named(&workload);
+            let cap = capture_named(&workload, skew);
             let violations = cap.audit();
             for v in &violations {
                 eprintln!("[obs audit] {v}");
@@ -90,19 +146,48 @@ fn main() {
         }
         "overhead" => {
             let reps: usize = workload.parse().unwrap_or(200);
-            let dt = trace::contig_overhead(reps);
-            println!(
-                "contig put/get x{reps}: {:.1} ms (recorder {})",
-                dt.as_secs_f64() * 1e3,
-                if obs::COMPILED_IN {
-                    "recording"
-                } else {
-                    "compiled out"
+            match assert_ns {
+                None => {
+                    let dt = trace::contig_overhead(reps);
+                    println!(
+                        "contig put/get x{reps}: {:.1} ms (recorder {})",
+                        dt.as_secs_f64() * 1e3,
+                        if obs::COMPILED_IN {
+                            "recording"
+                        } else {
+                            "compiled out"
+                        }
+                    );
                 }
-            );
+                Some(bound) => {
+                    // On/off A/B inside one binary: take the best of a few
+                    // rounds of each arm so scheduler noise doesn't fail
+                    // the gate, then normalise to per-op nanoseconds.
+                    let best = |f: &dyn Fn(usize) -> std::time::Duration| {
+                        (0..3).map(|_| f(reps)).min().unwrap()
+                    };
+                    let off = best(&trace::contig_overhead_off);
+                    let on = best(&trace::contig_overhead);
+                    let ops = reps as f64 * trace::OVERHEAD_OPS_PER_REP as f64;
+                    let per_op_ns = ((on.as_secs_f64() - off.as_secs_f64()) * 1e9 / ops).max(0.0);
+                    println!(
+                        "recorder overhead: {per_op_ns:.1} ns/op \
+                         (on {:.1} ms, off {:.1} ms, {ops:.0} ops, bound {bound} ns)",
+                        on.as_secs_f64() * 1e3,
+                        off.as_secs_f64() * 1e3,
+                    );
+                    if per_op_ns > bound {
+                        eprintln!("[obs overhead] FAILED: {per_op_ns:.1} ns/op > {bound} ns/op");
+                        std::process::exit(1);
+                    }
+                }
+            }
         }
         other => {
-            eprintln!("[obs] unknown command `{other}` (want trace, report, audit or overhead)");
+            eprintln!(
+                "[obs] unknown command `{other}` \
+                 (want trace, report, audit, critpath or overhead)"
+            );
             std::process::exit(2);
         }
     }

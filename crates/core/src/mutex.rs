@@ -113,13 +113,14 @@ impl MutexSet {
         if contended {
             // Enqueued: wait locally for the zero-byte handoff.
             let t0 = self.comm.clock_now();
-            let (_, _st) = self.comm.recv(RecvSrc::Any, mutex as i32);
+            let (_, st) = self.comm.recv(RecvSrc::Any, mutex as i32);
             if obs::enabled() {
                 obs::span(
                     obs::EventKind::MutexWait {
                         win: self.win.id(),
                         mutex: mutex as u32,
                         host: host as u32,
+                        src: self.comm.world_rank_of(st.source) as u32,
                     },
                     t0,
                     self.comm.clock_now(),

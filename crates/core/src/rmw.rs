@@ -160,6 +160,7 @@ impl ArmciMpi {
         }
         let tr = self.translate(target, width)?;
         self.stat(|s| s.rmws += 1);
+        let t0 = if obs::enabled() { self.vnow() } else { 0.0 };
         let old = if native {
             self.nb_quiesce_for_atomic(tr.gmr, tr.group_rank, tr.disp, tr.disp + width)?;
             self.stat(|s| s.rmw_native += 1);
@@ -177,6 +178,25 @@ impl ArmciMpi {
         let success = old == compare;
         if !success {
             self.stat(|s| s.cas_retries += 1);
+            if obs::enabled() {
+                // A failed CAS is wasted round-trip time the caller will
+                // spend again — attribute it to the owning rank.
+                let src = {
+                    let gmrs = self.gmrs.borrow();
+                    gmrs.get(&tr.gmr)
+                        .map(|g| g.group.comm().world_rank_of(tr.group_rank) as u32)
+                        .unwrap_or(tr.group_rank as u32)
+                };
+                obs::span(
+                    obs::EventKind::Wait {
+                        cat: obs::WaitCat::CasRetry,
+                        src,
+                        obj: tr.gmr,
+                    },
+                    t0,
+                    self.vnow(),
+                );
+            }
         }
         self.note_atomic(tr.gmr, tr.group_rank, true, native, success);
         Ok(old)

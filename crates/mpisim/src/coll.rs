@@ -29,7 +29,27 @@ struct CollState {
     contributions: Vec<Option<Vec<u8>>>,
     /// Virtual clock of each participant at arrival.
     arrivals: Vec<f64>,
-    results: Option<(f64, Arc<Vec<Vec<u8>>>)>,
+    /// Completed rendezvous rounds; all participants of round `k` observe
+    /// the same value, which tags their trace events so a post-mortem
+    /// analyzer can regroup one collective across per-rank streams.
+    round: u64,
+    results: Option<CollOutcome>,
+}
+
+/// What one collective rendezvous published to every participant.
+#[derive(Clone)]
+pub(crate) struct CollOutcome {
+    /// Round number of this collective on its cell (identical for all
+    /// participants; per-rank program order makes it deterministic).
+    pub seq: u64,
+    /// Latest virtual arrival among the participants.
+    pub t_max: f64,
+    /// Participant (cell index = communicator rank) that arrived last —
+    /// the straggler whose progress released everyone. Ties go to the
+    /// lowest rank so the choice is deterministic.
+    pub straggler: usize,
+    /// Gathered contributions, indexed by participant.
+    pub data: Arc<Vec<Vec<u8>>>,
 }
 
 /// A reusable allgather rendezvous for a fixed participant count.
@@ -49,6 +69,7 @@ impl CollectiveCell {
                 leaving: 0,
                 contributions: (0..size).map(|_| None).collect(),
                 arrivals: vec![0.0; size],
+                round: 0,
                 results: None,
             }),
             cv: Condvar::new(),
@@ -57,8 +78,9 @@ impl CollectiveCell {
 
     /// Deposits `data` as participant `rank`'s contribution (arriving at
     /// virtual time `now`) and, once every participant has arrived, returns
-    /// all contributions together with the latest arrival time.
-    pub fn exchange(&self, rank: usize, data: Vec<u8>, now: f64) -> (f64, Arc<Vec<Vec<u8>>>) {
+    /// all contributions together with the round number, the latest arrival
+    /// time, and the straggler that set it.
+    pub fn exchange(&self, rank: usize, data: Vec<u8>, now: f64) -> CollOutcome {
         let mut st = self.m.lock();
         // Gate: previous round must fully drain first.
         while st.phase == Phase::Distributing {
@@ -77,8 +99,22 @@ impl CollectiveCell {
                 .iter_mut()
                 .map(|c| c.take().expect("missing contribution"))
                 .collect();
-            let t_max = st.arrivals.iter().copied().fold(0.0f64, f64::max);
-            st.results = Some((t_max, Arc::new(all)));
+            // Straggler = argmax arrival, ties to the lowest rank — the
+            // strict `>` keeps earlier indices on equal times.
+            let mut straggler = 0usize;
+            for (r, &t) in st.arrivals.iter().enumerate() {
+                if t > st.arrivals[straggler] {
+                    straggler = r;
+                }
+            }
+            let t_max = st.arrivals[straggler];
+            st.results = Some(CollOutcome {
+                seq: st.round,
+                t_max,
+                straggler,
+                data: Arc::new(all),
+            });
+            st.round += 1;
             st.phase = Phase::Distributing;
             self.cv.notify_all();
         } else {
@@ -86,8 +122,7 @@ impl CollectiveCell {
                 self.cv.wait(&mut st);
             }
         }
-        let (t_max, ref data) = *st.results.as_ref().expect("results missing");
-        let res = (t_max, Arc::clone(data));
+        let res = st.results.as_ref().expect("results missing").clone();
         st.leaving += 1;
         if st.leaving == self.size {
             st.arrived = 0;
@@ -227,10 +262,12 @@ mod tests {
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        for (t_max, res) in results {
-            assert_eq!(t_max, 3.0, "latest arrival time published to all");
-            assert_eq!(res.len(), 4);
-            for (r, c) in res.iter().enumerate() {
+        for out in results {
+            assert_eq!(out.t_max, 3.0, "latest arrival time published to all");
+            assert_eq!(out.straggler, 3, "rank 3 arrived last");
+            assert_eq!(out.seq, 0, "first round on this cell");
+            assert_eq!(out.data.len(), 4);
+            for (r, c) in out.data.iter().enumerate() {
                 assert_eq!(c, &vec![r as u8; r + 1]);
             }
         }
@@ -244,8 +281,10 @@ mod tests {
                 let cell = StdArc::clone(&cell);
                 s.spawn(move || {
                     for round in 0u8..50 {
-                        let (_, res) = cell.exchange(r, vec![round, r as u8], 0.0);
-                        for (i, c) in res.iter().enumerate() {
+                        let out = cell.exchange(r, vec![round, r as u8], 0.0);
+                        assert_eq!(out.seq, u64::from(round), "cell round number");
+                        assert_eq!(out.straggler, 0, "all-zero arrivals tie to rank 0");
+                        for (i, c) in out.data.iter().enumerate() {
                             assert_eq!(c, &vec![round, i as u8], "round {round}");
                         }
                     }

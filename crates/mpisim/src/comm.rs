@@ -170,24 +170,53 @@ impl Comm {
     }
 
     /// Rendezvous with every member, stamping this rank's virtual arrival
-    /// time into the exchange. Returns the latest arrival among members
-    /// and the gathered contributions.
-    fn coll_exchange(&self, data: Vec<u8>) -> (f64, std::sync::Arc<Vec<Vec<u8>>>) {
+    /// time into the exchange. Returns this rank's arrival time and the
+    /// published outcome (round, latest arrival, straggler, contributions).
+    fn coll_exchange(&self, data: Vec<u8>) -> (f64, coll::CollOutcome) {
         let now = if self.shared.cfg.charge_time {
             self.clock().now()
         } else {
             0.0
         };
-        self.inner.coll.exchange(self.my_comm_rank, data, now)
+        (now, self.inner.coll.exchange(self.my_comm_rank, data, now))
     }
 
     /// Leaves a collective: every member departs at `max(arrival) + cost`,
     /// each advancing **its own** clock only. (Bumping peer clocks after
     /// the rendezvous releases would race with a member that has already
-    /// resumed timed work and inflate its measurements.)
-    fn coll_leave(&self, t_max: f64, cost: f64) {
+    /// resumed timed work and inflate its measurements.) Records the
+    /// collective span and — for every rank that arrived before the
+    /// straggler — the blocked share as a progress wait; recording charges
+    /// nothing, so makespans are identical with the recorder on or off.
+    fn coll_leave(&self, arrival: f64, out: &coll::CollOutcome, cost: f64) {
         if self.shared.cfg.charge_time {
-            self.clock().advance_to(t_max + cost);
+            self.clock().advance_to(out.t_max + cost);
+        }
+        if obs::enabled() {
+            let leave = if self.shared.cfg.charge_time {
+                out.t_max + cost
+            } else {
+                0.0
+            };
+            let src = self.inner.members[out.straggler] as u32;
+            let comm = self.inner.id;
+            let seq = out.seq;
+            let wait = out.t_max - arrival;
+            let t_max = out.t_max;
+            obs::batch(|b| {
+                if wait > 0.0 {
+                    b.span(
+                        obs::EventKind::Wait {
+                            cat: obs::WaitCat::Progress,
+                            src,
+                            obj: comm,
+                        },
+                        arrival,
+                        t_max,
+                    );
+                }
+                b.span(obs::EventKind::Coll { comm, seq, src }, arrival, leave);
+            });
         }
     }
 
@@ -243,16 +272,16 @@ impl Comm {
 
     /// Barrier over all members.
     pub fn barrier(&self) {
-        let (t, _) = self.coll_exchange(Vec::new());
-        self.coll_leave(t, self.coll_cost(0));
+        let (arr, out) = self.coll_exchange(Vec::new());
+        self.coll_leave(arr, &out, self.coll_cost(0));
     }
 
     /// Allgather of arbitrary per-rank byte payloads.
     pub fn allgather_bytes(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
         let len = data.len();
-        let (t, res) = self.coll_exchange(data);
-        self.coll_leave(t, self.coll_cost(len));
-        res.as_ref().clone()
+        let (arr, out) = self.coll_exchange(data);
+        self.coll_leave(arr, &out, self.coll_cost(len));
+        out.data.as_ref().clone()
     }
 
     /// Allgather of one `u64` per rank — the typed fast path for window
@@ -266,9 +295,10 @@ impl Comm {
     pub fn allgather_u64s(&self, vals: &[u64]) -> Vec<Vec<u64>> {
         let mut buf = Vec::with_capacity(vals.len() * 8);
         coll::wire::put_u64s(&mut buf, vals);
-        let (t, res) = self.coll_exchange(buf);
-        self.coll_leave(t, self.coll_cost(vals.len() * 8));
-        res.iter()
+        let (arr, out) = self.coll_exchange(buf);
+        self.coll_leave(arr, &out, self.coll_cost(vals.len() * 8));
+        out.data
+            .iter()
             .map(|b| coll::wire::get_u64s(b, vals.len()).0)
             .collect()
     }
@@ -285,9 +315,9 @@ impl Comm {
             (true, None) => panic!("root must supply the broadcast payload"),
             (false, _) => Vec::new(),
         };
-        let (t, res) = self.coll_exchange(mine);
-        self.coll_leave(t, self.coll_cost(8));
-        coll::wire::get_u64s(&res[root], 1).0[0]
+        let (arr, out) = self.coll_exchange(mine);
+        self.coll_leave(arr, &out, self.coll_cost(8));
+        coll::wire::get_u64s(&out.data[root], 1).0[0]
     }
 
     /// Broadcast from `root`: the root passes `Some(payload)`, everyone
@@ -299,18 +329,18 @@ impl Comm {
         } else {
             Vec::new()
         };
-        let (t, res) = self.coll_exchange(mine);
-        self.coll_leave(t, self.coll_cost(res[root].len()));
-        res[root].clone()
+        let (arr, out) = self.coll_exchange(mine);
+        self.coll_leave(arr, &out, self.coll_cost(out.data[root].len()));
+        out.data[root].clone()
     }
 
     /// Element-wise allreduce over `f64` vectors.
     pub fn allreduce_f64(&self, op: ReduceOp, vals: &[f64]) -> Vec<f64> {
         let mut buf = Vec::with_capacity(vals.len() * 8);
         coll::wire::put_f64s(&mut buf, vals);
-        let (t, res) = self.coll_exchange(buf);
-        self.coll_leave(t, self.coll_cost(vals.len() * 8));
-        let vecs: Vec<Vec<f64>> = res.iter().map(|b| coll::wire::get_f64s(b)).collect();
+        let (arr, out) = self.coll_exchange(buf);
+        self.coll_leave(arr, &out, self.coll_cost(vals.len() * 8));
+        let vecs: Vec<Vec<f64>> = out.data.iter().map(|b| coll::wire::get_f64s(b)).collect();
         coll::reduce_f64(op, &vecs)
     }
 
@@ -318,9 +348,9 @@ impl Comm {
     pub fn allreduce_i64(&self, op: ReduceOp, vals: &[i64]) -> Vec<i64> {
         let mut buf = Vec::with_capacity(vals.len() * 8);
         coll::wire::put_i64s(&mut buf, vals);
-        let (t, res) = self.coll_exchange(buf);
-        self.coll_leave(t, self.coll_cost(vals.len() * 8));
-        let vecs: Vec<Vec<i64>> = res.iter().map(|b| coll::wire::get_i64s(b)).collect();
+        let (arr, out) = self.coll_exchange(buf);
+        self.coll_leave(arr, &out, self.coll_cost(vals.len() * 8));
+        let vecs: Vec<Vec<i64>> = out.data.iter().map(|b| coll::wire::get_i64s(b)).collect();
         coll::reduce_i64(op, &vecs)
     }
 
@@ -330,9 +360,10 @@ impl Comm {
     pub fn maxloc_i64(&self, value: i64) -> (i64, usize) {
         let mut buf = Vec::with_capacity(8);
         coll::wire::put_i64s(&mut buf, &[value]);
-        let (t, res) = self.coll_exchange(buf);
-        self.coll_leave(t, self.coll_cost(8));
-        let pairs: Vec<(i64, usize)> = res
+        let (arr, out) = self.coll_exchange(buf);
+        self.coll_leave(arr, &out, self.coll_cost(8));
+        let pairs: Vec<(i64, usize)> = out
+            .data
             .iter()
             .enumerate()
             .map(|(i, b)| (coll::wire::get_i64s(b)[0], i))
@@ -358,9 +389,10 @@ impl Comm {
         for b in &send {
             buf.extend_from_slice(b);
         }
-        let (t, res) = self.coll_exchange(buf);
-        self.coll_leave(t, self.coll_cost(total / self.size().max(1)));
-        res.iter()
+        let (arr, out) = self.coll_exchange(buf);
+        self.coll_leave(arr, &out, self.coll_cost(total / self.size().max(1)));
+        out.data
+            .iter()
             .map(|b| {
                 let (lens, mut rest) = coll::wire::get_u64s(b, self.size());
                 let mut block = Vec::new();

@@ -177,7 +177,13 @@ impl Proc {
 
     /// Models local computation taking `seconds` of virtual time.
     pub fn compute(&self, seconds: f64) {
-        self.charge(seconds);
+        if obs::enabled() {
+            let t0 = self.clock().now();
+            self.charge(seconds);
+            obs::span(obs::EventKind::Compute, t0, self.clock().now());
+        } else {
+            self.charge(seconds);
+        }
     }
 }
 

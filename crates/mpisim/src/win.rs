@@ -562,7 +562,20 @@ impl WinHandle {
         let plat = &self.shared.cfg.platform;
         let src = plat.node_of(self.comm.my_world_rank());
         let dst = plat.node_of(self.comm.world_rank_of(target));
-        net.admit(self.vt(), src, dst, ser, msgs)
+        let extra = net.admit(self.vt(), src, dst, ser, msgs);
+        if extra > 0.0 && obs::enabled() {
+            let t0 = self.vt();
+            obs::span(
+                obs::EventKind::Wait {
+                    cat: obs::WaitCat::Congestion,
+                    src: self.comm.world_rank_of(target) as u32,
+                    obj: self.inner.id,
+                },
+                t0,
+                t0 + extra,
+            );
+        }
+        extra
     }
 
     // ------------------------------------------------------------------
@@ -1186,9 +1199,22 @@ impl WinHandle {
             return Err(MpiError::NoEpoch { target: usize::MAX });
         }
         std::sync::atomic::fence(Ordering::SeqCst);
+        let t0 = self.vt();
         self.charge(self.shm_params().win_sync);
         if obs::enabled() {
-            obs::instant_at(obs::EventKind::WinSync { win: self.inner.id }, self.vt());
+            let t1 = self.vt();
+            obs::batch(|b| {
+                b.instant_at(obs::EventKind::WinSync { win: self.inner.id }, t1);
+                b.span(
+                    obs::EventKind::Wait {
+                        cat: obs::WaitCat::WinSync,
+                        src: self.comm.my_world_rank() as u32,
+                        obj: self.inner.id,
+                    },
+                    t0,
+                    t1,
+                );
+            });
         }
         Ok(())
     }

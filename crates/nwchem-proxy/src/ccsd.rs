@@ -213,6 +213,107 @@ pub fn run_ccsd<A: Armci + ?Sized>(p: &Proc, rt: &A, cfg: &CcsdConfig) -> CcsdRe
     }
 }
 
+/// Runs the same CCSD ladder as [`run_ccsd`] with a deterministic
+/// imbalance knob, for exercising the wait-state attributor: tasks are
+/// assigned **statically** (cyclic, `task % nprocs == rank` — no NXTVAL
+/// race, so the schedule is identical on every run) and each rank's
+/// compute charge is scaled by `1 + skew · rank / (nprocs − 1)`. With
+/// `skew > 0` the high ranks run slower and every collective waits on
+/// them; the stalls surface as `progress` waits whose critical path runs
+/// through the skewed ranks. The arithmetic is unchanged — energy is
+/// bit-exact equal to [`run_ccsd`] at `skew = 0` tilings aside — only
+/// the virtual-time profile moves.
+pub fn run_ccsd_skewed<A: Armci + ?Sized>(
+    p: &Proc,
+    rt: &A,
+    cfg: &CcsdConfig,
+    skew: f64,
+) -> CcsdResult {
+    cfg.check();
+    let t0 = p.clock().now();
+    let nprocs = rt.nprocs();
+    let me = rt.rank();
+    let slow = 1.0 + skew * me as f64 / (nprocs - 1).max(1) as f64;
+    let flop_rate = p.config().platform.compute.flops_per_core;
+
+    let tdims = [cfg.no, cfg.no, cfg.nv, cfg.nv];
+    let vdims = [cfg.nv, cfg.nv, cfg.nv, cfg.nv];
+    let t2 = GlobalArray::create(rt, "t2", GaType::F64, &tdims).expect("create t2");
+    let v2 = GlobalArray::create(rt, "v2", GaType::F64, &vdims).expect("create v2");
+    let r2 = GlobalArray::create(rt, "r2", GaType::F64, &tdims).expect("create r2");
+
+    init_4d(&t2, t2_value);
+    init_4d(&v2, v2_value);
+    t2.sync();
+
+    let (ot, vt, to, tv) = (cfg.ot(), cfg.vt(), cfg.tile_o, cfg.tile_v);
+    let ntasks = cfg.ccsd_tasks();
+    let mut tasks_done = 0usize;
+    let mut energy = 0.0;
+
+    for _iter in 0..cfg.iterations {
+        r2.zero().expect("zero r2");
+        r2.sync();
+
+        for task in (me..ntasks).step_by(nprocs.max(1)) {
+            tasks_done += 1;
+            let ti = task / (ot * vt * vt);
+            let tj = (task / (vt * vt)) % ot;
+            let ta = (task / vt) % vt;
+            let tb = task % vt;
+            let (ilo, ihi) = (ti * to, (ti + 1) * to);
+            let (jlo, jhi) = (tj * to, (tj + 1) * to);
+            let (alo, ahi) = (ta * tv, (ta + 1) * tv);
+            let (blo, bhi) = (tb * tv, (tb + 1) * tv);
+
+            let m = to * to;
+            let n = tv * tv;
+            let mut rblock = vec![0.0f64; m * n];
+
+            for tc in 0..vt {
+                for td in 0..vt {
+                    let (clo, chi) = (tc * tv, (tc + 1) * tv);
+                    let (dlo, dhi) = (td * tv, (td + 1) * tv);
+                    let vblk = v2
+                        .get_patch(&[alo, blo, clo, dlo], &[ahi, bhi, chi, dhi])
+                        .expect("get V");
+                    let tblk = t2
+                        .get_patch(&[ilo, jlo, clo, dlo], &[ihi, jhi, chi, dhi])
+                        .expect("get T");
+                    let k = tv * tv;
+                    for ij in 0..m {
+                        for ab in 0..n {
+                            let mut acc = 0.0;
+                            for cd in 0..k {
+                                acc += vblk[ab * k + cd] * tblk[ij * k + cd];
+                            }
+                            rblock[ij * n + ab] += acc;
+                        }
+                    }
+                    p.compute(slow * 2.0 * (m * n * k) as f64 / flop_rate);
+                }
+            }
+            r2.acc_patch(1.0, &[ilo, jlo, alo, blo], &[ihi, jhi, ahi, bhi], &rblock)
+                .expect("acc R");
+        }
+        r2.sync();
+        let rt_dot = r2.dot(&t2).expect("dot");
+        let tt = t2.dot(&t2).expect("dot");
+        energy = rt_dot / (1.0 + tt);
+    }
+
+    t2.sync();
+    r2.destroy().expect("destroy r2");
+    v2.destroy().expect("destroy v2");
+    t2.destroy().expect("destroy t2");
+
+    CcsdResult {
+        energy,
+        elapsed: p.clock().now() - t0,
+        tasks_done,
+    }
+}
+
 /// Runs the same CCSD ladder as [`run_ccsd`] but with the NWChem-style
 /// overlap schedule: the V/T tiles of the *next* `cd` pair are prefetched
 /// with nonblocking gets while the current pair's DGEMM runs

@@ -53,7 +53,12 @@ fn describe(e: &Event) -> (String, &'static str, Phase, Vec<(String, Value)>) {
             Phase::Span,
             vec![("win".into(), uval(*win)), ("bytes".into(), uval(*bytes))],
         ),
-        MutexWait { win, mutex, host } => (
+        MutexWait {
+            win,
+            mutex,
+            host,
+            src,
+        } => (
             format!("mutex_wait:m{mutex}@{host}"),
             "mutex",
             Phase::Span,
@@ -61,8 +66,30 @@ fn describe(e: &Event) -> (String, &'static str, Phase, Vec<(String, Value)>) {
                 ("win".into(), uval(*win)),
                 ("mutex".into(), uval(u64::from(*mutex))),
                 ("host".into(), uval(u64::from(*host))),
+                ("src".into(), uval(u64::from(*src))),
             ],
         ),
+        Coll { comm, seq, src } => (
+            format!("coll:c{comm}"),
+            "coll",
+            Phase::Span,
+            vec![
+                ("comm".into(), uval(*comm)),
+                ("seq".into(), uval(*seq)),
+                ("src".into(), uval(u64::from(*src))),
+            ],
+        ),
+        Wait { cat, src, obj } => (
+            format!("wait:{}", cat.name()),
+            "wait",
+            Phase::Span,
+            vec![
+                ("wait".into(), sval(cat.name())),
+                ("src".into(), uval(u64::from(*src))),
+                ("obj".into(), uval(*obj)),
+            ],
+        ),
+        Compute => ("compute".into(), "compute", Phase::Span, Vec::new()),
         LockAcquire {
             win,
             target,
@@ -309,18 +336,25 @@ fn describe(e: &Event) -> (String, &'static str, Phase, Vec<(String, Value)>) {
     }
 }
 
+/// Microsecond value for the trace, rounded to 0.1 ns so the rendered
+/// artifact carries no float-noise digits (`3.0000000000000004`-style
+/// tails churned `results/TRACE_*.json` wholesale on unrelated edits).
+fn us(seconds: f64) -> Value {
+    Value::Float((seconds * 1e6 * 1e4).round() / 1e4)
+}
+
 fn trace_event(e: &Event) -> Value {
     let (name, cat, phase, args) = describe(e);
     let mut fields: Vec<(String, Value)> = vec![
         ("name".into(), Value::Str(name)),
         ("cat".into(), sval(cat)),
-        ("ts".into(), Value::Float(e.ts * 1e6)),
+        ("ts".into(), us(e.ts)),
         ("pid".into(), uval(0)),
         ("tid".into(), uval(u64::from(e.rank))),
     ];
     let ph = match phase {
         Phase::Span => {
-            fields.push(("dur".into(), Value::Float(e.dur * 1e6)));
+            fields.push(("dur".into(), us(e.dur)));
             "X"
         }
         Phase::Begin => "B",
@@ -335,9 +369,85 @@ fn trace_event(e: &Event) -> Value {
     Value::Object(fields)
 }
 
+/// One endpoint of a flow ("s" start on the releasing rank, "f" finish on
+/// the waiting rank). `id` ties the pair; derived from event content so
+/// re-renders of the same stream are bit-identical.
+fn flow_event(name: &str, ph: &str, id: String, rank: u32, ts: f64) -> Value {
+    let mut fields: Vec<(String, Value)> = vec![
+        ("name".into(), sval(name)),
+        ("cat".into(), sval("flow")),
+        ("ph".into(), sval(ph)),
+        ("id".into(), Value::Str(id)),
+        ("ts".into(), us(ts)),
+        ("pid".into(), uval(0)),
+        ("tid".into(), uval(u64::from(rank))),
+    ];
+    if ph == "f" {
+        fields.push(("bp".into(), sval("e")));
+    }
+    Value::Object(fields)
+}
+
+/// Cross-rank causal edges as Chrome flow events: for every collective,
+/// an arrow from the straggler's arrival to each waiter's departure; for
+/// every mutex handoff, an arrow from the granting rank to the waiter's
+/// wake-up. Events are consumed in sorted order, so the output is
+/// deterministic.
+fn flow_events(events: &[&Event]) -> Vec<Value> {
+    use std::collections::BTreeMap;
+    // Straggler world rank, its span start, and (rank, departure) waiters.
+    type CollEdge = (u32, f64, Vec<(u32, f64)>);
+    let mut colls: BTreeMap<(u64, u64), CollEdge> = BTreeMap::new();
+    let mut out = Vec::new();
+    for e in events {
+        match &e.kind {
+            EventKind::Coll { comm, seq, src } => {
+                let entry = colls
+                    .entry((*comm, *seq))
+                    .or_insert((*src, 0.0, Vec::new()));
+                if e.rank == *src {
+                    entry.1 = e.ts;
+                } else {
+                    entry.2.push((e.rank, e.ts + e.dur));
+                }
+            }
+            EventKind::MutexWait {
+                win, mutex, src, ..
+            } if e.dur > 0.0 => {
+                let end = e.ts + e.dur;
+                let id = format!("mutex:{win}:{mutex}:{}:{:x}", e.rank, end.to_bits());
+                out.push(flow_event("handoff", "s", id.clone(), *src, end));
+                out.push(flow_event("handoff", "f", id, e.rank, end));
+            }
+            _ => {}
+        }
+    }
+    for ((comm, seq), (src, src_ts, mut waiters)) in colls {
+        waiters.sort_by_key(|w| w.0);
+        for (rank, end) in waiters {
+            let id = format!("coll:{comm}:{seq}:{rank}");
+            out.push(flow_event("straggler", "s", id.clone(), src, src_ts));
+            out.push(flow_event("straggler", "f", id, rank, end));
+        }
+    }
+    out
+}
+
+/// Events in a deterministic render order: sorted by rank, preserving
+/// each rank's program order (per-rank buffers are contiguous and
+/// program-ordered, but the order *between* ranks in the sink follows
+/// thread-exit timing, which is wall-schedule noise).
+fn sorted(events: &[Event]) -> Vec<&Event> {
+    let mut refs: Vec<&Event> = events.iter().collect();
+    refs.sort_by_key(|e| e.rank);
+    refs
+}
+
 /// Render a full Chrome trace-event JSON document.
 pub fn to_chrome_trace(events: &[Event]) -> String {
-    let rows: Vec<Value> = events.iter().map(trace_event).collect();
+    let ordered = sorted(events);
+    let mut rows: Vec<Value> = ordered.iter().map(|e| trace_event(e)).collect();
+    rows.extend(flow_events(&ordered));
     let doc = Value::Object(vec![
         ("traceEvents".into(), Value::Array(rows)),
         ("displayTimeUnit".into(), sval("ms")),
@@ -348,7 +458,7 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
 /// Render one JSON object per line (grep-friendly event dump).
 pub fn to_jsonl(events: &[Event]) -> String {
     let mut out = String::new();
-    for e in events {
+    for e in sorted(events) {
         let (name, cat, _, args) = describe(e);
         let mut fields: Vec<(String, Value)> = vec![
             ("rank".into(), uval(u64::from(e.rank))),

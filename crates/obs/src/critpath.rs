@@ -1,0 +1,350 @@
+//! Critical-path extraction over the virtual-time DAG.
+//!
+//! The recorder's cross-rank edges — collective straggler identity on
+//! [`crate::EventKind::Coll`] and mutex-handoff source on
+//! [`crate::EventKind::MutexWait`] — make the merged trace a DAG in
+//! virtual time. This walker starts at the run's makespan (the latest
+//! span end anywhere) and walks **backwards**:
+//!
+//! * inside a rank it steps to the latest span ending at or before the
+//!   cursor, charging any uncovered gap to `untracked`;
+//! * at a collective where this rank was *not* the straggler it charges
+//!   only the post-release cost `[t_max, leave]` locally, then jumps to
+//!   the straggler's timeline at `t_max` (its arrival) via the shared
+//!   `(comm, seq)` key — the wait segment is replaced by the straggler's
+//!   own activity, which is what actually gated the run;
+//! * at a mutex handoff it jumps to the granting rank at the handoff
+//!   time.
+//!
+//! The walk terminates at virtual time zero, so the path length equals
+//! the makespan **by construction** — the proptest oracle asserts this
+//! bit-exactly. All candidate selection is deterministic given (rank,
+//! program order), which `analyze` recovers with a stable sort.
+
+use crate::{Event, EventKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One segment of the critical path, in walk (reverse-time) order.
+#[derive(Debug, Clone)]
+pub struct Step {
+    pub rank: u32,
+    pub t0: f64,
+    pub t1: f64,
+    /// Segment class: `coll`, `lock`, `compute`, `wait:<cat>`,
+    /// `stage:<stage>`, `pack`, or `untracked`.
+    pub what: String,
+}
+
+/// Critical-path report.
+#[derive(Debug, Clone, Default)]
+pub struct CritPath {
+    /// Latest span end across all ranks (the run's virtual makespan).
+    pub makespan: f64,
+    /// Sum of step durations; equals `makespan` when the walk reaches 0.
+    pub length: f64,
+    /// Seconds on the path per segment class.
+    pub class_s: BTreeMap<String, f64>,
+    /// Times the path moved between ranks through a causal edge.
+    pub rank_switches: u32,
+    /// Path segments, most recent first.
+    pub steps: Vec<Step>,
+}
+
+impl CritPath {
+    /// One-screen text rendering (steps elided beyond the head).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical path: {:.6} s over {} segments, {} rank switches (makespan {:.6} s)",
+            self.length,
+            self.steps.len(),
+            self.rank_switches,
+            self.makespan
+        );
+        for (k, s) in &self.class_s {
+            let _ = writeln!(out, "  {k:<14} {s:.6} s on path");
+        }
+        for st in self.steps.iter().take(10) {
+            let _ = writeln!(
+                out,
+                "  rank {:<3} [{:.6}, {:.6}] {}",
+                st.rank, st.t0, st.t1, st.what
+            );
+        }
+        if self.steps.len() > 10 {
+            let _ = writeln!(out, "  ... {} more segments", self.steps.len() - 10);
+        }
+        out
+    }
+}
+
+/// Span kinds the walker steps through. Container spans (`Op`, `GaOp`)
+/// are deliberately excluded: they wrap the causal spans — a `ga_sync`
+/// GA-op ends marginally *after* the Coll span it contains, so consuming
+/// it wholesale would skip the straggler edge. The walk descends through
+/// the leaves instead and charges container-only overhead to `untracked`.
+fn class_of(kind: &EventKind) -> Option<String> {
+    match kind {
+        EventKind::Coll { .. } => Some("coll".to_string()),
+        EventKind::MutexWait { .. } => Some("lock".to_string()),
+        EventKind::Compute => Some("compute".to_string()),
+        EventKind::Wait { cat, .. } => Some(format!("wait:{}", cat.name())),
+        EventKind::Stage { stage, .. } => Some(format!("stage:{stage}")),
+        EventKind::Pack { .. } => Some("pack".to_string()),
+        _ => None,
+    }
+}
+
+/// Absolute slack for "ends at the cursor" comparisons. Cross-rank times
+/// are exchanged as exact f64 values (the rendezvous publishes `t_max`,
+/// the handoff message carries its arrival), so exact matches are the
+/// norm and the epsilon only absorbs summation jitter within one rank.
+const EPS: f64 = 1e-12;
+
+struct Span<'a> {
+    t0: f64,
+    t1: f64,
+    kind: &'a EventKind,
+}
+
+/// Extracts the critical path from one run's merged event stream.
+pub fn analyze(events: &[Event]) -> CritPath {
+    let mut refs: Vec<&Event> = events.iter().collect();
+    refs.sort_by_key(|e| e.rank);
+
+    // Per-rank spans in program order, plus the collective index:
+    // (comm, seq) -> per-participant (world rank, arrival t0).
+    let mut spans: BTreeMap<u32, Vec<Span>> = BTreeMap::new();
+    let mut colls: BTreeMap<(u64, u64), Vec<(u32, f64)>> = BTreeMap::new();
+    let mut makespan = 0.0f64;
+    let mut end_rank = u32::MAX;
+    for e in &refs {
+        let t1 = e.ts + e.dur;
+        if e.dur > 0.0 && class_of(&e.kind).is_some() {
+            if t1 > makespan + EPS || (t1 > makespan - EPS && e.rank < end_rank) {
+                makespan = t1.max(makespan);
+                end_rank = e.rank;
+            }
+            spans.entry(e.rank).or_default().push(Span {
+                t0: e.ts,
+                t1,
+                kind: &e.kind,
+            });
+        }
+        if let EventKind::Coll { comm, seq, .. } = &e.kind {
+            colls.entry((*comm, *seq)).or_default().push((e.rank, e.ts));
+        }
+    }
+
+    let mut path = CritPath {
+        makespan,
+        ..Default::default()
+    };
+    if end_rank == u32::MAX {
+        return path;
+    }
+
+    let mut rank = end_rank;
+    let mut cursor = makespan;
+    let push = |path: &mut CritPath, rank: u32, t0: f64, t1: f64, what: String| {
+        if t1 > t0 {
+            path.length += t1 - t0;
+            *path.class_s.entry(what.clone()).or_insert(0.0) += t1 - t0;
+            path.steps.push(Step { rank, t0, t1, what });
+        }
+    };
+    // Each iteration strictly lowers the cursor (spans have positive
+    // duration and jumps land before the span end), but guard against a
+    // malformed trace anyway.
+    let mut fuel = refs.len() * 2 + 16;
+    while cursor > EPS && fuel > 0 {
+        fuel -= 1;
+        let list = spans.get(&rank).map(Vec::as_slice).unwrap_or(&[]);
+        // Latest span ending at or before the cursor. Ties on the end
+        // time go to the *innermost* span (latest start, then latest
+        // program order): a collective's Coll span ends at the same
+        // instant as the GA-op span wrapping it, and only the inner one
+        // carries the causal edge to jump through.
+        let mut best: Option<&Span> = None;
+        for s in list {
+            if s.t1 > cursor + EPS {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    if s.t1 > b.t1 + EPS {
+                        true
+                    } else if s.t1 < b.t1 - EPS {
+                        false
+                    } else {
+                        s.t0 >= b.t0 - EPS
+                    }
+                }
+            };
+            if better {
+                best = Some(s);
+            }
+        }
+        let Some(s) = best else {
+            // Nothing earlier on this rank: the head of its timeline.
+            push(&mut path, rank, 0.0, cursor, "untracked".to_string());
+            break;
+        };
+        if s.t1 < cursor - EPS {
+            push(&mut path, rank, s.t1, cursor, "untracked".to_string());
+            cursor = s.t1;
+            continue;
+        }
+        match s.kind {
+            EventKind::Coll { comm, seq, src } if *src != rank => {
+                // Released by the straggler: keep the local post-release
+                // cost, then continue on the straggler at its arrival.
+                let arrival = colls
+                    .get(&(*comm, *seq))
+                    .and_then(|ps| ps.iter().find(|(r, _)| *r == *src))
+                    .map(|&(_, t0)| t0);
+                match arrival {
+                    Some(t_max) => {
+                        push(&mut path, rank, t_max.min(s.t1), s.t1, "coll".to_string());
+                        rank = *src;
+                        cursor = t_max;
+                        path.rank_switches += 1;
+                    }
+                    None => {
+                        // Straggler's stream missing — degrade to local.
+                        push(&mut path, rank, s.t0, s.t1, "coll".to_string());
+                        cursor = s.t0;
+                    }
+                }
+            }
+            EventKind::MutexWait { src, .. } if *src != rank => {
+                // The handoff that ended this wait left the granting rank
+                // at (t1 - message latency); the arrival instant is the
+                // closest event we own, so jump there.
+                push(&mut path, rank, s.t1, s.t1, "lock".to_string());
+                let t1 = s.t1;
+                rank = *src;
+                cursor = t1;
+                path.rank_switches += 1;
+            }
+            kind => {
+                let what = class_of(kind).unwrap_or_else(|| "untracked".to_string());
+                push(&mut path, rank, s.t0, s.t1, what);
+                cursor = s.t0;
+            }
+        }
+    }
+    if cursor > EPS && fuel == 0 {
+        // Malformed trace: account the remainder so length still covers
+        // the makespan.
+        push(&mut path, rank, 0.0, cursor, "untracked".to_string());
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WaitCat;
+
+    fn span(rank: u32, t0: f64, t1: f64, kind: EventKind) -> Event {
+        Event {
+            rank,
+            ts: t0,
+            dur: t1 - t0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn straggler_jump_and_length() {
+        // Rank 1 computes until 5.0 then joins a collective; rank 0
+        // arrived at 1.0 and waited. Cost 0.5 after release.
+        let events = vec![
+            span(0, 0.0, 1.0, EventKind::Compute),
+            span(
+                0,
+                1.0,
+                5.0,
+                EventKind::Wait {
+                    cat: WaitCat::Progress,
+                    src: 1,
+                    obj: 9,
+                },
+            ),
+            span(
+                0,
+                1.0,
+                5.5,
+                EventKind::Coll {
+                    comm: 9,
+                    seq: 0,
+                    src: 1,
+                },
+            ),
+            span(1, 0.0, 5.0, EventKind::Compute),
+            span(
+                1,
+                5.0,
+                5.5,
+                EventKind::Coll {
+                    comm: 9,
+                    seq: 0,
+                    src: 1,
+                },
+            ),
+        ];
+        let p = analyze(&events);
+        assert_eq!(p.makespan, 5.5);
+        // Path: rank 0 coll cost [5.0, 5.5], jump to rank 1 at 5.0 —
+        // which is its own straggler coll arrival — then compute [0, 5].
+        assert_eq!(p.length, p.makespan, "walk reaches zero exactly");
+        assert_eq!(p.rank_switches, 1);
+        assert!((p.class_s["compute"] - 5.0).abs() < 1e-12);
+        assert!((p.class_s["coll"] - 0.5).abs() < 1e-12);
+        assert!(
+            !p.class_s.contains_key("wait:progress"),
+            "wait replaced by cause"
+        );
+    }
+
+    #[test]
+    fn mutex_handoff_jump() {
+        // Rank 1 holds the mutex while computing [0,3]; rank 0 waits
+        // [0.5, 3.2] (grant message latency 0.2) then computes to 4.0.
+        let events = vec![
+            span(1, 0.0, 3.0, EventKind::Compute),
+            span(
+                0,
+                0.5,
+                3.2,
+                EventKind::MutexWait {
+                    win: 1,
+                    mutex: 0,
+                    host: 0,
+                    src: 1,
+                },
+            ),
+            span(0, 3.2, 4.0, EventKind::Compute),
+        ];
+        let p = analyze(&events);
+        assert_eq!(p.makespan, 4.0);
+        assert_eq!(p.rank_switches, 1);
+        // [3.2, 4.0] compute on rank 0, jump to rank 1 at 3.2, gap
+        // [3.0, 3.2] untracked (wire latency), compute [0, 3].
+        assert_eq!(p.length, p.makespan);
+        assert!((p.class_s["compute"] - 3.8).abs() < 1e-12);
+        assert!((p.class_s["untracked"] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_path() {
+        let p = analyze(&[]);
+        assert_eq!(p.makespan, 0.0);
+        assert_eq!(p.length, 0.0);
+        assert!(p.steps.is_empty());
+    }
+}

@@ -26,7 +26,9 @@
 
 pub mod audit;
 pub mod chrome;
+pub mod critpath;
 pub mod metrics;
+pub mod waitstate;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -56,9 +58,38 @@ impl OpKind {
     }
 }
 
-/// What happened. Span kinds (`Op`, `GaOp`, `Stage`, `Pack`, `MutexWait`)
-/// carry a duration; everything else is an instant whose pairing (lock /
-/// unlock, begin / end) is reconstructed by the consumers.
+/// Cause a [`EventKind::Wait`] span attributes blocked virtual time to.
+/// The waitstate analyzer folds these into its per-category report; the
+/// critical-path walker follows the `src` rank of the matching event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WaitCat {
+    /// Waiting on a slower peer's progress (collective straggler, message
+    /// not yet sent in virtual time).
+    Progress,
+    /// Queueing delay from the shared-NIC congestion model.
+    Congestion,
+    /// A failed compare-and-swap charged a wire round trip that moved no
+    /// data (the retry loop will go again).
+    CasRetry,
+    /// `MPI_Win_sync` memory-model barrier on a shared window.
+    WinSync,
+}
+
+impl WaitCat {
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitCat::Progress => "progress",
+            WaitCat::Congestion => "congestion",
+            WaitCat::CasRetry => "cas_retry",
+            WaitCat::WinSync => "win_sync",
+        }
+    }
+}
+
+/// What happened. Span kinds (`Op`, `GaOp`, `Stage`, `Pack`, `MutexWait`,
+/// `Coll`, `Wait`, `Compute`) carry a duration; everything else is an
+/// instant whose pairing (lock / unlock, begin / end) is reconstructed by
+/// the consumers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
     /// One engine-level ARMCI operation against a GMR (span).
@@ -83,11 +114,37 @@ pub enum EventKind {
         bytes: u64,
     },
     /// Blocked inside the RMA mutex queue waiting for a handoff (span).
+    /// `src` is the **world** rank whose unlock granted the mutex — the
+    /// cross-rank causal edge the critical-path walker follows.
     MutexWait {
         win: u64,
         mutex: u32,
         host: u32,
+        src: u32,
     },
+    /// One collective operation as seen by one rank: the span runs from
+    /// this rank's arrival at the rendezvous to its departure. Every
+    /// participant of one collective shares `(comm, seq)` (`seq` is the
+    /// cell's round number, identical on all members); `src` is the
+    /// **world** rank of the straggler — the latest arrival, ties to the
+    /// lowest rank — whose progress released everyone.
+    Coll {
+        comm: u64,
+        seq: u64,
+        src: u32,
+    },
+    /// Blocked virtual time attributed to a cause (span). `src` is the
+    /// world rank the wait resolved through (straggler, congesting peer,
+    /// CAS target, ...); `obj` is the window / communicator id involved.
+    Wait {
+        cat: WaitCat,
+        src: u32,
+        obj: u64,
+    },
+    /// Modelled local computation (`Proc::compute`) — the part of a
+    /// rank's timeline the waitstate analyzer must *not* attribute to
+    /// communication or blocking (span).
+    Compute,
     /// Passive-target lock granted on (window, target).
     LockAcquire {
         win: u64,

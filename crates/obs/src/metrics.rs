@@ -45,6 +45,34 @@ impl Histogram {
             self.sum_s / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile in microseconds (`q` in `[0, 1]`), linearly
+    /// interpolated inside the covering log2 bucket (bucket 0 spans
+    /// `[0, 1)` µs, bucket `i` spans `[2^(i-1), 2^i)` µs). Exact only up
+    /// to bucket resolution, but deterministic and monotone in `q`.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                let (lo, hi) = if i == 0 {
+                    (0.0, 1.0)
+                } else {
+                    ((1u64 << (i - 1)) as f64, (1u64 << i) as f64)
+                };
+                let frac = (target - seen) as f64 / n as f64;
+                return lo + frac * (hi - lo);
+            }
+            seen += n;
+        }
+        0.0
+    }
 }
 
 /// Flat metrics registry derived from one event stream.
@@ -141,6 +169,26 @@ impl Registry {
                     reg.bump("mutex.waits", 1);
                     reg.add_time("mutex_wait_s", e.dur);
                     reg.observe("mutex_wait_us", e.dur);
+                }
+                Coll { .. } => {
+                    reg.bump("coll.ops", 1);
+                    reg.add_time("coll_s", e.dur);
+                }
+                Wait { cat, .. } => {
+                    let name = cat.name();
+                    reg.bump(&format!("waits.{name}"), 1);
+                    reg.add_time(&format!("wait_s.{name}"), e.dur);
+                    reg.observe(&format!("wait_us.{name}"), e.dur);
+                    if *cat == crate::WaitCat::Progress {
+                        // The headline metric the async-progress engine
+                        // will be judged against: virtual seconds ranks
+                        // spent blocked on a slower peer's progress.
+                        reg.add_time("progress.stall_s", e.dur);
+                    }
+                }
+                Compute => {
+                    reg.bump("compute.blocks", 1);
+                    reg.add_time("compute_s", e.dur);
                 }
                 LockAcquire {
                     win,
@@ -357,6 +405,24 @@ impl Registry {
                 self.time("mutex_wait_s"),
             ));
         }
+        let wait_line: Vec<String> = ["progress", "congestion", "cas_retry", "win_sync"]
+            .iter()
+            .filter(|c| self.counter(&format!("waits.{c}")) > 0)
+            .map(|c| format!("{c}={:.6}s", self.time(&format!("wait_s.{c}"))))
+            .collect();
+        if !wait_line.is_empty() {
+            out.push_str(&format!(
+                "  waits  : {} (progress.stall_s={:.6})\n",
+                wait_line.join(" "),
+                self.time("progress.stall_s"),
+            ));
+        }
+        if self.counter("compute.blocks") > 0 {
+            out.push_str(&format!(
+                "  compute: {:.6} s modelled\n",
+                self.time("compute_s")
+            ));
+        }
         let pool_total = self.counter("pool.hits") + self.counter("pool.misses");
         if pool_total > 0 {
             out.push_str(&format!(
@@ -399,6 +465,19 @@ impl Registry {
                 dtype_total,
                 self.dtype_hit_rate() * 100.0,
             ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("  tails (log2-us histograms):\n");
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "    {:<20} n={:<6} p50={:.1}us p95={:.1}us p99={:.1}us\n",
+                    k,
+                    h.count,
+                    h.quantile_us(0.50),
+                    h.quantile_us(0.95),
+                    h.quantile_us(0.99),
+                ));
+            }
         }
         let errs: Vec<String> = self
             .counters

@@ -1,0 +1,422 @@
+//! Post-mortem wait-state attribution.
+//!
+//! Merges the per-rank event streams of one run and classifies every
+//! second of each rank's virtual timeline into exactly one bucket:
+//!
+//! * a **wait category** — target-progress stall ([`crate::WaitCat::Progress`]),
+//!   congestion queueing, CAS retry, `win_sync`, or mutex/lock contention
+//!   ([`crate::EventKind::MutexWait`]);
+//! * **compute** — modelled local computation ([`crate::EventKind::Compute`]);
+//! * **tracked** — communication/runtime work covered by an op, GA-op,
+//!   stage, pack, or collective span;
+//! * **untracked** — timeline not covered by any span (recorder gaps).
+//!
+//! Overlaps resolve by priority (waits > compute > tracked); equal
+//! priorities go to the innermost (latest-starting) span, so e.g. a
+//! congestion wait nested inside a CAS retry wins its own interval.
+//! The sweep is deterministic: events are processed in (rank, program
+//! order) so identical traces produce bit-identical sums.
+
+use crate::{Event, EventKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Wait-category labels in report order. `lock` is mutex contention; the
+/// other four mirror [`crate::WaitCat`].
+pub const CATEGORIES: [&str; 5] = ["progress", "lock", "congestion", "cas_retry", "win_sync"];
+
+/// One rank's classified timeline.
+#[derive(Debug, Clone)]
+pub struct RankBreakdown {
+    pub rank: u32,
+    /// Timeline length: first event timestamp to last span end.
+    pub span_s: f64,
+    /// Seconds per wait category (keys from [`CATEGORIES`]).
+    pub waits: BTreeMap<&'static str, f64>,
+    pub compute_s: f64,
+    pub tracked_s: f64,
+    pub untracked_s: f64,
+}
+
+impl RankBreakdown {
+    /// Total blocked seconds across all wait categories.
+    pub fn wait_s(&self) -> f64 {
+        self.waits.values().sum()
+    }
+}
+
+/// Whole-run attribution report.
+#[derive(Debug, Clone, Default)]
+pub struct WaitReport {
+    pub ranks: Vec<RankBreakdown>,
+    /// Summed seconds per wait category across ranks.
+    pub cat_s: BTreeMap<&'static str, f64>,
+    pub compute_s: f64,
+    pub tracked_s: f64,
+    pub untracked_s: f64,
+    /// Sum of per-rank timeline lengths.
+    pub total_s: f64,
+    /// Wait seconds by (category, object id) — top contributors first.
+    pub top_objs: Vec<(String, f64)>,
+    /// Tracked span seconds by op name — top contributors first.
+    pub top_ops: Vec<(String, f64)>,
+}
+
+impl WaitReport {
+    /// Fraction of non-compute time attributed to a named bucket (a wait
+    /// category or tracked communication): `1 - untracked / (total -
+    /// compute)`. 1.0 when there is no non-compute time at all.
+    pub fn attributed_fraction(&self) -> f64 {
+        let denom = self.total_s - self.compute_s;
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - self.untracked_s / denom).clamp(0.0, 1.0)
+    }
+
+    /// Per-rank wait imbalance: max over ranks of total wait seconds
+    /// divided by the mean. 1.0 for a perfectly balanced (or wait-free)
+    /// run.
+    pub fn imbalance(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 1.0;
+        }
+        let per: Vec<f64> = self.ranks.iter().map(|r| r.wait_s()).collect();
+        let mean = per.iter().sum::<f64>() / per.len() as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        per.iter().cloned().fold(0.0f64, f64::max) / mean
+    }
+
+    /// The costliest wait category, if any time was blocked at all.
+    pub fn top_category(&self) -> Option<(&'static str, f64)> {
+        CATEGORIES
+            .iter()
+            .map(|&c| (c, self.cat_s.get(c).copied().unwrap_or(0.0)))
+            .filter(|&(_, s)| s > 0.0)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(a.0)))
+    }
+
+    /// One-screen text rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "wait-state attribution ({} ranks)", self.ranks.len());
+        let _ = writeln!(
+            out,
+            "  timeline: {:.6} s total, compute {:.6} s, tracked comm {:.6} s, untracked {:.6} s",
+            self.total_s, self.compute_s, self.tracked_s, self.untracked_s
+        );
+        for &c in &CATEGORIES {
+            let s = self.cat_s.get(c).copied().unwrap_or(0.0);
+            if s > 0.0 {
+                let _ = writeln!(out, "  wait.{c:<10}: {s:.6} s");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  attributed: {:.1}% of non-compute time, imbalance max/mean = {:.2}",
+            self.attributed_fraction() * 100.0,
+            self.imbalance()
+        );
+        if let Some((cat, s)) = self.top_category() {
+            let _ = writeln!(out, "  top wait category: {cat} ({s:.6} s)");
+        }
+        if !self.top_objs.is_empty() {
+            let _ = writeln!(out, "  top wait objects:");
+            for (k, s) in self.top_objs.iter().take(5) {
+                let _ = writeln!(out, "    {k:<24} {s:.6} s");
+            }
+        }
+        if !self.top_ops.is_empty() {
+            let _ = writeln!(out, "  top tracked ops:");
+            for (k, s) in self.top_ops.iter().take(5) {
+                let _ = writeln!(out, "    {k:<24} {s:.6} s");
+            }
+        }
+        out
+    }
+}
+
+/// Priority classes for the interval sweep (lower wins).
+const PRIO_WAIT: u8 = 0;
+const PRIO_COMPUTE: u8 = 1;
+const PRIO_TRACKED: u8 = 2;
+
+struct Iv {
+    t0: f64,
+    t1: f64,
+    prio: u8,
+    cat: &'static str,
+}
+
+/// How one span classifies, or `None` for instants and non-timeline kinds.
+fn classify(e: &Event) -> Option<(u8, &'static str)> {
+    if e.dur <= 0.0 {
+        return None;
+    }
+    match &e.kind {
+        EventKind::Wait { cat, .. } => Some((PRIO_WAIT, cat.name())),
+        EventKind::MutexWait { .. } => Some((PRIO_WAIT, "lock")),
+        EventKind::Compute => Some((PRIO_COMPUTE, "compute")),
+        EventKind::Op { .. }
+        | EventKind::GaOp { .. }
+        | EventKind::Stage { .. }
+        | EventKind::Pack { .. }
+        | EventKind::Coll { .. } => Some((PRIO_TRACKED, "tracked")),
+        _ => None,
+    }
+}
+
+/// Sweep one rank's intervals, attributing each elementary segment of
+/// `[lo, hi]` to the best covering class (or untracked).
+fn sweep(ivs: &[Iv], lo: f64, hi: f64, out: &mut RankBreakdown) {
+    // (time-bits, close?, interval index). Segments are emitted before any
+    // point at their right edge is applied, so ordering within one
+    // timestamp cannot change attribution.
+    let mut pts: Vec<(u64, bool, usize)> = Vec::with_capacity(ivs.len() * 2 + 2);
+    for (i, iv) in ivs.iter().enumerate() {
+        pts.push((iv.t0.to_bits(), false, i));
+        pts.push((iv.t1.to_bits(), true, i));
+    }
+    pts.push((lo.to_bits(), true, usize::MAX));
+    pts.push((hi.to_bits(), true, usize::MAX));
+    pts.sort();
+    // Active set keyed for "min priority, then innermost (max t0), then
+    // latest program order": all components inverted where needed so
+    // `first()` is the winner. Timestamps are non-negative, so the IEEE
+    // bit pattern orders like the float.
+    let mut active: std::collections::BTreeSet<(u8, u64, u64, usize)> =
+        std::collections::BTreeSet::new();
+    let key = |i: usize| {
+        let iv = &ivs[i];
+        (iv.prio, u64::MAX - iv.t0.to_bits(), u64::MAX - i as u64, i)
+    };
+    let mut prev = lo;
+    for &(tb, close, i) in &pts {
+        let t = f64::from_bits(tb);
+        if t > prev {
+            let a = prev.max(lo);
+            let b = t.min(hi);
+            if b > a {
+                let dt = b - a;
+                match active.first() {
+                    Some(&(prio, _, _, idx)) => {
+                        let cat = ivs[idx].cat;
+                        match prio {
+                            PRIO_WAIT => *out.waits.entry(cat).or_insert(0.0) += dt,
+                            PRIO_COMPUTE => out.compute_s += dt,
+                            _ => out.tracked_s += dt,
+                        }
+                    }
+                    None => out.untracked_s += dt,
+                }
+            }
+            prev = t;
+        }
+        if i != usize::MAX {
+            if close {
+                active.remove(&key(i));
+            } else {
+                active.insert(key(i));
+            }
+        }
+    }
+}
+
+/// Builds the attribution report from one run's merged event stream.
+pub fn analyze(events: &[Event]) -> WaitReport {
+    // Stable per-rank grouping: sink order is thread-exit order, so sort
+    // by rank (stable) to recover (rank, program order).
+    let mut refs: Vec<&Event> = events.iter().collect();
+    refs.sort_by_key(|e| e.rank);
+
+    let mut report = WaitReport::default();
+    let mut objs: BTreeMap<(String, u64), f64> = BTreeMap::new();
+    let mut ops: BTreeMap<String, f64> = BTreeMap::new();
+
+    let mut i = 0usize;
+    while i < refs.len() {
+        let rank = refs[i].rank;
+        let mut j = i;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut ivs: Vec<Iv> = Vec::new();
+        while j < refs.len() && refs[j].rank == rank {
+            let e = refs[j];
+            lo = lo.min(e.ts);
+            hi = hi.max(e.ts + e.dur);
+            if let Some((prio, cat)) = classify(e) {
+                ivs.push(Iv {
+                    t0: e.ts,
+                    t1: e.ts + e.dur,
+                    prio,
+                    cat,
+                });
+                match &e.kind {
+                    EventKind::Wait { cat, obj, .. } => {
+                        *objs.entry((cat.name().to_string(), *obj)).or_insert(0.0) += e.dur;
+                    }
+                    EventKind::MutexWait { win, .. } => {
+                        *objs.entry(("lock".to_string(), *win)).or_insert(0.0) += e.dur;
+                    }
+                    EventKind::Op { name, .. } => {
+                        *ops.entry(format!("armci:{name}")).or_insert(0.0) += e.dur;
+                    }
+                    EventKind::GaOp { name, .. } => {
+                        *ops.entry(format!("ga:{name}")).or_insert(0.0) += e.dur;
+                    }
+                    EventKind::Coll { .. } => {
+                        *ops.entry("coll".to_string()).or_insert(0.0) += e.dur;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let mut rb = RankBreakdown {
+            rank,
+            span_s: 0.0,
+            waits: BTreeMap::new(),
+            compute_s: 0.0,
+            tracked_s: 0.0,
+            untracked_s: 0.0,
+        };
+        if lo.is_finite() && hi > lo {
+            rb.span_s = hi - lo;
+            sweep(&ivs, lo, hi, &mut rb);
+        }
+        report.total_s += rb.span_s;
+        report.compute_s += rb.compute_s;
+        report.tracked_s += rb.tracked_s;
+        report.untracked_s += rb.untracked_s;
+        for (c, s) in &rb.waits {
+            *report.cat_s.entry(c).or_insert(0.0) += s;
+        }
+        report.ranks.push(rb);
+        i = j;
+    }
+
+    let mut top_objs: Vec<(String, f64)> = objs
+        .into_iter()
+        .map(|((cat, obj), s)| (format!("{cat}:{obj:#x}"), s))
+        .collect();
+    top_objs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    report.top_objs = top_objs;
+    let mut top_ops: Vec<(String, f64)> = ops.into_iter().collect();
+    top_ops.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    report.top_ops = top_ops;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WaitCat;
+
+    fn ev(rank: u32, t0: f64, t1: f64, kind: EventKind) -> Event {
+        Event {
+            rank,
+            ts: t0,
+            dur: t1 - t0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn priority_and_untracked() {
+        // Rank 0: [0,4] op span, [1,2] compute inside it, [2,3] progress
+        // wait inside it, [4,5] uncovered.
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                4.0,
+                EventKind::Op {
+                    name: "get",
+                    gmr: 7,
+                    bytes: 8,
+                },
+            ),
+            ev(0, 1.0, 2.0, EventKind::Compute),
+            ev(
+                0,
+                2.0,
+                3.0,
+                EventKind::Wait {
+                    cat: WaitCat::Progress,
+                    src: 1,
+                    obj: 7,
+                },
+            ),
+            Event {
+                rank: 0,
+                ts: 5.0,
+                dur: 0.0,
+                kind: EventKind::GmrFree { gmr: 7 },
+            },
+        ];
+        let r = analyze(&events);
+        assert_eq!(r.ranks.len(), 1);
+        let rb = &r.ranks[0];
+        assert!((rb.span_s - 5.0).abs() < 1e-12);
+        assert!((rb.compute_s - 1.0).abs() < 1e-12);
+        assert!((rb.waits["progress"] - 1.0).abs() < 1e-12);
+        assert!((rb.tracked_s - 2.0).abs() < 1e-12);
+        assert!((rb.untracked_s - 1.0).abs() < 1e-12);
+        // Non-compute time = 4.0, attributed = 3.0.
+        assert!((r.attributed_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(r.top_category(), Some(("progress", 1.0)));
+    }
+
+    #[test]
+    fn innermost_wait_wins_overlap() {
+        // CAS-retry span [0,3] with a congestion wait [1,2] nested inside:
+        // the inner category owns its interval.
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                3.0,
+                EventKind::Wait {
+                    cat: WaitCat::CasRetry,
+                    src: 1,
+                    obj: 1,
+                },
+            ),
+            ev(
+                0,
+                1.0,
+                2.0,
+                EventKind::Wait {
+                    cat: WaitCat::Congestion,
+                    src: 1,
+                    obj: 1,
+                },
+            ),
+        ];
+        let r = analyze(&events);
+        assert!((r.cat_s["cas_retry"] - 2.0).abs() < 1e-12);
+        assert!((r.cat_s["congestion"] - 1.0).abs() < 1e-12);
+        assert!((r.attributed_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_max_over_mean() {
+        let mk = |rank, t1| {
+            ev(
+                rank,
+                0.0,
+                t1,
+                EventKind::Wait {
+                    cat: WaitCat::Progress,
+                    src: 0,
+                    obj: 0,
+                },
+            )
+        };
+        let r = analyze(&[mk(0, 1.0), mk(1, 3.0)]);
+        // Waits 1 s and 3 s: mean 2, max 3.
+        assert!((r.imbalance() - 1.5).abs() < 1e-12);
+    }
+}

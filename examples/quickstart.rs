@@ -150,7 +150,16 @@ fn main() {
     // (ops and bytes per kind, epoch counts and hold time, pool
     // hit-rate), then check the trace against the epoch invariants.
     let events = obs::take();
-    print!("{}", obs::metrics::Registry::from_events(&events).render());
+    let reg = obs::metrics::Registry::from_events(&events);
+    print!("{}", reg.render());
+    // Where was blocked time spent, and what would speeding it up buy?
+    let ws = obs::waitstate::analyze(&events);
+    println!(
+        "waits: top category `{}`, progress.stall_s={:.6}, {:.0}% of non-compute time attributed",
+        ws.top_category().map(|(c, _)| c).unwrap_or("none"),
+        reg.time("progress.stall_s"),
+        ws.attributed_fraction() * 100.0
+    );
     let violations = obs::audit::audit(&events);
     if violations.is_empty() {
         println!("epoch audit: clean ({} events)", events.len());
