@@ -198,6 +198,35 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
                 ("cas_retries", Kind::UInt),
             ],
         ),
+        (
+            "BENCH_progress",
+            vec![
+                ("platform", Kind::Str),
+                ("transport", Kind::Str),
+                ("workload", Kind::Str),
+                ("progress", Kind::Str),
+                ("skew", Kind::Num),
+                ("ranks", Kind::UInt),
+                ("ranks_per_node", Kind::UInt),
+                ("stall_s", Kind::Num),
+                ("straggler_s", Kind::Num),
+                ("agent_s", Kind::Num),
+                ("agent_ops", Kind::UInt),
+                ("offloaded_s", Kind::Num),
+                ("virtual_s", Kind::Num),
+                ("energy", Kind::Num),
+                ("payload_ok", Kind::Bool),
+            ],
+        ),
+        (
+            "BENCH_harness",
+            vec![
+                ("bench", Kind::Str),
+                ("stage", Kind::Str),
+                ("ops", Kind::UInt),
+                ("ns_per_op", Kind::Num),
+            ],
+        ),
     ]
 }
 
@@ -311,6 +340,32 @@ fn check(dir: &str) -> usize {
                     _ => {} // missing/mistyped already reported above
                 }
             }
+            // Stall measurements are meaningless without knowing which
+            // progress discipline produced them: every BENCH_progress
+            // row carries its resolved `progress` provenance, and the
+            // agent must never have broken payload determinism.
+            if name == "BENCH_progress" {
+                match entries.iter().find(|(k, _)| k == "progress") {
+                    Some((_, Value::Str(m))) if matches!(m.as_str(), "none" | "agent") => {}
+                    Some((_, Value::Str(m))) => complain(format!(
+                        "{path}[{i}]: unknown `progress` `{m}` (want none|agent)"
+                    )),
+                    _ => {} // missing/mistyped already reported above
+                }
+                if let Some((_, Value::Bool(false))) =
+                    entries.iter().find(|(k, _)| k == "payload_ok")
+                {
+                    complain(format!(
+                        "{path}[{i}]: agent arm drifted payload/energy from the host arm"
+                    ));
+                }
+            }
+        }
+        // The async-progress acceptance gate rides the schema check: at
+        // the headline skew the agent must collapse progress-wait
+        // seconds by at least the ISSUE's factor.
+        if name == "BENCH_progress" {
+            check_stall_collapse(&path, &rows, &mut complain);
         }
         eprintln!("[figures check] {path}: {} rows", rows.len());
     }
@@ -322,6 +377,70 @@ fn check(dir: &str) -> usize {
     }
     check_report(dir, &mut complain);
     problems
+}
+
+/// The BENCH_progress stall-collapse gate: on the `ccsd-skewed` pair at
+/// the gate skew, the host arm's `stall_s` must be at least
+/// [`bench::progress::GATE_RATIO`]× what the agent arm pays instead —
+/// residual stall plus the agent's own service time (`agent_s`), the
+/// same service-inclusive ratio [`bench::progress::collapse_ratio`]
+/// reports.
+fn check_stall_collapse(path: &str, rows: &[Value], complain: &mut impl FnMut(String)) {
+    let field = |row: &Value, key: &str| -> Option<Value> {
+        let Value::Object(entries) = row else {
+            return None;
+        };
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    let num = |v: &Value| -> Option<f64> {
+        match v {
+            Value::Float(f) => Some(*f),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    };
+    let mut gated = 0usize;
+    let skewed: Vec<&Value> = rows
+        .iter()
+        .filter(|r| {
+            matches!(field(r, "workload"), Some(Value::Str(w)) if w == "ccsd-skewed")
+                && field(r, "skew").as_ref().and_then(&num) == Some(bench::progress::GATE_SKEW)
+        })
+        .collect();
+    let arm = |name: &str| {
+        skewed
+            .iter()
+            .find(|r| matches!(field(r, "progress"), Some(Value::Str(p)) if p == name))
+            .copied()
+    };
+    if let (Some(none), Some(agent)) = (arm("none"), arm("agent")) {
+        if let (Some(n), Some(a), Some(svc)) = (
+            field(none, "stall_s").as_ref().and_then(&num),
+            field(agent, "stall_s").as_ref().and_then(&num),
+            field(agent, "agent_s").as_ref().and_then(&num),
+        ) {
+            gated += 1;
+            if n < bench::progress::GATE_RATIO * (a + svc) {
+                complain(format!(
+                    "{path}: skew {} stall_s {n:.6} vs agent {:.6} (stall+service) — \
+                     below the {}x collapse gate",
+                    bench::progress::GATE_SKEW,
+                    a + svc,
+                    bench::progress::GATE_RATIO,
+                ));
+            }
+        }
+    }
+    if gated == 0 {
+        complain(format!(
+            "{path}: no ccsd-skewed none/agent pair at skew {} to gate",
+            bench::progress::GATE_SKEW
+        ));
+    }
 }
 
 /// Validates a Chrome-trace artifact: a top-level object whose nonempty
@@ -575,6 +694,28 @@ fn main() {
             &serde_json::to_string_pretty(&everything).unwrap(),
         );
     }
+    if all || what == "progress" {
+        let mut everything = Vec::new();
+        for id in [PlatformId::InfiniBandCluster, PlatformId::CrayXE6] {
+            eprintln!("[figures] progress: {}", id.name());
+            let rows = bench::progress::generate(id);
+            print!("{}", bench::progress::render(&rows));
+            everything.extend(rows);
+        }
+        dump(
+            "BENCH_progress",
+            &serde_json::to_string_pretty(&everything).unwrap(),
+        );
+    }
+    if all || what == "harness" {
+        eprintln!("[figures] harness");
+        let rows = bench::harness::generate();
+        print!("{}", bench::harness::render(&rows));
+        dump(
+            "BENCH_harness",
+            &serde_json::to_string_pretty(&rows).unwrap(),
+        );
+    }
     if all || what == "fig6" {
         let mut everything = Vec::new();
         for id in PlatformId::ALL {
@@ -616,6 +757,11 @@ fn main() {
                 "ccsd-skewed",
                 trace::CCSD_SKEWED_RANKS,
                 trace::ccsd_skewed_capture(4.0),
+            ),
+            (
+                "ccsd-skewed-agent",
+                trace::CCSD_SKEWED_RANKS,
+                trace::ccsd_skewed_capture_with(4.0, armci_mpi::ProgressMode::Agent),
             ),
         ] {
             eprintln!("[figures] critpath {workload}: {} events", cap.events.len());

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! obs trace [fig3|ccsd|ccsd-coalesced|ccsd-skewed] [--out PATH] [--jsonl] [--skew X]
-//! obs report [fig3|ccsd|ccsd-coalesced|ccsd-skewed|all]
+//! obs report [fig3|ccsd|ccsd-coalesced|ccsd-skewed|all] [--progress none|agent]
 //! obs audit [fig3|ccsd|ccsd-coalesced|ccsd-skewed]
-//! obs critpath [WORKLOAD] [--skew X] [--out PATH]
+//! obs critpath [WORKLOAD] [--skew X] [--progress none|agent] [--out PATH]
 //! obs overhead [REPS] [--assert-ns N]
 //! ```
 //!
@@ -22,15 +22,21 @@
 //! `--features obs/off` build of this same binary; `--assert-ns N`
 //! instead times recorder-on vs recorder-off in this binary and fails
 //! if the per-op delta exceeds `N` nanoseconds.
+//!
+//! `--progress` selects the async-progress discipline for the
+//! `ccsd-skewed` workload (default `none`): run `critpath ccsd-skewed`
+//! once per arm to see the straggler's share of the attributed waits
+//! collapse when the per-node agent drains passive-target rounds.
 
+use armci_mpi::ProgressMode;
 use bench::trace::{self, Capture};
 
-fn capture_named(name: &str, skew: f64) -> Capture {
+fn capture_named(name: &str, skew: f64, progress: ProgressMode) -> Capture {
     match name {
         "fig3" => trace::fig3_capture(),
         "ccsd" => trace::ccsd_capture(),
         "ccsd-coalesced" => trace::ccsd_coalesced_capture(),
-        "ccsd-skewed" => trace::ccsd_skewed_capture(skew),
+        "ccsd-skewed" => trace::ccsd_skewed_capture_with(skew, progress),
         other => {
             eprintln!(
                 "[obs] unknown workload `{other}` \
@@ -56,12 +62,26 @@ fn main() {
     let mut out: Option<String> = None;
     let mut jsonl = false;
     let mut skew = 4.0f64;
+    let mut progress = ProgressMode::None;
     let mut assert_ns: Option<f64> = None;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => out = Some(it.next().expect("--out needs a path").clone()),
             "--jsonl" => jsonl = true,
+            "--progress" => {
+                progress = match it.next().expect("--progress needs a mode").as_str() {
+                    "none" => ProgressMode::None,
+                    "agent" => ProgressMode::Agent,
+                    "auto" => ProgressMode::Auto,
+                    other => {
+                        eprintln!(
+                            "[obs] unknown progress mode `{other}` (want none, agent or auto)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--skew" => {
                 skew = it
                     .next()
@@ -82,7 +102,7 @@ fn main() {
     }
     match cmd {
         "trace" => {
-            let cap = capture_named(&workload, skew);
+            let cap = capture_named(&workload, skew, progress);
             let text = if jsonl {
                 obs::chrome::to_jsonl(&cap.events)
             } else {
@@ -103,13 +123,13 @@ fn main() {
             let caps = if workload == "all" {
                 vec![trace::fig3_capture(), trace::ccsd_capture()]
             } else {
-                vec![capture_named(&workload, skew)]
+                vec![capture_named(&workload, skew, progress)]
             };
             let events: Vec<obs::Event> = caps.into_iter().flat_map(|c| c.events).collect();
             print!("{}", obs::metrics::Registry::from_events(&events).render());
         }
         "critpath" => {
-            let cap = capture_named(&workload, skew);
+            let cap = capture_named(&workload, skew, progress);
             if cap.events.is_empty() {
                 // The obs/off build records nothing; the analyzers have
                 // nothing to say, which is not an error.
@@ -129,7 +149,7 @@ fn main() {
             }
         }
         "audit" => {
-            let cap = capture_named(&workload, skew);
+            let cap = capture_named(&workload, skew, progress);
             let violations = cap.audit();
             for v in &violations {
                 eprintln!("[obs audit] {v}");

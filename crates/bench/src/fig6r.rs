@@ -67,6 +67,22 @@ pub fn generate_ablation(platform: PlatformId) -> Vec<Series> {
         });
         out.push(Series {
             platform,
+            backend: "ARMCI-MPI (+progress agent)",
+            phase: phase_label(phase),
+            points: fig6::series_with(
+                platform,
+                phase,
+                Fig6Opts {
+                    progress_agent: true,
+                    ..Fig6Opts::default()
+                },
+            )
+            .into_iter()
+            .map(|q| (q.cores, q.minutes))
+            .collect(),
+        });
+        out.push(Series {
+            platform,
             backend: "ARMCI-MPI (+access modes)",
             phase: phase_label(phase),
             points: fig6::series_with(
@@ -76,6 +92,7 @@ pub fn generate_ablation(platform: PlatformId) -> Vec<Series> {
                     access_modes: true,
                     mpi3_rmw: false,
                     nxtval_shard: None,
+                    progress_agent: false,
                 },
             )
             .into_iter()
@@ -93,6 +110,7 @@ pub fn generate_ablation(platform: PlatformId) -> Vec<Series> {
                     access_modes: true,
                     mpi3_rmw: true,
                     nxtval_shard: None,
+                    progress_agent: false,
                 },
             )
             .into_iter()
@@ -110,6 +128,7 @@ pub fn generate_ablation(platform: PlatformId) -> Vec<Series> {
                     access_modes: true,
                     mpi3_rmw: true,
                     nxtval_shard: Some(64),
+                    progress_agent: false,
                 },
             )
             .into_iter()

@@ -1,0 +1,83 @@
+//! Harness speed: wall-clock cost of the simulator/engine hot path
+//! itself, as machine-readable seed rows for `BENCH_harness.json`.
+//!
+//! Unlike every other artifact these numbers are *host* measurements —
+//! nanoseconds of real time per ARMCI operation pushed through
+//! plan → acquire → execute → complete — so absolute values vary by
+//! machine and build. The rows exist as a seed/baseline to diff against
+//! when engine work (like the progress-engine coupling on the hot path)
+//! is suspected of slowing the harness down; `benches/engine_bench.rs`
+//! is the statistically careful criterion version of the same loops.
+
+use serde::Serialize;
+
+/// One measured loop.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Which loop ran (`"engine-contig"`).
+    pub bench: &'static str,
+    /// Recorder arm: `"record-on"` (events captured and discarded) or
+    /// `"record-off"` (one relaxed load per call site).
+    pub stage: &'static str,
+    /// ARMCI data operations the loop issued.
+    pub ops: u64,
+    /// Host nanoseconds per operation.
+    pub ns_per_op: f64,
+}
+
+/// Repetitions of the contiguous put/get loop per arm.
+pub const REPS: usize = 200;
+
+/// Measures both recorder arms of the engine hot loop.
+pub fn generate() -> Vec<Row> {
+    let ops = REPS as u64 * crate::trace::OVERHEAD_OPS_PER_REP;
+    let on = crate::trace::contig_overhead(REPS);
+    let off = crate::trace::contig_overhead_off(REPS);
+    vec![
+        Row {
+            bench: "engine-contig",
+            stage: "record-on",
+            ops,
+            ns_per_op: on.as_nanos() as f64 / ops as f64,
+        },
+        Row {
+            bench: "engine-contig",
+            stage: "record-off",
+            ops,
+            ns_per_op: off.as_nanos() as f64 / ops as f64,
+        },
+    ]
+}
+
+/// Renders the rows as aligned text.
+pub fn render(rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("# Harness hot-path wall-clock (host ns per ARMCI op)\n");
+    s.push_str(&format!(
+        "{:<16} {:<12} {:>8} {:>12}\n",
+        "bench", "stage", "ops", "ns_per_op"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<16} {:<12} {:>8} {:>12.1}\n",
+            r.bench, r.stage, r.ops, r.ns_per_op
+        ));
+    }
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_rows_are_positive_and_complete() {
+        let rows = generate();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.ops > 0);
+            assert!(r.ns_per_op > 0.0, "{}/{} measured zero", r.bench, r.stage);
+        }
+    }
+}

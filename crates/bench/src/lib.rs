@@ -39,8 +39,10 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6r;
+pub mod harness;
 pub mod pipeline;
 pub mod pool;
+pub mod progress;
 pub mod rmw;
 pub mod shm;
 pub mod table2;

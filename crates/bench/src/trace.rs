@@ -222,9 +222,27 @@ pub const CCSD_SKEWED_RANKS: usize = 4;
 /// stalls are real, deterministic, and must land in the `progress`
 /// category with the critical path running through the slow rank.
 pub fn ccsd_skewed_capture(skew: f64) -> Capture {
+    ccsd_skewed_capture_with(skew, armci_mpi::ProgressMode::None)
+}
+
+/// [`ccsd_skewed_capture`] under an explicit progress discipline: the
+/// `Agent` arm swaps the host-CPU `Wait{Progress}` stalls for priced
+/// `AgentDrain` spans, which is how `obs critpath`'s A/B shows the
+/// straggler share of the critical path dropping. Uses the async-progress
+/// A/B's CCSD shape rather than `CcsdConfig::tiny()`: the coupling reads
+/// phase profiles published at the *previous* collective round, so a
+/// single-iteration run never engages it and both arms would be
+/// trivially identical.
+pub fn ccsd_skewed_capture_with(skew: f64, progress: armci_mpi::ProgressMode) -> Capture {
     capture(CCSD_SKEWED_RANKS, PlatformId::InfiniBandCluster, move |p| {
-        let rt = ArmciMpi::with_config(p, Config::default());
-        let cfg = CcsdConfig::tiny();
+        let rt = ArmciMpi::with_config(
+            p,
+            Config {
+                progress,
+                ..Default::default()
+            },
+        );
+        let cfg = crate::progress::ccsd_cfg();
         run_ccsd_skewed(p, &rt, &cfg, skew);
     })
 }

@@ -45,7 +45,7 @@ pub mod transport;
 
 pub use engine::{CoalesceMode, StageStats};
 pub use nxtval::NxtvalCounter;
-pub use transport::{Transport, TransportKind, TransportStats};
+pub use transport::{ProgressSupport, Transport, TransportKind, TransportStats};
 
 use armci::{
     AccKind, AccessMode, Armci, ArmciError, ArmciGroup, ArmciResult, GlobalAddr, IovDesc, NbHandle,
@@ -75,6 +75,26 @@ pub enum AtomicsMode {
     /// Force the mutex + two-epoch protocol (the MPI-2 paper path, kept
     /// as the ablation baseline and for backends without atomics).
     MutexFallback,
+}
+
+/// How passive-target progress is made at ranks that are busy computing:
+/// the host CPU (stalling origins until the target re-enters MPI) or a
+/// per-node asynchronous progress agent that drains pending one-sided
+/// traffic on the target's behalf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProgressMode {
+    /// Host-CPU progress only (the measured MPI default): an origin's
+    /// passive-target rounds stall while the target computes.
+    #[default]
+    None,
+    /// Force per-node progress agents; a backend that cannot route
+    /// through one surfaces [`armci::ArmciError::ProgressUnsupported`]
+    /// instead of silently running agentless.
+    Agent,
+    /// Agents when the backend can route through one *and* the platform
+    /// prices agent service ([`simnet::ProgressParams::available`]);
+    /// host-CPU progress otherwise.
+    Auto,
 }
 
 /// ARMCI-MPI configuration knobs (the environment variables of the real
@@ -110,6 +130,10 @@ pub struct Config {
     /// remote memory channels. [`Config::epochless`] only applies to the
     /// MPI backend; the channel backend has no epochs at all.
     pub transport: TransportKind,
+    /// Asynchronous-progress discipline; see [`ProgressMode`]. `None`
+    /// models host-CPU progress (origins stall behind computing targets),
+    /// `Agent` routes passive-target rounds through a per-node agent.
+    pub progress: ProgressMode,
 }
 
 impl Default for Config {
@@ -123,6 +147,7 @@ impl Default for Config {
             coalesce: CoalesceMode::Auto,
             shm: true,
             transport: TransportKind::MpiRma,
+            progress: ProgressMode::None,
         }
     }
 }
@@ -408,6 +433,43 @@ impl ArmciMpi {
     /// The wire backend's name (`"mpi-rma"` or `"channel"`).
     pub fn transport_name(&self) -> &'static str {
         self.tx.name()
+    }
+
+    /// Resolves the configured [`ProgressMode`] against the wire backend
+    /// and the platform's agent pricing. `Agent` on a backend that cannot
+    /// route through an agent is an error, not a silent agentless run.
+    pub(crate) fn progress_model(&self) -> ArmciResult<mpisim::ProgressModel> {
+        use transport::ProgressSupport;
+        match self.cfg.progress {
+            ProgressMode::None => Ok(mpisim::ProgressModel::Host),
+            ProgressMode::Agent => match self.tx.progress_support() {
+                ProgressSupport::Agent => Ok(mpisim::ProgressModel::Agent),
+                // Hardware progress needs no agent: remote completion is
+                // independent of the target CPU already.
+                ProgressSupport::Hardware => Ok(mpisim::ProgressModel::Off),
+                ProgressSupport::Unsupported => Err(ArmciError::ProgressUnsupported {
+                    backend: self.tx.name(),
+                }),
+            },
+            ProgressMode::Auto => match self.tx.progress_support() {
+                ProgressSupport::Agent if self.world.platform().progress.available => {
+                    Ok(mpisim::ProgressModel::Agent)
+                }
+                ProgressSupport::Hardware => Ok(mpisim::ProgressModel::Off),
+                _ => Ok(mpisim::ProgressModel::Host),
+            },
+        }
+    }
+
+    /// The resolved progress mode as a provenance string for benchmarks
+    /// and reports (`"none"` = host-CPU progress, `"agent"` = per-node
+    /// agents).
+    pub fn progress_mode_name(&self) -> &'static str {
+        match self.progress_model() {
+            Ok(mpisim::ProgressModel::Agent) => "agent",
+            Ok(_) => "none",
+            Err(_) => "unsupported",
+        }
     }
 
     /// The wire backend's offload counters (zero on backends without the

@@ -37,12 +37,15 @@ pub(crate) struct MutexSet {
 }
 
 impl MutexSet {
-    /// Collectively creates the set over `comm`'s group.
-    pub fn create(comm: &Comm, count: usize) -> MutexSet {
+    /// Collectively creates the set over `comm`'s group. `progress` is
+    /// the runtime's resolved discipline; the mutex window's handoff
+    /// rounds couple to busy targets the same way data windows do.
+    pub fn create(comm: &Comm, count: usize, progress: mpisim::ProgressModel) -> MutexSet {
         // Dedicated communicator: notification tags = mutex index.
         let dup = comm.dup();
         let nproc = dup.size();
         let win = WinHandle::create(&dup, count * nproc);
+        win.set_progress_model(progress);
         MutexSet {
             comm: dup,
             win,
@@ -190,7 +193,7 @@ impl MutexSet {
 
 impl ArmciMpi {
     pub(crate) fn create_mutexes_impl(&self, count: usize) -> ArmciResult<usize> {
-        let set = MutexSet::create(&self.world, count);
+        let set = MutexSet::create(&self.world, count, self.progress_model()?);
         let handle = self.next_mutex_handle.get();
         self.next_mutex_handle.set(handle + 1);
         self.user_mutexes.borrow_mut().insert(handle, set);
@@ -379,7 +382,7 @@ mod tests {
         };
         Runtime::run_with(2, cfg, |p: &Proc| {
             let world = p.world();
-            let set = MutexSet::create(&world, 1);
+            let set = MutexSet::create(&world, 1, mpisim::ProgressModel::Off);
             if p.rank() == 0 {
                 let bad = FailingGets {
                     inner: MpiRmaTransport { epochless: false },

@@ -307,9 +307,10 @@ fn fetch_op_of(op: RmwOp) -> (i64, FetchOp) {
 mod tests {
     use super::*;
     use crate::transport::{
-        EpochStyle, MpiRmaTransport, ShmTransport, Transport, TransportKind, TransportStats,
+        EpochStyle, MpiRmaTransport, ProgressSupport, ShmTransport, Transport, TransportKind,
+        TransportStats,
     };
-    use crate::Config;
+    use crate::{Config, ProgressMode};
     use armci::Armci;
     use mpisim::dtype::Datatype;
     use mpisim::mpi3::RmaRequest;
@@ -323,11 +324,14 @@ mod tests {
     /// Injectable wire faults, shared with the test body: `atomics` fails
     /// every backend atomic while set; `gets_after` lets N get-family
     /// transfers through, fails the next one once, then self-heals (a
-    /// transient wire blip mid-protocol).
+    /// transient wire blip mid-protocol); `no_agent` masks the wire's
+    /// progress-agent capability so forced-`Agent` error surfacing is
+    /// testable.
     #[derive(Default)]
     struct Faults {
         atomics: Cell<bool>,
         gets_after: Cell<Option<u32>>,
+        no_agent: Cell<bool>,
     }
 
     impl Faults {
@@ -568,6 +572,13 @@ mod tests {
         fn stats(&self) -> TransportStats {
             self.inner.stats()
         }
+        fn progress_support(&self) -> ProgressSupport {
+            if self.faults.no_agent.get() {
+                ProgressSupport::Unsupported
+            } else {
+                self.inner.progress_support()
+            }
+        }
     }
 
     /// Runtime with `ranks_per_node` cores per node and no clock charging.
@@ -719,6 +730,96 @@ mod tests {
                 assert_eq!(rt.rmw(RmwOp::FetchAdd(1), t).unwrap(), 1);
                 assert_eq!(rt.stats().mutex_locks, 3);
             }
+            rt.barrier();
+            rt.free(bases[p.rank()]).unwrap();
+        });
+    }
+
+    /// Like [`netcfg`] but with real virtual-time charging, so the
+    /// progress agent has busy profiles to price while the wire blips.
+    fn timedcfg(rpn: u32) -> RuntimeConfig {
+        RuntimeConfig {
+            charge_time: true,
+            ..netcfg(rpn)
+        }
+    }
+
+    #[test]
+    fn backend_loss_mid_agent_drain_releases_epochs() {
+        // The agent-mode symmetric of the scenarios above: the wire
+        // blips while the per-node progress agent is actively draining
+        // against a busy target. The error must surface and the agent
+        // must leak neither the epoch nor a nonblocking queue slot —
+        // blocking, atomic and queued traffic must all still flow (and
+        // still be agent-routed) after the blip heals.
+        let cfg = Config {
+            shm: false,
+            progress: ProgressMode::Agent,
+            ..Default::default()
+        };
+        Runtime::run_with(2, timedcfg(1), move |p: &Proc| {
+            let (rt, faults) = lossy_runtime(p, cfg.clone(), false);
+            let bases = rt.malloc(256).unwrap();
+            assert_eq!(rt.progress_mode_name(), "agent");
+            // Both ranks bank compute so the barrier publishes busy
+            // profiles — the agent coupling is hot on the ops below.
+            p.compute(50e-6);
+            rt.barrier();
+            if p.rank() == 0 {
+                let t = bases[1];
+                let h = rt.nb_put(&[7u8; 32], t.offset(64)).unwrap();
+                faults.gets_after.set(Some(0));
+                let mut buf = [0u8; 8];
+                assert!(rt.get(t, &mut buf).is_err());
+                faults.atomics.set(true);
+                assert!(rt.rmw(RmwOp::FetchAdd(1), t).is_err());
+                faults.atomics.set(false);
+                rt.wait(h).unwrap();
+                assert_eq!(rt.rmw(RmwOp::FetchAdd(1), t).unwrap(), 0);
+                rt.get(t.offset(64), &mut buf).unwrap();
+                assert_eq!(buf, [7u8; 8]);
+            }
+            rt.barrier();
+            rt.free(bases[p.rank()]).unwrap();
+        });
+    }
+
+    #[test]
+    fn forced_agent_on_unsupported_backend_fails_malloc() {
+        // `Agent` on a wire that cannot route through an agent must
+        // fail the allocation loudly — never a silent agentless run —
+        // and the failed allocation must leak nothing.
+        let agent = Config {
+            shm: false,
+            progress: ProgressMode::Agent,
+            ..Default::default()
+        };
+        Runtime::run_with(2, netcfg(1), move |p: &Proc| {
+            let (rt, faults) = lossy_runtime(p, agent.clone(), false);
+            faults.no_agent.set(true);
+            assert!(matches!(
+                rt.malloc(64),
+                Err(armci::ArmciError::ProgressUnsupported { .. })
+            ));
+            // Capability restored: the same runtime allocates and runs.
+            faults.no_agent.set(false);
+            let bases = rt.malloc(64).unwrap();
+            assert_eq!(rt.progress_mode_name(), "agent");
+            rt.barrier();
+            rt.free(bases[p.rank()]).unwrap();
+        });
+        // `Auto` on the same capability-less wire degrades to host
+        // progress instead of erroring.
+        let auto = Config {
+            shm: false,
+            progress: ProgressMode::Auto,
+            ..Default::default()
+        };
+        Runtime::run_with(2, netcfg(1), move |p: &Proc| {
+            let (rt, faults) = lossy_runtime(p, auto.clone(), false);
+            faults.no_agent.set(true);
+            let bases = rt.malloc(64).unwrap();
+            assert_eq!(rt.progress_mode_name(), "none");
             rt.barrier();
             rt.free(bases[p.rank()]).unwrap();
         });

@@ -25,7 +25,7 @@
 //! network model, each segment counts as one injected message
 //! ([`WinHandle::net_extra`] with `msgs = nsegs`).
 
-use super::{EpochStyle, Transport, TransportStats};
+use super::{EpochStyle, ProgressSupport, Transport, TransportStats};
 use mpisim::dtype::{zip_segments, Datatype};
 use mpisim::mpi3::{FetchOp, RmaRequest};
 use mpisim::{AccOp, ElemType, LockMode, MpiError, MpiResult, RmaClass, WinHandle};
@@ -120,7 +120,15 @@ impl ChannelTransport {
             win.channel_params().ser_time(bytes),
             nsegs.max(1) as u64,
         );
-        priced.cost + extra
+        // Offloaded transfers complete on the NIC regardless of the
+        // target CPU; only the software fallback needs the target (or
+        // its node's agent) to service the request.
+        let prog = if priced.offloaded {
+            0.0
+        } else {
+            win.progress_extra(target, 1)
+        };
+        priced.cost + extra + prog
     }
 
     /// Moves put payload segment-by-segment and returns the priced total.
@@ -426,6 +434,13 @@ impl Transport for ChannelTransport {
         let pair = win.rfetch_and_op_i64_priced(operand, target, tdisp, op, issue, total)?;
         self.account_atomic(win, target);
         Ok(pair)
+    }
+
+    fn progress_support(&self) -> ProgressSupport {
+        // The software fallback (noncontiguous, accumulate combine) is
+        // serviced by the target's runtime; an agent can drain it. The
+        // offloaded contiguous/NIC-atomic paths never stall either way.
+        ProgressSupport::Agent
     }
 
     fn stats(&self) -> TransportStats {

@@ -57,6 +57,23 @@ pub enum EpochStyle {
     None,
 }
 
+/// How a backend relates to asynchronous progress agents
+/// ([`crate::ProgressMode`]): whether its passive-target traffic can be
+/// drained by a per-node agent while the target computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressSupport {
+    /// The backend's software-progressed rounds (epochs, accumulates,
+    /// software atomics, flush acknowledgements) can route through a
+    /// per-node agent.
+    Agent,
+    /// Remote completion is hardware-asynchronous already (NIC or
+    /// load/store); an agent has nothing to drain.
+    Hardware,
+    /// The backend cannot route through an agent;
+    /// [`armci::ArmciError::ProgressUnsupported`] when one is forced.
+    Unsupported,
+}
+
 /// Offload counters a backend may expose (zero for backends without an
 /// offload distinction).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -329,6 +346,12 @@ pub trait Transport {
         Ok((v, win.defer(0.0, 0.0)))
     }
 
+    /// Whether this backend's passive-target traffic can route through a
+    /// per-node progress agent. Conservative default: it cannot.
+    fn progress_support(&self) -> ProgressSupport {
+        ProgressSupport::Unsupported
+    }
+
     /// Offload counters (zero for backends without the distinction).
     fn stats(&self) -> TransportStats {
         TransportStats::default()
@@ -542,6 +565,12 @@ impl Transport for MpiRmaTransport {
         let v = self.fetch_and_op_i64(win, operand, target, tdisp, op)?;
         Ok((v, win.defer(0.0, 0.0)))
     }
+
+    fn progress_support(&self) -> ProgressSupport {
+        // Lock grants, software accumulates and flush acknowledgements
+        // all need target-side MPI calls — exactly what an agent drains.
+        ProgressSupport::Agent
+    }
 }
 
 /// The intra-node tier as a transport: epoch discipline identical to
@@ -731,5 +760,10 @@ impl Transport for ShmTransport {
             tdisp,
             win.shm_params().atomic_cost(),
         )
+    }
+
+    fn progress_support(&self) -> ProgressSupport {
+        // Node-local load/store completes without the target CPU.
+        ProgressSupport::Hardware
     }
 }

@@ -172,12 +172,20 @@ impl Comm {
     /// Rendezvous with every member, stamping this rank's virtual arrival
     /// time into the exchange. Returns this rank's arrival time and the
     /// published outcome (round, latest arrival, straggler, contributions).
+    ///
+    /// World-sized collectives double as the progress board's phase
+    /// boundaries: each rank publishes its compute profile *before* the
+    /// rendezvous, so by the time anyone leaves, every rank's snapshot
+    /// for this phase is readable (see [`crate::progress`]).
     fn coll_exchange(&self, data: Vec<u8>) -> (f64, coll::CollOutcome) {
         let now = if self.shared.cfg.charge_time {
             self.clock().now()
         } else {
             0.0
         };
+        if self.inner.members.len() == self.shared.nranks {
+            self.shared.progress.publish(self.my_world_rank, now);
+        }
         (now, self.inner.coll.exchange(self.my_comm_rank, data, now))
     }
 
@@ -207,7 +215,7 @@ impl Comm {
                 if wait > 0.0 {
                     b.span(
                         obs::EventKind::Wait {
-                            cat: obs::WaitCat::Progress,
+                            cat: obs::WaitCat::Straggler,
                             src,
                             obj: comm,
                         },

@@ -33,6 +33,7 @@ pub mod dtype;
 pub mod error;
 pub mod mpi3;
 pub mod p2p;
+pub mod progress;
 pub mod runtime;
 pub mod win;
 
@@ -40,5 +41,6 @@ pub use comm::{Comm, CommSplitType};
 pub use dtype::{Datatype, DtypeCache, DtypeSig};
 pub use error::{MpiError, MpiResult};
 pub use p2p::{RecvSrc, Status, ANY_TAG};
+pub use progress::ProgressModel;
 pub use runtime::{Proc, Runtime, RuntimeConfig};
 pub use win::{AccOp, ElemType, LockMode, RmaClass, ShmSection, WinHandle};

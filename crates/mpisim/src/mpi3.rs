@@ -93,7 +93,9 @@ impl WinHandle {
         if !self.lock_all_active.get() && !self.is_locked(target) {
             return Err(MpiError::NoEpoch { target });
         }
-        self.charge_pub(self.params_pub().put.alpha);
+        // The flush acknowledgement is a target-serviced round.
+        let prog = self.progress_extra(target, 1);
+        self.charge_pub(self.params_pub().put.alpha + prog);
         if obs::enabled() {
             obs::instant_at(
                 obs::EventKind::Flush {
@@ -242,7 +244,9 @@ impl WinHandle {
         f: impl FnOnce(&mut [u8; 8]) -> i64,
     ) -> MpiResult<i64> {
         let old = self.rmw_cell(target, tdisp, require_epoch, f)?;
-        self.charge_pub(self.params_pub().rmw_latency);
+        // MPI-level atomics complete inside the target's library.
+        let prog = self.progress_extra(target, 1);
+        self.charge_pub(self.params_pub().rmw_latency + prog);
         if obs::enabled() {
             obs::instant_at(
                 obs::EventKind::Rma {
@@ -340,7 +344,7 @@ impl WinHandle {
                 self.now(),
             );
         }
-        let total = self.params_pub().rmw_latency;
+        let total = self.params_pub().rmw_latency + self.progress_extra(target, 1);
         let issue = self.params_pub().op_overhead.min(total);
         Ok((old, self.defer(issue, total)))
     }
@@ -385,7 +389,8 @@ impl WinHandle {
     ) -> MpiResult<RmaRequest> {
         let cost = self.put_core(origin, odt, target, tdisp, tdt)?;
         let extra = self.net_extra(target, self.wire_ser(simnet::Op::Put, odt.size()), 1);
-        Ok(self.issue_deferred(cost + extra))
+        let prog = self.progress_extra(target, 1);
+        Ok(self.issue_deferred(cost + extra + prog))
     }
 
     /// Request-based get (`MPI_Rget`).
@@ -399,7 +404,8 @@ impl WinHandle {
     ) -> MpiResult<RmaRequest> {
         let cost = self.get_core(origin, odt, target, tdisp, tdt)?;
         let extra = self.net_extra(target, self.wire_ser(simnet::Op::Get, odt.size()), 1);
-        Ok(self.issue_deferred(cost + extra))
+        let prog = self.progress_extra(target, 1);
+        Ok(self.issue_deferred(cost + extra + prog))
     }
 
     /// Request-based accumulate (`MPI_Raccumulate`).
@@ -416,7 +422,8 @@ impl WinHandle {
     ) -> MpiResult<RmaRequest> {
         let cost = self.accumulate_core(origin, odt, target, tdisp, tdt, elem, op)?;
         let extra = self.net_extra(target, self.wire_ser(simnet::Op::Acc, odt.size()), 1);
-        Ok(self.issue_deferred(cost + extra))
+        let prog = self.progress_extra(target, 1);
+        Ok(self.issue_deferred(cost + extra + prog))
     }
 
     /// Request-based scheduler-merged RMA: one wire operation covering a

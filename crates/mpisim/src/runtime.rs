@@ -3,6 +3,7 @@
 use crate::coll::CollectiveCell;
 use crate::comm::{Comm, CommInner};
 use crate::p2p::Mailbox;
+use crate::progress::ProgressBoard;
 use crate::win::WinInner;
 use parking_lot::{Mutex, RwLock};
 use simnet::{CongestionParams, Network, Platform, PlatformId, VClock};
@@ -71,6 +72,10 @@ pub(crate) struct Shared {
     pub next_uid: AtomicU64,
     /// Shared-NIC congestion model; populated iff `cfg.congestion` is set.
     pub net: Option<Network>,
+    /// Passive-target progress board: per-rank compute meters plus the
+    /// phase profiles published at world-collective entries (see
+    /// [`crate::progress`]).
+    pub progress: ProgressBoard,
 }
 
 pub(crate) const WORLD_COMM_ID: u64 = 0;
@@ -101,6 +106,7 @@ impl Shared {
             shmem: RwLock::new(HashMap::new()),
             next_uid: AtomicU64::new(1),
             net,
+            progress: ProgressBoard::new(nranks),
         })
     }
 
@@ -175,8 +181,11 @@ impl Proc {
         &self.shared.cfg
     }
 
-    /// Models local computation taking `seconds` of virtual time.
+    /// Models local computation taking `seconds` of virtual time. The
+    /// span is also fed to this rank's compute meter on the progress
+    /// board, from which peers price expected passive-target stalls.
     pub fn compute(&self, seconds: f64) {
+        self.shared.progress.note_compute(self.world_rank, seconds);
         if obs::enabled() {
             let t0 = self.clock().now();
             self.charge(seconds);

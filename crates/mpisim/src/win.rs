@@ -21,6 +21,7 @@
 use crate::comm::Comm;
 use crate::dtype::{zip_segments, Datatype, DtypeCache};
 use crate::error::{MpiError, MpiResult};
+use crate::progress::ProgressModel;
 use crate::runtime::Shared;
 use parking_lot::{Condvar, Mutex};
 use simnet::pool::{BufferPool, RegistrationPolicy};
@@ -327,6 +328,9 @@ pub struct WinHandle {
     /// mode"). Between two `fence` calls every rank may be both origin
     /// and target without per-target locks.
     active_epoch: Cell<bool>,
+    /// How remote passive-target completion is priced on this handle
+    /// (see [`crate::progress`]). Origin-local, like the epoch state.
+    progress: Cell<ProgressModel>,
 }
 
 impl WinHandle {
@@ -436,6 +440,7 @@ impl WinHandle {
             dtype_cache: RefCell::new(DtypeCache::new(64)),
             lock_all_active: Cell::new(false),
             active_epoch: Cell::new(false),
+            progress: Cell::new(ProgressModel::Off),
         }
     }
 
@@ -578,6 +583,85 @@ impl WinHandle {
         extra
     }
 
+    /// Selects how remote passive-target completion is priced on this
+    /// handle (see [`crate::progress`]). Layers above resolve their
+    /// configured [`ProgressModel`] once per window; raw windows default
+    /// to [`ProgressModel::Off`] (idealised instantaneous progress).
+    pub fn set_progress_model(&self, model: ProgressModel) {
+        self.progress.set(model);
+    }
+
+    /// The progress model active on this handle.
+    pub fn progress_model(&self) -> ProgressModel {
+        self.progress.get()
+    }
+
+    /// Extra virtual-time delay `rounds` target-serviced protocol rounds
+    /// (lock grant, operation completion, unlock/flush acknowledgement,
+    /// RMW) pay for the *target's* progress, under this handle's
+    /// [`ProgressModel`]. Zero for self- and same-node targets (the shm
+    /// tier and a co-located agent give effectively hardware progress),
+    /// and zero until the progress board has a published profile for the
+    /// pair. Under `Host` the expected stall is emitted as a
+    /// `Wait{Progress}` span; under `Agent` the (much smaller) agent
+    /// service time is emitted as an `AgentDrain` span carrying the stall
+    /// it avoided.
+    pub fn progress_extra(&self, target: usize, rounds: u32) -> f64 {
+        let model = self.progress.get();
+        if model == ProgressModel::Off || rounds == 0 {
+            return 0.0;
+        }
+        let me = self.comm.my_world_rank();
+        let tw = self.comm.world_rank_of(target);
+        let plat = &self.shared.cfg.platform;
+        if tw == me || plat.same_node(me, tw) {
+            return 0.0;
+        }
+        let Some((busy, span)) = self.shared.progress.expected_busy(me, tw) else {
+            return 0.0;
+        };
+        if busy <= 0.0 {
+            return 0.0;
+        }
+        let stall = rounds as f64 * busy * 0.5 * span;
+        match model {
+            ProgressModel::Host => {
+                if stall > 0.0 && obs::enabled() {
+                    let t0 = self.vt();
+                    obs::span(
+                        obs::EventKind::Wait {
+                            cat: obs::WaitCat::Progress,
+                            src: tw as u32,
+                            obj: self.inner.id,
+                        },
+                        t0,
+                        t0 + stall,
+                    );
+                }
+                stall
+            }
+            ProgressModel::Agent => {
+                let rpn = plat.cores_per_node().max(1) as usize;
+                let extra = rounds as f64 * busy * plat.progress.round_cost(rpn);
+                if obs::enabled() {
+                    let t0 = self.vt();
+                    obs::span(
+                        obs::EventKind::AgentDrain {
+                            win: self.inner.id,
+                            target: tw as u32,
+                            ops: rounds,
+                            avoided_s: (stall - extra).max(0.0),
+                        },
+                        t0,
+                        t0 + extra,
+                    );
+                }
+                extra
+            }
+            ProgressModel::Off => unreachable!(),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Epochs
     // ------------------------------------------------------------------
@@ -606,7 +690,9 @@ impl WinHandle {
                 issued: 0,
             },
         );
-        self.charge(0.5 * self.params().epoch_overhead);
+        // The lock grant is a target-serviced protocol round.
+        let prog = self.progress_extra(target, 1);
+        self.charge(0.5 * self.params().epoch_overhead + prog);
         if obs::enabled() {
             obs::instant_at(
                 obs::EventKind::LockAcquire {
@@ -629,7 +715,9 @@ impl WinHandle {
             .remove(&target)
             .ok_or(MpiError::NotLocked { target })?;
         self.inner.locks[target].release(ep.mode);
-        self.charge(0.5 * self.params().epoch_overhead);
+        // Unlock completes the epoch remotely: one more serviced round.
+        let prog = self.progress_extra(target, 1);
+        self.charge(0.5 * self.params().epoch_overhead + prog);
         if obs::enabled() {
             obs::instant_at(
                 obs::EventKind::LockRelease {
@@ -824,7 +912,8 @@ impl WinHandle {
     ) -> MpiResult<()> {
         let cost = self.put_core(origin, odt, target, tdisp, tdt)?;
         let extra = self.net_extra(target, self.wire_ser(simnet::Op::Put, odt.size()), 1);
-        self.charge(cost + extra);
+        let prog = self.progress_extra(target, 1);
+        self.charge(cost + extra + prog);
         Ok(())
     }
 
@@ -873,7 +962,8 @@ impl WinHandle {
     ) -> MpiResult<()> {
         let cost = self.get_core(origin, odt, target, tdisp, tdt)?;
         let extra = self.net_extra(target, self.wire_ser(simnet::Op::Get, odt.size()), 1);
-        self.charge(cost + extra);
+        let prog = self.progress_extra(target, 1);
+        self.charge(cost + extra + prog);
         Ok(())
     }
 
@@ -924,7 +1014,8 @@ impl WinHandle {
     ) -> MpiResult<()> {
         let cost = self.accumulate_core(origin, odt, target, tdisp, tdt, elem, op)?;
         let extra = self.net_extra(target, self.wire_ser(simnet::Op::Acc, odt.size()), 1);
-        self.charge(cost + extra);
+        let prog = self.progress_extra(target, 1);
+        self.charge(cost + extra + prog);
         Ok(())
     }
 
@@ -1113,7 +1204,8 @@ impl WinHandle {
         };
         self.note_rma(okind, target, bytes, nsegs, cached);
         let extra = self.net_extra(target, self.wire_ser(op, bytes), 1);
-        Ok(self.op_cost(op, bytes, nsegs, issued, cached) + extra)
+        let prog = self.progress_extra(target, 1);
+        Ok(self.op_cost(op, bytes, nsegs, issued, cached) + extra + prog)
     }
 
     /// Contiguous-put convenience.

@@ -90,6 +90,22 @@ fn describe(e: &Event) -> (String, &'static str, Phase, Vec<(String, Value)>) {
             ],
         ),
         Compute => ("compute".into(), "compute", Phase::Span, Vec::new()),
+        AgentDrain {
+            win,
+            target,
+            ops,
+            avoided_s,
+        } => (
+            format!("agent_drain:w{win}->{target}"),
+            "agent",
+            Phase::Span,
+            vec![
+                ("win".into(), uval(*win)),
+                ("target".into(), uval(u64::from(*target))),
+                ("ops".into(), uval(u64::from(*ops))),
+                ("avoided_s".into(), Value::Float(*avoided_s)),
+            ],
+        ),
         LockAcquire {
             win,
             target,

@@ -91,6 +91,7 @@ fn class_of(kind: &EventKind) -> Option<String> {
         EventKind::MutexWait { .. } => Some("lock".to_string()),
         EventKind::Compute => Some("compute".to_string()),
         EventKind::Wait { cat, .. } => Some(format!("wait:{}", cat.name())),
+        EventKind::AgentDrain { .. } => Some("agent".to_string()),
         EventKind::Stage { stage, .. } => Some(format!("stage:{stage}")),
         EventKind::Pack { .. } => Some("pack".to_string()),
         _ => None,

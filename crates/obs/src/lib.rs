@@ -63,9 +63,19 @@ impl OpKind {
 /// critical-path walker follows the `src` rank of the matching event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum WaitCat {
-    /// Waiting on a slower peer's progress (collective straggler, message
-    /// not yet sent in virtual time).
+    /// Waiting for a busy target's host CPU to service a passive-target
+    /// protocol round (lock grant, operation completion, flush/unlock
+    /// acknowledgement). This is the stall an asynchronous progress agent
+    /// collapses.
     Progress,
+    /// Blocked at a collective (or on a message not yet sent in virtual
+    /// time) behind a slower peer. Attributed to the same `"progress"`
+    /// category as [`WaitCat::Progress`] — the cause is still the peer's
+    /// lack of progress — but kept distinct so the metrics registry can
+    /// separate load imbalance (`progress.straggler_s`, which an agent
+    /// cannot fix) from serviceable stalls (`progress.stall_s`, which it
+    /// can).
+    Straggler,
     /// Queueing delay from the shared-NIC congestion model.
     Congestion,
     /// A failed compare-and-swap charged a wire round trip that moved no
@@ -78,7 +88,9 @@ pub enum WaitCat {
 impl WaitCat {
     pub fn name(self) -> &'static str {
         match self {
-            WaitCat::Progress => "progress",
+            // Straggler shares the attribution category deliberately:
+            // waitstate/critpath reports fold both into "progress".
+            WaitCat::Progress | WaitCat::Straggler => "progress",
             WaitCat::Congestion => "congestion",
             WaitCat::CasRetry => "cas_retry",
             WaitCat::WinSync => "win_sync",
@@ -145,6 +157,17 @@ pub enum EventKind {
     /// rank's timeline the waitstate analyzer must *not* attribute to
     /// communication or blocking (span).
     Compute,
+    /// A per-node progress agent serviced `ops` passive-target rounds
+    /// bound for `target` instead of stalling on its host progress
+    /// (span; duration is the agent forward + service cost).
+    /// `avoided_s` is the expected host-side stall the agent collapsed —
+    /// the metric behind `progress.offloaded_s`.
+    AgentDrain {
+        win: u64,
+        target: u32,
+        ops: u32,
+        avoided_s: f64,
+    },
     /// Passive-target lock granted on (window, target).
     LockAcquire {
         win: u64,

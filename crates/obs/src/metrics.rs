@@ -118,6 +118,26 @@ impl Registry {
         }
     }
 
+    /// World rank ranks most often stalled behind waiting for passive-target
+    /// progress, with its accumulated stall seconds. Ties break to the
+    /// lowest rank so reports stay deterministic.
+    pub fn top_progress_straggler(&self) -> Option<(u32, f64)> {
+        let mut best: Option<(u32, f64)> = None;
+        for (k, &s) in &self.times {
+            let Some(rank) = k
+                .strip_prefix("progress.stall_src.")
+                .and_then(|r| r.parse::<u32>().ok())
+            else {
+                continue;
+            };
+            match best {
+                Some((br, bs)) if s < bs || (s == bs && rank >= br) => {}
+                _ => best = Some((rank, s)),
+            }
+        }
+        best
+    }
+
     /// Committed-datatype cache hit-rate in `[0, 1]`; zero when the cache
     /// was never consulted.
     pub fn dtype_hit_rate(&self) -> f64 {
@@ -174,17 +194,34 @@ impl Registry {
                     reg.bump("coll.ops", 1);
                     reg.add_time("coll_s", e.dur);
                 }
-                Wait { cat, .. } => {
+                Wait { cat, src, .. } => {
                     let name = cat.name();
                     reg.bump(&format!("waits.{name}"), 1);
                     reg.add_time(&format!("wait_s.{name}"), e.dur);
                     reg.observe(&format!("wait_us.{name}"), e.dur);
-                    if *cat == crate::WaitCat::Progress {
+                    match cat {
                         // The headline metric the async-progress engine
-                        // will be judged against: virtual seconds ranks
-                        // spent blocked on a slower peer's progress.
-                        reg.add_time("progress.stall_s", e.dur);
+                        // is judged against: virtual seconds blocked on a
+                        // busy target's host CPU servicing passive-target
+                        // rounds. Collapsible by a progress agent.
+                        crate::WaitCat::Progress => {
+                            reg.add_time("progress.stall_s", e.dur);
+                            reg.add_time(&format!("progress.stall_src.{src}"), e.dur);
+                        }
+                        // Load imbalance at synchronisation points: same
+                        // attribution category, but no agent can compute
+                        // the straggler's work for it.
+                        crate::WaitCat::Straggler => {
+                            reg.add_time("progress.straggler_s", e.dur);
+                            reg.add_time(&format!("progress.stall_src.{src}"), e.dur);
+                        }
+                        _ => {}
                     }
+                }
+                AgentDrain { ops, avoided_s, .. } => {
+                    reg.bump("progress.agent_ops", u64::from(*ops));
+                    reg.add_time("progress.offloaded_s", *avoided_s);
+                    reg.add_time("agent_drain_s", e.dur);
                 }
                 Compute => {
                     reg.bump("compute.blocks", 1);
@@ -411,10 +448,24 @@ impl Registry {
             .map(|c| format!("{c}={:.6}s", self.time(&format!("wait_s.{c}"))))
             .collect();
         if !wait_line.is_empty() {
+            let straggler = self
+                .top_progress_straggler()
+                .map(|(rank, s)| format!(", top straggler rank {rank} ({s:.6}s)"))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "  waits  : {} (progress.stall_s={:.6})\n",
+                "  waits  : {} (progress.stall_s={:.6} straggler_s={:.6}{})\n",
                 wait_line.join(" "),
                 self.time("progress.stall_s"),
+                self.time("progress.straggler_s"),
+                straggler,
+            ));
+        }
+        if self.counter("progress.agent_ops") > 0 {
+            out.push_str(&format!(
+                "  agent  : {} ops drained, {:.6} s offloaded ({:.6} s service)\n",
+                self.counter("progress.agent_ops"),
+                self.time("progress.offloaded_s"),
+                self.time("agent_drain_s"),
             ));
         }
         if self.counter("compute.blocks") > 0 {

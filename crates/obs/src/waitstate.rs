@@ -163,7 +163,8 @@ fn classify(e: &Event) -> Option<(u8, &'static str)> {
         | EventKind::GaOp { .. }
         | EventKind::Stage { .. }
         | EventKind::Pack { .. }
-        | EventKind::Coll { .. } => Some((PRIO_TRACKED, "tracked")),
+        | EventKind::Coll { .. }
+        | EventKind::AgentDrain { .. } => Some((PRIO_TRACKED, "tracked")),
         _ => None,
     }
 }

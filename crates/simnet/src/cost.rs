@@ -221,6 +221,52 @@ impl ChannelParams {
     }
 }
 
+/// Cost parameters for a per-node **asynchronous progress agent**
+/// (Casper / Zhou & Gracia style): one core per node is dedicated to
+/// draining passive-target traffic — accumulates, RMW, lock handoffs,
+/// flush acknowledgements — on behalf of ranks that are busy inside long
+/// compute spans. Without an agent such operations wait on the *target*
+/// entering the MPI library; with one, they pay a small intra-node
+/// forward plus the agent's service time instead.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProgressParams {
+    /// Agent service time for one passive-target operation (lock grant,
+    /// accumulate apply, RMW, flush ack), seconds.
+    pub agent_service: f64,
+    /// Intra-node forwarding cost to hand an inbound operation from the
+    /// NIC/host rank to the agent core (shared-memory queue hop).
+    pub agent_forward: f64,
+    /// Fractional service-time inflation per additional host rank on the
+    /// node: all of a node's ranks share one agent, so its queue deepens
+    /// with the node's fan-in.
+    pub host_contention: f64,
+    /// Whether the platform can dedicate an agent core at all
+    /// (`ProgressMode::Auto` falls back to host-side progress when not).
+    pub available: bool,
+}
+
+impl ProgressParams {
+    /// Agent model derived from a platform's MPI backend parameters: the
+    /// agent runs the same software stack (service ≈ one op dispatch +
+    /// epoch bookkeeping share) but is always inside the library, and the
+    /// forward is one cacheline handoff on the node's memory system.
+    pub fn derived(mpi: &BackendParams) -> ProgressParams {
+        ProgressParams {
+            agent_service: mpi.op_overhead + 0.5 * mpi.epoch_overhead,
+            agent_forward: 0.3 * mpi.op_overhead,
+            host_contention: 0.15,
+            available: true,
+        }
+    }
+
+    /// Cost of one agent-serviced operation round on a node hosting
+    /// `ranks_per_node` application ranks.
+    pub fn round_cost(&self, ranks_per_node: usize) -> f64 {
+        let extra = ranks_per_node.saturating_sub(1) as f64;
+        self.agent_forward + self.agent_service * (1.0 + self.host_contention * extra)
+    }
+}
+
 impl BackendParams {
     /// Link parameters for `op`.
     pub fn link(&self, op: Op) -> &LinkParams {

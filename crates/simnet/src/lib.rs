@@ -34,7 +34,9 @@ pub mod pool;
 pub mod registration;
 
 pub use clock::VClock;
-pub use cost::{BackendParams, ChannelParams, LinkParams, Op, ShmParams, StridedMethodCost};
+pub use cost::{
+    BackendParams, ChannelParams, LinkParams, Op, ProgressParams, ShmParams, StridedMethodCost,
+};
 pub use net::{CongestionParams, Network};
 pub use platform::{ComputeParams, Platform, PlatformId};
 pub use pool::{BufferPool, PoolBuf, PoolStats, RegistrationPolicy};

@@ -17,7 +17,7 @@
 //! * **Cray XE6** — the native port is a development release: MPI achieves
 //!   roughly 2× native bandwidth for put/get and ~25% more for acc.
 
-use crate::cost::{BackendParams, ChannelParams, LinkParams, ShmParams};
+use crate::cost::{BackendParams, ChannelParams, LinkParams, ProgressParams, ShmParams};
 use crate::registration::RegParams;
 use serde::Serialize;
 
@@ -92,6 +92,8 @@ pub struct Platform {
     /// RAMC-style remote memory channel backend (doorbell + completion
     /// queue over the same wire); see [`ChannelParams`].
     pub channel: ChannelParams,
+    /// Per-node asynchronous progress agent model; see [`ProgressParams`].
+    pub progress: ProgressParams,
     pub reg: RegParams,
     pub compute: ComputeParams,
 }
@@ -211,6 +213,7 @@ fn blue_gene_p() -> Platform {
         lock_overhead: 0.25e-6,
     };
     let channel = ChannelParams::derived(&mpi);
+    let progress = ProgressParams::derived(&mpi);
     Platform {
         id: PlatformId::BlueGeneP,
         name: PlatformId::BlueGeneP.name(),
@@ -225,6 +228,7 @@ fn blue_gene_p() -> Platform {
         mpi,
         shm,
         channel,
+        progress,
         reg: reg_trivial(),
         compute: ComputeParams {
             flops_per_core: 2.7e9,
@@ -276,6 +280,7 @@ fn infiniband() -> Platform {
         lock_overhead: 0.15e-6,
     };
     let channel = ChannelParams::derived(&mpi);
+    let progress = ProgressParams::derived(&mpi);
     Platform {
         id: PlatformId::InfiniBandCluster,
         name: PlatformId::InfiniBandCluster.name(),
@@ -290,6 +295,7 @@ fn infiniband() -> Platform {
         mpi,
         shm,
         channel,
+        progress,
         reg: RegParams {
             bounce_threshold: 8 << 10,
             copy_rate: 4.5e9,
@@ -349,6 +355,7 @@ fn cray_xt5() -> Platform {
         lock_overhead: 0.18e-6,
     };
     let channel = ChannelParams::derived(&mpi);
+    let progress = ProgressParams::derived(&mpi);
     Platform {
         id: PlatformId::CrayXT5,
         name: PlatformId::CrayXT5.name(),
@@ -363,6 +370,7 @@ fn cray_xt5() -> Platform {
         mpi,
         shm,
         channel,
+        progress,
         reg: reg_trivial(),
         compute: ComputeParams {
             flops_per_core: 9.2e9,
@@ -413,6 +421,7 @@ fn cray_xe6() -> Platform {
         lock_overhead: 0.15e-6,
     };
     let channel = ChannelParams::derived(&mpi);
+    let progress = ProgressParams::derived(&mpi);
     Platform {
         id: PlatformId::CrayXE6,
         name: PlatformId::CrayXE6.name(),
@@ -427,6 +436,7 @@ fn cray_xe6() -> Platform {
         mpi,
         shm,
         channel,
+        progress,
         reg: reg_trivial(),
         compute: ComputeParams {
             flops_per_core: 8.4e9,

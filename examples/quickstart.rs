@@ -21,10 +21,15 @@ fn main() {
         // Bootstrap ARMCI-MPI (the paper's runtime) on this process,
         // using the MPI-3 epochless passive mode so the coalescing
         // scheduler can keep one queue per target open at a time.
+        // `ProgressMode::Auto` turns on the per-node asynchronous
+        // progress agent where the platform can dedicate a core to it —
+        // passive-target traffic aimed at busy ranks is drained by the
+        // agent instead of stalling until the target re-enters MPI.
         let rt = ArmciMpi::with_config(
             p,
             Config {
                 epochless: true,
+                progress: armci_mpi::ProgressMode::Auto,
                 ..Config::default()
             },
         );
@@ -140,6 +145,9 @@ fn main() {
                 o.rmw_mutex_fallback,
                 retry_rate
             );
+            // Which progress discipline `Auto` resolved to on this
+            // platform/backend combination.
+            println!("progress: mode {}", rt.progress_mode_name());
         }
 
         a.sync();
@@ -155,9 +163,11 @@ fn main() {
     // Where was blocked time spent, and what would speeding it up buy?
     let ws = obs::waitstate::analyze(&events);
     println!(
-        "waits: top category `{}`, progress.stall_s={:.6}, {:.0}% of non-compute time attributed",
+        "waits: top category `{}`, post-agent progress.stall_s={:.6} \
+         ({} ops drained by the agent), {:.0}% of non-compute time attributed",
         ws.top_category().map(|(c, _)| c).unwrap_or("none"),
         reg.time("progress.stall_s"),
+        reg.counter("progress.agent_ops"),
         ws.attributed_fraction() * 100.0
     );
     let violations = obs::audit::audit(&events);
