@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [table2|fig3|fig4|fig5|fig6|pipeline|pool|coalesce|shm|transport|rmw|all] [--json DIR]
+//! figures [table2|fig3|fig4|fig5|fig6|pipeline|pool|coalesce|shm|transport|rmw|
+//!          progress|harness|workloads|trace|critpath|all] [--json DIR]
 //! figures check DIR
 //! ```
 //!
@@ -227,6 +228,25 @@ fn schemas() -> Vec<(&'static str, Vec<(&'static str, Kind)>)> {
                 ("ns_per_op", Kind::Num),
             ],
         ),
+        (
+            "BENCH_workloads",
+            vec![
+                ("platform", Kind::Str),
+                ("workload", Kind::Str),
+                ("source", Kind::Str),
+                ("axis", Kind::Str),
+                ("transport", Kind::Str),
+                ("atomics", Kind::Str),
+                ("progress", Kind::Str),
+                ("coalesce", Kind::Str),
+                ("ranks", Kind::UInt),
+                ("ranks_per_node", Kind::UInt),
+                ("ops", Kind::UInt),
+                ("virtual_s", Kind::Num),
+                ("throughput_per_s", Kind::Num),
+                ("verified", Kind::Bool),
+            ],
+        ),
     ]
 }
 
@@ -316,13 +336,17 @@ fn check(dir: &str) -> usize {
                         ));
                     }
                 }
-                if matches!(get("workload"), Some(Value::Str(w)) if w == "ccsd-skewed") {
-                    match get("attributed_frac") {
-                        Some(Value::Float(f)) if *f >= 0.9 => {}
-                        Some(Value::Float(f)) => complain(format!(
-                            "{path}[{i}]: ccsd-skewed attribution {f:.3} below the 0.9 gate"
-                        )),
-                        _ => {} // missing/mistyped already reported above
+                if let Some(Value::Str(w)) = get("workload") {
+                    // The skewed workloads — CCSD and the graph kernel —
+                    // must attribute ≥90% of their non-compute time.
+                    if w == "ccsd-skewed" || w == "graph" {
+                        match get("attributed_frac") {
+                            Some(Value::Float(f)) if *f >= 0.9 => {}
+                            Some(Value::Float(f)) => complain(format!(
+                                "{path}[{i}]: {w} attribution {f:.3} below the 0.9 gate"
+                            )),
+                            _ => {} // missing/mistyped already reported above
+                        }
                     }
                 }
             }
@@ -338,6 +362,43 @@ fn check(dir: &str) -> usize {
                          (want native|mutex|sharded)"
                     )),
                     _ => {} // missing/mistyped already reported above
+                }
+            }
+            // Workload-suite rows carry the resolved provenance of all
+            // three config axes, and every runtime row must have passed
+            // its driver's bit-exact oracle (plus the cross-arm
+            // identity check) — an unverified measurement is a bug, not
+            // a data point.
+            if name == "BENCH_workloads" {
+                let get = |key: &str| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+                match get("transport") {
+                    Some(Value::Str(t)) if matches!(t.as_str(), "mpi-rma" | "channel") => {}
+                    Some(Value::Str(t)) => complain(format!(
+                        "{path}[{i}]: unknown `transport` `{t}` (want mpi-rma|channel)"
+                    )),
+                    _ => {} // missing/mistyped already reported above
+                }
+                match get("atomics") {
+                    Some(Value::Str(m)) if matches!(m.as_str(), "native" | "mutex" | "sharded") => {
+                    }
+                    Some(Value::Str(m)) => complain(format!(
+                        "{path}[{i}]: unknown `atomics` `{m}` (want native|mutex|sharded)"
+                    )),
+                    _ => {} // missing/mistyped already reported above
+                }
+                match get("progress") {
+                    Some(Value::Str(m)) if matches!(m.as_str(), "none" | "agent") => {}
+                    Some(Value::Str(m)) => complain(format!(
+                        "{path}[{i}]: unknown `progress` `{m}` (want none|agent)"
+                    )),
+                    _ => {} // missing/mistyped already reported above
+                }
+                if matches!(get("source"), Some(Value::Str(s)) if s == "runtime") {
+                    if let Some(Value::Bool(false)) = get("verified") {
+                        complain(format!(
+                            "{path}[{i}]: runtime arm failed its bit-exact oracle"
+                        ));
+                    }
                 }
             }
             // Stall measurements are meaningless without knowing which
@@ -366,6 +427,17 @@ fn check(dir: &str) -> usize {
         // seconds by at least the ISSUE's factor.
         if name == "BENCH_progress" {
             check_stall_collapse(&path, &rows, &mut complain);
+        }
+        // The workload-suite gates: each driver must show a measurable
+        // spread on at least one config axis and carry a DES scaling
+        // series.
+        if name == "BENCH_workloads" {
+            check_workload_spread(&path, &rows, &mut complain);
+        }
+        // The harness seed must cover both recorder arms with sane
+        // measurements, or the overhead A/B has nothing to diff against.
+        if name == "BENCH_harness" {
+            check_harness(&path, &rows, &mut complain);
         }
         eprintln!("[figures check] {path}: {} rows", rows.len());
     }
@@ -440,6 +512,101 @@ fn check_stall_collapse(path: &str, rows: &[Value], complain: &mut impl FnMut(St
             "{path}: no ccsd-skewed none/agent pair at skew {} to gate",
             bench::progress::GATE_SKEW
         ));
+    }
+}
+
+/// The BENCH_workloads gates: per driver, the virtual-time spread
+/// (slowest/fastest of an axis arm vs baseline) must reach
+/// [`bench::workloads::GATE_SPREAD`] on at least one config axis —
+/// otherwise the A/B proves nothing — and the scalesim series must be
+/// present (≥1 `des` row) so the 10⁵–10⁶-client scaling story ships
+/// with the measured rows.
+fn check_workload_spread(path: &str, rows: &[Value], complain: &mut impl FnMut(String)) {
+    let field = |row: &Value, key: &str| -> Option<Value> {
+        let Value::Object(entries) = row else {
+            return None;
+        };
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    let sfield = |row: &Value, key: &str| -> Option<String> {
+        match field(row, key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    };
+    for workload in ["graph", "stencil", "kv"] {
+        let virtual_of = |axis: &str| -> Option<f64> {
+            rows.iter()
+                .find(|r| {
+                    sfield(r, "source").as_deref() == Some("runtime")
+                        && sfield(r, "workload").as_deref() == Some(workload)
+                        && sfield(r, "axis").as_deref() == Some(axis)
+                })
+                .and_then(|r| match field(r, "virtual_s") {
+                    Some(Value::Float(f)) => Some(f),
+                    _ => None,
+                })
+        };
+        let Some(base) = virtual_of("baseline") else {
+            complain(format!("{path}: no runtime baseline row for `{workload}`"));
+            continue;
+        };
+        let best = ["transport", "atomics", "progress", "coalesce"]
+            .into_iter()
+            .filter_map(|a| {
+                let v = virtual_of(a)?;
+                Some(v.max(base) / v.min(base).max(f64::MIN_POSITIVE))
+            })
+            .fold(0.0f64, f64::max);
+        if best < bench::workloads::GATE_SPREAD {
+            complain(format!(
+                "{path}: `{workload}` widest axis spread {best:.2}x below the {}x gate",
+                bench::workloads::GATE_SPREAD
+            ));
+        }
+        if !rows.iter().any(|r| {
+            sfield(r, "source").as_deref() == Some("des")
+                && sfield(r, "workload").as_deref() == Some(workload)
+        }) {
+            complain(format!("{path}: no DES scaling rows for `{workload}`"));
+        }
+    }
+}
+
+/// The BENCH_harness gate: both recorder arms of the engine hot loop
+/// must be present with nonzero op counts and positive per-op times —
+/// the seed rows are what future engine changes get diffed against.
+fn check_harness(path: &str, rows: &[Value], complain: &mut impl FnMut(String)) {
+    let field = |row: &Value, key: &str| -> Option<Value> {
+        let Value::Object(entries) = row else {
+            return None;
+        };
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    for stage in ["record-on", "record-off"] {
+        let Some(row) = rows
+            .iter()
+            .find(|r| matches!(field(r, "stage"), Some(Value::Str(s)) if s == stage))
+        else {
+            complain(format!("{path}: missing `{stage}` arm"));
+            continue;
+        };
+        match field(row, "ops") {
+            Some(Value::UInt(n)) if n > 0 => {}
+            Some(Value::UInt(_)) => complain(format!("{path}: `{stage}` measured zero ops")),
+            _ => {} // missing/mistyped already reported above
+        }
+        match field(row, "ns_per_op") {
+            Some(Value::Float(f)) if f > 0.0 => {}
+            Some(Value::Float(_)) => complain(format!("{path}: `{stage}` ns_per_op not positive")),
+            _ => {} // missing/mistyped already reported above
+        }
     }
 }
 
@@ -707,6 +874,15 @@ fn main() {
             &serde_json::to_string_pretty(&everything).unwrap(),
         );
     }
+    if all || what == "workloads" {
+        eprintln!("[figures] workloads: InfiniBand cluster");
+        let rows = bench::workloads::generate(PlatformId::InfiniBandCluster);
+        print!("{}", bench::workloads::render(&rows));
+        dump(
+            "BENCH_workloads",
+            &serde_json::to_string_pretty(&rows).unwrap(),
+        );
+    }
     if all || what == "harness" {
         eprintln!("[figures] harness");
         let rows = bench::harness::generate();
@@ -763,6 +939,9 @@ fn main() {
                 trace::CCSD_SKEWED_RANKS,
                 trace::ccsd_skewed_capture_with(4.0, armci_mpi::ProgressMode::Agent),
             ),
+            ("graph", trace::WORKLOAD_RANKS, trace::graph_capture()),
+            ("stencil", trace::WORKLOAD_RANKS, trace::stencil_capture()),
+            ("kv", trace::WORKLOAD_RANKS, trace::kv_capture()),
         ] {
             eprintln!("[figures] critpath {workload}: {} events", cap.events.len());
             println!("== {workload} ==");

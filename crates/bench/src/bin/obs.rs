@@ -1,12 +1,16 @@
 //! Observability CLI over the instrumented runtime.
 //!
 //! ```text
-//! obs trace [fig3|ccsd|ccsd-coalesced|ccsd-skewed] [--out PATH] [--jsonl] [--skew X]
-//! obs report [fig3|ccsd|ccsd-coalesced|ccsd-skewed|all] [--progress none|agent]
-//! obs audit [fig3|ccsd|ccsd-coalesced|ccsd-skewed]
+//! obs trace [WORKLOAD] [--out PATH] [--jsonl] [--skew X]
+//! obs report [WORKLOAD|all] [--progress none|agent]
+//! obs audit [WORKLOAD]
 //! obs critpath [WORKLOAD] [--skew X] [--progress none|agent] [--out PATH]
 //! obs overhead [REPS] [--assert-ns N]
 //! ```
+//!
+//! `WORKLOAD` is one of `fig3`, `ccsd`, `ccsd-coalesced`, `ccsd-skewed`,
+//! or the workload-suite drivers `graph`, `stencil` and `kv`
+//! (`obs critpath graph` answers "where does the skewed BFS wait?").
 //!
 //! `trace` captures the named workload with the recorder enabled and
 //! writes Chrome-trace JSON (open in `chrome://tracing` or Perfetto) —
@@ -37,10 +41,13 @@ fn capture_named(name: &str, skew: f64, progress: ProgressMode) -> Capture {
         "ccsd" => trace::ccsd_capture(),
         "ccsd-coalesced" => trace::ccsd_coalesced_capture(),
         "ccsd-skewed" => trace::ccsd_skewed_capture_with(skew, progress),
+        "graph" => trace::graph_capture(),
+        "stencil" => trace::stencil_capture(),
+        "kv" => trace::kv_capture(),
         other => {
             eprintln!(
                 "[obs] unknown workload `{other}` \
-                 (want fig3, ccsd, ccsd-coalesced or ccsd-skewed)"
+                 (want fig3, ccsd, ccsd-coalesced, ccsd-skewed, graph, stencil or kv)"
             );
             std::process::exit(2);
         }
@@ -48,10 +55,10 @@ fn capture_named(name: &str, skew: f64, progress: ProgressMode) -> Capture {
 }
 
 fn ranks_of(name: &str) -> usize {
-    if name == "ccsd-skewed" {
-        trace::CCSD_SKEWED_RANKS
-    } else {
-        2
+    match name {
+        "ccsd-skewed" => trace::CCSD_SKEWED_RANKS,
+        "graph" | "stencil" | "kv" => trace::WORKLOAD_RANKS,
+        _ => 2,
     }
 }
 

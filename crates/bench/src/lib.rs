@@ -48,6 +48,7 @@ pub mod shm;
 pub mod table2;
 pub mod trace;
 pub mod transport;
+pub mod workloads;
 
 /// Runtime configuration for `id` with the ranks spread one per node.
 ///

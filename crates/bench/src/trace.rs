@@ -247,6 +247,48 @@ pub fn ccsd_skewed_capture_with(skew: f64, progress: armci_mpi::ProgressMode) ->
     })
 }
 
+/// Ranks used by the workload-suite captures (artifact-row provenance).
+pub const WORKLOAD_RANKS: usize = crate::workloads::RANKS;
+
+/// The graph kernel under compute skew: the bench instance's hub-skewed
+/// R-MAT with per-vertex compute where rank `r` runs `1 + skew·r/(P−1)`
+/// slower. Every BFS level ends in a sync that waits on the straggler,
+/// and the hot-spot `read_inc` claims serialise at the hub owner — the
+/// trace the ISSUE's ≥0.9 attribution gate reads.
+pub fn graph_capture() -> Capture {
+    capture(WORKLOAD_RANKS, PlatformId::InfiniBandCluster, |p| {
+        let rt = ArmciMpi::with_config(p, Config::default());
+        let opts = crate::workloads::graph_opts();
+        workloads::graph::run_graph(p, &rt, &opts);
+    })
+}
+
+/// The halo-exchange stencil: strided ghost fetches through the dtype
+/// cache, collective residual folds, alternating-array syncs.
+pub fn stencil_capture() -> Capture {
+    capture(WORKLOAD_RANKS, PlatformId::InfiniBandCluster, |p| {
+        let rt = ArmciMpi::with_config(p, Config::default());
+        let opts = crate::workloads::stencil_opts();
+        workloads::stencil::run_stencil(p, &rt, &opts);
+    })
+}
+
+/// The KV/parameter-server loop under the mutex atomics fallback, so
+/// the hot-key fetch-and-add contention shows up as lock waits.
+pub fn kv_capture() -> Capture {
+    capture(WORKLOAD_RANKS, PlatformId::InfiniBandCluster, |p| {
+        let rt = ArmciMpi::with_config(
+            p,
+            Config {
+                atomics: armci_mpi::AtomicsMode::MutexFallback,
+                ..Default::default()
+            },
+        );
+        let opts = crate::workloads::kv_opts();
+        workloads::kv::run_kv(p, &rt, &opts);
+    })
+}
+
 /// Wall-clock for `reps` rounds of fig3-style contiguous put/get with the
 /// recorder in this build's state (recording when compiled in, inert under
 /// `--features obs/off`). Events are discarded every round so the buffer
@@ -389,6 +431,55 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(row(&cap), row(&again));
+    }
+
+    #[test]
+    fn graph_capture_attributes_and_audits_clean() {
+        let cap = graph_capture();
+        assert!(!cap.events.is_empty());
+        let v = cap.audit();
+        assert!(v.is_empty(), "audit violations: {:?}", v);
+        // The ISSUE acceptance gate: the skewed graph run attributes
+        // ≥90% of its wait time to named categories.
+        let ws = cap.waitstate();
+        assert!(
+            ws.attributed_fraction() >= 0.9,
+            "graph attribution {:.3} below the 0.9 gate",
+            ws.attributed_fraction()
+        );
+        // Hot-spot claims reach the runtime as read_inc traffic.
+        let reg = cap.registry();
+        assert!(reg.counter("ga.ga_read_inc") > 0, "no read_inc in trace");
+    }
+
+    #[test]
+    fn stencil_capture_audits_clean_and_is_deterministic() {
+        let cap = stencil_capture();
+        assert!(!cap.events.is_empty());
+        let v = cap.audit();
+        assert!(v.is_empty(), "audit violations: {:?}", v);
+        assert!(cap.registry().counter("rma.get") > 0);
+        let again = stencil_capture();
+        let row = |c: &Capture| {
+            serde_json::to_string_pretty(&critpath_row("stencil", WORKLOAD_RANKS, c)).unwrap()
+        };
+        assert_eq!(row(&cap), row(&again));
+    }
+
+    #[test]
+    fn kv_capture_audits_clean_with_lock_waits() {
+        let cap = kv_capture();
+        assert!(!cap.events.is_empty());
+        let v = cap.audit();
+        assert!(v.is_empty(), "audit violations: {:?}", v);
+        // The mutex-fallback hot-key counters serialise behind the
+        // Latham queue, so lock waits must be visible to waitstate.
+        let ws = cap.waitstate();
+        assert!(
+            ws.cat_s.get("lock").copied().unwrap_or(0.0) > 0.0,
+            "no lock wait time under mutex atomics: {:?}",
+            ws.cat_s
+        );
     }
 
     #[test]

@@ -546,6 +546,39 @@ mod proptests {
             }
         }
 
+        /// The graph-driver access shape — many tiny word-aligned
+        /// intervals scattered non-adjacently across a big space, with
+        /// hot duplicates from revisited vertices — gets the same
+        /// per-op accept/reject verdict as a linear-scan oracle, and
+        /// the final stored set matches.
+        #[test]
+        fn irregular_tiny_intervals_match_linear_scan_oracle(
+            words in proptest::collection::vec((0usize..512, 1usize..9), 1..400)
+        ) {
+            let mut t = ConflictTree::new();
+            let mut oracle: Vec<(usize, usize)> = Vec::new();
+            for &(word, len) in &words {
+                let (lo, hi) = (word * 8, word * 8 + len);
+                let oracle_ok = oracle.iter().all(|&(slo, shi)| hi <= slo || shi <= lo);
+                match t.try_insert(lo, hi) {
+                    Ok(()) => prop_assert!(oracle_ok,
+                        "tree accepted [{},{}) the linear scan rejects", lo, hi),
+                    Err(c) => {
+                        prop_assert!(!oracle_ok,
+                            "tree rejected [{},{}) the linear scan accepts", lo, hi);
+                        let (elo, ehi) = c.existing;
+                        prop_assert!(lo < ehi && elo < hi);
+                    }
+                }
+                if oracle_ok {
+                    oracle.push((lo, hi));
+                }
+            }
+            oracle.sort_unstable();
+            prop_assert_eq!(t.ranges(), oracle);
+            prop_assert!(t.check_invariants());
+        }
+
         /// A reported conflict really overlaps something stored, and a
         /// successful insert really is disjoint from all stored ranges.
         #[test]

@@ -1,0 +1,549 @@
+//! Graph kernel driver: BFS + fixed-point PageRank over a deterministic
+//! R-MAT edge list stored in Global Arrays.
+//!
+//! The graph lives in GA as CSR: an `I64` offsets array of length
+//! `n + 1` and an `I64` adjacency array of length `2m` (each undirected
+//! edge appears in both endpoint lists). Traversal drives the runtime
+//! with exactly the traffic the dense CCSD proxy never produces:
+//!
+//! * **fine-grained random gets** — every frontier vertex fetches its
+//!   offset pair and adjacency slice from whichever rank owns it;
+//! * **hot-spot RMW** — BFS claims vertices with `read_inc` on a claim
+//!   array, and the R-MAT skew concentrates those claims on the hubs
+//!   (low vertex ids, hence rank 0's block);
+//! * **hot-spot accumulates** — PageRank pushes `acc` contributions
+//!   along every edge, again hub-concentrated;
+//! * **irregular compute skew** — optional per-rank slowdown
+//!   (`GraphOpts::skew`) so the progress/wait analyzers see stragglers.
+//!
+//! Determinism and the oracle: BFS is *level-synchronous*, so the
+//! distance vector is independent of which racing claimant wins a
+//! vertex — distances are checked bit-exact against a serial BFS and
+//! the parent tree is checked for *validity* (parent edge exists,
+//! `dist[parent] + 1 == dist[v]`). PageRank runs in 16.16 fixed point:
+//! integer accumulate is associative and commutative, so the final
+//! vector is bit-exact against the serial reference no matter how the
+//! runtime ordered the accs.
+
+use crate::SplitMix64;
+use armci::Armci;
+use armci_mpi::{ArmciMpi, Config};
+use ga::{GaType, GlobalArray};
+use mpisim::{Proc, Runtime, RuntimeConfig};
+
+/// Fixed-point scale for PageRank ranks (16.16).
+pub const PR_SCALE: i64 = 1 << 16;
+/// Damping factor numerator/denominator (`alpha = 0.85`).
+pub const PR_ALPHA_NUM: i64 = 85;
+pub const PR_ALPHA_DEN: i64 = 100;
+
+/// Parameters of one graph-kernel run. All fields documented so sweeps
+/// are reproducible from the CLI; `Default` is the CI-sized instance.
+#[derive(Debug, Clone)]
+pub struct GraphOpts {
+    /// log2 of the vertex count (R-MAT "scale"). Default 6 → 64 vertices.
+    pub scale: u32,
+    /// Undirected edges per vertex (R-MAT "edge factor"). Default 8.
+    pub edge_factor: usize,
+    /// R-MAT quadrant probabilities (a, b, c); d is the remainder.
+    /// Defaults to the Graph500 (0.57, 0.19, 0.19) skew.
+    pub rmat: (f64, f64, f64),
+    /// Instance seed: edge list and everything derived from it.
+    pub seed: u64,
+    /// BFS source vertex. Default 0 (a hub under R-MAT skew).
+    pub root: usize,
+    /// PageRank sweeps. Default 3.
+    pub pr_iters: usize,
+    /// Modelled compute per processed vertex, seconds. Default 0 (pure
+    /// communication).
+    pub vertex_compute_s: f64,
+    /// Straggler skew: rank `r` runs its per-vertex compute
+    /// `1 + skew·r/(P−1)` slower (same formula as the CCSD proxy), so
+    /// the wait-state attributor has stragglers to blame. Default 0.
+    pub skew: f64,
+}
+
+impl Default for GraphOpts {
+    fn default() -> Self {
+        GraphOpts {
+            scale: 6,
+            edge_factor: 8,
+            rmat: (0.57, 0.19, 0.19),
+            seed: 0xA11CE,
+            root: 0,
+            pr_iters: 3,
+            vertex_compute_s: 0.0,
+            skew: 0.0,
+        }
+    }
+}
+
+impl GraphOpts {
+    /// Vertex count `2^scale`.
+    pub fn nvertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Undirected edge count.
+    pub fn nedges(&self) -> usize {
+        self.nvertices() * self.edge_factor
+    }
+}
+
+/// Per-rank outcome of [`run_graph`]. Every rank returns the full
+/// distance/parent/rank vectors (fetched after the final sync), so the
+/// oracle can also check cross-rank agreement.
+#[derive(Debug, Clone)]
+pub struct GraphResult {
+    /// BFS hop distance per vertex; `-1` for unreached.
+    pub dist: Vec<i64>,
+    /// BFS parent per vertex; `root` for the root, `-1` for unreached.
+    pub parent: Vec<i64>,
+    /// Fixed-point (16.16) PageRank vector after `pr_iters` sweeps.
+    pub pagerank: Vec<i64>,
+    /// Virtual seconds this rank spent in the run.
+    pub elapsed_s: f64,
+    /// One-sided operations this rank issued (gets + accs + rmws).
+    pub ops: u64,
+}
+
+/// Deterministic R-MAT-style edge list: `m` undirected edges over
+/// `2^scale` vertices, skewed into low vertex ids. Self-loops are kept
+/// (CSR handles them; BFS/PR treat them like any edge).
+pub fn rmat_edges(opts: &GraphOpts) -> Vec<(usize, usize)> {
+    let (a, b, c) = opts.rmat;
+    let mut rng = SplitMix64::new(opts.seed);
+    let mut edges = Vec::with_capacity(opts.nedges());
+    for _ in 0..opts.nedges() {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..opts.scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.next_f64();
+            if r < a {
+                // quadrant (0,0): both high bits clear
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u, v));
+    }
+    edges
+}
+
+/// CSR built from an undirected edge list: `offsets[n + 1]`, adjacency
+/// of length `2m`. Neighbour lists are sorted so the layout is unique.
+pub fn build_csr(n: usize, edges: &[(usize, usize)]) -> (Vec<i64>, Vec<i64>) {
+    let mut deg = vec![0usize; n];
+    for &(u, v) in edges {
+        deg[u] += 1;
+        deg[v] += 1;
+    }
+    let mut offsets = vec![0i64; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + deg[v] as i64;
+    }
+    let mut adj = vec![0i64; edges.len() * 2];
+    let mut cursor: Vec<usize> = offsets[..n].iter().map(|&o| o as usize).collect();
+    for &(u, v) in edges {
+        adj[cursor[u]] = v as i64;
+        cursor[u] += 1;
+        adj[cursor[v]] = u as i64;
+        cursor[v] += 1;
+    }
+    for v in 0..n {
+        adj[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+    }
+    (offsets, adj)
+}
+
+/// Serial reference: BFS distances (level-synchronous ⇒ unique) and the
+/// fixed-point PageRank vector (integer adds ⇒ unique).
+pub fn reference(opts: &GraphOpts) -> (Vec<i64>, Vec<i64>) {
+    let n = opts.nvertices();
+    let edges = rmat_edges(opts);
+    let (offsets, adj) = build_csr(n, &edges);
+    // BFS
+    let mut dist = vec![-1i64; n];
+    dist[opts.root] = 0;
+    let mut frontier = vec![opts.root];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in &adj[offsets[u] as usize..offsets[u + 1] as usize] {
+                let v = v as usize;
+                if dist[v] < 0 {
+                    dist[v] = dist[u] + 1;
+                    next.push(v);
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        frontier = next;
+    }
+    // PageRank, 16.16 fixed point. Per sweep:
+    //   next[v] = base + Σ_{u→v} (pr[u]·α_num / α_den) / deg(u)
+    // with base = (1−α)/n in fixed point. Integer contributions are
+    // summed, so order does not matter.
+    let base = (PR_SCALE * (PR_ALPHA_DEN - PR_ALPHA_NUM) / PR_ALPHA_DEN) / n as i64;
+    let mut pr = vec![PR_SCALE / n as i64; n];
+    for _ in 0..opts.pr_iters {
+        let mut next = vec![base; n];
+        for u in 0..n {
+            let deg = offsets[u + 1] - offsets[u];
+            if deg == 0 {
+                continue;
+            }
+            let share = pr[u] * PR_ALPHA_NUM / PR_ALPHA_DEN / deg;
+            for &v in &adj[offsets[u] as usize..offsets[u + 1] as usize] {
+                next[v as usize] += share;
+            }
+        }
+        pr = next;
+    }
+    (dist, pr)
+}
+
+/// Runs BFS + PageRank on an established runtime. The graph is loaded
+/// into GA collectively (each rank writes its own CSR block), then both
+/// kernels execute with one-sided traffic only.
+pub fn run_graph<A: Armci + ?Sized>(p: &Proc, rt: &A, opts: &GraphOpts) -> GraphResult {
+    let n = opts.nvertices();
+    let nranks = rt.nprocs();
+    let rank = rt.rank();
+    let t0 = p.clock().now();
+    let mut ops = 0u64;
+
+    let edges = rmat_edges(opts);
+    let (offsets, adj) = build_csr(n, &edges);
+
+    // --- distributed graph state -------------------------------------
+    let ga_off = GlobalArray::create(rt, "graph-off", GaType::I64, &[n + 1]).unwrap();
+    let ga_adj = GlobalArray::create(rt, "graph-adj", GaType::I64, &[adj.len()]).unwrap();
+    let ga_dist = GlobalArray::create(rt, "graph-dist", GaType::I64, &[n]).unwrap();
+    let ga_parent = GlobalArray::create(rt, "graph-parent", GaType::I64, &[n]).unwrap();
+    // claim[v]: first read_inc wins the vertex for the next frontier.
+    let ga_claim = GlobalArray::create(rt, "graph-claim", GaType::I64, &[n]).unwrap();
+    // Shared next-frontier queue: slot counter at qcnt[0], entries in queue.
+    let ga_queue = GlobalArray::create(rt, "graph-queue", GaType::I64, &[n]).unwrap();
+    let ga_qcnt = GlobalArray::create(rt, "graph-qcnt", GaType::I64, &[1]).unwrap();
+
+    // Owners write their own blocks of the static CSR and the initial
+    // dynamic state; everything is visible after the sync.
+    let own = |ga: &GlobalArray<A>, src: &dyn Fn(usize, usize) -> Vec<i64>| {
+        let (lo, hi) = ga.my_block();
+        if lo[0] < hi[0] {
+            ga.put_patch_i64(&lo, &hi, &src(lo[0], hi[0])).unwrap();
+        }
+    };
+    own(&ga_off, &|l, h| offsets[l..h].to_vec());
+    own(&ga_adj, &|l, h| adj[l..h].to_vec());
+    own(&ga_dist, &|l, h| vec![-1i64; h - l]);
+    own(&ga_parent, &|l, h| vec![-1i64; h - l]);
+    own(&ga_claim, &|l, h| vec![0i64; h - l]);
+    own(&ga_queue, &|l, h| vec![0i64; h - l]);
+    own(&ga_qcnt, &|l, h| vec![0i64; h - l]);
+    ga_qcnt.sync();
+
+    if rank == 0 {
+        ga_dist
+            .put_patch_i64(&[opts.root], &[opts.root + 1], &[0])
+            .unwrap();
+        ga_parent
+            .put_patch_i64(&[opts.root], &[opts.root + 1], &[opts.root as i64])
+            .unwrap();
+        // Claim the root so frontier expansion never re-adds it.
+        ga_claim.read_inc(&[opts.root], 1).unwrap();
+    }
+    ga_qcnt.sync();
+
+    let slow = if nranks > 1 {
+        1.0 + opts.skew * rank as f64 / (nranks - 1) as f64
+    } else {
+        1.0 + opts.skew
+    };
+    let vertex_compute = opts.vertex_compute_s * slow;
+
+    // --- level-synchronous BFS ---------------------------------------
+    let mut frontier: Vec<usize> = vec![opts.root];
+    let mut depth = 0i64;
+    loop {
+        // Round-robin the (globally sorted) frontier over ranks.
+        for (i, &u) in frontier.iter().enumerate() {
+            if i % nranks != rank {
+                continue;
+            }
+            if vertex_compute > 0.0 {
+                p.compute(vertex_compute);
+            }
+            let off = ga_off.get_patch_i64(&[u], &[u + 2]).unwrap();
+            ops += 1;
+            let (o0, o1) = (off[0] as usize, off[1] as usize);
+            if o1 > o0 {
+                let nbrs = ga_adj.get_patch_i64(&[o0], &[o1]).unwrap();
+                ops += 1;
+                for &v in &nbrs {
+                    let v = v as usize;
+                    // Hot-spot RMW: first claimant owns the vertex.
+                    let prev = ga_claim.read_inc(&[v], 1).unwrap();
+                    ops += 1;
+                    if prev == 0 {
+                        ga_dist.put_patch_i64(&[v], &[v + 1], &[depth + 1]).unwrap();
+                        ga_parent
+                            .put_patch_i64(&[v], &[v + 1], &[u as i64])
+                            .unwrap();
+                        let slot = ga_qcnt.read_inc(&[0], 1).unwrap() as usize;
+                        ga_queue
+                            .put_patch_i64(&[slot], &[slot + 1], &[v as i64])
+                            .unwrap();
+                        ops += 4;
+                    }
+                }
+            }
+        }
+        ga_qcnt.sync();
+        let qlen = ga_qcnt.get_patch_i64(&[0], &[1]).unwrap()[0] as usize;
+        ops += 1;
+        if qlen == 0 {
+            break;
+        }
+        let mut next: Vec<usize> = ga_queue
+            .get_patch_i64(&[0], &[qlen])
+            .unwrap()
+            .into_iter()
+            .map(|v| v as usize)
+            .collect();
+        ops += 1;
+        // Sort so every rank sees the same frontier order (queue order
+        // is timing-dependent; the set is not).
+        next.sort_unstable();
+        frontier = next;
+        depth += 1;
+        // Everyone has read the queue and its counter; only now may the
+        // owner reset the counter — resetting in the same sync window
+        // as the reads would let a rank observe qlen == 0 and leave the
+        // level loop early (deadlock at mismatched collectives).
+        ga_qcnt.sync();
+        if ga_qcnt.my_block().0.first() == Some(&0) && ga_qcnt.my_block().1[0] > 0 {
+            ga_qcnt.put_patch_i64(&[0], &[1], &[0]).unwrap();
+        }
+        ga_qcnt.sync();
+    }
+
+    // --- fixed-point PageRank ----------------------------------------
+    let ga_pr = GlobalArray::create(rt, "graph-pr", GaType::I64, &[n]).unwrap();
+    let ga_nxt = GlobalArray::create(rt, "graph-nxt", GaType::I64, &[n]).unwrap();
+    let base = (PR_SCALE * (PR_ALPHA_DEN - PR_ALPHA_NUM) / PR_ALPHA_DEN) / n as i64;
+    own(&ga_pr, &|l, h| vec![PR_SCALE / n as i64; h - l]);
+    own(&ga_nxt, &|l, h| vec![base; h - l]);
+    ga_pr.sync();
+
+    for it in 0..opts.pr_iters {
+        let (src, dst) = if it % 2 == 0 {
+            (&ga_pr, &ga_nxt)
+        } else {
+            (&ga_nxt, &ga_pr)
+        };
+        let (lo, hi) = src.my_block();
+        if lo[0] < hi[0] {
+            let prs = src.get_patch_i64(&lo, &hi).unwrap();
+            let offs = ga_off.get_patch_i64(&[lo[0]], &[hi[0] + 1]).unwrap();
+            ops += 2;
+            for k in 0..(hi[0] - lo[0]) {
+                if vertex_compute > 0.0 {
+                    p.compute(vertex_compute);
+                }
+                let (o0, o1) = (offs[k] as usize, offs[k + 1] as usize);
+                let deg = (o1 - o0) as i64;
+                if deg == 0 {
+                    continue;
+                }
+                let share = prs[k] * PR_ALPHA_NUM / PR_ALPHA_DEN / deg;
+                let nbrs = ga_adj.get_patch_i64(&[o0], &[o1]).unwrap();
+                ops += 1;
+                for &v in &nbrs {
+                    let v = v as usize;
+                    // Hot-spot accumulate: hubs absorb most of these.
+                    dst.acc_patch_i64(1, &[v], &[v + 1], &[share]).unwrap();
+                    ops += 1;
+                }
+            }
+        }
+        dst.sync();
+        // Owner resets the *source* to base so it can serve as the next
+        // sweep's destination.
+        let (slo, shi) = src.my_block();
+        if slo[0] < shi[0] {
+            src.put_patch_i64(&slo, &shi, &vec![base; shi[0] - slo[0]])
+                .unwrap();
+        }
+        src.sync();
+    }
+
+    let pr_final = if opts.pr_iters.is_multiple_of(2) {
+        &ga_pr
+    } else {
+        &ga_nxt
+    };
+    let dist = ga_dist.get_patch_i64(&[0], &[n]).unwrap();
+    let parent = ga_parent.get_patch_i64(&[0], &[n]).unwrap();
+    let pagerank = pr_final.get_patch_i64(&[0], &[n]).unwrap();
+    ops += 3;
+    ga_dist.sync();
+
+    for ga in [
+        ga_off, ga_adj, ga_dist, ga_parent, ga_claim, ga_queue, ga_qcnt, ga_pr, ga_nxt,
+    ] {
+        ga.destroy().unwrap();
+    }
+
+    GraphResult {
+        dist,
+        parent,
+        pagerank,
+        elapsed_s: p.clock().now() - t0,
+        ops,
+    }
+}
+
+/// Spins up a runtime and runs the driver on every rank, returning the
+/// per-rank results. `rt_cfg` controls the simulated platform, `cfg`
+/// the ARMCI config arm under test.
+pub fn execute(
+    ranks: usize,
+    rt_cfg: RuntimeConfig,
+    cfg: Config,
+    opts: &GraphOpts,
+) -> Vec<GraphResult> {
+    let opts = opts.clone();
+    Runtime::run_with(ranks, rt_cfg, move |p| {
+        let rt = ArmciMpi::with_config(p, cfg.clone());
+        run_graph(p, &rt, &opts)
+    })
+}
+
+/// Bit-exact oracle over the per-rank results.
+///
+/// * all ranks agree on all three vectors;
+/// * distances match the serial BFS bit-exact;
+/// * the parent tree is valid: `parent[root] == root`, unreached ⇒
+///   `parent == -1`, otherwise the parent edge exists in the CSR and
+///   `dist[parent] + 1 == dist[v]`;
+/// * the PageRank vector matches the serial fixed-point reference
+///   bit-exact.
+pub fn verify(opts: &GraphOpts, results: &[GraphResult]) -> Result<(), String> {
+    let r0 = results.first().ok_or("no results")?;
+    for (r, res) in results.iter().enumerate() {
+        if res.dist != r0.dist || res.parent != r0.parent || res.pagerank != r0.pagerank {
+            return Err(format!("rank {r} disagrees with rank 0"));
+        }
+    }
+    let (dist_ref, pr_ref) = reference(opts);
+    if r0.dist != dist_ref {
+        return Err("BFS distances diverge from serial reference".into());
+    }
+    if r0.pagerank != pr_ref {
+        return Err("PageRank fixed-point vector diverges from serial reference".into());
+    }
+    let n = opts.nvertices();
+    let edges = rmat_edges(opts);
+    let (offsets, adj) = build_csr(n, &edges);
+    for v in 0..n {
+        let (d, p) = (r0.dist[v], r0.parent[v]);
+        if v == opts.root {
+            if p != opts.root as i64 {
+                return Err(format!("root parent is {p}, want {}", opts.root));
+            }
+            continue;
+        }
+        if d < 0 {
+            if p != -1 {
+                return Err(format!("unreached vertex {v} has parent {p}"));
+            }
+            continue;
+        }
+        if p < 0 || p as usize >= n {
+            return Err(format!("vertex {v} has out-of-range parent {p}"));
+        }
+        let pu = p as usize;
+        let has_edge = adj[offsets[pu] as usize..offsets[pu + 1] as usize]
+            .binary_search(&(v as i64))
+            .is_ok();
+        if !has_edge {
+            return Err(format!("parent edge {pu}→{v} not in graph"));
+        }
+        if r0.dist[pu] + 1 != d {
+            return Err(format!(
+                "tree edge {pu}→{v} skips levels: dist {} → {d}",
+                r0.dist[pu]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> RuntimeConfig {
+        RuntimeConfig {
+            charge_time: false,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn csr_is_consistent() {
+        let opts = GraphOpts::default();
+        let edges = rmat_edges(&opts);
+        assert_eq!(edges.len(), opts.nedges());
+        let (offsets, adj) = build_csr(opts.nvertices(), &edges);
+        assert_eq!(offsets.len(), opts.nvertices() + 1);
+        assert_eq!(adj.len(), 2 * edges.len());
+        assert_eq!(*offsets.last().unwrap() as usize, adj.len());
+    }
+
+    #[test]
+    fn rmat_is_hub_skewed() {
+        let opts = GraphOpts::default();
+        let edges = rmat_edges(&opts);
+        let (offsets, _) = build_csr(opts.nvertices(), &edges);
+        let n = opts.nvertices();
+        let low: i64 = offsets[n / 4] - offsets[0];
+        let total: i64 = offsets[n] - offsets[0];
+        // The first quarter of the id space should hold well over its
+        // proportional share of endpoints.
+        assert!(
+            low * 2 > total,
+            "no hub skew: first quarter holds {low}/{total} endpoints"
+        );
+    }
+
+    #[test]
+    fn driver_matches_reference_small() {
+        let opts = GraphOpts {
+            scale: 4,
+            edge_factor: 4,
+            ..GraphOpts::default()
+        };
+        let results = execute(3, quiet(), Config::default(), &opts);
+        verify(&opts, &results).unwrap();
+    }
+
+    #[test]
+    fn reference_conserves_fixed_point_reasonably() {
+        let opts = GraphOpts::default();
+        let (_, pr) = reference(&opts);
+        let total: i64 = pr.iter().sum();
+        // Rounding loses a little mass but the bulk must survive.
+        assert!(total > PR_SCALE / 2, "pagerank mass collapsed: {total}");
+        assert!(total <= PR_SCALE, "pagerank mass grew: {total}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Key-value / parameter-server driver: many tiny RMW+get round-trips
+//! against a distributed `I64` store.
+//!
+//! Each rank plays a client issuing a deterministic stream of
+//! operations against a GA-resident table: *writes* are
+//! `read_inc(key, 1)` (fetch-and-add, the NXTVAL primitive — routed
+//! through native MPI atomics or the mutex fallback depending on
+//! `Config::atomics`), *reads* are single-element gets. A configurable
+//! fraction of traffic hammers a small "hot" key range, recreating the
+//! parameter-server pattern where a handful of popular parameters
+//! absorb most of the update traffic.
+//!
+//! The oracle is a **linearizable-counter check**: fetch-and-add on a
+//! counter is linearizable, so across all ranks the observed
+//! pre-increment values of key `k` must be exactly `{0, 1, …, w_k−1}`
+//! (each seen once), the final table value must equal `w_k`, and every
+//! read of `k` must land in `[0, w_k]`. Any lost update, duplicated
+//! ticket, or torn read fails the oracle on all transports.
+
+use crate::{rank_seed, SplitMix64};
+use armci::Armci;
+use armci_mpi::{ArmciMpi, Config};
+use ga::{GaType, GlobalArray};
+use mpisim::{Proc, Runtime, RuntimeConfig};
+
+/// Parameters of one KV run; `Default` is the CI-sized instance.
+#[derive(Debug, Clone)]
+pub struct KvOpts {
+    /// Table size (number of keys). Default 64.
+    pub keys: usize,
+    /// Operations issued per rank. Default 128.
+    pub ops_per_rank: usize,
+    /// Percent of operations that are reads (gets); the rest are
+    /// fetch-and-add writes. Default 50.
+    pub read_pct: usize,
+    /// Percent of operations aimed at the hot key range. Default 60.
+    pub hot_pct: usize,
+    /// Size of the hot key range (keys `0..hot_keys`). Default 4.
+    pub hot_keys: usize,
+    /// Instance seed; per-rank streams derive from it.
+    pub seed: u64,
+    /// Modelled client think time per operation, seconds. Default 0.
+    pub think_s: f64,
+}
+
+impl Default for KvOpts {
+    fn default() -> Self {
+        KvOpts {
+            keys: 64,
+            ops_per_rank: 128,
+            read_pct: 50,
+            hot_pct: 60,
+            hot_keys: 4,
+            seed: 0xCAFE,
+            think_s: 0.0,
+        }
+    }
+}
+
+/// Per-rank outcome of [`run_kv`].
+#[derive(Debug, Clone)]
+pub struct KvResult {
+    /// `(key, observed pre-increment value)` per write, in issue order.
+    pub writes: Vec<(usize, i64)>,
+    /// `(key, observed value)` per read, in issue order.
+    pub reads: Vec<(usize, i64)>,
+    /// Final table contents (fetched after the closing barrier).
+    pub finals: Vec<i64>,
+    /// Virtual seconds this rank spent in the run.
+    pub elapsed_s: f64,
+    /// One-sided operations this rank issued.
+    pub ops: u64,
+}
+
+/// Runs the client loop on an established runtime.
+pub fn run_kv<A: Armci + ?Sized>(p: &Proc, rt: &A, opts: &KvOpts) -> KvResult {
+    let t0 = p.clock().now();
+    let mut ops = 0u64;
+    let store = GlobalArray::create(rt, "kv-store", GaType::I64, &[opts.keys]).unwrap();
+    let (lo, hi) = store.my_block();
+    if lo[0] < hi[0] {
+        store
+            .put_patch_i64(&lo, &hi, &vec![0i64; hi[0] - lo[0]])
+            .unwrap();
+    }
+    store.sync();
+
+    let mut rng = SplitMix64::new(rank_seed(opts.seed, rt.rank()));
+    let mut writes = Vec::new();
+    let mut reads = Vec::new();
+    for _ in 0..opts.ops_per_rank {
+        if opts.think_s > 0.0 {
+            p.compute(opts.think_s);
+        }
+        let key = if rng.below(100) < opts.hot_pct {
+            rng.below(opts.hot_keys.min(opts.keys))
+        } else {
+            rng.below(opts.keys)
+        };
+        if rng.below(100) < opts.read_pct {
+            let v = store.get_patch_i64(&[key], &[key + 1]).unwrap()[0];
+            reads.push((key, v));
+        } else {
+            let prev = store.read_inc(&[key], 1).unwrap();
+            writes.push((key, prev));
+        }
+        ops += 1;
+    }
+    store.sync();
+    let finals = store.get_patch_i64(&[0], &[opts.keys]).unwrap();
+    ops += 1;
+    store.sync();
+    store.destroy().unwrap();
+
+    KvResult {
+        writes,
+        reads,
+        finals,
+        elapsed_s: p.clock().now() - t0,
+        ops,
+    }
+}
+
+/// Spins up a runtime and runs the client loop on every rank.
+pub fn execute(ranks: usize, rt_cfg: RuntimeConfig, cfg: Config, opts: &KvOpts) -> Vec<KvResult> {
+    let opts = opts.clone();
+    Runtime::run_with(ranks, rt_cfg, move |p| {
+        let rt = ArmciMpi::with_config(p, cfg.clone());
+        run_kv(p, &rt, &opts)
+    })
+}
+
+/// Linearizable-counter oracle over the per-rank results:
+///
+/// * per key, the multiset of observed pre-increment values across all
+///   ranks is exactly `{0 … w_k−1}` — no lost updates, no duplicate
+///   tickets;
+/// * the final value of key `k` equals `w_k` on every rank;
+/// * every read of `k` observed a value in `[0, w_k]`.
+pub fn verify(opts: &KvOpts, results: &[KvResult]) -> Result<(), String> {
+    let r0 = results.first().ok_or("no results")?;
+    for (r, res) in results.iter().enumerate() {
+        if res.finals != r0.finals {
+            return Err(format!("rank {r} read different finals than rank 0"));
+        }
+    }
+    let mut tickets: Vec<Vec<i64>> = vec![Vec::new(); opts.keys];
+    for res in results {
+        for &(k, prev) in &res.writes {
+            tickets[k].push(prev);
+        }
+    }
+    for (k, t) in tickets.iter_mut().enumerate() {
+        t.sort_unstable();
+        let w = t.len() as i64;
+        let want: Vec<i64> = (0..w).collect();
+        if *t != want {
+            return Err(format!(
+                "key {k}: tickets {t:?} are not 0..{w} — lost/duplicated RMW"
+            ));
+        }
+        if r0.finals[k] != w {
+            return Err(format!(
+                "key {k}: final {} but {w} writes landed",
+                r0.finals[k]
+            ));
+        }
+    }
+    for res in results {
+        for &(k, v) in &res.reads {
+            let w = tickets[k].len() as i64;
+            if v < 0 || v > w {
+                return Err(format!("key {k}: read {v} outside [0, {w}]"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> RuntimeConfig {
+        RuntimeConfig {
+            charge_time: false,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn counters_linearize() {
+        let opts = KvOpts::default();
+        let results = execute(4, quiet(), Config::default(), &opts);
+        verify(&opts, &results).unwrap();
+        // The hot mix must actually concentrate writes.
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for r in &results {
+            for &(k, _) in &r.writes {
+                total += 1;
+                if k < opts.hot_keys {
+                    hot += 1;
+                }
+            }
+        }
+        assert!(hot * 2 > total, "hot keys got {hot}/{total} writes");
+    }
+
+    #[test]
+    fn read_heavy_mix_still_verifies() {
+        let opts = KvOpts {
+            read_pct: 90,
+            ops_per_rank: 64,
+            ..KvOpts::default()
+        };
+        let results = execute(3, quiet(), Config::default(), &opts);
+        verify(&opts, &results).unwrap();
+    }
+}

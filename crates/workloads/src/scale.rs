@@ -1,0 +1,228 @@
+//! Rank-scaling series per driver, priced through scalesim's
+//! discrete-event models.
+//!
+//! The 4-rank runtime runs in `BENCH_workloads` measure real traffic;
+//! this module extends each driver's *contended resource* to the scale
+//! the thread-per-rank simulator cannot reach (10⁵–10⁶ clients):
+//!
+//! * **kv** — the hot parameter is a serial fetch-and-add server. The
+//!   DES prices its service time per atomics discipline: `native`
+//!   (hardware MPI-3 FOP), `mutex` (the lock/get/put/unlock NXTVAL
+//!   window from the profile model), `sharded` (per-node shards at shm
+//!   atomic cost), `channel` (doorbell + CQ-poll software NIC path).
+//! * **graph** — hub accumulates behave like the same serial server
+//!   with per-vertex compute between visits; `native` vs `sharded`
+//!   shows what a combining tree buys an irregular kernel.
+//! * **stencil** — no serial resource at all: the halo exchange is
+//!   nearest-neighbour, so weak scaling is flat. Priced analytically
+//!   from the platform's put/get link parameters as a sanity baseline
+//!   against the two contended drivers.
+
+use nwchem_proxy::profile::{nxtval_service, Backend};
+use scalesim::{simulate, simulate_sharded, ShardedCounter, SimConfig};
+use simnet::Platform;
+
+/// One point of a scaling series (`source: "des"` rows of
+/// `BENCH_workloads.json`).
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Driver: `graph`, `stencil`, or `kv`.
+    pub driver: &'static str,
+    /// Contention discipline priced into the serial resource:
+    /// `native`, `mutex`, `sharded`, or `channel`.
+    pub discipline: &'static str,
+    /// Simulated clients (ranks).
+    pub clients: usize,
+    /// Modelled makespan, seconds.
+    pub makespan_s: f64,
+    /// Completed operations per second across the system.
+    pub throughput_per_s: f64,
+    /// Utilisation of the contended resource (0 for stencil).
+    pub utilisation: f64,
+}
+
+/// Client counts for the KV series — up to 10⁶ simulated clients.
+pub const KV_CLIENTS: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+/// Client counts for the graph hub series.
+pub const GRAPH_CLIENTS: [usize; 4] = [256, 4_096, 65_536, 1_048_576];
+/// Rank counts for the stencil weak-scaling series.
+pub const STENCIL_RANKS: [usize; 4] = [64, 1_024, 16_384, 262_144];
+/// Hot-key operations per simulated KV client.
+pub const KV_OPS_PER_CLIENT: usize = 4;
+/// Hub updates per simulated graph client.
+pub const GRAPH_OPS_PER_CLIENT: usize = 8;
+/// Per-rank block edge for stencil weak scaling (block stays fixed as
+/// ranks grow).
+pub const STENCIL_BLOCK_EDGE: usize = 128;
+/// Stencil sweeps priced in the analytic model.
+pub const STENCIL_MODEL_ITERS: usize = 8;
+
+/// Service time of one RMW at the contended resource under a
+/// discipline. `sharded` prices the per-shard service; the shard fan-in
+/// is modelled by `simulate_sharded`.
+pub fn rmw_service_s(platform: &Platform, discipline: &str) -> f64 {
+    match discipline {
+        "mutex" => nxtval_service(platform, Backend::ArmciMpi),
+        "sharded" => platform.shm.atomic_cost(),
+        "channel" => platform.channel.atomic_cost(),
+        _ => platform.mpi.rmw_latency,
+    }
+}
+
+fn serial_server_series(
+    platform: &Platform,
+    driver: &'static str,
+    clients: &[usize],
+    ops_per_client: usize,
+    think_s: f64,
+    disciplines: &[&'static str],
+) -> Vec<ScaleRow> {
+    let mut rows = Vec::new();
+    for &discipline in disciplines {
+        let service = rmw_service_s(platform, discipline);
+        for &n in clients {
+            let cfg = SimConfig {
+                nprocs: n,
+                ntasks: n * ops_per_client,
+                task_compute: think_s,
+                task_comm: 0.0,
+                nxtval_service: service,
+                nxtval_latency: 2.0 * platform.mpi.rmw_latency,
+                congestion_scale: None,
+                startup: 0.0,
+                iterations: 1,
+            };
+            let res = if discipline == "sharded" {
+                let shard = ShardedCounter {
+                    ranks_per_node: (platform.sockets_per_node * platform.cores_per_socket).max(1)
+                        as usize,
+                    block: ops_per_client,
+                    shard_service: platform.shm.atomic_cost(),
+                    shard_latency: platform.shm.win_sync,
+                };
+                simulate_sharded(&cfg, &shard)
+            } else {
+                simulate(&cfg)
+            };
+            rows.push(ScaleRow {
+                driver,
+                discipline,
+                clients: n,
+                makespan_s: res.makespan,
+                throughput_per_s: (n * ops_per_client) as f64 / res.makespan.max(1e-12),
+                utilisation: res.counter_utilisation,
+            });
+        }
+    }
+    rows
+}
+
+/// KV/parameter-server series: every operation visits the hot counter.
+pub fn kv_scale(platform: &Platform) -> Vec<ScaleRow> {
+    serial_server_series(
+        platform,
+        "kv",
+        &KV_CLIENTS,
+        KV_OPS_PER_CLIENT,
+        100e-6,
+        &["native", "mutex", "sharded", "channel"],
+    )
+}
+
+/// Graph hub series: hub accumulates funnel into one owner.
+pub fn graph_scale(platform: &Platform) -> Vec<ScaleRow> {
+    serial_server_series(
+        platform,
+        "graph",
+        &GRAPH_CLIENTS,
+        GRAPH_OPS_PER_CLIENT,
+        20e-6,
+        &["native", "mutex", "sharded"],
+    )
+}
+
+/// Stencil weak-scaling series: fixed block per rank, four halo faces
+/// of `STENCIL_BLOCK_EDGE` cells exchanged per sweep. No contended
+/// resource, so the modelled makespan is flat in the rank count — the
+/// baseline the two serial-server drivers are judged against.
+pub fn stencil_scale(platform: &Platform) -> Vec<ScaleRow> {
+    let cells = (STENCIL_BLOCK_EDGE * STENCIL_BLOCK_EDGE) as f64;
+    let face_bytes = STENCIL_BLOCK_EDGE * 8;
+    // 5-point stencil: ~5 flops/cell against the platform core rate.
+    let compute_s = cells * 5.0 / platform.compute.flops_per_core;
+    let halo_s = 4.0 * (platform.mpi.get.xfer_time(face_bytes) + platform.mpi.op_overhead);
+    let sweep = compute_s + halo_s;
+    STENCIL_RANKS
+        .iter()
+        .map(|&n| ScaleRow {
+            driver: "stencil",
+            discipline: "native",
+            clients: n,
+            makespan_s: sweep * STENCIL_MODEL_ITERS as f64,
+            throughput_per_s: cells * n as f64 * STENCIL_MODEL_ITERS as f64
+                / (sweep * STENCIL_MODEL_ITERS as f64),
+            utilisation: 0.0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::PlatformId;
+
+    fn platform() -> Platform {
+        Platform::get(PlatformId::InfiniBandCluster)
+    }
+
+    #[test]
+    fn kv_native_beats_mutex_at_scale() {
+        // Debug-build tests price a truncated series; the full
+        // 10^6-client sweep runs in the release-mode figures job.
+        let p = platform();
+        let rows = serial_server_series(
+            &p,
+            "kv",
+            &[1_000, 10_000],
+            KV_OPS_PER_CLIENT,
+            100e-6,
+            &["native", "mutex", "sharded"],
+        );
+        let pick = |d: &str, n: usize| {
+            rows.iter()
+                .find(|r| r.discipline == d && r.clients == n)
+                .unwrap()
+                .makespan_s
+        };
+        assert!(
+            pick("mutex", 10_000) > 1.5 * pick("native", 10_000),
+            "mutex NXTVAL should serialise far worse than native FOP"
+        );
+        assert!(
+            pick("sharded", 10_000) < pick("native", 10_000),
+            "sharding must relieve the serial server"
+        );
+    }
+
+    #[test]
+    fn graph_series_covers_disciplines() {
+        let p = platform();
+        let rows = serial_server_series(
+            &p,
+            "graph",
+            &[256, 1_024],
+            GRAPH_OPS_PER_CLIENT,
+            20e-6,
+            &["native", "mutex", "sharded"],
+        );
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.makespan_s > 0.0));
+    }
+
+    #[test]
+    fn stencil_weak_scaling_is_flat() {
+        let rows = stencil_scale(&platform());
+        let first = rows.first().unwrap().makespan_s;
+        assert!(rows.iter().all(|r| (r.makespan_s - first).abs() < 1e-12));
+    }
+}

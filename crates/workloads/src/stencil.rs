@@ -1,0 +1,365 @@
+//! Halo-exchange stencil driver: 2D/3D Jacobi iterations with
+//! ghost-cell subarray exchange.
+//!
+//! Each iteration every rank pulls its block plus a `radius`-deep halo
+//! with [`GlobalArray::fetch_ghosted`] — a fan of *strided* subarray
+//! gets that exercise the derived-datatype LRU cache, the conflict-tree
+//! disjointness proofs, and (intra-node) the shm tier — relaxes the
+//! interior, writes it back, and folds a global L1 residual through the
+//! allreduce.
+//!
+//! Determinism and the oracle: the per-cell update order is fixed
+//! (centre first, then per dimension minus-neighbour before
+//! plus-neighbour, dimensions ascending), each cell's inputs come from
+//! the previous field only (Jacobi), and the residual allreduce folds
+//! per-rank partials in rank order — so a serial reference that
+//! replicates the block partition reproduces field *and* residuals
+//! bit-exactly.
+
+use crate::SplitMix64;
+use armci::Armci;
+use armci_mpi::{ArmciMpi, Config};
+use ga::{Distribution, GaType, GlobalArray};
+use mpisim::{Proc, Runtime, RuntimeConfig};
+
+/// Parameters of one stencil run; `Default` is the CI-sized 2D
+/// instance. All knobs documented so sweeps are reproducible.
+#[derive(Debug, Clone)]
+pub struct StencilOpts {
+    /// Grid extents (2 or 3 entries → 2D or 3D). Default `[24, 24]`.
+    pub dims: Vec<usize>,
+    /// Stencil radius = ghost width per dimension. Default 1 (the
+    /// classic star stencil); 2 doubles the halo faces.
+    pub radius: usize,
+    /// Jacobi sweeps. Default 4.
+    pub iters: usize,
+    /// Periodic boundaries (GA_PERIODIC) instead of zero boundaries.
+    pub periodic: bool,
+    /// Seed of the deterministic initial field.
+    pub seed: u64,
+    /// Modelled compute per relaxed cell, seconds. Default 0.
+    pub cell_compute_s: f64,
+}
+
+impl Default for StencilOpts {
+    fn default() -> Self {
+        StencilOpts {
+            dims: vec![24, 24],
+            radius: 1,
+            iters: 4,
+            periodic: false,
+            seed: 0x57E4C11,
+            cell_compute_s: 0.0,
+        }
+    }
+}
+
+impl StencilOpts {
+    /// Total cell count.
+    pub fn ncells(&self) -> usize {
+        self.dims.iter().product()
+    }
+}
+
+/// Per-rank outcome of [`run_stencil`]; every rank fetches the full
+/// final field so the oracle can check cross-rank agreement.
+#[derive(Debug, Clone)]
+pub struct StencilResult {
+    /// Final field, row-major over `dims`, after `iters` sweeps.
+    pub field: Vec<f64>,
+    /// Global L1 residual after each sweep (allreduce result).
+    pub residuals: Vec<f64>,
+    /// Virtual seconds this rank spent in the run.
+    pub elapsed_s: f64,
+    /// One-sided operations this rank issued.
+    pub ops: u64,
+}
+
+/// Deterministic initial field value at flat row-major index `i`.
+fn init_cell(seed: u64, i: usize) -> f64 {
+    let mut r = SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    r.next_f64()
+}
+
+/// One Jacobi relaxation of `cell` given its neighbourhood reader.
+/// The summation order here is THE contract between driver and oracle:
+/// centre, then for each dimension ascending, radius 1..=R, the minus
+/// neighbour before the plus neighbour.
+fn relax(read: &dyn Fn(&[isize]) -> f64, nd: usize, radius: usize) -> f64 {
+    let zero = vec![0isize; nd];
+    let mut sum = read(&zero);
+    let mut count = 1.0f64;
+    for d in 0..nd {
+        for r in 1..=radius {
+            let mut delta = vec![0isize; nd];
+            delta[d] = -(r as isize);
+            sum += read(&delta);
+            delta[d] = r as isize;
+            sum += read(&delta);
+            count += 2.0;
+        }
+    }
+    sum / count
+}
+
+/// Runs the Jacobi sweeps on an established runtime.
+pub fn run_stencil<A: Armci + ?Sized>(p: &Proc, rt: &A, opts: &StencilOpts) -> StencilResult {
+    let nd = opts.dims.len();
+    let t0 = p.clock().now();
+    let mut ops = 0u64;
+
+    let a = GlobalArray::create(rt, "st-a", GaType::F64, &opts.dims).unwrap();
+    let b = GlobalArray::create(rt, "st-b", GaType::F64, &opts.dims).unwrap();
+
+    // Owners initialise their own block from the global seed.
+    let (mlo, mhi) = a.my_block();
+    let my_cells: usize = mlo
+        .iter()
+        .zip(&mhi)
+        .map(|(&l, &h)| h.saturating_sub(l))
+        .product();
+    if my_cells > 0 {
+        let mut init = Vec::with_capacity(my_cells);
+        let mut idx = mlo.clone();
+        loop {
+            let mut flat = 0usize;
+            for (&i, &dim) in idx.iter().zip(&opts.dims) {
+                flat = flat * dim + i;
+            }
+            init.push(init_cell(opts.seed, flat));
+            let mut d = nd;
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < mhi[d] {
+                    break;
+                }
+                idx[d] = mlo[d];
+            }
+            if idx == mlo {
+                break;
+            }
+        }
+        a.put_patch(&mlo, &mhi, &init).unwrap();
+        b.put_patch(&mlo, &mhi, &init).unwrap();
+        ops += 2;
+    }
+    a.sync();
+
+    let width = vec![opts.radius; nd];
+    let mut residuals = Vec::with_capacity(opts.iters);
+    for it in 0..opts.iters {
+        let (src, dst) = if it % 2 == 0 { (&a, &b) } else { (&b, &a) };
+        // The halo fetch: a fan of strided subarray gets.
+        let gb = src.fetch_ghosted(&width, opts.periodic).unwrap();
+        ops += 1;
+        let mut partial = 0.0f64;
+        if my_cells > 0 {
+            let mut new = Vec::with_capacity(my_cells);
+            let mut idx = mlo.clone();
+            loop {
+                if opts.cell_compute_s > 0.0 {
+                    p.compute(opts.cell_compute_s);
+                }
+                let old = gb.at(&idx);
+                let val = relax(&|delta| gb.rel(&idx, delta), nd, opts.radius);
+                partial += (val - old).abs();
+                new.push(val);
+                let mut d = nd;
+                loop {
+                    if d == 0 {
+                        break;
+                    }
+                    d -= 1;
+                    idx[d] += 1;
+                    if idx[d] < mhi[d] {
+                        break;
+                    }
+                    idx[d] = mlo[d];
+                }
+                if idx == mlo {
+                    break;
+                }
+            }
+            dst.put_patch(&mlo, &mhi, &new).unwrap();
+            ops += 1;
+        }
+        // Global residual: reduce_f64 folds the per-rank contributions
+        // in rank order, so the serial oracle can replicate it exactly.
+        let mut r = [partial];
+        ga::gop::dgop(dst.group(), &mut r, ga::gop::GopOp::Sum);
+        residuals.push(r[0]);
+        dst.sync();
+    }
+
+    let last = if opts.iters.is_multiple_of(2) { &a } else { &b };
+    let zero = vec![0usize; nd];
+    let field = last.get_patch(&zero, &opts.dims).unwrap();
+    ops += 1;
+    last.sync();
+    a.destroy().unwrap();
+    b.destroy().unwrap();
+
+    StencilResult {
+        field,
+        residuals,
+        elapsed_s: p.clock().now() - t0,
+        ops,
+    }
+}
+
+/// Spins up a runtime and runs the driver on every rank.
+pub fn execute(
+    ranks: usize,
+    rt_cfg: RuntimeConfig,
+    cfg: Config,
+    opts: &StencilOpts,
+) -> Vec<StencilResult> {
+    let opts = opts.clone();
+    Runtime::run_with(ranks, rt_cfg, move |p| {
+        let rt = ArmciMpi::with_config(p, cfg.clone());
+        run_stencil(p, &rt, &opts)
+    })
+}
+
+/// Serial reference replicating the driver bit-for-bit: same per-cell
+/// summation order, same boundary semantics as `fetch_ghosted`
+/// (zero-fill or periodic wrap), and residual partials folded over the
+/// same `Distribution::regular` block partition in rank order.
+pub fn reference(opts: &StencilOpts, ranks: usize) -> (Vec<f64>, Vec<f64>) {
+    let nd = opts.dims.len();
+    let total = opts.ncells();
+    let mut cur: Vec<f64> = (0..total).map(|i| init_cell(opts.seed, i)).collect();
+    let dist = Distribution::regular(&opts.dims, ranks);
+    let flat_of = |idx: &[usize]| -> usize {
+        let mut f = 0usize;
+        for (&i, &dim) in idx.iter().zip(&opts.dims) {
+            f = f * dim + i;
+        }
+        f
+    };
+    let mut residuals = Vec::with_capacity(opts.iters);
+    for _ in 0..opts.iters {
+        let mut next = vec![0.0f64; total];
+        let mut partials = vec![0.0f64; ranks];
+        for (cell, partial) in partials.iter_mut().enumerate().take(ranks) {
+            let (lo, hi) = dist.cell_block(cell);
+            if lo.iter().zip(&hi).any(|(&l, &h)| l >= h) {
+                continue;
+            }
+            let mut idx = lo.clone();
+            loop {
+                let read = |delta: &[isize]| -> f64 {
+                    let mut g = vec![0usize; nd];
+                    for d in 0..nd {
+                        let x = idx[d] as isize + delta[d];
+                        if opts.periodic {
+                            g[d] = x.rem_euclid(opts.dims[d] as isize) as usize;
+                        } else if x < 0 || x >= opts.dims[d] as isize {
+                            return 0.0;
+                        } else {
+                            g[d] = x as usize;
+                        }
+                    }
+                    cur[flat_of(&g)]
+                };
+                let old = cur[flat_of(&idx)];
+                let val = relax(&read, nd, opts.radius);
+                *partial += (val - old).abs();
+                next[flat_of(&idx)] = val;
+                let mut d = nd;
+                loop {
+                    if d == 0 {
+                        break;
+                    }
+                    d -= 1;
+                    idx[d] += 1;
+                    if idx[d] < hi[d] {
+                        break;
+                    }
+                    idx[d] = lo[d];
+                }
+                if idx == lo {
+                    break;
+                }
+            }
+        }
+        // reduce_f64's left fold, rank order.
+        let mut acc = partials[0];
+        for p in &partials[1..] {
+            acc += p;
+        }
+        residuals.push(acc);
+        cur = next;
+    }
+    (cur, residuals)
+}
+
+/// Bit-exact oracle: all ranks agree, the final field equals the serial
+/// reference to the last bit, and every per-sweep residual matches.
+pub fn verify(opts: &StencilOpts, ranks: usize, results: &[StencilResult]) -> Result<(), String> {
+    let r0 = results.first().ok_or("no results")?;
+    for (r, res) in results.iter().enumerate() {
+        if res.field != r0.field || res.residuals != r0.residuals {
+            return Err(format!("rank {r} disagrees with rank 0"));
+        }
+    }
+    let (field_ref, res_ref) = reference(opts, ranks);
+    for (i, (got, want)) in r0.field.iter().zip(&field_ref).enumerate() {
+        if got.to_bits() != want.to_bits() {
+            return Err(format!("field[{i}] = {got:e}, reference {want:e}"));
+        }
+    }
+    if r0.residuals.len() != res_ref.len() {
+        return Err("residual count mismatch".into());
+    }
+    for (i, (got, want)) in r0.residuals.iter().zip(&res_ref).enumerate() {
+        if got.to_bits() != want.to_bits() {
+            return Err(format!("residual[{i}] = {got:e}, reference {want:e}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> RuntimeConfig {
+        RuntimeConfig {
+            charge_time: false,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn driver_matches_reference_2d() {
+        let opts = StencilOpts::default();
+        let results = execute(4, quiet(), Config::default(), &opts);
+        verify(&opts, 4, &results).unwrap();
+    }
+
+    #[test]
+    fn driver_matches_reference_3d_periodic() {
+        let opts = StencilOpts {
+            dims: vec![6, 6, 6],
+            periodic: true,
+            iters: 2,
+            ..StencilOpts::default()
+        };
+        let results = execute(3, quiet(), Config::default(), &opts);
+        verify(&opts, 3, &results).unwrap();
+    }
+
+    #[test]
+    fn residuals_decay() {
+        let (_, res) = reference(&StencilOpts::default(), 4);
+        assert!(
+            res.windows(2).all(|w| w[1] <= w[0] * 1.5),
+            "residuals exploding: {res:?}"
+        );
+    }
+}

@@ -178,5 +178,25 @@ fn main() {
             eprintln!("epoch audit: {v}");
         }
     }
+
+    // A taste of the workload suite (crates/workloads): the
+    // KV/parameter-server driver on the same stack, checked against its
+    // linearizable-counter oracle. `figures -- workloads` sweeps this
+    // plus the graph and stencil drivers across every Config axis.
+    let kv_opts = workloads::KvOpts::default();
+    let kv = workloads::kv::execute(
+        4,
+        RuntimeConfig::on_platform(PlatformId::InfiniBandCluster),
+        Config::default(),
+        &kv_opts,
+    );
+    workloads::kv::verify(&kv_opts, &kv).expect("kv oracle");
+    println!(
+        "workload suite: kv driver linearized {} hot-key RMW/get ops over {} keys \
+         in {:.3} ms virtual (oracle ok; graph + stencil drivers ride the same stack)",
+        kv.iter().map(|r| r.ops).sum::<u64>(),
+        kv_opts.keys,
+        kv.iter().map(|r| r.elapsed_s).fold(0.0, f64::max) * 1e3,
+    );
     println!("quickstart finished.");
 }
